@@ -1,0 +1,92 @@
+// Ablation — how the tier model and operator discipline shape security
+// observables:
+//   (1) tier depth k: breach fraction and choke-point strength per k;
+//   (2) primary-operator bias: removing logon concentration collapses the
+//       secure graphs' high-RP choke points toward the baselines' flat
+//       band (DESIGN.md §4).
+#include "analytics/reachability.hpp"
+#include "analytics/rp_rate.hpp"
+#include "common.hpp"
+
+using namespace adsynth;
+using namespace adsynth::bench;
+
+int main(int argc, char** argv) {
+  util::CliArgs args;
+  args.add_option("nodes", "graph size", "50000");
+  args.add_option("seeds", "seeds per cell", "3");
+  if (!args.parse(argc, argv)) return 0;
+  const auto nodes = static_cast<std::size_t>(args.integer("nodes"));
+  const auto seeds = static_cast<std::size_t>(args.integer("seeds"));
+
+  print_header("Ablation: tier depth and operator bias",
+               "design choices behind the secure graphs' realism");
+
+  std::printf("(1) tier depth k (secure preset, |V| = %s)\n",
+              util::with_commas(nodes).c_str());
+  util::TextTable t1({"k", "breach fraction", "peak RP"});
+  for (const std::uint32_t k : {2u, 3u, 4u, 5u}) {
+    double fraction = 0.0;
+    double peak = 0.0;
+    for (std::size_t s = 1; s <= seeds; ++s) {
+      auto cfg = core::GeneratorConfig::secure(nodes, s);
+      cfg.num_tiers = k;
+      const auto ad = core::generate_ad(cfg);
+      fraction += analytics::users_reaching_da(ad.graph).fraction;
+      peak += analytics::route_penetration(ad.graph).peak();
+    }
+    t1.add_row({std::to_string(k),
+                util::percent(fraction / static_cast<double>(seeds), 4),
+                util::percent(peak / static_cast<double>(seeds), 1)});
+  }
+  std::fputs(t1.render().c_str(), stdout);
+
+  const std::size_t bias_seeds = std::max<std::size_t>(seeds, 6);
+  std::printf("\n(2) operational concentration (secure preset, |V| = %s,\n"
+              "    both operator logons and violated-permission targets)\n",
+              util::with_commas(nodes).c_str());
+  // The tier-delegation skeleton always provides a structural funnel (the
+  // tier-0 OU/group layer); operational concentration decides whether the
+  // choke point sits there or on the operator account and the DCs.  Report
+  // both the peak RP and what KIND of node holds it.
+  util::TextTable t2({"concentration", "peak RP (mean)",
+                      "top choke: account/machine", "top choke: OU/group"});
+  for (const double bias : {0.0, 0.3, 0.6, 0.9}) {
+    double peak = 0.0;
+    std::size_t chokes_principal = 0;
+    std::size_t chokes_structural = 0;
+    for (std::size_t s = 1; s <= bias_seeds; ++s) {
+      auto cfg = core::GeneratorConfig::secure(nodes, s);
+      // A visible breach population (the handful in the secure preset is
+      // dominated by single-source noise): concentration is about how the
+      // population's paths overlap, so give it enough sources to overlap.
+      cfg.perc_misconfig_permissions = 0.005;
+      cfg.primary_operator_bias = bias;
+      cfg.misconfig_server_bias = bias;
+      const auto ad = core::generate_ad(cfg);
+      const auto rp = analytics::route_penetration(ad.graph);
+      peak += rp.peak();
+      const auto top = rp.top(1);
+      if (!top.empty()) {
+        const auto kind = ad.graph.kind(top[0].first);
+        if (kind == adcore::ObjectKind::kUser ||
+            kind == adcore::ObjectKind::kComputer) {
+          ++chokes_principal;
+        } else {
+          ++chokes_structural;
+        }
+      }
+    }
+    t2.add_row({util::fixed(bias, 1),
+                util::percent(peak / static_cast<double>(bias_seeds), 1),
+                std::to_string(chokes_principal) + "/" +
+                    std::to_string(bias_seeds),
+                std::to_string(chokes_structural) + "/" +
+                    std::to_string(bias_seeds)});
+  }
+  std::fputs(t2.render().c_str(), stdout);
+  std::printf("\nconcentration shifts the choke point from the tier-0\n"
+              "delegation structures onto the operator account and the DCs\n"
+              "(and splits traffic between the two funnels).\n");
+  return 0;
+}

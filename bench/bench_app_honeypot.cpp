@@ -1,0 +1,46 @@
+// Application bench — honeypot placement ([21], the paper's cited
+// honeypot-placement companion work) on ADSynth data vs baseline data.
+//
+// Expectation mirroring §V's theme: on realistic (secure) graphs a handful
+// of honeypots on the choke points intercepts nearly all shortest attack
+// paths, matching the University reference; on the baselines' random soup
+// coverage climbs far more slowly.
+#include "defense/honeypot.hpp"
+#include "common.hpp"
+
+using namespace adsynth;
+using namespace adsynth::bench;
+
+int main(int argc, char** argv) {
+  util::CliArgs args;
+  args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
+  args.add_option("max-honeypots", "placements per dataset", "5");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t nodes = ad100_nodes(args.flag("small"));
+  const auto max_k =
+      static_cast<std::size_t>(args.integer("max-honeypots"));
+
+  print_header("Application: honeypot placement coverage",
+               "choke-pointed realistic graphs are covered by a handful of "
+               "honeypots; random baseline soups are not");
+
+  util::TextTable table({"dataset", "paths covered after k=1..n"});
+  auto add = [&](const char* name, const adcore::AttackGraph& g) {
+    defense::HoneypotOptions options;
+    options.count = max_k;
+    const auto result = defense::place_honeypots(g, options);
+    std::string coverage;
+    for (std::size_t i = 0; i < result.coverage_after.size(); ++i) {
+      if (i > 0) coverage += "  ";
+      coverage += util::percent(result.coverage_after[i], 1);
+    }
+    if (coverage.empty()) coverage = "(no attack paths)";
+    table.add_row({name, coverage});
+  };
+  add("ADSimulator", make_adsimulator(nodes, 1));
+  add("ADSynth (secure)", make_adsynth("secure", nodes, 1));
+  add("ADSynth (vulnerable)", make_adsynth("vulnerable", nodes, 1));
+  add("University (reference)", make_university(nodes));
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Table I — running times of DBCreator, ADSimulator and ADSynth across
+// graph sizes, mean ± stdev over repeated runs.
+//
+// The paper's numbers (Neo4j over Bolt on the authors' hardware) are
+// absolute-scale different; the *shape* reproduced here is: ADSynth is
+// orders of magnitude faster, ADSimulator scales further than DBCreator,
+// and DBCreator stops producing graphs past 10k (here: exceeds the
+// per-cell budget and prints "-", like the paper's dashes).
+#include <algorithm>
+#include <cmath>
+
+#include "common.hpp"
+
+using namespace adsynth;
+using namespace adsynth::bench;
+
+namespace {
+
+struct ToolRow {
+  const char* name;
+  double (*run_once)(std::size_t nodes, std::uint64_t seed);
+  bool exhausted = false;  // stop trying larger sizes after a DNF
+  // Last two (size, mean time) points, used to project the next cell's
+  // cost from the tool's observed growth exponent so DNF cells are
+  // predicted rather than suffered.
+  double last_nodes = 0;
+  double last_mean = 0;
+  double prev_nodes = 0;
+  double prev_mean = 0;
+
+  double projected(std::size_t nodes) const {
+    if (last_mean <= 0) return 0.0;
+    double alpha = 1.0;
+    if (prev_mean > 0 && last_nodes > prev_nodes) {
+      alpha = std::log(last_mean / prev_mean) /
+              std::log(last_nodes / prev_nodes);
+      alpha = std::clamp(alpha, 0.5, 3.0);
+    }
+    return last_mean *
+           std::pow(static_cast<double>(nodes) / last_nodes, alpha);
+  }
+
+  void record(std::size_t nodes, double mean) {
+    prev_nodes = last_nodes;
+    prev_mean = last_mean;
+    last_nodes = static_cast<double>(nodes);
+    last_mean = mean;
+  }
+};
+
+double run_dbcreator_once(std::size_t nodes, std::uint64_t seed) {
+  baselines::DbCreatorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  util::Stopwatch timer;
+  baselines::run_dbcreator(cfg);
+  return timer.seconds();
+}
+
+double run_adsimulator_once(std::size_t nodes, std::uint64_t seed) {
+  baselines::AdSimulatorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  util::Stopwatch timer;
+  baselines::run_adsimulator(cfg);
+  return timer.seconds();
+}
+
+double run_adsynth_once(std::size_t nodes, std::uint64_t seed) {
+  const auto cfg = core::GeneratorConfig::secure(nodes, seed);
+  util::Stopwatch timer;
+  core::generate_ad(cfg);
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args;
+  args.add_flag("full", "paper-scale sizes (up to 1M nodes) and 20 runs");
+  args.add_option("runs", "runs per cell (paper: 20)", "5");
+  args.add_option("budget", "per-cell wall-clock budget in seconds before a "
+                  "tool is marked '-' (the paper's DNF)", "30");
+  if (!args.parse(argc, argv)) return 0;
+  const bool full = args.flag("full");
+  const auto runs = static_cast<std::size_t>(
+      full ? 20 : args.integer("runs"));
+  const double budget = args.real("budget");
+
+  print_header("Table I: generator running times [s]",
+               "ADSynth builds a 100K-node graph in ~21s where ADSimulator "
+               "needs 31min and DBCreator cannot produce one at all");
+
+  ToolRow tools[] = {{"DBCreator", &run_dbcreator_once},
+                     {"ADSimulator", &run_adsimulator_once},
+                     {"ADSynth", &run_adsynth_once}};
+
+  util::TextTable table({"|V|", "DBCreator[s]", "ADSimulator[s]", "ADSynth[s]"});
+  for (const std::size_t nodes : graph_sizes(full)) {
+    std::vector<std::string> row{util::with_commas(nodes)};
+    for (ToolRow& tool : tools) {
+      if (tool.exhausted || tool.projected(nodes) > budget) {
+        tool.exhausted = true;
+        row.push_back("-");
+        continue;
+      }
+      util::RunStats stats;
+      bool over_budget = false;
+      for (std::size_t r = 0; r < runs; ++r) {
+        const double t = tool.run_once(nodes, r + 1);
+        stats.add(t);
+        if (t > budget) {
+          over_budget = true;
+          break;  // no point repeating a DNF-scale run
+        }
+      }
+      if (over_budget) {
+        // This size exceeded the budget: report "-" from the next size on,
+        // matching how the paper stops reporting a tool that cannot scale.
+        tool.exhausted = true;
+        row.push_back(stats.count() > 1 ? stats.summary()
+                                        : util::fixed(stats.mean(), 3) + " (>budget)");
+      } else {
+        row.push_back(stats.summary());
+        tool.record(nodes, stats.mean());
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nruns per cell: %zu; budget %.0fs per run; '-' = tool "
+              "exceeded budget at a smaller size (paper: DNF)\n",
+              runs, budget);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Every bench binary reproduces one table or figure of the paper.  Default
+// arguments run a CI-friendly scale; pass --full for the paper-scale sizes
+// (Table I goes to 10^6 nodes).  Baseline generators that cannot finish a
+// size within the per-cell time budget print "-", exactly like the paper's
+// DNF cells.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adcore/attack_graph.hpp"
+#include "baselines/adsimulator.hpp"
+#include "baselines/dbcreator.hpp"
+#include "baselines/university.hpp"
+#include "core/export.hpp"
+#include "core/generator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace adsynth::bench {
+
+/// Sizes of Table I / the figures' x-axis.
+inline std::vector<std::size_t> graph_sizes(bool full) {
+  if (full) {
+    return {1'000, 5'000, 10'000, 50'000, 100'000, 500'000, 1'000'000};
+  }
+  return {1'000, 5'000, 10'000, 50'000, 100'000};
+}
+
+/// The reference scale of the AD100 experiments (§IV): 100k by default so
+/// the comparisons against the University system run at the paper's scale;
+/// --small drops it for quick runs.
+inline std::size_t ad100_nodes(bool small) { return small ? 20'000 : 100'000; }
+
+inline adcore::AttackGraph make_adsynth(const char* preset, std::size_t nodes,
+                                        std::uint64_t seed) {
+  core::GeneratorConfig cfg;
+  const std::string p(preset);
+  if (p == "secure") {
+    cfg = core::GeneratorConfig::secure(nodes, seed);
+  } else if (p == "vulnerable") {
+    cfg = core::GeneratorConfig::vulnerable(nodes, seed);
+  } else {
+    cfg = core::GeneratorConfig::highly_secure(nodes, seed);
+  }
+  return core::generate_ad(cfg).graph;
+}
+
+inline adcore::AttackGraph make_dbcreator(std::size_t nodes,
+                                          std::uint64_t seed) {
+  baselines::DbCreatorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  return baselines::dbcreator_graph(cfg);
+}
+
+inline adcore::AttackGraph make_adsimulator(std::size_t nodes,
+                                            std::uint64_t seed) {
+  baselines::AdSimulatorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  return baselines::adsimulator_graph(cfg);
+}
+
+inline adcore::AttackGraph make_university(std::size_t nodes,
+                                           std::uint64_t seed = 7) {
+  baselines::UniversityConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  return baselines::university_graph(cfg);
+}
+
+/// Prints the standard bench header with reproduction context.
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+}  // namespace adsynth::bench

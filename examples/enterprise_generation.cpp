@@ -1,0 +1,95 @@
+// Enterprise scenario: build a multi-department, multi-site AD estate from
+// an explicit organisational description (the §III-B inputs: departments,
+// branch locations, root folders, tier count), write the config next to the
+// export, and print the organisational inventory — what an AD architect
+// would use ADSynth for when provisioning a training or simulation lab.
+//
+//   ./enterprise_generation [--nodes N] [--tiers K] [--out PREFIX]
+#include <cstdio>
+#include <exception>
+#include <fstream>
+
+#include "analytics/metrics.hpp"
+#include "core/export.hpp"
+#include "core/generator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace adsynth;
+
+int main(int argc, char** argv) {
+  util::CliArgs args;
+  args.add_option("nodes", "target node count", "50000");
+  args.add_option("tiers", "tier-model depth", "3");
+  args.add_option("seed", "generator seed", "2024");
+  args.add_option("out", "output prefix (writes PREFIX.json + PREFIX.config."
+                  "json; empty: skip)", "");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    core::GeneratorConfig cfg = core::GeneratorConfig::secure(
+        static_cast<std::size_t>(args.integer("nodes")),
+        static_cast<std::uint64_t>(args.integer("seed")));
+    cfg.num_tiers = static_cast<std::uint32_t>(args.integer("tiers"));
+    cfg.domain_fqdn = "contoso.example";
+    cfg.departments = {"Engineering", "Finance", "HR", "Sales", "Legal",
+                       "Operations"};
+    cfg.locations = {"Berlin", "Singapore", "Austin"};
+    cfg.num_root_folders = 6;
+    cfg.validate();
+
+    const core::GeneratedAd ad = core::generate_ad(cfg);
+
+    std::printf("domain %s: %zu objects, %zu relationships\n",
+                util::to_upper(cfg.domain_fqdn).c_str(),
+                ad.graph.node_count(), ad.graph.edge_count());
+    std::printf(
+        "users: %zu (%zu admin, %zu disabled)  computers: %zu "
+        "(%zu servers, %zu PAWs)\n",
+        ad.stats.users, ad.stats.admin_users, ad.stats.disabled_users,
+        ad.stats.computers, ad.stats.servers, ad.stats.paws);
+    std::printf("OUs: %zu  groups: %zu  GPOs: %zu\n\n", ad.stats.ous,
+                ad.stats.groups, ad.stats.gpos);
+
+    // Tier inventory.
+    util::TextTable tiers({"tier", "admin users", "computers",
+                           "admin groups"});
+    for (std::uint32_t t = 0; t < cfg.num_tiers; ++t) {
+      tiers.add_row({std::to_string(t),
+                     std::to_string(ad.admin_users_by_tier[t].size()),
+                     std::to_string(ad.computers_by_tier[t].size()),
+                     std::to_string(ad.org.admin_groups_by_tier[t].size())});
+    }
+    std::fputs(tiers.render().c_str(), stdout);
+
+    // Department inventory.
+    std::printf("\n");
+    util::TextTable depts({"department", "groups (dist+sec)"});
+    const auto departments = cfg.effective_departments();
+    for (std::size_t d = 0; d < departments.size(); ++d) {
+      depts.add_row({departments[d],
+                     std::to_string(ad.org.department_groups[d].size())});
+    }
+    std::fputs(depts.render().c_str(), stdout);
+
+    const auto metrics = analytics::compute_metrics(ad.graph);
+    std::printf("\ndensity %s, %zu violated edges\n",
+                util::sci(metrics.density).c_str(), metrics.violations);
+
+    const std::string prefix = args.str("out");
+    if (!prefix.empty()) {
+      core::export_json(ad, prefix + ".json", cfg.element_to_element,
+                        cfg.domain_fqdn);
+      std::ofstream config_out(prefix + ".config.json");
+      config_out << cfg.to_json() << "\n";
+      std::printf("wrote %s.json and %s.config.json (re-run with the same "
+                  "config to reproduce the identical graph)\n",
+                  prefix.c_str(), prefix.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

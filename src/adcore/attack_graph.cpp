@@ -1,0 +1,68 @@
+#include "adcore/attack_graph.hpp"
+
+#include <stdexcept>
+
+namespace adsynth::adcore {
+
+NodeIndex AttackGraph::add_node(ObjectKind kind, std::int8_t tier,
+                                std::uint8_t flags) {
+  const auto id = static_cast<NodeIndex>(kinds_.size());
+  kinds_.push_back(kind);
+  tiers_.push_back(tier);
+  flags_.push_back(flags);
+  names_.emplace_back();
+  return id;
+}
+
+NodeIndex AttackGraph::add_named_node(ObjectKind kind, std::string name,
+                                      std::int8_t tier, std::uint8_t flags) {
+  const NodeIndex id = add_node(kind, tier, flags);
+  names_[id] = std::move(name);
+  return id;
+}
+
+void AttackGraph::add_edge(NodeIndex source, NodeIndex target, EdgeKind kind,
+                           bool violation) {
+  if (source >= kinds_.size() || target >= kinds_.size()) {
+    throw std::out_of_range("AttackGraph::add_edge: invalid endpoint");
+  }
+  edges_.push_back(AttackEdge{source, target, kind, violation});
+}
+
+const std::string& AttackGraph::name(NodeIndex n) const {
+  return names_.at(n);
+}
+
+void AttackGraph::set_name(NodeIndex n, std::string name) {
+  names_.at(n) = std::move(name);
+}
+
+std::vector<NodeIndex> AttackGraph::nodes_of_kind(ObjectKind kind) const {
+  std::vector<NodeIndex> out;
+  for (NodeIndex i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == kind) out.push_back(i);
+  }
+  return out;
+}
+
+double AttackGraph::density() const {
+  const double v = static_cast<double>(node_count());
+  if (v < 2.0) return 0.0;
+  return static_cast<double>(edge_count()) / (v * (v - 1.0));
+}
+
+std::size_t AttackGraph::violation_count() const {
+  std::size_t n = 0;
+  for (const auto& e : edges_) n += e.violation ? 1 : 0;
+  return n;
+}
+
+void AttackGraph::reserve(std::size_t nodes, std::size_t edges) {
+  kinds_.reserve(nodes);
+  tiers_.reserve(nodes);
+  flags_.reserve(nodes);
+  names_.reserve(nodes);
+  edges_.reserve(edges);
+}
+
+}  // namespace adsynth::adcore

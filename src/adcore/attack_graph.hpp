@@ -1,0 +1,110 @@
+// The element-level AD attack graph: the common exchange type produced by
+// all three generators (ADSynth, DBCreator port, ADSimulator port) and
+// consumed by the analytics and defense layers.
+//
+// Storage is column-oriented and index-based so that million-node graphs
+// stay compact: per-node kind/tier/flag columns, a flat edge list, and an
+// optional name column (generators fill it; analytics never needs it).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "adcore/schema.hpp"
+
+namespace adsynth::adcore {
+
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kNoNodeIndex =
+    std::numeric_limits<NodeIndex>::max();
+
+/// Per-node flag bits.
+namespace node_flag {
+inline constexpr std::uint8_t kAdmin = 1u << 0;    // administrative account
+inline constexpr std::uint8_t kEnabled = 1u << 1;  // enabled user account
+inline constexpr std::uint8_t kServer = 1u << 2;   // server computer
+inline constexpr std::uint8_t kPaw = 1u << 3;      // privileged workstation
+inline constexpr std::uint8_t kSecurityGroup = 1u << 4;
+inline constexpr std::uint8_t kDistributionGroup = 1u << 5;
+/// Set on edges... (unused on nodes) — reserved.
+}  // namespace node_flag
+
+/// Tier value for objects outside the tier model (baseline generators).
+inline constexpr std::int8_t kNoTier = -1;
+
+struct AttackEdge {
+  NodeIndex source = kNoNodeIndex;
+  NodeIndex target = kNoNodeIndex;
+  EdgeKind kind = EdgeKind::kContains;
+  /// True when the edge was produced by the misconfiguration stage
+  /// (Algorithms 3 & 4) rather than by best-practice generation.
+  bool violation = false;
+
+  bool operator==(const AttackEdge&) const = default;
+};
+
+class AttackGraph {
+ public:
+  /// Appends a node; returns its index.  `tier` may be kNoTier.
+  NodeIndex add_node(ObjectKind kind, std::int8_t tier = kNoTier,
+                     std::uint8_t flags = 0);
+
+  /// Appends a node with a display name (kept in a parallel column).
+  NodeIndex add_named_node(ObjectKind kind, std::string name,
+                           std::int8_t tier = kNoTier,
+                           std::uint8_t flags = 0);
+
+  void add_edge(NodeIndex source, NodeIndex target, EdgeKind kind,
+                bool violation = false);
+
+  std::size_t node_count() const { return kinds_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  ObjectKind kind(NodeIndex n) const { return kinds_.at(n); }
+  std::int8_t tier(NodeIndex n) const { return tiers_.at(n); }
+  std::uint8_t flags(NodeIndex n) const { return flags_.at(n); }
+  bool has_flag(NodeIndex n, std::uint8_t flag) const {
+    return (flags_.at(n) & flag) != 0;
+  }
+
+  /// Display name; empty when the generator skipped names.
+  const std::string& name(NodeIndex n) const;
+  void set_name(NodeIndex n, std::string name);
+
+  const std::vector<AttackEdge>& edges() const { return edges_; }
+  const std::vector<ObjectKind>& kinds() const { return kinds_; }
+
+  /// All node indices of a kind (scan; generators cache their own lists).
+  std::vector<NodeIndex> nodes_of_kind(ObjectKind kind) const;
+
+  /// The Domain Admins group — the attack target in every experiment.
+  /// kNoNodeIndex until a generator sets it.
+  NodeIndex domain_admins() const { return domain_admins_; }
+  void set_domain_admins(NodeIndex n) { domain_admins_ = n; }
+
+  /// The domain head object, when the generator modelled one.
+  NodeIndex domain_node() const { return domain_node_; }
+  void set_domain_node(NodeIndex n) { domain_node_ = n; }
+
+  /// Graph density |E| / (|V|·(|V|−1)) as defined in paper §IV-B.
+  double density() const;
+
+  /// Count of edges from the misconfiguration stage.
+  std::size_t violation_count() const;
+
+  /// Reserves node/edge capacity up front (generators know their sizes).
+  void reserve(std::size_t nodes, std::size_t edges);
+
+ private:
+  std::vector<ObjectKind> kinds_;
+  std::vector<std::int8_t> tiers_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::string> names_;
+  std::vector<AttackEdge> edges_;
+  NodeIndex domain_admins_ = kNoNodeIndex;
+  NodeIndex domain_node_ = kNoNodeIndex;
+};
+
+}  // namespace adsynth::adcore

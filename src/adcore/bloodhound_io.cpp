@@ -1,0 +1,239 @@
+#include "adcore/bloodhound_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace adsynth::adcore {
+
+using util::JsonWriter;
+
+namespace {
+
+struct Identifiers {
+  std::vector<std::string> object_id;  // GUID or SID string per node
+};
+
+/// Assigns identifiers exactly like adcore::to_store: a GUID per node and,
+/// for security principals, a SID used as the BloodHound ObjectIdentifier.
+Identifiers assign_ids(const AttackGraph& graph, std::uint64_t id_seed) {
+  util::Rng rng(id_seed);
+  util::SidFactory sids(rng);
+  Identifiers ids;
+  ids.object_id.reserve(graph.node_count());
+  for (NodeIndex i = 0; i < graph.node_count(); ++i) {
+    const std::string guid = util::Guid::random(rng).to_string();
+    switch (graph.kind(i)) {
+      case ObjectKind::kUser:
+      case ObjectKind::kComputer:
+      case ObjectKind::kGroup:
+        ids.object_id.push_back(sids.next().to_string());
+        break;
+      case ObjectKind::kDomain:
+        ids.object_id.push_back(sids.well_known(0).domain_part());
+        break;
+      default:
+        ids.object_id.push_back(util::to_upper(guid));
+        break;
+    }
+  }
+  return ids;
+}
+
+/// Per-node relationship material gathered in one edge pass.
+struct Adjacency {
+  std::map<NodeIndex, std::vector<NodeIndex>> group_members;   // group -> members
+  std::map<NodeIndex, std::vector<NodeIndex>> sessions;        // computer -> users
+  std::map<NodeIndex, std::vector<NodeIndex>> contains;        // container -> children
+  std::map<NodeIndex, std::vector<NodeIndex>> gplinks;         // gpo -> ous
+  std::map<NodeIndex, std::vector<std::pair<NodeIndex, EdgeKind>>> aces;
+};
+
+Adjacency gather(const AttackGraph& graph) {
+  Adjacency adj;
+  for (const auto& e : graph.edges()) {
+    switch (e.kind) {
+      case EdgeKind::kMemberOf: adj.group_members[e.target].push_back(e.source); break;
+      case EdgeKind::kHasSession: adj.sessions[e.source].push_back(e.target); break;
+      case EdgeKind::kContains: adj.contains[e.source].push_back(e.target); break;
+      case EdgeKind::kGpLink: adj.gplinks[e.source].push_back(e.target); break;
+      default:
+        if (is_acl_permission(e.kind) ||
+            is_non_acl_permission(e.kind)) {
+          // ACEs are stored on the TARGET object (who has rights on me).
+          adj.aces[e.target].emplace_back(e.source, e.kind);
+        }
+        break;
+    }
+  }
+  return adj;
+}
+
+const char* kind_label(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kUser: return "User";
+    case ObjectKind::kComputer: return "Computer";
+    case ObjectKind::kGroup: return "Group";
+    case ObjectKind::kOU: return "OU";
+    case ObjectKind::kGPO: return "GPO";
+    case ObjectKind::kDomain: return "Domain";
+  }
+  return "Base";
+}
+
+void write_object(JsonWriter& w, const AttackGraph& graph,
+                  const Identifiers& ids, const Adjacency& adj,
+                  const std::string& domain_upper, NodeIndex i) {
+  w.begin_object();
+  w.member("ObjectIdentifier", ids.object_id[i]);
+  w.key("Properties");
+  w.begin_object();
+  const std::string& name = graph.name(i);
+  w.member("name", name.empty()
+                       ? std::string(kind_label(graph.kind(i))) + "-" +
+                             std::to_string(i)
+                       : name);
+  w.member("domain", domain_upper);
+  if (graph.tier(i) != kNoTier) {
+    w.member("tier", static_cast<std::int64_t>(graph.tier(i)));
+  }
+  if (graph.kind(i) == ObjectKind::kUser) {
+    w.member("enabled", graph.has_flag(i, node_flag::kEnabled));
+    w.member("admincount", graph.has_flag(i, node_flag::kAdmin));
+  }
+  w.end_object();
+
+  // Relationship payloads by object class.
+  if (graph.kind(i) == ObjectKind::kGroup) {
+    w.key("Members");
+    w.begin_array();
+    if (const auto it = adj.group_members.find(i);
+        it != adj.group_members.end()) {
+      for (const NodeIndex m : it->second) {
+        w.begin_object();
+        w.member("ObjectIdentifier", ids.object_id[m]);
+        w.member("ObjectType", kind_label(graph.kind(m)));
+        w.end_object();
+      }
+    }
+    w.end_array();
+  }
+  if (graph.kind(i) == ObjectKind::kComputer) {
+    w.key("Sessions");
+    w.begin_array();
+    if (const auto it = adj.sessions.find(i); it != adj.sessions.end()) {
+      for (const NodeIndex u : it->second) {
+        w.begin_object();
+        w.member("UserSID", ids.object_id[u]);
+        w.member("ComputerSID", ids.object_id[i]);
+        w.end_object();
+      }
+    }
+    w.end_array();
+  }
+  if (graph.kind(i) == ObjectKind::kOU ||
+      graph.kind(i) == ObjectKind::kDomain) {
+    w.key("ChildObjects");
+    w.begin_array();
+    if (const auto it = adj.contains.find(i); it != adj.contains.end()) {
+      for (const NodeIndex c : it->second) {
+        w.begin_object();
+        w.member("ObjectIdentifier", ids.object_id[c]);
+        w.member("ObjectType", kind_label(graph.kind(c)));
+        w.end_object();
+      }
+    }
+    w.end_array();
+  }
+  if (graph.kind(i) == ObjectKind::kGPO) {
+    w.key("Links");
+    w.begin_array();
+    if (const auto it = adj.gplinks.find(i); it != adj.gplinks.end()) {
+      for (const NodeIndex ou : it->second) {
+        w.begin_object();
+        w.member("Guid", ids.object_id[ou]);
+        w.member("IsEnforced", false);
+        w.end_object();
+      }
+    }
+    w.end_array();
+  }
+  // Inbound ACEs (rights other principals hold on this object).
+  w.key("Aces");
+  w.begin_array();
+  if (const auto it = adj.aces.find(i); it != adj.aces.end()) {
+    for (const auto& [principal, kind] : it->second) {
+      w.begin_object();
+      w.member("PrincipalSID", ids.object_id[principal]);
+      w.member("PrincipalType", kind_label(graph.kind(principal)));
+      w.member("RightName", std::string(edge_kind_name(kind)));
+      w.member("IsInherited", false);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_class_file(const AttackGraph& graph, const Identifiers& ids,
+                      const Adjacency& adj, const std::string& domain_upper,
+                      ObjectKind kind, const std::string& path,
+                      const char* meta_type) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("data");
+  w.begin_array();
+  std::size_t count = 0;
+  for (NodeIndex i = 0; i < graph.node_count(); ++i) {
+    if (graph.kind(i) != kind) continue;
+    write_object(w, graph, ids, adj, domain_upper, i);
+    ++count;
+  }
+  w.end_array();
+  w.key("meta");
+  w.begin_object();
+  w.member("type", meta_type);
+  w.member("count", static_cast<std::int64_t>(count));
+  w.member("version", std::int64_t{4});
+  w.end_object();
+  w.end_object();
+  out << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace
+
+void export_bloodhound_collection(const AttackGraph& graph,
+                                  const std::string& directory,
+                                  const std::string& domain_fqdn,
+                                  std::uint64_t id_seed) {
+  const Identifiers ids = assign_ids(graph, id_seed);
+  const Adjacency adj = gather(graph);
+  const std::string domain_upper = util::to_upper(domain_fqdn);
+  const struct {
+    ObjectKind kind;
+    const char* file;
+    const char* type;
+  } classes[] = {
+      {ObjectKind::kUser, "users.json", "users"},
+      {ObjectKind::kComputer, "computers.json", "computers"},
+      {ObjectKind::kGroup, "groups.json", "groups"},
+      {ObjectKind::kOU, "ous.json", "ous"},
+      {ObjectKind::kGPO, "gpos.json", "gpos"},
+      {ObjectKind::kDomain, "domains.json", "domains"},
+  };
+  for (const auto& c : classes) {
+    write_class_file(graph, ids, adj, domain_upper, c.kind,
+                     directory + "/" + c.file, c.type);
+  }
+}
+
+}  // namespace adsynth::adcore

@@ -1,0 +1,32 @@
+// BloodHound collector-style JSON export.
+//
+// SharpHound-era BloodHound ingests one JSON document per object class:
+//
+//   { "data": [ {object}, ... ], "meta": { "type": "users",
+//     "count": N, "version": 4 } }
+//
+// Every object carries ObjectIdentifier plus a Properties map; containment
+// and privilege data ride on the objects themselves (group "Members",
+// computer "Sessions", OU "ChildObjects", ...).  This writer emits that
+// shape from an AttackGraph-backed GraphStore, complementing the APOC row
+// format (neo4j_io.hpp) that mirrors a database dump.
+//
+// Files written into `directory`: users.json, computers.json, groups.json,
+// ous.json, gpos.json, domains.json.
+#pragma once
+
+#include <string>
+
+#include "adcore/attack_graph.hpp"
+
+namespace adsynth::adcore {
+
+/// Writes the six collector documents.  Identifier assignment matches
+/// to_store (same id_seed → same objectids).  Throws
+/// std::runtime_error on I/O failure.
+void export_bloodhound_collection(const AttackGraph& graph,
+                                  const std::string& directory,
+                                  const std::string& domain_fqdn = "corp.local",
+                                  std::uint64_t id_seed = 0x5eed);
+
+}  // namespace adsynth::adcore

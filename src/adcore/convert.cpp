@@ -1,0 +1,163 @@
+#include "adcore/convert.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::adcore {
+
+using graphdb::GraphStore;
+using graphdb::NodeId;
+using graphdb::PropertyList;
+
+GraphStore to_store(const AttackGraph& graph, const std::string& domain_fqdn,
+                    std::uint64_t id_seed) {
+  GraphStore store;
+  const auto key_name = store.intern_key("name");
+  const auto key_objectid = store.intern_key("objectid");
+  const auto key_sid = store.intern_key("objectsid");
+  const auto key_tier = store.intern_key("tier");
+  const auto key_admin = store.intern_key("admin");
+  const auto key_enabled = store.intern_key("enabled");
+  const auto key_domain = store.intern_key("domain");
+  const auto key_violation = store.intern_key("violation");
+
+  util::Rng id_rng(id_seed);
+  util::SidFactory sids(id_rng);
+
+  // Pre-intern one label per ObjectKind.
+  std::vector<graphdb::LabelId> kind_labels;
+  kind_labels.reserve(kObjectKindCount);
+  for (std::size_t k = 0; k < kObjectKindCount; ++k) {
+    kind_labels.push_back(store.intern_label(
+        object_kind_label(static_cast<ObjectKind>(k))));
+  }
+  const auto base_label = store.intern_label("Base");
+
+  for (NodeIndex i = 0; i < graph.node_count(); ++i) {
+    PropertyList props;
+    const std::string& name = graph.name(i);
+    graphdb::put_property(
+        props, key_name,
+        name.empty()
+            ? std::string(object_kind_label(graph.kind(i))) + "-" +
+                  std::to_string(i)
+            : name);
+    graphdb::put_property(props, key_domain, domain_fqdn);
+    graphdb::put_property(props, key_objectid,
+                          util::Guid::random(id_rng).to_string());
+    switch (graph.kind(i)) {
+      case ObjectKind::kUser:
+      case ObjectKind::kComputer:
+      case ObjectKind::kGroup:
+        graphdb::put_property(props, key_sid, sids.next().to_string());
+        break;
+      case ObjectKind::kDomain:
+        graphdb::put_property(props, key_sid,
+                              sids.well_known(0).domain_part());
+        break;
+      default: break;  // OUs and GPOs are identified by GUID alone
+    }
+    if (graph.tier(i) != kNoTier) {
+      graphdb::put_property(props, key_tier,
+                            static_cast<std::int64_t>(graph.tier(i)));
+    }
+    if (graph.kind(i) == ObjectKind::kUser) {
+      graphdb::put_property(props, key_admin,
+                            graph.has_flag(i, node_flag::kAdmin));
+      graphdb::put_property(props, key_enabled,
+                            graph.has_flag(i, node_flag::kEnabled));
+    }
+    store.create_node_interned(
+        {base_label, kind_labels[static_cast<std::size_t>(graph.kind(i))]},
+        std::move(props));
+  }
+
+  // Pre-intern relationship types.
+  std::vector<graphdb::RelTypeId> rel_types;
+  rel_types.reserve(kEdgeKindCount);
+  for (std::size_t k = 0; k < kEdgeKindCount; ++k) {
+    rel_types.push_back(
+        store.intern_rel_type(edge_kind_name(static_cast<EdgeKind>(k))));
+  }
+
+  for (const AttackEdge& e : graph.edges()) {
+    PropertyList props;
+    if (e.violation) graphdb::put_property(props, key_violation, true);
+    store.create_relationship_interned(
+        e.source, e.target, rel_types[static_cast<std::size_t>(e.kind)],
+        std::move(props));
+  }
+  return store;
+}
+
+AttackGraph from_store(const GraphStore& store) {
+  AttackGraph graph;
+  graph.reserve(store.node_count(), store.rel_count());
+
+  // The store may contain tombstones; map store ids to dense indices.
+  std::vector<NodeIndex> remap(store.node_capacity(), kNoNodeIndex);
+  for (NodeId id = 0; id < store.node_capacity(); ++id) {
+    const auto& rec = store.node(id);
+    if (rec.deleted) continue;
+    ObjectKind kind = ObjectKind::kUser;
+    bool kind_found = false;
+    for (const auto label : rec.labels) {
+      if (const auto parsed = parse_object_kind(store.label_name(label))) {
+        kind = *parsed;
+        kind_found = true;
+        break;
+      }
+    }
+    if (!kind_found) {
+      throw std::runtime_error("from_store: node " + std::to_string(id) +
+                               " has no recognized AD label");
+    }
+    std::int8_t tier = kNoTier;
+    std::uint8_t flags = 0;
+    if (const auto* t = store.node_property(id, "tier"); t && t->is_int()) {
+      tier = static_cast<std::int8_t>(t->as_int());
+    }
+    if (const auto* a = store.node_property(id, "admin");
+        a && a->is_bool() && a->as_bool()) {
+      flags |= node_flag::kAdmin;
+    }
+    if (const auto* e = store.node_property(id, "enabled");
+        e && e->is_bool() && e->as_bool()) {
+      flags |= node_flag::kEnabled;
+    }
+    std::string name;
+    if (const auto* n = store.node_property(id, "name"); n && n->is_string()) {
+      name = n->as_string();
+    }
+    remap[id] = graph.add_named_node(kind, std::move(name), tier, flags);
+    // Recover the Domain Admins marker by conventional name.
+    if (kind == ObjectKind::kGroup && graph.name(remap[id]) == "DOMAIN ADMINS") {
+      graph.set_domain_admins(remap[id]);
+    }
+    if (kind == ObjectKind::kDomain) graph.set_domain_node(remap[id]);
+  }
+
+  for (graphdb::RelId id = 0; id < store.rel_capacity(); ++id) {
+    const auto& rec = store.rel(id);
+    if (rec.deleted) continue;
+    const auto kind = parse_edge_kind(store.rel_type_name(rec.type));
+    if (!kind) {
+      throw std::runtime_error("from_store: unknown relationship type " +
+                               store.rel_type_name(rec.type));
+    }
+    bool violation = false;
+    if (const auto key = store.find_key("violation")) {
+      if (const auto* v = graphdb::get_property(rec.properties, *key);
+          v && v->is_bool()) {
+        violation = v->as_bool();
+      }
+    }
+    graph.add_edge(remap[rec.source], remap[rec.target], *kind, violation);
+  }
+  return graph;
+}
+
+}  // namespace adsynth::adcore

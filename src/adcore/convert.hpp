@@ -1,0 +1,28 @@
+// Conversions between the compact AttackGraph and the property-graph store
+// (for Neo4j-JSON export/import and Cypher-lite querying).
+#pragma once
+
+#include "adcore/attack_graph.hpp"
+#include "graphdb/store.hpp"
+
+namespace adsynth::adcore {
+
+/// Materializes an AttackGraph into a GraphStore with BloodHound-style
+/// labels and properties: every node gets `name` (falling back to
+/// "<Kind>-<index>"), an `objectid` GUID, `tier` when assigned, and
+/// flag-derived booleans (`admin`, `enabled`, ...).  Security principals
+/// (users, computers, groups) additionally carry an `objectsid` under a
+/// shared domain SID; the domain node carries the domain SID itself.
+/// Identifiers derive deterministically from `id_seed`, so the same graph
+/// and seed export byte-identical files.  Violation edges carry
+/// `violation: true`.
+graphdb::GraphStore to_store(const AttackGraph& graph,
+                             const std::string& domain_fqdn = "corp.local",
+                             std::uint64_t id_seed = 0x5eed);
+
+/// Reads a GraphStore (e.g. freshly imported from APOC JSON) back into an
+/// AttackGraph.  Unknown labels/relationship types throw std::runtime_error;
+/// tier/flags are restored from properties when present.
+AttackGraph from_store(const graphdb::GraphStore& store);
+
+}  // namespace adsynth::adcore

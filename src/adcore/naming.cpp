@@ -1,0 +1,100 @@
+#include "adcore/naming.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace adsynth::adcore {
+
+const std::vector<std::string>& default_departments() {
+  static const std::vector<std::string> v{
+      "IT",        "HR",        "Finance", "Engineering", "Sales",
+      "Marketing", "Legal",     "Research", "Operations",  "Support",
+  };
+  return v;
+}
+
+const std::vector<std::string>& default_locations() {
+  static const std::vector<std::string> v{
+      "CityA", "CityB", "CityC", "CityD",
+  };
+  return v;
+}
+
+const std::vector<std::string>& first_names() {
+  static const std::vector<std::string> v{
+      "James",  "Mary",    "Robert",  "Patricia", "John",   "Jennifer",
+      "Michael","Linda",   "David",   "Elizabeth","William","Barbara",
+      "Richard","Susan",   "Joseph",  "Jessica",  "Thomas", "Sarah",
+      "Charles","Karen",   "Daniel",  "Lisa",     "Matthew","Nancy",
+      "Anthony","Betty",   "Mark",    "Sandra",   "Donald", "Margaret",
+      "Steven", "Ashley",  "Andrew",  "Kimberly", "Paul",   "Emily",
+      "Joshua", "Donna",   "Kenneth", "Michelle", "Kevin",  "Carol",
+      "Brian",  "Amanda",  "George",  "Dorothy",  "Timothy","Melissa",
+  };
+  return v;
+}
+
+const std::vector<std::string>& last_names() {
+  static const std::vector<std::string> v{
+      "Smith",   "Johnson", "Williams", "Brown",   "Jones",   "Garcia",
+      "Miller",  "Davis",   "Rodriguez","Martinez","Hernandez","Lopez",
+      "Gonzalez","Wilson",  "Anderson", "Thomas",  "Taylor",  "Moore",
+      "Jackson", "Martin",  "Lee",      "Perez",   "Thompson","White",
+      "Harris",  "Sanchez", "Clark",    "Ramirez", "Lewis",   "Robinson",
+      "Walker",  "Young",   "Allen",    "King",    "Wright",  "Scott",
+      "Torres",  "Nguyen",  "Hill",     "Flores",  "Green",   "Adams",
+      "Nelson",  "Baker",   "Hall",     "Rivera",  "Campbell","Mitchell",
+  };
+  return v;
+}
+
+const std::vector<std::string>& workstation_os_pool() {
+  static const std::vector<std::string> v{
+      "Windows 10 Pro", "Windows 10 Enterprise", "Windows 11 Pro",
+      "Windows 11 Enterprise",
+  };
+  return v;
+}
+
+const std::vector<std::string>& server_os_pool() {
+  static const std::vector<std::string> v{
+      "Windows Server 2016 Standard", "Windows Server 2019 Standard",
+      "Windows Server 2019 Datacenter", "Windows Server 2022 Standard",
+  };
+  return v;
+}
+
+std::string make_user_logon_name(util::Rng& rng, std::uint32_t ordinal) {
+  const std::string& first = rng.pick(first_names());
+  const std::string& last = rng.pick(last_names());
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%05u", ordinal);
+  return util::to_upper(first.substr(0, 1) + last) + buf;
+}
+
+std::string make_computer_name(std::string_view prefix,
+                               std::uint32_t ordinal) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%05u", ordinal);
+  return util::to_upper(std::string(prefix)) + buf;
+}
+
+std::string make_ou_dn(const std::vector<std::string>& path_from_leaf,
+                       const std::string& domain_dn) {
+  std::string dn;
+  for (const auto& part : path_from_leaf) {
+    dn += "OU=" + part + ",";
+  }
+  return dn + domain_dn;
+}
+
+std::string domain_to_dn(const std::string& domain_fqdn) {
+  const auto parts = util::split(domain_fqdn, '.');
+  std::vector<std::string> dcs;
+  dcs.reserve(parts.size());
+  for (const auto& p : parts) dcs.push_back("DC=" + p);
+  return util::join(dcs, ",");
+}
+
+}  // namespace adsynth::adcore

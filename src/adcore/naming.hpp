@@ -1,0 +1,46 @@
+// Realistic name material for generated AD objects: person names, department
+// names, branch locations, OS versions, and distinguished-name composition.
+//
+// ADSynth "uses lists of departments in an enterprise, branch locations, and
+// the number of root folders" (paper §III-B step 1); these are the default
+// lists, overridable through GeneratorConfig.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace adsynth::adcore {
+
+/// Default enterprise department list (IT and HR first, matching Fig. 3).
+const std::vector<std::string>& default_departments();
+
+/// Default branch locations ("City A", "City B" generalized).
+const std::vector<std::string>& default_locations();
+
+/// First/last name pools for user display names.
+const std::vector<std::string>& first_names();
+const std::vector<std::string>& last_names();
+
+/// Windows OS versions for computer objects (workstation and server pools).
+const std::vector<std::string>& workstation_os_pool();
+const std::vector<std::string>& server_os_pool();
+
+/// Composes a sAMAccountName-style user name: "JSMITH01234".
+std::string make_user_logon_name(util::Rng& rng, std::uint32_t ordinal);
+
+/// Composes a computer host name: "<PREFIX><ordinal>", e.g. "WS04211".
+std::string make_computer_name(std::string_view prefix, std::uint32_t ordinal);
+
+/// Builds an OU distinguished name from leaf to domain, e.g.
+/// "OU=Workstations,OU=Tier 2,DC=corp,DC=local".
+std::string make_ou_dn(const std::vector<std::string>& path_from_leaf,
+                       const std::string& domain_dn);
+
+/// "corp.local" -> "DC=corp,DC=local".
+std::string domain_to_dn(const std::string& domain_fqdn);
+
+}  // namespace adsynth::adcore

@@ -1,0 +1,130 @@
+#include "adcore/schema.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace adsynth::adcore {
+
+namespace {
+
+struct EdgeInfo {
+  EdgeKind kind;
+  std::string_view name;
+  bool acl;
+  bool traversable;
+};
+
+// One row per EdgeKind, in enum order (static_assert below keeps it honest).
+constexpr std::array<EdgeInfo, kEdgeKindCount> kEdgeTable{{
+    {EdgeKind::kContains, "Contains", false, true},
+    {EdgeKind::kGpLink, "GpLink", false, true},
+    {EdgeKind::kMemberOf, "MemberOf", false, true},
+    {EdgeKind::kGenericAll, "GenericAll", true, true},
+    {EdgeKind::kGenericWrite, "GenericWrite", true, true},
+    {EdgeKind::kWriteDacl, "WriteDacl", true, true},
+    {EdgeKind::kWriteOwner, "WriteOwner", true, true},
+    {EdgeKind::kOwns, "Owns", true, true},
+    {EdgeKind::kForceChangePassword, "ForceChangePassword", true, true},
+    {EdgeKind::kAddMember, "AddMember", true, true},
+    {EdgeKind::kAllExtendedRights, "AllExtendedRights", true, true},
+    {EdgeKind::kDCSync, "DCSync", true, true},
+    // GetChanges / GetChangesAll are only useful combined (that combination
+    // is DCSync), so neither alone is attacker-traversable.
+    {EdgeKind::kGetChanges, "GetChanges", true, false},
+    {EdgeKind::kGetChangesAll, "GetChangesAll", true, false},
+    {EdgeKind::kAdminTo, "AdminTo", false, true},
+    // RDP yields an unprivileged interactive session, not local-admin
+    // control, so it cannot harvest other users' credentials on its own.
+    {EdgeKind::kCanRDP, "CanRDP", false, false},
+    {EdgeKind::kExecuteDCOM, "ExecuteDCOM", false, true},
+    {EdgeKind::kCanPSRemote, "CanPSRemote", false, true},
+    {EdgeKind::kSQLAdmin, "SQLAdmin", false, true},
+    {EdgeKind::kAllowedToDelegate, "AllowedToDelegate", false, true},
+    {EdgeKind::kHasSession, "HasSession", false, true},
+    // A trust lets principals authenticate across domains; it is not by
+    // itself an escalation (control crosses via foreign memberships,
+    // ACLs and sessions, which are their own edges).
+    {EdgeKind::kTrustedBy, "TrustedBy", false, false},
+}};
+
+const EdgeInfo& info(EdgeKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  if (idx >= kEdgeTable.size() || kEdgeTable[idx].kind != kind) {
+    throw std::logic_error("EdgeKind table out of sync");
+  }
+  return kEdgeTable[idx];
+}
+
+constexpr std::array<std::string_view, kObjectKindCount> kKindLabels{
+    "Domain", "User", "Computer", "Group", "OU", "GPO"};
+
+}  // namespace
+
+std::string_view object_kind_label(ObjectKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  if (idx >= kKindLabels.size()) {
+    throw std::out_of_range("object_kind_label: bad kind");
+  }
+  return kKindLabels[idx];
+}
+
+std::optional<ObjectKind> parse_object_kind(std::string_view label) {
+  for (std::size_t i = 0; i < kKindLabels.size(); ++i) {
+    if (kKindLabels[i] == label) return static_cast<ObjectKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view edge_kind_name(EdgeKind kind) { return info(kind).name; }
+
+std::optional<EdgeKind> parse_edge_kind(std::string_view name) {
+  for (const auto& row : kEdgeTable) {
+    if (row.name == name) return row.kind;
+  }
+  return std::nullopt;
+}
+
+bool is_acl_permission(EdgeKind kind) { return info(kind).acl; }
+
+bool is_non_acl_permission(EdgeKind kind) {
+  // Structural edges (Contains, GpLink, MemberOf) and sessions are neither
+  // ACL nor "non-ACL permissions" in the paper's sense; the non-ACL pool is
+  // the computer-rights family.
+  switch (kind) {
+    case EdgeKind::kAdminTo:
+    case EdgeKind::kCanRDP:
+    case EdgeKind::kExecuteDCOM:
+    case EdgeKind::kCanPSRemote:
+    case EdgeKind::kSQLAdmin:
+    case EdgeKind::kAllowedToDelegate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_traversable(EdgeKind kind) { return info(kind).traversable; }
+
+const std::vector<EdgeKind>& acl_permission_pool() {
+  // The pool Algorithm 1 samples from for ACL grants on OUs/objects.
+  // DCSync/GetChanges* are domain-object rights and are granted separately,
+  // so they are not in the random pool.
+  static const std::vector<EdgeKind> pool{
+      EdgeKind::kGenericAll,     EdgeKind::kGenericWrite,
+      EdgeKind::kWriteDacl,      EdgeKind::kWriteOwner,
+      EdgeKind::kOwns,           EdgeKind::kForceChangePassword,
+      EdgeKind::kAddMember,      EdgeKind::kAllExtendedRights,
+  };
+  return pool;
+}
+
+const std::vector<EdgeKind>& non_acl_permission_pool() {
+  static const std::vector<EdgeKind> pool{
+      EdgeKind::kAdminTo,     EdgeKind::kCanRDP,
+      EdgeKind::kExecuteDCOM, EdgeKind::kCanPSRemote,
+      EdgeKind::kSQLAdmin,    EdgeKind::kAllowedToDelegate,
+  };
+  return pool;
+}
+
+}  // namespace adsynth::adcore

@@ -1,0 +1,99 @@
+// Active Directory domain model: the six basic object kinds (paper §II-A)
+// and the BloodHound relationship vocabulary ADSynth emits, partitioned into
+// ACL and non-ACL permissions exactly as §III does.
+//
+// The traversability table encodes identity-snowball attack semantics: an
+// edge is traversable when an attacker controlling the source can come to
+// control the target (MemberOf grants the group's privileges, HasSession
+// lets a machine-owner harvest the logged-on user's credentials, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adsynth::adcore {
+
+/// The six basic AD object types (paper §II-A).
+enum class ObjectKind : std::uint8_t {
+  kDomain,
+  kUser,
+  kComputer,
+  kGroup,
+  kOU,
+  kGPO,
+};
+
+inline constexpr std::size_t kObjectKindCount = 6;
+
+/// BloodHound node label for a kind ("User", "Computer", ...).
+std::string_view object_kind_label(ObjectKind kind);
+
+/// Parses a BloodHound label; std::nullopt for unknown labels.
+std::optional<ObjectKind> parse_object_kind(std::string_view label);
+
+/// Relationship vocabulary.  Order is stable (serialized by name, never by
+/// value, but tests rely on the enumeration covering all names below).
+enum class EdgeKind : std::uint8_t {
+  // --- structural -------------------------------------------------------
+  kContains,      // OU/Domain -> contained object
+  kGpLink,        // GPO -> OU
+  kMemberOf,      // principal -> group
+  // --- ACL permissions (paper: rights recorded in security descriptors) --
+  kGenericAll,
+  kGenericWrite,
+  kWriteDacl,
+  kWriteOwner,
+  kOwns,
+  kForceChangePassword,
+  kAddMember,
+  kAllExtendedRights,
+  kDCSync,
+  kGetChanges,
+  kGetChangesAll,
+  // --- non-ACL permissions (mostly rights on computers) ------------------
+  kAdminTo,
+  kCanRDP,
+  kExecuteDCOM,
+  kCanPSRemote,
+  kSQLAdmin,
+  kAllowedToDelegate,
+  kHasSession,    // computer -> user (interactive logon session)
+  kTrustedBy,     // domain -> domain (the source trusts the target)
+};
+
+inline constexpr std::size_t kEdgeKindCount = 22;
+
+std::string_view edge_kind_name(EdgeKind kind);
+std::optional<EdgeKind> parse_edge_kind(std::string_view name);
+
+/// True for permissions recorded in an object's ACL (paper §III-A).
+bool is_acl_permission(EdgeKind kind);
+
+/// True for non-ACL permissions, "mostly permissions on computers".
+bool is_non_acl_permission(EdgeKind kind);
+
+/// True when an attacker controlling the edge's source can extend control
+/// to its target (identity-snowball semantics).
+bool is_traversable(EdgeKind kind);
+
+/// The ACL permission kinds Algorithm 1 draws from when is_acl = true.
+const std::vector<EdgeKind>& acl_permission_pool();
+
+/// The non-ACL permission kinds used when is_acl = false (Algorithms 1 & 4).
+const std::vector<EdgeKind>& non_acl_permission_pool();
+
+/// Well-known RIDs of builtin domain groups.
+namespace rid {
+inline constexpr std::uint32_t kAdministrator = 500;
+inline constexpr std::uint32_t kGuest = 501;
+inline constexpr std::uint32_t kDomainAdmins = 512;
+inline constexpr std::uint32_t kDomainUsers = 513;
+inline constexpr std::uint32_t kDomainComputers = 515;
+inline constexpr std::uint32_t kDomainControllers = 516;
+inline constexpr std::uint32_t kEnterpriseAdmins = 519;
+}  // namespace rid
+
+}  // namespace adsynth::adcore

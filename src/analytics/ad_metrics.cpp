@@ -1,0 +1,162 @@
+#include "analytics/ad_metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace adsynth::analytics {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+
+AdMetricsReport compute_ad_metrics(const AttackGraph& graph) {
+  AdMetricsReport r;
+  const std::size_t n = graph.node_count();
+
+  std::size_t enabled_users = 0;
+  std::size_t admin_users = 0;
+  std::vector<NodeIndex> group_nodes;
+  for (NodeIndex v = 0; v < n; ++v) {
+    switch (graph.kind(v)) {
+      case ObjectKind::kUser:
+        ++r.users;
+        if (graph.has_flag(v, adcore::node_flag::kEnabled)) ++enabled_users;
+        if (graph.has_flag(v, adcore::node_flag::kAdmin)) ++admin_users;
+        break;
+      case ObjectKind::kComputer: ++r.computers; break;
+      case ObjectKind::kGroup:
+        ++r.groups;
+        group_nodes.push_back(v);
+        break;
+      default: break;
+    }
+  }
+  if (r.users > 0) {
+    r.enabled_user_ratio =
+        static_cast<double>(enabled_users) / static_cast<double>(r.users);
+    r.admin_user_ratio =
+        static_cast<double>(admin_users) / static_cast<double>(r.users);
+  }
+
+  std::vector<std::uint32_t> admin_in(n, 0);
+  std::vector<std::uint32_t> session_in(n, 0);
+  std::vector<std::uint32_t> memberof_out(n, 0);
+  std::vector<std::uint32_t> members_in(n, 0);
+  // Group→group nesting adjacency for the depth pass.
+  std::vector<std::vector<NodeIndex>> nested_in(n);
+  std::size_t user_memberships = 0;
+
+  for (const auto& e : graph.edges()) {
+    switch (e.kind) {
+      case EdgeKind::kAdminTo:
+        if (graph.kind(e.target) == ObjectKind::kComputer) {
+          ++admin_in[e.target];
+        }
+        break;
+      case EdgeKind::kHasSession: ++session_in[e.source]; break;
+      case EdgeKind::kMemberOf:
+        ++memberof_out[e.source];
+        ++members_in[e.target];
+        if (graph.kind(e.source) == ObjectKind::kUser) ++user_memberships;
+        if (graph.kind(e.source) == ObjectKind::kGroup &&
+            graph.kind(e.target) == ObjectKind::kGroup) {
+          nested_in[e.target].push_back(e.source);
+        }
+        if (e.target == graph.domain_admins()) ++r.domain_admin_members;
+        break;
+      default: break;
+    }
+  }
+
+  if (r.computers > 0) {
+    std::size_t with_admin = 0;
+    std::size_t with_session = 0;
+    std::size_t admin_total = 0;
+    std::size_t session_total = 0;
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (graph.kind(v) != ObjectKind::kComputer) continue;
+      with_admin += admin_in[v] > 0 ? 1 : 0;
+      with_session += session_in[v] > 0 ? 1 : 0;
+      admin_total += admin_in[v];
+      session_total += session_in[v];
+    }
+    const auto comps = static_cast<double>(r.computers);
+    r.computers_with_admin_ratio = static_cast<double>(with_admin) / comps;
+    r.computers_with_session_ratio =
+        static_cast<double>(with_session) / comps;
+    r.mean_admins_per_computer = static_cast<double>(admin_total) / comps;
+    r.mean_sessions_per_computer = static_cast<double>(session_total) / comps;
+  }
+
+  if (r.users > 0) {
+    r.mean_groups_per_user =
+        static_cast<double>(user_memberships) / static_cast<double>(r.users);
+  }
+  if (r.groups > 0) {
+    std::size_t member_total = 0;
+    for (const NodeIndex g : group_nodes) {
+      member_total += members_in[g];
+      r.empty_groups += members_in[g] == 0 ? 1 : 0;
+    }
+    r.mean_members_per_group =
+        static_cast<double>(member_total) / static_cast<double>(r.groups);
+  }
+
+  // Longest group→group nesting chain (BFS layering from flat groups;
+  // cycles — possible in baseline soups — are clamped by the visit guard).
+  {
+    std::vector<std::uint32_t> depth(n, 0);
+    std::deque<NodeIndex> frontier;
+    // Start from groups with no nested parents feeding them.
+    std::vector<std::uint32_t> pending(n, 0);
+    std::vector<std::vector<NodeIndex>> nested_out(n);
+    for (const NodeIndex g : group_nodes) {
+      for (const NodeIndex child : nested_in[g]) {
+        ++pending[g];
+        nested_out[child].push_back(g);
+      }
+    }
+    for (const NodeIndex g : group_nodes) {
+      if (pending[g] == 0) frontier.push_back(g);
+    }
+    while (!frontier.empty()) {
+      const NodeIndex g = frontier.front();
+      frontier.pop_front();
+      r.max_group_nesting_depth =
+          std::max<std::size_t>(r.max_group_nesting_depth, depth[g]);
+      for (const NodeIndex parent : nested_out[g]) {
+        depth[parent] = std::max(depth[parent], depth[g] + 1);
+        if (--pending[parent] == 0) frontier.push_back(parent);
+      }
+    }
+  }
+  return r;
+}
+
+std::string AdMetricsReport::describe() const {
+  std::string out;
+  out += "users: " + std::to_string(users) +
+         " (enabled " + util::percent(enabled_user_ratio, 1) +
+         ", admin " + util::percent(admin_user_ratio, 2) + ")\n";
+  out += "computers: " + std::to_string(computers) +
+         " (with admin " + util::percent(computers_with_admin_ratio, 1) +
+         ", with session " + util::percent(computers_with_session_ratio, 1) +
+         ")\n";
+  out += "mean admins/computer: " + util::fixed(mean_admins_per_computer, 2) +
+         "  mean sessions/computer: " +
+         util::fixed(mean_sessions_per_computer, 2) + "\n";
+  out += "groups: " + std::to_string(groups) +
+         " (empty " + std::to_string(empty_groups) +
+         ", mean members " + util::fixed(mean_members_per_group, 1) +
+         ", max nesting " + std::to_string(max_group_nesting_depth) + ")\n";
+  out += "mean groups/user: " + util::fixed(mean_groups_per_user, 2) +
+         "  Domain Admins members: " + std::to_string(domain_admin_members) +
+         "\n";
+  return out;
+}
+
+}  // namespace adsynth::analytics

@@ -1,0 +1,50 @@
+// BloodHound-style Active Directory realism metrics (the "common metrics
+// in Active Directory" of §IV-B, after FalconForce's AD-metrics series
+// [36], [37]): account hygiene ratios, admin-rights spread, session
+// coverage, and group-membership statistics.  These are the numbers AD
+// assessors compare across estates, so they double as realism checks for
+// generated graphs.
+#pragma once
+
+#include <string>
+
+#include "adcore/attack_graph.hpp"
+
+namespace adsynth::analytics {
+
+struct AdMetricsReport {
+  // --- population ----------------------------------------------------------
+  std::size_t users = 0;
+  std::size_t computers = 0;
+  std::size_t groups = 0;
+  double enabled_user_ratio = 0.0;   // enabled / users
+  double admin_user_ratio = 0.0;     // admin-flagged / users
+
+  // --- privilege spread ------------------------------------------------------
+  /// Computers with at least one inbound AdminTo edge (directly or from a
+  /// group): unadministered machines are a hygiene smell.
+  double computers_with_admin_ratio = 0.0;
+  /// Mean principals with admin rights per computer (direct edges only).
+  double mean_admins_per_computer = 0.0;
+  /// Members of the Domain Admins group (direct MemberOf edges).
+  std::size_t domain_admin_members = 0;
+
+  // --- sessions ----------------------------------------------------------------
+  /// Computers carrying at least one interactive session.
+  double computers_with_session_ratio = 0.0;
+  double mean_sessions_per_computer = 0.0;
+
+  // --- group structure -----------------------------------------------------------
+  double mean_groups_per_user = 0.0;     // direct MemberOf per user
+  double mean_members_per_group = 0.0;   // direct members per group
+  std::size_t empty_groups = 0;
+  /// Maximum nesting depth over group→group MemberOf chains (0 = flat).
+  std::size_t max_group_nesting_depth = 0;
+
+  std::string describe() const;
+};
+
+/// Scans the graph once (plus a nesting-depth pass over group nodes).
+AdMetricsReport compute_ad_metrics(const adcore::AttackGraph& graph);
+
+}  // namespace adsynth::analytics

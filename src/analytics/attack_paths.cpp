@@ -1,0 +1,83 @@
+#include "analytics/attack_paths.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "analytics/reachability.hpp"
+
+namespace adsynth::analytics {
+
+std::string AttackPath::describe(const adcore::AttackGraph& graph) const {
+  if (hops.empty()) return graph.name(source);
+  std::string out = graph.name(source);
+  for (const AttackHop& hop : hops) {
+    out += " -[";
+    out += adcore::edge_kind_name(hop.kind);
+    out += "]-> ";
+    out += graph.name(hop.to);
+  }
+  return out;
+}
+
+std::vector<AttackPath> shortest_attack_paths(
+    const adcore::AttackGraph& graph, const AttackPathOptions& options) {
+  const NodeIndex target = graph.domain_admins();
+  if (target == adcore::kNoNodeIndex) {
+    throw std::logic_error("shortest_attack_paths: graph has no Domain Admins");
+  }
+  ViewOptions view;
+  view.blocked = options.blocked;
+  // One backward BFS from the target builds a shortest-path tree for every
+  // source at once (parent pointers in the *reverse* graph point one hop
+  // closer to the target).
+  const Csr reverse = build_reverse(graph, view);
+  const std::size_t n = graph.node_count();
+  std::vector<std::int32_t> dist(n, kUnreachable);
+  std::vector<EdgeIndex> via_edge(n, kNoEdgeIndex);  // edge toward target
+  std::deque<NodeIndex> frontier{target};
+  dist[target] = 0;
+  while (!frontier.empty()) {
+    const NodeIndex v = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t i = reverse.offsets[v]; i < reverse.offsets[v + 1];
+         ++i) {
+      const NodeIndex u = reverse.targets[i];
+      if (dist[u] != kUnreachable) continue;
+      dist[u] = dist[v] + 1;
+      via_edge[u] = reverse.edge_ids[i];
+      frontier.push_back(u);
+    }
+  }
+
+  // Breached sources, shortest-first (ties by node index).
+  std::vector<NodeIndex> sources;
+  for (const NodeIndex u : regular_users(graph)) {
+    if (dist[u] != kUnreachable && u != target) sources.push_back(u);
+  }
+  std::sort(sources.begin(), sources.end(),
+            [&](NodeIndex a, NodeIndex b) {
+              if (dist[a] != dist[b]) return dist[a] < dist[b];
+              return a < b;
+            });
+  if (sources.size() > options.max_paths) sources.resize(options.max_paths);
+
+  std::vector<AttackPath> paths;
+  paths.reserve(sources.size());
+  const auto& edges = graph.edges();
+  for (const NodeIndex s : sources) {
+    AttackPath path;
+    path.source = s;
+    NodeIndex cur = s;
+    while (cur != target) {
+      const EdgeIndex e = via_edge[cur];
+      const auto& edge = edges[e];
+      path.hops.push_back(AttackHop{edge.source, edge.target, edge.kind, e});
+      cur = edge.target;
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace adsynth::analytics

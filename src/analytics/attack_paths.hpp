@@ -1,0 +1,44 @@
+// Structured attack-path extraction: shortest escalation chains from
+// regular users to Domain Admins, with the edge kind of every hop — the
+// BloodHound "shortest path to Domain Admins" query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/graph_view.hpp"
+
+namespace adsynth::analytics {
+
+struct AttackHop {
+  NodeIndex from = adcore::kNoNodeIndex;
+  NodeIndex to = adcore::kNoNodeIndex;
+  adcore::EdgeKind kind = adcore::EdgeKind::kContains;
+  EdgeIndex edge = kNoEdgeIndex;  // index into AttackGraph::edges()
+};
+
+struct AttackPath {
+  NodeIndex source = adcore::kNoNodeIndex;
+  std::vector<AttackHop> hops;
+
+  std::size_t length() const { return hops.size(); }
+  /// "U -[ExecuteDCOM]-> DC01 -[HasSession]-> ADM -[MemberOf]-> DA".
+  std::string describe(const adcore::AttackGraph& graph) const;
+};
+
+struct AttackPathOptions {
+  /// Maximum paths returned (one per breached source, shortest-first).
+  std::size_t max_paths = 10;
+  /// Optional blocked-edge mask (size graph.edge_count()).
+  const std::vector<bool>* blocked = nullptr;
+};
+
+/// One shortest path per breached regular user, ordered by length then by
+/// source index, truncated to max_paths.  Hop edge kinds are taken from the
+/// actual graph edge used by the BFS tree (parallel edges: the first
+/// traversable one wins deterministically).
+std::vector<AttackPath> shortest_attack_paths(
+    const adcore::AttackGraph& graph, const AttackPathOptions& options = {});
+
+}  // namespace adsynth::analytics

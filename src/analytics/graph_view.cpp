@@ -1,0 +1,59 @@
+#include "analytics/graph_view.hpp"
+
+#include <stdexcept>
+
+namespace adsynth::analytics {
+
+namespace {
+
+Csr build(const AttackGraph& graph, const ViewOptions& options, bool reverse) {
+  if (options.blocked != nullptr &&
+      options.blocked->size() != graph.edge_count()) {
+    throw std::invalid_argument(
+        "ViewOptions::blocked mask size must equal edge_count");
+  }
+  const std::size_t n = graph.node_count();
+  Csr csr;
+  csr.offsets.assign(n + 1, 0);
+
+  const auto& edges = graph.edges();
+  auto included = [&](EdgeIndex i) {
+    if (options.traversable_only && !adcore::is_traversable(edges[i].kind)) {
+      return false;
+    }
+    return options.blocked == nullptr || !(*options.blocked)[i];
+  };
+
+  for (EdgeIndex i = 0; i < edges.size(); ++i) {
+    if (!included(i)) continue;
+    const NodeIndex from = reverse ? edges[i].target : edges[i].source;
+    ++csr.offsets[from + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) csr.offsets[v + 1] += csr.offsets[v];
+
+  csr.targets.resize(csr.offsets[n]);
+  csr.edge_ids.resize(csr.offsets[n]);
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (EdgeIndex i = 0; i < edges.size(); ++i) {
+    if (!included(i)) continue;
+    const NodeIndex from = reverse ? edges[i].target : edges[i].source;
+    const NodeIndex to = reverse ? edges[i].source : edges[i].target;
+    const std::uint32_t slot = cursor[from]++;
+    csr.targets[slot] = to;
+    csr.edge_ids[slot] = i;
+  }
+  return csr;
+}
+
+}  // namespace
+
+Csr build_forward(const AttackGraph& graph, const ViewOptions& options) {
+  return build(graph, options, /*reverse=*/false);
+}
+
+Csr build_reverse(const AttackGraph& graph, const ViewOptions& options) {
+  return build(graph, options, /*reverse=*/true);
+}
+
+}  // namespace adsynth::analytics

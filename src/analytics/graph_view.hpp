@@ -1,0 +1,50 @@
+// Compressed sparse row (CSR) views over an AttackGraph, restricted to
+// attacker-traversable edges.  All analytics and defense algorithms operate
+// on these views; blocking/cutting edges is expressed with an edge mask so
+// the underlying graph is never mutated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adcore/attack_graph.hpp"
+
+namespace adsynth::analytics {
+
+using adcore::AttackGraph;
+using adcore::NodeIndex;
+
+/// Index into AttackGraph::edges().
+using EdgeIndex = std::uint32_t;
+inline constexpr EdgeIndex kNoEdgeIndex = 0xffffffffu;
+
+/// CSR adjacency: for node v, neighbours are targets[offsets[v]..offsets[v+1]).
+/// edge_ids keeps the position of each adjacency entry in the original edge
+/// list, so masks and cut-sets can be reported in graph terms.
+struct Csr {
+  std::vector<std::uint32_t> offsets;  // size n+1
+  std::vector<NodeIndex> targets;
+  std::vector<EdgeIndex> edge_ids;
+
+  std::size_t node_count() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t arc_count() const { return targets.size(); }
+};
+
+/// Which graph edges a view includes.
+struct ViewOptions {
+  /// Keep only attacker-traversable kinds (adcore::is_traversable).
+  bool traversable_only = true;
+  /// Optional per-edge mask: when non-null and (*blocked)[edge] is true the
+  /// edge is excluded.  Must have size graph.edge_count().
+  const std::vector<bool>* blocked = nullptr;
+};
+
+/// Forward adjacency (edge direction = attack direction).
+Csr build_forward(const AttackGraph& graph, const ViewOptions& options = {});
+
+/// Reverse adjacency (arcs flipped), for backward sweeps from the target.
+Csr build_reverse(const AttackGraph& graph, const ViewOptions& options = {});
+
+}  // namespace adsynth::analytics

@@ -1,0 +1,62 @@
+#include "analytics/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace adsynth::analytics {
+
+GraphMetrics compute_metrics(const adcore::AttackGraph& graph) {
+  GraphMetrics m;
+  m.nodes = graph.node_count();
+  m.edges = graph.edge_count();
+  m.density = graph.density();
+  for (adcore::NodeIndex v = 0; v < graph.node_count(); ++v) {
+    ++m.nodes_by_kind[static_cast<std::size_t>(graph.kind(v))];
+  }
+  std::vector<std::uint32_t> out_deg(graph.node_count(), 0);
+  std::vector<std::uint32_t> in_deg(graph.node_count(), 0);
+  for (const auto& e : graph.edges()) {
+    ++m.edges_by_kind[static_cast<std::size_t>(e.kind)];
+    m.violations += e.violation ? 1 : 0;
+    ++out_deg[e.source];
+    ++in_deg[e.target];
+  }
+  for (adcore::NodeIndex v = 0; v < graph.node_count(); ++v) {
+    m.max_out_degree = std::max(m.max_out_degree, out_deg[v]);
+    m.max_in_degree = std::max(m.max_in_degree, in_deg[v]);
+  }
+  m.mean_degree = m.nodes == 0 ? 0.0
+                               : static_cast<double>(m.edges) /
+                                     static_cast<double>(m.nodes);
+  return m;
+}
+
+std::string GraphMetrics::describe() const {
+  std::string out;
+  out += "nodes: " + std::to_string(nodes) +
+         "  edges: " + std::to_string(edges) +
+         "  density: " + util::sci(density) +
+         "  violations: " + std::to_string(violations) + "\n";
+  out += "by kind:";
+  for (std::size_t k = 0; k < adcore::kObjectKindCount; ++k) {
+    if (nodes_by_kind[k] == 0) continue;
+    out += " ";
+    out += adcore::object_kind_label(static_cast<adcore::ObjectKind>(k));
+    out += "=" + std::to_string(nodes_by_kind[k]);
+  }
+  out += "\nby edge:";
+  for (std::size_t k = 0; k < adcore::kEdgeKindCount; ++k) {
+    if (edges_by_kind[k] == 0) continue;
+    out += " ";
+    out += adcore::edge_kind_name(static_cast<adcore::EdgeKind>(k));
+    out += "=" + std::to_string(edges_by_kind[k]);
+  }
+  out += "\nmean degree: " + util::fixed(mean_degree, 2) +
+         "  max out: " + std::to_string(max_out_degree) +
+         "  max in: " + std::to_string(max_in_degree) + "\n";
+  return out;
+}
+
+}  // namespace adsynth::analytics

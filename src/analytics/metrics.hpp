@@ -1,0 +1,37 @@
+// Aggregate AD graph metrics: node/edge composition, density, degrees.
+// These back Fig. 5 (density) and the summary lines of the examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "adcore/attack_graph.hpp"
+
+namespace adsynth::analytics {
+
+struct GraphMetrics {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double density = 0.0;  // |E| / (|V|·(|V|−1))
+  std::array<std::size_t, adcore::kObjectKindCount> nodes_by_kind{};
+  std::array<std::size_t, adcore::kEdgeKindCount> edges_by_kind{};
+  std::size_t violations = 0;
+  std::uint32_t max_out_degree = 0;
+  std::uint32_t max_in_degree = 0;
+  double mean_degree = 0.0;  // (in+out)/2 per node == |E|/|V|
+
+  std::size_t count(adcore::ObjectKind kind) const {
+    return nodes_by_kind[static_cast<std::size_t>(kind)];
+  }
+  std::size_t count(adcore::EdgeKind kind) const {
+    return edges_by_kind[static_cast<std::size_t>(kind)];
+  }
+
+  /// Multi-line human-readable summary.
+  std::string describe() const;
+};
+
+GraphMetrics compute_metrics(const adcore::AttackGraph& graph);
+
+}  // namespace adsynth::analytics

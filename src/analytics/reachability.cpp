@@ -1,0 +1,111 @@
+#include "analytics/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace adsynth::analytics {
+
+std::vector<std::int32_t> bfs_distances(
+    const Csr& csr, const std::vector<NodeIndex>& sources) {
+  std::vector<std::int32_t> dist(csr.node_count(), kUnreachable);
+  std::deque<NodeIndex> frontier;
+  for (const NodeIndex s : sources) {
+    if (s >= csr.node_count()) {
+      throw std::out_of_range("bfs_distances: source out of range");
+    }
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeIndex v = frontier.front();
+    frontier.pop_front();
+    const std::int32_t dv = dist[v];
+    for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
+      const NodeIndex w = csr.targets[i];
+      if (dist[w] == kUnreachable) {
+        dist[w] = dv + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<NodeIndex>> shortest_path(const Csr& forward,
+                                                    NodeIndex source,
+                                                    NodeIndex target) {
+  if (source >= forward.node_count() || target >= forward.node_count()) {
+    throw std::out_of_range("shortest_path: node out of range");
+  }
+  std::vector<NodeIndex> parent(forward.node_count(), adcore::kNoNodeIndex);
+  std::vector<bool> seen(forward.node_count(), false);
+  std::deque<NodeIndex> frontier{source};
+  seen[source] = true;
+  while (!frontier.empty() && !seen[target]) {
+    const NodeIndex v = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t i = forward.offsets[v]; i < forward.offsets[v + 1];
+         ++i) {
+      const NodeIndex w = forward.targets[i];
+      if (!seen[w]) {
+        seen[w] = true;
+        parent[w] = v;
+        frontier.push_back(w);
+        if (w == target) break;
+      }
+    }
+  }
+  if (!seen[target]) return std::nullopt;
+  std::vector<NodeIndex> path;
+  for (NodeIndex v = target; v != adcore::kNoNodeIndex; v = parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != source) return std::nullopt;  // defensive
+  return path;
+}
+
+std::vector<NodeIndex> regular_users(const AttackGraph& graph) {
+  std::vector<NodeIndex> out;
+  for (NodeIndex i = 0; i < graph.node_count(); ++i) {
+    if (graph.kind(i) == adcore::ObjectKind::kUser &&
+        graph.has_flag(i, adcore::node_flag::kEnabled) &&
+        !graph.has_flag(i, adcore::node_flag::kAdmin)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+DaReachability users_reaching_da(const AttackGraph& graph,
+                                 const std::vector<bool>* blocked) {
+  const NodeIndex da = graph.domain_admins();
+  if (da == adcore::kNoNodeIndex) {
+    throw std::logic_error("users_reaching_da: graph has no Domain Admins");
+  }
+  ViewOptions options;
+  options.blocked = blocked;
+  const Csr reverse = build_reverse(graph, options);
+  const std::vector<std::int32_t> dist_to_da = bfs_distances(reverse, {da});
+
+  DaReachability result;
+  const std::vector<NodeIndex> users = regular_users(graph);
+  result.regular_users = users.size();
+  result.distances.reserve(users.size());
+  for (const NodeIndex u : users) {
+    const std::int32_t d = dist_to_da[u];
+    result.distances.push_back(d);
+    if (d != kUnreachable) ++result.users_with_path;
+  }
+  result.fraction =
+      users.empty() ? 0.0
+                    : static_cast<double>(result.users_with_path) /
+                          static_cast<double>(users.size());
+  return result;
+}
+
+}  // namespace adsynth::analytics

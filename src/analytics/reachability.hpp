@@ -1,0 +1,45 @@
+// BFS distances and the attack-path reachability metrics of §IV-C:
+// which regular users have an attack path to Domain Admins (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analytics/graph_view.hpp"
+
+namespace adsynth::analytics {
+
+inline constexpr std::int32_t kUnreachable = -1;
+
+/// Multi-source BFS over a CSR view; returns hop distances (kUnreachable
+/// where no path exists).
+std::vector<std::int32_t> bfs_distances(const Csr& csr,
+                                        const std::vector<NodeIndex>& sources);
+
+/// One shortest path (as a node sequence source..target) or nullopt.
+std::optional<std::vector<NodeIndex>> shortest_path(const Csr& forward,
+                                                    NodeIndex source,
+                                                    NodeIndex target);
+
+/// The "regular users" population of Fig. 9: enabled, non-admin user nodes.
+std::vector<NodeIndex> regular_users(const AttackGraph& graph);
+
+struct DaReachability {
+  std::size_t regular_users = 0;
+  std::size_t users_with_path = 0;
+  /// users_with_path / regular_users (0 when there are no regular users).
+  double fraction = 0.0;
+  /// Hop distance from each regular user (aligned with the users vector
+  /// returned by regular_users()); kUnreachable when no path.
+  std::vector<std::int32_t> distances;
+};
+
+/// Computes the Fig. 9 metric against graph.domain_admins().  Uses one
+/// reverse BFS from Domain Admins, so it is O(V + E) regardless of how many
+/// users have paths.  Throws std::logic_error when the graph has no Domain
+/// Admins marker.
+DaReachability users_reaching_da(const AttackGraph& graph,
+                                 const std::vector<bool>* blocked = nullptr);
+
+}  // namespace adsynth::analytics

@@ -1,0 +1,147 @@
+#include "analytics/rp_rate.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "analytics/reachability.hpp"
+
+namespace adsynth::analytics {
+
+double RpResult::peak() const {
+  double best = 0.0;
+  for (const double r : rate) best = std::max(best, r);
+  return best;
+}
+
+std::vector<std::pair<NodeIndex, double>> RpResult::top(std::size_t k) const {
+  std::vector<std::pair<NodeIndex, double>> order;
+  order.reserve(rate.size());
+  for (NodeIndex v = 0; v < rate.size(); ++v) {
+    if (rate[v] > 0.0) order.emplace_back(v, rate[v]);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
+                           const std::vector<bool>* blocked) {
+  const NodeIndex target = graph.domain_admins();
+  if (target == adcore::kNoNodeIndex) {
+    throw std::logic_error("route_penetration: graph has no Domain Admins");
+  }
+  const std::size_t n = graph.node_count();
+  ViewOptions view;
+  view.blocked = blocked;
+  const Csr forward = build_forward(graph, view);
+  const Csr reverse = build_reverse(graph, view);
+
+  // Reverse sweep from the target: hop distance to target d_t and number of
+  // shortest v→target paths σ_t, accumulated in BFS level order.
+  std::vector<std::int32_t> dist_to_t(n, kUnreachable);
+  std::vector<double> sigma_t(n, 0.0);
+  {
+    std::deque<NodeIndex> frontier{target};
+    dist_to_t[target] = 0;
+    sigma_t[target] = 1.0;
+    while (!frontier.empty()) {
+      const NodeIndex v = frontier.front();
+      frontier.pop_front();
+      for (std::uint32_t i = reverse.offsets[v]; i < reverse.offsets[v + 1];
+           ++i) {
+        const NodeIndex u = reverse.targets[i];
+        if (dist_to_t[u] == kUnreachable) {
+          dist_to_t[u] = dist_to_t[v] + 1;
+          sigma_t[u] = sigma_t[v];
+          frontier.push_back(u);
+        } else if (dist_to_t[u] == dist_to_t[v] + 1) {
+          sigma_t[u] += sigma_t[v];
+        }
+      }
+    }
+  }
+
+  RpResult result;
+  result.rate.assign(n, 0.0);
+
+  // Contributing sources: regular users with a path to the target.
+  std::vector<NodeIndex> sources;
+  for (const NodeIndex u : regular_users(graph)) {
+    if (dist_to_t[u] != kUnreachable && u != target) sources.push_back(u);
+  }
+  result.contributing_sources = sources.size();
+  if (sources.empty()) return result;
+
+  if (options.max_sources > 0 && sources.size() > options.max_sources) {
+    util::Rng rng(options.seed);
+    sources = rng.sample(sources, options.max_sources);
+    result.sampled = true;
+  }
+  result.evaluated_sources = sources.size();
+
+  // Per-source forward sweep restricted to the shortest-path DAG toward the
+  // target: an arc v→w lies on a shortest path iff d_t[w] == d_t[v] − 1.
+  // Epoch-stamped scratch arrays avoid an O(n) clear per source.
+  std::vector<std::uint32_t> epoch(n, 0);
+  std::vector<double> sigma_s(n, 0.0);
+  std::vector<double> through(n, 0.0);
+  std::vector<double> edge_through;
+  if (options.edge_traffic) edge_through.assign(graph.edge_count(), 0.0);
+  double total_paths = 0.0;
+  std::uint32_t current_epoch = 0;
+  std::deque<NodeIndex> frontier;
+
+  for (const NodeIndex s : sources) {
+    ++current_epoch;
+    frontier.clear();
+    frontier.push_back(s);
+    epoch[s] = current_epoch;
+    sigma_s[s] = 1.0;
+    while (!frontier.empty()) {
+      const NodeIndex v = frontier.front();
+      frontier.pop_front();
+      // All of v's σ contributions have arrived (strict level order), so
+      // its through-count is final for this source.
+      through[v] += sigma_s[v] * sigma_t[v];
+      if (v == target) continue;
+      for (std::uint32_t i = forward.offsets[v]; i < forward.offsets[v + 1];
+           ++i) {
+        const NodeIndex w = forward.targets[i];
+        if (dist_to_t[w] != dist_to_t[v] - 1) continue;  // not on a SP DAG arc
+        if (options.edge_traffic) {
+          edge_through[forward.edge_ids[i]] += sigma_s[v] * sigma_t[w];
+        }
+        if (epoch[w] != current_epoch) {
+          epoch[w] = current_epoch;
+          sigma_s[w] = sigma_s[v];
+          frontier.push_back(w);
+        } else {
+          sigma_s[w] += sigma_s[v];
+        }
+      }
+    }
+    if (epoch[target] == current_epoch) total_paths += sigma_s[target];
+  }
+
+  if (total_paths > 0.0) {
+    for (NodeIndex v = 0; v < n; ++v) {
+      result.rate[v] = through[v] / total_paths;
+    }
+    result.rate[target] = 0.0;  // excluded by definition
+    if (options.edge_traffic) {
+      result.edge_traffic.assign(graph.edge_count(), 0.0);
+      for (std::size_t e = 0; e < edge_through.size(); ++e) {
+        result.edge_traffic[e] = edge_through[e] / total_paths;
+      }
+    }
+  } else if (options.edge_traffic) {
+    result.edge_traffic.assign(graph.edge_count(), 0.0);
+  }
+  return result;
+}
+
+}  // namespace adsynth::analytics

@@ -1,0 +1,62 @@
+// Route Penetration Rate (paper §IV-C):
+//
+//   "the percentage of shortest paths from regular users to Domain Admins
+//    passing through that node.  Nodes with large RP rates are recognized
+//    as choke points."
+//
+// For source s and target t, the number of shortest s→t paths through v is
+// σ_st(v) = σ(s,v)·σ(v,t) when d(s,v)+d(v,t) = d(s,t), else 0 (Brandes).
+// RP(v) = Σ_s σ_st(v) / Σ_s σ_st over all regular-user sources s with a
+// path to t.  Path counts are accumulated in double precision (they grow
+// exponentially with graph size; only ratios are reported).
+//
+// Complexity: one reverse BFS from t plus one forward BFS per contributing
+// source.  Secure graphs have very few contributing sources; vulnerable
+// graphs can have thousands, so sources beyond `max_sources` are sampled
+// uniformly (the result notes how many were evaluated).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/graph_view.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::analytics {
+
+struct RpOptions {
+  /// Cap on exact per-source sweeps; contributing sources beyond this are
+  /// uniformly sampled.  0 means no cap.
+  std::size_t max_sources = 400;
+  /// Seed for the source sampling (only used when the cap binds).
+  std::uint64_t seed = 1;
+  /// Also accumulate per-edge traffic (# shortest paths crossing each graph
+  /// edge) — the "weakest link" score GoodHound ranks by.
+  bool edge_traffic = false;
+};
+
+struct RpResult {
+  /// RP rate per node, in [0, 1].  The target itself is excluded (defined
+  /// as 0) — every path trivially ends there.
+  std::vector<double> rate;
+  std::size_t contributing_sources = 0;  // sources with a path to the target
+  std::size_t evaluated_sources = 0;     // after sampling
+  bool sampled = false;
+  /// Per graph edge (indexed like AttackGraph::edges()): number of shortest
+  /// paths crossing it, normalized by the total path count.  Only filled
+  /// when RpOptions::edge_traffic is set.
+  std::vector<double> edge_traffic;
+
+  /// Highest RP over all nodes (0 when no paths exist).
+  double peak() const;
+  /// The `k` nodes with highest RP, descending (ties by node id).
+  std::vector<std::pair<NodeIndex, double>> top(std::size_t k) const;
+};
+
+/// RP rates toward graph.domain_admins() from the regular-user population.
+/// Throws std::logic_error when the graph has no Domain Admins marker.
+RpResult route_penetration(const AttackGraph& graph,
+                           const RpOptions& options = {},
+                           const std::vector<bool>* blocked = nullptr);
+
+}  // namespace adsynth::analytics

@@ -1,0 +1,38 @@
+#include "analytics/sessions.hpp"
+
+#include <algorithm>
+
+namespace adsynth::analytics {
+
+std::vector<std::uint32_t> SessionStats::top(std::size_t k) const {
+  std::vector<std::uint32_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+SessionStats session_stats(const adcore::AttackGraph& graph) {
+  std::vector<std::uint32_t> per_node(graph.node_count(), 0);
+  std::size_t total = 0;
+  for (const auto& e : graph.edges()) {
+    if (e.kind == adcore::EdgeKind::kHasSession) {
+      ++per_node[e.target];
+      ++total;
+    }
+  }
+  SessionStats stats;
+  stats.total_sessions = total;
+  for (adcore::NodeIndex v = 0; v < graph.node_count(); ++v) {
+    if (graph.kind(v) != adcore::ObjectKind::kUser) continue;
+    stats.users.push_back(v);
+    stats.counts.push_back(per_node[v]);
+    stats.peak = std::max(stats.peak, per_node[v]);
+  }
+  stats.mean = stats.users.empty()
+                   ? 0.0
+                   : static_cast<double>(total) /
+                         static_cast<double>(stats.users.size());
+  return stats;
+}
+
+}  // namespace adsynth::analytics

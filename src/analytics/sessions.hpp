@@ -1,0 +1,27 @@
+// User-session statistics (paper §IV-B, Figs 6–8): per-user counts of
+// HasSession edges, the peak count, and the top-k distribution compared
+// against the University AD system.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "adcore/attack_graph.hpp"
+
+namespace adsynth::analytics {
+
+struct SessionStats {
+  /// Session count per user, aligned with `users`.
+  std::vector<adcore::NodeIndex> users;
+  std::vector<std::uint32_t> counts;
+  std::size_t total_sessions = 0;
+  std::uint32_t peak = 0;         // Fig. 6/7 metric
+  double mean = 0.0;
+  /// Counts of the `k` users with most sessions, descending (Fig. 8).
+  std::vector<std::uint32_t> top(std::size_t k) const;
+};
+
+/// Counts HasSession edges per user node (sessions point computer→user).
+SessionStats session_stats(const adcore::AttackGraph& graph);
+
+}  // namespace adsynth::analytics

@@ -1,0 +1,197 @@
+#include "baselines/adsimulator.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "adcore/convert.hpp"
+#include "graphdb/cypher.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::baselines {
+
+using graphdb::CypherSession;
+
+namespace {
+
+std::string q(const std::string& s) { return "'" + s + "'"; }
+
+}  // namespace
+
+BaselineRun run_adsimulator(const AdSimulatorConfig& config) {
+  util::Rng rng(config.seed);
+  BaselineRun run;
+  CypherSession session(run.store);
+
+  // ADSimulator prepares the schema first; the indexes keep endpoint
+  // lookups constant-time, which is what lets it scale past DBCreator.
+  session.run("CREATE INDEX ON :User(name)");
+  session.run("CREATE INDEX ON :Computer(name)");
+  session.run("CREATE INDEX ON :Group(name)");
+  session.run("CREATE INDEX ON :OU(name)");
+
+  const std::size_t n = config.target_nodes;
+  const auto users = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.user_share));
+  const auto computers = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.computer_share));
+  const auto groups = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.group_share));
+
+  std::vector<std::string> user_names;
+  std::vector<std::string> computer_names;
+  std::vector<std::string> group_names;
+  std::vector<std::string> ou_names;
+  user_names.reserve(users);
+  computer_names.reserve(computers);
+  group_names.reserve(groups);
+
+  session.run("CREATE (n:Domain {name: 'SIMLAB.LOCAL'})");
+  session.run("CREATE (n:Group {name: 'DOMAIN ADMINS'})");
+  group_names.push_back("DOMAIN ADMINS");
+  session.run("CREATE (n:Group {name: 'DOMAIN USERS'})");
+  group_names.push_back("DOMAIN USERS");
+  session.run(
+      "MATCH (a:Group {name: 'DOMAIN ADMINS'}), (b:Domain {name: "
+      "'SIMLAB.LOCAL'}) CREATE (a)-[:GenericAll]->(b)");
+
+  // One OU per location (ADSimulator's geographic default layout).
+  for (std::uint32_t l = 0; l < config.num_locations; ++l) {
+    std::string name = "LOCATION" + std::to_string(l) + "@SIMLAB.LOCAL";
+    session.run("CREATE (n:OU {name: " + q(name) + "})");
+    ou_names.push_back(std::move(name));
+  }
+
+  for (std::size_t i = 0; i < users; ++i) {
+    std::string name = "SIMUSER" + std::to_string(i) + "@SIMLAB.LOCAL";
+    const bool enabled = rng.chance(0.9);
+    session.run("CREATE (n:User {name: " + q(name) +
+                ", enabled: " + (enabled ? "true" : "false") + "})");
+    user_names.push_back(std::move(name));
+  }
+  for (std::size_t i = 0; i < computers; ++i) {
+    std::string name = "SIMCOMP" + std::to_string(i) + ".SIMLAB.LOCAL";
+    session.run("CREATE (n:Computer {name: " + q(name) + "})");
+    computer_names.push_back(std::move(name));
+  }
+  for (std::size_t i = 2; i < groups; ++i) {
+    std::string name = "SIMGROUP" + std::to_string(i) + "@SIMLAB.LOCAL";
+    session.run("CREATE (n:Group {name: " + q(name) + "})");
+    group_names.push_back(std::move(name));
+  }
+
+  // Containment: objects into a random location OU.
+  for (const std::string& user : user_names) {
+    const std::string& ou = rng.pick(ou_names);
+    session.run("MATCH (a:OU {name: " + q(ou) + "}), (b:User {name: " +
+                q(user) + "}) CREATE (a)-[:Contains]->(b)");
+  }
+  for (const std::string& comp : computer_names) {
+    const std::string& ou = rng.pick(ou_names);
+    session.run("MATCH (a:OU {name: " + q(ou) + "}), (b:Computer {name: " +
+                q(comp) + "}) CREATE (a)-[:Contains]->(b)");
+  }
+
+  // Memberships: everyone in Domain Users plus random groups.
+  for (const std::string& user : user_names) {
+    session.run("MATCH (a:User {name: " + q(user) +
+                "}), (b:Group {name: 'DOMAIN USERS'}) CREATE "
+                "(a)-[:MemberOf]->(b)");
+    const std::uint32_t count = static_cast<std::uint32_t>(
+        rng.uniform(0, config.max_groups_per_user));
+    for (std::uint32_t j = 0; j < count; ++j) {
+      const std::string& group = rng.pick(group_names);
+      session.run("MATCH (a:User {name: " + q(user) + "}), (b:Group {name: " +
+                  q(group) + "}) CREATE (a)-[:MemberOf]->(b)");
+    }
+  }
+
+  // Local admin groups per computer + sessions.
+  for (const std::string& comp : computer_names) {
+    const std::string& group = rng.pick(group_names);
+    session.run("MATCH (a:Group {name: " + q(group) +
+                "}), (b:Computer {name: " + q(comp) +
+                "}) CREATE (a)-[:AdminTo]->(b)");
+    if (rng.chance(config.session_probability) && !user_names.empty()) {
+      const std::uint32_t count = static_cast<std::uint32_t>(
+          rng.uniform(1, config.max_sessions_per_computer));
+      for (std::uint32_t j = 0; j < count; ++j) {
+        const std::string& user = rng.pick(user_names);
+        session.run("MATCH (a:Computer {name: " + q(comp) +
+                    "}), (b:User {name: " + q(user) +
+                    "}) CREATE (a)-[:HasSession]->(b)");
+      }
+    }
+  }
+
+  // Random permissions (ACL and non-ACL), no tier discipline.
+  static const char* kAcls[] = {"GenericAll",  "GenericWrite",
+                                "WriteDacl",   "WriteOwner",
+                                "AddMember",   "ForceChangePassword",
+                                "Owns",        "AllExtendedRights"};
+  const auto acl_count = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.acl_ratio));
+  for (std::size_t i = 0; i < acl_count; ++i) {
+    const bool src_user = rng.chance(0.4);
+    const std::string& src =
+        src_user ? rng.pick(user_names) : rng.pick(group_names);
+    const char* src_label = src_user ? "User" : "Group";
+    const double pick = rng.real();
+    const std::string* dst;
+    const char* dst_label;
+    if (pick < 0.4 && !user_names.empty()) {
+      dst = &rng.pick(user_names);
+      dst_label = "User";
+    } else if (pick < 0.7 && !computer_names.empty()) {
+      dst = &rng.pick(computer_names);
+      dst_label = "Computer";
+    } else {
+      dst = &rng.pick(group_names);
+      dst_label = "Group";
+    }
+    if (*dst == src) continue;
+    const char* acl = kAcls[rng.index(std::size(kAcls))];
+    session.run(std::string("MATCH (a:") + src_label + " {name: " + q(src) +
+                "}), (b:" + dst_label + " {name: " + q(*dst) + "}) CREATE " +
+                "(a)-[:" + acl + "]->(b)");
+  }
+
+  // CanRDP sprinkles.
+  for (const std::string& user : user_names) {
+    if (rng.chance(config.rdp_probability) && !computer_names.empty()) {
+      const std::string& comp = rng.pick(computer_names);
+      session.run("MATCH (a:User {name: " + q(user) +
+                  "}), (b:Computer {name: " + q(comp) +
+                  "}) CREATE (a)-[:CanRDP]->(b)");
+    }
+  }
+
+  // Domain Admins: dedicated administrative accounts with sessions on
+  // random machines (ADSimulator's default privileged population).
+  for (std::size_t i = 0; i < std::max<std::size_t>(2, users / 1000); ++i) {
+    const std::string name = "SIMADMIN" + std::to_string(i) + "@SIMLAB.LOCAL";
+    session.run("CREATE (n:User {name: " + q(name) +
+                ", enabled: true, admin: true})");
+    session.run("MATCH (a:User {name: " + q(name) +
+                "}), (b:Group {name: 'DOMAIN ADMINS'}) CREATE "
+                "(a)-[:MemberOf]->(b)");
+    const std::uint32_t sessions = static_cast<std::uint32_t>(
+        rng.uniform(1, 3));
+    for (std::uint32_t s = 0; s < sessions && !computer_names.empty(); ++s) {
+      const std::string& comp = rng.pick(computer_names);
+      session.run("MATCH (a:Computer {name: " + q(comp) +
+                  "}), (b:User {name: " + q(name) +
+                  "}) CREATE (a)-[:HasSession]->(b)");
+    }
+  }
+
+  run.statements = session.transactions();
+  return run;
+}
+
+adcore::AttackGraph adsimulator_graph(const AdSimulatorConfig& config) {
+  BaselineRun run = run_adsimulator(config);
+  return adcore::from_store(run.store);
+}
+
+}  // namespace adsynth::baselines

@@ -1,0 +1,42 @@
+// C++ port of ADSimulator's generation logic (the second baseline).
+//
+// ADSimulator models a richer default domain than DBCreator (an OU per
+// location, default groups, probabilistic per-object attributes) but, as
+// the paper observes, still assigns access control at random and has no
+// tier model.  Like the original it drives the database one statement per
+// object/edge; unlike our DBCreator port it creates property indexes first
+// (near-linear scaling), which is why the paper could push it to 100k nodes
+// while DBCreator stopped at 10k — and why it still trails ADSynth by the
+// per-transaction constant.
+#pragma once
+
+#include <cstdint>
+
+#include "adcore/attack_graph.hpp"
+#include "baselines/dbcreator.hpp"  // BaselineRun
+
+namespace adsynth::baselines {
+
+struct AdSimulatorConfig {
+  std::size_t target_nodes = 1000;
+  double user_share = 0.50;
+  double computer_share = 0.35;
+  double group_share = 0.12;  // remainder: OUs, GPOs, domain
+  std::uint32_t num_locations = 4;
+  std::uint32_t max_groups_per_user = 4;
+  /// Probability that a computer has an interactive session at all, and
+  /// sessions drawn per computer when it does.
+  double session_probability = 0.6;
+  std::uint32_t max_sessions_per_computer = 3;
+  /// Random permission edges as a fraction of target_nodes.
+  double acl_ratio = 0.20;
+  /// Probability a user can RDP to a random computer.
+  double rdp_probability = 0.10;
+  std::uint64_t seed = 1;
+};
+
+BaselineRun run_adsimulator(const AdSimulatorConfig& config);
+
+adcore::AttackGraph adsimulator_graph(const AdSimulatorConfig& config);
+
+}  // namespace adsynth::baselines

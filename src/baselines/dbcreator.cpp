@@ -1,0 +1,179 @@
+#include "baselines/dbcreator.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "adcore/convert.hpp"
+#include "graphdb/cypher.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::baselines {
+
+using graphdb::CypherSession;
+
+namespace {
+
+std::string q(const std::string& s) { return "'" + s + "'"; }
+
+}  // namespace
+
+BaselineRun run_dbcreator(const DbCreatorConfig& config) {
+  util::Rng rng(config.seed);
+  BaselineRun run;
+  CypherSession session(run.store);
+
+  const std::size_t n = config.target_nodes;
+  const auto users = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.user_share));
+  const auto computers = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.computer_share));
+  const auto groups = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.group_share));
+  const std::size_t structural = n > users + computers + groups
+                                     ? n - users - computers - groups
+                                     : 1;
+
+  std::vector<std::string> user_names;
+  std::vector<std::string> computer_names;
+  std::vector<std::string> group_names;
+  user_names.reserve(users);
+  computer_names.reserve(computers);
+  group_names.reserve(groups);
+
+  // Domain head and Domain Admins (DBCreator creates the default groups).
+  session.run("CREATE (n:Domain {name: 'TESTLAB.LOCAL'})");
+  session.run("CREATE (n:Group {name: 'DOMAIN ADMINS'})");
+  group_names.push_back("DOMAIN ADMINS");
+  session.run(
+      "MATCH (a:Group {name: 'DOMAIN ADMINS'}), (b:Domain {name: "
+      "'TESTLAB.LOCAL'}) CREATE (a)-[:GenericAll]->(b)");
+
+  // --- node creation, one statement per object ----------------------------
+  for (std::size_t i = 0; i < users; ++i) {
+    std::string name = "USER" + std::to_string(i) + "@TESTLAB.LOCAL";
+    session.run("CREATE (n:User {name: " + q(name) + ", enabled: true})");
+    user_names.push_back(std::move(name));
+  }
+  for (std::size_t i = 0; i < computers; ++i) {
+    std::string name = "COMP" + std::to_string(i) + ".TESTLAB.LOCAL";
+    session.run("CREATE (n:Computer {name: " + q(name) + "})");
+    computer_names.push_back(std::move(name));
+  }
+  for (std::size_t i = 1; i < groups; ++i) {  // index 0 is Domain Admins
+    std::string name = "GROUP" + std::to_string(i) + "@TESTLAB.LOCAL";
+    session.run("CREATE (n:Group {name: " + q(name) + "})");
+    group_names.push_back(std::move(name));
+  }
+  for (std::size_t i = 0; i + 1 < structural; ++i) {
+    session.run("CREATE (n:OU {name: 'OU" + std::to_string(i) +
+                "@TESTLAB.LOCAL'})");
+  }
+
+  // --- group membership: users into random groups -------------------------
+  for (const std::string& user : user_names) {
+    const std::uint32_t count = static_cast<std::uint32_t>(
+        rng.uniform(1, config.max_groups_per_user));
+    for (std::uint32_t j = 0; j < count; ++j) {
+      const std::string& group = rng.pick(group_names);
+      session.run("MATCH (a:User {name: " + q(user) + "}), (b:Group {name: " +
+                  q(group) + "}) CREATE (a)-[:MemberOf]->(b)");
+    }
+  }
+  // Nested groups.
+  for (const std::string& group : group_names) {
+    if (group == "DOMAIN ADMINS") continue;
+    if (rng.chance(config.nested_group_probability)) {
+      const std::string& parent = rng.pick(group_names);
+      if (parent == group) continue;
+      session.run("MATCH (a:Group {name: " + q(group) +
+                  "}), (b:Group {name: " + q(parent) +
+                  "}) CREATE (a)-[:MemberOf]->(b)");
+    }
+  }
+
+  // --- local admins: a random group AdminTo each computer ------------------
+  for (const std::string& comp : computer_names) {
+    const std::string& group = rng.pick(group_names);
+    session.run("MATCH (a:Group {name: " + q(group) +
+                "}), (b:Computer {name: " + q(comp) +
+                "}) CREATE (a)-[:AdminTo]->(b)");
+  }
+
+  // --- sessions: random users on each computer -----------------------------
+  if (!user_names.empty()) {
+    for (const std::string& comp : computer_names) {
+      const std::uint32_t count = static_cast<std::uint32_t>(
+          rng.uniform(0, config.max_sessions_per_computer));
+      for (std::uint32_t j = 0; j < count; ++j) {
+        const std::string& user = rng.pick(user_names);
+        session.run("MATCH (a:Computer {name: " + q(comp) +
+                    "}), (b:User {name: " + q(user) +
+                    "}) CREATE (a)-[:HasSession]->(b)");
+      }
+    }
+  }
+
+  // --- random ACLs: uniformly chosen principals, targets and rights -------
+  static const char* kAcls[] = {"GenericAll",         "GenericWrite",
+                                "WriteOwner",         "WriteDacl",
+                                "AddMember",          "ForceChangePassword",
+                                "Owns"};
+  const auto acl_count = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.acl_ratio));
+  for (std::size_t i = 0; i < acl_count; ++i) {
+    // Principal: a user or a group; target: user, group or computer.
+    const bool src_user = rng.chance(0.5);
+    const std::string& src = src_user ? rng.pick(user_names)
+                                      : rng.pick(group_names);
+    const char* src_label = src_user ? "User" : "Group";
+    const double pick = rng.real();
+    const std::string* dst = nullptr;
+    const char* dst_label = nullptr;
+    if (pick < 0.34 && !user_names.empty()) {
+      dst = &rng.pick(user_names);
+      dst_label = "User";
+    } else if (pick < 0.67 && !computer_names.empty()) {
+      dst = &rng.pick(computer_names);
+      dst_label = "Computer";
+    } else {
+      dst = &rng.pick(group_names);
+      dst_label = "Group";
+    }
+    if (*dst == src) continue;
+    const char* acl = kAcls[rng.index(std::size(kAcls))];
+    session.run(std::string("MATCH (a:") + src_label + " {name: " + q(src) +
+                "}), (b:" + dst_label + " {name: " + q(*dst) + "}) CREATE " +
+                "(a)-[:" + acl + "]->(b)");
+  }
+
+  // Domain Admins: dedicated administrative accounts (DBCreator creates a
+  // separate privileged population) whose interactive sessions on random
+  // computers are the classic snowball entry points.
+  for (std::size_t i = 0; i < std::max<std::size_t>(2, users / 200); ++i) {
+    const std::string name = "DAUSER" + std::to_string(i) + "@TESTLAB.LOCAL";
+    session.run("CREATE (n:User {name: " + q(name) +
+                ", enabled: true, admin: true})");
+    session.run("MATCH (a:User {name: " + q(name) +
+                "}), (b:Group {name: 'DOMAIN ADMINS'}) CREATE "
+                "(a)-[:MemberOf]->(b)");
+    const std::uint32_t sessions = static_cast<std::uint32_t>(
+        rng.uniform(1, 2));
+    for (std::uint32_t s = 0; s < sessions && !computer_names.empty(); ++s) {
+      const std::string& comp = rng.pick(computer_names);
+      session.run("MATCH (a:Computer {name: " + q(comp) +
+                  "}), (b:User {name: " + q(name) +
+                  "}) CREATE (a)-[:HasSession]->(b)");
+    }
+  }
+
+  run.statements = session.transactions();
+  return run;
+}
+
+adcore::AttackGraph dbcreator_graph(const DbCreatorConfig& config) {
+  BaselineRun run = run_dbcreator(config);
+  return adcore::from_store(run.store);
+}
+
+}  // namespace adsynth::baselines

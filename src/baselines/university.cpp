@@ -1,0 +1,200 @@
+#include "baselines/university.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace adsynth::baselines {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+namespace node_flag = adcore::node_flag;
+
+adcore::AttackGraph university_graph(const UniversityConfig& config) {
+  util::Rng rng(config.seed);
+  AttackGraph g;
+
+  const std::size_t n = config.target_nodes;
+  const auto users_total = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.user_share));
+  const auto groups_total = std::max<std::size_t>(
+      8, static_cast<std::size_t>(
+             std::llround(static_cast<double>(n) * config.group_share)));
+  const std::size_t ous_total = std::max<std::size_t>(4, n / 2000);
+  const std::size_t fixed = 1 /*domain*/ + config.num_domain_admins +
+                            config.num_management_servers;
+  const std::size_t computers_total =
+      n > users_total + groups_total + ous_total + fixed
+          ? n - users_total - groups_total - ous_total - fixed
+          : 16;
+
+  // --- skeleton -------------------------------------------------------------
+  const NodeIndex domain =
+      g.add_named_node(ObjectKind::kDomain, "UNI.EDU", 0);
+  g.set_domain_node(domain);
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DOMAIN ADMINS", 0,
+                                        node_flag::kSecurityGroup);
+  g.set_domain_admins(da);
+  g.add_edge(da, domain, EdgeKind::kGenericAll);
+
+  std::vector<NodeIndex> ous;
+  ous.reserve(ous_total);
+  for (std::size_t i = 0; i < ous_total; ++i) {
+    const NodeIndex ou = g.add_named_node(
+        ObjectKind::kOU, "FACULTY-OU-" + std::to_string(i));
+    g.add_edge(domain, ou, EdgeKind::kContains);
+    ous.push_back(ou);
+  }
+
+  // --- privileged core: admins and management servers ----------------------
+  std::vector<NodeIndex> admins;
+  for (std::uint32_t i = 0; i < config.num_domain_admins; ++i) {
+    const NodeIndex a = g.add_named_node(
+        ObjectKind::kUser, "UNIADM" + std::to_string(i), 0,
+        node_flag::kAdmin | node_flag::kEnabled);
+    g.add_edge(ous[0], a, EdgeKind::kContains);
+    g.add_edge(a, da, EdgeKind::kMemberOf);
+    admins.push_back(a);
+  }
+  std::vector<NodeIndex> mgmt;
+  for (std::uint32_t i = 0; i < config.num_management_servers; ++i) {
+    const NodeIndex s = g.add_named_node(
+        ObjectKind::kComputer, "MGMT" + std::to_string(i), 0,
+        node_flag::kServer);
+    g.add_edge(ous[0], s, EdgeKind::kContains);
+    g.add_edge(da, s, EdgeKind::kAdminTo);
+    mgmt.push_back(s);
+  }
+  // Every admin holds sessions on the management servers (the credentials
+  // an intruder would harvest there).
+  for (const NodeIndex a : admins) {
+    for (const NodeIndex s : mgmt) {
+      g.add_edge(s, a, EdgeKind::kHasSession);
+    }
+  }
+
+  // --- population -----------------------------------------------------------
+  std::vector<NodeIndex> groups;
+  groups.reserve(groups_total);
+  for (std::size_t i = 0; i < groups_total; ++i) {
+    const NodeIndex gr = g.add_named_node(
+        ObjectKind::kGroup, "COURSE" + std::to_string(i),
+        adcore::kNoTier, node_flag::kSecurityGroup);
+    g.add_edge(ous[rng.index(ous.size())], gr, EdgeKind::kContains);
+    groups.push_back(gr);
+  }
+  std::vector<NodeIndex> users;
+  users.reserve(users_total);
+  for (std::size_t i = 0; i < users_total; ++i) {
+    const NodeIndex u = g.add_named_node(
+        ObjectKind::kUser, "STU" + std::to_string(i), adcore::kNoTier,
+        node_flag::kEnabled);
+    g.add_edge(ous[rng.index(ous.size())], u, EdgeKind::kContains);
+    users.push_back(u);
+  }
+  std::vector<NodeIndex> computers;
+  computers.reserve(computers_total);
+  for (std::size_t i = 0; i < computers_total; ++i) {
+    const NodeIndex c = g.add_named_node(
+        ObjectKind::kComputer, "LAB" + std::to_string(i), adcore::kNoTier);
+    g.add_edge(ous[rng.index(ous.size())], c, EdgeKind::kContains);
+    computers.push_back(c);
+  }
+
+  // --- memberships: students sit in several course groups ------------------
+  for (const NodeIndex u : users) {
+    const std::uint32_t count = static_cast<std::uint32_t>(rng.uniform(3, 8));
+    for (const std::size_t gi : rng.sample_indices(groups.size(), count)) {
+      g.add_edge(u, groups[gi], EdgeKind::kMemberOf);
+    }
+  }
+
+  // --- lab access: course groups RDP to blocks of lab machines -------------
+  // Dead-end edges security-wise (labs hold no privileged sessions), but
+  // they carry most of the graph's volume, as in the real estate.
+  const auto rdp_total = static_cast<std::size_t>(
+      std::llround(config.rdp_edges_per_computer *
+                   static_cast<double>(computers_total)));
+  const std::size_t block = std::max<std::size_t>(
+      8, rdp_total / std::max<std::size_t>(1, groups.size()));
+  std::size_t emitted = 0;
+  for (const NodeIndex gr : groups) {
+    if (emitted >= rdp_total || computers.empty()) break;
+    const std::size_t start = rng.index(computers.size());
+    for (std::size_t j = 0; j < block && emitted < rdp_total; ++j) {
+      g.add_edge(gr, computers[(start + j) % computers.size()],
+                 EdgeKind::kCanRDP);
+      ++emitted;
+    }
+  }
+
+  // --- IT support: admin staff groups administer the labs -------------------
+  const std::size_t it_groups = std::max<std::size_t>(4, groups_total / 50);
+  for (std::size_t i = 0; i < it_groups; ++i) {
+    const NodeIndex itg = g.add_named_node(
+        ObjectKind::kGroup, "IT-SUPPORT" + std::to_string(i),
+        adcore::kNoTier, node_flag::kSecurityGroup);
+    g.add_edge(ous[0], itg, EdgeKind::kContains);
+    // Support staff are admin-flagged (not part of Fig. 9's population).
+    for (std::size_t s = 0; s < 4; ++s) {
+      const NodeIndex staff = g.add_named_node(
+          ObjectKind::kUser, "IT" + std::to_string(i) + "_" + std::to_string(s),
+          adcore::kNoTier, node_flag::kAdmin | node_flag::kEnabled);
+      g.add_edge(ous[0], staff, EdgeKind::kContains);
+      g.add_edge(staff, itg, EdgeKind::kMemberOf);
+    }
+    for (const std::size_t ci :
+         rng.sample_indices(computers.size(),
+                            computers.size() / std::max<std::size_t>(1, it_groups))) {
+      g.add_edge(itg, computers[ci], EdgeKind::kAdminTo);
+    }
+  }
+
+  // --- sessions: the long-tailed per-user distribution ----------------------
+  for (const NodeIndex u : users) {
+    const double roll = rng.real();
+    std::uint32_t count;
+    if (roll < 0.15) {
+      count = 0;
+    } else if (roll < 0.60) {
+      count = 1;
+    } else if (roll < 0.82) {
+      count = 2;
+    } else if (roll < 0.92) {
+      count = 3;
+    } else if (roll < 0.999) {
+      count = 4;
+    } else {
+      // The sparse tail: a handful of power users up to ≈20 machines.
+      count = 5;
+      while (count < 20 && rng.chance(0.75)) ++count;
+    }
+    for (const std::size_t ci : rng.sample_indices(computers.size(), count)) {
+      g.add_edge(computers[ci], u, EdgeKind::kHasSession);
+    }
+  }
+
+  // --- the breach population (0.02%): misconfigured DCOM rights on the
+  // management servers, funnelled through the first server so that Fig. 10c
+  // shows a choke point above 80%.
+  const auto breaches = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             config.breach_fraction * static_cast<double>(users.size()))));
+  const auto breached = rng.sample_indices(users.size(), breaches);
+  for (std::size_t i = 0; i < breached.size(); ++i) {
+    const NodeIndex u = users[breached[i]];
+    // ~5 of 6 through mgmt[0]; the remainder spread over the others.
+    const NodeIndex target = (i % 6 != 5 || mgmt.size() == 1)
+                                 ? mgmt[0]
+                                 : mgmt[1 + (i / 6) % (mgmt.size() - 1)];
+    g.add_edge(u, target, EdgeKind::kExecuteDCOM, /*violation=*/true);
+  }
+
+  return g;
+}
+
+}  // namespace adsynth::baselines

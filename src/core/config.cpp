@@ -1,0 +1,224 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adcore/naming.hpp"
+#include "util/json.hpp"
+
+namespace adsynth::core {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    throw std::invalid_argument(std::string("GeneratorConfig: ") + what);
+  }
+}
+
+void require_fraction(double v, const char* name) {
+  if (!(v >= 0.0 && v <= 1.0)) {
+    throw std::invalid_argument(std::string("GeneratorConfig: ") + name +
+                                " must lie in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void GeneratorConfig::validate() const {
+  require(target_nodes >= 50, "target_nodes must be at least 50");
+  require(num_tiers >= 1, "num_tiers must be >= 1");
+  require(num_tiers <= 10, "num_tiers must be <= 10");
+  require_fraction(user_share, "user_share");
+  require(user_share > 0.0, "user_share must be positive");
+  require(num_root_folders >= 1, "num_root_folders must be >= 1");
+  require(admin_groups_per_tier >= 1, "admin_groups_per_tier must be >= 1");
+  require(num_domain_controllers >= 1, "num_domain_controllers must be >= 1");
+  require(!domain_fqdn.empty(), "domain_fqdn must not be empty");
+  require_fraction(admin_user_fraction, "admin_user_fraction");
+  require_fraction(disabled_user_fraction, "disabled_user_fraction");
+  require_fraction(paw_fraction, "paw_fraction");
+  require_fraction(server_fraction, "server_fraction");
+  require(paw_fraction + server_fraction <= 1.0,
+          "paw_fraction + server_fraction must not exceed 1");
+  require(min_groups_per_user <= max_groups_per_user,
+          "min_groups_per_user must not exceed max_groups_per_user");
+  require_fraction(primary_operator_bias, "primary_operator_bias");
+  require_fraction(misconfig_server_bias, "misconfig_server_bias");
+  require_fraction(domain_admins_bloat, "domain_admins_bloat");
+  require_fraction(resource_ratio, "resource_ratio (p_r)");
+  require_fraction(session_ratio, "session_ratio (p_s)");
+  require_fraction(perc_misconfig_sessions, "perc_misconfig_sessions");
+  require_fraction(perc_misconfig_permissions, "perc_misconfig_permissions");
+}
+
+std::vector<std::string> GeneratorConfig::effective_departments() const {
+  std::vector<std::string> deps =
+      departments.empty() ? adcore::default_departments() : departments;
+  // Keep structural nodes a small fraction of tiny graphs: with the default
+  // ten departments a 1000-node org would spend ~15% of its budget on OUs
+  // and groups.  Scale the department count with the target size.
+  const std::size_t cap =
+      std::max<std::size_t>(2, std::min<std::size_t>(deps.size(),
+                                                     target_nodes / 500));
+  deps.resize(std::min(deps.size(), cap));
+  return deps;
+}
+
+std::vector<std::string> GeneratorConfig::effective_locations() const {
+  std::vector<std::string> locs =
+      locations.empty() ? adcore::default_locations() : locations;
+  const std::size_t cap =
+      std::max<std::size_t>(1, std::min<std::size_t>(locs.size(),
+                                                     target_nodes / 1000));
+  locs.resize(std::min(locs.size(), cap));
+  return locs;
+}
+
+GeneratorConfig GeneratorConfig::highly_secure(std::size_t nodes,
+                                               std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  cfg.perc_misconfig_sessions = 0.0;
+  cfg.perc_misconfig_permissions = 0.00005;
+  return cfg;
+}
+
+GeneratorConfig GeneratorConfig::secure(std::size_t nodes,
+                                        std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  cfg.perc_misconfig_sessions = 0.0005;
+  cfg.perc_misconfig_permissions = 0.0003;
+  return cfg;
+}
+
+GeneratorConfig GeneratorConfig::vulnerable(std::size_t nodes,
+                                            std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  cfg.perc_misconfig_sessions = 0.08;
+  cfg.perc_misconfig_permissions = 0.10;
+  // Vulnerable systems in the paper also show elevated session volumes and
+  // privileged logons spread across many accounts (no operator discipline).
+  cfg.session_ratio = 0.002;
+  cfg.max_sessions_per_user = 60;
+  cfg.primary_operator_bias = 0.0;
+  cfg.misconfig_server_bias = 0.3;
+  cfg.domain_admins_bloat = 0.5;
+  return cfg;
+}
+
+std::string GeneratorConfig::to_json() const {
+  using util::JsonArray;
+  using util::JsonObject;
+  using util::JsonValue;
+  JsonObject o;
+  o["target_nodes"] = JsonValue(static_cast<std::int64_t>(target_nodes));
+  o["user_share"] = JsonValue(user_share);
+  o["num_tiers"] = JsonValue(static_cast<std::int64_t>(num_tiers));
+  JsonArray deps;
+  for (const auto& d : departments) deps.emplace_back(d);
+  o["departments"] = JsonValue(std::move(deps));
+  JsonArray locs;
+  for (const auto& l : locations) locs.emplace_back(l);
+  o["locations"] = JsonValue(std::move(locs));
+  o["num_root_folders"] =
+      JsonValue(static_cast<std::int64_t>(num_root_folders));
+  o["admin_groups_per_tier"] =
+      JsonValue(static_cast<std::int64_t>(admin_groups_per_tier));
+  o["num_domain_controllers"] =
+      JsonValue(static_cast<std::int64_t>(num_domain_controllers));
+  o["domain_fqdn"] = JsonValue(domain_fqdn);
+  o["admin_user_fraction"] = JsonValue(admin_user_fraction);
+  o["disabled_user_fraction"] = JsonValue(disabled_user_fraction);
+  o["paw_fraction"] = JsonValue(paw_fraction);
+  o["server_fraction"] = JsonValue(server_fraction);
+  o["min_groups_per_user"] =
+      JsonValue(static_cast<std::int64_t>(min_groups_per_user));
+  o["max_groups_per_user"] =
+      JsonValue(static_cast<std::int64_t>(max_groups_per_user));
+  o["resource_ratio"] = JsonValue(resource_ratio);
+  o["session_ratio"] = JsonValue(session_ratio);
+  o["max_sessions_per_user"] =
+      JsonValue(static_cast<std::int64_t>(max_sessions_per_user));
+  o["session_model"] = JsonValue(std::string(
+      session_model == SessionModel::kLongTail ? "long_tail" : "uniform"));
+  o["primary_operator_bias"] = JsonValue(primary_operator_bias);
+  o["misconfig_server_bias"] = JsonValue(misconfig_server_bias);
+  o["domain_admins_bloat"] = JsonValue(domain_admins_bloat);
+  o["perc_misconfig_sessions"] = JsonValue(perc_misconfig_sessions);
+  o["perc_misconfig_permissions"] = JsonValue(perc_misconfig_permissions);
+  o["element_to_element"] = JsonValue(element_to_element);
+  o["seed"] = JsonValue(static_cast<std::int64_t>(seed));
+  return JsonValue(std::move(o)).dump();
+}
+
+GeneratorConfig GeneratorConfig::from_json(const std::string& text) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  GeneratorConfig cfg;
+  const auto& o = doc.as_object();
+  auto get_int = [&](const char* key, auto& out) {
+    if (const auto it = o.find(key); it != o.end()) {
+      out = static_cast<std::remove_reference_t<decltype(out)>>(
+          it->second.as_int());
+    }
+  };
+  auto get_double = [&](const char* key, double& out) {
+    if (const auto it = o.find(key); it != o.end()) out = it->second.as_double();
+  };
+  auto get_bool = [&](const char* key, bool& out) {
+    if (const auto it = o.find(key); it != o.end()) out = it->second.as_bool();
+  };
+  auto get_strings = [&](const char* key, std::vector<std::string>& out) {
+    if (const auto it = o.find(key); it != o.end()) {
+      out.clear();
+      for (const auto& v : it->second.as_array()) out.push_back(v.as_string());
+    }
+  };
+  get_int("target_nodes", cfg.target_nodes);
+  get_double("user_share", cfg.user_share);
+  get_int("num_tiers", cfg.num_tiers);
+  get_strings("departments", cfg.departments);
+  get_strings("locations", cfg.locations);
+  get_int("num_root_folders", cfg.num_root_folders);
+  get_int("admin_groups_per_tier", cfg.admin_groups_per_tier);
+  get_int("num_domain_controllers", cfg.num_domain_controllers);
+  if (const auto it = o.find("domain_fqdn"); it != o.end()) {
+    cfg.domain_fqdn = it->second.as_string();
+  }
+  get_double("admin_user_fraction", cfg.admin_user_fraction);
+  get_double("disabled_user_fraction", cfg.disabled_user_fraction);
+  get_double("paw_fraction", cfg.paw_fraction);
+  get_double("server_fraction", cfg.server_fraction);
+  get_int("min_groups_per_user", cfg.min_groups_per_user);
+  get_int("max_groups_per_user", cfg.max_groups_per_user);
+  get_double("resource_ratio", cfg.resource_ratio);
+  get_double("session_ratio", cfg.session_ratio);
+  get_int("max_sessions_per_user", cfg.max_sessions_per_user);
+  if (const auto it = o.find("session_model"); it != o.end()) {
+    const std::string& model = it->second.as_string();
+    if (model == "long_tail") {
+      cfg.session_model = SessionModel::kLongTail;
+    } else if (model == "uniform") {
+      cfg.session_model = SessionModel::kUniform;
+    } else {
+      throw std::invalid_argument("GeneratorConfig: unknown session_model '" +
+                                  model + "'");
+    }
+  }
+  get_double("primary_operator_bias", cfg.primary_operator_bias);
+  get_double("misconfig_server_bias", cfg.misconfig_server_bias);
+  get_double("domain_admins_bloat", cfg.domain_admins_bloat);
+  get_double("perc_misconfig_sessions", cfg.perc_misconfig_sessions);
+  get_double("perc_misconfig_permissions", cfg.perc_misconfig_permissions);
+  get_bool("element_to_element", cfg.element_to_element);
+  get_int("seed", cfg.seed);
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace adsynth::core

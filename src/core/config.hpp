@@ -1,0 +1,151 @@
+// ADSynth generator configuration.
+//
+// Parameters named in the paper:
+//   * num_tiers (k)                — tier-model depth (paper Fig. 3; §III-B.1)
+//   * departments / locations      — organisational structure inputs
+//   * num_root_folders             — security groups per department (§III-B.1)
+//   * p_r (resource_ratio)         — Algorithm 1: fraction of possible target
+//                                    resources each admin group gets grants on
+//   * p_s (session_ratio)          — Algorithm 2: max fraction of allowed
+//                                    computers a user can log on to
+//   * perc_misconfig_sessions      — Algorithm 3 violation rate
+//   * perc_misconfig_permissions   — Algorithm 4 violation rate
+//   * max_sessions_per_user        — the session-count tuning knob §IV-B
+//                                    ("a parameter to tune the maximum number
+//                                    of sessions per user", ≈20 for AD100)
+//   * element_to_element           — output conversion parameter (§III-B)
+//
+// The two misconfiguration percentages are the "security level" dials:
+// high values yield vulnerable networks, low values secure ones (§III-B.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adsynth::core {
+
+/// How Algorithm 2 draws a user's session count.
+enum class SessionModel : std::uint8_t {
+  /// The paper's model: uniform in [0, min(p_s·|C|, max_sessions_per_user)].
+  /// Produces the "constrained spread" of Fig. 8 that the paper reports as
+  /// a limitation (the top-30 users crowd the upper bound).
+  kUniform,
+  /// The paper's stated future work: a long-tailed distribution matching
+  /// the University system — most users on 1–2 machines, teaching-staff
+  /// profiles on 3–4, and a sparse geometric tail up to the cap.
+  kLongTail,
+};
+
+struct GeneratorConfig {
+  // --- scale --------------------------------------------------------------
+  /// Target total node count of the generated graph (users + computers +
+  /// structural objects).  The generator first lays out the organisational
+  /// skeleton, then fills the remaining budget with users and computers.
+  std::size_t target_nodes = 10'000;
+
+  /// Of the non-structural budget, the fraction that becomes users (the
+  /// rest becomes computers).
+  double user_share = 0.55;
+
+  // --- organisational structure -------------------------------------------
+  std::uint32_t num_tiers = 3;  // k; >= 1
+  std::vector<std::string> departments;  // empty -> defaults
+  std::vector<std::string> locations;    // empty -> defaults
+  std::uint32_t num_root_folders = 4;    // security groups per department
+
+  /// Admin (delegation) groups created per administrative tier; tier 0
+  /// additionally holds Domain Admins.
+  std::uint32_t admin_groups_per_tier = 5;
+
+  /// Domain controllers placed in tier 0.
+  std::uint32_t num_domain_controllers = 2;
+
+  std::string domain_fqdn = "corp.local";
+
+  // --- user & computer mix --------------------------------------------------
+  /// Fraction of all users that are administrative accounts, split evenly
+  /// across the administrative tiers 0..k-2 (all of them when k == 1).
+  double admin_user_fraction = 0.01;
+  /// Fraction of regular users that are disabled accounts.
+  double disabled_user_fraction = 0.12;
+  /// Fraction of all computers that are privileged access workstations
+  /// (placed in tier 0) and enterprise servers (tier 1) respectively; the
+  /// remainder are regular workstations in the last tier.
+  double paw_fraction = 0.01;
+  double server_fraction = 0.15;
+
+  // --- group membership (node generation, step 3) --------------------------
+  std::uint32_t min_groups_per_user = 1;
+  std::uint32_t max_groups_per_user = 4;
+
+  // --- edge generation ------------------------------------------------------
+  /// p_r: Algorithm 1's cap, as a fraction of total_resources(t, k, is_acl).
+  double resource_ratio = 0.30;
+  /// p_s: Algorithm 2's cap, as a fraction of |C(t,k)|.
+  double session_ratio = 0.001;
+  /// Hard cap on sessions per user (paper §IV-B session-tuning parameter).
+  std::uint32_t max_sessions_per_user = 20;
+
+  /// Session-count distribution (kUniform = the paper; kLongTail = the
+  /// paper's future-work extension fixing the Fig. 8 mismatch).
+  SessionModel session_model = SessionModel::kUniform;
+
+  /// Probability that a tier-0 interactive logon (and a tier-0 credential
+  /// leak in Algorithm 3) involves the primary operator account rather
+  /// than a uniformly drawn tier-0 admin.  Well-run estates concentrate
+  /// day-to-day DC maintenance on an on-call account — this concentration
+  /// is what produces the high-RP choke points of secure graphs
+  /// (Fig. 10c); sloppy estates spread privileged logons widely.
+  double primary_operator_bias = 0.90;
+
+  /// Probability that a violated permission (Algorithm 4) targeting an
+  /// administrative tier lands on a server (DC/jump host) rather than a
+  /// PAW.  Misconfigured non-ACL rights — DCOM, PS remoting, SQL — are
+  /// service-hosting misconfigurations, so they concentrate on servers in
+  /// disciplined estates; sloppy estates scatter them.
+  double misconfig_server_bias = 0.90;
+
+  /// Fraction of tier-0 administrators holding *direct* Domain Admins
+  /// membership beyond the primary operator and deputy.  Best practice is
+  /// ~0 (administer through delegation groups); bloated DA membership is a
+  /// hallmark of poorly run estates.
+  double domain_admins_bloat = 0.0;
+
+  // --- misconfiguration (security level) ------------------------------------
+  /// Algorithm 3: fraction of users given a violated cross-tier session.
+  double perc_misconfig_sessions = 0.0005;
+  /// Algorithm 4: fraction of users given a violated non-ACL permission.
+  double perc_misconfig_permissions = 0.0002;
+
+  // --- output ----------------------------------------------------------------
+  /// When true, the exported graph replaces set-level permission edges by
+  /// their element-to-element expansion (§III-B "ADSynth Output").
+  bool element_to_element = false;
+
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument describing the first violated constraint
+  /// (k >= 1, fractions within [0,1], non-empty scale, ...).
+  void validate() const;
+
+  /// Department/location lists with defaults substituted for empty inputs,
+  /// trimmed so that tiny graphs do not drown in structural nodes.
+  std::vector<std::string> effective_departments() const;
+  std::vector<std::string> effective_locations() const;
+
+  // --- presets matching the paper's experiment settings ---------------------
+  /// "highly secure": no violated sessions, vanishing violated permissions.
+  static GeneratorConfig highly_secure(std::size_t nodes, std::uint64_t seed);
+  /// "secure" (AD100-style): ≈0.02% of regular users can reach DA.
+  static GeneratorConfig secure(std::size_t nodes, std::uint64_t seed);
+  /// "vulnerable": violation-heavy, dense cross-tier connectivity.
+  static GeneratorConfig vulnerable(std::size_t nodes, std::uint64_t seed);
+
+  // --- (de)serialization ------------------------------------------------------
+  /// JSON round-trip so experiment configs can live next to their outputs.
+  std::string to_json() const;
+  static GeneratorConfig from_json(const std::string& text);
+};
+
+}  // namespace adsynth::core

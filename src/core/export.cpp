@@ -1,0 +1,45 @@
+#include "core/export.hpp"
+
+#include <stdexcept>
+
+#include "adcore/convert.hpp"
+#include "graphdb/neo4j_io.hpp"
+#include "metagraph/expansion.hpp"
+
+namespace adsynth::core {
+
+graphdb::GraphStore to_store(const GeneratedAd& ad,
+                             const std::string& domain_fqdn) {
+  return adcore::to_store(ad.graph, domain_fqdn);
+}
+
+adcore::AttackGraph element_to_element_graph(const GeneratedAd& ad) {
+  adcore::AttackGraph out;
+  // Elements keep their ids: element e becomes node e of the new graph.
+  for (metagraph::ElementId e = 0; e < ad.meta.element_count(); ++e) {
+    const adcore::NodeIndex orig = ad.node_of_element[e];
+    out.add_named_node(ad.graph.kind(orig), ad.graph.name(orig),
+                       ad.graph.tier(orig), ad.graph.flags(orig));
+  }
+  const metagraph::ExpandedGraph expanded = metagraph::expand(ad.meta);
+  for (const metagraph::ExpandedEdge& e : expanded.edges) {
+    const auto kind = adcore::parse_edge_kind(expanded.labels[e.label]);
+    if (!kind) {
+      throw std::runtime_error("element_to_element_graph: unknown edge label " +
+                               expanded.labels[e.label]);
+    }
+    out.add_edge(e.source, e.target, *kind);
+  }
+  return out;
+}
+
+void export_json(const GeneratedAd& ad, const std::string& path,
+                 bool element_to_element, const std::string& domain_fqdn) {
+  const graphdb::GraphStore store =
+      element_to_element
+          ? adcore::to_store(element_to_element_graph(ad), domain_fqdn)
+          : to_store(ad, domain_fqdn);
+  graphdb::export_apoc_json_file(store, path);
+}
+
+}  // namespace adsynth::core

@@ -1,0 +1,33 @@
+// ADSynth output (paper §III-B "ADSynth Output"): a Neo4j-JSON attack graph
+// loadable by BloodHound.  The default export is the set-to-set mapping
+// graph (groups/OUs as nodes, permission edges between them); the
+// element-to-element parameter instead expands every metagraph permission
+// and session edge into direct object-to-object edges.
+#pragma once
+
+#include <string>
+
+#include "adcore/attack_graph.hpp"
+#include "core/model.hpp"
+#include "graphdb/store.hpp"
+
+namespace adsynth::core {
+
+/// Materializes the default (set-to-set) attack graph into a GraphStore.
+graphdb::GraphStore to_store(const GeneratedAd& ad,
+                             const std::string& domain_fqdn = "corp.local");
+
+/// Builds the element-to-element attack graph: nodes are the metagraph's
+/// generating set (users and computers); every set-level permission edge is
+/// replaced by its |V|·|W| member pairs; sessions map 1:1.  Edges whose
+/// vertex sets contain no elements (e.g. ACLs on group-container OUs, whose
+/// members are sets rather than elements) disappear — they have no
+/// element-level denotation.
+adcore::AttackGraph element_to_element_graph(const GeneratedAd& ad);
+
+/// Writes APOC-style JSON rows to `path`; honours element_to_element.
+void export_json(const GeneratedAd& ad, const std::string& path,
+                 bool element_to_element,
+                 const std::string& domain_fqdn = "corp.local");
+
+}  // namespace adsynth::core

@@ -1,0 +1,154 @@
+#include "core/forest.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace adsynth::core {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+
+void ForestConfig::validate() const {
+  if (domains.size() < 2) {
+    throw std::invalid_argument(
+        "ForestConfig: a forest needs at least two domains");
+  }
+  std::set<std::string> fqdns;
+  for (const GeneratorConfig& d : domains) {
+    d.validate();
+    if (!fqdns.insert(util::to_lower(d.domain_fqdn)).second) {
+      throw std::invalid_argument("ForestConfig: duplicate domain_fqdn " +
+                                  d.domain_fqdn);
+    }
+  }
+}
+
+std::size_t GeneratedForest::domain_of(NodeIndex node) const {
+  for (std::size_t d = 0; d + 1 < offsets.size(); ++d) {
+    if (node >= offsets[d] && node < offsets[d + 1]) return d;
+  }
+  throw std::out_of_range("GeneratedForest::domain_of: node out of range");
+}
+
+GeneratedForest generate_forest(const ForestConfig& config) {
+  config.validate();
+  util::Rng rng(config.seed);
+  GeneratedForest forest;
+  forest.offsets.push_back(0);
+
+  // Per-domain pieces needed after the merge.
+  std::vector<std::vector<NodeIndex>> t0_admins;     // merged indices
+  std::vector<std::vector<NodeIndex>> machines;      // merged indices
+  std::vector<NodeIndex> t0_groups_ous;              // merged indices
+
+  for (std::size_t d = 0; d < config.domains.size(); ++d) {
+    const GeneratedAd ad = generate_ad(config.domains[d]);
+    const NodeIndex offset = forest.offsets.back();
+    const std::string suffix =
+        "@" + util::to_upper(config.domains[d].domain_fqdn);
+
+    for (NodeIndex i = 0; i < ad.graph.node_count(); ++i) {
+      const std::string& name = ad.graph.name(i);
+      // Domain heads are already named by their FQDN; everything else gets
+      // the BloodHound-style "NAME@DOMAIN" qualification.
+      const bool qualify =
+          !name.empty() && ad.graph.kind(i) != ObjectKind::kDomain;
+      forest.graph.add_named_node(ad.graph.kind(i),
+                                  qualify ? name + suffix : name,
+                                  ad.graph.tier(i), ad.graph.flags(i));
+    }
+    for (const adcore::AttackEdge& e : ad.graph.edges()) {
+      forest.graph.add_edge(offset + e.source, offset + e.target, e.kind,
+                            e.violation);
+    }
+
+    forest.domain_heads.push_back(offset + ad.graph.domain_node());
+    forest.domain_admins.push_back(offset + ad.graph.domain_admins());
+    std::vector<NodeIndex> admins;
+    for (const NodeIndex a : ad.admin_users_by_tier[0]) {
+      admins.push_back(offset + a);
+    }
+    t0_admins.push_back(std::move(admins));
+    std::vector<NodeIndex> comps;
+    for (const auto& tier : ad.computers_by_tier) {
+      for (const NodeIndex c : tier) comps.push_back(offset + c);
+    }
+    machines.push_back(std::move(comps));
+    const OuIndex groups_ou = ad.org.groups_ou_by_tier[0];
+    t0_groups_ous.push_back(offset + ad.org.ous[groups_ou].graph_node);
+
+    forest.offsets.push_back(
+        static_cast<NodeIndex>(forest.graph.node_count()));
+  }
+
+  // The forest-takeover target: the root domain's DA.
+  forest.graph.set_domain_node(forest.domain_heads[0]);
+  forest.graph.set_domain_admins(forest.domain_admins[0]);
+
+  // --- trusts ---------------------------------------------------------------
+  auto add_trust = [&](std::size_t a, std::size_t b) {
+    forest.graph.add_edge(forest.domain_heads[a], forest.domain_heads[b],
+                          EdgeKind::kTrustedBy);
+    forest.graph.add_edge(forest.domain_heads[b], forest.domain_heads[a],
+                          EdgeKind::kTrustedBy);
+    forest.trusts.emplace_back(a, b);
+  };
+  switch (config.topology) {
+    case TrustTopology::kHubAndSpoke:
+      for (std::size_t d = 1; d < config.domains.size(); ++d) add_trust(0, d);
+      break;
+    case TrustTopology::kChain:
+      for (std::size_t d = 1; d < config.domains.size(); ++d) {
+        add_trust(d - 1, d);
+      }
+      break;
+    case TrustTopology::kFullMesh:
+      for (std::size_t a = 0; a < config.domains.size(); ++a) {
+        for (std::size_t b = a + 1; b < config.domains.size(); ++b) {
+          add_trust(a, b);
+        }
+      }
+      break;
+  }
+
+  // --- Enterprise Admins -----------------------------------------------------
+  const std::string root_suffix =
+      "@" + util::to_upper(config.domains[0].domain_fqdn);
+  forest.enterprise_admins = forest.graph.add_named_node(
+      ObjectKind::kGroup, "ENTERPRISE ADMINS" + root_suffix, 0,
+      adcore::node_flag::kSecurityGroup);
+  // The root DA administers the forest: DA -> EA membership-equivalent
+  // control; EA holds GenericAll over every domain head and every domain's
+  // tier-0 Groups OU.
+  forest.graph.add_edge(forest.domain_admins[0], forest.enterprise_admins,
+                        EdgeKind::kMemberOf);
+  for (std::size_t d = 0; d < config.domains.size(); ++d) {
+    forest.graph.add_edge(forest.enterprise_admins, forest.domain_heads[d],
+                          EdgeKind::kGenericAll);
+    forest.graph.add_edge(forest.enterprise_admins, t0_groups_ous[d],
+                          EdgeKind::kGenericAll);
+  }
+
+  // --- cross-domain credential leaks ------------------------------------------
+  for (std::size_t d = 1; d < config.domains.size(); ++d) {
+    const auto& root_admins = t0_admins[0];
+    const auto& child_machines = machines[d];
+    if (root_admins.empty() || child_machines.empty()) continue;
+    for (std::uint32_t leak = 0; leak < config.cross_domain_leaks; ++leak) {
+      const NodeIndex admin = root_admins[rng.index(root_admins.size())];
+      const NodeIndex machine =
+          child_machines[rng.index(child_machines.size())];
+      forest.graph.add_edge(machine, admin, EdgeKind::kHasSession,
+                            /*violation=*/true);
+    }
+  }
+  return forest;
+}
+
+}  // namespace adsynth::core

@@ -1,0 +1,620 @@
+#include "core/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "adcore/naming.hpp"
+#include "core/structure.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::core {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+using metagraph::ElementId;
+using metagraph::SetId;
+
+namespace {
+
+/// Working state threaded through the pipeline stages.
+struct Builder {
+  const GeneratorConfig& cfg;
+  util::Rng rng;
+  GeneratedAd out;
+
+  /// Element id per graph node that is a leaf object; kNoElement otherwise.
+  std::vector<ElementId> element_of_node;
+  /// Lazily created singleton set per element (sessions & violations).
+  std::vector<SetId> singleton_of_element;
+  /// Department of each regular user node (index into departments).
+  std::vector<std::uint32_t> dept_of_node;
+
+  explicit Builder(const GeneratorConfig& config)
+      : cfg(config), rng(config.seed) {}
+
+  std::uint32_t tiers() const { return cfg.num_tiers; }
+  std::int8_t regular_tier() const {
+    return static_cast<std::int8_t>(cfg.num_tiers - 1);
+  }
+
+  // --- element helpers ----------------------------------------------------
+  ElementId make_element(NodeIndex node) {
+    const ElementId e = out.meta.add_element(out.graph.name(node));
+    out.node_of_element.push_back(node);
+    if (element_of_node.size() <= node) {
+      element_of_node.resize(node + 1, metagraph::kNoElement);
+    }
+    element_of_node[node] = e;
+    return e;
+  }
+
+  SetId singleton(ElementId e) {
+    if (singleton_of_element.size() <= e) {
+      singleton_of_element.resize(e + 1, metagraph::kNoSet);
+    }
+    if (singleton_of_element[e] == metagraph::kNoSet) {
+      const SetId s = out.meta.add_set("{" + out.meta.element_name(e) + "}",
+                                       {e});
+      singleton_of_element[e] = s;
+      if (out.node_of_set.size() < out.meta.set_count()) {
+        out.node_of_set.resize(out.meta.set_count(), adcore::kNoNodeIndex);
+      }
+      out.node_of_set[s] = out.node_of_element[e];
+    }
+    return singleton_of_element[e];
+  }
+
+  /// Places a freshly created leaf object into an OU: Contains edge,
+  /// metagraph element, OU-set membership.
+  ElementId place_in_ou(NodeIndex node, OuIndex ou) {
+    out.graph.add_edge(out.org.ous[ou].graph_node, node, EdgeKind::kContains);
+    ++out.stats.structural_edges;
+    const ElementId e = make_element(node);
+    out.meta.add_to_set(out.org.ous[ou].set, e);
+    return e;
+  }
+
+  void join_group(NodeIndex user, GroupIndex group) {
+    out.graph.add_edge(user, out.org.groups[group].graph_node,
+                       EdgeKind::kMemberOf);
+    ++out.stats.structural_edges;
+    out.meta.add_to_set(out.org.groups[group].set, element_of_node[user]);
+  }
+
+  // --- stage (a) step 2: users and computers ------------------------------
+  void create_objects();
+  // --- stage (a) step 3: group membership ---------------------------------
+  void assign_group_members();
+  // --- stage (b): deterministic tier delegation -----------------------------
+  void generate_tier_delegation();
+  // --- stage (b): Algorithm 1 ---------------------------------------------
+  void generate_control(bool is_acl);
+  // --- stage (b): Algorithm 2 ---------------------------------------------
+  void generate_sessions();
+  // --- stage (c): Algorithms 3 & 4 ----------------------------------------
+  void generate_misconfig_sessions();
+  void generate_misconfig_permissions();
+
+  // Resource pools for Algorithm 1, precomputed per tier: targets at the
+  // group's tier and the tiers below it (numerically >= t).
+  struct Resource {
+    SetId set;
+    NodeIndex node;
+    std::int8_t tier;
+  };
+  std::vector<Resource> acl_resources;      // OUs and groups
+  std::vector<Resource> non_acl_resources;  // computer-containing OUs
+  void collect_resources();
+  std::size_t count_at_or_below(const std::vector<Resource>& pool,
+                                std::int8_t tier) const;
+  const Resource& random_resource(const std::vector<Resource>& pool,
+                                  std::int8_t tier);
+};
+
+void Builder::create_objects() {
+  const std::uint32_t k = tiers();
+  const std::size_t structural = out.graph.node_count();
+  const std::size_t remaining =
+      cfg.target_nodes > structural ? cfg.target_nodes - structural : 0;
+  std::size_t users_total =
+      static_cast<std::size_t>(std::llround(
+          static_cast<double>(remaining) * cfg.user_share));
+  users_total = std::min(users_total, remaining);
+  const std::size_t computers_total = remaining - users_total;
+
+  // --- users ---------------------------------------------------------------
+  // Admin users: split evenly across every tier (tier k-1 admins are the
+  // support/helpdesk staff of the regular tier).  At least two per tier so
+  // that Domain Admins and each tier's groups are populated.
+  std::size_t admin_users = static_cast<std::size_t>(std::llround(
+      static_cast<double>(users_total) * cfg.admin_user_fraction));
+  admin_users = std::max<std::size_t>(admin_users, 2 * k);
+  admin_users = std::min(admin_users, users_total);
+  const std::size_t regular_users = users_total - admin_users;
+  std::size_t disabled_users = static_cast<std::size_t>(std::llround(
+      static_cast<double>(regular_users) * cfg.disabled_user_fraction));
+  disabled_users = std::min(disabled_users, regular_users);
+  const std::size_t enabled_regular = regular_users - disabled_users;
+
+  std::uint32_t ordinal = 0;
+  for (std::uint32_t t = 0; t < k; ++t) {
+    const std::size_t count = admin_users / k + (t < admin_users % k ? 1 : 0);
+    const auto& target_ous = out.org.account_ous_by_tier[t];
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeIndex node = out.graph.add_named_node(
+          ObjectKind::kUser,
+          "ADM_" + adcore::make_user_logon_name(rng, ordinal++),
+          static_cast<std::int8_t>(t),
+          adcore::node_flag::kAdmin | adcore::node_flag::kEnabled);
+      place_in_ou(node, target_ous[i % target_ous.size()]);
+      out.users_by_tier[t].push_back(node);
+      out.admin_users_by_tier[t].push_back(node);
+      ++out.stats.admin_users;
+      ++out.stats.users;
+    }
+  }
+
+  // Regular enabled users: uniformly over department × location OUs.
+  const auto& dls = out.org.dept_locations;
+  for (std::size_t i = 0; i < enabled_regular; ++i) {
+    const auto& dl = dls[rng.index(dls.size())];
+    const NodeIndex node = out.graph.add_named_node(
+        ObjectKind::kUser, adcore::make_user_logon_name(rng, ordinal++),
+        regular_tier(), adcore::node_flag::kEnabled);
+    place_in_ou(node, dl.users_ou);
+    if (dept_of_node.size() <= node) dept_of_node.resize(node + 1, kNoOrgIndex);
+    dept_of_node[node] = dl.department;
+    out.users_by_tier[k - 1].push_back(node);
+    out.regular_users_by_tier[k - 1].push_back(node);
+    ++out.stats.users;
+  }
+
+  // Disabled users: parked in the Disabled Accounts OU, no flags set.
+  for (std::size_t i = 0; i < disabled_users; ++i) {
+    const NodeIndex node = out.graph.add_named_node(
+        ObjectKind::kUser,
+        "DIS_" + adcore::make_user_logon_name(rng, ordinal++), regular_tier(),
+        0);
+    place_in_ou(node, out.org.disabled_ou);
+    ++out.stats.disabled_users;
+    ++out.stats.users;
+  }
+
+  // --- computers -------------------------------------------------------------
+  std::size_t paws = static_cast<std::size_t>(std::llround(
+      static_cast<double>(computers_total) * cfg.paw_fraction));
+  std::size_t dcs = std::min<std::size_t>(cfg.num_domain_controllers,
+                                          computers_total);
+  std::size_t servers = static_cast<std::size_t>(std::llround(
+      static_cast<double>(computers_total) * cfg.server_fraction));
+  // Admin tiers each need at least one PAW so admins have a session target.
+  const std::size_t admin_tiers = k > 1 ? k - 1 : 1;
+  paws = std::max(paws, admin_tiers);
+  if (paws + dcs + servers > computers_total) {
+    paws = std::min(paws, computers_total);
+    dcs = std::min(dcs, computers_total - paws);
+    servers = computers_total - paws - dcs;
+  }
+  const std::size_t workstations = computers_total - paws - dcs - servers;
+
+  std::uint32_t comp_ordinal = 0;
+  // PAWs across admin tiers (devices OUs exist for tiers 0..k-2, or tier 0
+  // alone when k == 1).
+  for (std::size_t i = 0; i < paws; ++i) {
+    const std::uint32_t t = static_cast<std::uint32_t>(i % admin_tiers);
+    const auto& target_ous = out.org.device_ous_by_tier[t];
+    const NodeIndex node = out.graph.add_named_node(
+        ObjectKind::kComputer, adcore::make_computer_name("PAW", comp_ordinal++),
+        static_cast<std::int8_t>(t), adcore::node_flag::kPaw);
+    place_in_ou(node, target_ous[i % target_ous.size()]);
+    out.computers_by_tier[t].push_back(node);
+    ++out.stats.paws;
+    ++out.stats.computers;
+  }
+  // Domain controllers: tier 0 servers.
+  for (std::size_t i = 0; i < dcs; ++i) {
+    const auto& target_ous = out.org.server_ous_by_tier[0];
+    const NodeIndex node = out.graph.add_named_node(
+        ObjectKind::kComputer, adcore::make_computer_name("DC", comp_ordinal++),
+        0, adcore::node_flag::kServer);
+    place_in_ou(node, target_ous[i % target_ous.size()]);
+    out.computers_by_tier[0].push_back(node);
+    ++out.stats.servers;
+    ++out.stats.computers;
+  }
+  // Enterprise servers: tier 1 (tier 0 when k == 1).
+  const std::uint32_t server_tier = k >= 2 ? 1 : 0;
+  for (std::size_t i = 0; i < servers; ++i) {
+    const auto& target_ous = out.org.server_ous_by_tier[server_tier];
+    const NodeIndex node = out.graph.add_named_node(
+        ObjectKind::kComputer, adcore::make_computer_name("SRV", comp_ordinal++),
+        static_cast<std::int8_t>(server_tier), adcore::node_flag::kServer);
+    place_in_ou(node, target_ous[i % target_ous.size()]);
+    out.computers_by_tier[server_tier].push_back(node);
+    ++out.stats.servers;
+    ++out.stats.computers;
+  }
+  // Workstations: uniformly over department × location OUs.
+  for (std::size_t i = 0; i < workstations; ++i) {
+    const auto& dl = dls[rng.index(dls.size())];
+    const NodeIndex node = out.graph.add_named_node(
+        ObjectKind::kComputer, adcore::make_computer_name("WS", comp_ordinal++),
+        regular_tier(), 0);
+    place_in_ou(node, dl.workstations_ou);
+    out.computers_by_tier[k - 1].push_back(node);
+    ++out.stats.computers;
+  }
+}
+
+void Builder::assign_group_members() {
+  const std::uint32_t k = tiers();
+  const std::uint32_t span =
+      cfg.max_groups_per_user - cfg.min_groups_per_user;
+  // Admin users join admin groups of their own tier (least privilege:
+  // never a higher tier's groups).  Per best practice, Domain Admins is
+  // kept minimal: tier-0 admins are placed in the delegation groups, and
+  // only the primary operator account (plus a deputy) holds direct DA
+  // membership — everyone else administers through delegated rights.
+  for (std::uint32_t t = 0; t < k; ++t) {
+    std::vector<GroupIndex> pool = out.org.admin_groups_by_tier[t];
+    if (t == 0 && pool.size() > 1) {
+      pool.erase(std::find(pool.begin(), pool.end(), out.org.domain_admins));
+    }
+    for (const NodeIndex user : out.admin_users_by_tier[t]) {
+      const std::uint32_t want =
+          cfg.min_groups_per_user +
+          (span > 0 ? static_cast<std::uint32_t>(rng.uniform(0, span)) : 0);
+      for (const std::size_t gi :
+           rng.sample_indices(pool.size(), std::max<std::uint32_t>(want, 1))) {
+        join_group(user, pool[gi]);
+      }
+    }
+  }
+  // Domain Admins: the primary operator and (when available) a deputy —
+  // plus, in poorly run estates, a bloat of direct members.
+  {
+    const auto& t0 = out.admin_users_by_tier[0];
+    if (!t0.empty()) {
+      join_group(t0.front(), out.org.domain_admins);
+      if (t0.size() > 1) join_group(t0[1], out.org.domain_admins);
+      for (std::size_t i = 2; i < t0.size(); ++i) {
+        if (rng.chance(cfg.domain_admins_bloat)) {
+          join_group(t0[i], out.org.domain_admins);
+        }
+      }
+    }
+  }
+  // Regular users join their department's distribution/security groups.
+  for (const NodeIndex user : out.regular_users_by_tier[k - 1]) {
+    const std::uint32_t dept = dept_of_node[user];
+    const auto& pool = out.org.department_groups[dept];
+    const std::uint32_t want =
+        cfg.min_groups_per_user +
+        (span > 0 ? static_cast<std::uint32_t>(rng.uniform(0, span)) : 0);
+    for (const std::size_t gi :
+         rng.sample_indices(pool.size(), std::max<std::uint32_t>(want, 1))) {
+      join_group(user, pool[gi]);
+    }
+  }
+}
+
+void Builder::collect_resources() {
+  for (OuIndex i = 0; i < out.org.ous.size(); ++i) {
+    const OuNode& ou = out.org.ous[i];
+    switch (ou.role) {
+      case OuRole::kAccounts:
+      case OuRole::kUsers:
+      case OuRole::kGroupsOu:
+      case OuRole::kDisabled:
+        acl_resources.push_back({ou.set, ou.graph_node, ou.tier});
+        break;
+      case OuRole::kDevices:
+      case OuRole::kServers:
+      case OuRole::kWorkstations:
+        acl_resources.push_back({ou.set, ou.graph_node, ou.tier});
+        non_acl_resources.push_back({ou.set, ou.graph_node, ou.tier});
+        break;
+      default:
+        break;  // structural roots are not delegation targets
+    }
+  }
+  for (const GroupRecord& g : out.org.groups) {
+    acl_resources.push_back({g.set, g.graph_node, g.tier});
+  }
+}
+
+std::size_t Builder::count_at_or_below(const std::vector<Resource>& pool,
+                                       std::int8_t tier) const {
+  std::size_t n = 0;
+  for (const Resource& r : pool) n += r.tier >= tier ? 1 : 0;
+  return n;
+}
+
+const Builder::Resource& Builder::random_resource(
+    const std::vector<Resource>& pool, std::int8_t tier) {
+  // Rejection sampling: tier pools are small, and resources at or below a
+  // tier always dominate the pool for low tiers.
+  for (int attempts = 0; attempts < 1024; ++attempts) {
+    const Resource& r = pool[rng.index(pool.size())];
+    if (r.tier >= tier) return r;
+  }
+  // Deterministic fallback (can only be reached when almost all resources
+  // sit above the tier): first eligible entry.
+  for (const Resource& r : pool) {
+    if (r.tier >= tier) return r;
+  }
+  throw std::logic_error("random_resource: no eligible resource");
+}
+
+void Builder::generate_tier_delegation() {
+  // Administrative delegation within a tier is not random: the tier's
+  // admin groups are, by construction, the groups that administer the
+  // tier's accounts and groups containers [20], [31].  These deterministic
+  // grants are what Algorithm 1's random draws are layered on top of.
+  for (std::uint32_t t = 0; t < tiers(); ++t) {
+    const OuIndex accounts_ou = out.org.account_ous_by_tier[t].front();
+    const OuIndex groups_ou = out.org.groups_ou_by_tier[t];
+    for (const GroupIndex gi : out.org.admin_groups_by_tier[t]) {
+      const GroupRecord& g = out.org.groups[gi];
+      for (const OuIndex target : {accounts_ou, groups_ou}) {
+        if (target == kNoOrgIndex) continue;
+        out.graph.add_edge(g.graph_node, out.org.ous[target].graph_node,
+                           EdgeKind::kGenericAll);
+        out.meta.add_edge(g.set, out.org.ous[target].set,
+                          {"GenericAll", {}});
+        ++out.stats.permission_edges;
+      }
+    }
+  }
+}
+
+void Builder::generate_control(bool is_acl) {
+  // Algorithm 1.  For every tier t and admin group g ∈ AG(t): cap the
+  // number of grants at p_r × total_resources(t, k, is_acl) and sample
+  // targets from the group's tier and the tiers below it.
+  const auto& pool = is_acl ? acl_resources : non_acl_resources;
+  const auto& permissions = is_acl ? adcore::acl_permission_pool()
+                                   : adcore::non_acl_permission_pool();
+  for (std::uint32_t t = 0; t < tiers(); ++t) {
+    const auto tier = static_cast<std::int8_t>(t);
+    const std::size_t total = count_at_or_below(pool, tier);
+    if (total == 0) continue;
+    const std::size_t n_r = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(
+               static_cast<double>(total) * cfg.resource_ratio)));
+    for (const GroupIndex gi : out.org.admin_groups_by_tier[t]) {
+      const GroupRecord& g = out.org.groups[gi];
+      std::unordered_set<std::uint64_t> granted;  // dedupe (target, perm)
+      for (std::size_t it = 0; it < n_r; ++it) {
+        const Resource& target = random_resource(pool, tier);
+        const EdgeKind perm = permissions[rng.index(permissions.size())];
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(target.node) << 8) |
+            static_cast<std::uint64_t>(perm);
+        if (!granted.insert(key).second) continue;
+        out.graph.add_edge(g.graph_node, target.node, perm);
+        out.meta.add_edge(g.set, target.set,
+                          {std::string(adcore::edge_kind_name(perm)), {}});
+        ++out.stats.permission_edges;
+      }
+    }
+  }
+}
+
+void Builder::generate_sessions() {
+  // Algorithm 2.  C(t, k): computers at the user's tier and the tiers of
+  // equal or higher privilege (numerically <= t) — credentials never land
+  // on less-privileged systems.
+  const std::uint32_t k = tiers();
+
+  // Tier-0 infrastructure is administered from within the tier, with the
+  // logon pattern of real estates: each PAW belongs to an administrator
+  // (who is logged on to it), while the domain controllers carry sessions
+  // of the primary operator account, which performs the day-to-day DC
+  // maintenance (with probability 1 − bias a uniformly drawn admin logs on
+  // instead).  Credentials stay at their own tier — these are legal
+  // sessions.  Lower tiers rely on Algorithm 2's per-user draws alone, so
+  // their coverage is sparse, as in practice.
+  {
+    const auto& admins = out.admin_users_by_tier[0];
+    if (!admins.empty()) {
+      const NodeIndex primary = admins.front();
+      std::size_t paw_ordinal = 0;
+      for (const NodeIndex comp : out.computers_by_tier[0]) {
+        NodeIndex admin;
+        if (out.graph.has_flag(comp, adcore::node_flag::kPaw)) {
+          admin = admins[paw_ordinal++ % admins.size()];  // the PAW's owner
+        } else {
+          admin = rng.chance(cfg.primary_operator_bias)
+                      ? primary
+                      : admins[rng.index(admins.size())];
+        }
+        out.graph.add_edge(comp, admin, EdgeKind::kHasSession);
+        out.meta.add_edge(singleton(element_of_node[comp]),
+                          singleton(element_of_node[admin]),
+                          {"HasSession", {}});
+        ++out.stats.session_edges;
+      }
+    }
+  }
+  std::vector<NodeIndex> allowed;
+  for (std::uint32_t t = 0; t < k; ++t) {
+    allowed.clear();
+    for (std::uint32_t ct = 0; ct <= t; ++ct) {
+      allowed.insert(allowed.end(), out.computers_by_tier[ct].begin(),
+                     out.computers_by_tier[ct].end());
+    }
+    if (allowed.empty()) continue;
+    const double cap_by_ratio =
+        cfg.session_ratio * static_cast<double>(allowed.size());
+    const std::size_t cap = std::min<std::size_t>(
+        cfg.max_sessions_per_user,
+        static_cast<std::size_t>(std::floor(cap_by_ratio)));
+    for (const NodeIndex user : out.users_by_tier[t]) {
+      const bool is_admin = out.graph.has_flag(user, adcore::node_flag::kAdmin);
+      std::size_t num;
+      if (cfg.session_model == SessionModel::kLongTail) {
+        // Future-work model (§IV-B): most users on 1–2 machines, a 3–4
+        // machine staff profile, and a sparse geometric tail to the cap.
+        const double roll = rng.real();
+        if (roll < 0.15) {
+          num = 0;
+        } else if (roll < 0.60) {
+          num = 1;
+        } else if (roll < 0.82) {
+          num = 2;
+        } else if (roll < 0.92) {
+          num = 3;
+        } else if (roll < 0.999) {
+          num = 4;
+        } else {
+          num = 5;
+          while (num < cap && rng.chance(0.75)) ++num;
+        }
+        num = std::min<std::size_t>(num, cap);
+      } else {
+        num = cap > 0 ? static_cast<std::size_t>(rng.uniform(0, cap)) : 0;
+      }
+      // Administrators always hold at least one session on their tier's
+      // infrastructure (they administer from PAWs) so that control paths
+      // terminate in harvestable credentials, as in real estates.
+      if (is_admin && num == 0) num = 1;
+      if (num == 0) continue;
+      for (const std::size_t ci : rng.sample_indices(allowed.size(), num)) {
+        const NodeIndex comp = allowed[ci];
+        out.graph.add_edge(comp, user, EdgeKind::kHasSession);
+        out.meta.add_edge(singleton(element_of_node[comp]),
+                          singleton(element_of_node[user]),
+                          {"HasSession", {}});
+        ++out.stats.session_edges;
+      }
+    }
+  }
+}
+
+void Builder::generate_misconfig_sessions() {
+  // Algorithm 3: a privileged user's credentials leak onto a computer in a
+  // lower (numerically higher) tier.
+  const std::uint32_t k = tiers();
+  if (k < 2) return;  // no lower tier exists
+  std::size_t total_users = 0;
+  for (const auto& tier_users : out.users_by_tier) {
+    total_users += tier_users.size();
+  }
+  const auto num_misconfig = static_cast<std::size_t>(std::llround(
+      cfg.perc_misconfig_sessions * static_cast<double>(total_users)));
+  for (std::size_t i = 0; i < num_misconfig; ++i) {
+    const bool is_admin = rng.chance(0.5);
+    const auto user_tier =
+        static_cast<std::uint32_t>(rng.uniform(0, k - 2));
+    // random_user(is_admin, user_tier): tiers below the last hold admin
+    // accounts only, so a regular draw falls back to an admin one.
+    const auto& admin_pool = out.admin_users_by_tier[user_tier];
+    const auto& regular_pool = out.regular_users_by_tier[user_tier];
+    const auto& pool =
+        (!is_admin && !regular_pool.empty()) ? regular_pool : admin_pool;
+    if (pool.empty()) continue;
+    // The most active account is the one whose credentials leak: tier-0
+    // violations predominantly involve the primary operator (whose logons
+    // already dominate tier-0 infrastructure, see generate_sessions).
+    const bool admin_draw = &pool == &admin_pool;
+    const NodeIndex user =
+        (admin_draw && user_tier == 0 && rng.chance(cfg.primary_operator_bias))
+            ? pool.front()
+            : pool[rng.index(pool.size())];
+
+    const auto comp_tier =
+        static_cast<std::uint32_t>(rng.uniform(user_tier + 1, k - 1));
+    const auto& comps = out.computers_by_tier[comp_tier];
+    if (comps.empty()) continue;
+    const NodeIndex comp = comps[rng.index(comps.size())];
+
+    out.graph.add_edge(comp, user, EdgeKind::kHasSession, /*violation=*/true);
+    out.meta.add_edge(singleton(element_of_node[comp]),
+                      singleton(element_of_node[user]), {"HasSession", {}});
+    ++out.stats.violation_sessions;
+  }
+}
+
+void Builder::generate_misconfig_permissions() {
+  // Algorithm 4: a regular (non-admin) user is granted a non-ACL permission
+  // on a computer in a higher-privileged tier.
+  const std::uint32_t k = tiers();
+  if (k < 2) return;
+  std::size_t total_users = 0;
+  for (const auto& tier_users : out.users_by_tier) {
+    total_users += tier_users.size();
+  }
+  const auto num_misconfig = static_cast<std::size_t>(std::llround(
+      cfg.perc_misconfig_permissions * static_cast<double>(total_users)));
+  const auto& permissions = adcore::non_acl_permission_pool();
+  for (std::size_t i = 0; i < num_misconfig; ++i) {
+    auto user_tier = static_cast<std::uint32_t>(rng.uniform(1, k - 1));
+    // Prefer a genuine regular user at the drawn tier; tiers holding only
+    // admin accounts fall back to the support/helpdesk population of the
+    // regular tier, keeping the "regular user" semantics of Algorithm 4.
+    const std::vector<NodeIndex>* pool = &out.regular_users_by_tier[user_tier];
+    if (pool->empty()) {
+      pool = &out.regular_users_by_tier[k - 1];
+      if (pool->empty()) pool = &out.users_by_tier[user_tier];
+      else user_tier = k - 1;
+    }
+    if (pool->empty()) continue;
+    const NodeIndex user = (*pool)[rng.index(pool->size())];
+
+    const auto comp_tier =
+        static_cast<std::uint32_t>(rng.uniform(0, user_tier - 1));
+    const auto& comps = out.computers_by_tier[comp_tier];
+    if (comps.empty()) continue;
+    // Misconfigured DCOM/PSRemote/SQL rights are service misconfigurations:
+    // with misconfig_server_bias they land on the tier's servers (DCs,
+    // jump hosts) rather than an arbitrary machine.
+    NodeIndex comp = comps[rng.index(comps.size())];
+    if (rng.chance(cfg.misconfig_server_bias)) {
+      for (int attempts = 0; attempts < 64; ++attempts) {
+        const NodeIndex candidate = comps[rng.index(comps.size())];
+        if (out.graph.has_flag(candidate, adcore::node_flag::kServer)) {
+          comp = candidate;
+          break;
+        }
+      }
+    }
+
+    const EdgeKind perm = permissions[rng.index(permissions.size())];
+    out.graph.add_edge(user, comp, perm, /*violation=*/true);
+    out.meta.add_edge(singleton(element_of_node[user]),
+                      singleton(element_of_node[comp]),
+                      {std::string(adcore::edge_kind_name(perm)), {}});
+    ++out.stats.violation_permissions;
+  }
+}
+
+}  // namespace
+
+GeneratedAd generate_ad(const GeneratorConfig& config) {
+  config.validate();
+  Builder b(config);
+
+  // Stage (a): nodes.
+  build_structure(config, b.rng, b.out);
+  b.create_objects();
+  b.assign_group_members();
+
+  // Stage (b): edges.
+  b.collect_resources();
+  b.generate_tier_delegation();
+  b.generate_control(/*is_acl=*/true);
+  b.generate_control(/*is_acl=*/false);
+  b.generate_sessions();
+
+  // Stage (c): misconfigurations.
+  b.generate_misconfig_sessions();
+  b.generate_misconfig_permissions();
+
+  return std::move(b.out);
+}
+
+}  // namespace adsynth::core

@@ -1,0 +1,27 @@
+// The ADSynth generator: the paper's three-stage pipeline (Fig. 1).
+//
+//  (a) Node generation  — organisational skeleton (structure.hpp), object
+//      creation and OU placement, group membership (least privilege: users
+//      only join groups of their own tier).
+//  (b) Edge generation  — Algorithm 1 (control & management permissions,
+//      ACL and non-ACL) and Algorithm 2 (logon sessions under the tier
+//      model's restrictions).
+//  (c) Misconfiguration — Algorithm 3 (violated cross-tier sessions) and
+//      Algorithm 4 (violated permissions), rates set by the two
+//      perc_misconfig parameters.
+//
+// The generator simultaneously maintains the set-to-set metagraph (OUs and
+// groups as vertex sets; permissions as set-to-set edges; sessions as
+// edges between singleton sets) and the BloodHound-style attack graph.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+
+namespace adsynth::core {
+
+/// Runs the full pipeline.  Deterministic for a given config (incl. seed).
+/// Throws std::invalid_argument on invalid configs.
+GeneratedAd generate_ad(const GeneratorConfig& config);
+
+}  // namespace adsynth::core

@@ -1,0 +1,139 @@
+// Output model of the ADSynth generator: the organisational structure, the
+// BloodHound-style attack graph, and the set-to-set metagraph, with the
+// mappings between them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adcore/attack_graph.hpp"
+#include "metagraph/metagraph.hpp"
+
+namespace adsynth::core {
+
+using adcore::NodeIndex;
+
+/// Index into OrgStructure::ous / ::groups.
+using OuIndex = std::uint32_t;
+using GroupIndex = std::uint32_t;
+inline constexpr std::uint32_t kNoOrgIndex = 0xffffffffu;
+
+/// What an OU is for; drives object placement in generation step 2.
+enum class OuRole : std::uint8_t {
+  kAdminRoot,     // the "Admin" OU holding the tiered admin structure
+  kTierRoot,      // "Tier 0", "Tier 1", ...
+  kAccounts,      // admin user accounts of a tier
+  kGroupsOu,      // groups container (admin tier or department)
+  kDevices,       // PAWs of a tier
+  kServers,       // servers (tier 1) / domain controllers (tier 0)
+  kDepartment,    // department root in the regular tier
+  kLocation,      // department × location
+  kUsers,         // regular users of a department location
+  kWorkstations,  // regular workstations of a department location
+  kDisabled,      // disabled accounts
+};
+
+struct OuNode {
+  std::string name;
+  OuIndex parent = kNoOrgIndex;  // kNoOrgIndex for children of the domain
+  std::int8_t tier = adcore::kNoTier;
+  OuRole role = OuRole::kTierRoot;
+  NodeIndex graph_node = adcore::kNoNodeIndex;
+  metagraph::SetId set = metagraph::kNoSet;
+};
+
+enum class GroupType : std::uint8_t {
+  kAdmin,         // tiered administrative/delegation group
+  kSecurity,      // department security group (root-folder NTFS access)
+  kDistribution,  // department × location distribution group
+};
+
+struct GroupRecord {
+  std::string name;
+  std::int8_t tier = adcore::kNoTier;
+  GroupType type = GroupType::kAdmin;
+  OuIndex ou = kNoOrgIndex;
+  std::uint32_t department = kNoOrgIndex;  // index into config departments
+  std::uint32_t location = kNoOrgIndex;
+  std::uint32_t folder = kNoOrgIndex;      // root-folder ordinal
+  NodeIndex graph_node = adcore::kNoNodeIndex;
+  metagraph::SetId set = metagraph::kNoSet;
+};
+
+/// The organisational skeleton produced by generation step 1.
+struct OrgStructure {
+  std::vector<OuNode> ous;
+  std::vector<GroupRecord> groups;
+
+  /// Admin group indices per tier (AG(t) of Algorithm 1).
+  std::vector<std::vector<GroupIndex>> admin_groups_by_tier;
+  /// Department groups of the regular tier, per department: first the
+  /// distribution groups (one per location), then the security groups
+  /// (one per root folder).
+  std::vector<std::vector<GroupIndex>> department_groups;
+
+  GroupIndex domain_admins = kNoOrgIndex;
+
+  /// Admin placement targets (OU indices) per tier.
+  std::vector<std::vector<OuIndex>> account_ous_by_tier;  // admin accounts
+  /// The tier's "Tn Groups" OU (admin delegation target), one per tier.
+  std::vector<OuIndex> groups_ou_by_tier;
+  std::vector<std::vector<OuIndex>> device_ous_by_tier;   // PAWs
+  std::vector<std::vector<OuIndex>> server_ous_by_tier;   // servers/DCs
+
+  /// Regular placement targets (the last tier): one entry per
+  /// department × location pair, carrying its Users / Workstations OUs.
+  struct DeptLocation {
+    std::uint32_t department = kNoOrgIndex;
+    std::uint32_t location = kNoOrgIndex;
+    OuIndex users_ou = kNoOrgIndex;
+    OuIndex workstations_ou = kNoOrgIndex;
+  };
+  std::vector<DeptLocation> dept_locations;
+  OuIndex disabled_ou = kNoOrgIndex;
+
+  /// GPO graph nodes (one per tier plus one per department).
+  std::vector<NodeIndex> gpos;
+};
+
+/// Per-kind / per-stage totals, reported by examples and asserted by tests.
+struct GenerationStats {
+  std::size_t users = 0;
+  std::size_t admin_users = 0;
+  std::size_t disabled_users = 0;
+  std::size_t computers = 0;
+  std::size_t servers = 0;
+  std::size_t paws = 0;
+  std::size_t groups = 0;
+  std::size_t ous = 0;
+  std::size_t gpos = 0;
+  std::size_t structural_edges = 0;    // Contains / GpLink / MemberOf
+  std::size_t permission_edges = 0;    // Algorithm 1
+  std::size_t session_edges = 0;       // Algorithm 2
+  std::size_t violation_sessions = 0;  // Algorithm 3
+  std::size_t violation_permissions = 0;  // Algorithm 4
+};
+
+/// The complete generator output.
+struct GeneratedAd {
+  adcore::AttackGraph graph;
+  metagraph::Metagraph meta;
+  OrgStructure org;
+  GenerationStats stats;
+
+  /// graph node of each metagraph element (leaf objects: users, computers).
+  std::vector<NodeIndex> node_of_element;
+  /// graph node of each metagraph set (groups and OUs).
+  std::vector<NodeIndex> node_of_set;
+
+  /// Users per tier (graph node indices) — U(t) of Algorithm 2/3.
+  std::vector<std::vector<NodeIndex>> users_by_tier;
+  /// Same, admin accounts only / regular accounts only.
+  std::vector<std::vector<NodeIndex>> admin_users_by_tier;
+  std::vector<std::vector<NodeIndex>> regular_users_by_tier;
+  /// Computers per tier — C(t) (enabled for sessions; excludes nothing).
+  std::vector<std::vector<NodeIndex>> computers_by_tier;
+};
+
+}  // namespace adsynth::core

@@ -1,0 +1,211 @@
+#include "core/structure.hpp"
+
+#include <stdexcept>
+
+#include "adcore/naming.hpp"
+#include "util/strings.hpp"
+
+namespace adsynth::core {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+
+namespace {
+
+/// Creates the twin representations of an OU: attack-graph node + metagraph
+/// set, plus the Contains edge from its parent (domain or another OU).
+OuIndex make_ou(GeneratedAd& out, std::string name, OuIndex parent,
+                std::int8_t tier, OuRole role) {
+  OuNode ou;
+  ou.name = name;
+  ou.parent = parent;
+  ou.tier = tier;
+  ou.role = role;
+  ou.graph_node = out.graph.add_named_node(ObjectKind::kOU, std::move(name),
+                                           tier);
+  ou.set = out.meta.add_set("OU:" + ou.name + "#" +
+                            std::to_string(out.org.ous.size()));
+  const NodeIndex parent_node = parent == kNoOrgIndex
+                                    ? out.graph.domain_node()
+                                    : out.org.ous[parent].graph_node;
+  out.graph.add_edge(parent_node, ou.graph_node, EdgeKind::kContains);
+  ++out.stats.structural_edges;
+  out.org.ous.push_back(std::move(ou));
+  if (out.node_of_set.size() < out.meta.set_count()) {
+    out.node_of_set.resize(out.meta.set_count(), adcore::kNoNodeIndex);
+  }
+  out.node_of_set[out.org.ous.back().set] = out.org.ous.back().graph_node;
+  return static_cast<OuIndex>(out.org.ous.size() - 1);
+}
+
+GroupIndex make_group(GeneratedAd& out, std::string name, std::int8_t tier,
+                      GroupType type, OuIndex ou, std::uint32_t department,
+                      std::uint32_t location, std::uint32_t folder) {
+  GroupRecord g;
+  g.name = util::to_upper(name);
+  g.tier = tier;
+  g.type = type;
+  g.ou = ou;
+  g.department = department;
+  g.location = location;
+  g.folder = folder;
+  std::uint8_t flags = type == GroupType::kDistribution
+                           ? adcore::node_flag::kDistributionGroup
+                           : adcore::node_flag::kSecurityGroup;
+  g.graph_node =
+      out.graph.add_named_node(ObjectKind::kGroup, g.name, tier, flags);
+  g.set = out.meta.add_set("G:" + g.name);
+  out.graph.add_edge(out.org.ous[ou].graph_node, g.graph_node,
+                     EdgeKind::kContains);
+  ++out.stats.structural_edges;
+  ++out.stats.groups;
+  out.org.groups.push_back(std::move(g));
+  if (out.node_of_set.size() < out.meta.set_count()) {
+    out.node_of_set.resize(out.meta.set_count(), adcore::kNoNodeIndex);
+  }
+  out.node_of_set[out.org.groups.back().set] =
+      out.org.groups.back().graph_node;
+  return static_cast<GroupIndex>(out.org.groups.size() - 1);
+}
+
+NodeIndex make_gpo(GeneratedAd& out, std::string name, OuIndex target_ou) {
+  const NodeIndex gpo =
+      out.graph.add_named_node(ObjectKind::kGPO, std::move(name));
+  out.graph.add_edge(gpo, out.org.ous[target_ou].graph_node, EdgeKind::kGpLink);
+  ++out.stats.structural_edges;
+  ++out.stats.gpos;
+  out.org.gpos.push_back(gpo);
+  return gpo;
+}
+
+}  // namespace
+
+void build_structure(const GeneratorConfig& config, util::Rng& rng,
+                     GeneratedAd& out) {
+  (void)rng;  // the skeleton is deterministic given the config
+  const std::uint32_t k = config.num_tiers;
+  const std::int8_t regular_tier = static_cast<std::int8_t>(k - 1);
+  const auto departments = config.effective_departments();
+  const auto locations = config.effective_locations();
+
+  // Domain head node.
+  const NodeIndex domain_node = out.graph.add_named_node(
+      ObjectKind::kDomain, util::to_upper(config.domain_fqdn), 0);
+  out.graph.set_domain_node(domain_node);
+
+  auto& org = out.org;
+  org.admin_groups_by_tier.assign(k, {});
+  org.department_groups.assign(departments.size(), {});
+  org.account_ous_by_tier.assign(k, {});
+  org.groups_ou_by_tier.assign(k, kNoOrgIndex);
+  org.device_ous_by_tier.assign(k, {});
+  org.server_ous_by_tier.assign(k, {});
+  out.users_by_tier.assign(k, {});
+  out.admin_users_by_tier.assign(k, {});
+  out.regular_users_by_tier.assign(k, {});
+  out.computers_by_tier.assign(k, {});
+
+  // --- administrative structure: OU Admin > Tier t > {...} ----------------
+  const OuIndex admin_root =
+      make_ou(out, "Admin", kNoOrgIndex, 0, OuRole::kAdminRoot);
+  for (std::uint32_t t = 0; t < k; ++t) {
+    const auto tier = static_cast<std::int8_t>(t);
+    const OuIndex tier_root = make_ou(out, "Tier " + std::to_string(t),
+                                      admin_root, tier, OuRole::kTierRoot);
+    const OuIndex accounts =
+        make_ou(out, "T" + std::to_string(t) + " Accounts", tier_root, tier,
+                OuRole::kAccounts);
+    const OuIndex groups_ou =
+        make_ou(out, "T" + std::to_string(t) + " Groups", tier_root, tier,
+                OuRole::kGroupsOu);
+    org.account_ous_by_tier[t].push_back(accounts);
+    org.groups_ou_by_tier[t] = groups_ou;
+
+    // Devices OU (PAWs) exists for administrative tiers; servers for tier 0
+    // (domain controllers) and tier 1 (enterprise servers).
+    if (t + 1 < k || k == 1) {
+      const OuIndex devices =
+          make_ou(out, "T" + std::to_string(t) + " Devices", tier_root, tier,
+                  OuRole::kDevices);
+      org.device_ous_by_tier[t].push_back(devices);
+    }
+    if (t == 0 || t == 1) {
+      const OuIndex servers =
+          make_ou(out, "T" + std::to_string(t) + " Servers", tier_root, tier,
+                  OuRole::kServers);
+      org.server_ous_by_tier[t].push_back(servers);
+    }
+
+    // Admin groups AG(t).  Tier 0's first group is Domain Admins.
+    for (std::uint32_t g = 0; g < config.admin_groups_per_tier; ++g) {
+      std::string name;
+      if (t == 0 && g == 0) {
+        name = "Domain Admins";
+      } else {
+        name = "Tier" + std::to_string(t) + " Admins " + std::to_string(g);
+      }
+      const GroupIndex gi =
+          make_group(out, std::move(name), tier, GroupType::kAdmin, groups_ou,
+                     kNoOrgIndex, kNoOrgIndex, kNoOrgIndex);
+      org.admin_groups_by_tier[t].push_back(gi);
+      if (t == 0 && g == 0) {
+        org.domain_admins = gi;
+        out.graph.set_domain_admins(org.groups[gi].graph_node);
+      }
+    }
+    make_gpo(out, "GPO Tier " + std::to_string(t), tier_root);
+  }
+
+  // Domain Admins holds GenericAll over the domain head (full control),
+  // the canonical top of every attack path.
+  out.graph.add_edge(org.groups[org.domain_admins].graph_node, domain_node,
+                     EdgeKind::kGenericAll);
+  ++out.stats.permission_edges;
+
+  // --- regular (last) tier: departments × locations -----------------------
+  for (std::uint32_t d = 0; d < departments.size(); ++d) {
+    const OuIndex dept_ou = make_ou(out, departments[d], kNoOrgIndex,
+                                    regular_tier, OuRole::kDepartment);
+    const OuIndex dept_groups_ou =
+        make_ou(out, departments[d] + " Groups", dept_ou, regular_tier,
+                OuRole::kGroupsOu);
+    for (std::uint32_t l = 0; l < locations.size(); ++l) {
+      const OuIndex loc_ou = make_ou(out, departments[d] + " " + locations[l],
+                                     dept_ou, regular_tier, OuRole::kLocation);
+      const OuIndex users_ou =
+          make_ou(out, departments[d] + " " + locations[l] + " Users", loc_ou,
+                  regular_tier, OuRole::kUsers);
+      const OuIndex ws_ou =
+          make_ou(out, departments[d] + " " + locations[l] + " Workstations",
+                  loc_ou, regular_tier, OuRole::kWorkstations);
+      org.dept_locations.push_back(
+          OrgStructure::DeptLocation{d, l, users_ou, ws_ou});
+
+      // Distribution group per department × location (§III-B.1).
+      const GroupIndex dl = make_group(
+          out, departments[d] + " " + locations[l] + " Distribution",
+          regular_tier, GroupType::kDistribution, dept_groups_ou, d, l,
+          kNoOrgIndex);
+      org.department_groups[d].push_back(dl);
+    }
+    // Security groups: one per root folder, with NTFS access rights.
+    for (std::uint32_t f = 0; f < config.num_root_folders; ++f) {
+      const GroupIndex sg = make_group(
+          out, departments[d] + " Folder" + std::to_string(f) + " Access",
+          regular_tier, GroupType::kSecurity, dept_groups_ou, d, kNoOrgIndex,
+          f);
+      org.department_groups[d].push_back(sg);
+    }
+    make_gpo(out, "GPO " + departments[d], dept_ou);
+  }
+
+  // --- disabled accounts OU ----------------------------------------------
+  org.disabled_ou = make_ou(out, "Disabled Accounts", kNoOrgIndex,
+                            regular_tier, OuRole::kDisabled);
+
+  out.stats.ous = org.ous.size();
+}
+
+}  // namespace adsynth::core

@@ -1,0 +1,35 @@
+// Generation stage (a), step 1: the organisational skeleton.
+//
+// Builds the tiered OU architecture of the Microsoft tier model (paper
+// Fig. 3) and the department groups:
+//
+//   DOMAIN
+//   └── OU Admin
+//       ├── OU Tier 0 ── {Accounts, Groups, Devices(PAW), Servers(DCs)}
+//       ├── OU Tier 1 ── {Accounts, Groups, Devices, Servers}
+//       └── ... (one per administrative tier; the last tier also gets a
+//                Groups OU for its support/helpdesk admin groups)
+//   ├── OU <Department> (regular tier, one per department)
+//   │   ├── OU <Location> ── {Users, Workstations}
+//   │   └── OU Groups  (distribution groups per location, security groups
+//   │                   per root folder — §III-B.1)
+//   └── OU Disabled Accounts
+//
+// Every OU and group becomes (1) a node in the BloodHound-style attack
+// graph, (2) a vertex set in the metagraph.  GPOs are created per tier and
+// per department and linked with GpLink.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::core {
+
+/// Builds OUs, groups, GPOs, the domain head node, and their Contains /
+/// GpLink edges into `out`.  Populates out.org and the per-tier placement
+/// target lists.  Requires a validated config.
+void build_structure(const GeneratorConfig& config, util::Rng& rng,
+                     GeneratedAd& out);
+
+}  // namespace adsynth::core

@@ -1,0 +1,182 @@
+#include "defense/double_oracle.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "analytics/reachability.hpp"
+
+namespace adsynth::defense {
+
+using analytics::Csr;
+using analytics::EdgeIndex;
+using adcore::NodeIndex;
+
+namespace {
+
+/// Depth-limited multi-source BFS avoiding blocked edges; returns the edge
+/// sequence of one path source→target with length <= limit, or nullopt.
+std::optional<std::vector<EdgeIndex>> attacker_oracle(
+    const Csr& forward, const std::vector<NodeIndex>& sources,
+    NodeIndex target, std::int32_t limit, const std::vector<bool>& blocked) {
+  const std::size_t n = forward.node_count();
+  std::vector<std::int32_t> dist(n, analytics::kUnreachable);
+  std::vector<EdgeIndex> parent_edge(n, analytics::kNoEdgeIndex);
+  std::vector<NodeIndex> parent_node(n, adcore::kNoNodeIndex);
+  std::deque<NodeIndex> frontier;
+  for (const NodeIndex s : sources) {
+    if (dist[s] == analytics::kUnreachable) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeIndex v = frontier.front();
+    frontier.pop_front();
+    if (v == target) break;
+    if (dist[v] >= limit) continue;
+    for (std::uint32_t i = forward.offsets[v]; i < forward.offsets[v + 1];
+         ++i) {
+      if (blocked[forward.edge_ids[i]]) continue;
+      const NodeIndex w = forward.targets[i];
+      if (dist[w] != analytics::kUnreachable) continue;
+      dist[w] = dist[v] + 1;
+      parent_edge[w] = forward.edge_ids[i];
+      parent_node[w] = v;
+      frontier.push_back(w);
+    }
+  }
+  if (dist[target] == analytics::kUnreachable || dist[target] > limit) {
+    return std::nullopt;
+  }
+  std::vector<EdgeIndex> path;
+  for (NodeIndex v = target; parent_node[v] != adcore::kNoNodeIndex;
+       v = parent_node[v]) {
+    path.push_back(parent_edge[v]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Greedy hitting set: repeatedly take the edge covering the most paths.
+std::vector<EdgeIndex> greedy_hitting_set(
+    const std::vector<std::vector<EdgeIndex>>& paths) {
+  std::vector<EdgeIndex> cuts;
+  std::vector<bool> covered(paths.size(), false);
+  std::size_t remaining = paths.size();
+  while (remaining > 0) {
+    std::map<EdgeIndex, std::size_t> gain;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (covered[p]) continue;
+      for (const EdgeIndex e : paths[p]) ++gain[e];
+    }
+    EdgeIndex best = analytics::kNoEdgeIndex;
+    std::size_t best_gain = 0;
+    for (const auto& [e, g] : gain) {
+      if (g > best_gain) {
+        best = e;
+        best_gain = g;
+      }
+    }
+    cuts.push_back(best);
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (covered[p]) continue;
+      if (std::find(paths[p].begin(), paths[p].end(), best) !=
+          paths[p].end()) {
+        covered[p] = true;
+        --remaining;
+      }
+    }
+  }
+  return cuts;
+}
+
+/// Exact minimum hitting set by iterative-deepening branch on an uncovered
+/// path's edges.  Feasible because collected path sets stay small (the
+/// double oracle usually converges within a few iterations).
+bool hit_search(const std::vector<std::vector<EdgeIndex>>& paths,
+                std::vector<bool>& covered, std::size_t budget,
+                std::vector<EdgeIndex>& chosen) {
+  // Find the first uncovered path.
+  std::size_t open = paths.size();
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    if (!covered[p]) {
+      open = p;
+      break;
+    }
+  }
+  if (open == paths.size()) return true;  // all covered
+  if (budget == 0) return false;
+  for (const EdgeIndex e : paths[open]) {
+    // Cover every path containing e.
+    std::vector<std::size_t> newly;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (!covered[p] && std::find(paths[p].begin(), paths[p].end(), e) !=
+                             paths[p].end()) {
+        covered[p] = true;
+        newly.push_back(p);
+      }
+    }
+    chosen.push_back(e);
+    if (hit_search(paths, covered, budget - 1, chosen)) return true;
+    chosen.pop_back();
+    for (const std::size_t p : newly) covered[p] = false;
+  }
+  return false;
+}
+
+std::vector<EdgeIndex> min_hitting_set(
+    const std::vector<std::vector<EdgeIndex>>& paths, std::size_t exact_limit) {
+  const std::vector<EdgeIndex> greedy = greedy_hitting_set(paths);
+  if (paths.size() > exact_limit) return greedy;
+  for (std::size_t budget = 1; budget < greedy.size(); ++budget) {
+    std::vector<bool> covered(paths.size(), false);
+    std::vector<EdgeIndex> chosen;
+    if (hit_search(paths, covered, budget, chosen)) return chosen;
+  }
+  return greedy;
+}
+
+}  // namespace
+
+DoubleOracleResult harden(const adcore::AttackGraph& graph,
+                          const DoubleOracleOptions& options) {
+  DoubleOracleResult result;
+  const NodeIndex target = graph.domain_admins();
+  if (target == adcore::kNoNodeIndex) {
+    throw std::logic_error("double_oracle: graph has no Domain Admins");
+  }
+  const Csr forward = analytics::build_forward(graph);
+  const std::vector<NodeIndex> sources = analytics::regular_users(graph);
+  if (sources.empty()) return result;
+
+  // Initial shortest attack length L.
+  std::vector<bool> blocked(graph.edge_count(), false);
+  const auto first =
+      attacker_oracle(forward, sources, target,
+                      std::numeric_limits<std::int32_t>::max(), blocked);
+  if (!first) return result;  // no attack path at all
+  result.initial_shortest_length = static_cast<std::int32_t>(first->size());
+
+  std::vector<std::vector<EdgeIndex>> paths{*first};
+  while (result.oracle_iterations < options.max_iterations) {
+    ++result.oracle_iterations;
+    // Defender oracle: minimal hitting set over enumerated paths.
+    result.cuts = min_hitting_set(paths, options.exact_limit);
+    std::fill(blocked.begin(), blocked.end(), false);
+    for (const EdgeIndex e : result.cuts) blocked[e] = true;
+    // Attacker oracle: a surviving path of the original shortest length.
+    const auto reply = attacker_oracle(forward, sources, target,
+                                       result.initial_shortest_length,
+                                       blocked);
+    if (!reply) return result;  // converged: no shortest-length path remains
+    paths.push_back(*reply);
+  }
+  result.converged = false;
+  return result;
+}
+
+}  // namespace adsynth::defense

@@ -1,0 +1,240 @@
+#include "defense/edge_block.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "analytics/reachability.hpp"
+#include "analytics/rp_rate.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::defense {
+
+using analytics::Csr;
+using analytics::EdgeIndex;
+using adcore::NodeIndex;
+
+namespace {
+
+/// Number of entry users still reaching the target under a block mask.
+std::size_t survivors(const adcore::AttackGraph& graph,
+                      const std::vector<bool>& blocked) {
+  return analytics::users_reaching_da(graph, &blocked).users_with_path;
+}
+
+/// Candidate edges for blocking: the highest-traffic edges on current
+/// shortest entry→target paths.
+std::vector<EdgeIndex> traffic_candidates(const adcore::AttackGraph& graph,
+                                          const std::vector<bool>& blocked,
+                                          std::size_t cap,
+                                          std::uint64_t seed) {
+  analytics::RpOptions rp_options;
+  rp_options.edge_traffic = true;
+  rp_options.max_sources = 96;
+  rp_options.seed = seed;
+  const auto rp = analytics::route_penetration(graph, rp_options, &blocked);
+  std::vector<std::pair<double, EdgeIndex>> ranked;
+  for (EdgeIndex e = 0; e < rp.edge_traffic.size(); ++e) {
+    if (rp.edge_traffic[e] > 0.0) ranked.emplace_back(rp.edge_traffic[e], e);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > cap) ranked.resize(cap);
+  std::vector<EdgeIndex> out;
+  out.reserve(ranked.size());
+  for (const auto& [traffic, e] : ranked) out.push_back(e);
+  return out;
+}
+
+struct BnbState {
+  const adcore::AttackGraph& graph;
+  const std::vector<EdgeIndex>& candidates;
+  std::size_t budget;
+  std::size_t node_limit;
+  std::size_t nodes_visited = 0;
+  std::size_t best_survivors;
+  std::vector<EdgeIndex> best_set;
+};
+
+/// Exact branch-and-bound over candidate subsets of size <= budget,
+/// minimizing surviving entry users (the "integer program").
+void bnb(BnbState& state, std::vector<bool>& blocked,
+         std::vector<EdgeIndex>& chosen, std::size_t next) {
+  if (state.nodes_visited++ > state.node_limit) return;
+  const std::size_t current = survivors(state.graph, blocked);
+  if (current < state.best_survivors) {
+    state.best_survivors = current;
+    state.best_set = chosen;
+  }
+  if (current == 0) return;  // cannot improve below zero
+  if (chosen.size() == state.budget || next >= state.candidates.size()) {
+    return;
+  }
+  for (std::size_t i = next; i < state.candidates.size(); ++i) {
+    const EdgeIndex e = state.candidates[i];
+    blocked[e] = true;
+    chosen.push_back(e);
+    bnb(state, blocked, chosen, i + 1);
+    chosen.pop_back();
+    blocked[e] = false;
+    if (state.nodes_visited > state.node_limit) return;
+  }
+}
+
+EdgeBlockResult run_ip(const adcore::AttackGraph& graph,
+                       const EdgeBlockOptions& options,
+                       std::size_t entry_users,
+                       std::size_t entry_connected) {
+  // Candidate discovery must interleave with blocking: an edge that is not
+  // on any *current* shortest path carries zero traffic, but becomes the
+  // critical edge once the paths in front of it are cut.  The kernelized
+  // instance is therefore built by a block-reveal loop (cut the heaviest
+  // edge, recompute) and the branch-and-bound then searches for the best
+  // <= budget subset of the revealed candidates.
+  std::vector<bool> blocked(graph.edge_count(), false);
+  std::vector<EdgeIndex> candidates;
+  const std::size_t want = options.budget + 8;
+  while (candidates.size() < want) {
+    const auto next = traffic_candidates(graph, blocked, 4, options.seed);
+    if (next.empty()) break;  // nothing reaches the target any more
+    for (const EdgeIndex e : next) {
+      if (candidates.size() >= want) break;
+      blocked[e] = true;
+      candidates.push_back(e);
+    }
+  }
+  std::fill(blocked.begin(), blocked.end(), false);
+
+  // Incumbent: the first `budget` revealed candidates (the greedy cut).
+  BnbState state{graph, candidates, options.budget, options.bnb_node_limit,
+                 0,     entry_connected, {}};
+  {
+    std::vector<bool> greedy_blocked(graph.edge_count(), false);
+    std::vector<EdgeIndex> greedy;
+    for (std::size_t i = 0; i < candidates.size() && i < options.budget; ++i) {
+      greedy_blocked[candidates[i]] = true;
+      greedy.push_back(candidates[i]);
+    }
+    state.best_survivors = survivors(graph, greedy_blocked);
+    state.best_set = std::move(greedy);
+  }
+  std::vector<EdgeIndex> chosen;
+  bnb(state, blocked, chosen, 0);
+
+  EdgeBlockResult result;
+  result.blocked_edges = state.best_set;
+  result.entry_users = entry_users;
+  result.entry_users_connected = entry_connected;
+  std::fill(blocked.begin(), blocked.end(), false);
+  for (const EdgeIndex e : result.blocked_edges) blocked[e] = true;
+  result.attacker_success =
+      entry_users == 0 ? 0.0
+                       : static_cast<double>(survivors(graph, blocked)) /
+                             static_cast<double>(entry_users);
+  return result;
+}
+
+EdgeBlockResult run_iterlp(const adcore::AttackGraph& graph,
+                           const EdgeBlockOptions& options,
+                           std::size_t entry_users,
+                           std::size_t entry_connected) {
+  // Iterative LP with rounding: under shortest-path attacker routing, the
+  // per-edge traffic share is the fractional solution of the path-covering
+  // LP; each iteration re-solves it (one RP sweep) and rounds the heaviest
+  // fractional edge into the integral blocked set, until the budget is
+  // spent or no path survives.  Re-solving after each rounding step is
+  // what distinguishes IterLP from the one-shot kernel of the IP.
+  std::vector<bool> blocked(graph.edge_count(), false);
+  EdgeBlockResult result;
+  result.entry_users = entry_users;
+  result.entry_users_connected = entry_connected;
+
+  const std::size_t iterations =
+      std::min(options.budget, options.lp_iterations);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const auto next = traffic_candidates(graph, blocked, 1,
+                                         options.seed + iter);
+    if (next.empty()) break;  // LP infeasible: no surviving path to cover
+    blocked[next.front()] = true;
+    result.blocked_edges.push_back(next.front());
+  }
+
+  result.attacker_success =
+      entry_users == 0 ? 0.0
+                       : static_cast<double>(survivors(graph, blocked)) /
+                             static_cast<double>(entry_users);
+  return result;
+}
+
+}  // namespace
+
+EdgeBlockResult block_edges(const adcore::AttackGraph& graph,
+                            EdgeBlockAlgorithm algorithm,
+                            const EdgeBlockOptions& options) {
+  const NodeIndex target = graph.domain_admins();
+  if (target == adcore::kNoNodeIndex) {
+    throw std::logic_error("edge_block: graph has no Domain Admins");
+  }
+
+  // --- setup validation (the stage that fails on realistic graphs) --------
+  const auto reach = analytics::users_reaching_da(graph);
+  const std::size_t entry_users = reach.regular_users;
+  const std::size_t entry_connected = reach.users_with_path;
+  const double connectivity =
+      entry_users == 0 ? 0.0
+                       : static_cast<double>(entry_connected) /
+                             static_cast<double>(entry_users);
+  if (connectivity < options.min_entry_connectivity) {
+    throw GraphSetupError(
+        "edge_block: graph setup error — only " +
+        std::to_string(entry_connected) + " of " +
+        std::to_string(entry_users) +
+        " entry users reach the target (connectivity " +
+        std::to_string(connectivity) +
+        " < required " + std::to_string(options.min_entry_connectivity) +
+        "); the kernelization assumes a connected entry population");
+  }
+  // Kernel branch-node bound: nodes on entry→target paths with multiple
+  // kernel out-neighbours (the FPT "splitting node" parameter).
+  {
+    const Csr forward = analytics::build_forward(graph);
+    const Csr reverse = analytics::build_reverse(graph);
+    const auto dist_from_sources =
+        analytics::bfs_distances(forward, analytics::regular_users(graph));
+    const auto dist_to_target = analytics::bfs_distances(reverse, {target});
+    std::vector<bool> in_kernel(graph.node_count(), false);
+    for (NodeIndex v = 0; v < graph.node_count(); ++v) {
+      in_kernel[v] = dist_from_sources[v] != analytics::kUnreachable &&
+                     dist_to_target[v] != analytics::kUnreachable;
+    }
+    std::size_t splitting = 0;
+    for (NodeIndex v = 0; v < graph.node_count(); ++v) {
+      if (!in_kernel[v]) continue;
+      std::size_t kernel_out = 0;
+      for (std::uint32_t i = forward.offsets[v]; i < forward.offsets[v + 1];
+           ++i) {
+        if (in_kernel[forward.targets[i]] && ++kernel_out >= 2) break;
+      }
+      if (kernel_out >= 2) ++splitting;
+    }
+    if (splitting > options.max_splitting_nodes) {
+      throw GraphSetupError(
+          "edge_block: graph setup error — kernel has " +
+          std::to_string(splitting) +
+          " splitting nodes (limit " +
+          std::to_string(options.max_splitting_nodes) +
+          "); the fixed-parameter algorithm's budget is exceeded");
+    }
+  }
+
+  switch (algorithm) {
+    case EdgeBlockAlgorithm::kIpKernelization:
+      return run_ip(graph, options, entry_users, entry_connected);
+    case EdgeBlockAlgorithm::kIterativeLp:
+      return run_iterlp(graph, options, entry_users, entry_connected);
+  }
+  throw std::logic_error("edge_block: unknown algorithm");
+}
+
+}  // namespace adsynth::defense

@@ -1,0 +1,173 @@
+#include "defense/honeypot.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "analytics/graph_view.hpp"
+#include "analytics/reachability.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::defense {
+
+using analytics::Csr;
+using adcore::NodeIndex;
+
+namespace {
+
+/// Shortest-path structure of the *original* graph: the attacker commits to
+/// a shortest path of the true graph, so distances are fixed once and the
+/// honeypot set only filters which of those paths remain undetected.
+struct PathSpace {
+  Csr forward;
+  Csr reverse;
+  std::vector<std::int32_t> dist_to_t;  // original hop distance to target
+  std::vector<NodeIndex> sources;       // contributing regular users
+  std::vector<double> sigma_st;         // original path count per source
+  double total_paths = 0.0;
+};
+
+/// σ counts toward the target over the original shortest-path DAG, visiting
+/// only nodes not in `avoid`.
+std::vector<double> sigma_to_target_avoiding(const PathSpace& space,
+                                             NodeIndex target,
+                                             const std::vector<bool>& avoid) {
+  const std::size_t n = space.reverse.node_count();
+  std::vector<double> sigma(n, 0.0);
+  if (avoid[target]) return sigma;  // degenerate: honeypot on the target
+  sigma[target] = 1.0;
+  // Process nodes in increasing dist_to_t (BFS order over the reverse DAG).
+  std::deque<NodeIndex> frontier{target};
+  std::vector<bool> queued(n, false);
+  queued[target] = true;
+  while (!frontier.empty()) {
+    const NodeIndex v = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t i = space.reverse.offsets[v];
+         i < space.reverse.offsets[v + 1]; ++i) {
+      const NodeIndex u = space.reverse.targets[i];
+      if (avoid[u]) continue;
+      if (space.dist_to_t[u] != space.dist_to_t[v] + 1) continue;
+      sigma[u] += sigma[v];
+      if (!queued[u]) {
+        queued[u] = true;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return sigma;
+}
+
+}  // namespace
+
+HoneypotResult place_honeypots(const adcore::AttackGraph& graph,
+                               const HoneypotOptions& options) {
+  const NodeIndex target = graph.domain_admins();
+  if (target == adcore::kNoNodeIndex) {
+    throw std::logic_error("place_honeypots: graph has no Domain Admins");
+  }
+  const std::size_t n = graph.node_count();
+
+  PathSpace space;
+  space.forward = analytics::build_forward(graph);
+  space.reverse = analytics::build_reverse(graph);
+  space.dist_to_t = analytics::bfs_distances(space.reverse, {target});
+
+  // The attacker entry population never hosts a honeypot — even users whose
+  // traffic was sampled out below.
+  std::vector<bool> is_source(n, false);
+  for (const NodeIndex u : analytics::regular_users(graph)) {
+    is_source[u] = true;
+    if (space.dist_to_t[u] != analytics::kUnreachable && u != target) {
+      space.sources.push_back(u);
+    }
+  }
+  HoneypotResult result;
+  if (space.sources.empty()) return result;
+  if (options.max_sources > 0 && space.sources.size() > options.max_sources) {
+    util::Rng rng(options.seed);
+    space.sources = rng.sample(space.sources, options.max_sources);
+  }
+
+  // Original per-source path counts (empty honeypot set).
+  std::vector<bool> honeypots(n, false);
+  {
+    const auto sigma_t = sigma_to_target_avoiding(space, target, honeypots);
+    space.sigma_st.reserve(space.sources.size());
+    for (const NodeIndex s : space.sources) {
+      space.sigma_st.push_back(sigma_t[s]);
+      space.total_paths += sigma_t[s];
+    }
+  }
+  if (space.total_paths <= 0.0) return result;
+
+  // Greedy max coverage: each round scores every candidate node by the
+  // undetected traffic through it, places the best, and re-evaluates.
+  std::vector<std::uint32_t> epoch(n, 0);
+  std::vector<double> sigma_s(n, 0.0);
+  std::uint32_t current_epoch = 0;
+  std::deque<NodeIndex> frontier;
+
+  for (std::size_t round = 0; round < options.count; ++round) {
+    const auto sigma_t = sigma_to_target_avoiding(space, target, honeypots);
+    std::vector<double> through(n, 0.0);
+    double uncovered = 0.0;
+    for (const NodeIndex s : space.sources) {
+      if (honeypots[s] || sigma_t[s] <= 0.0) continue;
+      ++current_epoch;
+      frontier.clear();
+      frontier.push_back(s);
+      epoch[s] = current_epoch;
+      sigma_s[s] = 1.0;
+      while (!frontier.empty()) {
+        const NodeIndex v = frontier.front();
+        frontier.pop_front();
+        through[v] += sigma_s[v] * sigma_t[v];
+        if (v == target) continue;
+        for (std::uint32_t i = space.forward.offsets[v];
+             i < space.forward.offsets[v + 1]; ++i) {
+          const NodeIndex w = space.forward.targets[i];
+          if (honeypots[w]) continue;
+          if (space.dist_to_t[w] != space.dist_to_t[v] - 1) continue;
+          if (epoch[w] != current_epoch) {
+            epoch[w] = current_epoch;
+            sigma_s[w] = sigma_s[v];
+            frontier.push_back(w);
+          } else {
+            sigma_s[w] += sigma_s[v];
+          }
+        }
+      }
+      if (epoch[target] == current_epoch) uncovered += sigma_s[target];
+    }
+    if (uncovered <= 0.0) {
+      // Every remaining shortest path already crosses a honeypot.
+      result.coverage_after.push_back(1.0);
+      break;
+    }
+
+    NodeIndex best = adcore::kNoNodeIndex;
+    double best_through = 0.0;
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (v == target || honeypots[v] || is_source[v]) continue;
+      if (options.computers_only &&
+          graph.kind(v) != adcore::ObjectKind::kComputer) {
+        continue;
+      }
+      if (through[v] > best_through) {
+        best_through = through[v];
+        best = v;
+      }
+    }
+    if (best == adcore::kNoNodeIndex) break;  // nothing interceptable
+    honeypots[best] = true;
+    result.placements.push_back(best);
+    // Coverage = 1 − undetected/total with the new placement included.
+    const double remaining = uncovered - best_through;
+    result.coverage_after.push_back(
+        1.0 - std::max(0.0, remaining) / space.total_paths);
+  }
+  return result;
+}
+
+}  // namespace adsynth::defense

@@ -1,0 +1,51 @@
+// Honeypot placement (application of ADSynth data to the paper's cited
+// companion work: Ngo, Guo, Nguyen — "Near optimal strategies for honeypots
+// placement in dynamic and large active directory networks", AAMAS 2023
+// [21]).
+//
+// The defender plants honeypots on k nodes; an attacker walking a shortest
+// attack path toward Domain Admins is detected when the path crosses a
+// honeypot.  Maximizing the share of intercepted shortest paths is a
+// max-coverage problem; the greedy placement used here carries the classic
+// (1 − 1/e) guarantee and is the "near optimal strategy" of the reference.
+//
+// Candidate nodes exclude the target itself and the attacker entry
+// population (planting on the attacker's own account detects nothing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adcore/attack_graph.hpp"
+
+namespace adsynth::defense {
+
+struct HoneypotOptions {
+  /// Number of honeypots to place.
+  std::size_t count = 3;
+  /// Per-source cap forwarded to the RP computation.
+  std::size_t max_sources = 256;
+  std::uint64_t seed = 1;
+  /// Restrict candidates to computers (honeypot hosts are machines in the
+  /// reference work); when false any intermediate node qualifies.
+  bool computers_only = false;
+};
+
+struct HoneypotResult {
+  std::vector<adcore::NodeIndex> placements;
+  /// Fraction of (evaluated) shortest attack paths crossing at least one
+  /// honeypot, after each placement (monotone non-decreasing).
+  std::vector<double> coverage_after;
+
+  double final_coverage() const {
+    return coverage_after.empty() ? 0.0 : coverage_after.back();
+  }
+};
+
+/// Greedy max-coverage placement of `options.count` honeypots against
+/// shortest paths from regular users to graph.domain_admins().  Throws
+/// std::logic_error when the graph has no Domain Admins marker.
+HoneypotResult place_honeypots(const adcore::AttackGraph& graph,
+                               const HoneypotOptions& options = {});
+
+}  // namespace adsynth::defense

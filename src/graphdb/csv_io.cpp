@@ -1,0 +1,127 @@
+#include "graphdb/csv_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace adsynth::graphdb {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+/// Property keys actually used by at least one record of the given kind.
+std::vector<PropertyKeyId> used_keys(const GraphStore& store, bool nodes) {
+  std::vector<bool> seen;
+  auto mark = [&](const PropertyList& props) {
+    for (const auto& [key, value] : props) {
+      (void)value;
+      if (seen.size() <= key) seen.resize(key + 1, false);
+      seen[key] = true;
+    }
+  };
+  if (nodes) {
+    for (NodeId i = 0; i < store.node_capacity(); ++i) {
+      if (!store.node(i).deleted) mark(store.node(i).properties);
+    }
+  } else {
+    for (RelId i = 0; i < store.rel_capacity(); ++i) {
+      if (!store.rel(i).deleted) mark(store.rel(i).properties);
+    }
+  }
+  std::vector<PropertyKeyId> keys;
+  for (PropertyKeyId k = 0; k < seen.size(); ++k) {
+    if (seen[k]) keys.push_back(k);
+  }
+  return keys;
+}
+
+void write_property_cells(const GraphStore& store, const PropertyList& props,
+                          const std::vector<PropertyKeyId>& keys,
+                          std::ostream& out) {
+  for (const PropertyKeyId key : keys) {
+    out << ',';
+    if (const PropertyValue* v = get_property(props, key)) {
+      out << csv_escape(v->index_key());
+    }
+  }
+}
+
+}  // namespace
+
+void export_nodes_csv(const GraphStore& store, std::ostream& out) {
+  const auto keys = used_keys(store, /*nodes=*/true);
+  out << "id,labels";
+  for (const PropertyKeyId key : keys) {
+    out << ',' << csv_escape(store.key_name(key));
+  }
+  out << '\n';
+  for (NodeId i = 0; i < store.node_capacity(); ++i) {
+    const NodeRecord& rec = store.node(i);
+    if (rec.deleted) continue;
+    out << i << ',';
+    std::string labels;
+    for (std::size_t l = 0; l < rec.labels.size(); ++l) {
+      if (l > 0) labels.push_back(';');
+      labels += store.label_name(rec.labels[l]);
+    }
+    out << csv_escape(labels);
+    write_property_cells(store, rec.properties, keys, out);
+    out << '\n';
+  }
+}
+
+void export_edges_csv(const GraphStore& store, std::ostream& out) {
+  const auto keys = used_keys(store, /*nodes=*/false);
+  out << "source,target,type";
+  for (const PropertyKeyId key : keys) {
+    out << ',' << csv_escape(store.key_name(key));
+  }
+  out << '\n';
+  for (RelId i = 0; i < store.rel_capacity(); ++i) {
+    const RelRecord& rec = store.rel(i);
+    if (rec.deleted) continue;
+    out << rec.source << ',' << rec.target << ','
+        << csv_escape(store.rel_type_name(rec.type));
+    write_property_cells(store, rec.properties, keys, out);
+    out << '\n';
+  }
+}
+
+void export_csv_files(const GraphStore& store, const std::string& prefix) {
+  {
+    std::ofstream nodes(prefix + "_nodes.csv", std::ios::binary);
+    if (!nodes) {
+      throw std::runtime_error("cannot open for write: " + prefix +
+                               "_nodes.csv");
+    }
+    export_nodes_csv(store, nodes);
+    if (!nodes) throw std::runtime_error("write failed: " + prefix +
+                                         "_nodes.csv");
+  }
+  {
+    std::ofstream edges(prefix + "_edges.csv", std::ios::binary);
+    if (!edges) {
+      throw std::runtime_error("cannot open for write: " + prefix +
+                               "_edges.csv");
+    }
+    export_edges_csv(store, edges);
+    if (!edges) throw std::runtime_error("write failed: " + prefix +
+                                         "_edges.csv");
+  }
+}
+
+}  // namespace adsynth::graphdb

@@ -1,0 +1,31 @@
+// CSV export of a graph store: `nodes.csv` (id, labels, one column per
+// property key) and `edges.csv` (source, target, type, properties).  The
+// tabular form feeds spreadsheet/pandas-style analysis of generated AD
+// estates; the authoritative interchange format remains APOC JSON
+// (neo4j_io.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graphdb/store.hpp"
+
+namespace adsynth::graphdb {
+
+/// RFC-4180-style field quoting: fields containing separators, quotes or
+/// newlines are wrapped in double quotes with inner quotes doubled.
+std::string csv_escape(const std::string& field);
+
+/// Writes one row per live node: `id,labels,<key1>,<key2>,...` where labels
+/// are ';'-joined and the property columns are the union of all node
+/// property keys in deterministic (key-id) order.
+void export_nodes_csv(const GraphStore& store, std::ostream& out);
+
+/// Writes one row per live relationship: `source,target,type,<keys...>`.
+void export_edges_csv(const GraphStore& store, std::ostream& out);
+
+/// Convenience: writes `<prefix>_nodes.csv` and `<prefix>_edges.csv`.
+/// Throws std::runtime_error on I/O failure.
+void export_csv_files(const GraphStore& store, const std::string& prefix);
+
+}  // namespace adsynth::graphdb

@@ -1,0 +1,98 @@
+// Cypher-lite: a statement executor over GraphStore covering the query
+// shapes the DBCreator / ADSimulator generation scripts issue against Neo4j.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//   CREATE (var:Label[:Label2] {key: value, ...})
+//   MERGE  (var:Label {key: value, ...})
+//   MATCH (a:Label {k: v})[, (b:Label {k: v})] CREATE (a)-[:TYPE {..}]->(b)
+//   MATCH (a:Label {k: v})[, (b:Label {k: v})] MERGE  (a)-[:TYPE {..}]->(b)
+//   MATCH (n:Label [{k: v}]) RETURN n | RETURN count(n)
+//   MATCH (n:Label {k: v}) SET n.key = value
+//   MATCH (a:L [{..}])-[r:TYPE]->(b:M [{..}]) RETURN count(r)
+//   MATCH (a:L [{..}])-[r:TYPE]->(b:M [{..}]) DELETE r
+//   CREATE INDEX ON :Label(key)
+//
+// Values: 'string', "string", integers, floats, true/false/null, and
+// [ 'a', 'b' ] string lists.
+//
+// Every `run()` call is an auto-commit transaction, like the Neo4j drivers
+// the original Python tools use: the statement is parsed from scratch, then
+// executed, then a commit record is appended to an in-memory journal.  That
+// per-statement cost is deliberate — it reproduces the transaction overhead
+// the paper identifies as the baselines' bottleneck (Table I) — and is
+// ablated in bench_ablation_txn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graphdb/store.hpp"
+
+namespace adsynth::graphdb {
+
+/// Outcome of one statement.
+struct QueryResult {
+  std::vector<NodeId> nodes;  // matched/created nodes (RETURN n, CREATE ...)
+  std::vector<RelId> rels;    // created relationships
+  std::int64_t count = 0;     // RETURN count(n)
+  std::size_t nodes_created = 0;
+  std::size_t rels_created = 0;
+  std::size_t rels_deleted = 0;
+  std::size_t properties_set = 0;
+};
+
+/// Thrown on grammar or execution errors, with the offending statement.
+class CypherError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CypherSession {
+ public:
+  explicit CypherSession(GraphStore& store) : store_(store) {}
+
+  /// Executes a single statement as an auto-commit transaction (or, inside
+  /// an explicit transaction, as one statement of that transaction).
+  QueryResult run(std::string_view statement);
+
+  /// Begins an explicit transaction: subsequent run() calls batch under a
+  /// single commit record (the `session.begin_transaction()` pattern of the
+  /// Neo4j drivers — what the baseline tools *could* have used to amortize
+  /// their per-statement overhead).  Nested begins throw std::logic_error.
+  void begin_transaction();
+
+  /// Commits the open transaction (one journal record for the whole
+  /// batch); throws std::logic_error when none is open.
+  void commit();
+
+  /// True while an explicit transaction is open.
+  bool in_transaction() const { return in_transaction_; }
+
+  /// Number of transactions committed so far.
+  std::size_t transactions() const { return transactions_; }
+
+  /// Statements executed so far (each parsed individually regardless of
+  /// transaction batching).
+  std::size_t statements() const { return statements_; }
+
+  /// Commit journal (one line per transaction, WAL-style).  Exists so the
+  /// transaction cost is real work, not an artificial sleep; tests also use
+  /// it to assert statement counts.
+  const std::string& journal() const { return journal_; }
+
+ private:
+  void commit_record(const QueryResult& result);
+
+  GraphStore& store_;
+  std::size_t transactions_ = 0;
+  std::size_t statements_ = 0;
+  bool in_transaction_ = false;
+  std::size_t pending_nodes_ = 0;
+  std::size_t pending_rels_ = 0;
+  std::string journal_;
+};
+
+}  // namespace adsynth::graphdb

@@ -1,0 +1,157 @@
+#include "graphdb/neo4j_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace adsynth::graphdb {
+
+using util::JsonValue;
+using util::JsonWriter;
+
+namespace {
+
+void write_properties(JsonWriter& w, const GraphStore& store,
+                      const PropertyList& props) {
+  w.key("properties");
+  w.begin_object();
+  for (const auto& [key, value] : props) {
+    w.key(store.key_name(key));
+    w.value(value.to_json());
+  }
+  w.end_object();
+}
+
+void write_endpoint(JsonWriter& w, const GraphStore& store, const char* field,
+                    NodeId id) {
+  w.key(field);
+  w.begin_object();
+  w.member("id", std::to_string(id));
+  w.key("labels");
+  w.begin_array();
+  for (const LabelId l : store.node(id).labels) w.value(store.label_name(l));
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void export_apoc_json(const GraphStore& store, std::ostream& out) {
+  for (NodeId id = 0; id < store.node_capacity(); ++id) {
+    const NodeRecord& rec = store.node(id);
+    if (rec.deleted) continue;
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("type", "node");
+    w.member("id", std::to_string(id));
+    w.key("labels");
+    w.begin_array();
+    for (const LabelId l : rec.labels) w.value(store.label_name(l));
+    w.end_array();
+    write_properties(w, store, rec.properties);
+    w.end_object();
+    out << '\n';
+  }
+  for (RelId id = 0; id < store.rel_capacity(); ++id) {
+    const RelRecord& rec = store.rel(id);
+    if (rec.deleted) continue;
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("type", "relationship");
+    w.member("id", std::to_string(id));
+    w.member("label", store.rel_type_name(rec.type));
+    write_properties(w, store, rec.properties);
+    write_endpoint(w, store, "start", rec.source);
+    write_endpoint(w, store, "end", rec.target);
+    w.end_object();
+    out << '\n';
+  }
+}
+
+void export_apoc_json_file(const GraphStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  export_apoc_json(store, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+GraphStore import_apoc_json(std::istream& in) {
+  GraphStore store;
+  std::unordered_map<std::string, NodeId> node_ids;
+  std::string line;
+  std::size_t line_no = 0;
+  // Relationships may reference nodes defined later in nonstandard dumps;
+  // buffer them and resolve after all rows are read.
+  struct PendingRel {
+    std::string start;
+    std::string end;
+    std::string type;
+    PropertyList props;
+  };
+  std::vector<PendingRel> pending;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue row;
+    try {
+      row = JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("APOC import: line " + std::to_string(line_no) +
+                               ": " + e.what());
+    }
+    const std::string& type = row.at("type").as_string();
+    PropertyList props;
+    if (row.contains("properties")) {
+      for (const auto& [key, value] : row.at("properties").as_object()) {
+        put_property(props, store.intern_key(key),
+                     PropertyValue::from_json(value));
+      }
+    }
+    if (type == "node") {
+      std::vector<std::string> labels;
+      if (row.contains("labels")) {
+        for (const auto& l : row.at("labels").as_array()) {
+          labels.push_back(l.as_string());
+        }
+      }
+      const NodeId n = store.create_node(labels, std::move(props));
+      const std::string& row_id = row.at("id").as_string();
+      if (!node_ids.emplace(row_id, n).second) {
+        throw std::runtime_error("APOC import: duplicate node id " + row_id);
+      }
+    } else if (type == "relationship") {
+      pending.push_back(PendingRel{row.at("start").at("id").as_string(),
+                                   row.at("end").at("id").as_string(),
+                                   row.at("label").as_string(),
+                                   std::move(props)});
+    } else {
+      throw std::runtime_error("APOC import: unknown row type '" + type +
+                               "' at line " + std::to_string(line_no));
+    }
+  }
+
+  for (auto& rel : pending) {
+    const auto s = node_ids.find(rel.start);
+    const auto e = node_ids.find(rel.end);
+    if (s == node_ids.end() || e == node_ids.end()) {
+      throw std::runtime_error("APOC import: relationship references unknown "
+                               "node id " +
+                               (s == node_ids.end() ? rel.start : rel.end));
+    }
+    store.create_relationship(s->second, e->second, rel.type,
+                              std::move(rel.props));
+  }
+  return store;
+}
+
+GraphStore import_apoc_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return import_apoc_json(in);
+}
+
+}  // namespace adsynth::graphdb

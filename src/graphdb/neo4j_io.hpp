@@ -1,0 +1,35 @@
+// Neo4j APOC-style JSON export and import.
+//
+// ADSynth's output is "an Active Directory attack graph in a JSON format of
+// Neo4J, which can be loaded and processed in BloodHound" (paper §III-B).
+// We emit the newline-delimited row format of `apoc.export.json`:
+//
+//   {"type":"node","id":"0","labels":["User"],"properties":{...}}
+//   {"type":"relationship","id":"0","label":"AdminTo","properties":{...},
+//    "start":{"id":"0","labels":["User"]},"end":{"id":"3","labels":[...]}}
+//
+// Export streams, so million-node graphs never materialize a DOM; import
+// parses row by row and remaps ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graphdb/store.hpp"
+
+namespace adsynth::graphdb {
+
+/// Streams the store as APOC JSON rows.  Deleted records are skipped.
+void export_apoc_json(const GraphStore& store, std::ostream& out);
+
+/// Convenience: export to a file; throws std::runtime_error on I/O failure.
+void export_apoc_json_file(const GraphStore& store, const std::string& path);
+
+/// Parses APOC JSON rows into a fresh store.  Node ids are remapped densely;
+/// relationship start/end references are resolved via the row ids.  Throws
+/// std::runtime_error on malformed rows or dangling references.
+GraphStore import_apoc_json(std::istream& in);
+
+GraphStore import_apoc_json_file(const std::string& path);
+
+}  // namespace adsynth::graphdb

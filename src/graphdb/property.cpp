@@ -1,0 +1,94 @@
+#include "graphdb/property.hpp"
+
+#include <stdexcept>
+
+namespace adsynth::graphdb {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::runtime_error(std::string("PropertyValue: not a ") + want);
+}
+
+}  // namespace
+
+bool PropertyValue::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool");
+}
+
+std::int64_t PropertyValue::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  type_error("int");
+}
+
+double PropertyValue::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  type_error("number");
+}
+
+const std::string& PropertyValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string");
+}
+
+const std::vector<std::string>& PropertyValue::as_string_list() const {
+  if (const auto* v = std::get_if<std::vector<std::string>>(&value_)) return *v;
+  type_error("string list");
+}
+
+std::string PropertyValue::index_key() const {
+  struct Visitor {
+    std::string operator()(std::nullptr_t) const { return "null"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return std::to_string(d); }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const std::vector<std::string>& v) const {
+      std::string out;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out.push_back('\x1f');
+        out += v[i];
+      }
+      return out;
+    }
+  };
+  return std::visit(Visitor{}, value_);
+}
+
+util::JsonValue PropertyValue::to_json() const {
+  struct Visitor {
+    util::JsonValue operator()(std::nullptr_t) const { return nullptr; }
+    util::JsonValue operator()(bool b) const { return b; }
+    util::JsonValue operator()(std::int64_t i) const { return i; }
+    util::JsonValue operator()(double d) const { return d; }
+    util::JsonValue operator()(const std::string& s) const { return s; }
+    util::JsonValue operator()(const std::vector<std::string>& v) const {
+      util::JsonArray arr;
+      arr.reserve(v.size());
+      for (const auto& s : v) arr.emplace_back(s);
+      return arr;
+    }
+  };
+  return std::visit(Visitor{}, value_);
+}
+
+PropertyValue PropertyValue::from_json(const util::JsonValue& v) {
+  if (v.is_null()) return PropertyValue(nullptr);
+  if (v.is_bool()) return PropertyValue(v.as_bool());
+  if (v.is_int()) return PropertyValue(v.as_int());
+  if (v.is_double()) return PropertyValue(v.as_double());
+  if (v.is_string()) return PropertyValue(v.as_string());
+  if (v.is_array()) {
+    std::vector<std::string> list;
+    list.reserve(v.as_array().size());
+    for (const auto& item : v.as_array()) list.push_back(item.as_string());
+    return PropertyValue(std::move(list));
+  }
+  throw std::runtime_error("PropertyValue::from_json: unsupported JSON type");
+}
+
+}  // namespace adsynth::graphdb

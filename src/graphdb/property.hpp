@@ -1,0 +1,66 @@
+// Property values for graph nodes and relationships, mirroring the subset
+// of Neo4j's type system that BloodHound exports use: null, boolean, 64-bit
+// integer, double, string, and list-of-string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace adsynth::graphdb {
+
+class PropertyValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                               std::string, std::vector<std::string>>;
+
+  PropertyValue() : value_(nullptr) {}
+  PropertyValue(std::nullptr_t) : value_(nullptr) {}
+  PropertyValue(bool b) : value_(b) {}
+  PropertyValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  PropertyValue(std::int64_t i) : value_(i) {}
+  PropertyValue(std::uint64_t i) : value_(static_cast<std::int64_t>(i)) {}
+  PropertyValue(double d) : value_(d) {}
+  PropertyValue(const char* s) : value_(std::string(s)) {}
+  PropertyValue(std::string s) : value_(std::move(s)) {}
+  PropertyValue(std::vector<std::string> v) : value_(std::move(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_string_list() const {
+    return std::holds_alternative<std::vector<std::string>>(value_);
+  }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<std::string>& as_string_list() const;
+
+  bool operator==(const PropertyValue& other) const {
+    return value_ == other.value_;
+  }
+
+  /// Canonical text rendering used as a property-index key ("true", "42",
+  /// raw string contents, ...).  Lossy for lists (joined with '\x1f').
+  std::string index_key() const;
+
+  util::JsonValue to_json() const;
+  static PropertyValue from_json(const util::JsonValue& v);
+
+ private:
+  Storage value_;
+};
+
+/// Ordered (by interned key id) flat property map; small and cache-friendly
+/// compared to a node-owned hash map, which matters at a million nodes.
+using PropertyKeyId = std::uint32_t;
+using PropertyList = std::vector<std::pair<PropertyKeyId, PropertyValue>>;
+
+}  // namespace adsynth::graphdb

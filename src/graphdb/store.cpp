@@ -1,0 +1,302 @@
+#include "graphdb/store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adsynth::graphdb {
+
+void put_property(PropertyList& list, PropertyKeyId key, PropertyValue value) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), key,
+      [](const auto& entry, PropertyKeyId k) { return entry.first < k; });
+  if (it != list.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    list.insert(it, {key, std::move(value)});
+  }
+}
+
+const PropertyValue* get_property(const PropertyList& list,
+                                  PropertyKeyId key) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), key,
+      [](const auto& entry, PropertyKeyId k) { return entry.first < k; });
+  if (it != list.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+std::uint32_t GraphStore::Interner::intern(std::string_view name) {
+  const auto it = index.find(std::string(name));
+  if (it != index.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names.size());
+  names.emplace_back(name);
+  index.emplace(names.back(), id);
+  return id;
+}
+
+std::optional<std::uint32_t> GraphStore::Interner::find(
+    std::string_view name) const {
+  const auto it = index.find(std::string(name));
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+LabelId GraphStore::intern_label(std::string_view name) {
+  const LabelId id = labels_.intern(name);
+  if (id >= label_buckets_.size()) label_buckets_.resize(id + 1);
+  return id;
+}
+
+RelTypeId GraphStore::intern_rel_type(std::string_view name) {
+  return rel_types_.intern(name);
+}
+
+PropertyKeyId GraphStore::intern_key(std::string_view name) {
+  return keys_.intern(name);
+}
+
+const std::string& GraphStore::label_name(LabelId id) const {
+  if (id >= labels_.names.size()) {
+    throw std::out_of_range("GraphStore: invalid label id");
+  }
+  return labels_.names[id];
+}
+
+const std::string& GraphStore::rel_type_name(RelTypeId id) const {
+  if (id >= rel_types_.names.size()) {
+    throw std::out_of_range("GraphStore: invalid relationship type id");
+  }
+  return rel_types_.names[id];
+}
+
+const std::string& GraphStore::key_name(PropertyKeyId id) const {
+  if (id >= keys_.names.size()) {
+    throw std::out_of_range("GraphStore: invalid property key id");
+  }
+  return keys_.names[id];
+}
+
+std::optional<LabelId> GraphStore::find_label(std::string_view name) const {
+  return labels_.find(name);
+}
+
+std::optional<RelTypeId> GraphStore::find_rel_type(
+    std::string_view name) const {
+  return rel_types_.find(name);
+}
+
+std::optional<PropertyKeyId> GraphStore::find_key(
+    std::string_view name) const {
+  return keys_.find(name);
+}
+
+NodeId GraphStore::create_node(const std::vector<std::string>& labels,
+                               PropertyList properties) {
+  std::vector<LabelId> ids;
+  ids.reserve(labels.size());
+  for (const auto& l : labels) ids.push_back(intern_label(l));
+  return create_node_interned(std::move(ids), std::move(properties));
+}
+
+NodeId GraphStore::create_node_interned(std::vector<LabelId> labels,
+                                        PropertyList properties) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  const auto id = static_cast<NodeId>(nodes_.size());
+  for (const LabelId l : labels) {
+    if (l >= label_buckets_.size()) {
+      throw std::out_of_range("GraphStore: label id not interned");
+    }
+    label_buckets_[l].push_back(id);
+  }
+  NodeRecord rec;
+  rec.labels = std::move(labels);
+  rec.properties = std::move(properties);
+  nodes_.push_back(std::move(rec));
+  index_node(id);
+  return id;
+}
+
+RelId GraphStore::create_relationship(NodeId source, NodeId target,
+                                      std::string_view type,
+                                      PropertyList properties) {
+  return create_relationship_interned(source, target, intern_rel_type(type),
+                                      std::move(properties));
+}
+
+RelId GraphStore::create_relationship_interned(NodeId source, NodeId target,
+                                               RelTypeId type,
+                                               PropertyList properties) {
+  check_node(source);
+  check_node(target);
+  if (type >= rel_types_.names.size()) {
+    throw std::out_of_range("GraphStore: relationship type not interned");
+  }
+  const auto id = static_cast<RelId>(rels_.size());
+  rels_.push_back(RelRecord{source, target, type, std::move(properties), false});
+  nodes_[source].out_rels.push_back(id);
+  nodes_[target].in_rels.push_back(id);
+  return id;
+}
+
+void GraphStore::set_node_property(NodeId node, std::string_view key,
+                                   PropertyValue v) {
+  check_node(node);
+  put_property(nodes_[node].properties, intern_key(key), std::move(v));
+  // Property indexes are append-only buckets; a changed value is re-indexed
+  // under the new key.  Stale entries are filtered at read time by
+  // re-checking the property (see find_nodes).
+  index_node(node);
+}
+
+void GraphStore::delete_relationship(RelId rel) {
+  check_rel(rel);
+  if (!rels_[rel].deleted) {
+    rels_[rel].deleted = true;
+    ++deleted_rels_;
+  }
+}
+
+const NodeRecord& GraphStore::node(NodeId id) const {
+  check_node(id);
+  return nodes_[id];
+}
+
+const RelRecord& GraphStore::rel(RelId id) const {
+  check_rel(id);
+  return rels_[id];
+}
+
+bool GraphStore::node_has_label(NodeId id, LabelId label) const {
+  check_node(id);
+  const auto& labels = nodes_[id].labels;
+  return std::binary_search(labels.begin(), labels.end(), label);
+}
+
+const PropertyValue* GraphStore::node_property(NodeId id,
+                                               PropertyKeyId key) const {
+  check_node(id);
+  return get_property(nodes_[id].properties, key);
+}
+
+const PropertyValue* GraphStore::node_property(NodeId id,
+                                               std::string_view key) const {
+  const auto key_id = keys_.find(key);
+  if (!key_id) return nullptr;
+  return node_property(id, *key_id);
+}
+
+std::vector<NodeId> GraphStore::nodes_with_label(std::string_view label) const {
+  const auto id = labels_.find(label);
+  if (!id) return {};
+  std::vector<NodeId> out;
+  for (const NodeId n : label_buckets_[*id]) {
+    if (!nodes_[n].deleted) out.push_back(n);
+  }
+  return out;
+}
+
+const std::vector<NodeId>& GraphStore::nodes_with_label_interned(
+    LabelId label) const {
+  if (label >= label_buckets_.size()) return empty_bucket_;
+  return label_buckets_[label];
+}
+
+void GraphStore::create_index(std::string_view label, std::string_view key) {
+  const LabelId l = intern_label(label);
+  const PropertyKeyId k = keys_.intern(key);
+  for (const auto& idx : indexes_) {
+    if (idx.label == l && idx.key == k) return;
+  }
+  PropertyIndex idx;
+  idx.label = l;
+  idx.key = k;
+  for (const NodeId n : label_buckets_[l]) {
+    if (const PropertyValue* v = get_property(nodes_[n].properties, k)) {
+      idx.buckets[v->index_key()].push_back(n);
+    }
+  }
+  indexes_.push_back(std::move(idx));
+}
+
+std::vector<NodeId> GraphStore::find_nodes(std::string_view label,
+                                           std::string_view key,
+                                           const PropertyValue& value) const {
+  const auto l = labels_.find(label);
+  const auto k = keys_.find(key);
+  if (!l || !k) return {};
+  const std::string needle = value.index_key();
+  for (const auto& idx : indexes_) {
+    if (idx.label != *l || idx.key != *k) continue;
+    const auto it = idx.buckets.find(needle);
+    if (it == idx.buckets.end()) return {};
+    std::vector<NodeId> out;
+    for (const NodeId n : it->second) {
+      if (nodes_[n].deleted) continue;
+      const PropertyValue* v = get_property(nodes_[n].properties, *k);
+      if (v != nullptr && *v == value) out.push_back(n);
+    }
+    // Re-indexing on property change can leave duplicates in the bucket.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  // No index: label scan.
+  std::vector<NodeId> out;
+  for (const NodeId n : label_buckets_[*l]) {
+    if (nodes_[n].deleted) continue;
+    const PropertyValue* v = get_property(nodes_[n].properties, *k);
+    if (v != nullptr && *v == value) out.push_back(n);
+  }
+  return out;
+}
+
+std::size_t GraphStore::approximate_bytes() const {
+  std::size_t bytes = 0;
+  bytes += nodes_.capacity() * sizeof(NodeRecord);
+  bytes += rels_.capacity() * sizeof(RelRecord);
+  for (const auto& n : nodes_) {
+    bytes += n.labels.capacity() * sizeof(LabelId);
+    bytes += n.out_rels.capacity() * sizeof(RelId);
+    bytes += n.in_rels.capacity() * sizeof(RelId);
+    bytes += n.properties.capacity() *
+             sizeof(std::pair<PropertyKeyId, PropertyValue>);
+    for (const auto& [k, v] : n.properties) {
+      (void)k;
+      if (v.is_string()) bytes += v.as_string().capacity();
+    }
+  }
+  for (const auto& bucket : label_buckets_) {
+    bytes += bucket.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+void GraphStore::check_node(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("GraphStore: invalid node id " +
+                            std::to_string(id));
+  }
+}
+
+void GraphStore::check_rel(RelId id) const {
+  if (id >= rels_.size()) {
+    throw std::out_of_range("GraphStore: invalid relationship id " +
+                            std::to_string(id));
+  }
+}
+
+void GraphStore::index_node(NodeId id) {
+  if (indexes_.empty()) return;
+  const NodeRecord& rec = nodes_[id];
+  for (auto& idx : indexes_) {
+    if (!std::binary_search(rec.labels.begin(), rec.labels.end(), idx.label)) {
+      continue;
+    }
+    if (const PropertyValue* v = get_property(rec.properties, idx.key)) {
+      idx.buckets[v->index_key()].push_back(id);
+    }
+  }
+}
+
+}  // namespace adsynth::graphdb

@@ -1,0 +1,173 @@
+// The local property-graph store.
+//
+// The paper attributes much of the baselines' latency to Neo4j round-trips
+// and notes that "ADSynth eliminates the latency by implementing a local
+// graph database with functions replicating Neo4J ... facilitating insertion
+// and retrieval operations for nodes and edges at constant time while
+// maintaining optimal storage efficiency."  This module is that database:
+//
+//  * labelled nodes and typed relationships with property maps,
+//  * amortized O(1) insertion and id-based retrieval,
+//  * label index (label -> node ids) and optional property indexes,
+//  * per-node adjacency for O(out-degree) neighbourhood retrieval,
+//  * interned label / relationship-type / property-key strings so a
+//    million-node graph stores each name once.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graphdb/property.hpp"
+
+namespace adsynth::graphdb {
+
+using NodeId = std::uint32_t;
+using RelId = std::uint32_t;
+using LabelId = std::uint32_t;
+using RelTypeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr RelId kNoRel = std::numeric_limits<RelId>::max();
+
+/// A stored node: labels plus properties.  Nodes can carry multiple labels
+/// like Neo4j (BloodHound uses e.g. ["Base", "User"]).
+struct NodeRecord {
+  std::vector<LabelId> labels;  // sorted
+  PropertyList properties;      // sorted by key id
+  std::vector<RelId> out_rels;
+  std::vector<RelId> in_rels;
+  bool deleted = false;
+};
+
+/// A stored relationship.
+struct RelRecord {
+  NodeId source = kNoNode;
+  NodeId target = kNoNode;
+  RelTypeId type = 0;
+  PropertyList properties;
+  bool deleted = false;
+};
+
+class GraphStore {
+ public:
+  GraphStore() = default;
+
+  // Not copyable (potentially gigabytes); movable.
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+  GraphStore(GraphStore&&) = default;
+  GraphStore& operator=(GraphStore&&) = default;
+
+  // --- string interning -------------------------------------------------
+  LabelId intern_label(std::string_view name);
+  RelTypeId intern_rel_type(std::string_view name);
+  PropertyKeyId intern_key(std::string_view name);
+
+  const std::string& label_name(LabelId id) const;
+  const std::string& rel_type_name(RelTypeId id) const;
+  const std::string& key_name(PropertyKeyId id) const;
+
+  std::optional<LabelId> find_label(std::string_view name) const;
+  std::optional<RelTypeId> find_rel_type(std::string_view name) const;
+  std::optional<PropertyKeyId> find_key(std::string_view name) const;
+
+  // --- writes -----------------------------------------------------------
+  /// Creates a node with the given labels (by name) and properties.
+  NodeId create_node(const std::vector<std::string>& labels,
+                     PropertyList properties = {});
+
+  /// Creates a node with pre-interned labels (hot path for generators).
+  NodeId create_node_interned(std::vector<LabelId> labels,
+                              PropertyList properties = {});
+
+  /// Creates a relationship; throws std::out_of_range on invalid endpoints.
+  RelId create_relationship(NodeId source, NodeId target,
+                            std::string_view type,
+                            PropertyList properties = {});
+  RelId create_relationship_interned(NodeId source, NodeId target,
+                                     RelTypeId type,
+                                     PropertyList properties = {});
+
+  /// Sets (insert-or-replace) one property of a node.
+  void set_node_property(NodeId node, std::string_view key, PropertyValue v);
+
+  /// Tombstones a relationship; adjacency lists keep the id but readers
+  /// must skip deleted records (rel(id).deleted).  Matches Neo4j DETACH-less
+  /// DELETE semantics closely enough for the defense algorithms.
+  void delete_relationship(RelId rel);
+
+  // --- reads ------------------------------------------------------------
+  std::size_t node_count() const { return nodes_.size() - deleted_nodes_; }
+  std::size_t rel_count() const { return rels_.size() - deleted_rels_; }
+  /// Raw record-vector sizes (including tombstones) — iteration bounds.
+  std::size_t node_capacity() const { return nodes_.size(); }
+  std::size_t rel_capacity() const { return rels_.size(); }
+
+  const NodeRecord& node(NodeId id) const;
+  const RelRecord& rel(RelId id) const;
+
+  bool node_has_label(NodeId id, LabelId label) const;
+
+  /// Property lookup; nullptr when the node has no such key.
+  const PropertyValue* node_property(NodeId id, PropertyKeyId key) const;
+  const PropertyValue* node_property(NodeId id, std::string_view key) const;
+
+  /// All live node ids carrying `label` (empty when label unknown).
+  std::vector<NodeId> nodes_with_label(std::string_view label) const;
+  const std::vector<NodeId>& nodes_with_label_interned(LabelId label) const;
+
+  // --- property index ---------------------------------------------------
+  /// Creates an exact-match index on (label, key); idempotent.  Existing
+  /// nodes are back-filled.  Mirrors `CREATE INDEX ... FOR (n:L) ON n.k`.
+  void create_index(std::string_view label, std::string_view key);
+
+  /// Index-accelerated lookup of nodes with `label` whose `key` equals
+  /// `value`; falls back to a label scan when no index exists.
+  std::vector<NodeId> find_nodes(std::string_view label, std::string_view key,
+                                 const PropertyValue& value) const;
+
+  /// Approximate resident bytes (used by the storage-efficiency tests).
+  std::size_t approximate_bytes() const;
+
+ private:
+  struct Interner {
+    std::vector<std::string> names;
+    std::unordered_map<std::string, std::uint32_t> index;
+    std::uint32_t intern(std::string_view name);
+    std::optional<std::uint32_t> find(std::string_view name) const;
+  };
+
+  struct PropertyIndex {
+    LabelId label;
+    PropertyKeyId key;
+    std::unordered_map<std::string, std::vector<NodeId>> buckets;
+  };
+
+  void check_node(NodeId id) const;
+  void check_rel(RelId id) const;
+  void index_node(NodeId id);
+
+  Interner labels_;
+  Interner rel_types_;
+  Interner keys_;
+  std::vector<NodeRecord> nodes_;
+  std::vector<RelRecord> rels_;
+  std::vector<std::vector<NodeId>> label_buckets_;
+  std::vector<PropertyIndex> indexes_;
+  std::size_t deleted_nodes_ = 0;
+  std::size_t deleted_rels_ = 0;
+  std::vector<NodeId> empty_bucket_;
+};
+
+/// Inserts or replaces `value` under `key` in a sorted PropertyList.
+void put_property(PropertyList& list, PropertyKeyId key, PropertyValue value);
+
+/// Finds a property by key in a sorted PropertyList; nullptr when absent.
+const PropertyValue* get_property(const PropertyList& list, PropertyKeyId key);
+
+}  // namespace adsynth::graphdb

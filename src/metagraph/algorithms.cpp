@@ -1,0 +1,146 @@
+#include "metagraph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace adsynth::metagraph {
+
+std::size_t ReachResult::reached_count() const {
+  return static_cast<std::size_t>(
+      std::count(element_reached.begin(), element_reached.end(), true));
+}
+
+ReachResult reach(const Metagraph& mg, const std::vector<ElementId>& sources,
+                  ReachMode mode, const std::vector<bool>* blocked_edges) {
+  const std::size_t n = mg.element_count();
+  const std::size_t m = mg.edge_count();
+  if (blocked_edges != nullptr && blocked_edges->size() != m) {
+    throw std::invalid_argument("reach: blocked_edges mask size mismatch");
+  }
+  ReachResult result;
+  result.element_reached.assign(n, false);
+  result.edge_fired.assign(m, false);
+  result.producer.assign(n, kNoEdge);
+
+  // Remaining unreached invertex members per edge (conjunctive trigger).
+  std::vector<std::uint32_t> pending(m, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    pending[e] =
+        static_cast<std::uint32_t>(mg.members(mg.edge(e).invertex).size());
+  }
+
+  std::deque<ElementId> frontier;
+  for (const ElementId s : sources) {
+    if (s >= n) {
+      throw std::out_of_range("reach: invalid source element " +
+                              std::to_string(s));
+    }
+    if (!result.element_reached[s]) {
+      result.element_reached[s] = true;
+      frontier.push_back(s);
+    }
+  }
+
+  auto fire = [&](EdgeId e) {
+    if (blocked_edges != nullptr && (*blocked_edges)[e]) return;
+    if (result.edge_fired[e]) return;
+    result.edge_fired[e] = true;
+    for (const ElementId w : mg.members(mg.edge(e).outvertex)) {
+      if (!result.element_reached[w]) {
+        result.element_reached[w] = true;
+        result.producer[w] = e;
+        frontier.push_back(w);
+      }
+    }
+  };
+
+  while (!frontier.empty()) {
+    const ElementId x = frontier.front();
+    frontier.pop_front();
+    for (const SetId s : mg.sets_of(x)) {
+      for (const EdgeId e : mg.edges_from(s)) {
+        if (result.edge_fired[e]) continue;
+        if (mode == ReachMode::kDisjunctive) {
+          fire(e);
+        } else {
+          // x newly reached; decrement the edge's pending counter once per
+          // (element, edge) pair.  An element may sit in several sets that
+          // all feed the same edge only if the edge's invertex is that set,
+          // so each (x, e) pair is visited at most once per containing set;
+          // guard with the membership test on the edge's own invertex.
+          if (!mg.contains(mg.edge(e).invertex, x)) continue;
+          if (pending[e] > 0) --pending[e];
+          if (pending[e] == 0) fire(e);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool has_metapath(const Metagraph& mg, SetId source_set, ElementId target,
+                  ReachMode mode) {
+  const ReachResult r = reach(mg, mg.members(source_set), mode);
+  if (target >= mg.element_count()) {
+    throw std::out_of_range("has_metapath: invalid target element");
+  }
+  return r.element_reached[target];
+}
+
+std::optional<std::vector<EdgeId>> witness_edges(const Metagraph& mg,
+                                                 const ReachResult& result,
+                                                 ElementId target) {
+  if (target >= result.element_reached.size()) {
+    throw std::out_of_range("witness_edges: invalid target element");
+  }
+  if (!result.element_reached[target]) return std::nullopt;
+  std::vector<EdgeId> chain;
+  ElementId cur = target;
+  while (result.producer[cur] != kNoEdge) {
+    const EdgeId e = result.producer[cur];
+    chain.push_back(e);
+    // Step to some invertex member of e that is itself reached with an
+    // earlier producer; pick the first reached member.
+    const auto& inv = mg.members(mg.edge(e).invertex);
+    ElementId next = kNoElement;
+    for (const ElementId v : inv) {
+      if (result.element_reached[v] && result.producer[v] != e) {
+        next = v;
+        break;
+      }
+    }
+    if (next == kNoElement) break;  // invertex fed only by this edge (cycle)
+    cur = next;
+    if (chain.size() > result.element_reached.size()) break;  // cycle guard
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+MetagraphStats compute_stats(const Metagraph& mg) {
+  MetagraphStats s;
+  s.elements = mg.element_count();
+  s.sets = mg.set_count();
+  s.edges = mg.edge_count();
+  s.membership = mg.membership_size();
+  std::uint64_t inv_total = 0;
+  std::uint64_t out_total = 0;
+  for (EdgeId e = 0; e < mg.edge_count(); ++e) {
+    const auto& edge = mg.edge(e);
+    const auto inv = mg.members(edge.invertex).size();
+    const auto out = mg.members(edge.outvertex).size();
+    inv_total += inv;
+    out_total += out;
+    s.expanded_edge_count += static_cast<std::uint64_t>(inv) * out;
+  }
+  if (s.edges > 0) {
+    s.mean_invertex_size =
+        static_cast<double>(inv_total) / static_cast<double>(s.edges);
+    s.mean_outvertex_size =
+        static_cast<double>(out_total) / static_cast<double>(s.edges);
+  }
+  return s;
+}
+
+}  // namespace adsynth::metagraph

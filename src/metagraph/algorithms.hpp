@@ -1,0 +1,74 @@
+// Metagraph algorithms: set-to-set reachability (metapaths), per-element
+// reachability under attack semantics, and structural statistics.
+//
+// Basu & Blanning's classical metapath notion is *conjunctive*: an edge may
+// fire only once its entire invertex is available.  AD attack propagation is
+// *disjunctive*: compromising ANY member of a group grants the group's
+// permissions.  Both semantics are provided; ADSynth's security analysis
+// uses the disjunctive mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "metagraph/metagraph.hpp"
+
+namespace adsynth::metagraph {
+
+enum class ReachMode : std::uint8_t {
+  /// Edge fires when its whole invertex has been reached (metapath algebra).
+  kConjunctive,
+  /// Edge fires when any invertex member has been reached (attack semantics).
+  kDisjunctive,
+};
+
+/// Result of a reachability sweep: which elements/edges were reached, and
+/// for each reached element the edge that first produced it (for witness
+/// path reconstruction; kNoEdge for sources).
+struct ReachResult {
+  std::vector<bool> element_reached;
+  std::vector<bool> edge_fired;
+  /// Producing edge per element; EdgeId max() when source / unreached.
+  std::vector<EdgeId> producer;
+
+  std::size_t reached_count() const;
+};
+
+/// Computes the closure of `sources` under the metagraph's edges.
+/// Conjunctive mode is the metagraph "dominance" sweep; disjunctive mode is
+/// attacker propagation.  Runs in O(|X| + Σ|V_e| + Σ|W_e|).
+/// `blocked_edges`, when non-null (size |E|), marks edges excluded from the
+/// sweep — the mask the bridge/cutset analyses use.
+ReachResult reach(const Metagraph& mg, const std::vector<ElementId>& sources,
+                  ReachMode mode,
+                  const std::vector<bool>* blocked_edges = nullptr);
+
+/// True when a metapath exists from `source_set` to `target` under `mode`
+/// (i.e. target becomes reached starting from the members of source_set).
+bool has_metapath(const Metagraph& mg, SetId source_set, ElementId target,
+                  ReachMode mode);
+
+/// Reconstructs one witness chain of edges leading to `target` from a reach
+/// result (most-recent-producer chain).  Empty when target was a source;
+/// std::nullopt when target is unreached.
+std::optional<std::vector<EdgeId>> witness_edges(const Metagraph& mg,
+                                                 const ReachResult& result,
+                                                 ElementId target);
+
+/// Structural statistics used by tests and the ablation benches.
+struct MetagraphStats {
+  std::size_t elements = 0;
+  std::size_t sets = 0;
+  std::size_t edges = 0;
+  std::size_t membership = 0;      // Σ|set|
+  double mean_invertex_size = 0;   // Σ|V_e| / |E|
+  double mean_outvertex_size = 0;  // Σ|W_e| / |E|
+  /// Lower bound on the element-to-element edge count this metagraph
+  /// expands to: Σ |V_e| · |W_e|.
+  std::uint64_t expanded_edge_count = 0;
+};
+
+MetagraphStats compute_stats(const Metagraph& mg);
+
+}  // namespace adsynth::metagraph

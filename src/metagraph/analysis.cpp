@@ -1,0 +1,120 @@
+#include "metagraph/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adsynth::metagraph {
+
+std::vector<EdgeId> reachable_edges(const Metagraph& mg,
+                                    const std::vector<ElementId>& sources,
+                                    ReachMode mode) {
+  const ReachResult r = reach(mg, sources, mode);
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < mg.edge_count(); ++e) {
+    if (r.edge_fired[e]) out.push_back(e);
+  }
+  return out;
+}
+
+bool is_bridge(const Metagraph& mg, const std::vector<ElementId>& sources,
+               ElementId target, EdgeId candidate, ReachMode mode) {
+  if (candidate >= mg.edge_count()) {
+    throw std::out_of_range("is_bridge: invalid edge id");
+  }
+  if (target >= mg.element_count()) {
+    throw std::out_of_range("is_bridge: invalid target element");
+  }
+  // Only meaningful when target is reachable at all.
+  const ReachResult base = reach(mg, sources, mode);
+  if (!base.element_reached[target]) return false;
+  std::vector<bool> blocked(mg.edge_count(), false);
+  blocked[candidate] = true;
+  const ReachResult cut = reach(mg, sources, mode, &blocked);
+  return !cut.element_reached[target];
+}
+
+std::vector<EdgeId> bridge_edges(const Metagraph& mg,
+                                 const std::vector<ElementId>& sources,
+                                 ElementId target, ReachMode mode) {
+  std::vector<EdgeId> bridges;
+  const ReachResult base = reach(mg, sources, mode);
+  if (target >= mg.element_count()) {
+    throw std::out_of_range("bridge_edges: invalid target element");
+  }
+  if (!base.element_reached[target]) return bridges;
+  std::vector<bool> blocked(mg.edge_count(), false);
+  for (EdgeId e = 0; e < mg.edge_count(); ++e) {
+    if (!base.edge_fired[e]) continue;  // unfired edges cannot be bridges
+    blocked[e] = true;
+    const ReachResult cut = reach(mg, sources, mode, &blocked);
+    if (!cut.element_reached[target]) bridges.push_back(e);
+    blocked[e] = false;
+  }
+  return bridges;
+}
+
+std::vector<EdgeId> greedy_cutset(const Metagraph& mg,
+                                  const std::vector<ElementId>& sources,
+                                  ElementId target, ReachMode mode) {
+  if (target >= mg.element_count()) {
+    throw std::out_of_range("greedy_cutset: invalid target element");
+  }
+  std::vector<EdgeId> cut;
+  std::vector<bool> blocked(mg.edge_count(), false);
+  while (true) {
+    const ReachResult r = reach(mg, sources, mode, &blocked);
+    if (!r.element_reached[target]) return cut;
+    const auto witness = witness_edges(mg, r, target);
+    if (!witness || witness->empty()) {
+      // Target is a source (empty witness): no edge cut can separate it.
+      throw std::logic_error(
+          "greedy_cutset: target reachable without edges (it is a source)");
+    }
+    // Cut the last edge of the witness chain — the one that produced the
+    // target — which is always effective for this particular chain.
+    const EdgeId choke = witness->back();
+    blocked[choke] = true;
+    cut.push_back(choke);
+    if (cut.size() > mg.edge_count()) {
+      throw std::logic_error("greedy_cutset: failed to converge");
+    }
+  }
+}
+
+Projection project(const Metagraph& mg, const std::vector<ElementId>& keep) {
+  Projection out;
+  std::vector<ElementId> remap(mg.element_count(), kNoElement);
+  std::vector<ElementId> sorted = keep;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const ElementId e : sorted) {
+    if (e >= mg.element_count()) {
+      throw std::out_of_range("project: invalid element id");
+    }
+    remap[e] = out.graph.add_element(mg.element_name(e));
+    out.original_element.push_back(e);
+  }
+  // Intersect each set with the kept elements; drop empty intersections.
+  std::vector<SetId> set_remap(mg.set_count(), kNoSet);
+  for (SetId s = 0; s < mg.set_count(); ++s) {
+    std::vector<ElementId> members;
+    for (const ElementId e : mg.members(s)) {
+      if (remap[e] != kNoElement) members.push_back(remap[e]);
+    }
+    if (members.empty()) continue;
+    set_remap[s] = out.graph.add_set(mg.set_name(s), std::move(members));
+    out.original_set.push_back(s);
+  }
+  // Keep edges whose both endpoints survived.
+  for (EdgeId e = 0; e < mg.edge_count(); ++e) {
+    const MetaEdge& edge = mg.edge(e);
+    const SetId v = set_remap[edge.invertex];
+    const SetId w = set_remap[edge.outvertex];
+    if (v == kNoSet || w == kNoSet) continue;
+    out.graph.add_edge(v, w, edge.attributes);
+    out.original_edge.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace adsynth::metagraph

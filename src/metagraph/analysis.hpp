@@ -1,0 +1,59 @@
+// Metagraph analysis operations from Basu & Blanning's treatment:
+// metapath edge sets, bridges (edges critical to connectivity), cutsets
+// (edge sets disconnecting a source from a target), and projections onto a
+// subset of the generating set.
+//
+// In the AD mapping these answer defender questions directly: a bridge is
+// a single permission whose removal severs an escalation, a cutset is a
+// minimal remediation plan at the set-to-set level, and a projection is
+// "the same policy structure restricted to one department's objects".
+#pragma once
+
+#include <vector>
+
+#include "metagraph/algorithms.hpp"
+#include "metagraph/metagraph.hpp"
+
+namespace adsynth::metagraph {
+
+/// Edges participating in the closure from `sources` (i.e. fired during the
+/// reach sweep).  A superset of any single witness metapath.
+std::vector<EdgeId> reachable_edges(const Metagraph& mg,
+                                    const std::vector<ElementId>& sources,
+                                    ReachMode mode);
+
+/// True when removing edge `candidate` breaks reachability of `target`
+/// from `sources` under `mode` — the edge is a *bridge* of the metapath.
+bool is_bridge(const Metagraph& mg, const std::vector<ElementId>& sources,
+               ElementId target, EdgeId candidate, ReachMode mode);
+
+/// All bridges for (sources → target).  O(|E_fired| · reach).
+std::vector<EdgeId> bridge_edges(const Metagraph& mg,
+                                 const std::vector<ElementId>& sources,
+                                 ElementId target, ReachMode mode);
+
+/// A small (greedy, not necessarily minimum) edge cutset whose removal
+/// makes `target` unreachable from `sources`.  Returns an empty vector when
+/// target is already unreachable.  Greedy loop: find a witness chain,
+/// remove its most-constrained edge, repeat.
+std::vector<EdgeId> greedy_cutset(const Metagraph& mg,
+                                  const std::vector<ElementId>& sources,
+                                  ElementId target, ReachMode mode);
+
+/// Projection of the metagraph onto `keep` ⊂ X: the generating set shrinks
+/// to `keep` (elements are renumbered densely, in ascending original id
+/// order); every vertex set is intersected with `keep`; edges whose
+/// invertex or outvertex become empty are dropped; empty sets are dropped.
+struct Projection {
+  Metagraph graph;
+  /// Original element id of each projected element.
+  std::vector<ElementId> original_element;
+  /// Original set id of each projected set.
+  std::vector<SetId> original_set;
+  /// Original edge id of each projected edge.
+  std::vector<EdgeId> original_edge;
+};
+
+Projection project(const Metagraph& mg, const std::vector<ElementId>& keep);
+
+}  // namespace adsynth::metagraph

@@ -1,0 +1,69 @@
+#include "metagraph/expansion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace adsynth::metagraph {
+
+void ExpandedGraph::deduplicate() {
+  std::sort(edges.begin(), edges.end(),
+            [](const ExpandedEdge& a, const ExpandedEdge& b) {
+              if (a.source != b.source) return a.source < b.source;
+              if (a.target != b.target) return a.target < b.target;
+              return a.label < b.label;
+            });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const ExpandedEdge& a, const ExpandedEdge& b) {
+                            return a.source == b.source &&
+                                   a.target == b.target && a.label == b.label;
+                          }),
+              edges.end());
+}
+
+ExpandedGraph expand(const Metagraph& mg, const ExpandOptions& options) {
+  ExpandedGraph out;
+  out.element_count = mg.element_count();
+  std::map<std::string, std::uint32_t> label_index;
+
+  // Pre-size: Σ |V_e|·|W_e|.
+  std::uint64_t total = 0;
+  for (EdgeId e = 0; e < mg.edge_count(); ++e) {
+    const auto& edge = mg.edge(e);
+    total += static_cast<std::uint64_t>(mg.members(edge.invertex).size()) *
+             mg.members(edge.outvertex).size();
+  }
+  if (total > options.max_edges) {
+    throw std::length_error("expand: expansion would produce " +
+                            std::to_string(total) + " edges (cap " +
+                            std::to_string(options.max_edges) + ")");
+  }
+  out.edges.reserve(static_cast<std::size_t>(total));
+
+  for (EdgeId e = 0; e < mg.edge_count(); ++e) {
+    const auto& edge = mg.edge(e);
+    const auto& inv = mg.members(edge.invertex);
+    const auto& outv = mg.members(edge.outvertex);
+    if (inv.empty() || outv.empty()) {
+      if (!options.allow_empty_sets) {
+        throw std::invalid_argument(
+            "expand: edge " + std::to_string(e) +
+            " touches an empty vertex set and allow_empty_sets is false");
+      }
+      continue;
+    }
+    const auto [it, inserted] = label_index.try_emplace(
+        edge.attributes.label,
+        static_cast<std::uint32_t>(label_index.size()));
+    if (inserted) out.labels.push_back(edge.attributes.label);
+    const std::uint32_t label = it->second;
+    for (const ElementId v : inv) {
+      for (const ElementId w : outv) {
+        out.edges.push_back(ExpandedEdge{v, w, label, e});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace adsynth::metagraph

@@ -1,0 +1,57 @@
+// Element-to-element expansion of a metagraph.
+//
+// ADSynth's default output is the set-to-set attack graph; a parameter
+// converts it to an element-to-element graph (paper §III-B, "ADSynth
+// Output").  The expansion replaces each metagraph edge <V, W> by the
+// |V|·|W| element pairs it denotes, keeping the edge label.  Expansion is
+// also what the analytics layer consumes when set-level structure is not
+// wanted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metagraph/metagraph.hpp"
+
+namespace adsynth::metagraph {
+
+/// One element-level edge of the expanded graph.
+struct ExpandedEdge {
+  ElementId source = kNoElement;
+  ElementId target = kNoElement;
+  /// Index into ExpandedGraph::labels.
+  std::uint32_t label = 0;
+  /// The metagraph edge this pair came from.
+  EdgeId origin = kNoEdge;
+};
+
+/// A flat element-to-element digraph produced from a metagraph.  Labels are
+/// interned: each distinct metagraph edge label appears once in `labels`.
+struct ExpandedGraph {
+  std::size_t element_count = 0;
+  std::vector<std::string> labels;
+  std::vector<ExpandedEdge> edges;
+
+  /// Number of distinct (source,target,label) triples may be lower than
+  /// edges.size() when several metagraph edges imply the same pair; the
+  /// expansion does NOT deduplicate (matching how overlapping AD permissions
+  /// really stack); call `deduplicate()` when a simple graph is needed.
+  void deduplicate();
+};
+
+/// Options controlling the expansion.
+struct ExpandOptions {
+  /// When true, edges whose invertex or outvertex is empty are skipped
+  /// (they denote no element pairs); when false they throw.
+  bool allow_empty_sets = true;
+  /// Upper bound on produced element edges; exceeding it throws
+  /// std::length_error.  Guards against accidentally expanding a dense
+  /// metagraph into a graph that cannot fit in memory.
+  std::uint64_t max_edges = 2'000'000'000ULL;
+};
+
+/// Expands every metagraph edge into element pairs.
+ExpandedGraph expand(const Metagraph& mg, const ExpandOptions& options = {});
+
+}  // namespace adsynth::metagraph

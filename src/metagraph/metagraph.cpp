@@ -1,0 +1,118 @@
+#include "metagraph/metagraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adsynth::metagraph {
+
+ElementId Metagraph::add_element(std::string name) {
+  const auto id = static_cast<ElementId>(element_names_.size());
+  element_names_.push_back(std::move(name));
+  element_sets_.emplace_back();
+  return id;
+}
+
+SetId Metagraph::add_set(std::string name) {
+  return add_set(std::move(name), {});
+}
+
+SetId Metagraph::add_set(std::string name, std::vector<ElementId> members) {
+  for (const ElementId m : members) check_element(m);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  const auto id = static_cast<SetId>(sets_.size());
+  for (const ElementId m : members) element_sets_[m].push_back(id);
+  membership_size_ += members.size();
+  SetRecord rec;
+  rec.name = std::move(name);
+  rec.members = std::move(members);
+  set_index_.emplace(rec.name, id);
+  sets_.push_back(std::move(rec));
+  return id;
+}
+
+void Metagraph::add_to_set(SetId set, ElementId element) {
+  check_set(set);
+  check_element(element);
+  auto& members = sets_[set].members;
+  const auto it = std::lower_bound(members.begin(), members.end(), element);
+  if (it != members.end() && *it == element) return;
+  members.insert(it, element);
+  element_sets_[element].push_back(set);
+  ++membership_size_;
+}
+
+EdgeId Metagraph::add_edge(SetId invertex, SetId outvertex,
+                           EdgeAttributes attributes) {
+  check_set(invertex);
+  check_set(outvertex);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(MetaEdge{invertex, outvertex, std::move(attributes)});
+  sets_[invertex].out_edges.push_back(id);
+  sets_[outvertex].in_edges.push_back(id);
+  return id;
+}
+
+const std::string& Metagraph::element_name(ElementId id) const {
+  check_element(id);
+  return element_names_[id];
+}
+
+const std::string& Metagraph::set_name(SetId id) const {
+  check_set(id);
+  return sets_[id].name;
+}
+
+const std::vector<ElementId>& Metagraph::members(SetId id) const {
+  check_set(id);
+  return sets_[id].members;
+}
+
+const MetaEdge& Metagraph::edge(EdgeId id) const {
+  if (id >= edges_.size()) {
+    throw std::out_of_range("Metagraph: invalid edge id " + std::to_string(id));
+  }
+  return edges_[id];
+}
+
+bool Metagraph::contains(SetId set, ElementId element) const {
+  check_set(set);
+  const auto& members = sets_[set].members;
+  return std::binary_search(members.begin(), members.end(), element);
+}
+
+const std::vector<EdgeId>& Metagraph::edges_from(SetId set) const {
+  check_set(set);
+  return sets_[set].out_edges;
+}
+
+const std::vector<EdgeId>& Metagraph::edges_into(SetId set) const {
+  check_set(set);
+  return sets_[set].in_edges;
+}
+
+const std::vector<SetId>& Metagraph::sets_of(ElementId element) const {
+  check_element(element);
+  return element_sets_[element];
+}
+
+std::optional<SetId> Metagraph::find_set(const std::string& name) const {
+  const auto it = set_index_.find(name);
+  if (it == set_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Metagraph::check_element(ElementId id) const {
+  if (id >= element_names_.size()) {
+    throw std::out_of_range("Metagraph: invalid element id " +
+                            std::to_string(id));
+  }
+}
+
+void Metagraph::check_set(SetId id) const {
+  if (id >= sets_.size()) {
+    throw std::out_of_range("Metagraph: invalid set id " + std::to_string(id));
+  }
+}
+
+}  // namespace adsynth::metagraph

@@ -1,0 +1,121 @@
+// Metagraph core, after Basu & Blanning ("Metagraphs and their
+// applications", Springer 2007), the formalism ADSynth models AD with.
+//
+// A metagraph S = <X, E> consists of a generating set X = {x_1..x_n} and a
+// set of edges; each edge e = <V_e, W_e> joins an *invertex* V_e ⊂ X to an
+// *outvertex* W_e ⊂ X and carries an attribute list P_e (here: a label plus
+// key/value properties — ADSynth stores the AD permission type this way).
+//
+// In the AD mapping: elements are concrete objects (users, computers, ...);
+// vertex sets are Groups and Organisational Units; an edge
+// <{admins}, {workstations OU}> labelled "GenericAll" is a permission grant
+// from a set of principals onto a set of resources.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adsynth::metagraph {
+
+/// Index of an element of the generating set X.
+using ElementId = std::uint32_t;
+/// Index of a registered vertex set (a named subset of X).
+using SetId = std::uint32_t;
+/// Index of a metagraph edge.
+using EdgeId = std::uint32_t;
+
+inline constexpr ElementId kNoElement = std::numeric_limits<ElementId>::max();
+inline constexpr SetId kNoSet = std::numeric_limits<SetId>::max();
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+/// Attribute list P_e of an edge: a primary label (the permission type in
+/// the AD mapping) plus optional string properties.
+struct EdgeAttributes {
+  std::string label;
+  std::map<std::string, std::string> properties;
+};
+
+/// An edge e = <V_e, W_e>; the vertex sets are referenced by SetId so that
+/// many edges can share the same group/OU without copying memberships.
+struct MetaEdge {
+  SetId invertex = kNoSet;
+  SetId outvertex = kNoSet;
+  EdgeAttributes attributes;
+};
+
+/// A mutable metagraph.  Elements and sets are append-only; membership of a
+/// set may grow after creation (AD groups gain members over time).  All
+/// element lists inside sets are kept sorted and duplicate-free.
+class Metagraph {
+ public:
+  /// Adds an element to the generating set; `name` is for diagnostics and
+  /// export, uniqueness is NOT enforced (AD GUIDs are handled a layer up).
+  ElementId add_element(std::string name);
+
+  /// Registers an empty named vertex set.
+  SetId add_set(std::string name);
+
+  /// Registers a vertex set with initial members (deduplicated, sorted).
+  SetId add_set(std::string name, std::vector<ElementId> members);
+
+  /// Inserts `element` into `set` (no-op when already present).
+  /// Throws std::out_of_range on an invalid set or element id.
+  void add_to_set(SetId set, ElementId element);
+
+  /// Creates an edge <invertex, outvertex> with the given attributes.
+  EdgeId add_edge(SetId invertex, SetId outvertex, EdgeAttributes attributes);
+
+  std::size_t element_count() const { return element_names_.size(); }
+  std::size_t set_count() const { return sets_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const std::string& element_name(ElementId id) const;
+  const std::string& set_name(SetId id) const;
+
+  /// Sorted member list of a set.
+  const std::vector<ElementId>& members(SetId id) const;
+
+  const MetaEdge& edge(EdgeId id) const;
+
+  /// True when `element` ∈ set (binary search over the sorted members).
+  bool contains(SetId set, ElementId element) const;
+
+  /// Ids of edges whose invertex is `set` / whose outvertex is `set`.
+  const std::vector<EdgeId>& edges_from(SetId set) const;
+  const std::vector<EdgeId>& edges_into(SetId set) const;
+
+  /// All sets an element belongs to (ascending SetId order).
+  const std::vector<SetId>& sets_of(ElementId element) const;
+
+  /// Finds a registered set by exact name; linear in the number of sets
+  /// with that name is not needed — a name->id index is maintained.  Returns
+  /// std::nullopt when no set has the name; if several do, the first wins.
+  std::optional<SetId> find_set(const std::string& name) const;
+
+  /// Total of |members| over all sets (size of the set-membership relation).
+  std::size_t membership_size() const { return membership_size_; }
+
+ private:
+  struct SetRecord {
+    std::string name;
+    std::vector<ElementId> members;  // sorted, unique
+    std::vector<EdgeId> out_edges;   // edges with this set as invertex
+    std::vector<EdgeId> in_edges;    // edges with this set as outvertex
+  };
+
+  void check_element(ElementId id) const;
+  void check_set(SetId id) const;
+
+  std::vector<std::string> element_names_;
+  std::vector<std::vector<SetId>> element_sets_;
+  std::vector<SetRecord> sets_;
+  std::vector<MetaEdge> edges_;
+  std::map<std::string, SetId> set_index_;
+  std::size_t membership_size_ = 0;
+};
+
+}  // namespace adsynth::metagraph

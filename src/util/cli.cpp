@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace adsynth::util {
+
+void CliArgs::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, /*is_flag=*/true, "false"};
+}
+
+void CliArgs::add_option(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  specs_[name] = Spec{help, /*is_flag=*/false, default_value};
+}
+
+bool CliArgs::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw std::invalid_argument("unknown option --" + name);
+    }
+    if (it->second.is_flag) {
+      if (has_value) {
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      }
+      values_[name] = "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("option --" + name + " needs a value");
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  return true;
+}
+
+bool CliArgs::flag(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end() || !spec->second.is_flag) {
+    throw std::logic_error("undeclared flag --" + name);
+  }
+  return values_.count(name) > 0;
+}
+
+std::string CliArgs::str(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end()) throw std::logic_error("undeclared option --" + name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->second.default_value;
+}
+
+std::int64_t CliArgs::integer(const std::string& name) const {
+  const std::string v = str(name);
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" +
+                                v + "'");
+  }
+}
+
+double CliArgs::real(const std::string& name) const {
+  const std::string v = str(name);
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" +
+                                v + "'");
+  }
+}
+
+std::string CliArgs::usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name;
+    if (!spec.is_flag) out += " <value> (default: " + spec.default_value + ")";
+    out += "\n      " + spec.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace adsynth::util

@@ -1,0 +1,50 @@
+// Tiny command-line option parser shared by the bench harness and examples.
+//
+// Supports "--name value", "--name=value", and boolean "--flag" forms plus
+// positional arguments.  Unknown options throw, so bench invocations fail
+// loudly instead of silently running the wrong experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adsynth::util {
+
+class CliArgs {
+ public:
+  /// Declares a boolean flag (present/absent, no value).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Declares a valued option with a default rendered in --help.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parses argv.  Returns false (after printing usage) when --help/-h is
+  /// given; throws std::invalid_argument on unknown or malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage text (also printed on --help).
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adsynth::util

@@ -1,0 +1,110 @@
+#include "util/ids.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adsynth::util {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Guid::to_string() const {
+  char buf[37];
+  std::snprintf(buf, sizeof buf, "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi >> 32),
+                static_cast<unsigned>((hi >> 16) & 0xffff),
+                static_cast<unsigned>(hi & 0xffff),
+                static_cast<unsigned>(lo >> 48),
+                static_cast<unsigned long long>(lo & 0xffffffffffffULL));
+  return std::string(buf, 36);
+}
+
+Guid Guid::random(Rng& rng) {
+  Guid g{rng.next(), rng.next()};
+  // Stamp the version (4) and variant (10xx) bits like RFC 4122 random GUIDs.
+  g.hi = (g.hi & ~0xf000ULL) | 0x4000ULL;
+  g.lo = (g.lo & ~(0xc000ULL << 48)) | (0x8000ULL << 48);
+  return g;
+}
+
+Guid Guid::parse(const std::string& text) {
+  if (text.size() != 36 || text[8] != '-' || text[13] != '-' ||
+      text[18] != '-' || text[23] != '-') {
+    throw std::invalid_argument("Guid::parse: malformed GUID: " + text);
+  }
+  std::array<int, 32> nibbles{};
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < 36; ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) continue;
+    const int d = hex_digit(text[i]);
+    if (d < 0) throw std::invalid_argument("Guid::parse: non-hex digit");
+    nibbles[n++] = d;
+  }
+  Guid g;
+  for (std::size_t i = 0; i < 16; ++i) {
+    g.hi = (g.hi << 4) | static_cast<std::uint64_t>(nibbles[i]);
+  }
+  for (std::size_t i = 16; i < 32; ++i) {
+    g.lo = (g.lo << 4) | static_cast<std::uint64_t>(nibbles[i]);
+  }
+  return g;
+}
+
+std::string Sid::to_string() const {
+  return domain_part() + "-" + std::to_string(rid);
+}
+
+std::string Sid::domain_part() const {
+  return "S-1-5-21-" + std::to_string(d1) + "-" + std::to_string(d2) + "-" +
+         std::to_string(d3);
+}
+
+Sid Sid::parse(const std::string& text) {
+  const std::string prefix = "S-1-5-21-";
+  if (text.rfind(prefix, 0) != 0) {
+    throw std::invalid_argument("Sid::parse: expected S-1-5-21 prefix: " +
+                                text);
+  }
+  std::array<std::uint32_t, 4> parts{};
+  const char* p = text.data() + prefix.size();
+  const char* end = text.data() + text.size();
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto [next, ec] = std::from_chars(p, end, parts[i]);
+    if (ec != std::errc{}) {
+      throw std::invalid_argument("Sid::parse: bad subauthority: " + text);
+    }
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '-') {
+        throw std::invalid_argument("Sid::parse: expected 4 subauthorities: " +
+                                    text);
+      }
+      ++p;
+    }
+  }
+  if (p != end) throw std::invalid_argument("Sid::parse: trailing data");
+  return Sid{parts[0], parts[1], parts[2], parts[3]};
+}
+
+SidFactory::SidFactory(Rng& rng)
+    : d1_(static_cast<std::uint32_t>(rng.uniform(1, 0xffffffffULL))),
+      d2_(static_cast<std::uint32_t>(rng.uniform(1, 0xffffffffULL))),
+      d3_(static_cast<std::uint32_t>(rng.uniform(1, 0xffffffffULL))) {}
+
+Sid SidFactory::well_known(std::uint32_t rid) const {
+  return Sid{d1_, d2_, d3_, rid};
+}
+
+Sid SidFactory::next() { return Sid{d1_, d2_, d3_, next_rid_++}; }
+
+}  // namespace adsynth::util

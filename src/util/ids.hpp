@@ -1,0 +1,83 @@
+// Globally unique identifiers (GUIDs) and Windows security identifiers
+// (SIDs) as used by Active Directory objects.
+//
+// The paper notes that object uniqueness within metagraph sets is determined
+// by a GUID; BloodHound additionally keys principals by SID.  Both are
+// generated deterministically from the run's RNG so that a seed fully
+// reproduces a graph, including its identifiers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace adsynth::util {
+
+/// 128-bit GUID, formatted in the canonical 8-4-4-4-12 hexadecimal layout.
+struct Guid {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  auto operator<=>(const Guid&) const = default;
+
+  /// Canonical lowercase "xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx" form.
+  std::string to_string() const;
+
+  /// Draws a version-4-shaped GUID from the generator.
+  static Guid random(Rng& rng);
+
+  /// Parses the canonical form; throws std::invalid_argument on malformed
+  /// input (wrong length, misplaced dashes, non-hex digits).
+  static Guid parse(const std::string& text);
+};
+
+/// A Windows SID restricted to the shape AD uses for domain principals:
+/// "S-1-5-21-<d1>-<d2>-<d3>-<rid>".  The three domain subauthorities
+/// identify the domain; the relative identifier (RID) identifies the
+/// principal within it.  Well-known RIDs: 512 = Domain Admins,
+/// 513 = Domain Users, 516 = Domain Controllers, 519 = Enterprise Admins.
+struct Sid {
+  std::uint32_t d1 = 0;
+  std::uint32_t d2 = 0;
+  std::uint32_t d3 = 0;
+  std::uint32_t rid = 0;
+
+  auto operator<=>(const Sid&) const = default;
+
+  std::string to_string() const;
+
+  /// The domain identity part "S-1-5-21-<d1>-<d2>-<d3>" without a RID,
+  /// used as the domain object's own SID in BloodHound exports.
+  std::string domain_part() const;
+
+  /// Parses "S-1-5-21-a-b-c-rid"; throws std::invalid_argument otherwise.
+  static Sid parse(const std::string& text);
+};
+
+/// Domain-wide SID allocator: fixes the three domain subauthorities from the
+/// RNG once, then hands out RIDs.  Well-known RIDs (< 1000) are reserved and
+/// requested explicitly; generated principals start at RID 1000 like real AD.
+class SidFactory {
+ public:
+  explicit SidFactory(Rng& rng);
+
+  /// SID with an explicit well-known RID (e.g. 512 for Domain Admins).
+  Sid well_known(std::uint32_t rid) const;
+
+  /// Next sequential principal SID (RID 1000, 1001, ...).
+  Sid next();
+
+  /// Count of sequential SIDs handed out so far.
+  std::uint32_t issued() const { return next_rid_ - kFirstRid; }
+
+ private:
+  static constexpr std::uint32_t kFirstRid = 1000;
+  std::uint32_t d1_;
+  std::uint32_t d2_;
+  std::uint32_t d3_;
+  std::uint32_t next_rid_ = kFirstRid;
+};
+
+}  // namespace adsynth::util

@@ -1,0 +1,482 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adsynth::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::runtime_error(std::string("JsonValue: not a ") + want);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool");
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  type_error("int");
+}
+
+double JsonValue::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  type_error("number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string");
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (const auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("array");
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (const auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("object");
+}
+
+JsonArray& JsonValue::as_array() {
+  if (auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("array");
+}
+
+JsonObject& JsonValue::as_object() {
+  if (auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("object");
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  return as_object().at(key);
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  const auto* o = std::get_if<JsonObject>(&value_);
+  return o != nullptr && o->count(key) > 0;
+}
+
+void json_escape(std::string_view s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  struct Visitor {
+    std::string& out;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(std::int64_t i) const { out += std::to_string(i); }
+    void operator()(double d) const {
+      if (!std::isfinite(d)) {
+        out += "null";  // JSON has no Inf/NaN; match common serializers
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    }
+    void operator()(const std::string& s) const { json_escape(s, out); }
+    void operator()(const JsonArray& a) const {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& v : a) {
+        if (!first) out.push_back(',');
+        first = false;
+        v.dump_to(out);
+      }
+      out.push_back(']');
+    }
+    void operator()(const JsonObject& o) const {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out.push_back(',');
+        first = false;
+        json_escape(k, out);
+        out.push_back(':');
+        v.dump_to(out);
+      }
+      out.push_back('}');
+    }
+  };
+  std::visit(Visitor{out}, value_);
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("JSON parse error: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad hex digit in \\u escape");
+              }
+            }
+            // Encode the code point (BMP only; surrogate pairs are combined).
+            unsigned cp = code;
+            if (code >= 0xd800 && code <= 0xdbff) {
+              if (pos_ + 6 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                fail("unpaired surrogate");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              for (int i = 0; i < 4; ++i) {
+                const char h = text_[pos_++];
+                low <<= 4;
+                if (h >= '0' && h <= '9') {
+                  low |= static_cast<unsigned>(h - '0');
+                } else if (h >= 'a' && h <= 'f') {
+                  low |= static_cast<unsigned>(h - 'a' + 10);
+                } else if (h >= 'A' && h <= 'F') {
+                  low |= static_cast<unsigned>(h - 'A' + 10);
+                } else {
+                  fail("bad hex digit in low surrogate");
+                }
+              }
+              if (low < 0xdc00 || low > 0xdfff) fail("bad low surrogate");
+              cp = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            }
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            } else if (cp < 0x10000) {
+              out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            }
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("bad number");
+    if (!is_double) {
+      std::int64_t i = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) {
+        return JsonValue(i);
+      }
+      // Overflowing integers fall through to double.
+    }
+    double d = 0.0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) fail("bad number");
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Frame::kObject && !have_key_) {
+    throw std::logic_error("JsonWriter: value in object without key");
+  }
+  if (need_comma_) out_ << ',';
+  have_key_ = false;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: end_object outside object");
+  }
+  if (have_key_) throw std::logic_error("JsonWriter: dangling key");
+  stack_.pop_back();
+  out_ << '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: end_array outside array");
+  }
+  stack_.pop_back();
+  out_ << ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (have_key_) throw std::logic_error("JsonWriter: consecutive keys");
+  if (need_comma_) out_ << ',';
+  std::string buf;
+  json_escape(name, buf);
+  out_ << buf << ':';
+  need_comma_ = false;
+  have_key_ = true;
+}
+
+void JsonWriter::value(std::nullptr_t) {
+  before_value();
+  out_ << "null";
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  out_ << (b ? "true" : "false");
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  before_value();
+  out_ << i;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    out_ << "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ << buf;
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  std::string buf;
+  buf.reserve(s.size() + 2);
+  json_escape(s, buf);
+  out_ << buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(const JsonValue& v) {
+  before_value();
+  out_ << v.dump();
+  need_comma_ = true;
+}
+
+}  // namespace adsynth::util

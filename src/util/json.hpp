@@ -1,0 +1,129 @@
+// Minimal JSON support used by the graph database's Neo4j/APOC-style export
+// and import.  Two layers:
+//
+//  * JsonValue — a DOM for parsing and for small documents (configs, tests).
+//  * JsonWriter — a forward-only streaming writer so that million-node graph
+//    exports never materialize the document in memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace adsynth::util {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+// std::map keeps exports byte-stable across runs (insertion-order containers
+// would leak generation order into the serialized form).
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// A parsed JSON document node.  Numbers are stored as int64 when the text
+/// has no fraction/exponent and fits, double otherwise.
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                               std::string, JsonArray, JsonObject>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::int64_t i) : value_(i) {}
+  JsonValue(std::uint64_t i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; each throws std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  // accepts int, widening to double
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object member lookup; throws std::out_of_range when absent.
+  const JsonValue& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  /// Serializes compactly (no whitespace).  Mainly for tests and configs;
+  /// bulk export uses JsonWriter.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte-offset message on malformed input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out) const;
+  Storage value_;
+};
+
+/// Escapes and quotes `s` per RFC 8259 into `out`.
+void json_escape(std::string_view s, std::string& out);
+
+/// Forward-only streaming JSON writer.  begin/end calls must nest correctly;
+/// violations throw std::logic_error (cheap state checks, not a validator).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes an object key; must be inside an object, before a value.
+  void key(std::string_view name);
+
+  void value(std::nullptr_t);
+  void value(bool b);
+  void value(std::int64_t i);
+  void value(std::uint64_t i) { value(static_cast<std::int64_t>(i)); }
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(double d);
+  void value(std::string_view s);
+  void value(const std::string& s) { value(std::string_view(s)); }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(const JsonValue& v);
+
+  /// Convenience: key followed by a scalar value.
+  template <typename T>
+  void member(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+}  // namespace adsynth::util

@@ -1,0 +1,112 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace adsynth::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) noexcept {
+  std::uint64_t state = value;
+  return splitmix64(state);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return next();
+  const std::uint64_t n = span + 1;
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n must be positive");
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+double Rng::real() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+Rng Rng::fork() { return Rng(mix64(next())); }
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) k = n;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Floyd's algorithm when the sample is sparse: expected O(k) with a set.
+  if (k < n / 16) {
+    std::unordered_set<std::size_t> chosen;
+    chosen.reserve(k * 2);
+    for (std::size_t j = n - k; j < n; ++j) {
+      const std::size_t t = index(j + 1);
+      if (chosen.insert(t).second) {
+        out.push_back(t);
+      } else {
+        chosen.insert(j);
+        out.push_back(j);
+      }
+    }
+    return out;
+  }
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+}  // namespace adsynth::util

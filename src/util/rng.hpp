@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation for ADSynth.
+//
+// Every generator in this repository takes an explicit 64-bit seed and
+// produces identical output for identical seeds across platforms.  We use
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64, which is the
+// recommended seeding procedure and avoids correlated low-entropy states.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace adsynth::util {
+
+/// splitmix64 step: advances `state` and returns the next 64-bit output.
+/// Used to expand a single seed into the xoshiro256** state vector; also
+/// useful on its own as a fast stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Mixes a value through one splitmix64 round without retaining state.
+/// Handy for deriving independent stream seeds: `mix64(seed ^ stream_id)`.
+std::uint64_t mix64(std::uint64_t value) noexcept;
+
+/// xoshiro256** engine.  Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions, but the helper members below are
+/// preferred: they are reproducible across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words via splitmix64(seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  /// Uses Lemire's nearly-divisionless bounded rejection method.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform size_t in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double real();
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Forks an independent generator: the child stream is decorrelated from
+  /// the parent by mixing a fresh draw through splitmix64.
+  Rng fork();
+
+  /// Fisher-Yates shuffle of a whole vector, reproducible across platforms.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(items[i], items[index(i + 1)]);
+    }
+  }
+
+  /// Uniformly picks one element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty vector");
+    return items[index(items.size())];
+  }
+
+  /// Samples `k` distinct elements of `items` without replacement (order is
+  /// randomized).  If k >= items.size() returns a shuffled copy of all items.
+  /// Uses a partial Fisher-Yates over an index vector: O(items.size()).
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& items, std::size_t k) {
+    const std::size_t n = items.size();
+    if (k > n) k = n;
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    std::vector<T> out;
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + index(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(items[idx[i]]);
+    }
+    return out;
+  }
+
+  /// Samples `k` distinct indices from [0, n) without materializing a pool
+  /// when k is small relative to n (Floyd's algorithm); falls back to partial
+  /// Fisher-Yates otherwise.  Result order is unspecified but deterministic.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace adsynth::util

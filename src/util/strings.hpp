@@ -1,0 +1,34 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adsynth::util {
+
+/// Uppercases ASCII letters (AD principal names are conventionally upper).
+std::string to_upper(std::string_view s);
+
+/// Lowercases ASCII letters.
+std::string to_lower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Formats a count with thousands separators, e.g. 1000000 -> "1,000,000".
+std::string with_commas(std::uint64_t n);
+
+}  // namespace adsynth::util

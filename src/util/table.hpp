@@ -1,0 +1,38 @@
+// Fixed-width text table rendering for bench output, matching the row/column
+// presentation of the paper's tables and figure data series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adsynth::util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Missing trailing cells render as empty; the paper's "did not finish"
+/// entries are plain "-" cells supplied by the caller.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `decimals` fractional digits.
+std::string fixed(double v, int decimals);
+
+/// Formats a double in scientific shorthand like "1.2e-04".
+std::string sci(double v);
+
+/// Formats a fraction as a percentage string like "0.02%".
+std::string percent(double fraction, int decimals = 2);
+
+}  // namespace adsynth::util

@@ -1,0 +1,34 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adsynth::util {
+
+double RunStats::min() const {
+  if (samples_.empty()) throw std::logic_error("RunStats::min: no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::max() const {
+  if (samples_.empty()) throw std::logic_error("RunStats::max: no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::median() const {
+  if (samples_.empty()) throw std::logic_error("RunStats::median: no samples");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+std::string RunStats::summary() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f±%.3f", mean(), stdev());
+  return buf;
+}
+
+}  // namespace adsynth::util

@@ -1,0 +1,73 @@
+// Wall-clock timing and run statistics for the benchmark harness.
+//
+// Table I of the paper reports mean ± standard deviation over 20 runs; the
+// RunStats accumulator reproduces exactly that presentation.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adsynth::util {
+
+/// Monotonic stopwatch.  Starts on construction; `seconds()` reads the
+/// elapsed time without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates per-run samples and reports mean and sample stdev, formatted
+/// "m.mmm±s.sss" like the paper's Table I cells.
+class RunStats {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Sample (n-1) standard deviation; 0 for fewer than two samples.
+  double stdev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (const double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  double min() const;
+  double max() const;
+  /// Median (average of the two middle samples for even counts).
+  double median() const;
+
+  /// "mean±stdev" with three decimals, e.g. "21.304±0.958".
+  std::string summary() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace adsynth::util

@@ -1,0 +1,164 @@
+#include "adcore/attack_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adcore/convert.hpp"
+#include "graphdb/neo4j_io.hpp"
+
+namespace adsynth::adcore {
+namespace {
+
+TEST(AttackGraph, NodesCarryKindTierFlags) {
+  AttackGraph g;
+  const NodeIndex u = g.add_node(ObjectKind::kUser, 2,
+                                 node_flag::kAdmin | node_flag::kEnabled);
+  EXPECT_EQ(g.kind(u), ObjectKind::kUser);
+  EXPECT_EQ(g.tier(u), 2);
+  EXPECT_TRUE(g.has_flag(u, node_flag::kAdmin));
+  EXPECT_TRUE(g.has_flag(u, node_flag::kEnabled));
+  EXPECT_FALSE(g.has_flag(u, node_flag::kServer));
+  EXPECT_TRUE(g.name(u).empty());
+}
+
+TEST(AttackGraph, NamedNodes) {
+  AttackGraph g;
+  const NodeIndex n = g.add_named_node(ObjectKind::kGroup, "DOMAIN ADMINS", 0);
+  EXPECT_EQ(g.name(n), "DOMAIN ADMINS");
+  g.set_name(n, "RENAMED");
+  EXPECT_EQ(g.name(n), "RENAMED");
+}
+
+TEST(AttackGraph, EdgesValidated) {
+  AttackGraph g;
+  const NodeIndex a = g.add_node(ObjectKind::kUser);
+  const NodeIndex b = g.add_node(ObjectKind::kGroup);
+  g.add_edge(a, b, EdgeKind::kMemberOf);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_THROW(g.add_edge(a, 99, EdgeKind::kMemberOf), std::out_of_range);
+  EXPECT_THROW(g.add_edge(99, b, EdgeKind::kMemberOf), std::out_of_range);
+}
+
+TEST(AttackGraph, DensityDefinitionMatchesPaper) {
+  AttackGraph g;
+  // density = |E| / (|V|·(|V|−1)).
+  const NodeIndex a = g.add_node(ObjectKind::kUser);
+  const NodeIndex b = g.add_node(ObjectKind::kUser);
+  g.add_node(ObjectKind::kUser);
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+  g.add_edge(a, b, EdgeKind::kGenericAll);
+  EXPECT_DOUBLE_EQ(g.density(), 1.0 / 6.0);
+}
+
+TEST(AttackGraph, DensityOfTrivialGraphsIsZero) {
+  AttackGraph g;
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+  g.add_node(ObjectKind::kUser);
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+}
+
+TEST(AttackGraph, ViolationCountTracksMisconfigEdges) {
+  AttackGraph g;
+  const NodeIndex a = g.add_node(ObjectKind::kUser);
+  const NodeIndex b = g.add_node(ObjectKind::kComputer);
+  g.add_edge(a, b, EdgeKind::kExecuteDCOM, /*violation=*/true);
+  g.add_edge(b, a, EdgeKind::kHasSession, /*violation=*/false);
+  EXPECT_EQ(g.violation_count(), 1u);
+}
+
+TEST(AttackGraph, NodesOfKind) {
+  AttackGraph g;
+  g.add_node(ObjectKind::kUser);
+  g.add_node(ObjectKind::kComputer);
+  g.add_node(ObjectKind::kUser);
+  EXPECT_EQ(g.nodes_of_kind(ObjectKind::kUser).size(), 2u);
+  EXPECT_EQ(g.nodes_of_kind(ObjectKind::kGPO).size(), 0u);
+}
+
+TEST(AttackGraph, DomainAdminsMarker) {
+  AttackGraph g;
+  EXPECT_EQ(g.domain_admins(), kNoNodeIndex);
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DOMAIN ADMINS");
+  g.set_domain_admins(da);
+  EXPECT_EQ(g.domain_admins(), da);
+}
+
+TEST(Convert, StoreRoundTripPreservesStructure) {
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DOMAIN ADMINS", 0,
+                                        node_flag::kSecurityGroup);
+  g.set_domain_admins(da);
+  const NodeIndex domain = g.add_named_node(ObjectKind::kDomain, "CORP.LOCAL", 0);
+  g.set_domain_node(domain);
+  const NodeIndex u = g.add_named_node(
+      ObjectKind::kUser, "ALICE", 2, node_flag::kEnabled | node_flag::kAdmin);
+  const NodeIndex c = g.add_named_node(ObjectKind::kComputer, "WS1", 2);
+  g.add_edge(u, da, EdgeKind::kMemberOf);
+  g.add_edge(c, u, EdgeKind::kHasSession, /*violation=*/true);
+  g.add_edge(da, domain, EdgeKind::kGenericAll);
+
+  const graphdb::GraphStore store = to_store(g, "corp.local");
+  EXPECT_EQ(store.node_count(), g.node_count());
+  EXPECT_EQ(store.rel_count(), g.edge_count());
+
+  const AttackGraph back = from_store(store);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_NE(back.domain_admins(), kNoNodeIndex);
+  EXPECT_EQ(back.name(back.domain_admins()), "DOMAIN ADMINS");
+  EXPECT_NE(back.domain_node(), kNoNodeIndex);
+  EXPECT_EQ(back.violation_count(), 1u);
+  // Tier and flags restored.
+  bool alice_found = false;
+  for (NodeIndex i = 0; i < back.node_count(); ++i) {
+    if (back.name(i) == "ALICE") {
+      alice_found = true;
+      EXPECT_EQ(back.tier(i), 2);
+      EXPECT_TRUE(back.has_flag(i, node_flag::kAdmin));
+      EXPECT_TRUE(back.has_flag(i, node_flag::kEnabled));
+    }
+  }
+  EXPECT_TRUE(alice_found);
+}
+
+TEST(Convert, FullJsonRoundTrip) {
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DOMAIN ADMINS");
+  g.set_domain_admins(da);
+  const NodeIndex u = g.add_named_node(ObjectKind::kUser, "BOB", 1,
+                                       node_flag::kEnabled);
+  g.add_edge(u, da, EdgeKind::kMemberOf);
+
+  std::stringstream buffer;
+  graphdb::export_apoc_json(to_store(g, "x.local"), buffer);
+  const AttackGraph back =
+      from_store(graphdb::import_apoc_json(buffer));
+  EXPECT_EQ(back.node_count(), 2u);
+  EXPECT_EQ(back.edge_count(), 1u);
+  EXPECT_NE(back.domain_admins(), kNoNodeIndex);
+}
+
+TEST(Convert, UnnamedNodesGetSyntheticNames) {
+  AttackGraph g;
+  g.add_node(ObjectKind::kComputer);
+  const graphdb::GraphStore store = to_store(g);
+  EXPECT_EQ(store.node_property(0, "name")->as_string(), "Computer-0");
+}
+
+TEST(Convert, UnknownRelTypeRejectedOnImport) {
+  graphdb::GraphStore store;
+  const auto a = store.create_node({"User"});
+  const auto b = store.create_node({"User"});
+  store.create_relationship(a, b, "Teleports");
+  EXPECT_THROW(from_store(store), std::runtime_error);
+}
+
+TEST(Convert, NodeWithoutAdLabelRejected) {
+  graphdb::GraphStore store;
+  store.create_node({"Mystery"});
+  EXPECT_THROW(from_store(store), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adsynth::adcore

@@ -1,0 +1,141 @@
+#include "adcore/bloodhound_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <filesystem>
+
+#include "adcore/convert.hpp"
+#include "core/generator.hpp"
+#include "graphdb/store.hpp"
+#include "util/json.hpp"
+
+namespace adsynth::adcore {
+namespace {
+
+util::JsonValue load(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return util::JsonValue::parse(buffer.str());
+}
+
+class BloodhoundIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir = ::testing::TempDir() + "/bh_export";
+    std::filesystem::create_directories(dir);
+    ad = core::generate_ad(core::GeneratorConfig::secure(1500, 13));
+    export_bloodhound_collection(ad.graph, dir, "corp.local", 77);
+  }
+
+  std::string dir;
+  core::GeneratedAd ad;
+};
+
+TEST_F(BloodhoundIoTest, SixClassFilesWithMetaCounts) {
+  const struct {
+    const char* file;
+    ObjectKind kind;
+    const char* type;
+  } classes[] = {
+      {"users.json", ObjectKind::kUser, "users"},
+      {"computers.json", ObjectKind::kComputer, "computers"},
+      {"groups.json", ObjectKind::kGroup, "groups"},
+      {"ous.json", ObjectKind::kOU, "ous"},
+      {"gpos.json", ObjectKind::kGPO, "gpos"},
+      {"domains.json", ObjectKind::kDomain, "domains"},
+  };
+  for (const auto& c : classes) {
+    const auto doc = load(dir + "/" + c.file);
+    const auto expected = ad.graph.nodes_of_kind(c.kind).size();
+    EXPECT_EQ(static_cast<std::size_t>(doc.at("meta").at("count").as_int()),
+              expected)
+        << c.file;
+    EXPECT_EQ(doc.at("meta").at("type").as_string(), c.type);
+    EXPECT_EQ(doc.at("data").as_array().size(), expected);
+  }
+}
+
+TEST_F(BloodhoundIoTest, ObjectsCarryIdentifiersAndProperties) {
+  const auto users = load(dir + "/users.json");
+  ASSERT_FALSE(users.at("data").as_array().empty());
+  const auto& first = users.at("data").as_array().front();
+  EXPECT_TRUE(first.contains("ObjectIdentifier"));
+  // Principals are identified by SID.
+  EXPECT_EQ(first.at("ObjectIdentifier").as_string().rfind("S-1-5-21-", 0),
+            0u);
+  const auto& props = first.at("Properties");
+  EXPECT_TRUE(props.contains("name"));
+  EXPECT_EQ(props.at("domain").as_string(), "CORP.LOCAL");
+  EXPECT_TRUE(props.contains("enabled"));
+  EXPECT_TRUE(first.contains("Aces"));
+}
+
+TEST_F(BloodhoundIoTest, GroupMembersMatchGraph) {
+  const auto groups = load(dir + "/groups.json");
+  std::size_t total_members = 0;
+  for (const auto& g : groups.at("data").as_array()) {
+    total_members += g.at("Members").as_array().size();
+  }
+  std::size_t member_edges = 0;
+  for (const auto& e : ad.graph.edges()) {
+    member_edges += e.kind == EdgeKind::kMemberOf ? 1 : 0;
+  }
+  EXPECT_EQ(total_members, member_edges);
+}
+
+TEST_F(BloodhoundIoTest, SessionsMatchGraph) {
+  const auto computers = load(dir + "/computers.json");
+  std::size_t total_sessions = 0;
+  for (const auto& c : computers.at("data").as_array()) {
+    total_sessions += c.at("Sessions").as_array().size();
+  }
+  EXPECT_EQ(total_sessions,
+            ad.stats.session_edges + ad.stats.violation_sessions);
+}
+
+TEST_F(BloodhoundIoTest, AcesRecordInboundRights) {
+  // Every ACL/non-ACL permission edge appears exactly once, on its target.
+  std::size_t permission_edges = 0;
+  for (const auto& e : ad.graph.edges()) {
+    if (is_acl_permission(e.kind) || is_non_acl_permission(e.kind)) {
+      ++permission_edges;
+    }
+  }
+  std::size_t total_aces = 0;
+  for (const char* file : {"users.json", "computers.json", "groups.json",
+                           "ous.json", "gpos.json", "domains.json"}) {
+    const auto doc = load(dir + "/" + std::string(file));
+    for (const auto& obj : doc.at("data").as_array()) {
+      total_aces += obj.at("Aces").as_array().size();
+    }
+  }
+  EXPECT_EQ(total_aces, permission_edges);
+}
+
+TEST_F(BloodhoundIoTest, IdsMatchApocExportForSameSeed) {
+  const auto store = to_store(ad.graph, "corp.local", 77);
+  const auto users = load(dir + "/users.json");
+  // Find the store node whose name matches the first collector user and
+  // compare SIDs.
+  const auto& first = users.at("data").as_array().front();
+  const std::string& name = first.at("Properties").at("name").as_string();
+  const auto matches =
+      store.find_nodes("User", "name", graphdb::PropertyValue(name));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(store.node_property(matches[0], "objectsid")->as_string(),
+            first.at("ObjectIdentifier").as_string());
+}
+
+TEST(BloodhoundIo, BadDirectoryThrows) {
+  const auto ad = core::generate_ad(core::GeneratorConfig::secure(800, 1));
+  EXPECT_THROW(
+      export_bloodhound_collection(ad.graph, "/nonexistent/dir/xyz"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adsynth::adcore

@@ -1,0 +1,99 @@
+#include "adcore/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adcore/naming.hpp"
+#include "util/strings.hpp"
+
+namespace adsynth::adcore {
+namespace {
+
+TEST(ObjectKind, LabelRoundTrip) {
+  for (std::size_t k = 0; k < kObjectKindCount; ++k) {
+    const auto kind = static_cast<ObjectKind>(k);
+    const auto parsed = parse_object_kind(object_kind_label(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_object_kind("Gremlin").has_value());
+}
+
+TEST(EdgeKind, NameRoundTripForAllKinds) {
+  for (std::size_t k = 0; k < kEdgeKindCount; ++k) {
+    const auto kind = static_cast<EdgeKind>(k);
+    const auto parsed = parse_edge_kind(edge_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << edge_kind_name(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_edge_kind("FlyTo").has_value());
+}
+
+TEST(EdgeKind, AclClassificationMatchesPaper) {
+  // Paper §III-A: ACL permissions include WriteOwner, ForceChangePassword,
+  // GenericAll; non-ACL permissions include CanRDP, ExecuteDCOM.
+  EXPECT_TRUE(is_acl_permission(EdgeKind::kGenericAll));
+  EXPECT_TRUE(is_acl_permission(EdgeKind::kWriteOwner));
+  EXPECT_TRUE(is_acl_permission(EdgeKind::kForceChangePassword));
+  EXPECT_FALSE(is_acl_permission(EdgeKind::kCanRDP));
+  EXPECT_FALSE(is_acl_permission(EdgeKind::kExecuteDCOM));
+  EXPECT_FALSE(is_acl_permission(EdgeKind::kHasSession));
+  EXPECT_FALSE(is_acl_permission(EdgeKind::kMemberOf));
+
+  EXPECT_TRUE(is_non_acl_permission(EdgeKind::kCanRDP));
+  EXPECT_TRUE(is_non_acl_permission(EdgeKind::kExecuteDCOM));
+  EXPECT_TRUE(is_non_acl_permission(EdgeKind::kAdminTo));
+  EXPECT_FALSE(is_non_acl_permission(EdgeKind::kGenericAll));
+  EXPECT_FALSE(is_non_acl_permission(EdgeKind::kHasSession));
+  EXPECT_FALSE(is_non_acl_permission(EdgeKind::kContains));
+}
+
+TEST(EdgeKind, TraversabilityEncodesSnowballSemantics) {
+  EXPECT_TRUE(is_traversable(EdgeKind::kMemberOf));
+  EXPECT_TRUE(is_traversable(EdgeKind::kHasSession));
+  EXPECT_TRUE(is_traversable(EdgeKind::kAdminTo));
+  EXPECT_TRUE(is_traversable(EdgeKind::kGenericAll));
+  EXPECT_TRUE(is_traversable(EdgeKind::kContains));
+  EXPECT_TRUE(is_traversable(EdgeKind::kDCSync));
+  // GetChanges alone is not enough to DCSync.
+  EXPECT_FALSE(is_traversable(EdgeKind::kGetChanges));
+  EXPECT_FALSE(is_traversable(EdgeKind::kGetChangesAll));
+  // RDP gives an unprivileged session, not control of the machine.
+  EXPECT_FALSE(is_traversable(EdgeKind::kCanRDP));
+}
+
+TEST(EdgeKind, PermissionPoolsAreConsistent) {
+  for (const EdgeKind kind : acl_permission_pool()) {
+    EXPECT_TRUE(is_acl_permission(kind)) << edge_kind_name(kind);
+  }
+  for (const EdgeKind kind : non_acl_permission_pool()) {
+    EXPECT_TRUE(is_non_acl_permission(kind)) << edge_kind_name(kind);
+  }
+  EXPECT_FALSE(acl_permission_pool().empty());
+  EXPECT_FALSE(non_acl_permission_pool().empty());
+}
+
+TEST(Naming, UserAndComputerNames) {
+  util::Rng rng(1);
+  const std::string user = make_user_logon_name(rng, 42);
+  EXPECT_NE(user.find("00042"), std::string::npos);
+  EXPECT_EQ(user, util::to_upper(user));
+  EXPECT_EQ(make_computer_name("WS", 7), "WS00007");
+}
+
+TEST(Naming, DistinguishedNames) {
+  EXPECT_EQ(domain_to_dn("corp.local"), "DC=corp,DC=local");
+  EXPECT_EQ(make_ou_dn({"Workstations", "Tier 2"}, "DC=corp,DC=local"),
+            "OU=Workstations,OU=Tier 2,DC=corp,DC=local");
+}
+
+TEST(Naming, DefaultPoolsNonEmpty) {
+  EXPECT_GE(default_departments().size(), 2u);
+  EXPECT_GE(default_locations().size(), 1u);
+  EXPECT_GE(first_names().size(), 10u);
+  EXPECT_GE(last_names().size(), 10u);
+  EXPECT_FALSE(workstation_os_pool().empty());
+  EXPECT_FALSE(server_os_pool().empty());
+}
+
+}  // namespace
+}  // namespace adsynth::adcore

@@ -1,0 +1,286 @@
+// Tests for the analytics stack on hand-built graphs with known answers.
+#include <gtest/gtest.h>
+
+#include "analytics/graph_view.hpp"
+#include "analytics/metrics.hpp"
+#include "analytics/reachability.hpp"
+#include "analytics/rp_rate.hpp"
+#include "analytics/sessions.hpp"
+
+namespace adsynth::analytics {
+namespace {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+namespace node_flag = adcore::node_flag;
+
+/// Two regular users funnelling to DA through one computer:
+///   u0 -ExecuteDCOM-> c -HasSession-> a -MemberOf-> DA
+///   u1 -ExecuteDCOM-> c        (same route)
+/// plus a disconnected user u2 and a non-traversable GetChanges edge.
+struct Funnel {
+  AttackGraph g;
+  NodeIndex u0, u1, u2, c, a, da;
+
+  Funnel() {
+    da = g.add_named_node(ObjectKind::kGroup, "DOMAIN ADMINS", 0);
+    g.set_domain_admins(da);
+    u0 = g.add_named_node(ObjectKind::kUser, "U0", 2, node_flag::kEnabled);
+    u1 = g.add_named_node(ObjectKind::kUser, "U1", 2, node_flag::kEnabled);
+    u2 = g.add_named_node(ObjectKind::kUser, "U2", 2, node_flag::kEnabled);
+    c = g.add_named_node(ObjectKind::kComputer, "C", 0);
+    a = g.add_named_node(ObjectKind::kUser, "A", 0,
+                         node_flag::kAdmin | node_flag::kEnabled);
+    g.add_edge(u0, c, EdgeKind::kExecuteDCOM, true);
+    g.add_edge(u1, c, EdgeKind::kExecuteDCOM, true);
+    g.add_edge(c, a, EdgeKind::kHasSession);
+    g.add_edge(a, da, EdgeKind::kMemberOf);
+    // Noise that must not count as an attack edge.
+    g.add_edge(u2, da, EdgeKind::kGetChanges);
+  }
+};
+
+TEST(GraphView, CsrMatchesEdgeList) {
+  Funnel f;
+  const Csr fwd = build_forward(f.g);
+  // GetChanges excluded (non-traversable): 4 arcs remain.
+  EXPECT_EQ(fwd.arc_count(), 4u);
+  EXPECT_EQ(fwd.node_count(), f.g.node_count());
+  // u0's single neighbour is c via edge 0.
+  ASSERT_EQ(fwd.offsets[f.u0 + 1] - fwd.offsets[f.u0], 1u);
+  EXPECT_EQ(fwd.targets[fwd.offsets[f.u0]], f.c);
+  EXPECT_EQ(fwd.edge_ids[fwd.offsets[f.u0]], 0u);
+  const Csr rev = build_reverse(f.g);
+  EXPECT_EQ(rev.arc_count(), 4u);
+  // In the reverse view, c's neighbours are u0 and u1.
+  EXPECT_EQ(rev.offsets[f.c + 1] - rev.offsets[f.c], 2u);
+}
+
+TEST(GraphView, BlockedMaskExcludesEdges) {
+  Funnel f;
+  std::vector<bool> blocked(f.g.edge_count(), false);
+  blocked[2] = true;  // c -> a
+  ViewOptions options;
+  options.blocked = &blocked;
+  EXPECT_EQ(build_forward(f.g, options).arc_count(), 3u);
+}
+
+TEST(GraphView, MaskSizeValidated) {
+  Funnel f;
+  std::vector<bool> wrong(3, false);
+  ViewOptions options;
+  options.blocked = &wrong;
+  EXPECT_THROW(build_forward(f.g, options), std::invalid_argument);
+}
+
+TEST(GraphView, NonTraversableIncludedWhenRequested) {
+  Funnel f;
+  ViewOptions options;
+  options.traversable_only = false;
+  EXPECT_EQ(build_forward(f.g, options).arc_count(), 5u);
+}
+
+TEST(Reachability, BfsDistances) {
+  Funnel f;
+  const Csr fwd = build_forward(f.g);
+  const auto dist = bfs_distances(fwd, {f.u0});
+  EXPECT_EQ(dist[f.u0], 0);
+  EXPECT_EQ(dist[f.c], 1);
+  EXPECT_EQ(dist[f.a], 2);
+  EXPECT_EQ(dist[f.da], 3);
+  EXPECT_EQ(dist[f.u1], kUnreachable);
+  EXPECT_EQ(dist[f.u2], kUnreachable);
+}
+
+TEST(Reachability, MultiSourceBfs) {
+  Funnel f;
+  const Csr fwd = build_forward(f.g);
+  const auto dist = bfs_distances(fwd, {f.u0, f.a});
+  EXPECT_EQ(dist[f.da], 1);  // via a
+  EXPECT_THROW(bfs_distances(fwd, {999}), std::out_of_range);
+}
+
+TEST(Reachability, ShortestPathReconstruction) {
+  Funnel f;
+  const Csr fwd = build_forward(f.g);
+  const auto path = shortest_path(fwd, f.u0, f.da);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeIndex>{f.u0, f.c, f.a, f.da}));
+  EXPECT_FALSE(shortest_path(fwd, f.u2, f.da).has_value());
+  const auto self = shortest_path(fwd, f.da, f.da);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->size(), 1u);
+}
+
+TEST(Reachability, RegularUsersExcludeAdminsAndDisabled) {
+  Funnel f;
+  const auto users = regular_users(f.g);
+  EXPECT_EQ(users, (std::vector<NodeIndex>{f.u0, f.u1, f.u2}));
+}
+
+TEST(Reachability, UsersReachingDa) {
+  Funnel f;
+  const auto result = users_reaching_da(f.g);
+  EXPECT_EQ(result.regular_users, 3u);
+  EXPECT_EQ(result.users_with_path, 2u);
+  EXPECT_DOUBLE_EQ(result.fraction, 2.0 / 3.0);
+  EXPECT_EQ(result.distances[0], 3);
+  EXPECT_EQ(result.distances[2], kUnreachable);
+}
+
+TEST(Reachability, BlockedEdgeCutsPaths) {
+  Funnel f;
+  std::vector<bool> blocked(f.g.edge_count(), false);
+  blocked[2] = true;  // the funnel edge c -> a
+  const auto result = users_reaching_da(f.g, &blocked);
+  EXPECT_EQ(result.users_with_path, 0u);
+}
+
+TEST(Reachability, MissingDaThrows) {
+  AttackGraph g;
+  g.add_node(ObjectKind::kUser, 0, node_flag::kEnabled);
+  EXPECT_THROW(users_reaching_da(g), std::logic_error);
+}
+
+TEST(RpRate, FunnelNodesCarryAllPaths) {
+  Funnel f;
+  const RpResult rp = route_penetration(f.g);
+  EXPECT_EQ(rp.contributing_sources, 2u);
+  EXPECT_FALSE(rp.sampled);
+  // Both shortest paths run through c and a: RP = 100%.
+  EXPECT_DOUBLE_EQ(rp.rate[f.c], 1.0);
+  EXPECT_DOUBLE_EQ(rp.rate[f.a], 1.0);
+  // Each source sits on half the paths.
+  EXPECT_DOUBLE_EQ(rp.rate[f.u0], 0.5);
+  EXPECT_DOUBLE_EQ(rp.rate[f.u1], 0.5);
+  // The target itself is excluded by definition.
+  EXPECT_DOUBLE_EQ(rp.rate[f.da], 0.0);
+  EXPECT_DOUBLE_EQ(rp.peak(), 1.0);
+  const auto top = rp.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].second, 1.0);
+}
+
+TEST(RpRate, ParallelRoutesSplitTraffic) {
+  // u -> c1 -> a -> DA and u -> c2 -> a -> DA: two equal shortest paths.
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DA");
+  g.set_domain_admins(da);
+  const NodeIndex u =
+      g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+  const NodeIndex c1 = g.add_node(ObjectKind::kComputer);
+  const NodeIndex c2 = g.add_node(ObjectKind::kComputer);
+  const NodeIndex a =
+      g.add_node(ObjectKind::kUser, 0, node_flag::kAdmin | node_flag::kEnabled);
+  g.add_edge(u, c1, EdgeKind::kExecuteDCOM);
+  g.add_edge(u, c2, EdgeKind::kExecuteDCOM);
+  g.add_edge(c1, a, EdgeKind::kHasSession);
+  g.add_edge(c2, a, EdgeKind::kHasSession);
+  g.add_edge(a, da, EdgeKind::kMemberOf);
+  const RpResult rp = route_penetration(g);
+  EXPECT_DOUBLE_EQ(rp.rate[c1], 0.5);
+  EXPECT_DOUBLE_EQ(rp.rate[c2], 0.5);
+  EXPECT_DOUBLE_EQ(rp.rate[a], 1.0);
+}
+
+TEST(RpRate, LongerRoutesIgnored) {
+  // A detour longer than the shortest path contributes nothing.
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DA");
+  g.set_domain_admins(da);
+  const NodeIndex u = g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+  const NodeIndex mid = g.add_node(ObjectKind::kComputer);
+  const NodeIndex detour = g.add_node(ObjectKind::kComputer);
+  const NodeIndex a =
+      g.add_node(ObjectKind::kUser, 0, node_flag::kAdmin | node_flag::kEnabled);
+  g.add_edge(u, mid, EdgeKind::kExecuteDCOM);
+  g.add_edge(mid, a, EdgeKind::kHasSession);
+  g.add_edge(a, da, EdgeKind::kMemberOf);
+  g.add_edge(u, detour, EdgeKind::kExecuteDCOM);
+  g.add_edge(detour, mid, EdgeKind::kAdminTo);  // makes a length-4 route
+  const RpResult rp = route_penetration(g);
+  EXPECT_DOUBLE_EQ(rp.rate[detour], 0.0);
+  EXPECT_DOUBLE_EQ(rp.rate[mid], 1.0);
+}
+
+TEST(RpRate, EdgeTrafficMatchesNodeTraffic) {
+  Funnel f;
+  RpOptions options;
+  options.edge_traffic = true;
+  const RpResult rp = route_penetration(f.g, options);
+  ASSERT_EQ(rp.edge_traffic.size(), f.g.edge_count());
+  // Edge c->a (index 2) carries all paths; a->DA (index 3) too.
+  EXPECT_DOUBLE_EQ(rp.edge_traffic[2], 1.0);
+  EXPECT_DOUBLE_EQ(rp.edge_traffic[3], 1.0);
+  EXPECT_DOUBLE_EQ(rp.edge_traffic[0], 0.5);
+  EXPECT_DOUBLE_EQ(rp.edge_traffic[4], 0.0);  // non-traversable noise
+}
+
+TEST(RpRate, NoPathsMeansEmptyResult) {
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DA");
+  g.set_domain_admins(da);
+  g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+  const RpResult rp = route_penetration(g);
+  EXPECT_EQ(rp.contributing_sources, 0u);
+  EXPECT_DOUBLE_EQ(rp.peak(), 0.0);
+  EXPECT_TRUE(rp.top(5).empty());
+}
+
+TEST(RpRate, SamplingKicksInAboveCap) {
+  // Many sources, one funnel: sampling must preserve RP ≈ 1 at the funnel.
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DA");
+  g.set_domain_admins(da);
+  const NodeIndex c = g.add_node(ObjectKind::kComputer);
+  const NodeIndex a =
+      g.add_node(ObjectKind::kUser, 0, node_flag::kAdmin | node_flag::kEnabled);
+  g.add_edge(c, a, EdgeKind::kHasSession);
+  g.add_edge(a, da, EdgeKind::kMemberOf);
+  for (int i = 0; i < 100; ++i) {
+    const NodeIndex u = g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+    g.add_edge(u, c, EdgeKind::kExecuteDCOM);
+  }
+  RpOptions options;
+  options.max_sources = 10;
+  const RpResult rp = route_penetration(g, options);
+  EXPECT_TRUE(rp.sampled);
+  EXPECT_EQ(rp.contributing_sources, 100u);
+  EXPECT_EQ(rp.evaluated_sources, 10u);
+  EXPECT_DOUBLE_EQ(rp.rate[c], 1.0);
+}
+
+TEST(Sessions, CountsPeaksAndTopK) {
+  Funnel f;
+  // Add a second session for admin a.
+  f.g.add_edge(f.c, f.a, EdgeKind::kHasSession);
+  const SessionStats stats = session_stats(f.g);
+  EXPECT_EQ(stats.total_sessions, 2u);
+  EXPECT_EQ(stats.peak, 2u);
+  // Top-2: [2, 0].
+  const auto top = stats.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0 / 4.0);  // 4 users
+}
+
+TEST(Metrics, AggregatesMatchFixture) {
+  Funnel f;
+  const GraphMetrics m = compute_metrics(f.g);
+  EXPECT_EQ(m.nodes, 6u);
+  EXPECT_EQ(m.edges, 5u);
+  EXPECT_EQ(m.count(ObjectKind::kUser), 4u);
+  EXPECT_EQ(m.count(ObjectKind::kComputer), 1u);
+  EXPECT_EQ(m.count(EdgeKind::kExecuteDCOM), 2u);
+  EXPECT_EQ(m.count(EdgeKind::kHasSession), 1u);
+  EXPECT_EQ(m.violations, 2u);
+  EXPECT_DOUBLE_EQ(m.density, 5.0 / 30.0);
+  EXPECT_EQ(m.max_in_degree, 2u);  // c has two in-edges
+  EXPECT_FALSE(m.describe().empty());
+}
+
+}  // namespace
+}  // namespace adsynth::analytics

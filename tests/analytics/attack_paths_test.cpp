@@ -1,0 +1,140 @@
+#include "analytics/attack_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adcore/convert.hpp"
+#include "analytics/reachability.hpp"
+#include "core/generator.hpp"
+#include "util/ids.hpp"
+
+namespace adsynth::analytics {
+namespace {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+namespace node_flag = adcore::node_flag;
+
+struct Funnel {
+  AttackGraph g;
+  NodeIndex u0, u1, c, a, da;
+
+  Funnel() {
+    da = g.add_named_node(ObjectKind::kGroup, "DA", 0);
+    g.set_domain_admins(da);
+    u0 = g.add_named_node(ObjectKind::kUser, "U0", 2, node_flag::kEnabled);
+    u1 = g.add_named_node(ObjectKind::kUser, "U1", 2, node_flag::kEnabled);
+    c = g.add_named_node(ObjectKind::kComputer, "C", 0);
+    a = g.add_named_node(ObjectKind::kUser, "A", 0,
+                         node_flag::kAdmin | node_flag::kEnabled);
+    g.add_edge(u0, c, EdgeKind::kExecuteDCOM, true);
+    g.add_edge(u1, c, EdgeKind::kExecuteDCOM, true);
+    g.add_edge(c, a, EdgeKind::kHasSession);
+    g.add_edge(a, da, EdgeKind::kMemberOf);
+  }
+};
+
+TEST(AttackPaths, ExtractsHopsWithKinds) {
+  Funnel f;
+  const auto paths = shortest_attack_paths(f.g);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.length(), 3u);
+    EXPECT_EQ(p.hops[0].kind, EdgeKind::kExecuteDCOM);
+    EXPECT_EQ(p.hops[1].kind, EdgeKind::kHasSession);
+    EXPECT_EQ(p.hops[2].kind, EdgeKind::kMemberOf);
+    EXPECT_EQ(p.hops[0].from, p.source);
+    EXPECT_EQ(p.hops[2].to, f.da);
+    // Hops chain.
+    EXPECT_EQ(p.hops[0].to, p.hops[1].from);
+    EXPECT_EQ(p.hops[1].to, p.hops[2].from);
+  }
+  EXPECT_EQ(paths[0].describe(f.g),
+            "U0 -[ExecuteDCOM]-> C -[HasSession]-> A -[MemberOf]-> DA");
+}
+
+TEST(AttackPaths, MaxPathsAndOrdering) {
+  Funnel f;
+  // Add a closer source (2 hops): direct session harvest.
+  const NodeIndex close = f.g.add_named_node(ObjectKind::kUser, "CLOSE", 2,
+                                             node_flag::kEnabled);
+  f.g.add_edge(close, f.a, EdgeKind::kForceChangePassword);
+  AttackPathOptions options;
+  options.max_paths = 1;
+  const auto paths = shortest_attack_paths(f.g, options);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].source, close);  // shortest-first
+  EXPECT_EQ(paths[0].length(), 2u);
+}
+
+TEST(AttackPaths, BlockedMaskReroutesOrRemoves) {
+  Funnel f;
+  std::vector<bool> blocked(f.g.edge_count(), false);
+  blocked[2] = true;  // c -> a
+  AttackPathOptions options;
+  options.blocked = &blocked;
+  EXPECT_TRUE(shortest_attack_paths(f.g, options).empty());
+}
+
+TEST(AttackPaths, NoDomainAdminsThrows) {
+  AttackGraph g;
+  g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+  EXPECT_THROW(shortest_attack_paths(g), std::logic_error);
+}
+
+TEST(AttackPaths, GeneratedGraphPathsAreValid) {
+  const auto ad = core::generate_ad(core::GeneratorConfig::vulnerable(8000, 3));
+  AttackPathOptions options;
+  options.max_paths = 20;
+  const auto paths = shortest_attack_paths(ad.graph, options);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) {
+    ASSERT_FALSE(p.hops.empty());
+    EXPECT_EQ(p.hops.back().to, ad.graph.domain_admins());
+    for (const auto& hop : p.hops) {
+      EXPECT_TRUE(adcore::is_traversable(hop.kind));
+      const auto& e = ad.graph.edges()[hop.edge];
+      EXPECT_EQ(e.source, hop.from);
+      EXPECT_EQ(e.target, hop.to);
+      EXPECT_EQ(e.kind, hop.kind);
+    }
+    // Lengths are non-decreasing across the returned list.
+  }
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].length(), paths[i - 1].length());
+  }
+}
+
+TEST(ExportIds, ObjectIdsAndSidsAreWellFormed) {
+  Funnel f;
+  const auto store = adcore::to_store(f.g, "corp.local", 99);
+  std::string domain_part;
+  for (graphdb::NodeId n = 0; n < store.node_capacity(); ++n) {
+    const auto* oid = store.node_property(n, "objectid");
+    ASSERT_NE(oid, nullptr);
+    EXPECT_NO_THROW(util::Guid::parse(oid->as_string()));
+    const auto* sid = store.node_property(n, "objectsid");
+    ASSERT_NE(sid, nullptr);  // every funnel node is a principal
+    const auto parsed = util::Sid::parse(sid->as_string());
+    if (domain_part.empty()) {
+      domain_part = parsed.domain_part();
+    } else {
+      EXPECT_EQ(parsed.domain_part(), domain_part);
+    }
+  }
+}
+
+TEST(ExportIds, DeterministicForSeed) {
+  Funnel f;
+  const auto s1 = adcore::to_store(f.g, "corp.local", 7);
+  const auto s2 = adcore::to_store(f.g, "corp.local", 7);
+  const auto s3 = adcore::to_store(f.g, "corp.local", 8);
+  EXPECT_EQ(s1.node_property(0, "objectid")->as_string(),
+            s2.node_property(0, "objectid")->as_string());
+  EXPECT_NE(s1.node_property(0, "objectid")->as_string(),
+            s3.node_property(0, "objectid")->as_string());
+}
+
+}  // namespace
+}  // namespace adsynth::analytics

@@ -1,0 +1,137 @@
+// Tests for the DBCreator / ADSimulator ports and the University reference.
+#include <gtest/gtest.h>
+
+#include "analytics/metrics.hpp"
+#include "analytics/reachability.hpp"
+#include "analytics/rp_rate.hpp"
+#include "analytics/sessions.hpp"
+#include "adcore/convert.hpp"
+#include "baselines/adsimulator.hpp"
+#include "baselines/dbcreator.hpp"
+#include "baselines/university.hpp"
+#include "util/timer.hpp"
+
+namespace adsynth::baselines {
+namespace {
+
+using adcore::AttackGraph;
+using adcore::ObjectKind;
+
+TEST(DbCreator, ProducesExpectedMix) {
+  DbCreatorConfig cfg;
+  cfg.target_nodes = 1000;
+  const BaselineRun run = run_dbcreator(cfg);
+  EXPECT_NEAR(static_cast<double>(run.store.node_count()), 1000.0, 30.0);
+  EXPECT_GT(run.statements, run.store.node_count());  // 1 txn per object+edge
+  const AttackGraph g = adcore::from_store(run.store);
+  EXPECT_NE(g.domain_admins(), adcore::kNoNodeIndex);
+  EXPECT_NEAR(static_cast<double>(g.nodes_of_kind(ObjectKind::kUser).size()),
+              480.0, 30.0);
+  EXPECT_GT(g.nodes_of_kind(ObjectKind::kComputer).size(), 250u);
+  EXPECT_GT(g.nodes_of_kind(ObjectKind::kGroup).size(), 100u);
+}
+
+TEST(DbCreator, DeterministicForSeed) {
+  DbCreatorConfig cfg;
+  cfg.target_nodes = 300;
+  const AttackGraph a = dbcreator_graph(cfg);
+  const AttackGraph b = dbcreator_graph(cfg);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edges(), b.edges());
+  cfg.seed = 2;
+  const AttackGraph c = dbcreator_graph(cfg);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(DbCreator, RandomAclsConnectUsersToDa) {
+  // The paper's point: random assignment floods the graph with attack
+  // paths — a substantial share of users reaches Domain Admins.
+  DbCreatorConfig cfg;
+  cfg.target_nodes = 2000;
+  const AttackGraph g = dbcreator_graph(cfg);
+  const auto reach = analytics::users_reaching_da(g);
+  EXPECT_GT(reach.fraction, 0.05);
+}
+
+TEST(AdSimulator, ProducesExpectedMixWithIndexes) {
+  AdSimulatorConfig cfg;
+  cfg.target_nodes = 1000;
+  const BaselineRun run = run_adsimulator(cfg);
+  EXPECT_NEAR(static_cast<double>(run.store.node_count()), 1000.0, 40.0);
+  const AttackGraph g = adcore::from_store(run.store);
+  EXPECT_NE(g.domain_admins(), adcore::kNoNodeIndex);
+  EXPECT_GT(g.nodes_of_kind(ObjectKind::kOU).size(), 0u);
+  // Every user is in Domain Users, plus random memberships.
+  const auto users = g.nodes_of_kind(ObjectKind::kUser).size();
+  std::size_t member_of = 0;
+  for (const auto& e : g.edges()) {
+    member_of += e.kind == adcore::EdgeKind::kMemberOf ? 1 : 0;
+  }
+  EXPECT_GE(member_of, users);
+}
+
+TEST(AdSimulator, DeterministicForSeed) {
+  AdSimulatorConfig cfg;
+  cfg.target_nodes = 300;
+  EXPECT_EQ(adsimulator_graph(cfg).edges(), adsimulator_graph(cfg).edges());
+}
+
+TEST(AdSimulator, FasterThanDbCreatorAtScale) {
+  // The index-backed port scales near-linearly; the DBCreator port label-
+  // scans per edge.  At 3000 nodes the gap is already pronounced.
+  DbCreatorConfig db;
+  db.target_nodes = 3000;
+  AdSimulatorConfig sim;
+  sim.target_nodes = 3000;
+  util::Stopwatch t1;
+  run_dbcreator(db);
+  const double db_time = t1.seconds();
+  util::Stopwatch t2;
+  run_adsimulator(sim);
+  const double sim_time = t2.seconds();
+  EXPECT_LT(sim_time, db_time);
+}
+
+TEST(University, MatchesReportedStatistics) {
+  UniversityConfig cfg;
+  cfg.target_nodes = 20000;  // scaled-down for test speed
+  const AttackGraph g = university_graph(cfg);
+  EXPECT_NEAR(static_cast<double>(g.node_count()), 20000.0, 300.0);
+  ASSERT_NE(g.domain_admins(), adcore::kNoNodeIndex);
+
+  // Fig. 9: ≈0.02% of regular users reach Domain Admins.
+  const auto reach = analytics::users_reaching_da(g);
+  EXPECT_GT(reach.fraction, 0.0);
+  EXPECT_LT(reach.fraction, 0.001);
+
+  // Fig. 10c: a choke point carrying more than 80% of the paths.
+  const auto rp = analytics::route_penetration(g);
+  EXPECT_GT(rp.peak(), 0.8);
+
+  // Fig. 8: long-tailed sessions, peak ≈ 20.
+  const auto sessions = analytics::session_stats(g);
+  EXPECT_LE(sessions.peak, 21u);
+  EXPECT_GE(sessions.peak, 5u);
+  EXPECT_LT(sessions.mean, 3.0);
+}
+
+TEST(University, DensityNearReported) {
+  UniversityConfig cfg;
+  cfg.target_nodes = 50000;
+  const AttackGraph g = university_graph(cfg);
+  // Paper: ≈1e-4 at 100k (8e-5 density, 1.2M edges quoted); at half size
+  // the density roughly doubles for the same mean degree.
+  const double mean_degree =
+      static_cast<double>(g.edge_count()) / static_cast<double>(g.node_count());
+  EXPECT_GT(mean_degree, 4.0);
+  EXPECT_LT(mean_degree, 16.0);
+}
+
+TEST(University, DeterministicForSeed) {
+  UniversityConfig cfg;
+  cfg.target_nodes = 5000;
+  EXPECT_EQ(university_graph(cfg).edges(), university_graph(cfg).edges());
+}
+
+}  // namespace
+}  // namespace adsynth::baselines

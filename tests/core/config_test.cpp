@@ -1,0 +1,137 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsynth::core {
+namespace {
+
+TEST(Config, DefaultsValidate) {
+  GeneratorConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, PresetsEncodeSecuritySpectrum) {
+  const auto hs = GeneratorConfig::highly_secure(100000, 1);
+  const auto s = GeneratorConfig::secure(100000, 1);
+  const auto v = GeneratorConfig::vulnerable(100000, 1);
+  EXPECT_NO_THROW(hs.validate());
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_NO_THROW(v.validate());
+  // Misconfiguration rates strictly ordered.
+  EXPECT_LT(hs.perc_misconfig_permissions, s.perc_misconfig_permissions);
+  EXPECT_LT(s.perc_misconfig_permissions, v.perc_misconfig_permissions);
+  EXPECT_LE(hs.perc_misconfig_sessions, s.perc_misconfig_sessions);
+  EXPECT_LT(s.perc_misconfig_sessions, v.perc_misconfig_sessions);
+  EXPECT_EQ(hs.perc_misconfig_sessions, 0.0);
+}
+
+TEST(Config, ValidationCatchesBadValues) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 10;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = GeneratorConfig{};
+  cfg.num_tiers = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = GeneratorConfig{};
+  cfg.resource_ratio = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = GeneratorConfig{};
+  cfg.perc_misconfig_sessions = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = GeneratorConfig{};
+  cfg.min_groups_per_user = 5;
+  cfg.max_groups_per_user = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = GeneratorConfig{};
+  cfg.paw_fraction = 0.7;
+  cfg.server_fraction = 0.7;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = GeneratorConfig{};
+  cfg.domain_fqdn.clear();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = GeneratorConfig{};
+  cfg.user_share = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, JsonRoundTripPreservesEveryField) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 12345;
+  cfg.user_share = 0.61;
+  cfg.num_tiers = 4;
+  cfg.departments = {"A", "B"};
+  cfg.locations = {"X"};
+  cfg.num_root_folders = 7;
+  cfg.admin_groups_per_tier = 9;
+  cfg.num_domain_controllers = 3;
+  cfg.domain_fqdn = "example.org";
+  cfg.admin_user_fraction = 0.02;
+  cfg.disabled_user_fraction = 0.2;
+  cfg.paw_fraction = 0.03;
+  cfg.server_fraction = 0.22;
+  cfg.min_groups_per_user = 2;
+  cfg.max_groups_per_user = 6;
+  cfg.resource_ratio = 0.4;
+  cfg.session_ratio = 0.005;
+  cfg.max_sessions_per_user = 33;
+  cfg.primary_operator_bias = 0.5;
+  cfg.perc_misconfig_sessions = 0.01;
+  cfg.perc_misconfig_permissions = 0.02;
+  cfg.element_to_element = true;
+  cfg.seed = 99;
+
+  const GeneratorConfig back = GeneratorConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.target_nodes, cfg.target_nodes);
+  EXPECT_DOUBLE_EQ(back.user_share, cfg.user_share);
+  EXPECT_EQ(back.num_tiers, cfg.num_tiers);
+  EXPECT_EQ(back.departments, cfg.departments);
+  EXPECT_EQ(back.locations, cfg.locations);
+  EXPECT_EQ(back.num_root_folders, cfg.num_root_folders);
+  EXPECT_EQ(back.admin_groups_per_tier, cfg.admin_groups_per_tier);
+  EXPECT_EQ(back.num_domain_controllers, cfg.num_domain_controllers);
+  EXPECT_EQ(back.domain_fqdn, cfg.domain_fqdn);
+  EXPECT_DOUBLE_EQ(back.admin_user_fraction, cfg.admin_user_fraction);
+  EXPECT_DOUBLE_EQ(back.disabled_user_fraction, cfg.disabled_user_fraction);
+  EXPECT_DOUBLE_EQ(back.paw_fraction, cfg.paw_fraction);
+  EXPECT_DOUBLE_EQ(back.server_fraction, cfg.server_fraction);
+  EXPECT_EQ(back.min_groups_per_user, cfg.min_groups_per_user);
+  EXPECT_EQ(back.max_groups_per_user, cfg.max_groups_per_user);
+  EXPECT_DOUBLE_EQ(back.resource_ratio, cfg.resource_ratio);
+  EXPECT_DOUBLE_EQ(back.session_ratio, cfg.session_ratio);
+  EXPECT_EQ(back.max_sessions_per_user, cfg.max_sessions_per_user);
+  EXPECT_DOUBLE_EQ(back.primary_operator_bias, cfg.primary_operator_bias);
+  EXPECT_DOUBLE_EQ(back.perc_misconfig_sessions, cfg.perc_misconfig_sessions);
+  EXPECT_DOUBLE_EQ(back.perc_misconfig_permissions,
+                   cfg.perc_misconfig_permissions);
+  EXPECT_EQ(back.element_to_element, cfg.element_to_element);
+  EXPECT_EQ(back.seed, cfg.seed);
+}
+
+TEST(Config, FromJsonValidates) {
+  EXPECT_THROW(GeneratorConfig::from_json(R"({"num_tiers": 0})"),
+               std::invalid_argument);
+  EXPECT_THROW(GeneratorConfig::from_json("not json"), std::runtime_error);
+}
+
+TEST(Config, EffectiveListsScaleWithTargetSize) {
+  GeneratorConfig tiny;
+  tiny.target_nodes = 1000;
+  GeneratorConfig large;
+  large.target_nodes = 100000;
+  EXPECT_LT(tiny.effective_departments().size(),
+            large.effective_departments().size());
+  EXPECT_LE(tiny.effective_locations().size(),
+            large.effective_locations().size());
+  EXPECT_GE(tiny.effective_departments().size(), 2u);
+  EXPECT_GE(tiny.effective_locations().size(), 1u);
+}
+
+TEST(Config, ExplicitListsRespected) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 100000;
+  cfg.departments = {"Solo"};
+  EXPECT_EQ(cfg.effective_departments(), (std::vector<std::string>{"Solo"}));
+}
+
+}  // namespace
+}  // namespace adsynth::core

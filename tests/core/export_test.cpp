@@ -1,0 +1,87 @@
+// Tests for ADSynth output (§III-B): set-to-set vs element-to-element
+// export, identifier uniqueness, and file-level determinism.
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "adcore/convert.hpp"
+#include "core/generator.hpp"
+#include "graphdb/neo4j_io.hpp"
+
+namespace adsynth::core {
+namespace {
+
+using adcore::ObjectKind;
+
+GeneratedAd small_ad() {
+  return generate_ad(GeneratorConfig::secure(1200, 31));
+}
+
+TEST(Export, SetToSetKeepsStructuralNodes) {
+  const GeneratedAd ad = small_ad();
+  const auto store = to_store(ad);
+  EXPECT_FALSE(store.nodes_with_label("OU").empty());
+  EXPECT_FALSE(store.nodes_with_label("Group").empty());
+  EXPECT_FALSE(store.nodes_with_label("GPO").empty());
+  EXPECT_EQ(store.node_count(), ad.graph.node_count());
+}
+
+TEST(Export, ElementToElementDropsStructuralNodes) {
+  const GeneratedAd ad = small_ad();
+  const std::string path = ::testing::TempDir() + "/adsynth_e2e.json";
+  export_json(ad, path, /*element_to_element=*/true);
+  const auto imported = graphdb::import_apoc_json_file(path);
+  EXPECT_TRUE(imported.nodes_with_label("OU").empty());
+  EXPECT_TRUE(imported.nodes_with_label("Group").empty());
+  EXPECT_TRUE(imported.nodes_with_label("GPO").empty());
+  EXPECT_FALSE(imported.nodes_with_label("User").empty());
+  EXPECT_FALSE(imported.nodes_with_label("Computer").empty());
+  EXPECT_EQ(imported.node_count(), ad.meta.element_count());
+}
+
+TEST(Export, ObjectIdsAreUnique) {
+  const GeneratedAd ad = small_ad();
+  const auto store = to_store(ad);
+  std::set<std::string> ids;
+  for (graphdb::NodeId n = 0; n < store.node_capacity(); ++n) {
+    const auto* oid = store.node_property(n, "objectid");
+    ASSERT_NE(oid, nullptr);
+    EXPECT_TRUE(ids.insert(oid->as_string()).second) << "duplicate objectid";
+  }
+  EXPECT_EQ(ids.size(), store.node_count());
+}
+
+TEST(Export, FileOutputIsByteDeterministic) {
+  const GeneratedAd a = small_ad();
+  const GeneratedAd b = small_ad();
+  const std::string pa = ::testing::TempDir() + "/adsynth_det_a.json";
+  const std::string pb = ::testing::TempDir() + "/adsynth_det_b.json";
+  export_json(a, pa, false);
+  export_json(b, pb, false);
+  std::ifstream fa(pa, std::ios::binary);
+  std::ifstream fb(pb, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_FALSE(sa.str().empty());
+}
+
+TEST(Export, ElementGraphEdgeKindsAreTraversalVocabulary) {
+  const GeneratedAd ad = small_ad();
+  const auto flat = element_to_element_graph(ad);
+  for (const auto& e : flat.edges()) {
+    // Expanded edges are permissions and sessions — never structural
+    // Contains/GpLink/MemberOf (those define the sets themselves).
+    EXPECT_NE(e.kind, adcore::EdgeKind::kContains);
+    EXPECT_NE(e.kind, adcore::EdgeKind::kGpLink);
+    EXPECT_NE(e.kind, adcore::EdgeKind::kMemberOf);
+  }
+}
+
+}  // namespace
+}  // namespace adsynth::core

@@ -1,0 +1,148 @@
+// Tests for the multi-domain forest extension.
+#include "core/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analytics/reachability.hpp"
+
+namespace adsynth::core {
+namespace {
+
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+
+ForestConfig two_domain_config(std::uint32_t leaks = 0) {
+  ForestConfig cfg;
+  auto root = GeneratorConfig::secure(1500, 1);
+  root.domain_fqdn = "root.forest";
+  auto child = GeneratorConfig::vulnerable(1500, 2);
+  child.domain_fqdn = "child.forest";
+  cfg.domains = {root, child};
+  cfg.cross_domain_leaks = leaks;
+  return cfg;
+}
+
+TEST(Forest, ValidationRejectsBadConfigs) {
+  ForestConfig cfg;
+  cfg.domains = {GeneratorConfig::secure(1000, 1)};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // one domain
+  cfg.domains.push_back(GeneratorConfig::secure(1000, 2));
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // duplicate fqdn
+  cfg.domains[1].domain_fqdn = "other.local";
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Forest, MergesDomainsWithOffsets) {
+  const GeneratedForest forest = generate_forest(two_domain_config());
+  EXPECT_EQ(forest.domain_count(), 2u);
+  ASSERT_EQ(forest.offsets.size(), 3u);
+  EXPECT_EQ(forest.offsets[0], 0u);
+  // EA is appended after both slices.
+  EXPECT_EQ(forest.graph.node_count(),
+            static_cast<std::size_t>(forest.offsets[2]) + 1);
+  EXPECT_EQ(forest.domain_of(forest.domain_heads[0]), 0u);
+  EXPECT_EQ(forest.domain_of(forest.domain_heads[1]), 1u);
+  EXPECT_THROW(forest.domain_of(static_cast<NodeIndex>(
+                   forest.graph.node_count() + 5)),
+               std::out_of_range);
+}
+
+TEST(Forest, NamesQualifiedPerDomain) {
+  const GeneratedForest forest = generate_forest(two_domain_config());
+  EXPECT_EQ(forest.graph.name(forest.domain_admins[0]),
+            "DOMAIN ADMINS@ROOT.FOREST");
+  EXPECT_EQ(forest.graph.name(forest.domain_admins[1]),
+            "DOMAIN ADMINS@CHILD.FOREST");
+  EXPECT_EQ(forest.graph.name(forest.enterprise_admins),
+            "ENTERPRISE ADMINS@ROOT.FOREST");
+  // The merged target is the root DA.
+  EXPECT_EQ(forest.graph.domain_admins(), forest.domain_admins[0]);
+}
+
+TEST(Forest, TrustTopologies) {
+  auto count_trust_edges = [](const GeneratedForest& f) {
+    std::size_t n = 0;
+    for (const auto& e : f.graph.edges()) {
+      n += e.kind == EdgeKind::kTrustedBy ? 1 : 0;
+    }
+    return n;
+  };
+  ForestConfig cfg = two_domain_config();
+  auto third = GeneratorConfig::secure(1500, 3);
+  third.domain_fqdn = "third.forest";
+  cfg.domains.push_back(third);
+
+  cfg.topology = TrustTopology::kHubAndSpoke;
+  EXPECT_EQ(generate_forest(cfg).trusts.size(), 2u);
+  EXPECT_EQ(count_trust_edges(generate_forest(cfg)), 4u);  // bidirectional
+
+  cfg.topology = TrustTopology::kChain;
+  EXPECT_EQ(generate_forest(cfg).trusts.size(), 2u);
+
+  cfg.topology = TrustTopology::kFullMesh;
+  EXPECT_EQ(generate_forest(cfg).trusts.size(), 3u);
+}
+
+TEST(Forest, EnterpriseAdminsControlEveryDomain) {
+  const GeneratedForest forest = generate_forest(two_domain_config());
+  std::size_t generic_all_from_ea = 0;
+  for (const auto& e : forest.graph.edges()) {
+    if (e.source == forest.enterprise_admins &&
+        e.kind == EdgeKind::kGenericAll) {
+      ++generic_all_from_ea;
+    }
+  }
+  // One per domain head + one per domain tier-0 Groups OU.
+  EXPECT_EQ(generic_all_from_ea, 4u);
+}
+
+TEST(Forest, CrossDomainLeaksEnableForestTakeover) {
+  // Without leaks, child-domain users cannot reach the root DA.
+  const GeneratedForest isolated = generate_forest(two_domain_config(0));
+  {
+    const auto reach = analytics::users_reaching_da(isolated.graph);
+    // Count breached users belonging to the child slice.
+    const auto users = analytics::regular_users(isolated.graph);
+    std::size_t child_breached = 0;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      if (reach.distances[i] != analytics::kUnreachable &&
+          isolated.domain_of(users[i]) == 1) {
+        ++child_breached;
+      }
+    }
+    EXPECT_EQ(child_breached, 0u);
+  }
+  // With root-admin sessions leaked onto (vulnerable) child machines, the
+  // child's breach population can cross into the root domain.
+  const GeneratedForest leaky = generate_forest(two_domain_config(25));
+  {
+    const auto reach = analytics::users_reaching_da(leaky.graph);
+    const auto users = analytics::regular_users(leaky.graph);
+    std::size_t child_breached = 0;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      if (reach.distances[i] != analytics::kUnreachable &&
+          leaky.domain_of(users[i]) == 1) {
+        ++child_breached;
+      }
+    }
+    EXPECT_GT(child_breached, 0u);
+  }
+}
+
+TEST(Forest, DeterministicForSeed) {
+  const GeneratedForest a = generate_forest(two_domain_config(5));
+  const GeneratedForest b = generate_forest(two_domain_config(5));
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  EXPECT_EQ(a.graph.node_count(), b.graph.node_count());
+}
+
+TEST(Forest, TrustEdgesAreNotTraversable) {
+  EXPECT_FALSE(adcore::is_traversable(EdgeKind::kTrustedBy));
+  const auto parsed = adcore::parse_edge_kind("TrustedBy");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, EdgeKind::kTrustedBy);
+}
+
+}  // namespace
+}  // namespace adsynth::core

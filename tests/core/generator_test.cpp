@@ -1,0 +1,358 @@
+// Invariant tests for the ADSynth pipeline: the tier model's restrictions,
+// the misconfiguration semantics of Algorithms 3 & 4, metagraph consistency,
+// and determinism — swept over sizes, tier counts and security presets.
+#include "core/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analytics/reachability.hpp"
+#include "analytics/sessions.hpp"
+#include "core/export.hpp"
+#include "metagraph/algorithms.hpp"
+#include "util/timer.hpp"
+
+namespace adsynth::core {
+namespace {
+
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+namespace node_flag = adcore::node_flag;
+
+GeneratorConfig small_config(std::uint32_t tiers = 3,
+                             std::uint64_t seed = 1) {
+  GeneratorConfig cfg = GeneratorConfig::secure(2000, seed);
+  cfg.num_tiers = tiers;
+  return cfg;
+}
+
+TEST(Generator, HitsTargetNodeCountApproximately) {
+  const GeneratedAd ad = generate_ad(small_config());
+  EXPECT_NEAR(static_cast<double>(ad.graph.node_count()), 2000.0, 20.0);
+}
+
+TEST(Generator, StatsMatchGraphContents) {
+  const GeneratedAd ad = generate_ad(small_config());
+  std::map<ObjectKind, std::size_t> kinds;
+  for (NodeIndex i = 0; i < ad.graph.node_count(); ++i) {
+    ++kinds[ad.graph.kind(i)];
+  }
+  EXPECT_EQ(kinds[ObjectKind::kUser], ad.stats.users);
+  EXPECT_EQ(kinds[ObjectKind::kComputer], ad.stats.computers);
+  EXPECT_EQ(kinds[ObjectKind::kGroup], ad.stats.groups);
+  EXPECT_EQ(kinds[ObjectKind::kOU], ad.stats.ous);
+  EXPECT_EQ(kinds[ObjectKind::kGPO], ad.stats.gpos);
+  EXPECT_EQ(kinds[ObjectKind::kDomain], 1u);
+  EXPECT_EQ(ad.graph.violation_count(),
+            ad.stats.violation_sessions + ad.stats.violation_permissions);
+  EXPECT_EQ(ad.graph.edge_count(),
+            ad.stats.structural_edges + ad.stats.permission_edges +
+                ad.stats.session_edges + ad.stats.violation_sessions +
+                ad.stats.violation_permissions);
+}
+
+TEST(Generator, DomainAdminsExistsAndHasMembers) {
+  const GeneratedAd ad = generate_ad(small_config());
+  const NodeIndex da = ad.graph.domain_admins();
+  ASSERT_NE(da, adcore::kNoNodeIndex);
+  EXPECT_EQ(ad.graph.kind(da), ObjectKind::kGroup);
+  EXPECT_EQ(ad.graph.name(da), "DOMAIN ADMINS");
+  EXPECT_EQ(ad.graph.tier(da), 0);
+  std::size_t members = 0;
+  for (const auto& e : ad.graph.edges()) {
+    if (e.kind == EdgeKind::kMemberOf && e.target == da) ++members;
+  }
+  EXPECT_GE(members, 1u);
+}
+
+// The central invariant sweep: every tier-model rule of §III holds for all
+// (tiers, preset, seed) combinations.
+struct SweepParam {
+  std::uint32_t tiers;
+  const char* preset;
+  std::uint64_t seed;
+};
+
+GeneratorConfig config_for(const SweepParam& p) {
+  GeneratorConfig cfg;
+  if (std::string(p.preset) == "secure") {
+    cfg = GeneratorConfig::secure(3000, p.seed);
+  } else if (std::string(p.preset) == "vulnerable") {
+    cfg = GeneratorConfig::vulnerable(3000, p.seed);
+  } else {
+    cfg = GeneratorConfig::highly_secure(3000, p.seed);
+  }
+  cfg.num_tiers = p.tiers;
+  return cfg;
+}
+
+class TierModelSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TierModelSweep, TierRestrictionsHold) {
+  const GeneratedAd ad = generate_ad(config_for(GetParam()));
+  const auto& g = ad.graph;
+  for (const auto& e : g.edges()) {
+    const auto st = g.tier(e.source);
+    const auto tt = g.tier(e.target);
+    switch (e.kind) {
+      case EdgeKind::kHasSession:
+        // Legal sessions: credentials never land on a less-privileged
+        // (numerically higher) tier.  Violations do exactly that.
+        ASSERT_NE(st, adcore::kNoTier);
+        ASSERT_NE(tt, adcore::kNoTier);
+        if (e.violation) {
+          EXPECT_GT(st, tt) << "violated session must expose higher-tier "
+                               "credentials on a lower-tier computer";
+        } else {
+          EXPECT_LE(st, tt) << "legal session on a less-privileged computer";
+        }
+        break;
+      case EdgeKind::kMemberOf:
+        // Least privilege: users join groups of their own tier only.
+        EXPECT_EQ(st, tt);
+        break;
+      default:
+        if (adcore::is_non_acl_permission(e.kind) && e.violation) {
+          // Algorithm 4: regular user gains rights on a MORE privileged
+          // computer.
+          EXPECT_LT(tt, st);
+          EXPECT_EQ(g.kind(e.source), ObjectKind::kUser);
+          EXPECT_EQ(g.kind(e.target), ObjectKind::kComputer);
+          EXPECT_FALSE(g.has_flag(e.source, node_flag::kAdmin));
+        } else if ((adcore::is_acl_permission(e.kind) ||
+                    adcore::is_non_acl_permission(e.kind)) &&
+                   !e.violation && g.kind(e.source) == ObjectKind::kGroup &&
+                   g.tier(e.source) != adcore::kNoTier &&
+                   tt != adcore::kNoTier) {
+          // Algorithm 1: admin groups control their tier and below.
+          EXPECT_LE(st, tt);
+        }
+        break;
+    }
+  }
+}
+
+TEST_P(TierModelSweep, DisabledUsersAreInert) {
+  const GeneratedAd ad = generate_ad(config_for(GetParam()));
+  const auto& g = ad.graph;
+  std::set<NodeIndex> disabled;
+  for (NodeIndex i = 0; i < g.node_count(); ++i) {
+    if (g.kind(i) == ObjectKind::kUser &&
+        !g.has_flag(i, node_flag::kEnabled)) {
+      disabled.insert(i);
+    }
+  }
+  for (const auto& e : g.edges()) {
+    if (e.kind == EdgeKind::kHasSession) {
+      EXPECT_EQ(disabled.count(e.target), 0u)
+          << "disabled accounts must not hold sessions";
+    }
+    if (e.kind == EdgeKind::kMemberOf) {
+      EXPECT_EQ(disabled.count(e.source), 0u)
+          << "disabled accounts must not be group members";
+    }
+  }
+}
+
+TEST_P(TierModelSweep, SessionCapRespected) {
+  const SweepParam p = GetParam();
+  const GeneratorConfig cfg = config_for(p);
+  const GeneratedAd ad = generate_ad(cfg);
+  const auto stats = analytics::session_stats(ad.graph);
+  // The per-user cap can be exceeded only by the tier-0 coverage guarantee,
+  // which targets tier-0 admins; regular users stay within the cap.
+  for (std::size_t i = 0; i < stats.users.size(); ++i) {
+    const NodeIndex u = stats.users[i];
+    if (!ad.graph.has_flag(u, node_flag::kAdmin)) {
+      EXPECT_LE(stats.counts[i], cfg.max_sessions_per_user);
+    }
+  }
+}
+
+TEST_P(TierModelSweep, MetagraphMirrorsGraph) {
+  const GeneratedAd ad = generate_ad(config_for(GetParam()));
+  // Every leaf object (user, computer) is an element; mapping is total.
+  std::size_t leaves = 0;
+  for (NodeIndex i = 0; i < ad.graph.node_count(); ++i) {
+    const auto kind = ad.graph.kind(i);
+    leaves += (kind == ObjectKind::kUser || kind == ObjectKind::kComputer)
+                  ? 1
+                  : 0;
+  }
+  EXPECT_EQ(ad.meta.element_count(), leaves);
+  ASSERT_EQ(ad.node_of_element.size(), ad.meta.element_count());
+  for (metagraph::ElementId e = 0; e < ad.meta.element_count(); ++e) {
+    const NodeIndex n = ad.node_of_element[e];
+    ASSERT_LT(n, ad.graph.node_count());
+    const auto kind = ad.graph.kind(n);
+    EXPECT_TRUE(kind == ObjectKind::kUser || kind == ObjectKind::kComputer);
+  }
+  // Sets map to group/OU (or singleton leaf) graph nodes.
+  ASSERT_EQ(ad.node_of_set.size(), ad.meta.set_count());
+  for (metagraph::SetId s = 0; s < ad.meta.set_count(); ++s) {
+    ASSERT_LT(ad.node_of_set[s], ad.graph.node_count());
+  }
+  // Group membership matches MemberOf edges.
+  for (const GroupRecord& grp : ad.org.groups) {
+    std::size_t member_edges = 0;
+    for (const auto& e : ad.graph.edges()) {
+      if (e.kind == EdgeKind::kMemberOf && e.target == grp.graph_node) {
+        ++member_edges;
+      }
+    }
+    EXPECT_EQ(ad.meta.members(grp.set).size(), member_edges)
+        << "group " << grp.name;
+  }
+}
+
+TEST_P(TierModelSweep, ViolationCountsTrackParameters) {
+  const SweepParam p = GetParam();
+  const GeneratorConfig cfg = config_for(p);
+  const GeneratedAd ad = generate_ad(cfg);
+  std::size_t total_users = 0;
+  for (const auto& tier : ad.users_by_tier) total_users += tier.size();
+  if (cfg.num_tiers < 2) {
+    EXPECT_EQ(ad.stats.violation_sessions, 0u);
+    EXPECT_EQ(ad.stats.violation_permissions, 0u);
+    return;
+  }
+  const auto expected_sessions = static_cast<std::size_t>(
+      std::llround(cfg.perc_misconfig_sessions * total_users));
+  const auto expected_perms = static_cast<std::size_t>(
+      std::llround(cfg.perc_misconfig_permissions * total_users));
+  // Draws can be skipped when a pool is empty, never exceeded.
+  EXPECT_LE(ad.stats.violation_sessions, expected_sessions);
+  EXPECT_LE(ad.stats.violation_permissions, expected_perms);
+  EXPECT_GE(ad.stats.violation_sessions, expected_sessions * 9 / 10);
+  EXPECT_GE(ad.stats.violation_permissions, expected_perms * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TierModelSweep,
+    ::testing::Values(SweepParam{1, "secure", 1}, SweepParam{2, "secure", 2},
+                      SweepParam{3, "secure", 3}, SweepParam{3, "secure", 4},
+                      SweepParam{4, "vulnerable", 5},
+                      SweepParam{3, "vulnerable", 6},
+                      SweepParam{2, "vulnerable", 7},
+                      SweepParam{3, "highly_secure", 8},
+                      SweepParam{5, "secure", 9}),
+    [](const auto& info) {
+      return std::string(info.param.preset) + "_k" +
+             std::to_string(info.param.tiers) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Generator, DeterministicForSeed) {
+  const GeneratedAd a = generate_ad(small_config(3, 42));
+  const GeneratedAd b = generate_ad(small_config(3, 42));
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  for (NodeIndex i = 0; i < a.graph.node_count(); ++i) {
+    ASSERT_EQ(a.graph.name(i), b.graph.name(i));
+  }
+  EXPECT_EQ(a.meta.edge_count(), b.meta.edge_count());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const GeneratedAd a = generate_ad(small_config(3, 1));
+  const GeneratedAd b = generate_ad(small_config(3, 2));
+  EXPECT_NE(a.graph.edges(), b.graph.edges());
+}
+
+TEST(Generator, SecurityPresetsOrderObservables) {
+  const auto secure =
+      generate_ad(GeneratorConfig::secure(20000, 11));
+  const auto vulnerable =
+      generate_ad(GeneratorConfig::vulnerable(20000, 11));
+  EXPECT_LT(secure.graph.violation_count(),
+            vulnerable.graph.violation_count());
+  EXPECT_LT(secure.graph.density(), vulnerable.graph.density());
+  const auto rs = analytics::users_reaching_da(secure.graph);
+  const auto rv = analytics::users_reaching_da(vulnerable.graph);
+  EXPECT_LT(rs.fraction, rv.fraction);
+  EXPECT_GT(rv.fraction, 0.01);
+}
+
+TEST(Generator, SecureGraphHasTinyBreachedPopulation) {
+  const auto ad = generate_ad(GeneratorConfig::secure(50000, 3));
+  const auto reach = analytics::users_reaching_da(ad.graph);
+  // Paper Fig. 9: ≈0.02% of regular users reach Domain Admins.
+  EXPECT_GT(reach.fraction, 0.0);
+  EXPECT_LT(reach.fraction, 0.002);
+}
+
+TEST(Generator, InvalidConfigRejected) {
+  GeneratorConfig cfg;
+  cfg.num_tiers = 0;
+  EXPECT_THROW(generate_ad(cfg), std::invalid_argument);
+}
+
+TEST(Generator, OrgStructureShape) {
+  const GeneratorConfig cfg = small_config();
+  const GeneratedAd ad = generate_ad(cfg);
+  const auto& org = ad.org;
+  ASSERT_EQ(org.admin_groups_by_tier.size(), cfg.num_tiers);
+  for (const auto& tier_groups : org.admin_groups_by_tier) {
+    EXPECT_EQ(tier_groups.size(), cfg.admin_groups_per_tier);
+  }
+  EXPECT_NE(org.domain_admins, kNoOrgIndex);
+  EXPECT_EQ(org.groups[org.domain_admins].tier, 0);
+  const auto departments = cfg.effective_departments();
+  const auto locations = cfg.effective_locations();
+  ASSERT_EQ(org.department_groups.size(), departments.size());
+  for (const auto& dept : org.department_groups) {
+    // One distribution group per location + one security group per folder.
+    EXPECT_EQ(dept.size(), locations.size() + cfg.num_root_folders);
+  }
+  EXPECT_EQ(org.dept_locations.size(), departments.size() * locations.size());
+  EXPECT_NE(org.disabled_ou, kNoOrgIndex);
+  EXPECT_EQ(org.gpos.size(), cfg.num_tiers + departments.size());
+}
+
+TEST(Generator, ElementToElementGraphExpandsPermissions) {
+  GeneratorConfig cfg = small_config();
+  const GeneratedAd ad = generate_ad(cfg);
+  const adcore::AttackGraph flat = element_to_element_graph(ad);
+  // Only leaf objects remain.
+  EXPECT_EQ(flat.node_count(), ad.meta.element_count());
+  for (NodeIndex i = 0; i < flat.node_count(); ++i) {
+    const auto kind = flat.kind(i);
+    EXPECT_TRUE(kind == ObjectKind::kUser || kind == ObjectKind::kComputer);
+  }
+  // Sessions map one-to-one, so the flat graph has at least those.
+  std::size_t flat_sessions = 0;
+  for (const auto& e : flat.edges()) {
+    flat_sessions += e.kind == EdgeKind::kHasSession ? 1 : 0;
+  }
+  EXPECT_EQ(flat_sessions,
+            ad.stats.session_edges + ad.stats.violation_sessions);
+  // Permission edges expand to member pairs on top of the 1:1 sessions
+  // (set-level edges whose vertex sets hold no elements expand to nothing).
+  EXPECT_GT(flat.edge_count(), flat_sessions);
+}
+
+TEST(Generator, SingleTierDegeneratesGracefully) {
+  GeneratorConfig cfg = GeneratorConfig::vulnerable(1000, 5);
+  cfg.num_tiers = 1;
+  const GeneratedAd ad = generate_ad(cfg);
+  EXPECT_EQ(ad.stats.violation_sessions, 0u);
+  EXPECT_EQ(ad.stats.violation_permissions, 0u);
+  EXPECT_EQ(ad.graph.violation_count(), 0u);
+  EXPECT_GT(ad.stats.session_edges, 0u);
+}
+
+TEST(Generator, ScalesLinearlyEnough) {
+  // Not a benchmark — just guards against accidental quadratic behaviour:
+  // 20k nodes must generate in well under a second.
+  util::Stopwatch timer;
+  const GeneratedAd ad = generate_ad(GeneratorConfig::secure(20000, 1));
+  EXPECT_LT(timer.seconds(), 2.0);
+  EXPECT_GT(ad.graph.node_count(), 19000u);
+}
+
+}  // namespace
+}  // namespace adsynth::core

@@ -1,0 +1,171 @@
+// Tests for the organisational skeleton (generation step 1) and the
+// session-model variants.
+#include "core/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analytics/sessions.hpp"
+#include "core/generator.hpp"
+
+namespace adsynth::core {
+namespace {
+
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+
+GeneratedAd build_skeleton(GeneratorConfig cfg) {
+  cfg.validate();
+  util::Rng rng(cfg.seed);
+  GeneratedAd out;
+  build_structure(cfg, rng, out);
+  return out;
+}
+
+TEST(Structure, TieredOuSkeletonShape) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 10000;
+  cfg.num_tiers = 3;
+  const GeneratedAd ad = build_skeleton(cfg);
+  const auto& org = ad.org;
+
+  // One Admin root, one tier root per tier.
+  std::size_t admin_roots = 0;
+  std::size_t tier_roots = 0;
+  for (const OuNode& ou : org.ous) {
+    admin_roots += ou.role == OuRole::kAdminRoot ? 1 : 0;
+    tier_roots += ou.role == OuRole::kTierRoot ? 1 : 0;
+  }
+  EXPECT_EQ(admin_roots, 1u);
+  EXPECT_EQ(tier_roots, cfg.num_tiers);
+
+  // Every tier has an Accounts OU and a Groups OU.
+  ASSERT_EQ(org.account_ous_by_tier.size(), cfg.num_tiers);
+  ASSERT_EQ(org.groups_ou_by_tier.size(), cfg.num_tiers);
+  for (std::uint32_t t = 0; t < cfg.num_tiers; ++t) {
+    ASSERT_FALSE(org.account_ous_by_tier[t].empty());
+    ASSERT_NE(org.groups_ou_by_tier[t], kNoOrgIndex);
+    EXPECT_EQ(org.ous[org.account_ous_by_tier[t][0]].role, OuRole::kAccounts);
+    EXPECT_EQ(org.ous[org.groups_ou_by_tier[t]].role, OuRole::kGroupsOu);
+    EXPECT_EQ(org.ous[org.account_ous_by_tier[t][0]].tier,
+              static_cast<std::int8_t>(t));
+  }
+
+  // PAW (device) OUs exist for the administrative tiers only.
+  EXPECT_FALSE(org.device_ous_by_tier[0].empty());
+  EXPECT_FALSE(org.device_ous_by_tier[1].empty());
+  EXPECT_TRUE(org.device_ous_by_tier[2].empty());
+
+  // Server OUs: DCs at tier 0, enterprise servers at tier 1.
+  EXPECT_FALSE(org.server_ous_by_tier[0].empty());
+  EXPECT_FALSE(org.server_ous_by_tier[1].empty());
+
+  // Department × location coverage.
+  const auto departments = cfg.effective_departments();
+  const auto locations = cfg.effective_locations();
+  EXPECT_EQ(org.dept_locations.size(), departments.size() * locations.size());
+  for (const auto& dl : org.dept_locations) {
+    EXPECT_EQ(org.ous[dl.users_ou].role, OuRole::kUsers);
+    EXPECT_EQ(org.ous[dl.workstations_ou].role, OuRole::kWorkstations);
+  }
+}
+
+TEST(Structure, EveryOuHasExactlyOneContainsParent) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 5000;
+  const GeneratedAd ad = build_skeleton(cfg);
+  std::map<NodeIndex, std::size_t> contains_in;
+  for (const auto& e : ad.graph.edges()) {
+    if (e.kind == EdgeKind::kContains) ++contains_in[e.target];
+  }
+  for (const OuNode& ou : ad.org.ous) {
+    EXPECT_EQ(contains_in[ou.graph_node], 1u) << ou.name;
+  }
+  for (const GroupRecord& g : ad.org.groups) {
+    EXPECT_EQ(contains_in[g.graph_node], 1u) << g.name;
+  }
+}
+
+TEST(Structure, GroupsLiveInGroupsOus) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 5000;
+  const GeneratedAd ad = build_skeleton(cfg);
+  for (const GroupRecord& g : ad.org.groups) {
+    EXPECT_EQ(ad.org.ous[g.ou].role, OuRole::kGroupsOu) << g.name;
+    if (g.type == GroupType::kAdmin) {
+      EXPECT_EQ(g.tier, ad.org.ous[g.ou].tier);
+    }
+  }
+}
+
+TEST(Structure, GposLinkTierRootsAndDepartments) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 10000;
+  const GeneratedAd ad = build_skeleton(cfg);
+  std::size_t gplinks = 0;
+  for (const auto& e : ad.graph.edges()) {
+    if (e.kind == EdgeKind::kGpLink) {
+      EXPECT_EQ(ad.graph.kind(e.source), ObjectKind::kGPO);
+      EXPECT_EQ(ad.graph.kind(e.target), ObjectKind::kOU);
+      ++gplinks;
+    }
+  }
+  EXPECT_EQ(gplinks, ad.org.gpos.size());
+  EXPECT_EQ(ad.org.gpos.size(),
+            cfg.num_tiers + cfg.effective_departments().size());
+}
+
+TEST(Structure, MetagraphSetsRegisteredForAllOusAndGroups) {
+  GeneratorConfig cfg;
+  cfg.target_nodes = 5000;
+  const GeneratedAd ad = build_skeleton(cfg);
+  for (const OuNode& ou : ad.org.ous) {
+    ASSERT_NE(ou.set, metagraph::kNoSet);
+    EXPECT_EQ(ad.node_of_set[ou.set], ou.graph_node);
+  }
+  for (const GroupRecord& g : ad.org.groups) {
+    ASSERT_NE(g.set, metagraph::kNoSet);
+    EXPECT_EQ(ad.node_of_set[g.set], g.graph_node);
+  }
+}
+
+TEST(SessionModel, LongTailProducesSteepTop30) {
+  auto uniform_cfg = GeneratorConfig::secure(30000, 5);
+  auto longtail_cfg = uniform_cfg;
+  longtail_cfg.session_model = SessionModel::kLongTail;
+
+  const auto uniform =
+      analytics::session_stats(generate_ad(uniform_cfg).graph);
+  const auto longtail =
+      analytics::session_stats(generate_ad(longtail_cfg).graph);
+
+  // Long-tail: far fewer total sessions, steep top-30 decay.
+  EXPECT_LT(longtail.total_sessions, uniform.total_sessions / 2);
+  const auto lt_top = longtail.top(30);
+  const auto un_top = uniform.top(30);
+  ASSERT_EQ(lt_top.size(), 30u);
+  // The uniform model crowds the cap (the paper's reported limitation):
+  // its 30th-highest count stays close to its peak.  The long-tail model
+  // decays markedly within the top 30.
+  EXPECT_GE(un_top[29] * 2, un_top[0]);
+  EXPECT_LE(lt_top[29] * 2, lt_top[0]);
+  // Most long-tail users sit at <= 2 sessions.
+  std::size_t small = 0;
+  for (const auto c : longtail.counts) small += c <= 2 ? 1 : 0;
+  EXPECT_GT(small * 10, longtail.counts.size() * 7);  // > 70%
+}
+
+TEST(SessionModel, SerializationRoundTrip) {
+  GeneratorConfig cfg;
+  cfg.session_model = SessionModel::kLongTail;
+  const auto back = GeneratorConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.session_model, SessionModel::kLongTail);
+  EXPECT_THROW(
+      GeneratorConfig::from_json(R"({"session_model": "weird"})"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adsynth::core

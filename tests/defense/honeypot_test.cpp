@@ -1,0 +1,138 @@
+// Tests for the honeypot-placement application ([21]).
+#include "defense/honeypot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generator.hpp"
+
+namespace adsynth::defense {
+namespace {
+
+using adcore::AttackGraph;
+using adcore::EdgeKind;
+using adcore::NodeIndex;
+using adcore::ObjectKind;
+namespace node_flag = adcore::node_flag;
+
+/// Funnel: u0,u1 -> c -> a -> DA.  One honeypot on c (or a) covers all.
+struct Funnel {
+  AttackGraph g;
+  NodeIndex da, c, a;
+
+  Funnel() {
+    da = g.add_named_node(ObjectKind::kGroup, "DOMAIN ADMINS", 0);
+    g.set_domain_admins(da);
+    c = g.add_named_node(ObjectKind::kComputer, "C", 0);
+    a = g.add_named_node(ObjectKind::kUser, "A", 0,
+                         node_flag::kAdmin | node_flag::kEnabled);
+    for (int i = 0; i < 2; ++i) {
+      const NodeIndex u =
+          g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+      g.add_edge(u, c, EdgeKind::kExecuteDCOM);
+    }
+    g.add_edge(c, a, EdgeKind::kHasSession);
+    g.add_edge(a, da, EdgeKind::kMemberOf);
+  }
+};
+
+TEST(Honeypot, FunnelCoveredByOnePlacement) {
+  Funnel f;
+  HoneypotOptions options;
+  options.count = 1;
+  const HoneypotResult result = place_honeypots(f.g, options);
+  ASSERT_EQ(result.placements.size(), 1u);
+  EXPECT_TRUE(result.placements[0] == f.c || result.placements[0] == f.a);
+  EXPECT_DOUBLE_EQ(result.final_coverage(), 1.0);
+}
+
+TEST(Honeypot, ComputersOnlyRestrictsCandidates) {
+  Funnel f;
+  HoneypotOptions options;
+  options.count = 1;
+  options.computers_only = true;
+  const HoneypotResult result = place_honeypots(f.g, options);
+  ASSERT_EQ(result.placements.size(), 1u);
+  EXPECT_EQ(result.placements[0], f.c);
+}
+
+TEST(Honeypot, ParallelRoutesNeedMultiplePlacements) {
+  // Two disjoint funnels: one honeypot covers half, two cover all.
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DA");
+  g.set_domain_admins(da);
+  for (int i = 0; i < 2; ++i) {
+    const NodeIndex u = g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+    const NodeIndex c = g.add_node(ObjectKind::kComputer);
+    const NodeIndex a = g.add_node(ObjectKind::kUser, 0,
+                                   node_flag::kAdmin | node_flag::kEnabled);
+    g.add_edge(u, c, EdgeKind::kExecuteDCOM);
+    g.add_edge(c, a, EdgeKind::kHasSession);
+    g.add_edge(a, da, EdgeKind::kMemberOf);
+  }
+  HoneypotOptions options;
+  options.count = 2;
+  const HoneypotResult result = place_honeypots(g, options);
+  ASSERT_EQ(result.placements.size(), 2u);
+  ASSERT_EQ(result.coverage_after.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.coverage_after[0], 0.5);
+  EXPECT_DOUBLE_EQ(result.coverage_after[1], 1.0);
+}
+
+TEST(Honeypot, CoverageIsMonotone) {
+  const auto ad = core::generate_ad(core::GeneratorConfig::vulnerable(5000, 4));
+  HoneypotOptions options;
+  options.count = 5;
+  const HoneypotResult result = place_honeypots(ad.graph, options);
+  ASSERT_FALSE(result.coverage_after.empty());
+  for (std::size_t i = 1; i < result.coverage_after.size(); ++i) {
+    EXPECT_GE(result.coverage_after[i], result.coverage_after[i - 1] - 1e-12);
+  }
+  EXPECT_GT(result.final_coverage(), 0.0);
+  EXPECT_LE(result.final_coverage(), 1.0);
+}
+
+TEST(Honeypot, NeverPlacesOnSourcesOrTarget) {
+  const auto ad = core::generate_ad(core::GeneratorConfig::vulnerable(5000, 5));
+  HoneypotOptions options;
+  options.count = 4;
+  const HoneypotResult result = place_honeypots(ad.graph, options);
+  for (const NodeIndex v : result.placements) {
+    EXPECT_NE(v, ad.graph.domain_admins());
+    const bool is_regular =
+        ad.graph.kind(v) == ObjectKind::kUser &&
+        ad.graph.has_flag(v, node_flag::kEnabled) &&
+        !ad.graph.has_flag(v, node_flag::kAdmin);
+    EXPECT_FALSE(is_regular) << "honeypot on an attacker entry account";
+  }
+}
+
+TEST(Honeypot, NoPathsNoPlacements) {
+  AttackGraph g;
+  const NodeIndex da = g.add_named_node(ObjectKind::kGroup, "DA");
+  g.set_domain_admins(da);
+  g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+  const HoneypotResult result = place_honeypots(g);
+  EXPECT_TRUE(result.placements.empty());
+  EXPECT_DOUBLE_EQ(result.final_coverage(), 0.0);
+}
+
+TEST(Honeypot, MissingDaThrows) {
+  AttackGraph g;
+  g.add_node(ObjectKind::kUser, 2, node_flag::kEnabled);
+  EXPECT_THROW(place_honeypots(g), std::logic_error);
+}
+
+TEST(Honeypot, SecureGraphChokePointsYieldHighCoverage) {
+  // Secure ADSynth graphs funnel through few nodes (Fig. 10c), so a couple
+  // of honeypots intercept almost everything.
+  const auto ad = core::generate_ad(core::GeneratorConfig::secure(20000, 1));
+  HoneypotOptions options;
+  options.count = 3;
+  const HoneypotResult result = place_honeypots(ad.graph, options);
+  if (!result.placements.empty()) {
+    EXPECT_GT(result.final_coverage(), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace adsynth::defense

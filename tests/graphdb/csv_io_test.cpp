@@ -1,0 +1,92 @@
+#include "graphdb/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace adsynth::graphdb {
+namespace {
+
+GraphStore sample_store() {
+  GraphStore store;
+  const NodeId u = store.create_node({"Base", "User"});
+  store.set_node_property(u, "name", PropertyValue("A,LICE"));
+  store.set_node_property(u, "enabled", PropertyValue(true));
+  const NodeId g = store.create_node({"Group"});
+  store.set_node_property(g, "name", PropertyValue("say \"hi\""));
+  PropertyList props;
+  put_property(props, store.intern_key("violation"), PropertyValue(true));
+  store.create_relationship(u, g, "MemberOf", std::move(props));
+  return store;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(CsvEscape, QuotingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvExport, NodesHeaderAndRows) {
+  const GraphStore store = sample_store();
+  std::ostringstream out;
+  export_nodes_csv(store, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 nodes
+  EXPECT_EQ(lines[0], "id,labels,name,enabled");
+  EXPECT_EQ(lines[1], "0,Base;User,\"A,LICE\",true");
+  EXPECT_EQ(lines[2], "1,Group,\"say \"\"hi\"\"\",");
+}
+
+TEST(CsvExport, EdgesHeaderAndRows) {
+  const GraphStore store = sample_store();
+  std::ostringstream out;
+  export_edges_csv(store, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "source,target,type,violation");
+  EXPECT_EQ(lines[1], "0,1,MemberOf,true");
+}
+
+TEST(CsvExport, DeletedRecordsSkipped) {
+  GraphStore store = sample_store();
+  store.delete_relationship(0);
+  std::ostringstream out;
+  export_edges_csv(store, out);
+  EXPECT_EQ(lines_of(out.str()).size(), 1u);  // header only
+}
+
+TEST(CsvExport, FilesWritten) {
+  const GraphStore store = sample_store();
+  const std::string prefix = ::testing::TempDir() + "/adsynth_csv_test";
+  export_csv_files(store, prefix);
+  std::ifstream nodes(prefix + "_nodes.csv");
+  std::ifstream edges(prefix + "_edges.csv");
+  EXPECT_TRUE(nodes.good());
+  EXPECT_TRUE(edges.good());
+  EXPECT_THROW(export_csv_files(store, "/nonexistent/dir/x"),
+               std::runtime_error);
+}
+
+TEST(CsvExport, EmptyStore) {
+  GraphStore store;
+  std::ostringstream nodes;
+  export_nodes_csv(store, nodes);
+  EXPECT_EQ(nodes.str(), "id,labels\n");
+  std::ostringstream edges;
+  export_edges_csv(store, edges);
+  EXPECT_EQ(edges.str(), "source,target,type\n");
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

@@ -1,0 +1,200 @@
+#include "graphdb/cypher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsynth::graphdb {
+namespace {
+
+class CypherTest : public ::testing::Test {
+ protected:
+  GraphStore store;
+  CypherSession session{store};
+};
+
+TEST_F(CypherTest, CreateNodeWithProperties) {
+  const QueryResult r = session.run(
+      "CREATE (n:User {name: 'ALICE', enabled: true, logons: 3, "
+      "score: 1.5, spn: ['a', 'b'], note: null})");
+  EXPECT_EQ(r.nodes_created, 1u);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  const NodeId n = r.nodes[0];
+  EXPECT_EQ(store.node_property(n, "name")->as_string(), "ALICE");
+  EXPECT_TRUE(store.node_property(n, "enabled")->as_bool());
+  EXPECT_EQ(store.node_property(n, "logons")->as_int(), 3);
+  EXPECT_DOUBLE_EQ(store.node_property(n, "score")->as_double(), 1.5);
+  EXPECT_EQ(store.node_property(n, "spn")->as_string_list().size(), 2u);
+  EXPECT_TRUE(store.node_property(n, "note")->is_null());
+}
+
+TEST_F(CypherTest, CreateMultipleLabels) {
+  session.run("CREATE (n:Base:User {name: 'X'})");
+  EXPECT_EQ(store.nodes_with_label("Base").size(), 1u);
+  EXPECT_EQ(store.nodes_with_label("User").size(), 1u);
+}
+
+TEST_F(CypherTest, MatchCreateRelationship) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:Group {name: 'G'})");
+  const QueryResult r = session.run(
+      "MATCH (a:User {name: 'A'}), (b:Group {name: 'G'}) "
+      "CREATE (a)-[:MemberOf]->(b)");
+  EXPECT_EQ(r.rels_created, 1u);
+  const RelRecord& rel = store.rel(r.rels[0]);
+  EXPECT_EQ(store.rel_type_name(rel.type), "MemberOf");
+  EXPECT_EQ(store.node_property(rel.source, "name")->as_string(), "A");
+  EXPECT_EQ(store.node_property(rel.target, "name")->as_string(), "G");
+}
+
+TEST_F(CypherTest, RelationshipWithProperties) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:Computer {name: 'C'})");
+  const QueryResult r = session.run(
+      "MATCH (a:User {name: 'A'}), (b:Computer {name: 'C'}) "
+      "CREATE (a)-[:AdminTo {fromgpo: true}]->(b)");
+  const auto key = store.find_key("fromgpo");
+  ASSERT_TRUE(key.has_value());
+  EXPECT_TRUE(get_property(store.rel(r.rels[0]).properties, *key)->as_bool());
+}
+
+TEST_F(CypherTest, MergeNodeIsIdempotent) {
+  const QueryResult first = session.run("MERGE (n:User {name: 'A'})");
+  const QueryResult second = session.run("MERGE (n:User {name: 'A'})");
+  EXPECT_EQ(first.nodes_created, 1u);
+  EXPECT_EQ(second.nodes_created, 0u);
+  EXPECT_EQ(first.nodes, second.nodes);
+}
+
+TEST_F(CypherTest, MergeRelationshipIsIdempotent) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:Group {name: 'G'})");
+  const std::string stmt =
+      "MATCH (a:User {name: 'A'}), (b:Group {name: 'G'}) "
+      "MERGE (a)-[:MemberOf]->(b)";
+  EXPECT_EQ(session.run(stmt).rels_created, 1u);
+  EXPECT_EQ(session.run(stmt).rels_created, 0u);
+  EXPECT_EQ(store.rel_count(), 1u);
+}
+
+TEST_F(CypherTest, ReturnCountAndNodes) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:User {name: 'B'})");
+  session.run("CREATE (n:Group {name: 'G'})");
+  EXPECT_EQ(session.run("MATCH (n:User) RETURN count(n)").count, 2);
+  EXPECT_EQ(session.run("MATCH (n:Group) RETURN n").nodes.size(), 1u);
+  EXPECT_EQ(session.run("MATCH (n:User {name: 'A'}) RETURN count(n)").count,
+            1);
+}
+
+TEST_F(CypherTest, SetUpdatesMatchedNodes) {
+  session.run("CREATE (n:User {name: 'A', enabled: false})");
+  const QueryResult r =
+      session.run("MATCH (n:User {name: 'A'}) SET n.enabled = true");
+  EXPECT_EQ(r.properties_set, 1u);
+  EXPECT_TRUE(store.node_property(r.nodes[0], "enabled")->as_bool());
+}
+
+TEST_F(CypherTest, CreateIndexSpeedsLookupsTransparently) {
+  session.run("CREATE INDEX ON :User(name)");
+  session.run("CREATE (n:User {name: 'A'})");
+  EXPECT_EQ(session.run("MATCH (n:User {name: 'A'}) RETURN count(n)").count,
+            1);
+}
+
+TEST_F(CypherTest, MatchNoResultThrowsForRelationshipCreation) {
+  session.run("CREATE (n:User {name: 'A'})");
+  EXPECT_THROW(session.run("MATCH (a:User {name: 'A'}), (b:Group {name: "
+                           "'MISSING'}) CREATE (a)-[:MemberOf]->(b)"),
+               CypherError);
+}
+
+TEST_F(CypherTest, SyntaxErrors) {
+  EXPECT_THROW(session.run(""), CypherError);
+  EXPECT_THROW(session.run("DROP TABLE users"), CypherError);
+  EXPECT_THROW(session.run("CREATE (n:User {name: })"), CypherError);
+  EXPECT_THROW(session.run("CREATE (n:User {name: 'x'"), CypherError);
+  EXPECT_THROW(session.run("MATCH (n) RETURN n"), CypherError);  // no label
+  EXPECT_THROW(session.run("CREATE (n:User {name: 'unterminated})"),
+               CypherError);
+}
+
+TEST_F(CypherTest, EscapedQuotesInStrings) {
+  session.run("CREATE (n:User {name: 'O\\'BRIEN'})");
+  EXPECT_EQ(
+      session.run("MATCH (n:User {name: 'O\\'BRIEN'}) RETURN count(n)").count,
+      1);
+}
+
+TEST_F(CypherTest, DoubleQuotedStrings) {
+  session.run("CREATE (n:User {name: \"QUOTED\"})");
+  EXPECT_EQ(store.node_count(), 1u);
+}
+
+TEST_F(CypherTest, TransactionsCountedAndJournaled) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:User {name: 'B'})");
+  EXPECT_EQ(session.transactions(), 2u);
+  // Two commit records in the journal.
+  std::size_t commits = 0;
+  std::size_t pos = 0;
+  while ((pos = session.journal().find("commit", pos)) != std::string::npos) {
+    ++commits;
+    pos += 6;
+  }
+  EXPECT_EQ(commits, 2u);
+}
+
+TEST_F(CypherTest, TrailingSemicolonAccepted) {
+  EXPECT_EQ(session.run("CREATE (n:User {name: 'A'});").nodes_created, 1u);
+}
+
+TEST_F(CypherTest, NegativeAndFloatLiterals) {
+  session.run("CREATE (n:User {name: 'N', delta: -12, ratio: 0.25})");
+  const NodeId n = store.nodes_with_label("User")[0];
+  EXPECT_EQ(store.node_property(n, "delta")->as_int(), -12);
+  EXPECT_DOUBLE_EQ(store.node_property(n, "ratio")->as_double(), 0.25);
+}
+
+TEST_F(CypherTest, MultiplePropertyMatch) {
+  session.run("CREATE (n:User {name: 'A', enabled: true})");
+  session.run("CREATE (n:User {name: 'A', enabled: false})");
+  EXPECT_EQ(session
+                .run("MATCH (n:User {name: 'A', enabled: false}) "
+                     "RETURN count(n)")
+                .count,
+            1);
+}
+
+
+TEST_F(CypherTest, ExplicitTransactionBatchesCommits) {
+  session.begin_transaction();
+  EXPECT_TRUE(session.in_transaction());
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:User {name: 'B'})");
+  session.run("CREATE (n:User {name: 'C'})");
+  EXPECT_EQ(session.transactions(), 0u);  // nothing committed yet
+  EXPECT_EQ(session.statements(), 3u);
+  session.commit();
+  EXPECT_FALSE(session.in_transaction());
+  EXPECT_EQ(session.transactions(), 1u);
+  EXPECT_EQ(store.node_count(), 3u);
+  // The single commit record carries the batch totals.
+  EXPECT_NE(session.journal().find("commit n=3"), std::string::npos);
+}
+
+TEST_F(CypherTest, TransactionMisuseThrows) {
+  session.begin_transaction();
+  EXPECT_THROW(session.begin_transaction(), std::logic_error);
+  session.commit();
+  EXPECT_THROW(session.commit(), std::logic_error);
+}
+
+TEST_F(CypherTest, AutoCommitResumesAfterExplicitTransaction) {
+  session.begin_transaction();
+  session.run("CREATE (n:User {name: 'A'})");
+  session.commit();
+  session.run("CREATE (n:User {name: 'B'})");
+  EXPECT_EQ(session.transactions(), 2u);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

@@ -1,0 +1,105 @@
+// Tests for Cypher-lite traversal patterns: MATCH (a)-[r:T]->(b) with
+// RETURN count(r) and DELETE r.
+#include <gtest/gtest.h>
+
+#include "graphdb/cypher.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+class CypherTraversalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session.run("CREATE (n:User {name: 'A'})");
+    session.run("CREATE (n:User {name: 'B'})");
+    session.run("CREATE (n:Group {name: 'G1'})");
+    session.run("CREATE (n:Group {name: 'G2'})");
+    session.run("MATCH (a:User {name: 'A'}), (b:Group {name: 'G1'}) "
+                "CREATE (a)-[:MemberOf]->(b)");
+    session.run("MATCH (a:User {name: 'A'}), (b:Group {name: 'G2'}) "
+                "CREATE (a)-[:MemberOf]->(b)");
+    session.run("MATCH (a:User {name: 'B'}), (b:Group {name: 'G1'}) "
+                "CREATE (a)-[:MemberOf {fromgpo: true}]->(b)");
+  }
+
+  GraphStore store;
+  CypherSession session{store};
+};
+
+TEST_F(CypherTraversalTest, CountAllOfType) {
+  EXPECT_EQ(
+      session.run("MATCH (a:User)-[r:MemberOf]->(b:Group) RETURN count(r)")
+          .count,
+      3);
+}
+
+TEST_F(CypherTraversalTest, CountFilteredByEndpoints) {
+  EXPECT_EQ(session
+                .run("MATCH (a:User {name: 'A'})-[r:MemberOf]->(b:Group) "
+                     "RETURN count(r)")
+                .count,
+            2);
+  EXPECT_EQ(session
+                .run("MATCH (a:User)-[r:MemberOf]->(b:Group {name: 'G1'}) "
+                     "RETURN count(r)")
+                .count,
+            2);
+  EXPECT_EQ(session
+                .run("MATCH (a:User {name: 'B'})-[r:MemberOf]->"
+                     "(b:Group {name: 'G2'}) RETURN count(r)")
+                .count,
+            0);
+}
+
+TEST_F(CypherTraversalTest, CountFilteredByRelProperty) {
+  EXPECT_EQ(session
+                .run("MATCH (a:User)-[r:MemberOf {fromgpo: true}]->(b:Group) "
+                     "RETURN count(r)")
+                .count,
+            1);
+}
+
+TEST_F(CypherTraversalTest, UnknownTypeCountsZero) {
+  EXPECT_EQ(
+      session.run("MATCH (a:User)-[r:Teleports]->(b:Group) RETURN count(r)")
+          .count,
+      0);
+}
+
+TEST_F(CypherTraversalTest, DeleteMatchedRelationships) {
+  const QueryResult del = session.run(
+      "MATCH (a:User {name: 'A'})-[r:MemberOf]->(b:Group) DELETE r");
+  EXPECT_EQ(del.rels_deleted, 2u);
+  EXPECT_EQ(
+      session.run("MATCH (a:User)-[r:MemberOf]->(b:Group) RETURN count(r)")
+          .count,
+      1);
+  EXPECT_EQ(store.rel_count(), 1u);
+  // Idempotent: nothing left to delete for A.
+  EXPECT_EQ(session
+                .run("MATCH (a:User {name: 'A'})-[r:MemberOf]->(b:Group) "
+                     "DELETE r")
+                .rels_deleted,
+            0u);
+}
+
+TEST_F(CypherTraversalTest, DeleteRequiresBoundVariable) {
+  EXPECT_THROW(
+      session.run("MATCH (a:User)-[:MemberOf]->(b:Group) DELETE r"),
+      CypherError);
+  EXPECT_THROW(
+      session.run("MATCH (a:User)-[r:MemberOf]->(b:Group) DELETE x"),
+      CypherError);
+}
+
+TEST_F(CypherTraversalTest, TraversalRejectsOtherVerbs) {
+  EXPECT_THROW(
+      session.run("MATCH (a:User)-[r:MemberOf]->(b:Group) SET a.x = 1"),
+      CypherError);
+  EXPECT_THROW(
+      session.run("MATCH (a:User)-[r:MemberOf]->(b:Group) RETURN r"),
+      CypherError);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

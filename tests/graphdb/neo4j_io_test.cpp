@@ -1,0 +1,140 @@
+#include "graphdb/neo4j_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+GraphStore sample_store() {
+  GraphStore store;
+  const NodeId u = store.create_node({"Base", "User"});
+  store.set_node_property(u, "name", PropertyValue("ALICE"));
+  store.set_node_property(u, "enabled", PropertyValue(true));
+  const NodeId g = store.create_node({"Base", "Group"});
+  store.set_node_property(g, "name", PropertyValue("DOMAIN ADMINS"));
+  const NodeId c = store.create_node({"Computer"});
+  store.set_node_property(c, "name", PropertyValue("DC01"));
+  PropertyList rel_props;
+  put_property(rel_props, store.intern_key("isacl"), PropertyValue(false));
+  store.create_relationship(u, g, "MemberOf", std::move(rel_props));
+  store.create_relationship(g, c, "AdminTo");
+  return store;
+}
+
+TEST(ApocJson, ExportEmitsOneRowPerRecord) {
+  const GraphStore store = sample_store();
+  std::ostringstream out;
+  export_apoc_json(store, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t nodes = 0;
+  std::size_t rels = 0;
+  while (std::getline(lines, line)) {
+    const auto row = util::JsonValue::parse(line);  // every row parses
+    const std::string& type = row.at("type").as_string();
+    if (type == "node") {
+      ++nodes;
+      EXPECT_TRUE(row.contains("labels"));
+      EXPECT_TRUE(row.contains("properties"));
+    } else {
+      ++rels;
+      EXPECT_TRUE(row.contains("start"));
+      EXPECT_TRUE(row.contains("end"));
+      EXPECT_TRUE(row.contains("label"));
+    }
+  }
+  EXPECT_EQ(nodes, 3u);
+  EXPECT_EQ(rels, 2u);
+}
+
+TEST(ApocJson, RoundTripPreservesGraph) {
+  const GraphStore store = sample_store();
+  std::stringstream buffer;
+  export_apoc_json(store, buffer);
+  const GraphStore imported = import_apoc_json(buffer);
+  EXPECT_EQ(imported.node_count(), store.node_count());
+  EXPECT_EQ(imported.rel_count(), store.rel_count());
+  const auto das =
+      imported.find_nodes("Group", "name", PropertyValue("DOMAIN ADMINS"));
+  ASSERT_EQ(das.size(), 1u);
+  // Relationship endpoints and properties survive.
+  bool member_of_found = false;
+  for (RelId r = 0; r < imported.rel_capacity(); ++r) {
+    if (imported.rel_type_name(imported.rel(r).type) == "MemberOf") {
+      member_of_found = true;
+      EXPECT_EQ(imported.rel(r).target, das[0]);
+      const auto key = imported.find_key("isacl");
+      ASSERT_TRUE(key.has_value());
+      EXPECT_FALSE(
+          get_property(imported.rel(r).properties, *key)->as_bool());
+    }
+  }
+  EXPECT_TRUE(member_of_found);
+}
+
+TEST(ApocJson, DeletedRelationshipsSkipped) {
+  GraphStore store = sample_store();
+  store.delete_relationship(0);
+  std::ostringstream out;
+  export_apoc_json(store, out);
+  EXPECT_EQ(out.str().find("MemberOf"), std::string::npos);
+}
+
+TEST(ApocJson, ImportToleratesBlankLinesAndForwardRefs) {
+  // A relationship row before its node rows (nonstandard but resolvable).
+  const std::string dump =
+      R"({"type":"relationship","id":"0","label":"AdminTo","properties":{},)"
+      R"("start":{"id":"n1","labels":["Group"]},"end":{"id":"n2","labels":["Computer"]}})"
+      "\n\n"
+      R"({"type":"node","id":"n1","labels":["Group"],"properties":{"name":"G"}})"
+      "\n"
+      R"({"type":"node","id":"n2","labels":["Computer"],"properties":{"name":"C"}})"
+      "\n";
+  std::istringstream in(dump);
+  const GraphStore store = import_apoc_json(in);
+  EXPECT_EQ(store.node_count(), 2u);
+  EXPECT_EQ(store.rel_count(), 1u);
+}
+
+TEST(ApocJson, ImportRejectsBadInput) {
+  {
+    std::istringstream in("{not json}\n");
+    EXPECT_THROW(import_apoc_json(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(R"({"type":"mystery","id":"0"})" "\n");
+    EXPECT_THROW(import_apoc_json(in), std::runtime_error);
+  }
+  {
+    // Dangling relationship endpoint.
+    std::istringstream in(
+        R"({"type":"relationship","id":"0","label":"X","properties":{},)"
+        R"("start":{"id":"a"},"end":{"id":"b"}})" "\n");
+    EXPECT_THROW(import_apoc_json(in), std::runtime_error);
+  }
+  {
+    // Duplicate node id.
+    std::istringstream in(
+        R"({"type":"node","id":"a","labels":["User"],"properties":{}})" "\n"
+        R"({"type":"node","id":"a","labels":["User"],"properties":{}})" "\n");
+    EXPECT_THROW(import_apoc_json(in), std::runtime_error);
+  }
+}
+
+TEST(ApocJson, FileRoundTrip) {
+  const GraphStore store = sample_store();
+  const std::string path = ::testing::TempDir() + "/adsynth_io_test.json";
+  export_apoc_json_file(store, path);
+  const GraphStore imported = import_apoc_json_file(path);
+  EXPECT_EQ(imported.node_count(), store.node_count());
+  EXPECT_EQ(imported.rel_count(), store.rel_count());
+  EXPECT_THROW(import_apoc_json_file("/nonexistent/nope.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

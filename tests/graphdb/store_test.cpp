@@ -1,0 +1,185 @@
+#include "graphdb/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsynth::graphdb {
+namespace {
+
+TEST(PropertyValue, TypedAccessors) {
+  EXPECT_TRUE(PropertyValue().is_null());
+  EXPECT_TRUE(PropertyValue(true).as_bool());
+  EXPECT_EQ(PropertyValue(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(PropertyValue(1.5).as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(PropertyValue(3).as_double(), 3.0);
+  EXPECT_EQ(PropertyValue("x").as_string(), "x");
+  const std::vector<std::string> list{"a", "b"};
+  EXPECT_EQ(PropertyValue(list).as_string_list(), list);
+  EXPECT_THROW(PropertyValue(1).as_string(), std::runtime_error);
+  EXPECT_THROW(PropertyValue("x").as_bool(), std::runtime_error);
+}
+
+TEST(PropertyValue, EqualityAndIndexKey) {
+  EXPECT_EQ(PropertyValue("a"), PropertyValue("a"));
+  EXPECT_FALSE(PropertyValue("a") == PropertyValue("b"));
+  EXPECT_FALSE(PropertyValue(1) == PropertyValue(1.0));  // types differ
+  EXPECT_EQ(PropertyValue("DA").index_key(), "DA");
+  EXPECT_EQ(PropertyValue(true).index_key(), "true");
+  EXPECT_EQ(PropertyValue(7).index_key(), "7");
+}
+
+TEST(PropertyValue, JsonRoundTrip) {
+  const PropertyValue values[] = {
+      PropertyValue(), PropertyValue(true), PropertyValue(-3),
+      PropertyValue(2.25), PropertyValue("s"),
+      PropertyValue(std::vector<std::string>{"p", "q"})};
+  for (const auto& v : values) {
+    EXPECT_EQ(PropertyValue::from_json(v.to_json()), v);
+  }
+}
+
+TEST(PropertyList, PutAndGet) {
+  PropertyList list;
+  put_property(list, 3, PropertyValue("c"));
+  put_property(list, 1, PropertyValue("a"));
+  put_property(list, 2, PropertyValue("b"));
+  put_property(list, 1, PropertyValue("A"));  // replace
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(get_property(list, 1)->as_string(), "A");
+  EXPECT_EQ(get_property(list, 2)->as_string(), "b");
+  EXPECT_EQ(get_property(list, 9), nullptr);
+  // Sorted by key.
+  EXPECT_LT(list[0].first, list[1].first);
+  EXPECT_LT(list[1].first, list[2].first);
+}
+
+TEST(GraphStore, CreateAndReadNodes) {
+  GraphStore store;
+  const NodeId n = store.create_node({"User", "Base"});
+  EXPECT_EQ(store.node_count(), 1u);
+  const auto user = store.find_label("User");
+  ASSERT_TRUE(user.has_value());
+  EXPECT_TRUE(store.node_has_label(n, *user));
+  EXPECT_EQ(store.nodes_with_label("User"), (std::vector<NodeId>{n}));
+  EXPECT_TRUE(store.nodes_with_label("Computer").empty());
+}
+
+TEST(GraphStore, DuplicateLabelsDeduplicated) {
+  GraphStore store;
+  const NodeId n = store.create_node({"User", "User"});
+  EXPECT_EQ(store.node(n).labels.size(), 1u);
+}
+
+TEST(GraphStore, RelationshipsUpdateAdjacency) {
+  GraphStore store;
+  const NodeId a = store.create_node({"User"});
+  const NodeId b = store.create_node({"Group"});
+  const RelId r = store.create_relationship(a, b, "MemberOf");
+  EXPECT_EQ(store.rel_count(), 1u);
+  EXPECT_EQ(store.rel(r).source, a);
+  EXPECT_EQ(store.rel(r).target, b);
+  EXPECT_EQ(store.rel_type_name(store.rel(r).type), "MemberOf");
+  EXPECT_EQ(store.node(a).out_rels, (std::vector<RelId>{r}));
+  EXPECT_EQ(store.node(b).in_rels, (std::vector<RelId>{r}));
+}
+
+TEST(GraphStore, RelationshipEndpointValidation) {
+  GraphStore store;
+  const NodeId a = store.create_node({"User"});
+  EXPECT_THROW(store.create_relationship(a, 99, "MemberOf"),
+               std::out_of_range);
+  EXPECT_THROW(store.create_relationship(99, a, "MemberOf"),
+               std::out_of_range);
+}
+
+TEST(GraphStore, DeleteRelationshipTombstones) {
+  GraphStore store;
+  const NodeId a = store.create_node({"User"});
+  const NodeId b = store.create_node({"Group"});
+  const RelId r = store.create_relationship(a, b, "MemberOf");
+  store.delete_relationship(r);
+  EXPECT_TRUE(store.rel(r).deleted);
+  EXPECT_EQ(store.rel_count(), 0u);
+  EXPECT_EQ(store.rel_capacity(), 1u);
+  store.delete_relationship(r);  // idempotent
+  EXPECT_EQ(store.rel_count(), 0u);
+}
+
+TEST(GraphStore, NodeProperties) {
+  GraphStore store;
+  const NodeId n = store.create_node({"User"});
+  store.set_node_property(n, "name", PropertyValue("ALICE"));
+  store.set_node_property(n, "enabled", PropertyValue(true));
+  ASSERT_NE(store.node_property(n, "name"), nullptr);
+  EXPECT_EQ(store.node_property(n, "name")->as_string(), "ALICE");
+  EXPECT_EQ(store.node_property(n, "missing"), nullptr);
+  store.set_node_property(n, "name", PropertyValue("BOB"));
+  EXPECT_EQ(store.node_property(n, "name")->as_string(), "BOB");
+}
+
+TEST(GraphStore, FindNodesWithoutIndexScansLabel) {
+  GraphStore store;
+  for (int i = 0; i < 10; ++i) {
+    PropertyList props;
+    put_property(props, store.intern_key("name"),
+                 PropertyValue("U" + std::to_string(i)));
+    store.create_node_interned({store.intern_label("User")}, std::move(props));
+  }
+  const auto found = store.find_nodes("User", "name", PropertyValue("U7"));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 7u);
+  EXPECT_TRUE(store.find_nodes("User", "name", PropertyValue("nope")).empty());
+  EXPECT_TRUE(store.find_nodes("Ghost", "name", PropertyValue("U7")).empty());
+}
+
+TEST(GraphStore, IndexAcceleratedLookupStaysCorrectAfterUpdates) {
+  GraphStore store;
+  store.create_index("User", "name");
+  const NodeId a = store.create_node({"User"});
+  store.set_node_property(a, "name", PropertyValue("X"));
+  EXPECT_EQ(store.find_nodes("User", "name", PropertyValue("X")),
+            (std::vector<NodeId>{a}));
+  // Change the value: old bucket entry must not produce a stale hit.
+  store.set_node_property(a, "name", PropertyValue("Y"));
+  EXPECT_TRUE(store.find_nodes("User", "name", PropertyValue("X")).empty());
+  EXPECT_EQ(store.find_nodes("User", "name", PropertyValue("Y")),
+            (std::vector<NodeId>{a}));
+}
+
+TEST(GraphStore, IndexBackfillsExistingNodes) {
+  GraphStore store;
+  PropertyList props;
+  put_property(props, store.intern_key("name"), PropertyValue("EARLY"));
+  const NodeId n = store.create_node_interned({store.intern_label("User")},
+                                              std::move(props));
+  store.create_index("User", "name");
+  EXPECT_EQ(store.find_nodes("User", "name", PropertyValue("EARLY")),
+            (std::vector<NodeId>{n}));
+}
+
+TEST(GraphStore, InternersStable) {
+  GraphStore store;
+  const LabelId l1 = store.intern_label("User");
+  const LabelId l2 = store.intern_label("User");
+  EXPECT_EQ(l1, l2);
+  EXPECT_EQ(store.label_name(l1), "User");
+  const PropertyKeyId k = store.intern_key("name");
+  EXPECT_EQ(store.key_name(k), "name");
+  const RelTypeId t = store.intern_rel_type("AdminTo");
+  EXPECT_EQ(store.rel_type_name(t), "AdminTo");
+  EXPECT_FALSE(store.find_label("Nope").has_value());
+}
+
+TEST(GraphStore, ApproximateBytesGrowsWithContent) {
+  GraphStore store;
+  const std::size_t empty = store.approximate_bytes();
+  for (int i = 0; i < 1000; ++i) {
+    PropertyList props;
+    put_property(props, store.intern_key("name"),
+                 PropertyValue("NODE" + std::to_string(i)));
+    store.create_node_interned({store.intern_label("User")}, std::move(props));
+  }
+  EXPECT_GT(store.approximate_bytes(), empty);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

@@ -1,0 +1,169 @@
+// Cross-cutting property sweep: global invariants that must hold for every
+// generator, preset and scale — the "always true" contracts of the public
+// API, checked end-to-end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "analytics/ad_metrics.hpp"
+#include "analytics/metrics.hpp"
+#include "analytics/reachability.hpp"
+#include "analytics/rp_rate.hpp"
+#include "analytics/sessions.hpp"
+#include "baselines/adsimulator.hpp"
+#include "baselines/dbcreator.hpp"
+#include "baselines/university.hpp"
+#include "core/generator.hpp"
+#include "graphdb/csv_io.hpp"
+#include "adcore/convert.hpp"
+
+namespace adsynth {
+namespace {
+
+using adcore::AttackGraph;
+
+struct Dataset {
+  const char* name;
+  AttackGraph (*make)(std::size_t nodes, std::uint64_t seed);
+  std::size_t nodes;
+};
+
+AttackGraph make_secure(std::size_t nodes, std::uint64_t seed) {
+  return core::generate_ad(core::GeneratorConfig::secure(nodes, seed)).graph;
+}
+AttackGraph make_vulnerable(std::size_t nodes, std::uint64_t seed) {
+  return core::generate_ad(core::GeneratorConfig::vulnerable(nodes, seed))
+      .graph;
+}
+AttackGraph make_highly_secure(std::size_t nodes, std::uint64_t seed) {
+  return core::generate_ad(core::GeneratorConfig::highly_secure(nodes, seed))
+      .graph;
+}
+AttackGraph make_db(std::size_t nodes, std::uint64_t seed) {
+  baselines::DbCreatorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  return baselines::dbcreator_graph(cfg);
+}
+AttackGraph make_sim(std::size_t nodes, std::uint64_t seed) {
+  baselines::AdSimulatorConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  return baselines::adsimulator_graph(cfg);
+}
+AttackGraph make_uni(std::size_t nodes, std::uint64_t seed) {
+  baselines::UniversityConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  return baselines::university_graph(cfg);
+}
+
+class DatasetSweep : public ::testing::TestWithParam<Dataset> {
+ protected:
+  AttackGraph graph = GetParam().make(GetParam().nodes, 42);
+};
+
+TEST_P(DatasetSweep, MetricsAreInternallyConsistent) {
+  const auto m = analytics::compute_metrics(graph);
+  EXPECT_EQ(m.nodes, graph.node_count());
+  EXPECT_EQ(m.edges, graph.edge_count());
+  EXPECT_EQ(std::accumulate(m.nodes_by_kind.begin(), m.nodes_by_kind.end(),
+                            std::size_t{0}),
+            m.nodes);
+  EXPECT_EQ(std::accumulate(m.edges_by_kind.begin(), m.edges_by_kind.end(),
+                            std::size_t{0}),
+            m.edges);
+  EXPECT_GE(m.density, 0.0);
+  EXPECT_LT(m.density, 1.0);
+}
+
+TEST_P(DatasetSweep, ReachabilityFractionsBounded) {
+  const auto reach = analytics::users_reaching_da(graph);
+  EXPECT_LE(reach.users_with_path, reach.regular_users);
+  EXPECT_GE(reach.fraction, 0.0);
+  EXPECT_LE(reach.fraction, 1.0);
+  EXPECT_EQ(reach.distances.size(), reach.regular_users);
+  // Distances are either unreachable or positive (a regular user is never
+  // the DA group itself).
+  for (const auto d : reach.distances) {
+    EXPECT_TRUE(d == analytics::kUnreachable || d > 0);
+  }
+}
+
+TEST_P(DatasetSweep, RpRatesAreProbabilities) {
+  const auto rp = analytics::route_penetration(graph);
+  EXPECT_EQ(rp.rate.size(), graph.node_count());
+  for (const double r : rp.rate) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(rp.rate[graph.domain_admins()], 0.0);
+  EXPECT_LE(rp.evaluated_sources, rp.contributing_sources);
+  // Sources exist iff users reach DA.
+  const auto reach = analytics::users_reaching_da(graph);
+  EXPECT_EQ(rp.contributing_sources, reach.users_with_path);
+}
+
+TEST_P(DatasetSweep, AnalyticsAreDeterministic) {
+  const auto rp1 = analytics::route_penetration(graph);
+  const auto rp2 = analytics::route_penetration(graph);
+  EXPECT_EQ(rp1.rate, rp2.rate);
+  const auto s1 = analytics::session_stats(graph);
+  const auto s2 = analytics::session_stats(graph);
+  EXPECT_EQ(s1.counts, s2.counts);
+}
+
+TEST_P(DatasetSweep, SessionStatsConsistent) {
+  const auto s = analytics::session_stats(graph);
+  std::size_t sum = 0;
+  for (const auto c : s.counts) {
+    sum += c;
+    EXPECT_LE(c, s.peak);
+  }
+  EXPECT_EQ(sum, s.total_sessions);
+  const auto top = s.top(10);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i], top[i - 1]);
+  }
+}
+
+TEST_P(DatasetSweep, AdMetricsRatiosBounded) {
+  const auto r = analytics::compute_ad_metrics(graph);
+  for (const double ratio :
+       {r.enabled_user_ratio, r.admin_user_ratio,
+        r.computers_with_admin_ratio, r.computers_with_session_ratio}) {
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
+  EXPECT_LE(r.empty_groups, r.groups);
+}
+
+TEST_P(DatasetSweep, StoreRoundTripPreservesCounts) {
+  const auto store = adcore::to_store(graph);
+  EXPECT_EQ(store.node_count(), graph.node_count());
+  EXPECT_EQ(store.rel_count(), graph.edge_count());
+  // CSV row counts match (header + one line per record).
+  std::ostringstream nodes_csv;
+  graphdb::export_nodes_csv(store, nodes_csv);
+  const std::string csv = nodes_csv.str();
+  const auto newlines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(newlines, graph.node_count() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, DatasetSweep,
+    ::testing::Values(Dataset{"secure_small", &make_secure, 1000},
+                      Dataset{"secure_mid", &make_secure, 8000},
+                      Dataset{"vulnerable_small", &make_vulnerable, 1000},
+                      Dataset{"vulnerable_mid", &make_vulnerable, 8000},
+                      Dataset{"highly_secure", &make_highly_secure, 4000},
+                      Dataset{"dbcreator", &make_db, 1500},
+                      Dataset{"adsimulator", &make_sim, 1500},
+                      Dataset{"university", &make_uni, 8000}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace adsynth

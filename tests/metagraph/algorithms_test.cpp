@@ -1,0 +1,132 @@
+#include "metagraph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsynth::metagraph {
+namespace {
+
+/// Builds the Fig. 2-style fixture:
+///   e1: {x1,x2} -> {x4}
+///   e2: {x4}    -> {x5,x6}
+///   e3: {x3,x5} -> {x7}
+struct Fixture {
+  Metagraph mg;
+  std::vector<ElementId> x;  // x[1]..x[7], x[0] unused
+
+  Fixture() {
+    x.push_back(kNoElement);
+    for (int i = 1; i <= 7; ++i) {
+      x.push_back(mg.add_element("x" + std::to_string(i)));
+    }
+    const SetId v1 = mg.add_set("V1", {x[1], x[2]});
+    const SetId w1 = mg.add_set("W1", {x[4]});
+    const SetId w2 = mg.add_set("W2", {x[5], x[6]});
+    const SetId v3 = mg.add_set("V3", {x[3], x[5]});
+    const SetId w3 = mg.add_set("W3", {x[7]});
+    mg.add_edge(v1, w1, {"e1", {}});
+    mg.add_edge(w1, w2, {"e2", {}});
+    mg.add_edge(v3, w3, {"e3", {}});
+  }
+};
+
+TEST(Reach, DisjunctiveFiresOnAnyInvertexMember) {
+  Fixture f;
+  // From x1 alone: e1 fires (disjunctive), then e2, then e3 via x5.
+  const ReachResult r = reach(f.mg, {f.x[1]}, ReachMode::kDisjunctive);
+  EXPECT_TRUE(r.element_reached[f.x[4]]);
+  EXPECT_TRUE(r.element_reached[f.x[5]]);
+  EXPECT_TRUE(r.element_reached[f.x[6]]);
+  EXPECT_TRUE(r.element_reached[f.x[7]]);
+  EXPECT_FALSE(r.element_reached[f.x[2]]);
+  EXPECT_FALSE(r.element_reached[f.x[3]]);
+  EXPECT_EQ(r.reached_count(), 5u);  // x1, x4, x5, x6, x7
+}
+
+TEST(Reach, ConjunctiveRequiresWholeInvertex) {
+  Fixture f;
+  // From x1 alone: e1 must NOT fire (x2 missing).
+  const ReachResult partial = reach(f.mg, {f.x[1]}, ReachMode::kConjunctive);
+  EXPECT_FALSE(partial.element_reached[f.x[4]]);
+  EXPECT_EQ(partial.reached_count(), 1u);
+  // From {x1, x2}: e1 and e2 fire; e3 still blocked (x3 missing).
+  const ReachResult both =
+      reach(f.mg, {f.x[1], f.x[2]}, ReachMode::kConjunctive);
+  EXPECT_TRUE(both.element_reached[f.x[4]]);
+  EXPECT_TRUE(both.element_reached[f.x[5]]);
+  EXPECT_FALSE(both.element_reached[f.x[7]]);
+  // Adding x3 completes the metapath to x7.
+  const ReachResult full =
+      reach(f.mg, {f.x[1], f.x[2], f.x[3]}, ReachMode::kConjunctive);
+  EXPECT_TRUE(full.element_reached[f.x[7]]);
+}
+
+TEST(Reach, HasMetapathConvenience) {
+  Fixture f;
+  const SetId v1 = *f.mg.find_set("V1");
+  EXPECT_TRUE(has_metapath(f.mg, v1, f.x[6], ReachMode::kConjunctive));
+  EXPECT_FALSE(has_metapath(f.mg, v1, f.x[7], ReachMode::kConjunctive));
+  EXPECT_TRUE(has_metapath(f.mg, v1, f.x[7], ReachMode::kDisjunctive));
+}
+
+TEST(Reach, WitnessEdgesReconstructChain) {
+  Fixture f;
+  const ReachResult r = reach(f.mg, {f.x[1]}, ReachMode::kDisjunctive);
+  const auto chain = witness_edges(f.mg, r, f.x[7]);
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_FALSE(chain->empty());
+  // The last edge of the chain must produce x7.
+  const MetaEdge& last = f.mg.edge(chain->back());
+  EXPECT_TRUE(f.mg.contains(last.outvertex, f.x[7]));
+  // Sources have empty chains; unreached elements yield nullopt.
+  EXPECT_TRUE(witness_edges(f.mg, r, f.x[1])->empty());
+  EXPECT_FALSE(witness_edges(f.mg, r, f.x[3]).has_value());
+}
+
+TEST(Reach, EmptySourcesReachNothing) {
+  Fixture f;
+  const ReachResult r = reach(f.mg, {}, ReachMode::kDisjunctive);
+  EXPECT_EQ(r.reached_count(), 0u);
+}
+
+TEST(Reach, InvalidSourceThrows) {
+  Fixture f;
+  EXPECT_THROW(reach(f.mg, {999}, ReachMode::kDisjunctive),
+               std::out_of_range);
+}
+
+TEST(Reach, CyclicMetagraphTerminates) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const ElementId b = mg.add_element("b");
+  const SetId sa = mg.add_set("A", {a});
+  const SetId sb = mg.add_set("B", {b});
+  mg.add_edge(sa, sb, {"f", {}});
+  mg.add_edge(sb, sa, {"g", {}});
+  const ReachResult r = reach(mg, {a}, ReachMode::kDisjunctive);
+  EXPECT_EQ(r.reached_count(), 2u);
+  EXPECT_TRUE(r.edge_fired[0]);
+  EXPECT_TRUE(r.edge_fired[1]);
+}
+
+TEST(Stats, CountsAndExpansionBound) {
+  Fixture f;
+  const MetagraphStats s = compute_stats(f.mg);
+  EXPECT_EQ(s.elements, 7u);
+  EXPECT_EQ(s.sets, 5u);
+  EXPECT_EQ(s.edges, 3u);
+  EXPECT_EQ(s.membership, 8u);
+  // e1: 2·1, e2: 1·2, e3: 2·1 → 6 element pairs.
+  EXPECT_EQ(s.expanded_edge_count, 6u);
+  EXPECT_DOUBLE_EQ(s.mean_invertex_size, (2 + 1 + 2) / 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_outvertex_size, (1 + 2 + 1) / 3.0);
+}
+
+TEST(Stats, EmptyMetagraph) {
+  const MetagraphStats s = compute_stats(Metagraph{});
+  EXPECT_EQ(s.elements, 0u);
+  EXPECT_EQ(s.edges, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_invertex_size, 0.0);
+}
+
+}  // namespace
+}  // namespace adsynth::metagraph

@@ -1,0 +1,172 @@
+#include "metagraph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsynth::metagraph {
+namespace {
+
+/// Chain with a parallel branch:
+///   e0: {a} -> {b}
+///   e1: {b} -> {t}
+///   e2: {a} -> {c}
+///   e3: {c} -> {t}
+/// Two edge-disjoint routes a→t: no bridges; cutset needs 2 edges.
+struct Diamond {
+  Metagraph mg;
+  ElementId a, b, c, t;
+  SetId sa, sb, sc, st;
+
+  Diamond() {
+    a = mg.add_element("a");
+    b = mg.add_element("b");
+    c = mg.add_element("c");
+    t = mg.add_element("t");
+    sa = mg.add_set("A", {a});
+    sb = mg.add_set("B", {b});
+    sc = mg.add_set("C", {c});
+    st = mg.add_set("T", {t});
+    mg.add_edge(sa, sb, {"e0", {}});
+    mg.add_edge(sb, st, {"e1", {}});
+    mg.add_edge(sa, sc, {"e2", {}});
+    mg.add_edge(sc, st, {"e3", {}});
+  }
+};
+
+TEST(ReachMask, BlockedEdgesExcluded) {
+  Diamond d;
+  std::vector<bool> blocked(d.mg.edge_count(), false);
+  blocked[0] = true;
+  blocked[2] = true;
+  const ReachResult r =
+      reach(d.mg, {d.a}, ReachMode::kDisjunctive, &blocked);
+  EXPECT_FALSE(r.element_reached[d.t]);
+  EXPECT_FALSE(r.element_reached[d.b]);
+  std::vector<bool> wrong(2, false);
+  EXPECT_THROW(reach(d.mg, {d.a}, ReachMode::kDisjunctive, &wrong),
+               std::invalid_argument);
+}
+
+TEST(ReachableEdges, FiredEdgesOnly) {
+  Diamond d;
+  const auto edges =
+      reachable_edges(d.mg, {d.b}, ReachMode::kDisjunctive);
+  // From b only e1 fires.
+  EXPECT_EQ(edges, (std::vector<EdgeId>{1}));
+  EXPECT_EQ(reachable_edges(d.mg, {d.a}, ReachMode::kDisjunctive).size(), 4u);
+}
+
+TEST(Bridges, DiamondHasNone) {
+  Diamond d;
+  EXPECT_TRUE(bridge_edges(d.mg, {d.a}, d.t, ReachMode::kDisjunctive).empty());
+  EXPECT_FALSE(is_bridge(d.mg, {d.a}, d.t, 1, ReachMode::kDisjunctive));
+}
+
+TEST(Bridges, ChainIsAllBridges) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const ElementId b = mg.add_element("b");
+  const ElementId t = mg.add_element("t");
+  const SetId sa = mg.add_set("A", {a});
+  const SetId sb = mg.add_set("B", {b});
+  const SetId st = mg.add_set("T", {t});
+  mg.add_edge(sa, sb, {"e0", {}});
+  mg.add_edge(sb, st, {"e1", {}});
+  const auto bridges = bridge_edges(mg, {a}, t, ReachMode::kDisjunctive);
+  EXPECT_EQ(bridges, (std::vector<EdgeId>{0, 1}));
+  EXPECT_TRUE(is_bridge(mg, {a}, t, 0, ReachMode::kDisjunctive));
+}
+
+TEST(Bridges, UnreachableTargetHasNoBridges) {
+  Diamond d;
+  EXPECT_TRUE(bridge_edges(d.mg, {d.t}, d.a, ReachMode::kDisjunctive).empty());
+  EXPECT_FALSE(is_bridge(d.mg, {d.t}, d.a, 0, ReachMode::kDisjunctive));
+}
+
+TEST(Cutset, DiamondNeedsTwoEdges) {
+  Diamond d;
+  const auto cut = greedy_cutset(d.mg, {d.a}, d.t, ReachMode::kDisjunctive);
+  EXPECT_EQ(cut.size(), 2u);
+  // Verify the cut actually disconnects.
+  std::vector<bool> blocked(d.mg.edge_count(), false);
+  for (const EdgeId e : cut) blocked[e] = true;
+  const ReachResult r =
+      reach(d.mg, {d.a}, ReachMode::kDisjunctive, &blocked);
+  EXPECT_FALSE(r.element_reached[d.t]);
+}
+
+TEST(Cutset, AlreadyUnreachableIsEmpty) {
+  Diamond d;
+  EXPECT_TRUE(
+      greedy_cutset(d.mg, {d.t}, d.a, ReachMode::kDisjunctive).empty());
+}
+
+TEST(Cutset, SourceTargetThrows) {
+  Diamond d;
+  EXPECT_THROW(greedy_cutset(d.mg, {d.t}, d.t, ReachMode::kDisjunctive),
+               std::logic_error);
+}
+
+TEST(Project, KeepsIntersectedStructure) {
+  Diamond d;
+  // Keep a, b, t: the c-branch disappears.
+  const Projection p = project(d.mg, {d.a, d.b, d.t});
+  EXPECT_EQ(p.graph.element_count(), 3u);
+  EXPECT_EQ(p.graph.set_count(), 3u);  // C's intersection is empty
+  EXPECT_EQ(p.graph.edge_count(), 2u);
+  EXPECT_EQ(p.original_edge, (std::vector<EdgeId>{0, 1}));
+  // Reachability is preserved within the projection.
+  const ElementId pa = 0;  // 'a' is the smallest kept id
+  const ReachResult r = reach(p.graph, {pa}, ReachMode::kDisjunctive);
+  EXPECT_EQ(r.reached_count(), 3u);
+}
+
+TEST(Project, MixedSetsShrink) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const ElementId b = mg.add_element("b");
+  const SetId both = mg.add_set("AB", {a, b});
+  const SetId only_b = mg.add_set("B", {b});
+  mg.add_edge(both, only_b, {"p", {}});
+  const Projection p = project(mg, {a});
+  EXPECT_EQ(p.graph.element_count(), 1u);
+  EXPECT_EQ(p.graph.set_count(), 1u);  // AB ∩ {a} = {a}; B drops
+  EXPECT_EQ(p.graph.members(0).size(), 1u);
+  EXPECT_EQ(p.graph.edge_count(), 0u);  // outvertex vanished
+  EXPECT_EQ(p.original_set, (std::vector<SetId>{both}));
+}
+
+TEST(Project, DuplicatesAndValidation) {
+  Diamond d;
+  const Projection p = project(d.mg, {d.a, d.a, d.a});
+  EXPECT_EQ(p.graph.element_count(), 1u);
+  EXPECT_THROW(project(d.mg, {999}), std::out_of_range);
+}
+
+TEST(Cutset, ConjunctiveModeRespectsSemantics) {
+  // Conjunctive: e needs BOTH members; cutting the feeder of one member
+  // already blocks the edge.
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const ElementId b = mg.add_element("b");
+  const ElementId c = mg.add_element("c");
+  const ElementId t = mg.add_element("t");
+  const SetId sa = mg.add_set("A", {a});
+  const SetId sb = mg.add_set("B", {b});
+  const SetId sbc = mg.add_set("BC", {b, c});
+  const SetId st = mg.add_set("T", {t});
+  mg.add_edge(sa, sb, {"feed_b", {}});   // provides b
+  (void)sbc;
+  mg.add_edge(mg.add_set("C0", {c}), st, {"noise", {}});  // unrelated
+  mg.add_edge(sbc, st, {"need_bc", {}});
+  // From {a, c}: conjunctive reach gets b via feed_b, then bc complete → t.
+  const auto cut =
+      greedy_cutset(mg, {a, c}, t, ReachMode::kConjunctive);
+  EXPECT_FALSE(cut.empty());
+  std::vector<bool> blocked(mg.edge_count(), false);
+  for (const EdgeId e : cut) blocked[e] = true;
+  EXPECT_FALSE(reach(mg, {a, c}, ReachMode::kConjunctive, &blocked)
+                   .element_reached[t]);
+}
+
+}  // namespace
+}  // namespace adsynth::metagraph

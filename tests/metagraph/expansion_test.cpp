@@ -1,0 +1,86 @@
+#include "metagraph/expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adsynth::metagraph {
+namespace {
+
+TEST(Expand, ProducesAllMemberPairs) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const ElementId b = mg.add_element("b");
+  const ElementId c = mg.add_element("c");
+  const SetId v = mg.add_set("V", {a, b});
+  const SetId w = mg.add_set("W", {c});
+  mg.add_edge(v, w, {"GenericAll", {}});
+  const ExpandedGraph g = expand(mg);
+  EXPECT_EQ(g.element_count, 3u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  ASSERT_EQ(g.labels.size(), 1u);
+  EXPECT_EQ(g.labels[0], "GenericAll");
+  std::set<std::pair<ElementId, ElementId>> pairs;
+  for (const auto& e : g.edges) {
+    pairs.emplace(e.source, e.target);
+    EXPECT_EQ(e.label, 0u);
+    EXPECT_EQ(e.origin, 0u);
+  }
+  EXPECT_TRUE(pairs.count({a, c}));
+  EXPECT_TRUE(pairs.count({b, c}));
+}
+
+TEST(Expand, InternsLabelsAcrossEdges) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const SetId s = mg.add_set("S", {a});
+  mg.add_edge(s, s, {"X", {}});
+  mg.add_edge(s, s, {"Y", {}});
+  mg.add_edge(s, s, {"X", {}});
+  const ExpandedGraph g = expand(mg);
+  EXPECT_EQ(g.labels.size(), 2u);
+  EXPECT_EQ(g.edges.size(), 3u);
+}
+
+TEST(Expand, EmptySetsSkippedByDefault) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const SetId v = mg.add_set("V", {a});
+  const SetId empty = mg.add_set("E");
+  mg.add_edge(v, empty, {"p", {}});
+  EXPECT_TRUE(expand(mg).edges.empty());
+  ExpandOptions strict;
+  strict.allow_empty_sets = false;
+  EXPECT_THROW(expand(mg, strict), std::invalid_argument);
+}
+
+TEST(Expand, CapGuardsExplosion) {
+  Metagraph mg;
+  std::vector<ElementId> members;
+  for (int i = 0; i < 100; ++i) members.push_back(mg.add_element("x"));
+  const SetId v = mg.add_set("V", members);
+  mg.add_edge(v, v, {"p", {}});  // 100×100 = 10000 pairs
+  ExpandOptions tight;
+  tight.max_edges = 9999;
+  EXPECT_THROW(expand(mg, tight), std::length_error);
+  tight.max_edges = 10000;
+  EXPECT_EQ(expand(mg, tight).edges.size(), 10000u);
+}
+
+TEST(Expand, DeduplicateCollapsesParallelPairs) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const ElementId b = mg.add_element("b");
+  const SetId v = mg.add_set("V", {a});
+  const SetId w = mg.add_set("W", {b});
+  mg.add_edge(v, w, {"p", {}});
+  mg.add_edge(v, w, {"p", {}});  // same denotation through another edge
+  mg.add_edge(v, w, {"q", {}});  // different label survives
+  ExpandedGraph g = expand(mg);
+  EXPECT_EQ(g.edges.size(), 3u);
+  g.deduplicate();
+  EXPECT_EQ(g.edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace adsynth::metagraph

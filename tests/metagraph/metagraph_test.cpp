@@ -1,0 +1,81 @@
+#include "metagraph/metagraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsynth::metagraph {
+namespace {
+
+TEST(Metagraph, ElementsAndSets) {
+  Metagraph mg;
+  const ElementId x1 = mg.add_element("x1");
+  const ElementId x2 = mg.add_element("x2");
+  const SetId s = mg.add_set("S", {x2, x1, x1});  // dedup + sort
+  EXPECT_EQ(mg.element_count(), 2u);
+  EXPECT_EQ(mg.set_count(), 1u);
+  EXPECT_EQ(mg.members(s), (std::vector<ElementId>{x1, x2}));
+  EXPECT_EQ(mg.element_name(x1), "x1");
+  EXPECT_EQ(mg.set_name(s), "S");
+  EXPECT_TRUE(mg.contains(s, x1));
+  EXPECT_EQ(mg.membership_size(), 2u);
+}
+
+TEST(Metagraph, AddToSetIsIdempotent) {
+  Metagraph mg;
+  const ElementId x = mg.add_element("x");
+  const SetId s = mg.add_set("S");
+  mg.add_to_set(s, x);
+  mg.add_to_set(s, x);
+  EXPECT_EQ(mg.members(s).size(), 1u);
+  EXPECT_EQ(mg.membership_size(), 1u);
+  EXPECT_EQ(mg.sets_of(x), (std::vector<SetId>{s}));
+}
+
+TEST(Metagraph, EdgesTrackIncidence) {
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const ElementId b = mg.add_element("b");
+  const SetId v = mg.add_set("V", {a});
+  const SetId w = mg.add_set("W", {b});
+  const EdgeId e = mg.add_edge(v, w, {"GenericAll", {{"inherited", "true"}}});
+  EXPECT_EQ(mg.edge_count(), 1u);
+  EXPECT_EQ(mg.edge(e).invertex, v);
+  EXPECT_EQ(mg.edge(e).outvertex, w);
+  EXPECT_EQ(mg.edge(e).attributes.label, "GenericAll");
+  EXPECT_EQ(mg.edge(e).attributes.properties.at("inherited"), "true");
+  EXPECT_EQ(mg.edges_from(v), (std::vector<EdgeId>{e}));
+  EXPECT_EQ(mg.edges_into(w), (std::vector<EdgeId>{e}));
+  EXPECT_TRUE(mg.edges_from(w).empty());
+}
+
+TEST(Metagraph, FindSetByName) {
+  Metagraph mg;
+  const SetId s = mg.add_set("Admins");
+  EXPECT_EQ(mg.find_set("Admins"), std::optional<SetId>(s));
+  EXPECT_EQ(mg.find_set("Nope"), std::nullopt);
+}
+
+TEST(Metagraph, InvalidIdsThrow) {
+  Metagraph mg;
+  EXPECT_THROW(mg.element_name(0), std::out_of_range);
+  EXPECT_THROW(mg.set_name(0), std::out_of_range);
+  EXPECT_THROW(mg.edge(0), std::out_of_range);
+  EXPECT_THROW(mg.add_set("S", {7}), std::out_of_range);
+  const SetId s = mg.add_set("S");
+  EXPECT_THROW(mg.add_to_set(s, 9), std::out_of_range);
+  EXPECT_THROW(mg.add_edge(s, 5, {}), std::out_of_range);
+}
+
+TEST(Metagraph, SetsGrowAfterEdgeCreation) {
+  // Fig. 2 semantics: edges reference sets, so membership added later is
+  // visible through existing edges.
+  Metagraph mg;
+  const ElementId a = mg.add_element("a");
+  const SetId v = mg.add_set("V");
+  const SetId w = mg.add_set("W");
+  const EdgeId e = mg.add_edge(v, w, {"p", {}});
+  mg.add_to_set(v, a);
+  EXPECT_TRUE(mg.contains(mg.edge(e).invertex, a));
+}
+
+}  // namespace
+}  // namespace adsynth::metagraph

@@ -1,0 +1,90 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adsynth::util {
+namespace {
+
+TEST(Guid, FormatShape) {
+  Rng rng(1);
+  const std::string s = Guid::random(rng).to_string();
+  ASSERT_EQ(s.size(), 36u);
+  EXPECT_EQ(s[8], '-');
+  EXPECT_EQ(s[13], '-');
+  EXPECT_EQ(s[18], '-');
+  EXPECT_EQ(s[23], '-');
+  // Version nibble is 4; variant nibble is 8..b.
+  EXPECT_EQ(s[14], '4');
+  EXPECT_TRUE(s[19] == '8' || s[19] == '9' || s[19] == 'a' || s[19] == 'b');
+}
+
+TEST(Guid, RoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Guid g = Guid::random(rng);
+    EXPECT_EQ(Guid::parse(g.to_string()), g);
+  }
+}
+
+TEST(Guid, ParseRejectsMalformed) {
+  EXPECT_THROW(Guid::parse(""), std::invalid_argument);
+  EXPECT_THROW(Guid::parse("not-a-guid"), std::invalid_argument);
+  EXPECT_THROW(Guid::parse("00000000-0000-0000-0000-00000000000g"),
+               std::invalid_argument);
+  EXPECT_THROW(Guid::parse("00000000+0000-0000-0000-000000000000"),
+               std::invalid_argument);
+}
+
+TEST(Guid, DistinctAcrossDraws) {
+  Rng rng(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(Guid::random(rng).to_string());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Sid, FormatAndRoundTrip) {
+  const Sid sid{111, 222, 333, 512};
+  EXPECT_EQ(sid.to_string(), "S-1-5-21-111-222-333-512");
+  EXPECT_EQ(sid.domain_part(), "S-1-5-21-111-222-333");
+  EXPECT_EQ(Sid::parse(sid.to_string()), sid);
+}
+
+TEST(Sid, ParseRejectsMalformed) {
+  EXPECT_THROW(Sid::parse("S-1-5-32-544"), std::invalid_argument);
+  EXPECT_THROW(Sid::parse("S-1-5-21-1-2-3"), std::invalid_argument);
+  EXPECT_THROW(Sid::parse("S-1-5-21-1-2-3-4-5"), std::invalid_argument);
+  EXPECT_THROW(Sid::parse("S-1-5-21-a-2-3-4"), std::invalid_argument);
+}
+
+TEST(SidFactory, SequentialRidsFromOneThousand) {
+  Rng rng(4);
+  SidFactory factory(rng);
+  const Sid first = factory.next();
+  const Sid second = factory.next();
+  EXPECT_EQ(first.rid, 1000u);
+  EXPECT_EQ(second.rid, 1001u);
+  EXPECT_EQ(factory.issued(), 2u);
+  // Same domain part.
+  EXPECT_EQ(first.domain_part(), second.domain_part());
+}
+
+TEST(SidFactory, WellKnownRidsShareDomain) {
+  Rng rng(5);
+  SidFactory factory(rng);
+  const Sid da = factory.well_known(512);
+  EXPECT_EQ(da.rid, 512u);
+  EXPECT_EQ(da.domain_part(), factory.next().domain_part());
+}
+
+TEST(SidFactory, DifferentSeedsGiveDifferentDomains) {
+  Rng a(6);
+  Rng b(7);
+  SidFactory fa(a);
+  SidFactory fb(b);
+  EXPECT_NE(fa.well_known(512).domain_part(), fb.well_known(512).domain_part());
+}
+
+}  // namespace
+}  // namespace adsynth::util

@@ -1,0 +1,142 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adsynth::util {
+namespace {
+
+TEST(JsonValue, ScalarsRoundTrip) {
+  EXPECT_EQ(JsonValue::parse("null").dump(), "null");
+  EXPECT_EQ(JsonValue::parse("true").dump(), "true");
+  EXPECT_EQ(JsonValue::parse("false").dump(), "false");
+  EXPECT_EQ(JsonValue::parse("42").dump(), "42");
+  EXPECT_EQ(JsonValue::parse("-7").dump(), "-7");
+  EXPECT_EQ(JsonValue::parse("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, NumbersClassifiedIntOrDouble) {
+  EXPECT_TRUE(JsonValue::parse("3").is_int());
+  EXPECT_TRUE(JsonValue::parse("3.5").is_double());
+  EXPECT_TRUE(JsonValue::parse("3e2").is_double());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3").as_double(), 3.0);  // widening
+  EXPECT_EQ(JsonValue::parse("9223372036854775807").as_int(),
+            9223372036854775807LL);
+}
+
+TEST(JsonValue, NestedStructuresRoundTrip) {
+  const std::string doc =
+      R"({"a":[1,2,{"b":null}],"c":{"d":true,"e":"x"}})";
+  EXPECT_EQ(JsonValue::parse(doc).dump(), doc);
+}
+
+TEST(JsonValue, ObjectAccessors) {
+  const JsonValue v = JsonValue::parse(R"({"name":"DA","count":3})");
+  EXPECT_TRUE(v.contains("name"));
+  EXPECT_FALSE(v.contains("missing"));
+  EXPECT_EQ(v.at("name").as_string(), "DA");
+  EXPECT_EQ(v.at("count").as_int(), 3);
+  EXPECT_THROW(v.at("missing"), std::out_of_range);
+  EXPECT_THROW(v.at("name").as_int(), std::runtime_error);
+}
+
+TEST(JsonValue, StringEscapesRoundTrip) {
+  const JsonValue v("a\"b\\c\nd\te\x01");
+  const std::string dumped = v.dump();
+  EXPECT_EQ(JsonValue::parse(dumped).as_string(), v.as_string());
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonValue, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValue, ParseErrors) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"\\ud83d\""), std::runtime_error);
+}
+
+TEST(JsonValue, WhitespaceTolerated) {
+  const JsonValue v = JsonValue::parse("  {\n\t\"a\" :\r [ 1 , 2 ]  }  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonValue, ObjectKeysSortedInDump) {
+  JsonObject o;
+  o["b"] = JsonValue(1);
+  o["a"] = JsonValue(2);
+  EXPECT_EQ(JsonValue(std::move(o)).dump(), R"({"a":2,"b":1})");
+}
+
+TEST(JsonValue, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+}
+
+TEST(JsonWriter, StreamsNestedDocument) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("type", "node");
+  w.member("id", std::int64_t{7});
+  w.key("labels");
+  w.begin_array();
+  w.value("User");
+  w.value("Base");
+  w.end_array();
+  w.key("props");
+  w.begin_object();
+  w.member("enabled", true);
+  w.member("score", 1.5);
+  w.member("none", nullptr);
+  w.end_object();
+  w.end_object();
+  const JsonValue parsed = JsonValue::parse(out.str());
+  EXPECT_EQ(parsed.at("type").as_string(), "node");
+  EXPECT_EQ(parsed.at("id").as_int(), 7);
+  EXPECT_EQ(parsed.at("labels").as_array().size(), 2u);
+  EXPECT_TRUE(parsed.at("props").at("enabled").as_bool());
+  EXPECT_TRUE(parsed.at("props").at("none").is_null());
+}
+
+TEST(JsonWriter, RejectsMisuse) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::logic_error);       // value without key
+  w.key("a");
+  EXPECT_THROW(w.key("b"), std::logic_error);       // consecutive keys
+  w.value(1);
+  EXPECT_THROW(w.end_array(), std::logic_error);    // mismatched close
+  w.end_object();
+}
+
+TEST(JsonWriter, KeyOutsideObjectThrows) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_array();
+  EXPECT_THROW(w.key("a"), std::logic_error);
+}
+
+TEST(JsonEscape, ControlCharactersEscaped) {
+  std::string out;
+  json_escape("a\x02z", out);
+  EXPECT_EQ(out, "\"a\\u0002z\"");
+}
+
+}  // namespace
+}  // namespace adsynth::util

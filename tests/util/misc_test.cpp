@@ -1,0 +1,167 @@
+// Tests for strings, cli, table and timer helpers.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace adsynth::util {
+namespace {
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_upper("AbC-9z"), "ABC-9Z");
+  EXPECT_EQ(to_lower("AbC-9Z"), "abc-9z");
+}
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWithAndIequals) {
+  EXPECT_TRUE(starts_with("MATCH (n)", "MATCH"));
+  EXPECT_FALSE(starts_with("MA", "MATCH"));
+  EXPECT_TRUE(iequals("CrEaTe", "create"));
+  EXPECT_FALSE(iequals("create", "creat"));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1000000), "1,000,000");
+}
+
+TEST(Cli, ParsesFlagsOptionsPositionals) {
+  CliArgs args;
+  args.add_flag("full", "run at paper scale");
+  args.add_option("nodes", "node count", "1000");
+  args.add_option("label", "series label", "default");
+  const char* argv[] = {"prog", "--full", "--nodes", "5000",
+                        "--label=xyz", "positional"};
+  ASSERT_TRUE(args.parse(6, argv));
+  EXPECT_TRUE(args.flag("full"));
+  EXPECT_EQ(args.integer("nodes"), 5000);
+  EXPECT_EQ(args.str("label"), "xyz");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, DefaultsApply) {
+  CliArgs args;
+  args.add_flag("full", "flag");
+  args.add_option("nodes", "node count", "1000");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(args.parse(1, argv));
+  EXPECT_FALSE(args.flag("full"));
+  EXPECT_EQ(args.integer("nodes"), 1000);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliArgs args;
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(args.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliArgs args;
+  args.add_flag("full", "flag");
+  const char* argv[] = {"prog", "--full=yes"};
+  EXPECT_THROW(args.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliArgs args;
+  args.add_option("nodes", "count", "1");
+  const char* argv[] = {"prog", "--nodes"};
+  EXPECT_THROW(args.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  CliArgs args;
+  args.add_option("nodes", "count", "1");
+  const char* argv[] = {"prog", "--nodes", "12x"};
+  ASSERT_TRUE(args.parse(3, argv));
+  EXPECT_THROW(args.integer("nodes"), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliArgs args;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(args.parse(2, argv));
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"|V|", "time"});
+  t.add_row({"1000", "0.027"});
+  t.add_row({"1000000", "-"});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("|V|"), std::string::npos);
+  EXPECT_NE(rendered.find("1000000"), std::string::npos);
+  // Each line has the same structure: header, rule, rows.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 4);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(percent(0.0002, 2), "0.02%");
+  EXPECT_EQ(sci(0.00012), "1.2e-04");
+}
+
+TEST(RunStats, MeanStdevMedian) {
+  RunStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.stdev(), 1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(RunStats, EdgeCases) {
+  RunStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+  EXPECT_THROW(s.median(), std::logic_error);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.stdev(), 0.0);  // single sample
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(RunStats, SummaryFormat) {
+  RunStats s;
+  s.add(21.0);
+  s.add(21.6);
+  EXPECT_EQ(s.summary(), "21.300±0.424");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  const double t0 = w.seconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(w.seconds(), t0);
+  w.reset();
+  EXPECT_LT(w.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace adsynth::util

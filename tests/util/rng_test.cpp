@@ -1,0 +1,194 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace adsynth::util {
+namespace {
+
+TEST(SplitMix64, AdvancesStateAndMatchesReference) {
+  // Reference values for seed 0 from the splitmix64 reference code.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(Mix64, IsStatelessAndDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversFullRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(13);
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.uniform(0, 9)];
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, RealIsInHalfOpenUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits, kDraws / 4, kDraws / 100);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += parent.next() == child.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng rng(41);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(43);
+  std::vector<int> pool(50);
+  std::iota(pool.begin(), pool.end(), 0);
+  const std::vector<int> sample = rng.sample(pool, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Rng, SampleClampedToPopulation) {
+  Rng rng(47);
+  std::vector<int> pool{1, 2, 3};
+  const std::vector<int> sample = rng.sample(pool, 10);
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+TEST(Rng, SampleIndicesDistinctBothPaths) {
+  Rng rng(53);
+  // Sparse path (Floyd).
+  auto sparse = rng.sample_indices(10000, 10);
+  std::set<std::size_t> s1(sparse.begin(), sparse.end());
+  EXPECT_EQ(s1.size(), 10u);
+  for (const std::size_t i : sparse) EXPECT_LT(i, 10000u);
+  // Dense path (partial Fisher-Yates).
+  auto dense = rng.sample_indices(20, 15);
+  std::set<std::size_t> s2(dense.begin(), dense.end());
+  EXPECT_EQ(s2.size(), 15u);
+  for (const std::size_t i : dense) EXPECT_LT(i, 20u);
+}
+
+TEST(Rng, SampleIndicesZeroAndAll) {
+  Rng rng(59);
+  EXPECT_TRUE(rng.sample_indices(5, 0).empty());
+  auto all = rng.sample_indices(5, 5);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// Property sweep: sample_indices never repeats, for many (n, k) shapes.
+class SampleIndicesProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SampleIndicesProperty, DistinctInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 1000 + k);
+  const auto sample = rng.sample_indices(n, k);
+  EXPECT_EQ(sample.size(), std::min(n, k));
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+  for (const std::size_t i : sample) EXPECT_LT(i, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SampleIndicesProperty,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{100, 1},
+                      std::pair<std::size_t, std::size_t>{100, 99},
+                      std::pair<std::size_t, std::size_t>{100, 100},
+                      std::pair<std::size_t, std::size_t>{1000, 5},
+                      std::pair<std::size_t, std::size_t>{1000, 500},
+                      std::pair<std::size_t, std::size_t>{65536, 17}));
+
+}  // namespace
+}  // namespace adsynth::util

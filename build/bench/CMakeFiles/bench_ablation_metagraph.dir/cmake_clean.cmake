@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_metagraph.dir/bench_ablation_metagraph.cpp.o"
+  "CMakeFiles/bench_ablation_metagraph.dir/bench_ablation_metagraph.cpp.o.d"
+  "bench_ablation_metagraph"
+  "bench_ablation_metagraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metagraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_honeypot.dir/bench_app_honeypot.cpp.o"
+  "CMakeFiles/bench_app_honeypot.dir/bench_app_honeypot.cpp.o.d"
+  "bench_app_honeypot"
+  "bench_app_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_goodhound.dir/bench_fig11_goodhound.cpp.o"
+  "CMakeFiles/bench_fig11_goodhound.dir/bench_fig11_goodhound.cpp.o.d"
+  "bench_fig11_goodhound"
+  "bench_fig11_goodhound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_goodhound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

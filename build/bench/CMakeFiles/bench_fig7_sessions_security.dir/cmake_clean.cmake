@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sessions_security.dir/bench_fig7_sessions_security.cpp.o"
+  "CMakeFiles/bench_fig7_sessions_security.dir/bench_fig7_sessions_security.cpp.o.d"
+  "bench_fig7_sessions_security"
+  "bench_fig7_sessions_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sessions_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_top30_sessions.cpp" "bench/CMakeFiles/bench_fig8_top30_sessions.dir/bench_fig8_top30_sessions.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_top30_sessions.dir/bench_fig8_top30_sessions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adsynth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/adsynth_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/adsynth_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/adsynth_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/metagraph/CMakeFiles/adsynth_metagraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/adcore/CMakeFiles/adsynth_adcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/adsynth_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

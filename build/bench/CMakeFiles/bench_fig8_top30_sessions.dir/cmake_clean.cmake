@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_top30_sessions.dir/bench_fig8_top30_sessions.cpp.o"
+  "CMakeFiles/bench_fig8_top30_sessions.dir/bench_fig8_top30_sessions.cpp.o.d"
+  "bench_fig8_top30_sessions"
+  "bench_fig8_top30_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_top30_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

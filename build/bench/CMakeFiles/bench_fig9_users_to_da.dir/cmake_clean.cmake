@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_users_to_da.dir/bench_fig9_users_to_da.cpp.o"
+  "CMakeFiles/bench_fig9_users_to_da.dir/bench_fig9_users_to_da.cpp.o.d"
+  "bench_fig9_users_to_da"
+  "bench_fig9_users_to_da.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_users_to_da.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secV_edge_blocking.dir/bench_secV_edge_blocking.cpp.o"
+  "CMakeFiles/bench_secV_edge_blocking.dir/bench_secV_edge_blocking.cpp.o.d"
+  "bench_secV_edge_blocking"
+  "bench_secV_edge_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secV_edge_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_import.dir/analyze_import.cpp.o"
+  "CMakeFiles/analyze_import.dir/analyze_import.cpp.o.d"
+  "analyze_import"
+  "analyze_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_evaluation.dir/defense_evaluation.cpp.o"
+  "CMakeFiles/defense_evaluation.dir/defense_evaluation.cpp.o.d"
+  "defense_evaluation"
+  "defense_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_generation.dir/enterprise_generation.cpp.o"
+  "CMakeFiles/enterprise_generation.dir/enterprise_generation.cpp.o.d"
+  "enterprise_generation"
+  "enterprise_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

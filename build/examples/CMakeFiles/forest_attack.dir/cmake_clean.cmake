@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_attack.dir/forest_attack.cpp.o"
+  "CMakeFiles/forest_attack.dir/forest_attack.cpp.o.d"
+  "forest_attack"
+  "forest_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_from_config.dir/generate_from_config.cpp.o"
+  "CMakeFiles/generate_from_config.dir/generate_from_config.cpp.o.d"
+  "generate_from_config"
+  "generate_from_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_from_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo4j_roundtrip.dir/neo4j_roundtrip.cpp.o"
+  "CMakeFiles/neo4j_roundtrip.dir/neo4j_roundtrip.cpp.o.d"
+  "neo4j_roundtrip"
+  "neo4j_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo4j_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_team_paths.dir/red_team_paths.cpp.o"
+  "CMakeFiles/red_team_paths.dir/red_team_paths.cpp.o.d"
+  "red_team_paths"
+  "red_team_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_team_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adcore/attack_graph.cpp" "src/adcore/CMakeFiles/adsynth_adcore.dir/attack_graph.cpp.o" "gcc" "src/adcore/CMakeFiles/adsynth_adcore.dir/attack_graph.cpp.o.d"
+  "/root/repo/src/adcore/bloodhound_io.cpp" "src/adcore/CMakeFiles/adsynth_adcore.dir/bloodhound_io.cpp.o" "gcc" "src/adcore/CMakeFiles/adsynth_adcore.dir/bloodhound_io.cpp.o.d"
+  "/root/repo/src/adcore/convert.cpp" "src/adcore/CMakeFiles/adsynth_adcore.dir/convert.cpp.o" "gcc" "src/adcore/CMakeFiles/adsynth_adcore.dir/convert.cpp.o.d"
+  "/root/repo/src/adcore/naming.cpp" "src/adcore/CMakeFiles/adsynth_adcore.dir/naming.cpp.o" "gcc" "src/adcore/CMakeFiles/adsynth_adcore.dir/naming.cpp.o.d"
+  "/root/repo/src/adcore/schema.cpp" "src/adcore/CMakeFiles/adsynth_adcore.dir/schema.cpp.o" "gcc" "src/adcore/CMakeFiles/adsynth_adcore.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/adsynth_graphdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

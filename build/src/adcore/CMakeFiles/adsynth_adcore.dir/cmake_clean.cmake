@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_adcore.dir/attack_graph.cpp.o"
+  "CMakeFiles/adsynth_adcore.dir/attack_graph.cpp.o.d"
+  "CMakeFiles/adsynth_adcore.dir/bloodhound_io.cpp.o"
+  "CMakeFiles/adsynth_adcore.dir/bloodhound_io.cpp.o.d"
+  "CMakeFiles/adsynth_adcore.dir/convert.cpp.o"
+  "CMakeFiles/adsynth_adcore.dir/convert.cpp.o.d"
+  "CMakeFiles/adsynth_adcore.dir/naming.cpp.o"
+  "CMakeFiles/adsynth_adcore.dir/naming.cpp.o.d"
+  "CMakeFiles/adsynth_adcore.dir/schema.cpp.o"
+  "CMakeFiles/adsynth_adcore.dir/schema.cpp.o.d"
+  "libadsynth_adcore.a"
+  "libadsynth_adcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_adcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadsynth_adcore.a"
+)

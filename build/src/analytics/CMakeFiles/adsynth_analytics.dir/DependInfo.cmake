@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/ad_metrics.cpp" "src/analytics/CMakeFiles/adsynth_analytics.dir/ad_metrics.cpp.o" "gcc" "src/analytics/CMakeFiles/adsynth_analytics.dir/ad_metrics.cpp.o.d"
+  "/root/repo/src/analytics/attack_paths.cpp" "src/analytics/CMakeFiles/adsynth_analytics.dir/attack_paths.cpp.o" "gcc" "src/analytics/CMakeFiles/adsynth_analytics.dir/attack_paths.cpp.o.d"
+  "/root/repo/src/analytics/graph_view.cpp" "src/analytics/CMakeFiles/adsynth_analytics.dir/graph_view.cpp.o" "gcc" "src/analytics/CMakeFiles/adsynth_analytics.dir/graph_view.cpp.o.d"
+  "/root/repo/src/analytics/metrics.cpp" "src/analytics/CMakeFiles/adsynth_analytics.dir/metrics.cpp.o" "gcc" "src/analytics/CMakeFiles/adsynth_analytics.dir/metrics.cpp.o.d"
+  "/root/repo/src/analytics/reachability.cpp" "src/analytics/CMakeFiles/adsynth_analytics.dir/reachability.cpp.o" "gcc" "src/analytics/CMakeFiles/adsynth_analytics.dir/reachability.cpp.o.d"
+  "/root/repo/src/analytics/rp_rate.cpp" "src/analytics/CMakeFiles/adsynth_analytics.dir/rp_rate.cpp.o" "gcc" "src/analytics/CMakeFiles/adsynth_analytics.dir/rp_rate.cpp.o.d"
+  "/root/repo/src/analytics/sessions.cpp" "src/analytics/CMakeFiles/adsynth_analytics.dir/sessions.cpp.o" "gcc" "src/analytics/CMakeFiles/adsynth_analytics.dir/sessions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/adcore/CMakeFiles/adsynth_adcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/adsynth_graphdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

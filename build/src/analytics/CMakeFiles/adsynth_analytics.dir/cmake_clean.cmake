@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_analytics.dir/ad_metrics.cpp.o"
+  "CMakeFiles/adsynth_analytics.dir/ad_metrics.cpp.o.d"
+  "CMakeFiles/adsynth_analytics.dir/attack_paths.cpp.o"
+  "CMakeFiles/adsynth_analytics.dir/attack_paths.cpp.o.d"
+  "CMakeFiles/adsynth_analytics.dir/graph_view.cpp.o"
+  "CMakeFiles/adsynth_analytics.dir/graph_view.cpp.o.d"
+  "CMakeFiles/adsynth_analytics.dir/metrics.cpp.o"
+  "CMakeFiles/adsynth_analytics.dir/metrics.cpp.o.d"
+  "CMakeFiles/adsynth_analytics.dir/reachability.cpp.o"
+  "CMakeFiles/adsynth_analytics.dir/reachability.cpp.o.d"
+  "CMakeFiles/adsynth_analytics.dir/rp_rate.cpp.o"
+  "CMakeFiles/adsynth_analytics.dir/rp_rate.cpp.o.d"
+  "CMakeFiles/adsynth_analytics.dir/sessions.cpp.o"
+  "CMakeFiles/adsynth_analytics.dir/sessions.cpp.o.d"
+  "libadsynth_analytics.a"
+  "libadsynth_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

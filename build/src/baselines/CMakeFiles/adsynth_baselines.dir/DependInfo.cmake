@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adsimulator.cpp" "src/baselines/CMakeFiles/adsynth_baselines.dir/adsimulator.cpp.o" "gcc" "src/baselines/CMakeFiles/adsynth_baselines.dir/adsimulator.cpp.o.d"
+  "/root/repo/src/baselines/dbcreator.cpp" "src/baselines/CMakeFiles/adsynth_baselines.dir/dbcreator.cpp.o" "gcc" "src/baselines/CMakeFiles/adsynth_baselines.dir/dbcreator.cpp.o.d"
+  "/root/repo/src/baselines/university.cpp" "src/baselines/CMakeFiles/adsynth_baselines.dir/university.cpp.o" "gcc" "src/baselines/CMakeFiles/adsynth_baselines.dir/university.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/adsynth_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/adcore/CMakeFiles/adsynth_adcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_baselines.dir/adsimulator.cpp.o"
+  "CMakeFiles/adsynth_baselines.dir/adsimulator.cpp.o.d"
+  "CMakeFiles/adsynth_baselines.dir/dbcreator.cpp.o"
+  "CMakeFiles/adsynth_baselines.dir/dbcreator.cpp.o.d"
+  "CMakeFiles/adsynth_baselines.dir/university.cpp.o"
+  "CMakeFiles/adsynth_baselines.dir/university.cpp.o.d"
+  "libadsynth_baselines.a"
+  "libadsynth_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/adsynth_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/adsynth_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/adsynth_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/adsynth_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/forest.cpp" "src/core/CMakeFiles/adsynth_core.dir/forest.cpp.o" "gcc" "src/core/CMakeFiles/adsynth_core.dir/forest.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/adsynth_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/adsynth_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/structure.cpp" "src/core/CMakeFiles/adsynth_core.dir/structure.cpp.o" "gcc" "src/core/CMakeFiles/adsynth_core.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metagraph/CMakeFiles/adsynth_metagraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/adsynth_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/adcore/CMakeFiles/adsynth_adcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

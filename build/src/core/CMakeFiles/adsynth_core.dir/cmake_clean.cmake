@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_core.dir/config.cpp.o"
+  "CMakeFiles/adsynth_core.dir/config.cpp.o.d"
+  "CMakeFiles/adsynth_core.dir/export.cpp.o"
+  "CMakeFiles/adsynth_core.dir/export.cpp.o.d"
+  "CMakeFiles/adsynth_core.dir/forest.cpp.o"
+  "CMakeFiles/adsynth_core.dir/forest.cpp.o.d"
+  "CMakeFiles/adsynth_core.dir/generator.cpp.o"
+  "CMakeFiles/adsynth_core.dir/generator.cpp.o.d"
+  "CMakeFiles/adsynth_core.dir/structure.cpp.o"
+  "CMakeFiles/adsynth_core.dir/structure.cpp.o.d"
+  "libadsynth_core.a"
+  "libadsynth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

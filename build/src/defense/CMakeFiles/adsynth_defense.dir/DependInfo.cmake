@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/double_oracle.cpp" "src/defense/CMakeFiles/adsynth_defense.dir/double_oracle.cpp.o" "gcc" "src/defense/CMakeFiles/adsynth_defense.dir/double_oracle.cpp.o.d"
+  "/root/repo/src/defense/edge_block.cpp" "src/defense/CMakeFiles/adsynth_defense.dir/edge_block.cpp.o" "gcc" "src/defense/CMakeFiles/adsynth_defense.dir/edge_block.cpp.o.d"
+  "/root/repo/src/defense/goodhound.cpp" "src/defense/CMakeFiles/adsynth_defense.dir/goodhound.cpp.o" "gcc" "src/defense/CMakeFiles/adsynth_defense.dir/goodhound.cpp.o.d"
+  "/root/repo/src/defense/honeypot.cpp" "src/defense/CMakeFiles/adsynth_defense.dir/honeypot.cpp.o" "gcc" "src/defense/CMakeFiles/adsynth_defense.dir/honeypot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/adcore/CMakeFiles/adsynth_adcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/adsynth_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/adsynth_graphdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_defense.dir/double_oracle.cpp.o"
+  "CMakeFiles/adsynth_defense.dir/double_oracle.cpp.o.d"
+  "CMakeFiles/adsynth_defense.dir/edge_block.cpp.o"
+  "CMakeFiles/adsynth_defense.dir/edge_block.cpp.o.d"
+  "CMakeFiles/adsynth_defense.dir/goodhound.cpp.o"
+  "CMakeFiles/adsynth_defense.dir/goodhound.cpp.o.d"
+  "CMakeFiles/adsynth_defense.dir/honeypot.cpp.o"
+  "CMakeFiles/adsynth_defense.dir/honeypot.cpp.o.d"
+  "libadsynth_defense.a"
+  "libadsynth_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphdb/csv_io.cpp" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/csv_io.cpp.o" "gcc" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/csv_io.cpp.o.d"
+  "/root/repo/src/graphdb/cypher.cpp" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/cypher.cpp.o" "gcc" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/cypher.cpp.o.d"
+  "/root/repo/src/graphdb/neo4j_io.cpp" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/neo4j_io.cpp.o" "gcc" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/neo4j_io.cpp.o.d"
+  "/root/repo/src/graphdb/property.cpp" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/property.cpp.o" "gcc" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/property.cpp.o.d"
+  "/root/repo/src/graphdb/store.cpp" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/store.cpp.o" "gcc" "src/graphdb/CMakeFiles/adsynth_graphdb.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_graphdb.dir/csv_io.cpp.o"
+  "CMakeFiles/adsynth_graphdb.dir/csv_io.cpp.o.d"
+  "CMakeFiles/adsynth_graphdb.dir/cypher.cpp.o"
+  "CMakeFiles/adsynth_graphdb.dir/cypher.cpp.o.d"
+  "CMakeFiles/adsynth_graphdb.dir/neo4j_io.cpp.o"
+  "CMakeFiles/adsynth_graphdb.dir/neo4j_io.cpp.o.d"
+  "CMakeFiles/adsynth_graphdb.dir/property.cpp.o"
+  "CMakeFiles/adsynth_graphdb.dir/property.cpp.o.d"
+  "CMakeFiles/adsynth_graphdb.dir/store.cpp.o"
+  "CMakeFiles/adsynth_graphdb.dir/store.cpp.o.d"
+  "libadsynth_graphdb.a"
+  "libadsynth_graphdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_graphdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metagraph/algorithms.cpp" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/algorithms.cpp.o" "gcc" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/metagraph/analysis.cpp" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/analysis.cpp.o" "gcc" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/analysis.cpp.o.d"
+  "/root/repo/src/metagraph/expansion.cpp" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/expansion.cpp.o" "gcc" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/expansion.cpp.o.d"
+  "/root/repo/src/metagraph/metagraph.cpp" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/metagraph.cpp.o" "gcc" "src/metagraph/CMakeFiles/adsynth_metagraph.dir/metagraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_metagraph.dir/algorithms.cpp.o"
+  "CMakeFiles/adsynth_metagraph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/adsynth_metagraph.dir/analysis.cpp.o"
+  "CMakeFiles/adsynth_metagraph.dir/analysis.cpp.o.d"
+  "CMakeFiles/adsynth_metagraph.dir/expansion.cpp.o"
+  "CMakeFiles/adsynth_metagraph.dir/expansion.cpp.o.d"
+  "CMakeFiles/adsynth_metagraph.dir/metagraph.cpp.o"
+  "CMakeFiles/adsynth_metagraph.dir/metagraph.cpp.o.d"
+  "libadsynth_metagraph.a"
+  "libadsynth_metagraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_metagraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

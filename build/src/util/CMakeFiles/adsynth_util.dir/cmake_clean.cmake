@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsynth_util.dir/cli.cpp.o"
+  "CMakeFiles/adsynth_util.dir/cli.cpp.o.d"
+  "CMakeFiles/adsynth_util.dir/ids.cpp.o"
+  "CMakeFiles/adsynth_util.dir/ids.cpp.o.d"
+  "CMakeFiles/adsynth_util.dir/json.cpp.o"
+  "CMakeFiles/adsynth_util.dir/json.cpp.o.d"
+  "CMakeFiles/adsynth_util.dir/rng.cpp.o"
+  "CMakeFiles/adsynth_util.dir/rng.cpp.o.d"
+  "CMakeFiles/adsynth_util.dir/strings.cpp.o"
+  "CMakeFiles/adsynth_util.dir/strings.cpp.o.d"
+  "CMakeFiles/adsynth_util.dir/table.cpp.o"
+  "CMakeFiles/adsynth_util.dir/table.cpp.o.d"
+  "CMakeFiles/adsynth_util.dir/timer.cpp.o"
+  "CMakeFiles/adsynth_util.dir/timer.cpp.o.d"
+  "libadsynth_util.a"
+  "libadsynth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsynth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adcore/attack_graph_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/adcore/attack_graph_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/adcore/attack_graph_test.cpp.o.d"
+  "/root/repo/tests/adcore/bloodhound_io_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/adcore/bloodhound_io_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/adcore/bloodhound_io_test.cpp.o.d"
+  "/root/repo/tests/adcore/schema_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/adcore/schema_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/adcore/schema_test.cpp.o.d"
+  "/root/repo/tests/analytics/ad_metrics_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/analytics/ad_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/analytics/ad_metrics_test.cpp.o.d"
+  "/root/repo/tests/analytics/analytics_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/analytics/analytics_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/analytics/analytics_test.cpp.o.d"
+  "/root/repo/tests/analytics/attack_paths_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/analytics/attack_paths_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/analytics/attack_paths_test.cpp.o.d"
+  "/root/repo/tests/baselines/baselines_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/baselines/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/baselines/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/export_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/core/export_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/core/export_test.cpp.o.d"
+  "/root/repo/tests/core/forest_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/core/forest_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/core/forest_test.cpp.o.d"
+  "/root/repo/tests/core/generator_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/core/generator_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/core/generator_test.cpp.o.d"
+  "/root/repo/tests/core/structure_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/core/structure_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/core/structure_test.cpp.o.d"
+  "/root/repo/tests/defense/defense_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/defense/defense_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/defense/defense_test.cpp.o.d"
+  "/root/repo/tests/defense/honeypot_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/defense/honeypot_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/defense/honeypot_test.cpp.o.d"
+  "/root/repo/tests/graphdb/csv_io_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/graphdb/csv_io_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/graphdb/csv_io_test.cpp.o.d"
+  "/root/repo/tests/graphdb/cypher_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/graphdb/cypher_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/graphdb/cypher_test.cpp.o.d"
+  "/root/repo/tests/graphdb/cypher_traversal_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/graphdb/cypher_traversal_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/graphdb/cypher_traversal_test.cpp.o.d"
+  "/root/repo/tests/graphdb/neo4j_io_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/graphdb/neo4j_io_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/graphdb/neo4j_io_test.cpp.o.d"
+  "/root/repo/tests/graphdb/store_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/graphdb/store_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/graphdb/store_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweep_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/integration/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/integration/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/metagraph/algorithms_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/metagraph/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/metagraph/algorithms_test.cpp.o.d"
+  "/root/repo/tests/metagraph/analysis_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/metagraph/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/metagraph/analysis_test.cpp.o.d"
+  "/root/repo/tests/metagraph/expansion_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/metagraph/expansion_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/metagraph/expansion_test.cpp.o.d"
+  "/root/repo/tests/metagraph/metagraph_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/metagraph/metagraph_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/metagraph/metagraph_test.cpp.o.d"
+  "/root/repo/tests/util/ids_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/util/ids_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/util/ids_test.cpp.o.d"
+  "/root/repo/tests/util/json_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/util/json_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/util/json_test.cpp.o.d"
+  "/root/repo/tests/util/misc_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/util/misc_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/util/misc_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/adsynth_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/adsynth_tests.dir/util/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adsynth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/adsynth_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/adsynth_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/adsynth_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/metagraph/CMakeFiles/adsynth_metagraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/adcore/CMakeFiles/adsynth_adcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/adsynth_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

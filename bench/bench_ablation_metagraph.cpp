@@ -15,7 +15,9 @@ using namespace adsynth::bench;
 int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("full", "paper-scale sizes");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
 
   print_header("Ablation: set-to-set metagraph vs element-to-element",
                "set-level edges carry the same permissions with far fewer "

@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_option("nodes", "graph size", "50000");
   args.add_option("seeds", "seeds per cell", "3");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const auto nodes = static_cast<std::size_t>(args.integer("nodes"));
   const auto seeds = static_cast<std::size_t>(args.integer("seeds"));
 

@@ -57,7 +57,9 @@ double write_direct(std::size_t users, std::size_t edges) {
 int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("full", "larger workloads");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
 
   print_header("Ablation: Cypher-lite transactions vs direct store writes",
                "per-statement transactions are the baselines' latency "

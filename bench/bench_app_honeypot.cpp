@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
   args.add_option("max-honeypots", "placements per dataset", "5");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
   const auto max_k =
       static_cast<std::size_t>(args.integer("max-honeypots"));

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   args.add_flag("small", "run part (b)/(c) at 20k instead of 100k");
   args.add_flag("full", "part (a) sizes up to 1M");
   args.add_option("seeds", "seeds averaged in parts (a)/(b)", "3");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const std::size_t ad100 = ad100_nodes(args.flag("small"));
   const auto seeds = static_cast<std::size_t>(args.integer("seeds"));
 

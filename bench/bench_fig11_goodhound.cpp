@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
                   "edges removed per scoring round on the baseline graph "
                   "(its removal count is ~600; batching keeps the bench "
                   "tractable)", "10");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
 
   print_header("Fig. 11: weakest links removed to eliminate attack paths",

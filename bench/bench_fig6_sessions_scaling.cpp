@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   args.add_flag("full", "paper-scale sizes (up to 1M nodes)");
   args.add_option("baseline-cap",
                   "largest size the Cypher-driven baselines run at", "10000");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const bool full = args.flag("full");
   const auto baseline_cap =
       static_cast<std::size_t>(args.integer("baseline-cap"));

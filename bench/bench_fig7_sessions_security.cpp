@@ -13,7 +13,9 @@ using namespace adsynth::bench;
 int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
 
   print_header("Fig. 7: peak user sessions per AD system",

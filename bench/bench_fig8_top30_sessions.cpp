@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
   args.add_option("top", "how many top users to list", "30");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
   const auto top_k = static_cast<std::size_t>(args.integer("top"));
 

@@ -1,21 +1,96 @@
 // Micro-benchmarks (google-benchmark) for the substrate hot paths: local
 // graph database inserts/lookups, metagraph reachability and expansion,
-// and BFS over the analytics CSR.  These back the §IV-A claim that the
-// local database offers constant-time insertion and retrieval.
+// BFS over the analytics CSR, and the parallel analytics kernels at
+// several thread counts.  These back the §IV-A claim that the local
+// database offers constant-time insertion and retrieval.
+//
+// Besides the console table, every run writes BENCH_micro.json — one
+// record per benchmark with the op name, ns/op, thread count and graph
+// size — so the perf trajectory is machine-trackable across PRs.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "analytics/graph_view.hpp"
 #include "analytics/reachability.hpp"
+#include "analytics/rp_rate.hpp"
 #include "core/generator.hpp"
 #include "graphdb/cypher.hpp"
 #include "graphdb/store.hpp"
 #include "metagraph/algorithms.hpp"
 #include "metagraph/expansion.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 using namespace adsynth;
 
 namespace {
+
+// Benchmarks that exercise the thread pool encode their arguments as
+// {graph_size, threads}; single-argument benchmarks pass {graph_size} and
+// run serially.  The reporter below recovers both from the slash-separated
+// run name ("BM_RpRate/10000/4").
+constexpr std::int64_t kSerial = 1;
+
+/// Console output plus a machine-readable BENCH_micro.json.
+class MicroJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      util::JsonObject record;
+      std::string op = name;
+      std::int64_t graph_size = 0;
+      std::int64_t threads = kSerial;
+      if (const auto slash = name.find('/'); slash != std::string::npos) {
+        op = name.substr(0, slash);
+        std::size_t field = 0;
+        std::size_t pos = slash;
+        while (pos != std::string::npos && field < 2) {
+          const std::size_t next = name.find('/', pos + 1);
+          const std::string arg =
+              name.substr(pos + 1, next == std::string::npos
+                                       ? std::string::npos
+                                       : next - pos - 1);
+          try {
+            const std::int64_t v = std::stoll(arg);
+            (field == 0 ? graph_size : threads) = v;
+          } catch (const std::exception&) {
+            break;  // non-numeric suffix (e.g. "/threads:2"): keep defaults
+          }
+          ++field;
+          pos = next;
+        }
+      }
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      record["name"] = op;
+      record["ns_per_op"] = run.real_accumulated_time / iterations * 1e9;
+      record["threads"] = threads;
+      record["graph_size"] = graph_size;
+      records_.emplace_back(std::move(record));
+    }
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    util::JsonArray array;
+    for (auto& r : records_) array.emplace_back(std::move(r));
+    std::ofstream out("BENCH_micro.json");
+    out << util::JsonValue(std::move(array)).dump() << "\n";
+    std::fprintf(stderr, "wrote BENCH_micro.json (%zu records)\n",
+                 records_.size());
+  }
+
+ private:
+  std::vector<util::JsonObject> records_;
+};
 
 void BM_StoreCreateNode(benchmark::State& state) {
   graphdb::GraphStore store;
@@ -72,6 +147,18 @@ void BM_StoreIndexedLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreIndexedLookup)->Arg(1'000)->Arg(100'000);
 
+void BM_StoreLabelScan(benchmark::State& state) {
+  graphdb::GraphStore store;
+  const auto label = store.intern_label("User");
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) store.create_node_interned({label});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.nodes_with_label("User"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreLabelScan)->Arg(100'000);
+
 void BM_CypherCreateStatement(benchmark::State& state) {
   graphdb::GraphStore store;
   graphdb::CypherSession session(store);
@@ -108,12 +195,31 @@ void BM_AnalyticsBfs(benchmark::State& state) {
   const auto ad = core::generate_ad(core::GeneratorConfig::secure(
       static_cast<std::size_t>(state.range(0)), 1));
   const auto reverse = analytics::build_reverse(ad.graph);
+  util::set_global_threads(static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         analytics::bfs_distances(reverse, {ad.graph.domain_admins()}));
   }
+  util::set_global_threads(kSerial);
 }
-BENCHMARK(BM_AnalyticsBfs)->Arg(10'000)->Arg(100'000);
+BENCHMARK(BM_AnalyticsBfs)
+    ->Args({10'000, 1})
+    ->Args({100'000, 1})
+    ->Args({100'000, 4});
+
+void BM_RpRate(benchmark::State& state) {
+  const auto ad = core::generate_ad(core::GeneratorConfig::vulnerable(
+      static_cast<std::size_t>(state.range(0)), 1));
+  util::set_global_threads(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytics::route_penetration(ad.graph));
+  }
+  util::set_global_threads(kSerial);
+}
+BENCHMARK(BM_RpRate)
+    ->Args({10'000, 1})
+    ->Args({10'000, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GenerateSecure(benchmark::State& state) {
   for (auto _ : state) {
@@ -126,4 +232,11 @@ BENCHMARK(BM_GenerateSecure)->Arg(1'000)->Arg(10'000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  util::set_global_threads(kSerial);  // threaded cases opt in per benchmark
+  MicroJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

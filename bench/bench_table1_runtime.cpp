@@ -81,7 +81,9 @@ int main(int argc, char** argv) {
   args.add_option("runs", "runs per cell (paper: 20)", "5");
   args.add_option("budget", "per-cell wall-clock budget in seconds before a "
                   "tool is marked '-' (the paper's DNF)", "30");
+  add_threads_option(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_threads_option(args);
   const bool full = args.flag("full");
   const auto runs = static_cast<std::size_t>(
       full ? 20 : args.integer("runs"));

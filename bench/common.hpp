@@ -18,6 +18,7 @@
 #include "core/export.hpp"
 #include "core/generator.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -73,6 +74,22 @@ inline adcore::AttackGraph make_university(std::size_t nodes,
   cfg.target_nodes = nodes;
   cfg.seed = seed;
   return baselines::university_graph(cfg);
+}
+
+/// Registers the standard --threads option every bench binary shares.
+inline void add_threads_option(util::CliArgs& args) {
+  args.add_option("threads",
+                  "worker threads for the analytics/defense kernels "
+                  "(0 = hardware_concurrency, 1 = serial)",
+                  "0");
+}
+
+/// Sizes util::global_pool() from --threads; returns the resolved count.
+/// Results are bit-identical at every setting (see DESIGN.md §"Parallel
+/// execution model") — only the wall-clock changes.
+inline std::size_t apply_threads_option(const util::CliArgs& args) {
+  util::set_global_threads(static_cast<std::size_t>(args.integer("threads")));
+  return util::global_threads();
 }
 
 /// Prints the standard bench header with reproduction context.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analytics/reachability.hpp"
+#include "util/parallel.hpp"
 
 namespace adsynth::analytics {
 
@@ -62,21 +63,27 @@ std::vector<AttackPath> shortest_attack_paths(
             });
   if (sources.size() > options.max_paths) sources.resize(options.max_paths);
 
-  std::vector<AttackPath> paths;
-  paths.reserve(sources.size());
+  // Per-breached-user reconstruction walks the (read-only) BFS tree; each
+  // source fills its own slot, so the tasks are independent and the output
+  // order is fixed by the slot index regardless of thread count.
+  std::vector<AttackPath> paths(sources.size());
   const auto& edges = graph.edges();
-  for (const NodeIndex s : sources) {
-    AttackPath path;
-    path.source = s;
-    NodeIndex cur = s;
-    while (cur != target) {
-      const EdgeIndex e = via_edge[cur];
-      const auto& edge = edges[e];
-      path.hops.push_back(AttackHop{edge.source, edge.target, edge.kind, e});
-      cur = edge.target;
-    }
-    paths.push_back(std::move(path));
-  }
+  util::parallel_for(
+      util::global_pool(), 0, sources.size(), /*grain=*/8,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          AttackPath& path = paths[idx];
+          path.source = sources[idx];
+          NodeIndex cur = sources[idx];
+          while (cur != target) {
+            const EdgeIndex e = via_edge[cur];
+            const auto& edge = edges[e];
+            path.hops.push_back(
+                AttackHop{edge.source, edge.target, edge.kind, e});
+            cur = edge.target;
+          }
+        }
+      });
   return paths;
 }
 

@@ -1,10 +1,66 @@
 #include "analytics/reachability.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace adsynth::analytics {
+
+namespace {
+
+/// Below this node count a multi-source BFS runs serially: the frontier
+/// bookkeeping of the level-synchronous expansion costs more than it saves
+/// on small graphs.
+constexpr std::size_t kParallelBfsNodes = 4'096;
+
+/// Level-synchronous parallel expansion.  Each level splits the frontier
+/// into chunks; workers claim newly reached nodes by CAS-ing their distance
+/// from kUnreachable to the level, so every node joins exactly one chunk's
+/// local next-frontier.  Which chunk wins a contended node is racy, but the
+/// distance it receives is not (all writers offer the same level) — the
+/// returned distances are deterministic at every thread count.
+std::vector<std::int32_t> bfs_distances_parallel(
+    const Csr& csr, std::vector<std::int32_t> dist,
+    std::vector<NodeIndex> frontier, util::ThreadPool& pool) {
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    const std::int32_t next_level = level + 1;
+    const std::size_t grain = std::max<std::size_t>(
+        128, frontier.size() / (pool.size() * 4));
+    frontier = util::parallel_map_reduce(
+        pool, 0, frontier.size(), grain, std::vector<NodeIndex>{},
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          std::vector<NodeIndex> next;
+          for (std::size_t f = lo; f < hi; ++f) {
+            const NodeIndex v = frontier[f];
+            for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1];
+                 ++i) {
+              const NodeIndex w = csr.targets[i];
+              std::atomic_ref<std::int32_t> slot(dist[w]);
+              if (slot.load(std::memory_order_relaxed) != kUnreachable) {
+                continue;
+              }
+              std::int32_t expected = kUnreachable;
+              if (slot.compare_exchange_strong(expected, next_level,
+                                               std::memory_order_relaxed)) {
+                next.push_back(w);
+              }
+            }
+          }
+          return next;
+        },
+        [](std::vector<NodeIndex>& acc, std::vector<NodeIndex>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        });
+    level = next_level;
+  }
+  return dist;
+}
+
+}  // namespace
 
 std::vector<std::int32_t> bfs_distances(
     const Csr& csr, const std::vector<NodeIndex>& sources) {
@@ -18,6 +74,12 @@ std::vector<std::int32_t> bfs_distances(
       dist[s] = 0;
       frontier.push_back(s);
     }
+  }
+  util::ThreadPool& pool = util::global_pool();
+  if (pool.size() > 1 && csr.node_count() >= kParallelBfsNodes) {
+    return bfs_distances_parallel(
+        csr, std::move(dist),
+        std::vector<NodeIndex>(frontier.begin(), frontier.end()), pool);
   }
   while (!frontier.empty()) {
     const NodeIndex v = frontier.front();

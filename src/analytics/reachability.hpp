@@ -13,7 +13,9 @@ namespace adsynth::analytics {
 inline constexpr std::int32_t kUnreachable = -1;
 
 /// Multi-source BFS over a CSR view; returns hop distances (kUnreachable
-/// where no path exists).
+/// where no path exists).  Large graphs expand the frontier level-
+/// synchronously across util::global_pool(); distances are deterministic
+/// at every thread count (all claimants of a node offer the same level).
 std::vector<std::int32_t> bfs_distances(const Csr& csr,
                                         const std::vector<NodeIndex>& sources);
 

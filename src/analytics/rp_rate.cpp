@@ -5,8 +5,36 @@
 #include <stdexcept>
 
 #include "analytics/reachability.hpp"
+#include "util/parallel.hpp"
 
 namespace adsynth::analytics {
+
+namespace {
+
+/// Fixed upper bound on source chunks.  Chunk boundaries (and therefore the
+/// floating-point merge bracketing) depend on the source count alone, never
+/// on the thread count — route_penetration is bit-identical at any
+/// --threads setting.  Each chunk carries a dense private accumulator, so
+/// the bound also caps merge memory at ~16·(V + E) doubles.
+constexpr std::size_t kRpChunks = 16;
+
+/// Per-worker sweep scratch, reused across the chunks a worker steals.
+/// Epoch stamps avoid an O(n) clear per source.
+struct SweepScratch {
+  std::vector<std::uint32_t> epoch;
+  std::vector<double> sigma_s;
+  std::deque<NodeIndex> frontier;
+  std::uint32_t current_epoch = 0;
+};
+
+/// Per-chunk private accumulator, merged deterministically in chunk order.
+struct RpPartial {
+  std::vector<double> through;
+  std::vector<double> edge_through;
+  double total_paths = 0.0;
+};
+
+}  // namespace
 
 double RpResult::peak() const {
   double best = 0.0;
@@ -41,7 +69,8 @@ RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
   const Csr reverse = build_reverse(graph, view);
 
   // Reverse sweep from the target: hop distance to target d_t and number of
-  // shortest v→target paths σ_t, accumulated in BFS level order.
+  // shortest v→target paths σ_t, accumulated in BFS level order.  This stays
+  // serial: σ accumulation is order-sensitive and the sweep runs once.
   std::vector<std::int32_t> dist_to_t(n, kUnreachable);
   std::vector<double> sigma_t(n, 0.0);
   {
@@ -74,7 +103,10 @@ RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
     if (dist_to_t[u] != kUnreachable && u != target) sources.push_back(u);
   }
   result.contributing_sources = sources.size();
-  if (sources.empty()) return result;
+  if (sources.empty()) {
+    if (options.edge_traffic) result.edge_traffic.assign(graph.edge_count(), 0.0);
+    return result;
+  }
 
   if (options.max_sources > 0 && sources.size() > options.max_sources) {
     util::Rng rng(options.seed);
@@ -83,59 +115,88 @@ RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
   }
   result.evaluated_sources = sources.size();
 
-  // Per-source forward sweep restricted to the shortest-path DAG toward the
+  // Per-source forward sweeps restricted to the shortest-path DAG toward the
   // target: an arc v→w lies on a shortest path iff d_t[w] == d_t[v] − 1.
-  // Epoch-stamped scratch arrays avoid an O(n) clear per source.
-  std::vector<std::uint32_t> epoch(n, 0);
-  std::vector<double> sigma_s(n, 0.0);
-  std::vector<double> through(n, 0.0);
-  std::vector<double> edge_through;
-  if (options.edge_traffic) edge_through.assign(graph.edge_count(), 0.0);
-  double total_paths = 0.0;
-  std::uint32_t current_epoch = 0;
-  std::deque<NodeIndex> frontier;
+  // The sources are independent, so chunks of them run as parallel tasks;
+  // each task writes a private RpPartial which parallel_map_reduce folds in
+  // ascending chunk order (the deterministic-reduction rule).
+  util::ThreadPool& pool = util::global_pool();
+  const std::size_t grain = std::max<std::size_t>(
+      1, (sources.size() + kRpChunks - 1) / kRpChunks);
+  std::vector<SweepScratch> scratch(pool.size());
 
-  for (const NodeIndex s : sources) {
-    ++current_epoch;
-    frontier.clear();
-    frontier.push_back(s);
-    epoch[s] = current_epoch;
-    sigma_s[s] = 1.0;
-    while (!frontier.empty()) {
-      const NodeIndex v = frontier.front();
-      frontier.pop_front();
-      // All of v's σ contributions have arrived (strict level order), so
-      // its through-count is final for this source.
-      through[v] += sigma_s[v] * sigma_t[v];
-      if (v == target) continue;
-      for (std::uint32_t i = forward.offsets[v]; i < forward.offsets[v + 1];
-           ++i) {
-        const NodeIndex w = forward.targets[i];
-        if (dist_to_t[w] != dist_to_t[v] - 1) continue;  // not on a SP DAG arc
-        if (options.edge_traffic) {
-          edge_through[forward.edge_ids[i]] += sigma_s[v] * sigma_t[w];
-        }
-        if (epoch[w] != current_epoch) {
-          epoch[w] = current_epoch;
-          sigma_s[w] = sigma_s[v];
-          frontier.push_back(w);
-        } else {
-          sigma_s[w] += sigma_s[v];
+  auto sweep_chunk = [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    SweepScratch& s = scratch[worker];
+    if (s.epoch.size() != n) {
+      s.epoch.assign(n, 0);
+      s.sigma_s.assign(n, 0.0);
+      s.current_epoch = 0;
+    }
+    RpPartial out;
+    out.through.assign(n, 0.0);
+    if (options.edge_traffic) out.edge_through.assign(graph.edge_count(), 0.0);
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const NodeIndex src = sources[idx];
+      ++s.current_epoch;
+      s.frontier.clear();
+      s.frontier.push_back(src);
+      s.epoch[src] = s.current_epoch;
+      s.sigma_s[src] = 1.0;
+      while (!s.frontier.empty()) {
+        const NodeIndex v = s.frontier.front();
+        s.frontier.pop_front();
+        // All of v's σ contributions have arrived (strict level order), so
+        // its through-count is final for this source.
+        out.through[v] += s.sigma_s[v] * sigma_t[v];
+        if (v == target) continue;
+        for (std::uint32_t i = forward.offsets[v]; i < forward.offsets[v + 1];
+             ++i) {
+          const NodeIndex w = forward.targets[i];
+          if (dist_to_t[w] != dist_to_t[v] - 1) continue;  // not a SP DAG arc
+          if (options.edge_traffic) {
+            out.edge_through[forward.edge_ids[i]] +=
+                s.sigma_s[v] * sigma_t[w];
+          }
+          if (s.epoch[w] != s.current_epoch) {
+            s.epoch[w] = s.current_epoch;
+            s.sigma_s[w] = s.sigma_s[v];
+            s.frontier.push_back(w);
+          } else {
+            s.sigma_s[w] += s.sigma_s[v];
+          }
         }
       }
+      if (s.epoch[target] == s.current_epoch) {
+        out.total_paths += s.sigma_s[target];
+      }
     }
-    if (epoch[target] == current_epoch) total_paths += sigma_s[target];
-  }
+    return out;
+  };
 
-  if (total_paths > 0.0) {
+  RpPartial init;
+  init.through.assign(n, 0.0);
+  if (options.edge_traffic) init.edge_through.assign(graph.edge_count(), 0.0);
+  const RpPartial merged = util::parallel_map_reduce(
+      pool, 0, sources.size(), grain, std::move(init), sweep_chunk,
+      [](RpPartial& acc, RpPartial&& part) {
+        for (std::size_t v = 0; v < acc.through.size(); ++v) {
+          acc.through[v] += part.through[v];
+        }
+        for (std::size_t e = 0; e < acc.edge_through.size(); ++e) {
+          acc.edge_through[e] += part.edge_through[e];
+        }
+        acc.total_paths += part.total_paths;
+      });
+
+  if (merged.total_paths > 0.0) {
     for (NodeIndex v = 0; v < n; ++v) {
-      result.rate[v] = through[v] / total_paths;
+      result.rate[v] = merged.through[v] / merged.total_paths;
     }
     result.rate[target] = 0.0;  // excluded by definition
     if (options.edge_traffic) {
       result.edge_traffic.assign(graph.edge_count(), 0.0);
-      for (std::size_t e = 0; e < edge_through.size(); ++e) {
-        result.edge_traffic[e] = edge_through[e] / total_paths;
+      for (std::size_t e = 0; e < merged.edge_through.size(); ++e) {
+        result.edge_traffic[e] = merged.edge_through[e] / merged.total_paths;
       }
     }
   } else if (options.edge_traffic) {

@@ -14,6 +14,11 @@
 // source.  Secure graphs have very few contributing sources; vulnerable
 // graphs can have thousands, so sources beyond `max_sources` are sampled
 // uniformly (the result notes how many were evaluated).
+//
+// The per-source sweeps are independent and run as parallel tasks on
+// util::global_pool(), each writing a private accumulator merged in fixed
+// chunk order — the result is bit-identical at every thread count (see
+// DESIGN.md §"Parallel execution model").
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "analytics/reachability.hpp"
+#include "util/parallel.hpp"
 
 namespace adsynth::defense {
 
@@ -131,11 +132,37 @@ bool hit_search(const std::vector<std::vector<EdgeIndex>>& paths,
 std::vector<EdgeIndex> min_hitting_set(
     const std::vector<std::vector<EdgeIndex>>& paths, std::size_t exact_limit) {
   const std::vector<EdgeIndex> greedy = greedy_hitting_set(paths);
-  if (paths.size() > exact_limit) return greedy;
-  for (std::size_t budget = 1; budget < greedy.size(); ++budget) {
-    std::vector<bool> covered(paths.size(), false);
-    std::vector<EdgeIndex> chosen;
-    if (hit_search(paths, covered, budget, chosen)) return chosen;
+  if (paths.size() > exact_limit || greedy.size() <= 1) return greedy;
+
+  // The exact searches at budgets 1..|greedy|−1 are independent candidate
+  // cut-set evaluations, each on its own covered/chosen state.  A serial
+  // pool keeps the early-exit scan; a parallel pool evaluates every budget
+  // concurrently and takes the smallest successful one — the same set the
+  // sequential loop returns, at any thread count (hit_search is
+  // deterministic per budget).
+  util::ThreadPool& pool = util::global_pool();
+  const std::size_t budgets = greedy.size() - 1;
+  if (pool.size() == 1) {
+    for (std::size_t budget = 1; budget <= budgets; ++budget) {
+      std::vector<bool> covered(paths.size(), false);
+      std::vector<EdgeIndex> chosen;
+      if (hit_search(paths, covered, budget, chosen)) return chosen;
+    }
+    return greedy;
+  }
+  std::vector<std::optional<std::vector<EdgeIndex>>> found(budgets);
+  util::parallel_for(pool, 0, budgets, /*grain=*/1,
+                     [&](std::size_t lo, std::size_t hi, std::size_t) {
+                       for (std::size_t b = lo; b < hi; ++b) {
+                         std::vector<bool> covered(paths.size(), false);
+                         std::vector<EdgeIndex> chosen;
+                         if (hit_search(paths, covered, b + 1, chosen)) {
+                           found[b] = std::move(chosen);
+                         }
+                       }
+                     });
+  for (auto& candidate : found) {
+    if (candidate) return std::move(*candidate);
   }
   return greedy;
 }

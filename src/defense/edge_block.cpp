@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 
 #include "analytics/reachability.hpp"
 #include "analytics/rp_rate.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace adsynth::defense {
@@ -107,8 +109,8 @@ EdgeBlockResult run_ip(const adcore::AttackGraph& graph,
   std::fill(blocked.begin(), blocked.end(), false);
 
   // Incumbent: the first `budget` revealed candidates (the greedy cut).
-  BnbState state{graph, candidates, options.budget, options.bnb_node_limit,
-                 0,     entry_connected, {}};
+  std::size_t best_survivors;
+  std::vector<EdgeIndex> best_set;
   {
     std::vector<bool> greedy_blocked(graph.edge_count(), false);
     std::vector<EdgeIndex> greedy;
@@ -116,14 +118,47 @@ EdgeBlockResult run_ip(const adcore::AttackGraph& graph,
       greedy_blocked[candidates[i]] = true;
       greedy.push_back(candidates[i]);
     }
-    state.best_survivors = survivors(graph, greedy_blocked);
-    state.best_set = std::move(greedy);
+    best_survivors = survivors(graph, greedy_blocked);
+    best_set = std::move(greedy);
   }
-  std::vector<EdgeIndex> chosen;
-  bnb(state, blocked, chosen, 0);
+
+  // Each top-level branch fixes a different first blocked edge and explores
+  // its subtree on a private mask with a private share of the node budget —
+  // independent candidate blocked-edge sets, evaluated in parallel.  The
+  // per-branch bests merge in ascending branch order (strictly-better
+  // wins), so the chosen cut set is identical at every thread count.
+  if (!candidates.empty() && options.budget > 0) {
+    const std::size_t branches = candidates.size();
+    const std::size_t per_branch =
+        std::max<std::size_t>(1, options.bnb_node_limit / branches);
+    constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> branch_survivors(branches, kUnset);
+    std::vector<std::vector<EdgeIndex>> branch_set(branches);
+    util::parallel_for(
+        util::global_pool(), 0, branches, /*grain=*/1,
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t b = lo; b < hi; ++b) {
+            BnbState state{graph,      candidates, options.budget,
+                           per_branch, 0,          kUnset,
+                           {}};
+            std::vector<bool> mask(graph.edge_count(), false);
+            std::vector<EdgeIndex> chosen{candidates[b]};
+            mask[candidates[b]] = true;
+            bnb(state, mask, chosen, b + 1);
+            branch_survivors[b] = state.best_survivors;
+            branch_set[b] = std::move(state.best_set);
+          }
+        });
+    for (std::size_t b = 0; b < branches; ++b) {
+      if (branch_survivors[b] < best_survivors) {
+        best_survivors = branch_survivors[b];
+        best_set = std::move(branch_set[b]);
+      }
+    }
+  }
 
   EdgeBlockResult result;
-  result.blocked_edges = state.best_set;
+  result.blocked_edges = std::move(best_set);
   result.entry_users = entry_users;
   result.entry_users_connected = entry_connected;
   std::fill(blocked.begin(), blocked.end(), false);

@@ -190,6 +190,9 @@ std::vector<NodeId> GraphStore::nodes_with_label(std::string_view label) const {
   const auto id = labels_.find(label);
   if (!id) return {};
   std::vector<NodeId> out;
+  // Deleted nodes are rare, so the bucket size is the right capacity —
+  // a million-node label scan must not reallocate its way up.
+  out.reserve(label_buckets_[*id].size());
   for (const NodeId n : label_buckets_[*id]) {
     if (!nodes_[n].deleted) out.push_back(n);
   }

@@ -1,0 +1,118 @@
+#include "util/parallel.hpp"
+
+#include <memory>
+
+namespace adsynth::util {
+
+namespace {
+
+std::size_t resolve(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// True while this thread is executing chunks of some region.  A nested
+/// run() (e.g. a parallel BFS invoked from inside a parallel candidate
+/// evaluation) then executes its chunks inline, in ascending order — same
+/// results by the ordered-reduction rule, and no deadlock on the pool.
+thread_local bool tl_in_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t slot = 1; slot < total; ++slot) {
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(std::size_t slot,
+                       const std::function<void(std::size_t, std::size_t)>& fn) {
+  tl_in_region = true;
+  for (;;) {
+    const std::size_t chunk =
+        cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= chunks_) break;
+    fn(chunk, slot);
+  }
+  tl_in_region = false;
+}
+
+void ThreadPool::run(std::size_t chunks,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1 || tl_in_region) {
+    for (std::size_t c = 0; c < chunks; ++c) fn(c, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    chunks_ = chunks;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain(0, fn);  // the caller is participant 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return active_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_main(std::size_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    drain(slot, *job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_.notify_one();
+    }
+  }
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_threads = 0;  // what g_pool was built with (resolved)
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  if (!g_pool) {
+    g_threads = resolve(0);
+    g_pool = std::make_unique<ThreadPool>(g_threads);
+  }
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t n) {
+  const std::size_t want = resolve(n);
+  if (g_pool && g_threads == want) return;
+  g_pool.reset();  // join old workers before spawning replacements
+  g_threads = want;
+  g_pool = std::make_unique<ThreadPool>(want);
+}
+
+std::size_t global_threads() { return global_pool().size(); }
+
+}  // namespace adsynth::util

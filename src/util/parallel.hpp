@@ -1,0 +1,131 @@
+// Work-stealing thread pool for the analytics and defense hot loops.
+//
+// Design rules (see DESIGN.md §"Parallel execution model"):
+//
+//  * One pool, persistent workers.  A parallel region splits an index range
+//    into chunks; idle threads steal the next unclaimed chunk from a shared
+//    atomic cursor, so load imbalance between chunks (e.g. BFS sweeps of
+//    very different sizes) self-balances.
+//  * Determinism: chunk boundaries depend only on the range and the grain,
+//    NEVER on the thread count, and `parallel_map_reduce` folds the chunk
+//    results in ascending chunk order.  Floating-point accumulations
+//    therefore see the exact same bracketing at 1, 2 or 64 threads — results
+//    are bit-identical regardless of parallelism.
+//  * A pool of size 1 (or a single-chunk region) runs inline on the calling
+//    thread: `--threads 1` is the plain serial loop, no queues, no atomics
+//    contended, and — by the rule above — the same numbers.
+//
+// The region functor must not throw (a throwing task terminates); analytics
+// kernels only touch preallocated buffers.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adsynth::util {
+
+class ThreadPool {
+ public:
+  /// `threads` counts every participant including the calling thread, so
+  /// `ThreadPool(4)` spawns 3 workers.  0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Participants in a region (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(chunk, worker) for every chunk in [0, chunks), blocking until
+  /// all chunks finish.  `worker` is a stable slot in [0, size()) so callers
+  /// can keep per-worker scratch buffers.  Chunks are claimed dynamically;
+  /// do not nest run() calls and do not call it from two threads at once.
+  void run(std::size_t chunks,
+           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_main(std::size_t slot);
+  void drain(std::size_t slot,
+             const std::function<void(std::size_t, std::size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;  // workers: a new region (or stop) is ready
+  std::condition_variable done_;  // caller: every worker left the region
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t chunks_ = 0;
+  std::atomic<std::size_t> cursor_{0};  // next unclaimed chunk
+  std::size_t active_workers_ = 0;      // workers still inside the region
+  std::uint64_t generation_ = 0;        // bumped per region
+  bool stop_ = false;
+};
+
+/// Process-wide pool used by the analytics/defense kernels.  Sized by
+/// set_global_threads() (default: hardware_concurrency()).
+ThreadPool& global_pool();
+
+/// Resizes the global pool; n = 0 restores hardware_concurrency().  Call
+/// from one thread while no parallel region runs (startup / test setup).
+void set_global_threads(std::size_t n);
+
+/// Current global pool size (>= 1).
+std::size_t global_threads();
+
+/// Number of grain-sized chunks covering `items` indices.  This is the
+/// unit of determinism: it depends on the range and the grain only.
+inline std::size_t chunk_count(std::size_t items, std::size_t grain) {
+  if (grain == 0) grain = 1;
+  return (items + grain - 1) / grain;
+}
+
+/// fn(lo, hi, worker) over grain-sized slices of [begin, end).  A
+/// single-slice range runs inline.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Fn&& fn) {
+  const std::size_t items = end > begin ? end - begin : 0;
+  if (items == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(items, grain);
+  if (chunks == 1 || pool.size() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain), std::size_t{0});
+    }
+    return;
+  }
+  pool.run(chunks, [&](std::size_t chunk, std::size_t worker) {
+    const std::size_t lo = begin + chunk * grain;
+    fn(lo, std::min(end, lo + grain), worker);
+  });
+}
+
+/// Deterministic ordered reduction: map(lo, hi, worker) -> T per grain-sized
+/// slice, then reduce(acc, slice_result) folded in ascending slice order —
+/// the floating-point bracketing is fixed by the grain, not by which thread
+/// finished first.
+template <typename T, typename Map, typename Reduce>
+T parallel_map_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                      std::size_t grain, T init, Map&& map, Reduce&& reduce) {
+  const std::size_t items = end > begin ? end - begin : 0;
+  if (items == 0) return init;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(items, grain);
+  std::vector<T> partial(chunks);
+  parallel_for(pool, begin, end, grain,
+               [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+                 partial[(lo - begin) / grain] = map(lo, hi, worker);
+               });
+  T acc = std::move(init);
+  for (T& p : partial) reduce(acc, std::move(p));
+  return acc;
+}
+
+}  // namespace adsynth::util

@@ -1,0 +1,112 @@
+// The parallel analytics engine's contract: results are bit-identical at
+// every thread count.  Chunk boundaries depend only on the workload and the
+// ordered reduction fixes the floating-point bracketing, so running
+// route_penetration / users_reaching_da / shortest_attack_paths at 1, 2 and
+// 8 threads must produce exactly the same numbers — EXPECT_EQ on doubles,
+// no tolerance.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analytics/attack_paths.hpp"
+#include "analytics/reachability.hpp"
+#include "analytics/rp_rate.hpp"
+#include "core/generator.hpp"
+#include "util/parallel.hpp"
+
+namespace adsynth::analytics {
+namespace {
+
+constexpr std::size_t kNodes = 10'000;
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+core::GeneratorConfig preset(const std::string& name) {
+  if (name == "secure") return core::GeneratorConfig::secure(kNodes, 11);
+  if (name == "vulnerable") {
+    return core::GeneratorConfig::vulnerable(kNodes, 12);
+  }
+  return core::GeneratorConfig::highly_secure(kNodes, 13);
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void TearDownTestSuite() { util::set_global_threads(0); }
+};
+
+void expect_same_rp(const RpResult& a, const RpResult& b,
+                    std::size_t threads) {
+  EXPECT_EQ(a.contributing_sources, b.contributing_sources);
+  EXPECT_EQ(a.evaluated_sources, b.evaluated_sources);
+  EXPECT_EQ(a.sampled, b.sampled);
+  ASSERT_EQ(a.rate.size(), b.rate.size());
+  for (std::size_t v = 0; v < a.rate.size(); ++v) {
+    ASSERT_EQ(a.rate[v], b.rate[v]) << "node " << v << " at " << threads
+                                    << " threads";
+  }
+  ASSERT_EQ(a.edge_traffic.size(), b.edge_traffic.size());
+  for (std::size_t e = 0; e < a.edge_traffic.size(); ++e) {
+    ASSERT_EQ(a.edge_traffic[e], b.edge_traffic[e])
+        << "edge " << e << " at " << threads << " threads";
+  }
+}
+
+TEST_P(ParallelDeterminism, RoutePenetrationBitIdentical) {
+  const auto ad = core::generate_ad(preset(GetParam()));
+  RpOptions options;
+  options.edge_traffic = true;
+  util::set_global_threads(1);
+  const RpResult baseline = route_penetration(ad.graph, options);
+  // Only the vulnerable preset guarantees breached users at this size; the
+  // secure presets may legitimately have no source reaching Domain Admins.
+  if (GetParam() == "vulnerable") {
+    EXPECT_GT(baseline.contributing_sources, 0u);
+  }
+  for (const std::size_t threads : kThreadCounts) {
+    util::set_global_threads(threads);
+    expect_same_rp(baseline, route_penetration(ad.graph, options), threads);
+  }
+}
+
+TEST_P(ParallelDeterminism, UsersReachingDaBitIdentical) {
+  const auto ad = core::generate_ad(preset(GetParam()));
+  util::set_global_threads(1);
+  const DaReachability baseline = users_reaching_da(ad.graph);
+  for (const std::size_t threads : kThreadCounts) {
+    util::set_global_threads(threads);
+    const DaReachability run = users_reaching_da(ad.graph);
+    EXPECT_EQ(baseline.regular_users, run.regular_users);
+    EXPECT_EQ(baseline.users_with_path, run.users_with_path);
+    EXPECT_EQ(baseline.fraction, run.fraction);
+    ASSERT_EQ(baseline.distances, run.distances) << threads << " threads";
+  }
+}
+
+TEST_P(ParallelDeterminism, ShortestAttackPathsBitIdentical) {
+  const auto ad = core::generate_ad(preset(GetParam()));
+  AttackPathOptions options;
+  options.max_paths = 64;
+  util::set_global_threads(1);
+  const auto baseline = shortest_attack_paths(ad.graph, options);
+  for (const std::size_t threads : kThreadCounts) {
+    util::set_global_threads(threads);
+    const auto run = shortest_attack_paths(ad.graph, options);
+    ASSERT_EQ(baseline.size(), run.size()) << threads << " threads";
+    for (std::size_t p = 0; p < baseline.size(); ++p) {
+      EXPECT_EQ(baseline[p].source, run[p].source);
+      ASSERT_EQ(baseline[p].hops.size(), run[p].hops.size());
+      for (std::size_t h = 0; h < baseline[p].hops.size(); ++h) {
+        EXPECT_EQ(baseline[p].hops[h].from, run[p].hops[h].from);
+        EXPECT_EQ(baseline[p].hops[h].to, run[p].hops[h].to);
+        EXPECT_EQ(baseline[p].hops[h].kind, run[p].hops[h].kind);
+        EXPECT_EQ(baseline[p].hops[h].edge, run[p].hops[h].edge);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, ParallelDeterminism,
+                         ::testing::Values("secure", "vulnerable",
+                                           "highly_secure"));
+
+}  // namespace
+}  // namespace adsynth::analytics

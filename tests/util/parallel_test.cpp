@@ -1,0 +1,126 @@
+// Tests for the work-stealing thread pool and the deterministic
+// ordered-reduction helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace adsynth::util {
+namespace {
+
+TEST(ThreadPool, SizeCountsTheCaller) {
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 1000;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.run(kChunks, [&](std::size_t chunk, std::size_t worker) {
+    ASSERT_LT(worker, pool.size());
+    hits[chunk].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.run(17, [&](std::size_t, std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 17);
+  }
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.run(8, [&](std::size_t, std::size_t) {
+    // A nested region must not deadlock; it runs inline on this worker.
+    pool.run(5, [&](std::size_t, std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 5);
+}
+
+TEST(ParallelFor, CoversTheRangeInGrainSlices) {
+  ThreadPool pool(4);
+  std::vector<int> touched(103, 0);
+  parallel_for(pool, 3, 103, 7,
+               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                 EXPECT_LE(hi - lo, 7u);
+                 for (std::size_t i = lo; i < hi; ++i) touched[i] += 1;
+               });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], i >= 3 ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, 4,
+               [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// The core determinism guarantee: a floating-point reduction is bit-identical
+// at every thread count because the bracketing depends on the grain alone.
+TEST(ParallelMapReduce, BitIdenticalAcrossThreadCounts) {
+  // Values spread over many magnitudes so summation order matters.
+  std::vector<double> values(10'000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::ldexp(1.0, static_cast<int>(i % 64) - 32) +
+                static_cast<double>(i) * 1e-7;
+  }
+  auto sum_with = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    return parallel_map_reduce(
+        pool, 0, values.size(), /*grain=*/37, 0.0,
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double& acc, double part) { acc += part; });
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));  // EQ, not NEAR: bit-identical
+  EXPECT_EQ(serial, sum_with(3));
+  EXPECT_EQ(serial, sum_with(8));
+}
+
+TEST(ParallelMapReduce, ReducesInChunkOrder) {
+  ThreadPool pool(4);
+  const auto order = parallel_map_reduce(
+      pool, 0, 100, 9, std::vector<std::size_t>{},
+      [](std::size_t lo, std::size_t, std::size_t) {
+        return std::vector<std::size_t>{lo};
+      },
+      [](std::vector<std::size_t>& acc, std::vector<std::size_t>&& part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+      });
+  ASSERT_EQ(order.size(), chunk_count(100, 9));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(GlobalPool, ResizesOnDemand) {
+  set_global_threads(2);
+  EXPECT_EQ(global_threads(), 2u);
+  EXPECT_EQ(global_pool().size(), 2u);
+  set_global_threads(1);
+  EXPECT_EQ(global_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace adsynth::util

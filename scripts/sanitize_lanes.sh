@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Runs both sanitizer lanes (README.md §Sanitizers):
+#
+#   address  — full test suite under ASan+UBSan.  Gates the graphdb store /
+#              transaction machinery: the rollback suite
+#              (tests/graphdb/rollback_test.cpp) replays undo logs over raw
+#              vector tails, exactly the code ASan is good at checking.
+#   thread   — parallel-determinism suite under TSan.  Gates
+#              src/util/parallel.* and the parallelized kernels.
+#
+# Usage: scripts/sanitize_lanes.sh [jobs]
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$root/build-asan" -S "$root" -DADSYNTH_SANITIZE=address
+cmake --build "$root/build-asan" -j "$jobs"
+ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+
+cmake -B "$root/build-tsan" -S "$root" -DADSYNTH_SANITIZE=thread
+cmake --build "$root/build-tsan" -j "$jobs"
+ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" -R Parallel
+
+echo "sanitize_lanes: both lanes passed"

@@ -185,7 +185,8 @@ BaselineRun run_adsimulator(const AdSimulatorConfig& config) {
     }
   }
 
-  run.statements = session.transactions();
+  run.statements = session.statements();
+  run.transactions = session.transactions();
   return run;
 }
 

@@ -167,7 +167,8 @@ BaselineRun run_dbcreator(const DbCreatorConfig& config) {
     }
   }
 
-  run.statements = session.transactions();
+  run.statements = session.statements();
+  run.transactions = session.transactions();
   return run;
 }
 

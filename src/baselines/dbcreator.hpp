@@ -39,7 +39,8 @@ struct DbCreatorConfig {
 
 struct BaselineRun {
   graphdb::GraphStore store;
-  std::size_t statements = 0;  // Cypher transactions issued
+  std::size_t statements = 0;    // Cypher statements executed
+  std::size_t transactions = 0;  // commits (auto-commit: one per statement)
 };
 
 /// Runs the generator; the returned store holds the produced graph.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "analytics/reachability.hpp"
+#include "defense/whatif.hpp"
 #include "util/parallel.hpp"
 
 namespace adsynth::defense {
@@ -202,6 +203,41 @@ DoubleOracleResult harden(const adcore::AttackGraph& graph,
     if (!reply) return result;  // converged: no shortest-length path remains
     paths.push_back(*reply);
   }
+  result.converged = false;
+  return result;
+}
+
+LiveDoubleOracleResult harden_live(graphdb::GraphStore& store,
+                                   const DoubleOracleOptions& options) {
+  LiveDoubleOracleResult result;
+  WhatIf whatif(store);
+
+  const std::vector<graphdb::RelId> first = whatif.shortest_attack_path();
+  if (first.empty()) return result;  // no attack path at all
+  result.initial_shortest_length = static_cast<std::int32_t>(first.size());
+
+  // graphdb::RelId and analytics::EdgeIndex are the same 32-bit id type, so
+  // the hitting-set machinery above works unchanged on relationship ids.
+  std::vector<std::vector<graphdb::RelId>> paths{first};
+  whatif.speculate();  // the current cut set lives in this scope
+  while (result.oracle_iterations < options.max_iterations) {
+    ++result.oracle_iterations;
+    // Defender oracle: minimal hitting set over enumerated paths, applied
+    // speculatively (drop the previous candidate cut, tombstone the new one).
+    result.cuts = min_hitting_set(paths, options.exact_limit);
+    whatif.rollback();
+    whatif.speculate();
+    for (const graphdb::RelId e : result.cuts) whatif.block_edge(e);
+    // Attacker oracle: a surviving path of the original shortest length.
+    const std::vector<graphdb::RelId> reply = whatif.shortest_attack_path();
+    if (reply.empty() || static_cast<std::int32_t>(reply.size()) >
+                             result.initial_shortest_length) {
+      whatif.rollback();  // converged — hand the store back unchanged
+      return result;
+    }
+    paths.push_back(reply);
+  }
+  whatif.rollback();
   result.converged = false;
   return result;
 }

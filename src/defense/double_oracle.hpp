@@ -24,6 +24,7 @@
 
 #include "adcore/attack_graph.hpp"
 #include "analytics/graph_view.hpp"
+#include "graphdb/store.hpp"
 
 namespace adsynth::defense {
 
@@ -50,5 +51,25 @@ struct DoubleOracleResult {
 /// Plays the game on the traversable subgraph toward graph.domain_admins().
 DoubleOracleResult harden(const adcore::AttackGraph& graph,
                           const DoubleOracleOptions& options = {});
+
+/// Result of the store-backed game (harden_live).
+struct LiveDoubleOracleResult {
+  /// The final cut set as relationship ids of the probed store.
+  std::vector<graphdb::RelId> cuts;
+  /// Shortest user→DA length L the game was played at (-1: no path at all).
+  std::int32_t initial_shortest_length = -1;
+  std::size_t oracle_iterations = 0;
+  bool converged = true;
+
+  std::size_t cut_count() const { return cuts.size(); }
+};
+
+/// Plays the same game directly on a live GraphStore: candidate cut sets
+/// are applied as speculative relationship tombstones inside undo scopes
+/// and the attacker oracle walks the mutated store's adjacency, so no CSR
+/// view is ever copied.  The store is returned bit-identical.  Throws
+/// std::logic_error when the store has no DOMAIN ADMINS group.
+LiveDoubleOracleResult harden_live(graphdb::GraphStore& store,
+                                   const DoubleOracleOptions& options = {});
 
 }  // namespace adsynth::defense

@@ -6,6 +6,7 @@
 
 #include "analytics/reachability.hpp"
 #include "analytics/rp_rate.hpp"
+#include "defense/whatif.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -270,6 +271,45 @@ EdgeBlockResult block_edges(const adcore::AttackGraph& graph,
       return run_iterlp(graph, options, entry_users, entry_connected);
   }
   throw std::logic_error("edge_block: unknown algorithm");
+}
+
+LiveEdgeBlockResult block_edges_live(graphdb::GraphStore& store,
+                                     std::size_t budget) {
+  WhatIf whatif(store);
+  LiveEdgeBlockResult result;
+  result.entry_users = whatif.entry_users().size();
+  result.entry_users_connected = whatif.survivors();
+
+  // The whole exploration runs under one outer speculation: the chosen cut
+  // is reported, not applied, and the store comes back bit-identical.
+  whatif.speculate();
+  for (std::size_t round = 0; round < budget; ++round) {
+    const std::vector<graphdb::RelId> path = whatif.shortest_attack_path();
+    if (path.empty()) break;  // every entry user is already cut off
+    graphdb::RelId best = graphdb::kNoRel;
+    std::size_t best_survivors = std::numeric_limits<std::size_t>::max();
+    for (const graphdb::RelId e : path) {
+      whatif.speculate();
+      whatif.block_edge(e);
+      const std::size_t alive = whatif.survivors();
+      whatif.rollback();  // unblock: candidate probes never accumulate
+      if (alive < best_survivors) {
+        best_survivors = alive;
+        best = e;
+      }
+    }
+    whatif.block_edge(best);  // adopt the round's winner (still speculative)
+    result.blocked_rels.push_back(best);
+  }
+  const std::size_t alive = whatif.survivors();
+  whatif.rollback();
+
+  result.attacker_success =
+      result.entry_users == 0
+          ? 0.0
+          : static_cast<double>(alive) /
+                static_cast<double>(result.entry_users);
+  return result;
 }
 
 }  // namespace adsynth::defense

@@ -34,6 +34,7 @@
 
 #include "adcore/attack_graph.hpp"
 #include "analytics/graph_view.hpp"
+#include "graphdb/store.hpp"
 
 namespace adsynth::defense {
 
@@ -82,5 +83,24 @@ struct EdgeBlockResult {
 EdgeBlockResult block_edges(const adcore::AttackGraph& graph,
                             EdgeBlockAlgorithm algorithm,
                             const EdgeBlockOptions& options = {});
+
+/// Result of the store-backed greedy interdiction (block_edges_live).
+struct LiveEdgeBlockResult {
+  /// Chosen cut set as relationship ids of the probed store.
+  std::vector<graphdb::RelId> blocked_rels;
+  /// Fraction of entry users still reaching Domain Admins under the cut.
+  double attacker_success = 0.0;
+  std::size_t entry_users = 0;
+  std::size_t entry_users_connected = 0;  // before blocking
+};
+
+/// Greedy edge interdiction played directly on a live GraphStore (an
+/// imported BloodHound dump, a baseline generator's output): each round
+/// takes the current shortest attack path and probes every edge on it by
+/// speculative delete_relationship + rollback inside nested undo scopes —
+/// no CSR views are copied, and the store is returned unchanged.  Throws
+/// std::logic_error when the store has no DOMAIN ADMINS group.
+LiveEdgeBlockResult block_edges_live(graphdb::GraphStore& store,
+                                     std::size_t budget);
 
 }  // namespace adsynth::defense

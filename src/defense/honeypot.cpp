@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 
 #include "analytics/graph_view.hpp"
 #include "analytics/reachability.hpp"
+#include "defense/whatif.hpp"
 #include "util/rng.hpp"
 
 namespace adsynth::defense {
@@ -167,6 +169,49 @@ HoneypotResult place_honeypots(const adcore::AttackGraph& graph,
     result.coverage_after.push_back(
         1.0 - std::max(0.0, remaining) / space.total_paths);
   }
+  return result;
+}
+
+LiveHoneypotResult place_honeypots_live(graphdb::GraphStore& store,
+                                        std::size_t count) {
+  WhatIf whatif(store);
+  LiveHoneypotResult result;
+  result.entry_users_connected = whatif.survivors();
+  if (result.entry_users_connected == 0) return result;
+  const double baseline =
+      static_cast<double>(result.entry_users_connected);
+  const auto& entries = whatif.entry_users();
+
+  whatif.speculate();  // placements accumulate here, then roll back
+  for (std::size_t round = 0; round < count; ++round) {
+    const std::vector<graphdb::RelId> path = whatif.shortest_attack_path();
+    if (path.empty()) break;  // every entry user already stranded
+    // Candidate hosts: the path's intermediate nodes — the targets of every
+    // hop but the last (which is Domain Admins itself), minus entry users.
+    graphdb::NodeId best = graphdb::kNoNode;
+    std::size_t best_survivors = std::numeric_limits<std::size_t>::max();
+    for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+      const graphdb::NodeId candidate = store.rel(path[hop]).target;
+      if (std::find(entries.begin(), entries.end(), candidate) !=
+          entries.end()) {
+        continue;  // planting on an attacker account detects nothing
+      }
+      whatif.speculate();
+      whatif.block_node(candidate);
+      const std::size_t alive = whatif.survivors();
+      whatif.rollback();
+      if (alive < best_survivors) {
+        best_survivors = alive;
+        best = candidate;
+      }
+    }
+    if (best == graphdb::kNoNode) break;  // path is entry→target direct
+    whatif.block_node(best);
+    result.placements.push_back(best);
+    result.coverage_after.push_back(
+        1.0 - static_cast<double>(whatif.survivors()) / baseline);
+  }
+  whatif.rollback();
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "adcore/attack_graph.hpp"
+#include "graphdb/store.hpp"
 
 namespace adsynth::defense {
 
@@ -47,5 +48,28 @@ struct HoneypotResult {
 /// std::logic_error when the graph has no Domain Admins marker.
 HoneypotResult place_honeypots(const adcore::AttackGraph& graph,
                                const HoneypotOptions& options = {});
+
+/// Result of the store-backed greedy placement (place_honeypots_live).
+struct LiveHoneypotResult {
+  /// Chosen honeypot hosts as node ids of the probed store.
+  std::vector<graphdb::NodeId> placements;
+  /// Fraction of the initially connected entry users cut off from Domain
+  /// Admins after each placement (monotone non-decreasing).
+  std::vector<double> coverage_after;
+  std::size_t entry_users_connected = 0;  // before any placement
+
+  double final_coverage() const {
+    return coverage_after.empty() ? 0.0 : coverage_after.back();
+  }
+};
+
+/// Greedy honeypot placement played directly on a live GraphStore: each
+/// round probes the intermediate nodes of the current shortest attack path
+/// by speculative DETACH-delete + rollback, keeps the node that strands the
+/// most entry users, and finally rolls everything back — the store is
+/// returned bit-identical.  Throws std::logic_error when the store has no
+/// DOMAIN ADMINS group.
+LiveHoneypotResult place_honeypots_live(graphdb::GraphStore& store,
+                                        std::size_t count);
 
 }  // namespace adsynth::defense

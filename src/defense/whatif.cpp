@@ -1,0 +1,123 @@
+#include "defense/whatif.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "adcore/schema.hpp"
+
+namespace adsynth::defense {
+
+using graphdb::GraphStore;
+using graphdb::kNoNode;
+using graphdb::kNoRel;
+using graphdb::NodeId;
+using graphdb::PropertyValue;
+using graphdb::RelId;
+
+WhatIf::WhatIf(GraphStore& store) : store_(store) {
+  // Attack target: the Domain Admins group, by conventional name (the same
+  // recovery rule adcore::from_store applies).
+  const auto da =
+      store_.find_nodes("Group", "name", PropertyValue("DOMAIN ADMINS"));
+  if (da.empty()) {
+    throw std::logic_error("WhatIf: store has no DOMAIN ADMINS group");
+  }
+  target_ = da.front();
+
+  // Entry population: enabled, non-administrative users.  `admin` is
+  // optional (baseline generators omit it); absence means false.
+  const auto key_enabled = store_.find_key("enabled");
+  const auto key_admin = store_.find_key("admin");
+  for (const NodeId u : store_.nodes_with_label("User")) {
+    const PropertyValue* enabled =
+        key_enabled ? store_.node_property(u, *key_enabled) : nullptr;
+    if (enabled == nullptr || !enabled->is_bool() || !enabled->as_bool()) {
+      continue;
+    }
+    const PropertyValue* admin =
+        key_admin ? store_.node_property(u, *key_admin) : nullptr;
+    if (admin != nullptr && admin->is_bool() && admin->as_bool()) continue;
+    entry_users_.push_back(u);
+  }
+
+  // Traversability by interned relationship type.
+  const std::size_t type_count = store_.rel_type_count();
+  type_traversable_.resize(type_count, false);
+  for (std::size_t t = 0; t < type_count; ++t) {
+    const auto kind = adcore::parse_edge_kind(
+        store_.rel_type_name(static_cast<graphdb::RelTypeId>(t)));
+    type_traversable_[t] = kind.has_value() && adcore::is_traversable(*kind);
+  }
+}
+
+bool WhatIf::traversable(RelId rel) const {
+  const auto& rec = store_.rel(rel);
+  return !rec.deleted && rec.type < type_traversable_.size() &&
+         type_traversable_[rec.type];
+}
+
+std::size_t WhatIf::survivors() const {
+  if (store_.node(target_).deleted) return 0;
+  // Reverse BFS from the target over live traversable relationships: marks
+  // every node that can still reach Domain Admins.
+  std::vector<char> reaches(store_.node_capacity(), 0);
+  reaches[target_] = 1;
+  std::deque<NodeId> frontier{target_};
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const RelId r : store_.node(v).in_rels) {
+      if (!traversable(r)) continue;
+      const NodeId u = store_.rel(r).source;
+      if (reaches[u] || store_.node(u).deleted) continue;
+      reaches[u] = 1;
+      frontier.push_back(u);
+    }
+  }
+  std::size_t alive = 0;
+  for (const NodeId u : entry_users_) {
+    if (!store_.node(u).deleted && reaches[u]) ++alive;
+  }
+  return alive;
+}
+
+std::vector<RelId> WhatIf::shortest_attack_path() const {
+  if (store_.node(target_).deleted) return {};
+  std::vector<char> visited(store_.node_capacity(), 0);
+  std::vector<RelId> parent_rel(store_.node_capacity(), kNoRel);
+  std::vector<NodeId> parent_node(store_.node_capacity(), kNoNode);
+  std::deque<NodeId> frontier;
+  for (const NodeId u : entry_users_) {
+    if (store_.node(u).deleted || visited[u]) continue;
+    visited[u] = 1;
+    frontier.push_back(u);
+  }
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const RelId r : store_.node(v).out_rels) {
+      if (!traversable(r)) continue;
+      const NodeId w = store_.rel(r).target;
+      if (visited[w] || store_.node(w).deleted) continue;
+      visited[w] = 1;
+      parent_rel[w] = r;
+      parent_node[w] = v;
+      if (w == target_) {
+        found = true;
+        break;
+      }
+      frontier.push_back(w);
+    }
+  }
+  if (!found) return {};
+  std::vector<RelId> path;
+  for (NodeId v = target_; parent_node[v] != kNoNode; v = parent_node[v]) {
+    path.push_back(parent_rel[v]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace adsynth::defense

@@ -1,0 +1,73 @@
+// Store-level what-if exploration for the defense algorithms.
+//
+// The mask-based algorithms (edge_block, double_oracle, honeypot) run over
+// immutable CSR views of an AttackGraph and express every probe as a fresh
+// blocked mask.  This module asks the same questions directly of a live
+// GraphStore — e.g. an imported BloodHound dump or a baseline generator's
+// output — using the store's undo scopes: blocking an edge tombstones the
+// relationship, placing a honeypot tombstones the node, and rollback
+// restores the store bit-identically.  Candidates are explored by
+// speculative mutation + rollback instead of copying graph views, which is
+// what lets the defender loops (edge blocking, double oracle, honeypots)
+// scale to dynamic stores that are mutated between evaluations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphdb/store.hpp"
+
+namespace adsynth::defense {
+
+/// A speculative lens over a live GraphStore holding a BloodHound-style AD
+/// graph.  Construction resolves the attack target (the "DOMAIN ADMINS"
+/// group), the entry population (enabled non-admin users) and the
+/// traversable relationship types; throws std::logic_error when the store
+/// has no Domain Admins group.
+class WhatIf {
+ public:
+  explicit WhatIf(graphdb::GraphStore& store);
+
+  graphdb::GraphStore& store() { return store_; }
+  graphdb::NodeId target() const { return target_; }
+  const std::vector<graphdb::NodeId>& entry_users() const {
+    return entry_users_;
+  }
+
+  /// True when the relationship is live and attacker-traversable
+  /// (identity-snowball semantics, adcore::is_traversable).
+  bool traversable(graphdb::RelId rel) const;
+
+  // --- speculation --------------------------------------------------------
+  /// Opens a nested undo scope; mutations until the matching rollback()/
+  /// keep() are speculative.
+  void speculate() { store_.begin_undo_scope(); }
+  /// Undoes everything since the innermost speculate().
+  void rollback() { store_.abort_scope(); }
+  /// Keeps the innermost speculation (folds into the enclosing scope).
+  void keep() { store_.commit_scope(); }
+  std::size_t depth() const { return store_.undo_depth(); }
+
+  /// Blocks an attack edge: tombstones the relationship.
+  void block_edge(graphdb::RelId rel) { store_.delete_relationship(rel); }
+  /// Places a honeypot: tombstones the node (with detach), removing it
+  /// from the attacker's undetected path space.
+  void block_node(graphdb::NodeId node) { store_.delete_node(node, true); }
+
+  // --- evaluation over the live store -------------------------------------
+  /// Entry users with a live traversable path to the target (one reverse
+  /// BFS over store adjacency; deleted nodes/relationships are skipped).
+  std::size_t survivors() const;
+
+  /// One shortest entry→target attack path as relationship ids, found by
+  /// deterministic multi-source BFS; empty when no path survives.
+  std::vector<graphdb::RelId> shortest_attack_path() const;
+
+ private:
+  graphdb::GraphStore& store_;
+  graphdb::NodeId target_ = graphdb::kNoNode;
+  std::vector<graphdb::NodeId> entry_users_;
+  std::vector<bool> type_traversable_;  // indexed by RelTypeId
+};
+
+}  // namespace adsynth::defense

@@ -158,6 +158,7 @@ enum class Verb : std::uint8_t {
   kMatchReturnNodes,
   kMatchReturnCount,
   kMatchSet,
+  kMatchDeleteNode,          // MATCH (n:L {..}) [DETACH] DELETE n
   kMatchPatternReturnCount,  // MATCH (a)-[r:T]->(b) RETURN count(r)
   kMatchPatternDelete,       // MATCH (a)-[r:T]->(b) DELETE r
   kCreateIndex,
@@ -168,6 +169,8 @@ struct Statement {
   std::vector<NodePattern> patterns;  // CREATE targets or MATCH patterns
   std::optional<RelPattern> rel;
   std::optional<SetClause> set_clause;
+  std::string delete_var;  // kMatchDeleteNode: the bound node variable
+  bool detach = false;     // kMatchDeleteNode: DETACH DELETE
   std::string index_label;
   std::string index_key;
 };
@@ -285,7 +288,26 @@ class Parser {
         expect_end();
         return stmt;
       }
-      lex_.fail("expected CREATE, MERGE, RETURN or SET after MATCH");
+      if (util::iequals(verb.text, "DETACH") ||
+          util::iequals(verb.text, "DELETE")) {
+        stmt.detach = util::iequals(verb.text, "DETACH");
+        if (stmt.detach) {
+          const Token del = expect_ident();
+          if (!util::iequals(del.text, "DELETE")) {
+            lex_.fail("expected DELETE after DETACH");
+          }
+        }
+        stmt.delete_var = expect_ident().text;
+        bool bound = false;
+        for (const NodePattern& p : stmt.patterns) {
+          bound = bound || p.variable == stmt.delete_var;
+        }
+        if (!bound) lex_.fail("DELETE expects a bound node variable");
+        stmt.verb = Verb::kMatchDeleteNode;
+        expect_end();
+        return stmt;
+      }
+      lex_.fail("expected CREATE, MERGE, RETURN, SET or DELETE after MATCH");
     }
     lex_.fail("expected CREATE, MERGE or MATCH");
   }
@@ -544,19 +566,16 @@ NodeId match_single(GraphStore& store, const NodePattern& pattern) {
   return matches.front();
 }
 
-}  // namespace
-
-QueryResult CypherSession::run(std::string_view statement) {
-  // Begin transaction: parse the statement text (per-statement, like a
-  // driver sending Cypher to the server).
-  Statement stmt = Parser(statement).parse();
+/// Executes a parsed statement against the store.  Pure execution: commit
+/// bookkeeping and savepoint handling live in CypherSession::run.
+QueryResult execute(GraphStore& store, const Statement& stmt) {
   QueryResult result;
 
   switch (stmt.verb) {
     case Verb::kCreateNode: {
       for (const NodePattern& p : stmt.patterns) {
         const NodeId n =
-            store_.create_node(p.labels, to_property_list(store_, p.properties));
+            store.create_node(p.labels, to_property_list(store, p.properties));
         result.nodes.push_back(n);
         ++result.nodes_created;
         result.properties_set += p.properties.size();
@@ -565,12 +584,12 @@ QueryResult CypherSession::run(std::string_view statement) {
     }
     case Verb::kMergeNode: {
       const NodePattern& p = stmt.patterns.front();
-      std::vector<NodeId> existing = match_pattern(store_, p);
+      std::vector<NodeId> existing = match_pattern(store, p);
       if (!existing.empty()) {
         result.nodes.push_back(existing.front());
       } else {
         const NodeId n =
-            store_.create_node(p.labels, to_property_list(store_, p.properties));
+            store.create_node(p.labels, to_property_list(store, p.properties));
         result.nodes.push_back(n);
         ++result.nodes_created;
         result.properties_set += p.properties.size();
@@ -582,7 +601,7 @@ QueryResult CypherSession::run(std::string_view statement) {
       NodeId from = kNoNode;
       NodeId to = kNoNode;
       for (const NodePattern& p : stmt.patterns) {
-        const NodeId n = match_single(store_, p);
+        const NodeId n = match_single(store, p);
         if (p.variable == stmt.rel->from_var) from = n;
         if (p.variable == stmt.rel->to_var) to = n;
       }
@@ -590,40 +609,38 @@ QueryResult CypherSession::run(std::string_view statement) {
         throw CypherError("relationship endpoints not bound by MATCH");
       }
       if (stmt.verb == Verb::kMatchMergeRel) {
-        const auto type = store_.find_rel_type(stmt.rel->type);
+        const auto type = store.find_rel_type(stmt.rel->type);
         if (type) {
-          for (const RelId r : store_.node(from).out_rels) {
-            const RelRecord& rec = store_.rel(r);
+          for (const RelId r : store.node(from).out_rels) {
+            const RelRecord& rec = store.rel(r);
             if (!rec.deleted && rec.target == to && rec.type == *type) {
               result.rels.push_back(r);
-              ++statements_;
-              if (!in_transaction_) commit_record(result);
               return result;
             }
           }
         }
       }
-      const RelId r = store_.create_relationship(
-          from, to, stmt.rel->type, to_property_list(store_, stmt.rel->properties));
+      const RelId r = store.create_relationship(
+          from, to, stmt.rel->type, to_property_list(store, stmt.rel->properties));
       result.rels.push_back(r);
       ++result.rels_created;
       break;
     }
     case Verb::kMatchReturnNodes: {
-      result.nodes = match_pattern(store_, stmt.patterns.front());
+      result.nodes = match_pattern(store, stmt.patterns.front());
       result.count = static_cast<std::int64_t>(result.nodes.size());
       break;
     }
     case Verb::kMatchReturnCount: {
       result.count = static_cast<std::int64_t>(
-          match_pattern(store_, stmt.patterns.front()).size());
+          match_pattern(store, stmt.patterns.front()).size());
       break;
     }
     case Verb::kMatchSet: {
       const std::vector<NodeId> matches =
-          match_pattern(store_, stmt.patterns.front());
+          match_pattern(store, stmt.patterns.front());
       for (const NodeId n : matches) {
-        store_.set_node_property(n, stmt.set_clause->key,
+        store.set_node_property(n, stmt.set_clause->key,
                                  stmt.set_clause->value);
         ++result.properties_set;
       }
@@ -632,61 +649,160 @@ QueryResult CypherSession::run(std::string_view statement) {
     }
     case Verb::kMatchPatternReturnCount: {
       result.count = static_cast<std::int64_t>(
-          for_each_pattern_match(store_, stmt, [](RelId) {}));
+          for_each_pattern_match(store, stmt, [](RelId) {}));
+      break;
+    }
+    case Verb::kMatchDeleteNode: {
+      const NodePattern* target = nullptr;
+      for (const NodePattern& p : stmt.patterns) {
+        if (p.variable == stmt.delete_var) target = &p;
+      }
+      if (target == nullptr) {
+        throw CypherError("DELETE variable not bound by MATCH");
+      }
+      const std::vector<NodeId> doomed = match_pattern(store, *target);
+      for (const NodeId n : doomed) {
+        try {
+          store.delete_node(n, stmt.detach);
+        } catch (const std::logic_error& e) {
+          // Mid-statement failure: the session's savepoint rolls back any
+          // nodes already deleted by this statement.
+          throw CypherError(std::string("cannot DELETE node with live "
+                                        "relationships (use DETACH DELETE): ") +
+                            e.what());
+        }
+        ++result.nodes_deleted;
+      }
       break;
     }
     case Verb::kMatchPatternDelete: {
       std::vector<RelId> doomed;
-      for_each_pattern_match(store_, stmt,
+      for_each_pattern_match(store, stmt,
                              [&](RelId r) { doomed.push_back(r); });
-      for (const RelId r : doomed) store_.delete_relationship(r);
+      for (const RelId r : doomed) store.delete_relationship(r);
       result.rels_deleted = doomed.size();
       break;
     }
     case Verb::kCreateIndex: {
-      store_.create_index(stmt.index_label, stmt.index_key);
+      store.create_index(stmt.index_label, stmt.index_key);
       break;
     }
-  }
-
-  ++statements_;
-  if (in_transaction_) {
-    pending_nodes_ += result.nodes_created;
-    pending_rels_ += result.rels_created;
-  } else {
-    // Auto-commit: one WAL-style record per statement.
-    commit_record(result);
   }
   return result;
 }
 
-void CypherSession::commit_record(const QueryResult& result) {
-  ++transactions_;
-  journal_ += "commit n=";
-  journal_ += std::to_string(result.nodes_created);
-  journal_ += " r=";
-  journal_ += std::to_string(result.rels_created);
-  journal_ += '\n';
+}  // namespace
+
+QueryResult CypherSession::run(std::string_view statement) {
+  // Parse the statement text from scratch (per-statement, like a driver
+  // sending Cypher to the server).  Parse errors touch nothing.
+  Statement stmt = Parser(statement).parse();
+
+  if (stmt.verb == Verb::kCreateIndex) {
+    // Schema statement: like Neo4j, it cannot share a transaction with
+    // data statements, and it runs outside the undo machinery (an index,
+    // like an interned token, survives rollbacks).
+    if (in_transaction_) {
+      throw CypherError(
+          "CREATE INDEX cannot run inside an explicit transaction");
+    }
+    QueryResult result = execute(store_, stmt);
+    ++statements_;
+    commit_record(result, 1);
+    return result;
+  }
+
+  // Statement savepoint: auto-commit statements are atomic, and a failed
+  // statement inside an explicit transaction rolls back to the statement
+  // boundary before rethrowing (the transaction stays open) — matching
+  // Neo4j driver behaviour.
+  store_.begin_undo_scope();
+  QueryResult result;
+  try {
+    result = execute(store_, stmt);
+  } catch (...) {
+    store_.abort_scope();
+    ++statement_rollbacks_;
+    throw;
+  }
+  ++statements_;
+  if (in_transaction_) {
+    store_.commit_scope();  // fold the savepoint into the transaction scope
+    ++pending_.statements;
+    pending_.nodes_created += static_cast<std::uint32_t>(result.nodes_created);
+    pending_.rels_created += static_cast<std::uint32_t>(result.rels_created);
+    pending_.nodes_deleted += static_cast<std::uint32_t>(result.nodes_deleted);
+    pending_.rels_deleted += static_cast<std::uint32_t>(result.rels_deleted);
+    pending_.properties_set +=
+        static_cast<std::uint32_t>(result.properties_set);
+  } else {
+    store_.commit_scope();
+    commit_record(result, 1);  // auto-commit: one record per statement
+  }
+  return result;
+}
+
+void CypherSession::commit_record(const QueryResult& result,
+                                  std::size_t statement_count) {
+  CommitRecord record;
+  record.sequence = ++transactions_;
+  record.statements = static_cast<std::uint32_t>(statement_count);
+  record.nodes_created = static_cast<std::uint32_t>(result.nodes_created);
+  record.rels_created = static_cast<std::uint32_t>(result.rels_created);
+  record.nodes_deleted = static_cast<std::uint32_t>(result.nodes_deleted);
+  record.rels_deleted = static_cast<std::uint32_t>(result.rels_deleted);
+  record.properties_set = static_cast<std::uint32_t>(result.properties_set);
+  push_record(record);
+}
+
+void CypherSession::push_record(CommitRecord record) {
+  if (ring_.size() < kJournalCapacity) {
+    ring_.push_back(record);
+    return;
+  }
+  // Ring is full: overwrite the oldest slot.  Capacity was reserved up
+  // front, so journal memory is flat from here on out.
+  ring_[ring_head_] = record;
+  ring_head_ = (ring_head_ + 1) % kJournalCapacity;
+}
+
+std::vector<CommitRecord> CypherSession::journal() const {
+  std::vector<CommitRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
 }
 
 void CypherSession::begin_transaction() {
   if (in_transaction_) {
     throw std::logic_error("CypherSession: transaction already open");
   }
+  store_.begin_undo_scope();
   in_transaction_ = true;
-  pending_nodes_ = 0;
-  pending_rels_ = 0;
+  pending_ = CommitRecord{};
 }
 
 void CypherSession::commit() {
   if (!in_transaction_) {
     throw std::logic_error("CypherSession: no open transaction");
   }
+  store_.commit_scope();
   in_transaction_ = false;
-  QueryResult batch;
-  batch.nodes_created = pending_nodes_;
-  batch.rels_created = pending_rels_;
-  commit_record(batch);
+  pending_.sequence = ++transactions_;
+  push_record(pending_);
+  pending_ = CommitRecord{};
+}
+
+void CypherSession::rollback() {
+  if (!in_transaction_) {
+    throw std::logic_error("CypherSession: no open transaction");
+  }
+  store_.abort_scope();
+  in_transaction_ = false;
+  ++rollbacks_;
+  pending_ = CommitRecord{};
 }
 
 }  // namespace adsynth::graphdb

@@ -102,18 +102,25 @@ NodeId GraphStore::create_node_interned(std::vector<LabelId> labels,
                                         PropertyList properties) {
   std::sort(labels.begin(), labels.end());
   labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
-  const auto id = static_cast<NodeId>(nodes_.size());
+  // Validate before any side effect so a throw leaves the store untouched.
   for (const LabelId l : labels) {
     if (l >= label_buckets_.size()) {
       throw std::out_of_range("GraphStore: label id not interned");
     }
-    label_buckets_[l].push_back(id);
   }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  for (const LabelId l : labels) label_buckets_[l].push_back(id);
   NodeRecord rec;
   rec.labels = std::move(labels);
   rec.properties = std::move(properties);
   nodes_.push_back(std::move(rec));
   index_node(id);
+  if (recording()) {
+    UndoOp op;
+    op.kind = UndoOp::Kind::kUncreateNode;
+    op.id = id;
+    undo_log_.push_back(std::move(op));
+  }
   return id;
 }
 
@@ -127,8 +134,8 @@ RelId GraphStore::create_relationship(NodeId source, NodeId target,
 RelId GraphStore::create_relationship_interned(NodeId source, NodeId target,
                                                RelTypeId type,
                                                PropertyList properties) {
-  check_node(source);
-  check_node(target);
+  check_live_node(source);
+  check_live_node(target);
   if (type >= rel_types_.names.size()) {
     throw std::out_of_range("GraphStore: relationship type not interned");
   }
@@ -136,17 +143,47 @@ RelId GraphStore::create_relationship_interned(NodeId source, NodeId target,
   rels_.push_back(RelRecord{source, target, type, std::move(properties), false});
   nodes_[source].out_rels.push_back(id);
   nodes_[target].in_rels.push_back(id);
+  if (recording()) {
+    UndoOp op;
+    op.kind = UndoOp::Kind::kUncreateRel;
+    op.id = id;
+    undo_log_.push_back(std::move(op));
+  }
   return id;
 }
 
 void GraphStore::set_node_property(NodeId node, std::string_view key,
                                    PropertyValue v) {
-  check_node(node);
-  put_property(nodes_[node].properties, intern_key(key), std::move(v));
-  // Property indexes are append-only buckets; a changed value is re-indexed
-  // under the new key.  Stale entries are filtered at read time by
-  // re-checking the property (see find_nodes).
-  index_node(node);
+  check_live_node(node);
+  const PropertyKeyId key_id = intern_key(key);
+  const PropertyValue* old = get_property(nodes_[node].properties, key_id);
+  if (old != nullptr && *old == v) return;  // no-op write
+
+  if (recording()) {
+    UndoOp op;
+    op.kind = UndoOp::Kind::kRestoreProperty;
+    op.id = node;
+    op.key = key_id;
+    op.had_value = old != nullptr;
+    if (old != nullptr) op.old_value = *old;
+    undo_log_.push_back(std::move(op));
+  }
+  // A changed value is re-indexed under the new bucket only (not the whole
+  // node); the entry left behind in the old value's bucket is stale and
+  // filtered at read time (find_nodes re-checks the property).  Stale
+  // accounting feeds the compaction trigger.
+  const bool had_old = old != nullptr;
+  put_property(nodes_[node].properties, key_id, std::move(v));
+  const NodeRecord& rec = nodes_[node];
+  for (auto& idx : indexes_) {
+    if (idx.key != key_id) continue;
+    if (!std::binary_search(rec.labels.begin(), rec.labels.end(), idx.label)) {
+      continue;
+    }
+    if (had_old) ++idx.stale;
+  }
+  index_node_key(node, key_id);
+  maybe_compact();
 }
 
 void GraphStore::delete_relationship(RelId rel) {
@@ -154,7 +191,49 @@ void GraphStore::delete_relationship(RelId rel) {
   if (!rels_[rel].deleted) {
     rels_[rel].deleted = true;
     ++deleted_rels_;
+    if (recording()) {
+      UndoOp op;
+      op.kind = UndoOp::Kind::kUndeleteRel;
+      op.id = rel;
+      undo_log_.push_back(std::move(op));
+    }
   }
+}
+
+void GraphStore::delete_node(NodeId node, bool detach) {
+  check_node(node);
+  NodeRecord& rec = nodes_[node];
+  if (rec.deleted) return;  // idempotent, like delete_relationship
+  std::size_t live_rels = 0;
+  for (const RelId r : rec.out_rels) live_rels += !rels_[r].deleted;
+  for (const RelId r : rec.in_rels) live_rels += !rels_[r].deleted;
+  if (live_rels > 0 && !detach) {
+    throw std::logic_error(
+        "GraphStore: cannot delete node " + std::to_string(node) + " with " +
+        std::to_string(live_rels) +
+        " live relationship(s); use detach (DETACH DELETE)");
+  }
+  // Detach first (each tombstone records its own inverse), then tombstone
+  // the node itself.  Self-loops appear in both adjacency lists; the
+  // idempotence of delete_relationship keeps them single-counted.
+  for (const RelId r : rec.out_rels) delete_relationship(r);
+  for (const RelId r : rec.in_rels) delete_relationship(r);
+  rec.deleted = true;
+  ++deleted_nodes_;
+  // Index entries of a tombstoned node turn stale in place.
+  for (auto& idx : indexes_) {
+    if (!std::binary_search(rec.labels.begin(), rec.labels.end(), idx.label)) {
+      continue;
+    }
+    if (get_property(rec.properties, idx.key) != nullptr) ++idx.stale;
+  }
+  if (recording()) {
+    UndoOp op;
+    op.kind = UndoOp::Kind::kUndeleteNode;
+    op.id = node;
+    undo_log_.push_back(std::move(op));
+  }
+  maybe_compact();
 }
 
 const NodeRecord& GraphStore::node(NodeId id) const {
@@ -206,6 +285,11 @@ const std::vector<NodeId>& GraphStore::nodes_with_label_interned(
 }
 
 void GraphStore::create_index(std::string_view label, std::string_view key) {
+  if (recording()) {
+    throw std::logic_error(
+        "GraphStore: schema operations (create_index) cannot run inside an "
+        "open undo scope / transaction");
+  }
   const LabelId l = intern_label(label);
   const PropertyKeyId k = keys_.intern(key);
   for (const auto& idx : indexes_) {
@@ -215,8 +299,10 @@ void GraphStore::create_index(std::string_view label, std::string_view key) {
   idx.label = l;
   idx.key = k;
   for (const NodeId n : label_buckets_[l]) {
+    if (nodes_[n].deleted) continue;
     if (const PropertyValue* v = get_property(nodes_[n].properties, k)) {
       idx.buckets[v->index_key()].push_back(n);
+      ++idx.entries;
     }
   }
   indexes_.push_back(std::move(idx));
@@ -254,6 +340,19 @@ std::vector<NodeId> GraphStore::find_nodes(std::string_view label,
   return out;
 }
 
+std::optional<GraphStore::IndexStats> GraphStore::index_stats(
+    std::string_view label, std::string_view key) const {
+  const auto l = labels_.find(label);
+  const auto k = keys_.find(key);
+  if (!l || !k) return std::nullopt;
+  for (const auto& idx : indexes_) {
+    if (idx.label == *l && idx.key == *k) {
+      return IndexStats{idx.entries, idx.stale};
+    }
+  }
+  return std::nullopt;
+}
+
 std::size_t GraphStore::approximate_bytes() const {
   std::size_t bytes = 0;
   bytes += nodes_.capacity() * sizeof(NodeRecord);
@@ -289,6 +388,14 @@ void GraphStore::check_rel(RelId id) const {
   }
 }
 
+void GraphStore::check_live_node(NodeId id) const {
+  check_node(id);
+  if (nodes_[id].deleted) {
+    throw std::invalid_argument("GraphStore: node " + std::to_string(id) +
+                                " is deleted");
+  }
+}
+
 void GraphStore::index_node(NodeId id) {
   if (indexes_.empty()) return;
   const NodeRecord& rec = nodes_[id];
@@ -298,8 +405,199 @@ void GraphStore::index_node(NodeId id) {
     }
     if (const PropertyValue* v = get_property(rec.properties, idx.key)) {
       idx.buckets[v->index_key()].push_back(id);
+      ++idx.entries;
     }
   }
+}
+
+void GraphStore::index_node_key(NodeId id, PropertyKeyId key) {
+  if (indexes_.empty()) return;
+  const NodeRecord& rec = nodes_[id];
+  const PropertyValue* v = get_property(rec.properties, key);
+  if (v == nullptr) return;
+  for (auto& idx : indexes_) {
+    if (idx.key != key) continue;
+    if (!std::binary_search(rec.labels.begin(), rec.labels.end(), idx.label)) {
+      continue;
+    }
+    idx.buckets[v->index_key()].push_back(id);
+    ++idx.entries;
+  }
+}
+
+void GraphStore::unindex_node_key(NodeId id, PropertyKeyId key) {
+  if (indexes_.empty()) return;
+  const NodeRecord& rec = nodes_[id];
+  const PropertyValue* v = get_property(rec.properties, key);
+  if (v == nullptr) return;
+  const std::string bucket_key = v->index_key();
+  for (auto& idx : indexes_) {
+    if (idx.key != key) continue;
+    if (!std::binary_search(rec.labels.begin(), rec.labels.end(), idx.label)) {
+      continue;
+    }
+    const auto it = idx.buckets.find(bucket_key);
+    if (it == idx.buckets.end()) continue;
+    // Undo replays LIFO, so the entry to drop is the most recent one.
+    auto& ids = it->second;
+    for (auto rit = ids.rbegin(); rit != ids.rend(); ++rit) {
+      if (*rit == id) {
+        ids.erase(std::next(rit).base());
+        --idx.entries;
+        break;
+      }
+    }
+    if (ids.empty()) idx.buckets.erase(it);
+  }
+}
+
+std::size_t GraphStore::begin_undo_scope() {
+  scope_marks_.push_back(undo_log_.size());
+  return scope_marks_.size();
+}
+
+void GraphStore::commit_scope() {
+  if (scope_marks_.empty()) {
+    throw std::logic_error("GraphStore: commit_scope without an open scope");
+  }
+  scope_marks_.pop_back();
+  // Outermost commit: the batch is final, discard the inverses (the vector
+  // keeps its capacity, bounded by the largest committed batch).
+  if (scope_marks_.empty()) undo_log_.clear();
+}
+
+void GraphStore::abort_scope() {
+  if (scope_marks_.empty()) {
+    throw std::logic_error("GraphStore: abort_scope without an open scope");
+  }
+  const std::size_t mark = scope_marks_.back();
+  while (undo_log_.size() > mark) {
+    const UndoOp op = std::move(undo_log_.back());
+    undo_log_.pop_back();
+    undo(op);
+  }
+  scope_marks_.pop_back();
+}
+
+void GraphStore::undo(const UndoOp& op) {
+  switch (op.kind) {
+    case UndoOp::Kind::kUncreateNode: {
+      // LIFO replay guarantees the node is the newest record and its label
+      // bucket / index entries sit at the tails.
+      const NodeId id = op.id;
+      NodeRecord& rec = nodes_[id];
+      for (const auto& [key, value] : rec.properties) {
+        (void)value;
+        unindex_node_key(id, key);
+      }
+      for (const LabelId l : rec.labels) {
+        auto& bucket = label_buckets_[l];
+        if (!bucket.empty() && bucket.back() == id) bucket.pop_back();
+      }
+      nodes_.pop_back();
+      break;
+    }
+    case UndoOp::Kind::kUncreateRel: {
+      const RelRecord& rec = rels_[op.id];
+      auto& out = nodes_[rec.source].out_rels;
+      if (!out.empty() && out.back() == op.id) out.pop_back();
+      auto& in = nodes_[rec.target].in_rels;
+      if (!in.empty() && in.back() == op.id) in.pop_back();
+      rels_.pop_back();
+      break;
+    }
+    case UndoOp::Kind::kRestoreProperty: {
+      // Drop the entry the re-index appended under the new value, then
+      // restore the old value (whose bucket entry, if any, turns valid
+      // again — reverse the stale bookkeeping of set_node_property).
+      unindex_node_key(op.id, op.key);
+      auto& props = nodes_[op.id].properties;
+      if (op.had_value) {
+        put_property(props, op.key, op.old_value);
+        const NodeRecord& rec = nodes_[op.id];
+        for (auto& idx : indexes_) {
+          if (idx.key != op.key) continue;
+          if (!std::binary_search(rec.labels.begin(), rec.labels.end(),
+                                  idx.label)) {
+            continue;
+          }
+          if (idx.stale > 0) --idx.stale;
+        }
+      } else {
+        const auto it = std::lower_bound(
+            props.begin(), props.end(), op.key,
+            [](const auto& entry, PropertyKeyId k) { return entry.first < k; });
+        if (it != props.end() && it->first == op.key) props.erase(it);
+      }
+      break;
+    }
+    case UndoOp::Kind::kUndeleteRel: {
+      rels_[op.id].deleted = false;
+      --deleted_rels_;
+      break;
+    }
+    case UndoOp::Kind::kUndeleteNode: {
+      NodeRecord& rec = nodes_[op.id];
+      rec.deleted = false;
+      --deleted_nodes_;
+      for (auto& idx : indexes_) {
+        if (!std::binary_search(rec.labels.begin(), rec.labels.end(),
+                                idx.label)) {
+          continue;
+        }
+        if (get_property(rec.properties, idx.key) != nullptr &&
+            idx.stale > 0) {
+          --idx.stale;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void GraphStore::maybe_compact() {
+  // Compaction moves the bucket-tail entries undo replay relies on, so it
+  // is deferred while any scope is open; the next unscoped mutation (or a
+  // session commit boundary) triggers it.
+  if (recording()) return;
+  for (auto& idx : indexes_) {
+    if (idx.entries >= kCompactMinEntries &&
+        idx.stale * 2 > idx.entries) {
+      compact_index(idx);
+    }
+  }
+}
+
+void GraphStore::compact_index(PropertyIndex& idx) {
+  std::size_t kept_total = 0;
+  for (auto it = idx.buckets.begin(); it != idx.buckets.end();) {
+    auto& ids = it->second;
+    std::vector<NodeId> kept;
+    kept.reserve(ids.size());
+    for (const NodeId n : ids) {
+      if (nodes_[n].deleted) continue;
+      const NodeRecord& rec = nodes_[n];
+      if (!std::binary_search(rec.labels.begin(), rec.labels.end(),
+                              idx.label)) {
+        continue;
+      }
+      const PropertyValue* v = get_property(rec.properties, idx.key);
+      if (v == nullptr || v->index_key() != it->first) continue;
+      kept.push_back(n);
+    }
+    // Re-setting a value back can leave duplicates; reads sort anyway.
+    std::sort(kept.begin(), kept.end());
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    if (kept.empty()) {
+      it = idx.buckets.erase(it);
+      continue;
+    }
+    kept_total += kept.size();
+    ids = std::move(kept);
+    ++it;
+  }
+  idx.entries = kept_total;
+  idx.stale = 0;
 }
 
 }  // namespace adsynth::graphdb

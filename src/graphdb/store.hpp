@@ -11,7 +11,10 @@
 //  * label index (label -> node ids) and optional property indexes,
 //  * per-node adjacency for O(out-degree) neighbourhood retrieval,
 //  * interned label / relationship-type / property-key strings so a
-//    million-node graph stores each name once.
+//    million-node graph stores each name once,
+//  * an undo log with nested scopes, so mutations can be speculatively
+//    applied and rolled back (transaction savepoints, defensive what-if
+//    exploration) without copying the store.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +75,9 @@ class GraphStore {
   const std::string& rel_type_name(RelTypeId id) const;
   const std::string& key_name(PropertyKeyId id) const;
 
+  /// Number of interned relationship types (ids are 0..count-1).
+  std::size_t rel_type_count() const { return rel_types_.names.size(); }
+
   std::optional<LabelId> find_label(std::string_view name) const;
   std::optional<RelTypeId> find_rel_type(std::string_view name) const;
   std::optional<PropertyKeyId> find_key(std::string_view name) const;
@@ -93,13 +99,50 @@ class GraphStore {
                                      RelTypeId type,
                                      PropertyList properties = {});
 
-  /// Sets (insert-or-replace) one property of a node.
+  /// Sets (insert-or-replace) one property of a node.  Setting the current
+  /// value again is a no-op.  Throws std::invalid_argument on tombstoned
+  /// nodes.
   void set_node_property(NodeId node, std::string_view key, PropertyValue v);
 
   /// Tombstones a relationship; adjacency lists keep the id but readers
   /// must skip deleted records (rel(id).deleted).  Matches Neo4j DETACH-less
   /// DELETE semantics closely enough for the defense algorithms.
   void delete_relationship(RelId rel);
+
+  /// Tombstones a node.  Like Neo4j's DELETE, a node with live incident
+  /// relationships cannot be deleted unless `detach` is set (DETACH DELETE),
+  /// in which case the incident relationships are tombstoned first; a plain
+  /// delete of a connected node throws std::logic_error.  Label buckets and
+  /// property indexes keep the id; readers skip deleted records.
+  void delete_node(NodeId node, bool detach = false);
+
+  // --- undo scopes --------------------------------------------------------
+  // While at least one scope is open every mutation records its inverse
+  // operation; abort_scope() replays the inverses back to the matching
+  // begin_undo_scope() mark, leaving counts, label buckets, adjacency and
+  // property indexes exactly as they were.  Scopes nest (transaction with
+  // per-statement savepoints); committing the outermost scope discards the
+  // log.  When no scope is open, recording is off and mutations run at
+  // full generator speed.  String interning is deliberately not undone —
+  // like Neo4j token creation, it survives a rollback.
+
+  /// Opens a scope; returns its nesting depth (1 = outermost).
+  std::size_t begin_undo_scope();
+
+  /// Closes the innermost scope keeping its mutations.  In a nested scope
+  /// the recorded inverses merge into the parent; the outermost commit
+  /// clears the log.  Throws std::logic_error when no scope is open.
+  void commit_scope();
+
+  /// Rolls the store back to the innermost begin_undo_scope() mark and
+  /// closes that scope.  Throws std::logic_error when no scope is open.
+  void abort_scope();
+
+  /// Number of currently open undo scopes.
+  std::size_t undo_depth() const { return scope_marks_.size(); }
+
+  /// Pending inverse operations in the undo log (0 when no scope is open).
+  std::size_t undo_log_size() const { return undo_log_.size(); }
 
   // --- reads ------------------------------------------------------------
   std::size_t node_count() const { return nodes_.size() - deleted_nodes_; }
@@ -124,12 +167,24 @@ class GraphStore {
   // --- property index ---------------------------------------------------
   /// Creates an exact-match index on (label, key); idempotent.  Existing
   /// nodes are back-filled.  Mirrors `CREATE INDEX ... FOR (n:L) ON n.k`.
+  /// Like Neo4j, schema operations cannot share a transaction with data
+  /// operations: throws std::logic_error while an undo scope is open.
   void create_index(std::string_view label, std::string_view key);
 
   /// Index-accelerated lookup of nodes with `label` whose `key` equals
   /// `value`; falls back to a label scan when no index exists.
   std::vector<NodeId> find_nodes(std::string_view label, std::string_view key,
                                  const PropertyValue& value) const;
+
+  /// Entry/stale accounting of the property index on (label, key);
+  /// std::nullopt when no such index exists.  Exposed for the compaction
+  /// tests and operational monitoring.
+  struct IndexStats {
+    std::size_t entries = 0;
+    std::size_t stale = 0;
+  };
+  std::optional<IndexStats> index_stats(std::string_view label,
+                                        std::string_view key) const;
 
   /// Approximate resident bytes (used by the storage-efficiency tests).
   std::size_t approximate_bytes() const;
@@ -142,15 +197,56 @@ class GraphStore {
     std::optional<std::uint32_t> find(std::string_view name) const;
   };
 
+  /// An index is compacted once it holds at least this many entries and
+  /// more than half of them are stale.
+  static constexpr std::size_t kCompactMinEntries = 64;
+
   struct PropertyIndex {
     LabelId label;
     PropertyKeyId key;
     std::unordered_map<std::string, std::vector<NodeId>> buckets;
+    /// Total entries across all buckets, and how many of them are known
+    /// stale (the old bucket of a re-indexed value, entries of tombstoned
+    /// nodes).  Drives compaction; see maybe_compact().
+    std::size_t entries = 0;
+    std::size_t stale = 0;
+  };
+
+  /// One inverse operation.  Ops are recorded in mutation order and
+  /// replayed in reverse, so "uncreate" ops always see their record at the
+  /// tail of the corresponding vector.
+  struct UndoOp {
+    enum class Kind : std::uint8_t {
+      kUncreateNode,     // pop nodes_.back() plus bucket/index tail entries
+      kUncreateRel,      // pop rels_.back() plus adjacency tail entries
+      kRestoreProperty,  // restore node `id` key `key` to old_value/absence
+      kUndeleteRel,      // clear rels_[id].deleted
+      kUndeleteNode,     // clear nodes_[id].deleted
+    };
+    Kind kind;
+    bool had_value = false;  // kRestoreProperty: key existed before
+    std::uint32_t id = 0;    // node or relationship id
+    PropertyKeyId key = 0;   // kRestoreProperty
+    PropertyValue old_value; // kRestoreProperty
   };
 
   void check_node(NodeId id) const;
   void check_rel(RelId id) const;
+  /// check_node + tombstone rejection, for mutation paths: a deleted node
+  /// must not grow relationships or properties (resurrection bug).
+  void check_live_node(NodeId id) const;
   void index_node(NodeId id);
+  void index_node_key(NodeId id, PropertyKeyId key);
+  /// Removes the most recent `id` entry from the (label, key) index buckets
+  /// under the node's current value of `key`; erases emptied buckets.
+  void unindex_node_key(NodeId id, PropertyKeyId key);
+  bool recording() const { return !scope_marks_.empty(); }
+  void undo(const UndoOp& op);
+  /// Rebuilds indexes whose stale fraction crossed the threshold.  Deferred
+  /// while an undo scope is open (compaction moves the entries that undo
+  /// replay expects at bucket tails).
+  void maybe_compact();
+  void compact_index(PropertyIndex& idx);
 
   Interner labels_;
   Interner rel_types_;
@@ -162,6 +258,8 @@ class GraphStore {
   std::size_t deleted_nodes_ = 0;
   std::size_t deleted_rels_ = 0;
   std::vector<NodeId> empty_bucket_;
+  std::vector<UndoOp> undo_log_;
+  std::vector<std::size_t> scope_marks_;
 };
 
 /// Inserts or replaces `value` under `key` in a sorted PropertyList.

@@ -1,0 +1,184 @@
+// Store-backed what-if exploration and the live defense variants.
+//
+// These tests drive the undo-scope machinery the way the defense loops do:
+// speculative tombstones, evaluation over the mutated store, rollback — and
+// assert the store comes back bit-identical after every exploration.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "defense/double_oracle.hpp"
+#include "defense/edge_block.hpp"
+#include "defense/honeypot.hpp"
+#include "defense/whatif.hpp"
+
+namespace adsynth::defense {
+namespace {
+
+using graphdb::GraphStore;
+using graphdb::NodeId;
+using graphdb::PropertyValue;
+using graphdb::RelId;
+
+/// Tombstone flags + counts: enough to prove an exploration left no trace
+/// (live explorations only toggle deleted flags, never append records).
+std::string liveness_fingerprint(const GraphStore& s) {
+  std::ostringstream out;
+  out << s.node_count() << "/" << s.node_capacity() << " " << s.rel_count()
+      << "/" << s.rel_capacity() << " d" << s.undo_depth() << " u"
+      << s.undo_log_size() << " N:";
+  for (NodeId n = 0; n < s.node_capacity(); ++n) out << s.node(n).deleted;
+  out << " R:";
+  for (RelId r = 0; r < s.rel_capacity(); ++r) out << s.rel(r).deleted;
+  return out.str();
+}
+
+/// A small AD store with three entry users and a funnel through admin a1:
+///
+///   u1 -MemberOf-> g1 -AdminTo-> c1 -HasSession-> a1 -MemberOf-> DA
+///   u2 ---------AdminTo-------->  c1
+///   u3 -GenericAll-> c2 --HasSession--> a1
+///   u4 (disabled) -AdminTo-> c1          [not an entry user]
+struct Fixture {
+  GraphStore store;
+  NodeId da, u1, u2, u3, u4, a1, g1, c1, c2;
+  RelId a1_to_da;
+
+  Fixture() {
+    const auto user = [&](const char* name, bool enabled, bool admin) {
+      const NodeId n = store.create_node({"User"});
+      store.set_node_property(n, "name", PropertyValue(name));
+      store.set_node_property(n, "enabled", PropertyValue(enabled));
+      if (admin) store.set_node_property(n, "admin", PropertyValue(true));
+      return n;
+    };
+    da = store.create_node({"Group"});
+    store.set_node_property(da, "name", PropertyValue("DOMAIN ADMINS"));
+    u1 = user("U1", true, false);
+    u2 = user("U2", true, false);
+    u3 = user("U3", true, false);
+    u4 = user("U4", false, false);
+    a1 = user("A1", true, true);
+    g1 = store.create_node({"Group"});
+    store.set_node_property(g1, "name", PropertyValue("HELPDESK"));
+    c1 = store.create_node({"Computer"});
+    c2 = store.create_node({"Computer"});
+
+    store.create_relationship(u1, g1, "MemberOf");
+    store.create_relationship(g1, c1, "AdminTo");
+    store.create_relationship(c1, a1, "HasSession");
+    a1_to_da = store.create_relationship(a1, da, "MemberOf");
+    store.create_relationship(u2, c1, "AdminTo");
+    store.create_relationship(u3, c2, "GenericAll");
+    store.create_relationship(c2, a1, "HasSession");
+    store.create_relationship(u4, c1, "AdminTo");
+  }
+};
+
+TEST(WhatIf, ResolvesTargetEntriesAndTraversability) {
+  Fixture f;
+  WhatIf w(f.store);
+  EXPECT_EQ(w.target(), f.da);
+  EXPECT_EQ(w.entry_users(), (std::vector<NodeId>{f.u1, f.u2, f.u3}));
+  EXPECT_EQ(w.survivors(), 3u);
+  const auto path = w.shortest_attack_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.size(), 3u);  // u2 or u3 funnel: entry -> host -> a1 -> DA
+  EXPECT_EQ(f.store.rel(path.back()).target, f.da);
+}
+
+TEST(WhatIf, ThrowsWithoutDomainAdmins) {
+  GraphStore store;
+  store.create_node({"User"});
+  EXPECT_THROW(WhatIf w(store), std::logic_error);
+}
+
+TEST(WhatIf, SpeculativeBlockAndRollback) {
+  Fixture f;
+  const std::string before = liveness_fingerprint(f.store);
+  WhatIf w(f.store);
+  w.speculate();
+  w.block_edge(f.a1_to_da);  // severs the funnel for everyone
+  EXPECT_EQ(w.survivors(), 0u);
+  EXPECT_TRUE(w.shortest_attack_path().empty());
+  w.rollback();
+  EXPECT_EQ(w.survivors(), 3u);
+  EXPECT_EQ(liveness_fingerprint(f.store), before);
+
+  // Honeypot-style node tombstone, nested two deep.
+  w.speculate();
+  w.block_edge(f.a1_to_da);
+  w.speculate();
+  w.block_node(f.c1);  // detach-deletes c1 and its edges
+  EXPECT_EQ(w.survivors(), 0u);
+  w.rollback();
+  w.rollback();
+  EXPECT_EQ(liveness_fingerprint(f.store), before);
+}
+
+TEST(WhatIf, NonTraversableEdgesIgnored) {
+  Fixture f;
+  // A CanRDP edge straight to an admin session host must not open a path.
+  const NodeId u5 = f.store.create_node({"User"});
+  f.store.set_node_property(u5, "name", PropertyValue("U5"));
+  f.store.set_node_property(u5, "enabled", PropertyValue(true));
+  f.store.create_relationship(u5, f.c1, "CanRDP");
+  WhatIf w(f.store);
+  EXPECT_EQ(w.entry_users().size(), 4u);
+  EXPECT_EQ(w.survivors(), 3u);  // u5 does not reach DA over CanRDP
+}
+
+TEST(EdgeBlockLive, CutsTheFunnelAndRestoresStore) {
+  Fixture f;
+  const std::string before = liveness_fingerprint(f.store);
+  const LiveEdgeBlockResult r = block_edges_live(f.store, /*budget=*/2);
+  EXPECT_EQ(r.entry_users, 3u);
+  EXPECT_EQ(r.entry_users_connected, 3u);
+  // Blocking the single a1 -> DA membership strands every entry user, and
+  // greedy finds it on the first probed path.
+  ASSERT_EQ(r.blocked_rels.size(), 1u);
+  EXPECT_EQ(r.blocked_rels[0], f.a1_to_da);
+  EXPECT_DOUBLE_EQ(r.attacker_success, 0.0);
+  EXPECT_EQ(liveness_fingerprint(f.store), before);
+}
+
+TEST(DoubleOracleLive, ConvergesWithOneCutAndRestoresStore) {
+  Fixture f;
+  const std::string before = liveness_fingerprint(f.store);
+  const LiveDoubleOracleResult r = harden_live(f.store);
+  EXPECT_EQ(r.initial_shortest_length, 3);
+  EXPECT_TRUE(r.converged);
+  // Every shortest-length path crosses a1 -> DA; one cut ends the game.
+  EXPECT_EQ(r.cut_count(), 1u);
+  EXPECT_EQ(r.cuts[0], f.a1_to_da);
+  EXPECT_EQ(liveness_fingerprint(f.store), before);
+}
+
+TEST(HoneypotLive, PlacesOnTheFunnelAndRestoresStore) {
+  Fixture f;
+  const std::string before = liveness_fingerprint(f.store);
+  const LiveHoneypotResult r = place_honeypots_live(f.store, /*count=*/2);
+  EXPECT_EQ(r.entry_users_connected, 3u);
+  // a1 intercepts every path; after placing it no path survives, so the
+  // greedy loop stops early.
+  ASSERT_EQ(r.placements.size(), 1u);
+  EXPECT_EQ(r.placements[0], f.a1);
+  EXPECT_DOUBLE_EQ(r.final_coverage(), 1.0);
+  EXPECT_EQ(liveness_fingerprint(f.store), before);
+}
+
+TEST(HoneypotLive, EmptyStoreThrowsAndDisconnectedIsNoop) {
+  GraphStore store;
+  EXPECT_THROW(place_honeypots_live(store, 1), std::logic_error);
+
+  // A DA group with no attack surface: zero connected entries, no rounds.
+  const NodeId da = store.create_node({"Group"});
+  store.set_node_property(da, "name", PropertyValue("DOMAIN ADMINS"));
+  const LiveHoneypotResult r = place_honeypots_live(store, 3);
+  EXPECT_EQ(r.entry_users_connected, 0u);
+  EXPECT_TRUE(r.placements.empty());
+}
+
+}  // namespace
+}  // namespace adsynth::defense

@@ -133,14 +133,16 @@ TEST_F(CypherTest, TransactionsCountedAndJournaled) {
   session.run("CREATE (n:User {name: 'A'})");
   session.run("CREATE (n:User {name: 'B'})");
   EXPECT_EQ(session.transactions(), 2u);
-  // Two commit records in the journal.
-  std::size_t commits = 0;
-  std::size_t pos = 0;
-  while ((pos = session.journal().find("commit", pos)) != std::string::npos) {
-    ++commits;
-    pos += 6;
+  // Two commit records in the journal, in order, one statement each.
+  const std::vector<CommitRecord> journal = session.journal();
+  ASSERT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal[0].sequence, 1u);
+  EXPECT_EQ(journal[1].sequence, 2u);
+  for (const CommitRecord& rec : journal) {
+    EXPECT_EQ(rec.statements, 1u);
+    EXPECT_EQ(rec.nodes_created, 1u);
+    EXPECT_EQ(rec.rels_created, 0u);
   }
-  EXPECT_EQ(commits, 2u);
 }
 
 TEST_F(CypherTest, TrailingSemicolonAccepted) {
@@ -178,7 +180,10 @@ TEST_F(CypherTest, ExplicitTransactionBatchesCommits) {
   EXPECT_EQ(session.transactions(), 1u);
   EXPECT_EQ(store.node_count(), 3u);
   // The single commit record carries the batch totals.
-  EXPECT_NE(session.journal().find("commit n=3"), std::string::npos);
+  const std::vector<CommitRecord> journal = session.journal();
+  ASSERT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal[0].statements, 3u);
+  EXPECT_EQ(journal[0].nodes_created, 3u);
 }
 
 TEST_F(CypherTest, TransactionMisuseThrows) {
@@ -194,6 +199,113 @@ TEST_F(CypherTest, AutoCommitResumesAfterExplicitTransaction) {
   session.commit();
   session.run("CREATE (n:User {name: 'B'})");
   EXPECT_EQ(session.transactions(), 2u);
+}
+
+TEST_F(CypherTest, RollbackDiscardsTransaction) {
+  session.run("CREATE (n:User {name: 'KEEP'})");
+  session.begin_transaction();
+  session.run("CREATE (n:User {name: 'GONE'})");
+  session.run("MATCH (n:User {name: 'KEEP'}) SET n.enabled = true");
+  session.rollback();
+  EXPECT_FALSE(session.in_transaction());
+  EXPECT_EQ(session.rollbacks(), 1u);
+  EXPECT_EQ(session.transactions(), 1u);  // only the auto-commit
+  EXPECT_EQ(store.node_count(), 1u);
+  const NodeId keep = store.nodes_with_label("User")[0];
+  EXPECT_EQ(store.node_property(keep, "enabled"), nullptr);
+  // A rolled-back transaction leaves no journal record.
+  EXPECT_EQ(session.journal().size(), 1u);
+}
+
+TEST_F(CypherTest, RollbackOutsideTransactionThrows) {
+  EXPECT_THROW(session.rollback(), std::logic_error);
+}
+
+TEST_F(CypherTest, FailedStatementRollsBackToStatementBoundary) {
+  session.begin_transaction();
+  session.run("CREATE (n:User {name: 'A'})");
+  // The statement throws after the session parsed it; the savepoint must
+  // discard any partial work without killing the transaction's first write.
+  EXPECT_THROW(session.run("MATCH (a:User {name: 'A'}), (b:Group {name: "
+                           "'MISSING'}) CREATE (a)-[:MemberOf]->(b)"),
+               CypherError);
+  EXPECT_TRUE(session.in_transaction());
+  EXPECT_EQ(session.statement_rollbacks(), 1u);
+  session.commit();
+  EXPECT_EQ(store.node_count(), 1u);
+  EXPECT_EQ(store.rel_count(), 0u);
+  ASSERT_EQ(session.journal().size(), 1u);
+  EXPECT_EQ(session.journal()[0].statements, 1u);  // failed one not counted
+}
+
+TEST_F(CypherTest, FailedAutoCommitStatementIsAtomic) {
+  session.run("CREATE (n:User {name: 'A'})");
+  EXPECT_THROW(session.run("MATCH (a:User {name: 'A'}), (b:Group {name: "
+                           "'MISSING'}) CREATE (a)-[:MemberOf]->(b)"),
+               CypherError);
+  EXPECT_EQ(session.statement_rollbacks(), 1u);
+  EXPECT_EQ(store.node_count(), 1u);
+  EXPECT_EQ(session.transactions(), 1u);
+}
+
+TEST_F(CypherTest, MatchDeleteRemovesNodes) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:User {name: 'B'})");
+  const QueryResult r = session.run("MATCH (n:User {name: 'A'}) DELETE n");
+  EXPECT_EQ(r.nodes_deleted, 1u);
+  EXPECT_EQ(store.node_count(), 1u);
+  EXPECT_EQ(session.run("MATCH (n:User {name: 'A'}) RETURN count(n)").count,
+            0);
+}
+
+TEST_F(CypherTest, DeleteConnectedNodeNeedsDetach) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.run("CREATE (n:Group {name: 'G'})");
+  session.run(
+      "MATCH (a:User {name: 'A'}), (b:Group {name: 'G'}) "
+      "CREATE (a)-[:MemberOf]->(b)");
+  EXPECT_THROW(session.run("MATCH (n:User {name: 'A'}) DELETE n"),
+               CypherError);
+  EXPECT_EQ(store.node_count(), 2u);  // the failed DELETE changed nothing
+  const QueryResult r =
+      session.run("MATCH (n:User {name: 'A'}) DETACH DELETE n");
+  EXPECT_EQ(r.nodes_deleted, 1u);
+  EXPECT_EQ(store.node_count(), 1u);
+  EXPECT_EQ(store.rel_count(), 0u);
+}
+
+TEST_F(CypherTest, DeleteInsideTransactionRollsBack) {
+  session.run("CREATE (n:User {name: 'A'})");
+  session.begin_transaction();
+  session.run("MATCH (n:User {name: 'A'}) DETACH DELETE n");
+  EXPECT_EQ(store.node_count(), 0u);
+  session.rollback();
+  EXPECT_EQ(store.node_count(), 1u);
+  EXPECT_EQ(session.run("MATCH (n:User {name: 'A'}) RETURN count(n)").count,
+            1);
+}
+
+TEST_F(CypherTest, CreateIndexRefusedInsideTransaction) {
+  session.begin_transaction();
+  EXPECT_THROW(session.run("CREATE INDEX ON :User(name)"), CypherError);
+  session.rollback();
+  // Allowed (and journaled) as an auto-commit statement.
+  session.run("CREATE INDEX ON :User(name)");
+  EXPECT_EQ(session.transactions(), 1u);
+}
+
+TEST_F(CypherTest, JournalIsBoundedRing) {
+  for (std::size_t i = 0; i < CypherSession::kJournalCapacity + 10; ++i) {
+    session.run("CREATE (n:User {name: 'U" + std::to_string(i) + "'})");
+  }
+  const std::vector<CommitRecord> journal = session.journal();
+  ASSERT_EQ(journal.size(), CypherSession::kJournalCapacity);
+  // Oldest records were overwritten; order stays chronological.
+  EXPECT_EQ(journal.front().sequence, 11u);
+  EXPECT_EQ(journal.back().sequence, CypherSession::kJournalCapacity + 10);
+  for (std::size_t i = 1; i < journal.size(); ++i) {
+    EXPECT_EQ(journal[i].sequence, journal[i - 1].sequence + 1);
+  }
 }
 
 }  // namespace

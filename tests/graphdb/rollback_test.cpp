@@ -1,0 +1,288 @@
+// Rollback / atomicity suite for the undo-log transaction machinery.
+//
+// The core claim under test: a statement that throws inside an explicit
+// transaction (or in auto-commit) leaves the store *bit-identical* to the
+// last statement boundary — node/relationship records, label buckets,
+// adjacency, and property-index answers all restored exactly.  The
+// fingerprint below serializes everything observable through the public
+// API so "bit-identical" is checked literally, not just via counts.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graphdb/cypher.hpp"
+#include "graphdb/store.hpp"
+#include "util/rng.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+const char* const kLabels[] = {"User", "Group", "Computer"};
+const char* const kKeys[] = {"name", "enabled", "tier"};
+
+/// Serializes every publicly observable aspect of the store: record
+/// contents, tombstone flags, adjacency order, label-bucket order, and
+/// index answers for a battery of probe values.
+std::string fingerprint(const GraphStore& s) {
+  std::ostringstream out;
+  out << "n=" << s.node_count() << " r=" << s.rel_count()
+      << " nc=" << s.node_capacity() << " rc=" << s.rel_capacity() << "\n";
+  for (NodeId id = 0; id < s.node_capacity(); ++id) {
+    const NodeRecord& n = s.node(id);
+    out << "N" << id << (n.deleted ? "!" : "") << " l:";
+    for (const LabelId l : n.labels) out << l << ",";
+    out << " p:";
+    for (const auto& [k, v] : n.properties) {
+      out << k << "=" << v.index_key() << ";";
+    }
+    out << " o:";
+    for (const RelId r : n.out_rels) out << r << ",";
+    out << " i:";
+    for (const RelId r : n.in_rels) out << r << ",";
+    out << "\n";
+  }
+  for (RelId id = 0; id < s.rel_capacity(); ++id) {
+    const RelRecord& r = s.rel(id);
+    out << "R" << id << (r.deleted ? "!" : "") << " " << r.source << "->"
+        << r.target << " t" << r.type << " p:";
+    for (const auto& [k, v] : r.properties) {
+      out << k << "=" << v.index_key() << ";";
+    }
+    out << "\n";
+  }
+  for (const char* label : kLabels) {
+    out << "L" << label << ":";
+    for (const NodeId n : s.nodes_with_label(label)) out << n << ",";
+    out << "\n";
+  }
+  // Index answers: probe every (label, key) pair with the values the tests
+  // use, so stale/duplicated bucket entries surface as different answers.
+  for (const char* label : kLabels) {
+    for (const char* key : kKeys) {
+      for (const PropertyValue& probe :
+           {PropertyValue("A"), PropertyValue("B"), PropertyValue("X"),
+            PropertyValue(true), PropertyValue(false), PropertyValue(1),
+            PropertyValue(2)}) {
+        out << "F" << label << "." << key << "=" << probe.index_key() << ":";
+        for (const NodeId n : s.find_nodes(label, key, probe)) out << n << ",";
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+class RollbackTest : public ::testing::Test {
+ protected:
+  GraphStore store;
+  CypherSession session{store};
+
+  void seed_graph() {
+    session.run("CREATE INDEX ON :User(name)");
+    session.run("CREATE (n:User {name: 'A', enabled: true, tier: 1})");
+    session.run("CREATE (n:User {name: 'B', enabled: false, tier: 2})");
+    session.run("CREATE (n:Group {name: 'X'})");
+    session.run("CREATE (n:Computer {name: 'B'})");
+    session.run(
+        "MATCH (a:User {name: 'A'}), (b:Group {name: 'X'}) "
+        "CREATE (a)-[:MemberOf]->(b)");
+    session.run(
+        "MATCH (a:Group {name: 'X'}), (b:Computer {name: 'B'}) "
+        "CREATE (a)-[:AdminTo {fromgpo: true}]->(b)");
+  }
+};
+
+TEST_F(RollbackTest, FailedStatementLeavesStoreBitIdentical) {
+  seed_graph();
+  session.begin_transaction();
+  session.run("CREATE (n:User {name: 'C'})");
+  session.run("MATCH (n:User {name: 'B'}) SET n.tier = 9");
+  const std::string boundary = fingerprint(store);
+
+  // The MATCH side succeeds (both patterns bind) but the statement fails on
+  // a later match group — everything it did must unwind to the boundary.
+  EXPECT_THROW(
+      session.run("MATCH (a:User {name: 'C'}), (b:Group {name: 'MISSING'}) "
+                  "CREATE (a)-[:MemberOf]->(b)"),
+      CypherError);
+  EXPECT_EQ(fingerprint(store), boundary);
+  EXPECT_TRUE(session.in_transaction());
+
+  // A DELETE that does partial work before throwing: D1 is unconnected
+  // (deleted first, in creation order), D2 is connected (throws).  The
+  // tombstone on D1 must unwind with the failed statement.
+  session.run("CREATE (n:Domain {name: 'D1'})");
+  session.run("CREATE (n:Domain {name: 'D2'})");
+  session.run(
+      "MATCH (a:Domain {name: 'D2'}), (b:Group {name: 'X'}) "
+      "CREATE (a)-[:Contains]->(b)");
+  const std::string boundary2 = fingerprint(store);
+  EXPECT_THROW(session.run("MATCH (n:Domain) DELETE n"), CypherError);
+  EXPECT_EQ(fingerprint(store), boundary2);
+
+  // The transaction itself still commits cleanly afterwards.
+  session.commit();
+  EXPECT_EQ(fingerprint(store), boundary2);
+}
+
+TEST_F(RollbackTest, ExplicitRollbackRestoresSeedState) {
+  seed_graph();
+  const std::string before = fingerprint(store);
+  session.begin_transaction();
+  session.run("CREATE (n:User {name: 'C', enabled: true})");
+  session.run("MATCH (n:User {name: 'A'}) SET n.enabled = false");
+  session.run("MATCH (n:User {name: 'B'}) DETACH DELETE n");
+  session.run("MATCH (n:Computer {name: 'B'}) DETACH DELETE n");
+  EXPECT_NE(fingerprint(store), before);
+  session.rollback();
+  EXPECT_EQ(fingerprint(store), before);
+}
+
+TEST_F(RollbackTest, NestedScopesRestoreExactly) {
+  seed_graph();
+  const std::string base = fingerprint(store);
+  store.begin_undo_scope();
+  const NodeId extra = store.create_node({"User"});
+  store.set_node_property(extra, "name", PropertyValue("A"));  // shares bucket
+  const std::string mid = fingerprint(store);
+
+  store.begin_undo_scope();
+  store.delete_node(extra, /*detach=*/true);
+  store.set_node_property(store.nodes_with_label("Group")[0], "tier",
+                          PropertyValue(2));
+  store.abort_scope();
+  EXPECT_EQ(fingerprint(store), mid);
+
+  // Committing an inner scope folds it into the outer one...
+  store.begin_undo_scope();
+  store.create_relationship(extra, store.nodes_with_label("Group")[0],
+                            "MemberOf");
+  store.commit_scope();
+  // ...so aborting the outer scope unwinds the folded work too.
+  store.abort_scope();
+  EXPECT_EQ(fingerprint(store), base);
+  EXPECT_EQ(store.undo_depth(), 0u);
+  EXPECT_EQ(store.undo_log_size(), 0u);
+}
+
+// Randomized interleaving: arbitrary mutations under arbitrarily nested
+// scopes, with the fingerprint captured at every scope entry and checked on
+// every abort.  Catches LIFO-order bugs (bucket tails, adjacency tails,
+// index entries) that a hand-written scenario might miss.
+TEST_F(RollbackTest, RandomizedApplyRollbackInterleaving) {
+  util::Rng rng(0xad51u);
+  seed_graph();
+  std::vector<std::string> marks;  // fingerprint at each open scope
+
+  const auto random_live_node = [&]() -> NodeId {
+    for (int tries = 0; tries < 16; ++tries) {
+      const NodeId id = static_cast<NodeId>(
+          rng.uniform(0, store.node_capacity() - 1));
+      if (!store.node(id).deleted) return id;
+    }
+    return kNoNode;
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const std::uint64_t action = rng.uniform(0, 9);
+    switch (action) {
+      case 0:  // open a scope (bounded nesting)
+        if (marks.size() < 4) {
+          marks.push_back(fingerprint(store));
+          store.begin_undo_scope();
+        }
+        break;
+      case 1:  // abort: store must return to the mark exactly
+        if (!marks.empty()) {
+          store.abort_scope();
+          EXPECT_EQ(fingerprint(store), marks.back());
+          marks.pop_back();
+        }
+        break;
+      case 2:  // commit: folds into parent, parent mark stays valid
+        if (!marks.empty()) {
+          store.commit_scope();
+          marks.pop_back();
+        }
+        break;
+      case 3:
+      case 4: {  // create node, sometimes sharing indexed values
+        const char* label = kLabels[rng.uniform(0, 2)];
+        const NodeId n = store.create_node({label});
+        store.set_node_property(
+            n, "name", PropertyValue(rng.uniform(0, 1) ? "A" : "B"));
+        break;
+      }
+      case 5: {  // create relationship between live nodes
+        const NodeId a = random_live_node();
+        const NodeId b = random_live_node();
+        if (a != kNoNode && b != kNoNode) {
+          store.create_relationship(a, b, "MemberOf");
+        }
+        break;
+      }
+      case 6: {  // property churn on an indexed key
+        const NodeId n = random_live_node();
+        if (n != kNoNode) {
+          store.set_node_property(
+              n, "tier", PropertyValue(static_cast<std::int64_t>(
+                             rng.uniform(1, 2))));
+        }
+        break;
+      }
+      case 7: {  // tombstone a relationship
+        if (store.rel_capacity() > 0) {
+          store.delete_relationship(static_cast<RelId>(
+              rng.uniform(0, store.rel_capacity() - 1)));
+        }
+        break;
+      }
+      case 8: {  // detach-delete a node
+        const NodeId n = random_live_node();
+        if (n != kNoNode) store.delete_node(n, /*detach=*/true);
+        break;
+      }
+      case 9: {  // no-op rewrite of the current value (must record nothing)
+        const NodeId n = random_live_node();
+        if (n != kNoNode) {
+          const PropertyValue* cur = store.node_property(n, "name");
+          if (cur != nullptr) {
+            const std::size_t before = store.undo_log_size();
+            store.set_node_property(n, "name", *cur);
+            EXPECT_EQ(store.undo_log_size(), before);
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Unwind everything still open: each abort must land on its mark.
+  while (!marks.empty()) {
+    store.abort_scope();
+    EXPECT_EQ(fingerprint(store), marks.back());
+    marks.pop_back();
+  }
+  EXPECT_EQ(store.undo_depth(), 0u);
+}
+
+// Satellite: the session journal is a bounded ring — memory must stay flat
+// over a large import instead of growing a per-statement string forever.
+TEST_F(RollbackTest, JournalMemoryFlatOverMillionStatementImport) {
+  constexpr std::size_t kStatements = 1'000'000;
+  session.run("CREATE (n:U)");
+  const std::size_t bytes_at_start = session.journal_bytes();
+  for (std::size_t i = 1; i < kStatements; ++i) {
+    session.run("CREATE (n:U)");
+  }
+  EXPECT_EQ(session.statements(), kStatements);
+  EXPECT_EQ(session.transactions(), kStatements);
+  EXPECT_EQ(session.journal_bytes(), bytes_at_start);  // flat, not O(n)
+  EXPECT_LE(session.journal_size(), CypherSession::kJournalCapacity);
+  const std::vector<CommitRecord> journal = session.journal();
+  EXPECT_EQ(journal.back().sequence, kStatements);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

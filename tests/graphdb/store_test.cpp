@@ -181,5 +181,140 @@ TEST(GraphStore, ApproximateBytesGrowsWithContent) {
   EXPECT_GT(store.approximate_bytes(), empty);
 }
 
+TEST(GraphStore, DeleteNodeTombstones) {
+  GraphStore store;
+  const NodeId a = store.create_node({"User"});
+  const NodeId b = store.create_node({"User"});
+  store.delete_node(a);
+  EXPECT_TRUE(store.node(a).deleted);
+  EXPECT_EQ(store.node_count(), 1u);
+  EXPECT_EQ(store.nodes_with_label("User"), std::vector<NodeId>{b});
+  store.delete_node(a);  // idempotent
+  EXPECT_EQ(store.node_count(), 1u);
+}
+
+TEST(GraphStore, DeleteConnectedNodeRequiresDetach) {
+  GraphStore store;
+  const NodeId a = store.create_node({"User"});
+  const NodeId b = store.create_node({"Group"});
+  store.create_relationship(a, b, "MemberOf");
+  EXPECT_THROW(store.delete_node(a), std::logic_error);
+  EXPECT_FALSE(store.node(a).deleted);
+  store.delete_node(a, /*detach=*/true);
+  EXPECT_TRUE(store.node(a).deleted);
+  EXPECT_EQ(store.rel_count(), 0u);
+  // Once the incident relationship is tombstoned, plain delete suffices.
+  store.delete_node(b);
+  EXPECT_EQ(store.node_count(), 0u);
+}
+
+TEST(GraphStore, DetachDeleteHandlesSelfLoop) {
+  GraphStore store;
+  const NodeId a = store.create_node({"Computer"});
+  store.create_relationship(a, a, "AdminTo");
+  store.delete_node(a, /*detach=*/true);
+  EXPECT_EQ(store.node_count(), 0u);
+  EXPECT_EQ(store.rel_count(), 0u);
+}
+
+TEST(GraphStore, RelationshipsRejectTombstonedEndpoints) {
+  GraphStore store;
+  const NodeId a = store.create_node({"User"});
+  const NodeId b = store.create_node({"Group"});
+  store.delete_node(b);
+  // The resurrection bug: edges must not attach to deleted nodes.
+  EXPECT_THROW(store.create_relationship(a, b, "MemberOf"),
+               std::invalid_argument);
+  EXPECT_THROW(store.create_relationship(b, a, "MemberOf"),
+               std::invalid_argument);
+  EXPECT_THROW(store.set_node_property(b, "name", PropertyValue("X")),
+               std::invalid_argument);
+  EXPECT_EQ(store.rel_count(), 0u);
+}
+
+TEST(GraphStore, DeletedNodesInvisibleToFindNodes) {
+  GraphStore store;
+  store.create_index("User", "name");
+  const NodeId a = store.create_node({"User"});
+  store.set_node_property(a, "name", PropertyValue("A"));
+  store.delete_node(a);
+  EXPECT_TRUE(store.find_nodes("User", "name", PropertyValue("A")).empty());
+  // Back-fill after deletion skips tombstones too.
+  store.create_index("User", "enabled");
+  EXPECT_TRUE(store.find_nodes("User", "enabled", PropertyValue(true)).empty());
+}
+
+TEST(GraphStore, CreateNodeAtomicOnUnknownInternedLabel) {
+  GraphStore store;
+  const LabelId known = store.intern_label("User");
+  EXPECT_THROW(store.create_node_interned({known, known + 7}),
+               std::out_of_range);
+  // The failed create must not leave a half-registered node behind.
+  EXPECT_EQ(store.node_count(), 0u);
+  EXPECT_TRUE(store.nodes_with_label("User").empty());
+}
+
+TEST(GraphStore, IndexStaleAccountingAndCompaction) {
+  GraphStore store;
+  store.create_index("User", "name");
+  const NodeId n = store.create_node({"User"});
+  store.set_node_property(n, "name", PropertyValue("V0"));
+  auto stats = store.index_stats("User", "name");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->entries, 1u);
+  EXPECT_EQ(stats->stale, 0u);
+
+  // Each overwrite strands the previous bucket entry.
+  for (int i = 1; i <= 10; ++i) {
+    store.set_node_property(n, "name",
+                            PropertyValue("V" + std::to_string(i)));
+  }
+  stats = store.index_stats("User", "name");
+  EXPECT_EQ(stats->stale, 10u);
+  // Setting the same value again is a no-op: no new stale entry.
+  store.set_node_property(n, "name", PropertyValue("V10"));
+  EXPECT_EQ(store.index_stats("User", "name")->stale, 10u);
+
+  // Lookups stay exact despite the garbage.
+  EXPECT_TRUE(store.find_nodes("User", "name", PropertyValue("V3")).empty());
+  EXPECT_EQ(store.find_nodes("User", "name", PropertyValue("V10")),
+            std::vector<NodeId>{n});
+
+  // Push past the compaction threshold: entries >= 64 and stale majority.
+  for (int i = 0; i < 200; ++i) {
+    store.set_node_property(n, "name",
+                            PropertyValue("W" + std::to_string(i)));
+  }
+  stats = store.index_stats("User", "name");
+  // Compaction fired at least once: far fewer entries than writes.
+  EXPECT_LT(stats->entries + stats->stale, 100u);
+  EXPECT_EQ(store.find_nodes("User", "name", PropertyValue("W199")),
+            std::vector<NodeId>{n});
+}
+
+TEST(GraphStore, CompactionDeferredWhileRecording) {
+  GraphStore store;
+  store.create_index("User", "name");
+  const NodeId n = store.create_node({"User"});
+  store.begin_undo_scope();
+  for (int i = 0; i < 500; ++i) {
+    store.set_node_property(n, "name",
+                            PropertyValue("V" + std::to_string(i)));
+  }
+  // No compaction inside the scope: all stale entries still accounted.
+  EXPECT_GE(store.index_stats("User", "name")->stale, 400u);
+  store.abort_scope();
+  EXPECT_EQ(store.node_property(n, "name"), nullptr);
+  EXPECT_EQ(store.index_stats("User", "name")->entries, 0u);
+}
+
+TEST(GraphStore, CreateIndexForbiddenInsideUndoScope) {
+  GraphStore store;
+  store.begin_undo_scope();
+  EXPECT_THROW(store.create_index("User", "name"), std::logic_error);
+  store.abort_scope();
+  store.create_index("User", "name");  // fine outside
+}
+
 }  // namespace
 }  // namespace adsynth::graphdb

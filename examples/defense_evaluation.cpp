@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
     // --- Edge blocking ----------------------------------------------------------
     {
       std::printf("\n[Edge blocking]\n");
-      for (const auto [algorithm, name] :
+      for (const auto& [algorithm, name] :
            {std::pair{defense::EdgeBlockAlgorithm::kIpKernelization,
                       "IP (kernelization)"},
             std::pair{defense::EdgeBlockAlgorithm::kIterativeLp, "IterLP"}}) {

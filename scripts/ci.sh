@@ -1,0 +1,129 @@
+#!/usr/bin/env sh
+# Full local CI pipeline.  Runs every lane the repo defines and prints a
+# per-stage PASS/FAIL/SKIP table at the end; exits non-zero if any stage
+# failed.  SKIP is reserved for lanes whose toolchain is absent on the
+# host (clang-only lanes, missing sanitizer runtimes) — a stage that runs
+# and breaks is always FAIL.
+#
+# Stages:
+#   build      — configure + compile, warnings promoted (-DADSYNTH_WERROR=ON)
+#   test       — full ctest suite (includes lint.determinism/lint.selftest
+#                and the store invariant-injection tests)
+#   lint       — tools/adsynth_lint standalone over the repo + fixtures
+#                self-test (same binary the ctest entries run; kept as its
+#                own stage so a lint break is named in the table)
+#   analyze    — Clang -Werror=thread-safety lane (SKIP without clang++)
+#   tidy       — clang-tidy profile (SKIP without clang-tidy)
+#   asan/tsan/ubsan — sanitizer lanes (SKIP when the compiler lacks the
+#                runtime; scripts/sanitize_lanes.sh probes before building)
+#
+# Usage: scripts/ci.sh [jobs]
+set -u
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+log_dir="$root/build-ci-logs"
+mkdir -p "$log_dir"
+
+stages=""
+results=""
+failed=0
+
+record() {
+  stages="$stages $1"
+  results="$results $2"
+  [ "$2" = "FAIL" ] && failed=1
+}
+
+# run_stage <name> <log> <cmd...>: runs the command, records PASS/FAIL.
+run_stage() {
+  name="$1"; log="$log_dir/$2"; shift 2
+  echo "== ci stage: $name =="
+  if "$@" > "$log" 2>&1; then
+    record "$name" PASS
+  else
+    record "$name" FAIL
+    echo "-- $name failed; last 30 log lines ($log):"
+    tail -n 30 "$log"
+  fi
+}
+
+have() { command -v "$1" > /dev/null 2>&1; }
+
+sanitizer_supported() {
+  dir="$(mktemp -d)"
+  printf 'int main(){return 0;}\n' > "$dir/p.cpp"
+  ok=1
+  "${CXX:-c++}" "-fsanitize=$1" -o "$dir/p" "$dir/p.cpp" \
+    > /dev/null 2>&1 && ok=0
+  rm -rf "$dir"
+  return $ok
+}
+
+# --- build + test ----------------------------------------------------------
+run_stage build build.log sh -c "
+  cmake -B '$root/build-ci' -S '$root' -DADSYNTH_WERROR=ON &&
+  cmake --build '$root/build-ci' -j '$jobs'"
+
+if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
+  run_stage test test.log \
+    ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs"
+  run_stage lint lint.log sh -c "
+    '$root/build-ci/tools/adsynth_lint' '$root' &&
+    '$root/build-ci/tools/adsynth_lint' --self-test '$root/tests/lint_fixtures'"
+else
+  record test SKIP   # no build to test; the build FAIL already gates exit
+  record lint SKIP
+fi
+
+# --- clang-only lanes ------------------------------------------------------
+if have clang++; then
+  run_stage analyze analyze.log sh -c "
+    cmake -B '$root/build-analyze' -S '$root' \
+          -DCMAKE_CXX_COMPILER=clang++ -DADSYNTH_ANALYZE=ON &&
+    cmake --build '$root/build-analyze' -j '$jobs'"
+else
+  echo "== ci stage: analyze — SKIP (clang++ not on PATH)"
+  record analyze SKIP
+fi
+
+if have clang-tidy || have clang-tidy-19 || have clang-tidy-18 \
+   || have clang-tidy-17 || have clang-tidy-16 || have clang-tidy-15; then
+  run_stage tidy tidy.log "$root/scripts/static_analysis.sh" "$jobs"
+else
+  echo "== ci stage: tidy — SKIP (clang-tidy not on PATH)"
+  record tidy SKIP
+fi
+
+# --- sanitizer lanes -------------------------------------------------------
+for lane in address thread undefined; do
+  case "$lane" in
+    address) name=asan ;;
+    thread) name=tsan ;;
+    undefined) name=ubsan ;;
+  esac
+  if sanitizer_supported "$lane"; then
+    run_stage "$name" "$name.log" \
+      "$root/scripts/sanitize_lanes.sh" "$jobs" "$lane"
+  else
+    echo "== ci stage: $name — SKIP (compiler lacks -fsanitize=$lane)"
+    record "$name" SKIP
+  fi
+done
+
+# --- summary ---------------------------------------------------------------
+echo ""
+echo "ci summary"
+echo "----------------------"
+i=1
+for s in $stages; do
+  r="$(echo $results | cut -d' ' -f"$i")"
+  printf '  %-10s %s\n' "$s" "$r"
+  i=$((i + 1))
+done
+echo "----------------------"
+if [ "$failed" -ne 0 ]; then
+  echo "ci: FAILED (logs in $log_dir)"
+  exit 1
+fi
+echo "ci: all runnable stages passed"

@@ -1,25 +1,93 @@
 #!/usr/bin/env sh
-# Runs both sanitizer lanes (README.md §Sanitizers):
+# Runs the three sanitizer lanes (README.md §Sanitizers; DESIGN.md
+# §Static analysis & invariants):
 #
-#   address  — full test suite under ASan+UBSan.  Gates the graphdb store /
-#              transaction machinery: the rollback suite
-#              (tests/graphdb/rollback_test.cpp) replays undo logs over raw
-#              vector tails, exactly the code ASan is good at checking.
-#   thread   — parallel-determinism suite under TSan.  Gates
-#              src/util/parallel.* and the parallelized kernels.
+#   address   — full test suite under ASan+UBSan.  Gates the graphdb store /
+#               transaction machinery: the rollback suite
+#               (tests/graphdb/rollback_test.cpp) replays undo logs over raw
+#               vector tails, exactly the code ASan is good at checking.
+#   thread    — parallel-determinism suite under TSan.  Gates
+#               src/util/parallel.* and the parallelized kernels.
+#   undefined — full test suite under UBSan with -fno-sanitize-recover=all:
+#               signed overflow, invalid shifts, misaligned loads and friends
+#               abort the run instead of printing and continuing.
 #
-# Usage: scripts/sanitize_lanes.sh [jobs]
+# Each lane is probed first: if the host compiler cannot link the requested
+# -fsanitize= runtime, the script fails fast with a clear message instead of
+# surfacing a cryptic configure error halfway through.
+#
+# Usage: scripts/sanitize_lanes.sh [jobs] [lane...]
+#   scripts/sanitize_lanes.sh            # all three lanes, auto jobs
+#   scripts/sanitize_lanes.sh 8 thread   # just the TSan lane with 8 jobs
 set -eu
 
-jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
-cmake -B "$root/build-asan" -S "$root" -DADSYNTH_SANITIZE=address
-cmake --build "$root/build-asan" -j "$jobs"
-ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+jobs=""
+lanes=""
+for arg in "$@"; do
+  case "$arg" in
+    address|thread|undefined) lanes="$lanes $arg" ;;
+    *[!0-9]*) echo "sanitize_lanes: unknown argument '$arg'" >&2; exit 2 ;;
+    *) jobs="$arg" ;;
+  esac
+done
+[ -n "$jobs" ] || jobs="$(nproc 2>/dev/null || echo 4)"
+[ -n "$lanes" ] || lanes="address thread undefined"
 
-cmake -B "$root/build-tsan" -S "$root" -DADSYNTH_SANITIZE=thread
-cmake --build "$root/build-tsan" -j "$jobs"
-ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" -R Parallel
+cxx="${CXX:-c++}"
 
-echo "sanitize_lanes: both lanes passed"
+# probe <sanitizer-flag>: compile+link a trivial program with the flag.
+probe() {
+  probe_dir="$(mktemp -d)"
+  printf 'int main(){return 0;}\n' > "$probe_dir/probe.cpp"
+  if "$cxx" "-fsanitize=$1" -o "$probe_dir/probe" "$probe_dir/probe.cpp" \
+      > /dev/null 2>&1; then
+    rm -rf "$probe_dir"
+    return 0
+  fi
+  rm -rf "$probe_dir"
+  return 1
+}
+
+require_sanitizer() {
+  if ! probe "$1"; then
+    echo "sanitize_lanes: compiler '$cxx' cannot build with -fsanitize=$1" >&2
+    echo "sanitize_lanes: install the $1 sanitizer runtime (e.g. the" >&2
+    echo "  libasan/libtsan/libubsan package matching your compiler) or" >&2
+    echo "  point \$CXX at a toolchain that ships it." >&2
+    exit 3
+  fi
+}
+
+run_lane() {
+  lane="$1"
+  build="$root/build-$2"
+  filter="$3"
+  echo "== sanitize lane: $lane =="
+  cmake -B "$build" -S "$root" -DADSYNTH_SANITIZE="$lane"
+  cmake --build "$build" -j "$jobs"
+  if [ -n "$filter" ]; then
+    ctest --test-dir "$build" --output-on-failure -j "$jobs" -R "$filter"
+  else
+    ctest --test-dir "$build" --output-on-failure -j "$jobs"
+  fi
+}
+
+for lane in $lanes; do
+  case "$lane" in
+    address)   require_sanitizer address ;;
+    thread)    require_sanitizer thread ;;
+    undefined) require_sanitizer undefined ;;
+  esac
+done
+
+for lane in $lanes; do
+  case "$lane" in
+    address)   run_lane address asan "" ;;
+    thread)    run_lane thread tsan Parallel ;;
+    undefined) run_lane undefined ubsan "" ;;
+  esac
+done
+
+echo "sanitize_lanes: all requested lanes passed:$lanes"

@@ -44,14 +44,16 @@ std::string GraphMetrics::describe() const {
     if (nodes_by_kind[k] == 0) continue;
     out += " ";
     out += adcore::object_kind_label(static_cast<adcore::ObjectKind>(k));
-    out += "=" + std::to_string(nodes_by_kind[k]);
+    out += '=';
+    out += std::to_string(nodes_by_kind[k]);
   }
   out += "\nby edge:";
   for (std::size_t k = 0; k < adcore::kEdgeKindCount; ++k) {
     if (edges_by_kind[k] == 0) continue;
     out += " ";
     out += adcore::edge_kind_name(static_cast<adcore::EdgeKind>(k));
-    out += "=" + std::to_string(edges_by_kind[k]);
+    out += '=';
+    out += std::to_string(edges_by_kind[k]);
   }
   out += "\nmean degree: " + util::fixed(mean_degree, 2) +
          "  max out: " + std::to_string(max_out_degree) +

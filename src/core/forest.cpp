@@ -50,8 +50,8 @@ GeneratedForest generate_forest(const ForestConfig& config) {
   for (std::size_t d = 0; d < config.domains.size(); ++d) {
     const GeneratedAd ad = generate_ad(config.domains[d]);
     const NodeIndex offset = forest.offsets.back();
-    const std::string suffix =
-        "@" + util::to_upper(config.domains[d].domain_fqdn);
+    std::string suffix = "@";
+    suffix += util::to_upper(config.domains[d].domain_fqdn);
 
     for (NodeIndex i = 0; i < ad.graph.node_count(); ++i) {
       const std::string& name = ad.graph.name(i);
@@ -118,8 +118,8 @@ GeneratedForest generate_forest(const ForestConfig& config) {
   }
 
   // --- Enterprise Admins -----------------------------------------------------
-  const std::string root_suffix =
-      "@" + util::to_upper(config.domains[0].domain_fqdn);
+  std::string root_suffix = "@";
+  root_suffix += util::to_upper(config.domains[0].domain_fqdn);
   forest.enterprise_admins = forest.graph.add_named_node(
       ObjectKind::kGroup, "ENTERPRISE ADMINS" + root_suffix, 0,
       adcore::node_flag::kSecurityGroup);

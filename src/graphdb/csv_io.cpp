@@ -49,7 +49,7 @@ std::vector<PropertyKeyId> used_keys(const GraphStore& store, bool nodes) {
   return keys;
 }
 
-void write_property_cells(const GraphStore& store, const PropertyList& props,
+void write_property_cells(const PropertyList& props,
                           const std::vector<PropertyKeyId>& keys,
                           std::ostream& out) {
   for (const PropertyKeyId key : keys) {
@@ -79,7 +79,7 @@ void export_nodes_csv(const GraphStore& store, std::ostream& out) {
       labels += store.label_name(rec.labels[l]);
     }
     out << csv_escape(labels);
-    write_property_cells(store, rec.properties, keys, out);
+    write_property_cells(rec.properties, keys, out);
     out << '\n';
   }
 }
@@ -96,7 +96,7 @@ void export_edges_csv(const GraphStore& store, std::ostream& out) {
     if (rec.deleted) continue;
     out << rec.source << ',' << rec.target << ','
         << csv_escape(store.rel_type_name(rec.type));
-    write_property_cells(store, rec.properties, keys, out);
+    write_property_cells(rec.properties, keys, out);
     out << '\n';
   }
 }

@@ -555,6 +555,254 @@ void GraphStore::undo(const UndoOp& op) {
   }
 }
 
+GraphStore::InvariantReport GraphStore::check_invariants(
+    bool require_at_rest) const {
+  InvariantReport report;
+  // A corrupted store can violate thousands of invariants at once (e.g. a
+  // truncated adjacency vector); cap the report so the audit stays readable
+  // and O(violations) string work stays bounded.
+  constexpr std::size_t kMaxViolations = 100;
+  const auto add = [&](std::string msg) {
+    if (report.violations.size() < kMaxViolations) {
+      report.violations.push_back(std::move(msg));
+    }
+  };
+
+  // --- record sanity ------------------------------------------------------
+  std::size_t tombstoned_nodes = 0;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    const NodeRecord& rec = nodes_[n];
+    if (rec.deleted) ++tombstoned_nodes;
+    for (std::size_t i = 0; i < rec.labels.size(); ++i) {
+      if (rec.labels[i] >= labels_.names.size()) {
+        add("node " + std::to_string(n) + ": label id " +
+            std::to_string(rec.labels[i]) + " not interned");
+      }
+      if (i > 0 && rec.labels[i - 1] >= rec.labels[i]) {
+        add("node " + std::to_string(n) + ": labels not sorted/unique");
+      }
+    }
+    for (std::size_t i = 0; i < rec.properties.size(); ++i) {
+      if (rec.properties[i].first >= keys_.names.size()) {
+        add("node " + std::to_string(n) + ": property key id " +
+            std::to_string(rec.properties[i].first) + " not interned");
+      }
+      if (i > 0 && rec.properties[i - 1].first >= rec.properties[i].first) {
+        add("node " + std::to_string(n) + ": properties not sorted/unique");
+      }
+    }
+  }
+  if (tombstoned_nodes != deleted_nodes_) {
+    add("tombstone accounting: deleted_nodes_=" +
+        std::to_string(deleted_nodes_) + " but " +
+        std::to_string(tombstoned_nodes) + " node records are tombstoned");
+  }
+
+  // --- adjacency symmetry -------------------------------------------------
+  // Pass 1 over the adjacency lists: every entry must be a valid rel id
+  // whose endpoint is this node; count per-rel occurrences so pass 2 can
+  // check every rel appears exactly once per side.
+  std::vector<std::uint32_t> out_seen(rels_.size(), 0);
+  std::vector<std::uint32_t> in_seen(rels_.size(), 0);
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    for (const RelId r : nodes_[n].out_rels) {
+      if (r >= rels_.size()) {
+        add("node " + std::to_string(n) + ": out-adjacency entry " +
+            std::to_string(r) + " is not a relationship id");
+      } else {
+        if (rels_[r].source != n) {
+          add("node " + std::to_string(n) + ": out-adjacency lists rel " +
+              std::to_string(r) + " whose source is " +
+              std::to_string(rels_[r].source));
+        }
+        ++out_seen[r];
+      }
+    }
+    for (const RelId r : nodes_[n].in_rels) {
+      if (r >= rels_.size()) {
+        add("node " + std::to_string(n) + ": in-adjacency entry " +
+            std::to_string(r) + " is not a relationship id");
+      } else {
+        if (rels_[r].target != n) {
+          add("node " + std::to_string(n) + ": in-adjacency lists rel " +
+              std::to_string(r) + " whose target is " +
+              std::to_string(rels_[r].target));
+        }
+        ++in_seen[r];
+      }
+    }
+  }
+  std::size_t tombstoned_rels = 0;
+  for (RelId r = 0; r < rels_.size(); ++r) {
+    const RelRecord& rec = rels_[r];
+    if (rec.deleted) ++tombstoned_rels;
+    if (rec.source >= nodes_.size() || rec.target >= nodes_.size()) {
+      add("rel " + std::to_string(r) + ": endpoint out of range");
+      continue;
+    }
+    if (rec.type >= rel_types_.names.size()) {
+      add("rel " + std::to_string(r) + ": type id not interned");
+    }
+    if (out_seen[r] != 1) {
+      add("rel " + std::to_string(r) + ": appears " +
+          std::to_string(out_seen[r]) + "x in source " +
+          std::to_string(rec.source) + " out-adjacency (want exactly 1)");
+    }
+    if (in_seen[r] != 1) {
+      add("rel " + std::to_string(r) + ": appears " +
+          std::to_string(in_seen[r]) + "x in target " +
+          std::to_string(rec.target) + " in-adjacency (want exactly 1)");
+    }
+    // A live edge incident to a tombstoned node is unreachable from label
+    // scans yet alive for adjacency walks — the resurrection/dangling class
+    // delete_node's detach requirement exists to prevent.
+    if (!rec.deleted &&
+        (nodes_[rec.source].deleted || nodes_[rec.target].deleted)) {
+      add("rel " + std::to_string(r) +
+          ": live relationship touches tombstoned endpoint (source " +
+          std::to_string(rec.source) + " target " +
+          std::to_string(rec.target) + ")");
+    }
+  }
+  if (tombstoned_rels != deleted_rels_) {
+    add("tombstone accounting: deleted_rels_=" + std::to_string(deleted_rels_) +
+        " but " + std::to_string(tombstoned_rels) +
+        " relationship records are tombstoned");
+  }
+
+  // --- label buckets ------------------------------------------------------
+  if (label_buckets_.size() != labels_.names.size()) {
+    add("label buckets: " + std::to_string(label_buckets_.size()) +
+        " buckets for " + std::to_string(labels_.names.size()) + " labels");
+  }
+  // seen_in_bucket is reused across labels; only touched slots are reset,
+  // keeping the whole pass O(nodes + total bucket entries).
+  std::vector<std::uint32_t> seen_in_bucket(nodes_.size(), 0);
+  const std::size_t bucket_count =
+      std::min(label_buckets_.size(), labels_.names.size());
+  for (LabelId l = 0; l < bucket_count; ++l) {
+    const auto& bucket = label_buckets_[l];
+    for (const NodeId n : bucket) {
+      if (n >= nodes_.size()) {
+        add("label bucket '" + labels_.names[l] + "': entry " +
+            std::to_string(n) + " is not a node id");
+        continue;
+      }
+      ++seen_in_bucket[n];
+      if (!std::binary_search(nodes_[n].labels.begin(), nodes_[n].labels.end(),
+                              l)) {
+        add("label bucket '" + labels_.names[l] + "': node " +
+            std::to_string(n) + " does not carry the label");
+      }
+    }
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      const bool has_label = std::binary_search(
+          nodes_[n].labels.begin(), nodes_[n].labels.end(), l);
+      if (has_label && seen_in_bucket[n] != 1) {
+        add("label bucket '" + labels_.names[l] + "': node " +
+            std::to_string(n) + " appears " +
+            std::to_string(seen_in_bucket[n]) + "x (want exactly 1)");
+      }
+    }
+    for (const NodeId n : bucket) {
+      if (n < nodes_.size()) seen_in_bucket[n] = 0;
+    }
+  }
+
+  // --- property indexes ---------------------------------------------------
+  for (const PropertyIndex& idx : indexes_) {
+    const std::string where = "index (:" +
+                              (idx.label < labels_.names.size()
+                                   ? labels_.names[idx.label]
+                                   : "?" + std::to_string(idx.label)) +
+                              "." +
+                              (idx.key < keys_.names.size()
+                                   ? keys_.names[idx.key]
+                                   : "?" + std::to_string(idx.key)) +
+                              ")";
+    if (idx.label >= labels_.names.size() || idx.key >= keys_.names.size()) {
+      add(where + ": label/key id not interned");
+      continue;
+    }
+    std::size_t total = 0;
+    std::size_t computed_stale = 0;
+    for (const auto& [value_key, ids] : idx.buckets) {
+      if (ids.empty()) {
+        add(where + ": empty bucket row for value '" + value_key + "'");
+      }
+      total += ids.size();
+      for (const NodeId n : ids) {
+        if (n >= nodes_.size()) {
+          add(where + ": bucket '" + value_key + "' entry " +
+              std::to_string(n) + " is not a node id");
+          continue;
+        }
+        const NodeRecord& rec = nodes_[n];
+        const PropertyValue* v = get_property(rec.properties, idx.key);
+        const bool live =
+            !rec.deleted &&
+            std::binary_search(rec.labels.begin(), rec.labels.end(),
+                               idx.label) &&
+            v != nullptr && v->index_key() == value_key;
+        if (!live) ++computed_stale;
+      }
+    }
+    if (total != idx.entries) {
+      add(where + ": entries=" + std::to_string(idx.entries) +
+          " but buckets hold " + std::to_string(total));
+    }
+    if (computed_stale > idx.stale) {
+      add(where + ": stale counter " + std::to_string(idx.stale) +
+          " undercounts " + std::to_string(computed_stale) +
+          " actually-stale entries");
+    }
+    if (idx.stale > total) {
+      add(where + ": stale counter " + std::to_string(idx.stale) +
+          " exceeds " + std::to_string(total) + " entries");
+    }
+    // Coverage: every live node carrying (label, key) must be findable
+    // under its current value.
+    if (idx.label < label_buckets_.size()) {
+      for (const NodeId n : label_buckets_[idx.label]) {
+        if (n >= nodes_.size() || nodes_[n].deleted) continue;
+        const PropertyValue* v = get_property(nodes_[n].properties, idx.key);
+        if (v == nullptr) continue;
+        const auto it = idx.buckets.find(v->index_key());
+        const bool found =
+            it != idx.buckets.end() &&
+            std::find(it->second.begin(), it->second.end(), n) !=
+                it->second.end();
+        if (!found) {
+          add(where + ": live node " + std::to_string(n) +
+              " missing from bucket '" + v->index_key() + "'");
+        }
+      }
+    }
+  }
+
+  // --- undo machinery -----------------------------------------------------
+  for (std::size_t i = 0; i < scope_marks_.size(); ++i) {
+    if (scope_marks_[i] > undo_log_.size() ||
+        (i > 0 && scope_marks_[i - 1] > scope_marks_[i])) {
+      add("undo scopes: mark " + std::to_string(i) + " (" +
+          std::to_string(scope_marks_[i]) + ") not monotone within log of " +
+          std::to_string(undo_log_.size()));
+    }
+  }
+  if (require_at_rest) {
+    if (!scope_marks_.empty()) {
+      add("at rest: " + std::to_string(scope_marks_.size()) +
+          " undo scope(s) still open");
+    }
+    if (!undo_log_.empty()) {
+      add("at rest: undo log holds " + std::to_string(undo_log_.size()) +
+          " record(s)");
+    }
+  }
+
+  return report;
+}
+
 void GraphStore::maybe_compact() {
   // Compaction moves the bucket-tail entries undo replay relies on, so it
   // is deferred while any scope is open; the next unscoped mutation (or a

@@ -189,7 +189,45 @@ class GraphStore {
   /// Approximate resident bytes (used by the storage-efficiency tests).
   std::size_t approximate_bytes() const;
 
+  // --- invariants ---------------------------------------------------------
+  /// Result of check_invariants(); empty `violations` means consistent.
+  struct InvariantReport {
+    std::vector<std::string> violations;
+    bool ok() const { return violations.empty(); }
+  };
+
+  /// Full-store consistency audit — the dynamic twin of the static-analysis
+  /// lane (DESIGN.md §"Static analysis & invariants").  Verifies:
+  ///  * record sanity: label/key/type ids interned, label lists and
+  ///    property lists sorted and duplicate-free;
+  ///  * adjacency symmetry: every relationship appears exactly once in its
+  ///    source's out-list and its target's in-list, and every adjacency
+  ///    entry points back at its node;
+  ///  * live relationships never touch tombstoned endpoints (the
+  ///    "dangling tombstone edge" class);
+  ///  * label buckets: every entry is a valid node carrying the label, no
+  ///    duplicates, and every node with a label is present in its bucket;
+  ///  * property indexes: entries == sum of bucket sizes, no empty bucket
+  ///    rows, every live (label, key) node findable under its current
+  ///    value, and stale accounting bounded by
+  ///    computed_stale <= stale <= entries;
+  ///  * tombstone accounting: deleted_nodes_/deleted_rels_ equal the
+  ///    actual tombstone counts;
+  ///  * at rest (`require_at_rest`): no open undo scope and an empty undo
+  ///    log; scope marks must be monotone and within the log regardless.
+  /// O(nodes + rels + index entries).  Compiled in every build; asserted
+  /// automatically at test-fixture teardown (tests/support/checked_store.hpp)
+  /// and cheap enough to call at batch boundaries in debug/analyze builds.
+  InvariantReport check_invariants(bool require_at_rest = true) const;
+
  private:
+  /// Test-only corruption hook: the invariant-injection suite
+  /// (tests/graphdb/invariants_test.cpp) reaches through this friend to
+  /// plant targeted inconsistencies (asymmetric adjacency, stale index
+  /// rows, dangling tombstone edges) and asserts check_invariants() names
+  /// each one.  Never defined in library code.
+  friend struct StoreTestAccess;
+
   struct Interner {
     std::vector<std::string> names;
     std::unordered_map<std::string, std::uint32_t> index;

@@ -1,0 +1,89 @@
+// Clang thread-safety annotations (a.k.a. -Wthread-safety capability
+// analysis) plus capability-aware mutex wrappers.
+//
+// The macros expand to Clang's `capability` attribute family when the
+// analysis is available and to nothing elsewhere, so annotated code builds
+// identically under GCC/MSVC.  The `ADSYNTH_ANALYZE=ON` CMake lane compiles
+// the tree with Clang and `-Werror=thread-safety`, turning every
+// lock-discipline violation (touching a GUARDED_BY member without its
+// mutex, unbalanced ACQUIRE/RELEASE, ...) into a build failure.
+//
+// std::mutex carries no capability attributes, so the analysis cannot see
+// through it.  Locks that protect annotated state therefore use the
+// `Mutex` wrapper below — same code generation (it is a bare std::mutex
+// underneath), but lock()/unlock() declare their effect on the capability.
+// Condition-variable waits go through std::condition_variable_any, which
+// accepts any BasicLockable and hence works with `Mutex` directly.
+//
+// Conventions (DESIGN.md §"Static analysis & invariants"):
+//  * every member field protected by a lock is declared GUARDED_BY(lock);
+//  * data read outside the lock (atomics, immutable-after-construction
+//    state) is NOT annotated — the annotation asserts the discipline, so
+//    annotating something the code deliberately reads lock-free would
+//    force spurious NO_THREAD_SAFETY_ANALYSIS escapes;
+//  * functions that expect the caller to hold a lock say REQUIRES(lock);
+//  * scope-based locking uses MutexLock (SCOPED_CAPABILITY), never a bare
+//    lock()/unlock() pair.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ADSYNTH_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef ADSYNTH_TSA
+#define ADSYNTH_TSA(x)  // no-op off Clang
+#endif
+
+#define ADSYNTH_CAPABILITY(name) ADSYNTH_TSA(capability(name))
+#define ADSYNTH_SCOPED_CAPABILITY ADSYNTH_TSA(scoped_lockable)
+#define ADSYNTH_GUARDED_BY(x) ADSYNTH_TSA(guarded_by(x))
+#define ADSYNTH_PT_GUARDED_BY(x) ADSYNTH_TSA(pt_guarded_by(x))
+#define ADSYNTH_ACQUIRE(...) ADSYNTH_TSA(acquire_capability(__VA_ARGS__))
+#define ADSYNTH_RELEASE(...) ADSYNTH_TSA(release_capability(__VA_ARGS__))
+#define ADSYNTH_TRY_ACQUIRE(...) ADSYNTH_TSA(try_acquire_capability(__VA_ARGS__))
+#define ADSYNTH_REQUIRES(...) ADSYNTH_TSA(requires_capability(__VA_ARGS__))
+#define ADSYNTH_EXCLUDES(...) ADSYNTH_TSA(locks_excluded(__VA_ARGS__))
+#define ADSYNTH_ACQUIRED_BEFORE(...) ADSYNTH_TSA(acquired_before(__VA_ARGS__))
+#define ADSYNTH_ACQUIRED_AFTER(...) ADSYNTH_TSA(acquired_after(__VA_ARGS__))
+#define ADSYNTH_RETURN_CAPABILITY(x) ADSYNTH_TSA(lock_returned(x))
+#define ADSYNTH_ASSERT_CAPABILITY(x) ADSYNTH_TSA(assert_capability(x))
+#define ADSYNTH_NO_THREAD_SAFETY_ANALYSIS \
+  ADSYNTH_TSA(no_thread_safety_analysis)
+
+namespace adsynth::util {
+
+/// std::mutex with capability attributes.  Satisfies Lockable, so it works
+/// with std::lock_guard / std::unique_lock / std::condition_variable_any;
+/// prefer MutexLock below, whose scope the analysis understands.
+class ADSYNTH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ADSYNTH_ACQUIRE() { m_.lock(); }
+  void unlock() ADSYNTH_RELEASE() { m_.unlock(); }
+  bool try_lock() ADSYNTH_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock for Mutex: acquires in the constructor, releases in the
+/// destructor.  SCOPED_CAPABILITY tells the analysis the capability is
+/// held for exactly this object's lifetime.
+class ADSYNTH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ADSYNTH_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() ADSYNTH_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace adsynth::util

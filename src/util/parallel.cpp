@@ -30,34 +30,32 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::drain(std::size_t slot,
-                       const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::drain(std::size_t slot, std::size_t chunks, const Job& fn) {
   tl_in_region = true;
   for (;;) {
     const std::size_t chunk =
         cursor_.fetch_add(1, std::memory_order_relaxed);
-    if (chunk >= chunks_) break;
+    if (chunk >= chunks) break;
     fn(chunk, slot);
   }
   tl_in_region = false;
 }
 
-void ThreadPool::run(std::size_t chunks,
-                     const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::run(std::size_t chunks, const Job& fn) {
   if (chunks == 0) return;
   if (workers_.empty() || chunks == 1 || tl_in_region) {
     for (std::size_t c = 0; c < chunks; ++c) fn(c, 0);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     chunks_ = chunks;
     cursor_.store(0, std::memory_order_relaxed);
@@ -65,26 +63,30 @@ void ThreadPool::run(std::size_t chunks,
     ++generation_;
   }
   wake_.notify_all();
-  drain(0, fn);  // the caller is participant 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return active_workers_ == 0; });
-  job_ = nullptr;
+  drain(0, chunks, fn);  // the caller is participant 0
+  {
+    MutexLock lock(mutex_);
+    while (active_workers_ != 0) done_.wait(mutex_);
+    job_ = nullptr;
+  }
 }
 
 void ThreadPool::worker_main(std::size_t slot) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    const Job* job = nullptr;
+    std::size_t chunks = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen) wake_.wait(mutex_);
       if (stop_) return;
       seen = generation_;
       job = job_;
+      chunks = chunks_;
     }
-    drain(slot, *job);
+    drain(slot, chunks, *job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--active_workers_ == 0) done_.notify_one();
     }
   }

@@ -17,6 +17,12 @@
 //
 // The region functor must not throw (a throwing task terminates); analytics
 // kernels only touch preallocated buffers.
+//
+// Lock discipline is machine-checked: the pool state below carries Clang
+// thread-safety annotations (util/annotations.hpp) and the ADSYNTH_ANALYZE
+// CMake lane builds with -Werror=thread-safety, so touching a guarded field
+// without `mutex_` fails the build.  `cursor_` is deliberately unguarded:
+// chunk claiming is a lock-free atomic fetch_add.
 #pragma once
 
 #include <algorithm>
@@ -25,14 +31,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace adsynth::util {
 
 class ThreadPool {
  public:
+  using Job = std::function<void(std::size_t, std::size_t)>;
+
   /// `threads` counts every participant including the calling thread, so
   /// `ThreadPool(4)` spawns 3 workers.  0 means hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
@@ -47,24 +56,28 @@ class ThreadPool {
   /// all chunks finish.  `worker` is a stable slot in [0, size()) so callers
   /// can keep per-worker scratch buffers.  Chunks are claimed dynamically;
   /// do not nest run() calls and do not call it from two threads at once.
-  void run(std::size_t chunks,
-           const std::function<void(std::size_t, std::size_t)>& fn);
+  void run(std::size_t chunks, const Job& fn);
 
  private:
   void worker_main(std::size_t slot);
-  void drain(std::size_t slot,
-             const std::function<void(std::size_t, std::size_t)>& fn);
+  /// Claims chunks off `cursor_` until `chunks` are exhausted.  The region
+  /// description is passed by value/reference from a lock-held snapshot, so
+  /// draining itself runs without the pool mutex.
+  void drain(std::size_t slot, std::size_t chunks, const Job& fn)
+      ADSYNTH_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;  // workers: a new region (or stop) is ready
-  std::condition_variable done_;  // caller: every worker left the region
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
-  std::size_t chunks_ = 0;
-  std::atomic<std::size_t> cursor_{0};  // next unclaimed chunk
-  std::size_t active_workers_ = 0;      // workers still inside the region
-  std::uint64_t generation_ = 0;        // bumped per region
-  bool stop_ = false;
+  Mutex mutex_;
+  // condition_variable_any: waits directly on the annotated Mutex.
+  std::condition_variable_any wake_;  // workers: a region (or stop) is ready
+  std::condition_variable_any done_;  // caller: every worker left the region
+  const Job* job_ ADSYNTH_GUARDED_BY(mutex_) = nullptr;
+  std::size_t chunks_ ADSYNTH_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::size_t> cursor_{0};  // next unclaimed chunk (lock-free)
+  /// Workers still inside the region.
+  std::size_t active_workers_ ADSYNTH_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ ADSYNTH_GUARDED_BY(mutex_) = 0;  // bumped per region
+  bool stop_ ADSYNTH_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool used by the analytics/defense kernels.  Sized by

@@ -1,0 +1,169 @@
+// Corruption-injection suite for GraphStore::check_invariants().
+//
+// The checker is the dynamic half of the static-analysis layer: the lint
+// and annotation lanes prove lock/determinism discipline at compile time,
+// this oracle proves store consistency at run time.  A checker that never
+// fires is worthless, so every invariant class gets a test that reaches
+// through the StoreTestAccess friend hook, plants exactly one targeted
+// inconsistency, and asserts the audit names it.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graphdb/store.hpp"
+#include "support/checked_store.hpp"
+
+namespace adsynth::graphdb {
+
+/// Test-only corruption hook (friend of GraphStore).  Each mutator breaks
+/// one invariant the production code maintains; none of these states is
+/// reachable through the public API.
+struct StoreTestAccess {
+  static void drop_out_adjacency_entry(GraphStore& s, NodeId n, RelId r) {
+    auto& out = s.nodes_[n].out_rels;
+    out.erase(std::remove(out.begin(), out.end(), r), out.end());
+  }
+  static void duplicate_in_adjacency_entry(GraphStore& s, NodeId n, RelId r) {
+    s.nodes_[n].in_rels.push_back(r);
+  }
+  static void drop_label_bucket_entry(GraphStore& s, LabelId l, NodeId n) {
+    auto& bucket = s.label_buckets_[l];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), n), bucket.end());
+  }
+  static void push_bogus_index_row(GraphStore& s, std::size_t index,
+                                   const std::string& value, NodeId n) {
+    s.indexes_[index].buckets[value].push_back(n);
+    // Deliberately do NOT bump `entries`: one injection, two findings
+    // (accounting drift and a stale entry the counter undercounts).
+  }
+  static void tombstone_node_without_detach(GraphStore& s, NodeId n) {
+    s.nodes_[n].deleted = true;
+    ++s.deleted_nodes_;
+  }
+  static void corrupt_deleted_rel_count(GraphStore& s, std::size_t count) {
+    s.deleted_rels_ = count;
+  }
+};
+
+namespace {
+
+using test_support::expect_store_invariants;
+using test_support::tag;
+
+class InvariantInjectionTest : public ::testing::Test {
+ protected:
+  GraphStore store;
+  NodeId user = kNoNode;
+  NodeId group = kNoNode;
+  RelId member_of = kNoRel;
+
+  void SetUp() override {
+    store.create_index("User", "name");
+    user = store.create_node({"User"}, {{store.intern_key("name"),
+                                         PropertyValue("alice")}});
+    group = store.create_node({"Group"}, {{store.intern_key("name"),
+                                           PropertyValue("admins")}});
+    member_of = store.create_relationship(user, group, "MemberOf");
+    ASSERT_TRUE(store.check_invariants().ok());
+  }
+
+  /// True when some violation message contains `needle`.
+  bool violation_mentions(const std::string& needle,
+                          bool require_at_rest = true) {
+    const auto report = store.check_invariants(require_at_rest);
+    for (const auto& v : report.violations) {
+      if (v.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+TEST_F(InvariantInjectionTest, CleanStorePassesAudit) {
+  const auto report = store.check_invariants();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST_F(InvariantInjectionTest, AsymmetricAdjacencyDetected) {
+  StoreTestAccess::drop_out_adjacency_entry(store, user, member_of);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("appears 0x in source"));
+}
+
+TEST_F(InvariantInjectionTest, DuplicateAdjacencyEntryDetected) {
+  StoreTestAccess::duplicate_in_adjacency_entry(store, group, member_of);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("appears 2x in target"));
+}
+
+TEST_F(InvariantInjectionTest, MissingLabelBucketEntryDetected) {
+  const LabelId user_label = *store.find_label("User");
+  StoreTestAccess::drop_label_bucket_entry(store, user_label, user);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("appears 0x"));
+}
+
+TEST_F(InvariantInjectionTest, StaleIndexRowDetected) {
+  // A fabricated row claims node `group` has User.name == "mallory".
+  StoreTestAccess::push_bogus_index_row(store, 0, "mallory", group);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("buckets hold"));   // entries drift
+  EXPECT_TRUE(violation_mentions("undercounts"));    // stale undercount
+}
+
+TEST_F(InvariantInjectionTest, DanglingTombstoneEdgeDetected) {
+  // Tombstone the user without detaching: MemberOf stays live but its
+  // source is dead — exactly what delete_node's detach contract prevents.
+  StoreTestAccess::tombstone_node_without_detach(store, user);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("live relationship touches tombstoned"));
+}
+
+TEST_F(InvariantInjectionTest, TombstoneAccountingDriftDetected) {
+  StoreTestAccess::corrupt_deleted_rel_count(store, 7);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("deleted_rels_=7"));
+}
+
+TEST_F(InvariantInjectionTest, OpenScopeFailsAtRestAudit) {
+  store.begin_undo_scope();
+  store.set_node_property(user, "name", PropertyValue("bob"));
+  EXPECT_TRUE(violation_mentions("undo scope(s) still open"));
+  EXPECT_TRUE(violation_mentions("undo log holds"));
+  // The same state is legitimate mid-transaction.
+  EXPECT_TRUE(store.check_invariants(/*require_at_rest=*/false).ok());
+  store.abort_scope();
+  EXPECT_TRUE(store.check_invariants().ok());
+}
+
+// The audit must stay green across the operations the undo log is allowed
+// to leave traces of: rollback, detach-delete, and index compaction.
+TEST_F(InvariantInjectionTest, AuditGreenAfterRollbackAndDetachDelete) {
+  store.begin_undo_scope();
+  const NodeId temp = store.create_node({"User"});
+  store.create_relationship(temp, group, "MemberOf");
+  store.set_node_property(user, "name", PropertyValue("carol"));
+  EXPECT_TRUE(store.check_invariants(/*require_at_rest=*/false).ok());
+  store.abort_scope();
+  expect_store_invariants(store);
+
+  store.delete_node(user, /*detach=*/true);
+  expect_store_invariants(store);
+}
+
+TEST_F(InvariantInjectionTest, AuditGreenAfterCompaction) {
+  // Force compaction: grow past kCompactMinEntries, then turn a majority
+  // of the entries stale by rewriting the indexed property.
+  for (int i = 0; i < 80; ++i) {
+    store.create_node({"User"}, {{store.intern_key("name"),
+                                  PropertyValue(tag("u", i))}});
+  }
+  for (const NodeId n : store.nodes_with_label("User")) {
+    store.set_node_property(n, "name", PropertyValue("renamed"));
+  }
+  expect_store_invariants(store);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

@@ -14,6 +14,7 @@
 
 #include "graphdb/cypher.hpp"
 #include "graphdb/store.hpp"
+#include "support/checked_store.hpp"
 #include "util/rng.hpp"
 
 namespace adsynth::graphdb {
@@ -78,6 +79,10 @@ class RollbackTest : public ::testing::Test {
  protected:
   GraphStore store;
   CypherSession session{store};
+
+  // Every rollback test doubles as an invariant-oracle run: whatever the
+  // undo log replayed, the store must audit clean (and at rest) afterwards.
+  void TearDown() override { test_support::expect_store_invariants(store); }
 
   void seed_graph() {
     session.run("CREATE INDEX ON :User(name)");

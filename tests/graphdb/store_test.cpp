@@ -2,8 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include "support/checked_store.hpp"
+
 namespace adsynth::graphdb {
 namespace {
+
+/// Every store test is audited by GraphStore::check_invariants() at
+/// teardown (tests/support/checked_store.hpp): passing assertions are not
+/// enough, the store must also be internally consistent and at rest.
+using GraphStoreTest = test_support::StoreInvariantTest;
+using test_support::tag;
 
 TEST(PropertyValue, TypedAccessors) {
   EXPECT_TRUE(PropertyValue().is_null());
@@ -52,8 +60,7 @@ TEST(PropertyList, PutAndGet) {
   EXPECT_LT(list[1].first, list[2].first);
 }
 
-TEST(GraphStore, CreateAndReadNodes) {
-  GraphStore store;
+TEST_F(GraphStoreTest, CreateAndReadNodes) {
   const NodeId n = store.create_node({"User", "Base"});
   EXPECT_EQ(store.node_count(), 1u);
   const auto user = store.find_label("User");
@@ -63,14 +70,12 @@ TEST(GraphStore, CreateAndReadNodes) {
   EXPECT_TRUE(store.nodes_with_label("Computer").empty());
 }
 
-TEST(GraphStore, DuplicateLabelsDeduplicated) {
-  GraphStore store;
+TEST_F(GraphStoreTest, DuplicateLabelsDeduplicated) {
   const NodeId n = store.create_node({"User", "User"});
   EXPECT_EQ(store.node(n).labels.size(), 1u);
 }
 
-TEST(GraphStore, RelationshipsUpdateAdjacency) {
-  GraphStore store;
+TEST_F(GraphStoreTest, RelationshipsUpdateAdjacency) {
   const NodeId a = store.create_node({"User"});
   const NodeId b = store.create_node({"Group"});
   const RelId r = store.create_relationship(a, b, "MemberOf");
@@ -82,8 +87,7 @@ TEST(GraphStore, RelationshipsUpdateAdjacency) {
   EXPECT_EQ(store.node(b).in_rels, (std::vector<RelId>{r}));
 }
 
-TEST(GraphStore, RelationshipEndpointValidation) {
-  GraphStore store;
+TEST_F(GraphStoreTest, RelationshipEndpointValidation) {
   const NodeId a = store.create_node({"User"});
   EXPECT_THROW(store.create_relationship(a, 99, "MemberOf"),
                std::out_of_range);
@@ -91,8 +95,7 @@ TEST(GraphStore, RelationshipEndpointValidation) {
                std::out_of_range);
 }
 
-TEST(GraphStore, DeleteRelationshipTombstones) {
-  GraphStore store;
+TEST_F(GraphStoreTest, DeleteRelationshipTombstones) {
   const NodeId a = store.create_node({"User"});
   const NodeId b = store.create_node({"Group"});
   const RelId r = store.create_relationship(a, b, "MemberOf");
@@ -104,8 +107,7 @@ TEST(GraphStore, DeleteRelationshipTombstones) {
   EXPECT_EQ(store.rel_count(), 0u);
 }
 
-TEST(GraphStore, NodeProperties) {
-  GraphStore store;
+TEST_F(GraphStoreTest, NodeProperties) {
   const NodeId n = store.create_node({"User"});
   store.set_node_property(n, "name", PropertyValue("ALICE"));
   store.set_node_property(n, "enabled", PropertyValue(true));
@@ -116,12 +118,11 @@ TEST(GraphStore, NodeProperties) {
   EXPECT_EQ(store.node_property(n, "name")->as_string(), "BOB");
 }
 
-TEST(GraphStore, FindNodesWithoutIndexScansLabel) {
-  GraphStore store;
+TEST_F(GraphStoreTest, FindNodesWithoutIndexScansLabel) {
   for (int i = 0; i < 10; ++i) {
     PropertyList props;
     put_property(props, store.intern_key("name"),
-                 PropertyValue("U" + std::to_string(i)));
+                 PropertyValue(tag("U", i)));
     store.create_node_interned({store.intern_label("User")}, std::move(props));
   }
   const auto found = store.find_nodes("User", "name", PropertyValue("U7"));
@@ -131,8 +132,7 @@ TEST(GraphStore, FindNodesWithoutIndexScansLabel) {
   EXPECT_TRUE(store.find_nodes("Ghost", "name", PropertyValue("U7")).empty());
 }
 
-TEST(GraphStore, IndexAcceleratedLookupStaysCorrectAfterUpdates) {
-  GraphStore store;
+TEST_F(GraphStoreTest, IndexAcceleratedLookupStaysCorrectAfterUpdates) {
   store.create_index("User", "name");
   const NodeId a = store.create_node({"User"});
   store.set_node_property(a, "name", PropertyValue("X"));
@@ -145,8 +145,7 @@ TEST(GraphStore, IndexAcceleratedLookupStaysCorrectAfterUpdates) {
             (std::vector<NodeId>{a}));
 }
 
-TEST(GraphStore, IndexBackfillsExistingNodes) {
-  GraphStore store;
+TEST_F(GraphStoreTest, IndexBackfillsExistingNodes) {
   PropertyList props;
   put_property(props, store.intern_key("name"), PropertyValue("EARLY"));
   const NodeId n = store.create_node_interned({store.intern_label("User")},
@@ -156,8 +155,7 @@ TEST(GraphStore, IndexBackfillsExistingNodes) {
             (std::vector<NodeId>{n}));
 }
 
-TEST(GraphStore, InternersStable) {
-  GraphStore store;
+TEST_F(GraphStoreTest, InternersStable) {
   const LabelId l1 = store.intern_label("User");
   const LabelId l2 = store.intern_label("User");
   EXPECT_EQ(l1, l2);
@@ -169,20 +167,18 @@ TEST(GraphStore, InternersStable) {
   EXPECT_FALSE(store.find_label("Nope").has_value());
 }
 
-TEST(GraphStore, ApproximateBytesGrowsWithContent) {
-  GraphStore store;
+TEST_F(GraphStoreTest, ApproximateBytesGrowsWithContent) {
   const std::size_t empty = store.approximate_bytes();
   for (int i = 0; i < 1000; ++i) {
     PropertyList props;
     put_property(props, store.intern_key("name"),
-                 PropertyValue("NODE" + std::to_string(i)));
+                 PropertyValue(tag("NODE", i)));
     store.create_node_interned({store.intern_label("User")}, std::move(props));
   }
   EXPECT_GT(store.approximate_bytes(), empty);
 }
 
-TEST(GraphStore, DeleteNodeTombstones) {
-  GraphStore store;
+TEST_F(GraphStoreTest, DeleteNodeTombstones) {
   const NodeId a = store.create_node({"User"});
   const NodeId b = store.create_node({"User"});
   store.delete_node(a);
@@ -193,8 +189,7 @@ TEST(GraphStore, DeleteNodeTombstones) {
   EXPECT_EQ(store.node_count(), 1u);
 }
 
-TEST(GraphStore, DeleteConnectedNodeRequiresDetach) {
-  GraphStore store;
+TEST_F(GraphStoreTest, DeleteConnectedNodeRequiresDetach) {
   const NodeId a = store.create_node({"User"});
   const NodeId b = store.create_node({"Group"});
   store.create_relationship(a, b, "MemberOf");
@@ -208,8 +203,7 @@ TEST(GraphStore, DeleteConnectedNodeRequiresDetach) {
   EXPECT_EQ(store.node_count(), 0u);
 }
 
-TEST(GraphStore, DetachDeleteHandlesSelfLoop) {
-  GraphStore store;
+TEST_F(GraphStoreTest, DetachDeleteHandlesSelfLoop) {
   const NodeId a = store.create_node({"Computer"});
   store.create_relationship(a, a, "AdminTo");
   store.delete_node(a, /*detach=*/true);
@@ -217,8 +211,7 @@ TEST(GraphStore, DetachDeleteHandlesSelfLoop) {
   EXPECT_EQ(store.rel_count(), 0u);
 }
 
-TEST(GraphStore, RelationshipsRejectTombstonedEndpoints) {
-  GraphStore store;
+TEST_F(GraphStoreTest, RelationshipsRejectTombstonedEndpoints) {
   const NodeId a = store.create_node({"User"});
   const NodeId b = store.create_node({"Group"});
   store.delete_node(b);
@@ -232,8 +225,7 @@ TEST(GraphStore, RelationshipsRejectTombstonedEndpoints) {
   EXPECT_EQ(store.rel_count(), 0u);
 }
 
-TEST(GraphStore, DeletedNodesInvisibleToFindNodes) {
-  GraphStore store;
+TEST_F(GraphStoreTest, DeletedNodesInvisibleToFindNodes) {
   store.create_index("User", "name");
   const NodeId a = store.create_node({"User"});
   store.set_node_property(a, "name", PropertyValue("A"));
@@ -244,8 +236,7 @@ TEST(GraphStore, DeletedNodesInvisibleToFindNodes) {
   EXPECT_TRUE(store.find_nodes("User", "enabled", PropertyValue(true)).empty());
 }
 
-TEST(GraphStore, CreateNodeAtomicOnUnknownInternedLabel) {
-  GraphStore store;
+TEST_F(GraphStoreTest, CreateNodeAtomicOnUnknownInternedLabel) {
   const LabelId known = store.intern_label("User");
   EXPECT_THROW(store.create_node_interned({known, known + 7}),
                std::out_of_range);
@@ -254,8 +245,7 @@ TEST(GraphStore, CreateNodeAtomicOnUnknownInternedLabel) {
   EXPECT_TRUE(store.nodes_with_label("User").empty());
 }
 
-TEST(GraphStore, IndexStaleAccountingAndCompaction) {
-  GraphStore store;
+TEST_F(GraphStoreTest, IndexStaleAccountingAndCompaction) {
   store.create_index("User", "name");
   const NodeId n = store.create_node({"User"});
   store.set_node_property(n, "name", PropertyValue("V0"));
@@ -267,7 +257,7 @@ TEST(GraphStore, IndexStaleAccountingAndCompaction) {
   // Each overwrite strands the previous bucket entry.
   for (int i = 1; i <= 10; ++i) {
     store.set_node_property(n, "name",
-                            PropertyValue("V" + std::to_string(i)));
+                            PropertyValue(tag("V", i)));
   }
   stats = store.index_stats("User", "name");
   EXPECT_EQ(stats->stale, 10u);
@@ -283,7 +273,7 @@ TEST(GraphStore, IndexStaleAccountingAndCompaction) {
   // Push past the compaction threshold: entries >= 64 and stale majority.
   for (int i = 0; i < 200; ++i) {
     store.set_node_property(n, "name",
-                            PropertyValue("W" + std::to_string(i)));
+                            PropertyValue(tag("W", i)));
   }
   stats = store.index_stats("User", "name");
   // Compaction fired at least once: far fewer entries than writes.
@@ -292,14 +282,13 @@ TEST(GraphStore, IndexStaleAccountingAndCompaction) {
             std::vector<NodeId>{n});
 }
 
-TEST(GraphStore, CompactionDeferredWhileRecording) {
-  GraphStore store;
+TEST_F(GraphStoreTest, CompactionDeferredWhileRecording) {
   store.create_index("User", "name");
   const NodeId n = store.create_node({"User"});
   store.begin_undo_scope();
   for (int i = 0; i < 500; ++i) {
     store.set_node_property(n, "name",
-                            PropertyValue("V" + std::to_string(i)));
+                            PropertyValue(tag("V", i)));
   }
   // No compaction inside the scope: all stale entries still accounted.
   EXPECT_GE(store.index_stats("User", "name")->stale, 400u);
@@ -308,8 +297,7 @@ TEST(GraphStore, CompactionDeferredWhileRecording) {
   EXPECT_EQ(store.index_stats("User", "name")->entries, 0u);
 }
 
-TEST(GraphStore, CreateIndexForbiddenInsideUndoScope) {
-  GraphStore store;
+TEST_F(GraphStoreTest, CreateIndexForbiddenInsideUndoScope) {
   store.begin_undo_scope();
   EXPECT_THROW(store.create_index("User", "name"), std::logic_error);
   store.abort_scope();

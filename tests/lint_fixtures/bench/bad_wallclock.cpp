@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads outside util/timer must trip the wall-clock
+// rule — timestamps leak nondeterminism into otherwise seeded outputs.
+#include <chrono>
+#include <ctime>
+
+long fixture_bad_wallclock() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t stamp = std::time(nullptr);
+  (void)now;
+  return static_cast<long>(stamp);
+}

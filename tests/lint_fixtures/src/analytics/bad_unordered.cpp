@@ -1,0 +1,14 @@
+// Fixture: unordered containers in analytics/ must be allowlisted — an
+// accumulation like the one below visits elements in hash order, so the
+// floating-point sum differs across standard libraries.
+#include <unordered_map>
+
+double fixture_bad_unordered() {
+  std::unordered_map<int, double> weights{{1, 0.25}, {2, 0.5}};
+  double total = 0.0;
+  for (const auto& [node, weight] : weights) {
+    (void)node;
+    total += weight;
+  }
+  return total;
+}

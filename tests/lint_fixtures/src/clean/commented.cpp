@@ -1,0 +1,9 @@
+// Fixture: banned tokens in comments must NOT fire — this file proves the
+// lint matches comment-stripped text.  Mentioning std::rand, srand(42),
+// random_device, mt19937 or system_clock in prose is fine.
+/* Block comments too: uniform_int_distribution, time(nullptr),
+   unordered_map iteration, gettimeofday. */
+
+int fixture_clean() {
+  return 7;  // inline comment naming std::shuffle and localtime is fine too
+}

@@ -1,0 +1,11 @@
+// Fixture: every line below must trip the nondeterministic-random rule.
+#include <cstdlib>
+#include <random>
+
+int fixture_bad_random() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::uniform_int_distribution<int> dist(0, 9);
+  std::srand(42);
+  return dist(gen) + std::rand();
+}

@@ -1,0 +1,7 @@
+// Fixture: missing #pragma once and a top-level using-namespace — both
+// must trip the include-hygiene rule.
+#include <string>
+
+using namespace std;
+
+inline string fixture_bad_header() { return "oops"; }

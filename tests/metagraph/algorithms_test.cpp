@@ -16,7 +16,9 @@ struct Fixture {
   Fixture() {
     x.push_back(kNoElement);
     for (int i = 1; i <= 7; ++i) {
-      x.push_back(mg.add_element("x" + std::to_string(i)));
+      std::string name = "x";
+      name += std::to_string(i);
+      x.push_back(mg.add_element(name));
     }
     const SetId v1 = mg.add_set("V1", {x[1], x[2]});
     const SetId w1 = mg.add_set("W1", {x[4]});

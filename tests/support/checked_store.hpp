@@ -1,0 +1,47 @@
+// Test-fixture glue for GraphStore::check_invariants().
+//
+// Suites that mutate a GraphStore derive from StoreInvariantTest (or call
+// expect_store_invariants directly): the fixture audits the store at
+// TearDown, so every test in the suite doubles as an invariant oracle run —
+// a test can pass its own assertions and still fail if it left the store
+// internally inconsistent.  Tests that intentionally finish with an open
+// undo scope clear `require_at_rest_`.
+#pragma once
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graphdb/store.hpp"
+
+namespace adsynth::test_support {
+
+/// Builds "prefix<i>" via append instead of operator+(const char*,
+/// std::string&&): GCC 12's -Wrestrict misfires on the rvalue overload
+/// (GCC PR 105329) at whichever call sites its inliner picks, so tests
+/// use this helper to stay -Werror clean across all build lanes.
+inline std::string tag(const char* prefix, long long i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+inline void expect_store_invariants(const graphdb::GraphStore& store,
+                                    bool require_at_rest = true) {
+  const auto report = store.check_invariants(require_at_rest);
+  for (const auto& violation : report.violations) {
+    ADD_FAILURE() << "store invariant violated: " << violation;
+  }
+}
+
+class StoreInvariantTest : public ::testing::Test {
+ protected:
+  graphdb::GraphStore store;
+  bool require_at_rest_ = true;
+
+  void TearDown() override {
+    expect_store_invariants(store, require_at_rest_);
+  }
+};
+
+}  // namespace adsynth::test_support

@@ -1,0 +1,400 @@
+// adsynth_lint — repo-invariant / determinism lint for the ADSynth tree.
+//
+// The reproduction's headline guarantees are *determinism* properties:
+// identical seeds produce identical graphs, parallel reductions are
+// bit-identical at any thread count, and rollback restores stores exactly.
+// Those guarantees die quietly when someone reaches for std::rand, seeds
+// from random_device, renders a wall-clock timestamp into an output file,
+// or folds a floating-point reduction over an unordered container whose
+// iteration order is implementation-defined.  This tool walks src/ and
+// bench/ and fails (as a tier-1 ctest) on exactly those patterns:
+//
+//   nondeterministic-random  std::rand / srand / random_device / mt19937 /
+//                            <random> distributions / std::shuffle anywhere
+//                            outside src/util/rng.*.  util::Rng (xoshiro256**
+//                            + explicit seeds) is the only sanctioned source
+//                            of randomness; stdlib distributions are
+//                            implementation-defined across platforms.
+//   wall-clock               system_clock / steady_clock / ::time() /
+//                            gettimeofday / localtime / strftime outside
+//                            src/util/timer.* — deterministic outputs must
+//                            not embed wall-clock state; benches measure
+//                            through util::Stopwatch.
+//   unordered-container      unordered_map/unordered_set in src/analytics/
+//                            or src/defense/: hot-path reductions there must
+//                            be iteration-order independent, so every use
+//                            needs an allowlist entry with a justification.
+//   include-hygiene          every src/ header carries #pragma once and no
+//                            header declares `using namespace`.
+//
+// Matching runs on comment-stripped text, so prose mentioning a banned
+// token does not fire.  Findings are suppressed by
+// tools/lint_allowlist.txt entries of the form
+//     rule|path-substring|line-substring|reason
+// (all four fields required; the reason is mandatory documentation).
+//
+// Usage:
+//   adsynth_lint <repo_root>              scan mode (the tier-1 ctest)
+//   adsynth_lint --self-test <fixtures>   verify every rule fires on the
+//                                         fixture tree and that clean/
+//                                         fixtures stay silent
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string rule;
+  std::string file;   // repo-relative, generic separators
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+  std::string line_substring;
+  std::string reason;
+};
+
+struct TokenRule {
+  const char* rule;
+  const char* token;
+  const char* why;
+};
+
+// Tokens are matched as substrings of comment-stripped lines.  Keep them
+// specific enough that identifiers like `runtime(` cannot collide.
+constexpr TokenRule kRandomTokens[] = {
+    {"nondeterministic-random", "std::rand", "use util::Rng"},
+    {"nondeterministic-random", "srand(", "use util::Rng with an explicit seed"},
+    {"nondeterministic-random", "random_device",
+     "seeds must be explicit and reproducible"},
+    {"nondeterministic-random", "mt19937", "use util::Rng (xoshiro256**)"},
+    {"nondeterministic-random", "minstd_rand", "use util::Rng"},
+    {"nondeterministic-random", "uniform_int_distribution",
+     "stdlib distributions differ across implementations; use Rng::uniform"},
+    {"nondeterministic-random", "uniform_real_distribution",
+     "stdlib distributions differ across implementations; use Rng::real"},
+    {"nondeterministic-random", "normal_distribution",
+     "stdlib distributions differ across implementations"},
+    {"nondeterministic-random", "bernoulli_distribution",
+     "stdlib distributions differ across implementations; use Rng::chance"},
+    {"nondeterministic-random", "std::shuffle",
+     "std::shuffle's swap sequence is unspecified; use Rng::shuffle"},
+};
+
+constexpr TokenRule kWallClockTokens[] = {
+    {"wall-clock", "system_clock", "wall-clock state in outputs"},
+    {"wall-clock", "steady_clock", "time through util::Stopwatch"},
+    {"wall-clock", "high_resolution_clock", "time through util::Stopwatch"},
+    {"wall-clock", "std::time(", "wall-clock state in outputs"},
+    {"wall-clock", "time(nullptr)", "wall-clock state in outputs"},
+    {"wall-clock", "time(NULL)", "wall-clock state in outputs"},
+    {"wall-clock", "gettimeofday", "wall-clock state in outputs"},
+    {"wall-clock", "clock_gettime", "wall-clock state in outputs"},
+    {"wall-clock", "localtime", "wall-clock state in outputs"},
+    {"wall-clock", "gmtime(", "wall-clock state in outputs"},
+    {"wall-clock", "strftime", "wall-clock state in outputs"},
+};
+
+constexpr TokenRule kUnorderedTokens[] = {
+    {"unordered-container", "unordered_map",
+     "iteration order is implementation-defined; hot-path reductions in "
+     "analytics/defense must be order-independent (allowlist with reason if "
+     "deliberate)"},
+    {"unordered-container", "unordered_set",
+     "iteration order is implementation-defined; hot-path reductions in "
+     "analytics/defense must be order-independent (allowlist with reason if "
+     "deliberate)"},
+};
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Strips // and /* */ comments, preserving line structure so findings
+/// keep their real line numbers.  String literals are kept verbatim —
+/// close enough for token matching, and a banned token smuggled into a
+/// string is worth a look anyway.
+std::vector<std::string> comment_stripped_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+      continue;
+    }
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      // Skip to end of line (the '\n' branch above still records it).
+      while (i + 1 < text.size() && text[i + 1] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool is_source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool is_header(const std::string& rel) {
+  return rel.size() > 2 && (rel.ends_with(".hpp") || rel.ends_with(".h"));
+}
+
+void scan_file(const fs::path& path, const std::string& rel,
+               std::vector<Finding>& findings) {
+  const std::string text = read_file(path);
+  const std::vector<std::string> lines = comment_stripped_lines(text);
+  const bool rng_exempt = contains(rel, "util/rng");
+  const bool timer_exempt = contains(rel, "util/timer");
+  const bool ordered_zone =
+      contains(rel, "analytics/") || contains(rel, "defense/");
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    if (!rng_exempt) {
+      for (const TokenRule& t : kRandomTokens) {
+        if (contains(line, t.token)) {
+          findings.push_back({t.rule, rel, i + 1,
+                              std::string("banned token '") + t.token +
+                                  "' (" + t.why + ")"});
+        }
+      }
+    }
+    if (!timer_exempt) {
+      for (const TokenRule& t : kWallClockTokens) {
+        if (contains(line, t.token)) {
+          findings.push_back({t.rule, rel, i + 1,
+                              std::string("banned token '") + t.token +
+                                  "' (" + t.why + ")"});
+        }
+      }
+    }
+    if (ordered_zone) {
+      for (const TokenRule& t : kUnorderedTokens) {
+        if (contains(line, t.token)) {
+          findings.push_back({t.rule, rel, i + 1,
+                              std::string("'") + t.token + "' (" + t.why +
+                                  ")"});
+        }
+      }
+    }
+    if (is_header(rel) && contains(line, "using namespace")) {
+      findings.push_back({"include-hygiene", rel, i + 1,
+                          "'using namespace' in a header leaks into every "
+                          "includer"});
+    }
+  }
+
+  if (is_header(rel)) {
+    bool has_pragma_once = false;
+    for (const std::string& line : lines) {
+      if (contains(line, "#pragma once")) {
+        has_pragma_once = true;
+        break;
+      }
+    }
+    if (!has_pragma_once) {
+      findings.push_back(
+          {"include-hygiene", rel, 1, "header is missing '#pragma once'"});
+    }
+  }
+}
+
+std::vector<Finding> scan_tree(const fs::path& root,
+                               const std::vector<std::string>& subdirs,
+                               std::size_t* files_scanned) {
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && is_source_file(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  // Deterministic report order regardless of directory enumeration order.
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    const std::string rel =
+        fs::relative(file, root).generic_string();
+    scan_file(file, rel, findings);
+  }
+  if (files_scanned != nullptr) *files_scanned = files.size();
+  return findings;
+}
+
+std::vector<AllowEntry> load_allowlist(const fs::path& path,
+                                       std::vector<std::string>* errors) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    AllowEntry entry;
+    std::istringstream fields(line);
+    if (!std::getline(fields, entry.rule, '|') ||
+        !std::getline(fields, entry.path_substring, '|') ||
+        !std::getline(fields, entry.line_substring, '|') ||
+        !std::getline(fields, entry.reason)) {
+      errors->push_back("allowlist line " + std::to_string(lineno) +
+                        ": want 'rule|path|line-substring|reason'");
+      continue;
+    }
+    if (entry.reason.empty()) {
+      errors->push_back("allowlist line " + std::to_string(lineno) +
+                        ": empty reason — justify the exemption");
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+bool suppressed(const Finding& f, const std::string& line_text,
+                const std::vector<AllowEntry>& allow) {
+  for (const AllowEntry& entry : allow) {
+    if (entry.rule != f.rule) continue;
+    if (!contains(f.file, entry.path_substring)) continue;
+    if (!entry.line_substring.empty() &&
+        !contains(line_text, entry.line_substring)) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+int run_scan(const fs::path& root) {
+  std::vector<std::string> errors;
+  const std::vector<AllowEntry> allow =
+      load_allowlist(root / "tools" / "lint_allowlist.txt", &errors);
+  for (const std::string& e : errors) {
+    std::cerr << "adsynth_lint: " << e << "\n";
+  }
+
+  std::size_t files_scanned = 0;
+  std::vector<Finding> findings =
+      scan_tree(root, {"src", "bench"}, &files_scanned);
+
+  std::size_t reported = 0;
+  for (const Finding& f : findings) {
+    // Reload the offending line for allowlist line-substring matching and
+    // for the report; lint runs are rare enough that re-reading is fine.
+    std::string line_text;
+    {
+      std::ifstream in(root / f.file);
+      for (std::size_t i = 0; i < f.line && std::getline(in, line_text); ++i) {
+      }
+    }
+    if (suppressed(f, line_text, allow)) continue;
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+    ++reported;
+  }
+  if (reported > 0 || !errors.empty()) {
+    std::cerr << "adsynth_lint: " << reported << " violation(s) across "
+              << files_scanned << " file(s)\n";
+    return 1;
+  }
+  std::cout << "adsynth_lint: OK (" << files_scanned << " files clean)\n";
+  return 0;
+}
+
+int run_self_test(const fs::path& fixtures) {
+  std::size_t files_scanned = 0;
+  const std::vector<Finding> findings =
+      scan_tree(fixtures, {"src", "bench"}, &files_scanned);
+  if (files_scanned == 0) {
+    std::cerr << "adsynth_lint --self-test: no fixture files under "
+              << fixtures << "\n";
+    return 1;
+  }
+
+  const std::set<std::string> expected = {
+      "nondeterministic-random", "wall-clock", "unordered-container",
+      "include-hygiene"};
+  std::map<std::string, std::size_t> fired;
+  bool clean_dir_violated = false;
+  for (const Finding& f : findings) {
+    ++fired[f.rule];
+    // clean/ fixtures exist to prove comment-stripping and exemptions do
+    // not false-positive; any finding there is a lint bug.
+    if (contains(f.file, "clean/")) {
+      std::cerr << "self-test: unexpected finding in clean fixture "
+                << f.file << ":" << f.line << " [" << f.rule << "] "
+                << f.message << "\n";
+      clean_dir_violated = true;
+    }
+  }
+
+  bool ok = !clean_dir_violated;
+  for (const std::string& rule : expected) {
+    const std::size_t count = fired.count(rule) ? fired.at(rule) : 0;
+    std::cout << "self-test: rule " << rule << " fired " << count << "x\n";
+    if (count == 0) {
+      std::cerr << "self-test: rule " << rule
+                << " never fired on the fixtures\n";
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "adsynth_lint self-test: OK\n"
+                   : "adsynth_lint self-test: FAILED\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--self-test") {
+    return run_self_test(fs::path(argv[2]));
+  }
+  if (argc == 2) {
+    return run_scan(fs::path(argv[1]));
+  }
+  std::cerr << "usage: adsynth_lint <repo_root>\n"
+               "       adsynth_lint --self-test <fixtures_root>\n";
+  return 2;
+}

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("full", "paper-scale sizes");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
 
   print_header("Ablation: set-to-set metagraph vs element-to-element",
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
          util::fixed(expand_time, 3)});
   }
   std::fputs(table.render().c_str(), stdout);
+  capture.finish("ablation_metagraph");
   return 0;
 }

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   args.add_option("nodes", "graph size", "50000");
   args.add_option("seeds", "seeds per cell", "3");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const auto nodes = static_cast<std::size_t>(args.integer("nodes"));
   const auto seeds = static_cast<std::size_t>(args.integer("seeds"));
@@ -90,5 +92,6 @@ int main(int argc, char** argv) {
   std::printf("\nconcentration shifts the choke point from the tier-0\n"
               "delegation structures onto the operator account and the DCs\n"
               "(and splits traffic between the two funnels).\n");
+  capture.finish("ablation_tiers");
   return 0;
 }

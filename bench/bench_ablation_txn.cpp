@@ -75,7 +75,9 @@ int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("full", "larger workloads");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
 
   print_header("Ablation: Cypher-lite transactions vs direct store writes",
@@ -102,5 +104,6 @@ int main(int argc, char** argv) {
                    util::fixed(cypher / std::max(direct, 1e-9), 1) + "x"});
   }
   std::fputs(table.render().c_str(), stdout);
+  capture.finish("ablation_txn");
   return 0;
 }

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
   args.add_option("max-honeypots", "placements per dataset", "5");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
   const auto max_k =
@@ -44,5 +46,6 @@ int main(int argc, char** argv) {
   add("ADSynth (vulnerable)", make_adsynth("vulnerable", nodes, 1));
   add("University (reference)", make_university(nodes));
   std::fputs(table.render().c_str(), stdout);
+  capture.finish("app_honeypot");
   return 0;
 }

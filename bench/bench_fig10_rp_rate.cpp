@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
   args.add_flag("full", "part (a) sizes up to 1M");
   args.add_option("seeds", "seeds averaged in parts (a)/(b)", "3");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const std::size_t ad100 = ad100_nodes(args.flag("small"));
   const auto seeds = static_cast<std::size_t>(args.integer("seeds"));
@@ -103,5 +105,6 @@ int main(int argc, char** argv) {
                cell(vulnerable)});
   }
   std::fputs(c.render().c_str(), stdout);
+  capture.finish("fig10_rp_rate");
   return 0;
 }

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
                   "(its removal count is ~600; batching keeps the bench "
                   "tractable)", "10");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
 
@@ -53,5 +55,6 @@ int main(int argc, char** argv) {
                    std::to_string(result.removals()), ""});
   }
   std::fputs(table.render().c_str(), stdout);
+  capture.finish("fig11_goodhound");
   return 0;
 }

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
   args.add_option("seeds", "instances per dataset", "5");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
   const auto seeds = static_cast<std::size_t>(args.integer("seeds"));
@@ -45,5 +47,6 @@ int main(int argc, char** argv) {
   add("University (reference)",
       [&](std::uint64_t s) { return make_university(nodes, 6 + s); });
   std::fputs(table.render().c_str(), stdout);
+  capture.finish("fig12_double_oracle");
   return 0;
 }

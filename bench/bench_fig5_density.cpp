@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   args.add_option("baseline-cap",
                   "largest size the Cypher-driven baselines run at", "10000");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const bool full = args.flag("full");
   const auto baseline_cap =
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf("\nUniversity reference (100,000 nodes): density %s "
               "(paper: 8.0e-05)\n",
               util::sci(uni.density()).c_str());
+  capture.finish("fig5_density");
   return 0;
 }

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   args.add_option("baseline-cap",
                   "largest size the Cypher-driven baselines run at", "10000");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const bool full = args.flag("full");
   const auto baseline_cap =
@@ -42,5 +44,6 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::fputs(table.render().c_str(), stdout);
+  capture.finish("fig6_sessions_scaling");
   return 0;
 }

@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
 
@@ -38,5 +40,6 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::printf("\nnote: DBCreator capped at 10,000 nodes (cannot scale; "
               "Table I)\n");
+  capture.finish("fig7_sessions_security");
   return 0;
 }

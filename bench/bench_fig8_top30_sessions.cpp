@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
   args.add_option("top", "how many top users to list", "30");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
   const auto top_k = static_cast<std::size_t>(args.integer("top"));
@@ -51,5 +53,6 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::printf("\nADSynth(long-tail ext) is this reproduction's "
               "implementation of the paper's future-work session model.\n");
+  capture.finish("fig8_top30_sessions");
   return 0;
 }

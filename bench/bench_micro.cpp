@@ -4,9 +4,12 @@
 // several thread counts.  These back the §IV-A claim that the local
 // database offers constant-time insertion and retrieval.
 //
-// Besides the console table, every run writes BENCH_micro.json — one
-// record per benchmark with the op name, ns/op, thread count and graph
-// size — so the perf trajectory is machine-trackable across PRs.
+// Besides the console table, every run writes BENCH_micro.json: the per-op
+// records (op name, ns/op, thread count, graph size) plus the run's
+// per-phase span breakdown and metric snapshot, so both the perf
+// trajectory and the phase mix are machine-trackable across PRs
+// (scripts/bench_compare.py gates them against bench/baselines/).  Pass
+// --trace <file> to additionally dump the Chrome trace_event timeline.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -23,8 +26,11 @@
 #include "metagraph/algorithms.hpp"
 #include "metagraph/expansion.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -36,7 +42,8 @@ namespace {
 // run name ("BM_RpRate/10000/4").
 constexpr std::int64_t kSerial = 1;
 
-/// Console output plus a machine-readable BENCH_micro.json.
+/// Console output plus machine-readable per-op records; main() folds the
+/// records into BENCH_micro.json together with the span breakdown.
 class MicroJsonReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -78,14 +85,11 @@ class MicroJsonReporter : public benchmark::ConsoleReporter {
     }
   }
 
-  void Finalize() override {
-    ConsoleReporter::Finalize();
+  util::JsonArray take_records() {
     util::JsonArray array;
     for (auto& r : records_) array.emplace_back(std::move(r));
-    std::ofstream out("BENCH_micro.json");
-    out << util::JsonValue(std::move(array)).dump() << "\n";
-    std::fprintf(stderr, "wrote BENCH_micro.json (%zu records)\n",
-                 records_.size());
+    records_.clear();
+    return array;
   }
 
  private:
@@ -233,10 +237,59 @@ BENCHMARK(BM_GenerateSecure)->Arg(1'000)->Arg(10'000)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --trace before benchmark::Initialize (it rejects unknown flags).
+  std::string trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      continue;
+    }
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   util::set_global_threads(kSerial);  // threaded cases opt in per benchmark
+
+  util::MetricsRegistry::instance().reset();
+  util::trace_begin();
+  util::Stopwatch watch;
   MicroJsonReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+  {
+    // Root span: every benchmark (and its setup) nests under bench.run, so
+    // the capture's accounted depth-0 time tracks the harness wall time.
+    util::Span root("bench.run");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  const double wall_ms = watch.millis();
+  const util::TraceReport report = util::trace_end();
+
+  util::JsonObject doc;
+  doc["bench"] = std::string("micro");
+  doc["wall_ms"] = wall_ms;
+  doc["top_level_ms"] = static_cast<double>(report.top_level_total_ns()) / 1e6;
+  doc["dropped_events"] = static_cast<std::int64_t>(report.dropped_events());
+  doc["records"] = util::JsonValue(reporter.take_records());
+  doc["phases"] = report.phases_json();
+  doc["metrics"] = util::JsonValue(util::MetricsRegistry::instance().snapshot());
+  std::ofstream out("BENCH_micro.json");
+  out << util::JsonValue(std::move(doc)).dump() << "\n";
+  std::fprintf(stderr, "wrote BENCH_micro.json (%zu phases, %.1f of %.1f ms "
+               "accounted)\n",
+               report.spans().size(),
+               static_cast<double>(report.top_level_total_ns()) / 1e6,
+               wall_ms);
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    report.write_chrome_trace(trace_out);
+    std::fprintf(stderr, "wrote Chrome trace to %s (%zu events)\n",
+                 trace_path.c_str(), report.events().size());
+  }
   return 0;
 }

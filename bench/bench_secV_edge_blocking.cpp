@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
   args.add_flag("small", "run at 20k instead of the AD100 scale (100k)");
   args.add_option("budget", "edge blocking budget", "16");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const std::size_t nodes = ad100_nodes(args.flag("small"));
   defense::EdgeBlockOptions options;
@@ -60,5 +62,6 @@ int main(int argc, char** argv) {
   run("University (reference)", uni,
       defense::EdgeBlockAlgorithm::kIterativeLp, "IterLP");
   std::fputs(table.render().c_str(), stdout);
+  capture.finish("secV_edge_blocking");
   return 0;
 }

@@ -82,7 +82,9 @@ int main(int argc, char** argv) {
   args.add_option("budget", "per-cell wall-clock budget in seconds before a "
                   "tool is marked '-' (the paper's DNF)", "30");
   add_threads_option(args);
+  add_trace_option(args);
   if (!args.parse(argc, argv)) return 0;
+  TraceCapture capture(args);
   apply_threads_option(args);
   const bool full = args.flag("full");
   const auto runs = static_cast<std::size_t>(
@@ -133,5 +135,6 @@ int main(int argc, char** argv) {
   std::printf("\nruns per cell: %zu; budget %.0fs per run; '-' = tool "
               "exceeded budget at a smaller size (paper: DNF)\n",
               runs, budget);
+  capture.finish("table1_runtime");
   return 0;
 }

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adcore/attack_graph.hpp"
@@ -18,10 +20,13 @@
 #include "core/export.hpp"
 #include "core/generator.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::bench {
 
@@ -97,5 +102,61 @@ inline void print_header(const char* experiment, const char* paper_claim) {
   std::printf("== %s ==\n", experiment);
   std::printf("paper: %s\n\n", paper_claim);
 }
+
+/// Registers the standard --trace option every bench binary shares.
+inline void add_trace_option(util::CliArgs& args) {
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
+}
+
+/// Arms a span/metric capture over the whole bench run.  finish() writes
+/// BENCH_<name>.json with the per-phase breakdown (span totals, counts,
+/// p50/p95 from the duration histograms) plus the run's metric snapshot,
+/// and dumps the Chrome timeline when --trace gave a path.
+class TraceCapture {
+ public:
+  explicit TraceCapture(const util::CliArgs& args)
+      : chrome_path_(args.str("trace")) {
+    util::MetricsRegistry::instance().reset();
+    util::trace_begin();
+  }
+
+  /// Ends the capture and writes BENCH_<bench_name>.json.  `extra` fields
+  /// are merged into the document (bench_micro adds its per-op records).
+  void finish(const char* bench_name, util::JsonObject extra = {}) {
+    const double wall_ms = watch_.millis();
+    const util::TraceReport report = util::trace_end();
+    util::JsonObject doc;
+    doc["bench"] = std::string(bench_name);
+    doc["wall_ms"] = wall_ms;
+    doc["top_level_ms"] =
+        static_cast<double>(report.top_level_total_ns()) / 1e6;
+    doc["dropped_events"] =
+        static_cast<std::int64_t>(report.dropped_events());
+    doc["phases"] = report.phases_json();
+    doc["metrics"] = util::JsonValue(
+        util::MetricsRegistry::instance().snapshot());
+    for (auto& [key, value] : extra) doc[key] = std::move(value);
+    const std::string path = std::string("BENCH_") + bench_name + ".json";
+    std::ofstream out(path);
+    out << util::JsonValue(std::move(doc)).dump() << "\n";
+    std::fprintf(stderr, "wrote %s (%zu phases, %.1f of %.1f ms accounted)\n",
+                 path.c_str(), report.spans().size(),
+                 static_cast<double>(report.top_level_total_ns()) / 1e6,
+                 wall_ms);
+    if (!chrome_path_.empty()) {
+      std::ofstream trace_out(chrome_path_);
+      report.write_chrome_trace(trace_out);
+      std::fprintf(stderr, "wrote Chrome trace to %s (%zu events)\n",
+                   chrome_path_.c_str(), report.events().size());
+    }
+  }
+
+ private:
+  std::string chrome_path_;
+  util::Stopwatch watch_;
+};
 
 }  // namespace adsynth::bench

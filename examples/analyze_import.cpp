@@ -17,14 +17,20 @@
 #include "graphdb/neo4j_io.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
 int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_option("top", "choke points / paths to list", "5");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
     if (args.positional().size() != 1) {
       std::fprintf(stderr, "usage: analyze_import <graph.json> [--top N]\n");
       return 2;

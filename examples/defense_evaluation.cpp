@@ -15,6 +15,7 @@
 #include "defense/honeypot.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -23,8 +24,13 @@ int main(int argc, char** argv) {
   args.add_option("nodes", "target node count", "20000");
   args.add_option("preset", "security preset", "secure");
   args.add_option("seed", "generator seed", "3");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
 
     const auto nodes = static_cast<std::size_t>(args.integer("nodes"));
     const auto seed = static_cast<std::uint64_t>(args.integer("seed"));

@@ -15,6 +15,7 @@
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -25,8 +26,13 @@ int main(int argc, char** argv) {
   args.add_option("seed", "generator seed", "2024");
   args.add_option("out", "output prefix (writes PREFIX.json + PREFIX.config."
                   "json; empty: skip)", "");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
 
     core::GeneratorConfig cfg = core::GeneratorConfig::secure(
         static_cast<std::size_t>(args.integer("nodes")),

@@ -12,6 +12,7 @@
 #include "core/forest.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -21,8 +22,13 @@ int main(int argc, char** argv) {
   args.add_option("leaks", "cross-domain credential leaks per child", "10");
   args.add_option("topology", "trust topology: hub, chain or mesh", "hub");
   args.add_option("seed", "forest seed", "1");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
     const auto nodes = static_cast<std::size_t>(args.integer("nodes"));
 
     core::ForestConfig cfg;

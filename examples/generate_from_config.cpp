@@ -20,6 +20,7 @@
 #include "graphdb/csv_io.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -30,8 +31,13 @@ int main(int argc, char** argv) {
   args.add_option("out", "output path prefix", "adsynth_out");
   args.add_option("format",
                     "comma-separated outputs: json, csv, bloodhound", "json");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
 
     if (args.flag("print-config")) {
       std::printf("%s\n", core::GeneratorConfig{}.to_json().c_str());

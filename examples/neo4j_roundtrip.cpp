@@ -17,6 +17,7 @@
 #include "graphdb/cypher.hpp"
 #include "graphdb/neo4j_io.hpp"
 #include "util/cli.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -24,8 +25,13 @@ int main(int argc, char** argv) {
   util::CliArgs args;
   args.add_option("nodes", "target node count", "5000");
   args.add_option("dir", "directory for the JSON artifacts", "/tmp");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
 
     const auto cfg = core::GeneratorConfig::secure(
         static_cast<std::size_t>(args.integer("nodes")), 11);

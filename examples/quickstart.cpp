@@ -17,6 +17,7 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -30,8 +31,13 @@ int main(int argc, char** argv) {
   args.add_flag("element-to-element",
                 "export the element-to-element expansion instead of the "
                 "default set-to-set graph");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
 
     const auto nodes = static_cast<std::size_t>(args.integer("nodes"));
     const auto seed = static_cast<std::uint64_t>(args.integer("seed"));

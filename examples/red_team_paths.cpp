@@ -13,6 +13,7 @@
 #include "core/generator.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace adsynth;
 
@@ -21,8 +22,13 @@ int main(int argc, char** argv) {
   args.add_option("nodes", "target node count", "20000");
   args.add_option("seed", "generator seed", "7");
   args.add_option("paths", "attack paths to print", "5");
+  args.add_option("trace",
+                  "write a Chrome trace_event JSON of the run's spans to "
+                  "this path (open in chrome://tracing or Perfetto)",
+                  "");
   try {
     if (!args.parse(argc, argv)) return 0;
+    util::ScopedCapture capture(args.str("trace"));
 
     const auto cfg = core::GeneratorConfig::vulnerable(
         static_cast<std::size_t>(args.integer("nodes")),

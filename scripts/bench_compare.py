@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_micro.json against a committed baseline.
+
+Compares the two iteration-count-independent series the bench emits:
+
+  * records  — per-op ns/op, matched by (name, graph_size, threads)
+  * phases   — per-span p50 latency (ns), matched by span name
+
+A fresh value may exceed its baseline by at most the tolerance (relative
+slack: 1.0 means "2x the baseline passes, 2.01x fails").  Phases whose
+baseline p50 sits below the noise floor are skipped — sub-microsecond
+buckets flap with scheduler jitter and would make the gate cry wolf.
+
+CI keeps the default tolerance generous (ADSYNTH_BENCH_TOLERANCE, see
+scripts/ci.sh): the gate exists to catch order-of-magnitude regressions —
+an accidentally quadratic loop, a lock on the fast path — not 5%% noise,
+because baselines are recorded on whatever machine ran the seed PR.
+
+Improvements are reported but never fail the gate; refresh the baseline
+(cp build-ci/bench/BENCH_micro.json bench/baselines/) to ratchet it.
+
+Exit codes: 0 ok, 1 regression(s), 2 usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if not isinstance(doc, dict) or "records" not in doc:
+        sys.exit(f"bench_compare: {path} is not an object-format BENCH json "
+                 "(want keys: records, phases, ...)")
+    return doc
+
+
+def record_key(rec):
+    return (rec["name"], rec.get("graph_size", 0), rec.get("threads", 1))
+
+
+def fmt_key(key):
+    name, size, threads = key
+    parts = [name]
+    if size:
+        parts.append(str(size))
+    if threads != 1:
+        parts.append(f"t{threads}")
+    return "/".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_micro.json against a baseline")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("fresh", help="freshly measured json")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="allowed relative ns/op increase per record "
+                             "(1.0 = 2x baseline; default %(default)s)")
+    parser.add_argument("--phase-tolerance", type=float, default=None,
+                        help="allowed relative p50 increase per phase "
+                             "(default: same as --tolerance)")
+    parser.add_argument("--min-p50-ns", type=float, default=1000.0,
+                        help="skip phases whose baseline p50 is below this "
+                             "noise floor (default %(default)s ns)")
+    args = parser.parse_args()
+    phase_tolerance = (args.tolerance if args.phase_tolerance is None
+                       else args.phase_tolerance)
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    regressions = []
+    rows = []
+
+    base_records = {record_key(r): r for r in base["records"]}
+    fresh_records = {record_key(r): r for r in fresh["records"]}
+    for key, b in sorted(base_records.items()):
+        f = fresh_records.get(key)
+        if f is None:
+            regressions.append(f"record {fmt_key(key)}: present in baseline "
+                               "but not measured (refresh the baseline if "
+                               "the benchmark was removed)")
+            continue
+        b_ns, f_ns = b["ns_per_op"], f["ns_per_op"]
+        ratio = f_ns / b_ns if b_ns > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"record {fmt_key(key)}: {f_ns:.0f} ns/op vs baseline "
+                f"{b_ns:.0f} ({ratio:.2f}x > {1.0 + args.tolerance:.2f}x)")
+        elif ratio < 1.0 / (1.0 + args.tolerance):
+            verdict = "improved"
+        rows.append((fmt_key(key), b_ns, f_ns, ratio, verdict))
+    for key in sorted(set(fresh_records) - set(base_records)):
+        rows.append((fmt_key(key), None,
+                     fresh_records[key]["ns_per_op"], None, "new"))
+
+    base_phases = {p["name"]: p for p in base.get("phases", [])}
+    fresh_phases = {p["name"]: p for p in fresh.get("phases", [])}
+    for name, b in sorted(base_phases.items()):
+        f = fresh_phases.get(name)
+        b_p50 = b["p50_ns"]
+        if b_p50 < args.min_p50_ns:
+            continue  # below the noise floor: informational only
+        if f is None:
+            # A phase can legitimately vanish (e.g. a code path no longer
+            # taken at bench scale); report it without failing.
+            rows.append((f"phase:{name}", b_p50, None, None, "missing"))
+            continue
+        f_p50 = f["p50_ns"]
+        ratio = f_p50 / b_p50 if b_p50 > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + phase_tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"phase {name}: p50 {f_p50} ns vs baseline {b_p50} "
+                f"({ratio:.2f}x > {1.0 + phase_tolerance:.2f}x)")
+        elif ratio < 1.0 / (1.0 + phase_tolerance):
+            verdict = "improved"
+        rows.append((f"phase:{name}", b_p50, f_p50, ratio, verdict))
+
+    name_w = max((len(r[0]) for r in rows), default=4)
+    print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'fresh':>12}  "
+          f"{'ratio':>6}  verdict")
+    for name, b_ns, f_ns, ratio, verdict in rows:
+        b_s = f"{b_ns:.0f}" if b_ns is not None else "-"
+        f_s = f"{f_ns:.0f}" if f_ns is not None else "-"
+        r_s = f"{ratio:.2f}" if ratio is not None else "-"
+        print(f"{name:<{name_w}}  {b_s:>12}  {f_s:>12}  {r_s:>6}  {verdict}")
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} regression(s) beyond "
+              f"tolerance {args.tolerance:.2f}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK ({len(rows)} series within tolerance "
+          f"{args.tolerance:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@
 #   lint       — tools/adsynth_lint standalone over the repo + fixtures
 #                self-test (same binary the ctest entries run; kept as its
 #                own stage so a lint break is named in the table)
+#   bench.regression — quick bench_micro run (with --trace) diffed against
+#                bench/baselines/BENCH_micro.json by scripts/bench_compare.py;
+#                tolerance via ADSYNTH_BENCH_TOLERANCE (default 1.0 = 2x,
+#                an order-of-magnitude gate, not a 5% one)
 #   analyze    — Clang -Werror=thread-safety lane (SKIP without clang++)
 #   tidy       — clang-tidy profile (SKIP without clang-tidy)
 #   asan/tsan/ubsan — sanitizer lanes (SKIP when the compiler lacks the
@@ -27,13 +31,36 @@ mkdir -p "$log_dir"
 
 stages=""
 results=""
-failed=0
 
 record() {
   stages="$stages $1"
   results="$results $2"
-  [ "$2" = "FAIL" ] && failed=1
 }
+
+print_summary() {
+  echo ""
+  echo "ci summary"
+  echo "----------------------------"
+  i=1
+  for s in $stages; do
+    r="$(echo $results | cut -d' ' -f"$i")"
+    printf '  %-18s %s\n' "$s" "$r"
+    i=$((i + 1))
+  done
+  echo "----------------------------"
+}
+
+# The exit code is derived from the recorded results, never from a flag a
+# later PASS could clobber: one FAIL anywhere fails the run.
+any_failed() {
+  for r in $results; do
+    [ "$r" = "FAIL" ] && return 0
+  done
+  return 1
+}
+
+# On ^C, still print what completed so a long run isn't opaque.
+trap 'echo ""; echo "ci: interrupted"; print_summary; exit 130' INT
 
 # run_stage <name> <log> <cmd...>: runs the command, records PASS/FAIL.
 run_stage() {
@@ -71,9 +98,16 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
   run_stage lint lint.log sh -c "
     '$root/build-ci/tools/adsynth_lint' '$root' &&
     '$root/build-ci/tools/adsynth_lint' --self-test '$root/tests/lint_fixtures'"
+  run_stage bench.regression bench_regression.log sh -c "
+    cd '$root/build-ci/bench' &&
+    ./bench_micro --benchmark_min_time=0.05 --trace trace_micro.json &&
+    python3 '$root/scripts/bench_compare.py' \
+        '$root/bench/baselines/BENCH_micro.json' BENCH_micro.json \
+        --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\""
 else
   record test SKIP   # no build to test; the build FAIL already gates exit
   record lint SKIP
+  record bench.regression SKIP
 fi
 
 # --- clang-only lanes ------------------------------------------------------
@@ -112,17 +146,8 @@ for lane in address thread undefined; do
 done
 
 # --- summary ---------------------------------------------------------------
-echo ""
-echo "ci summary"
-echo "----------------------"
-i=1
-for s in $stages; do
-  r="$(echo $results | cut -d' ' -f"$i")"
-  printf '  %-10s %s\n' "$s" "$r"
-  i=$((i + 1))
-done
-echo "----------------------"
-if [ "$failed" -ne 0 ]; then
+print_summary
+if any_failed; then
   echo "ci: FAILED (logs in $log_dir)"
   exit 1
 fi

@@ -9,6 +9,7 @@
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::adcore {
 
@@ -215,6 +216,7 @@ void export_bloodhound_collection(const AttackGraph& graph,
                                   const std::string& directory,
                                   const std::string& domain_fqdn,
                                   std::uint64_t id_seed) {
+  ADSYNTH_SPAN("adcore.bloodhound_export");
   const Identifiers ids = assign_ids(graph, id_seed);
   const Adjacency adj = gather(graph);
   const std::string domain_upper = util::to_upper(domain_fqdn);

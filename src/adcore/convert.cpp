@@ -5,6 +5,7 @@
 
 #include "util/ids.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::adcore {
 
@@ -14,6 +15,7 @@ using graphdb::PropertyList;
 
 GraphStore to_store(const AttackGraph& graph, const std::string& domain_fqdn,
                     std::uint64_t id_seed) {
+  ADSYNTH_SPAN("adcore.to_store");
   GraphStore store;
   const auto key_name = store.intern_key("name");
   const auto key_objectid = store.intern_key("objectid");
@@ -94,6 +96,7 @@ GraphStore to_store(const AttackGraph& graph, const std::string& domain_fqdn,
 }
 
 AttackGraph from_store(const GraphStore& store) {
+  ADSYNTH_SPAN("adcore.from_store");
   AttackGraph graph;
   graph.reserve(store.node_count(), store.rel_count());
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::analytics {
 
@@ -33,6 +34,7 @@ std::vector<std::int32_t> bfs_distances_parallel(
     frontier = util::parallel_map_reduce(
         pool, 0, frontier.size(), grain, std::vector<NodeIndex>{},
         [&](std::size_t lo, std::size_t hi, std::size_t) {
+          ADSYNTH_SPAN("analytics.bfs.chunk");
           std::vector<NodeIndex> next;
           for (std::size_t f = lo; f < hi; ++f) {
             const NodeIndex v = frontier[f];
@@ -64,6 +66,8 @@ std::vector<std::int32_t> bfs_distances_parallel(
 
 std::vector<std::int32_t> bfs_distances(
     const Csr& csr, const std::vector<NodeIndex>& sources) {
+  ADSYNTH_SPAN("analytics.bfs");
+  ADSYNTH_METRIC_COUNT("analytics.bfs.runs", 1);
   std::vector<std::int32_t> dist(csr.node_count(), kUnreachable);
   std::deque<NodeIndex> frontier;
   for (const NodeIndex s : sources) {

@@ -6,6 +6,7 @@
 
 #include "analytics/reachability.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::analytics {
 
@@ -58,6 +59,7 @@ std::vector<std::pair<NodeIndex, double>> RpResult::top(std::size_t k) const {
 
 RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
                            const std::vector<bool>* blocked) {
+  ADSYNTH_SPAN("analytics.rp_rate");
   const NodeIndex target = graph.domain_admins();
   if (target == adcore::kNoNodeIndex) {
     throw std::logic_error("route_penetration: graph has no Domain Admins");
@@ -74,6 +76,7 @@ RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
   std::vector<std::int32_t> dist_to_t(n, kUnreachable);
   std::vector<double> sigma_t(n, 0.0);
   {
+    ADSYNTH_SPAN("analytics.rp.reverse_sweep");
     std::deque<NodeIndex> frontier{target};
     dist_to_t[target] = 0;
     sigma_t[target] = 1.0;
@@ -114,6 +117,7 @@ RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
     result.sampled = true;
   }
   result.evaluated_sources = sources.size();
+  ADSYNTH_METRIC_COUNT("analytics.rp.sources_evaluated", sources.size());
 
   // Per-source forward sweeps restricted to the shortest-path DAG toward the
   // target: an arc v→w lies on a shortest path iff d_t[w] == d_t[v] − 1.
@@ -126,6 +130,7 @@ RpResult route_penetration(const AttackGraph& graph, const RpOptions& options,
   std::vector<SweepScratch> scratch(pool.size());
 
   auto sweep_chunk = [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    ADSYNTH_SPAN("analytics.rp.chunk");
     SweepScratch& s = scratch[worker];
     if (s.epoch.size() != n) {
       s.epoch.assign(n, 0);

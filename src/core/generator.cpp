@@ -7,6 +7,7 @@
 #include "adcore/naming.hpp"
 #include "core/structure.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::core {
 
@@ -595,25 +596,53 @@ void Builder::generate_misconfig_permissions() {
 }  // namespace
 
 GeneratedAd generate_ad(const GeneratorConfig& config) {
+  ADSYNTH_SPAN("gen.generate_ad");
   config.validate();
   Builder b(config);
 
   // Stage (a): nodes.
-  build_structure(config, b.rng, b.out);
-  b.create_objects();
-  b.assign_group_members();
+  {
+    ADSYNTH_SPAN("gen.structure");
+    build_structure(config, b.rng, b.out);
+  }
+  {
+    ADSYNTH_SPAN("gen.objects");
+    b.create_objects();
+  }
+  {
+    ADSYNTH_SPAN("gen.groups");
+    b.assign_group_members();
+  }
 
   // Stage (b): edges.
-  b.collect_resources();
-  b.generate_tier_delegation();
-  b.generate_control(/*is_acl=*/true);
-  b.generate_control(/*is_acl=*/false);
-  b.generate_sessions();
+  {
+    ADSYNTH_SPAN("gen.delegation");
+    b.collect_resources();
+    b.generate_tier_delegation();
+  }
+  {
+    ADSYNTH_SPAN("gen.control_acl");
+    b.generate_control(/*is_acl=*/true);
+  }
+  {
+    ADSYNTH_SPAN("gen.control_nonacl");
+    b.generate_control(/*is_acl=*/false);
+  }
+  {
+    ADSYNTH_SPAN("gen.sessions");
+    b.generate_sessions();
+  }
 
   // Stage (c): misconfigurations.
-  b.generate_misconfig_sessions();
-  b.generate_misconfig_permissions();
+  {
+    ADSYNTH_SPAN("gen.misconfig");
+    b.generate_misconfig_sessions();
+    b.generate_misconfig_permissions();
+  }
 
+  ADSYNTH_METRIC_COUNT("gen.graphs", 1);
+  ADSYNTH_METRIC_COUNT("gen.nodes", b.out.graph.node_count());
+  ADSYNTH_METRIC_COUNT("gen.edges", b.out.graph.edge_count());
   return std::move(b.out);
 }
 

@@ -10,6 +10,7 @@
 #include "analytics/reachability.hpp"
 #include "defense/whatif.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::defense {
 
@@ -24,6 +25,7 @@ namespace {
 std::optional<std::vector<EdgeIndex>> attacker_oracle(
     const Csr& forward, const std::vector<NodeIndex>& sources,
     NodeIndex target, std::int32_t limit, const std::vector<bool>& blocked) {
+  ADSYNTH_SPAN("defense.attacker_oracle");
   const std::size_t n = forward.node_count();
   std::vector<std::int32_t> dist(n, analytics::kUnreachable);
   std::vector<EdgeIndex> parent_edge(n, analytics::kNoEdgeIndex);
@@ -132,6 +134,7 @@ bool hit_search(const std::vector<std::vector<EdgeIndex>>& paths,
 
 std::vector<EdgeIndex> min_hitting_set(
     const std::vector<std::vector<EdgeIndex>>& paths, std::size_t exact_limit) {
+  ADSYNTH_SPAN("defense.hitting_set");
   const std::vector<EdgeIndex> greedy = greedy_hitting_set(paths);
   if (paths.size() > exact_limit || greedy.size() <= 1) return greedy;
 
@@ -172,6 +175,7 @@ std::vector<EdgeIndex> min_hitting_set(
 
 DoubleOracleResult harden(const adcore::AttackGraph& graph,
                           const DoubleOracleOptions& options) {
+  ADSYNTH_SPAN("defense.double_oracle");
   DoubleOracleResult result;
   const NodeIndex target = graph.domain_admins();
   if (target == adcore::kNoNodeIndex) {
@@ -192,6 +196,7 @@ DoubleOracleResult harden(const adcore::AttackGraph& graph,
   std::vector<std::vector<EdgeIndex>> paths{*first};
   while (result.oracle_iterations < options.max_iterations) {
     ++result.oracle_iterations;
+    ADSYNTH_METRIC_COUNT("defense.oracle_iterations", 1);
     // Defender oracle: minimal hitting set over enumerated paths.
     result.cuts = min_hitting_set(paths, options.exact_limit);
     std::fill(blocked.begin(), blocked.end(), false);
@@ -209,6 +214,7 @@ DoubleOracleResult harden(const adcore::AttackGraph& graph,
 
 LiveDoubleOracleResult harden_live(graphdb::GraphStore& store,
                                    const DoubleOracleOptions& options) {
+  ADSYNTH_SPAN("defense.double_oracle_live");
   LiveDoubleOracleResult result;
   WhatIf whatif(store);
 

@@ -9,6 +9,7 @@
 #include "defense/whatif.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::defense {
 
@@ -65,6 +66,7 @@ struct BnbState {
 void bnb(BnbState& state, std::vector<bool>& blocked,
          std::vector<EdgeIndex>& chosen, std::size_t next) {
   if (state.nodes_visited++ > state.node_limit) return;
+  ADSYNTH_METRIC_COUNT("defense.bnb.nodes_visited", 1);
   const std::size_t current = survivors(state.graph, blocked);
   if (current < state.best_survivors) {
     state.best_survivors = current;
@@ -129,6 +131,7 @@ EdgeBlockResult run_ip(const adcore::AttackGraph& graph,
   // per-branch bests merge in ascending branch order (strictly-better
   // wins), so the chosen cut set is identical at every thread count.
   if (!candidates.empty() && options.budget > 0) {
+    ADSYNTH_SPAN("defense.edge_block.bnb");
     const std::size_t branches = candidates.size();
     const std::size_t per_branch =
         std::max<std::size_t>(1, options.bnb_node_limit / branches);
@@ -208,6 +211,7 @@ EdgeBlockResult run_iterlp(const adcore::AttackGraph& graph,
 EdgeBlockResult block_edges(const adcore::AttackGraph& graph,
                             EdgeBlockAlgorithm algorithm,
                             const EdgeBlockOptions& options) {
+  ADSYNTH_SPAN("defense.edge_block");
   const NodeIndex target = graph.domain_admins();
   if (target == adcore::kNoNodeIndex) {
     throw std::logic_error("edge_block: graph has no Domain Admins");
@@ -275,6 +279,7 @@ EdgeBlockResult block_edges(const adcore::AttackGraph& graph,
 
 LiveEdgeBlockResult block_edges_live(graphdb::GraphStore& store,
                                      std::size_t budget) {
+  ADSYNTH_SPAN("defense.edge_block_live");
   WhatIf whatif(store);
   LiveEdgeBlockResult result;
   result.entry_users = whatif.entry_users().size();

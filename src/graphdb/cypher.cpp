@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::graphdb {
 
@@ -694,6 +695,8 @@ QueryResult execute(GraphStore& store, const Statement& stmt) {
 }  // namespace
 
 QueryResult CypherSession::run(std::string_view statement) {
+  ADSYNTH_SPAN("graphdb.statement");
+  ADSYNTH_METRIC_COUNT("graphdb.statements", 1);
   // Parse the statement text from scratch (per-statement, like a driver
   // sending Cypher to the server).  Parse errors touch nothing.
   Statement stmt = Parser(statement).parse();
@@ -723,6 +726,7 @@ QueryResult CypherSession::run(std::string_view statement) {
   } catch (...) {
     store_.abort_scope();
     ++statement_rollbacks_;
+    ADSYNTH_METRIC_COUNT("graphdb.statement_rollbacks", 1);
     throw;
   }
   ++statements_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/trace.hpp"
+
 namespace adsynth::graphdb {
 
 void put_property(PropertyList& list, PropertyKeyId key, PropertyValue value) {
@@ -290,6 +292,7 @@ void GraphStore::create_index(std::string_view label, std::string_view key) {
         "GraphStore: schema operations (create_index) cannot run inside an "
         "open undo scope / transaction");
   }
+  ADSYNTH_SPAN("graphdb.index.build");
   const LabelId l = intern_label(label);
   const PropertyKeyId k = keys_.intern(key);
   for (const auto& idx : indexes_) {
@@ -406,6 +409,7 @@ void GraphStore::index_node(NodeId id) {
     if (const PropertyValue* v = get_property(rec.properties, idx.key)) {
       idx.buckets[v->index_key()].push_back(id);
       ++idx.entries;
+      ADSYNTH_METRIC_COUNT("graphdb.index.entries_added", 1);
     }
   }
 }
@@ -422,6 +426,7 @@ void GraphStore::index_node_key(NodeId id, PropertyKeyId key) {
     }
     idx.buckets[v->index_key()].push_back(id);
     ++idx.entries;
+    ADSYNTH_METRIC_COUNT("graphdb.index.entries_added", 1);
   }
 }
 
@@ -470,13 +475,17 @@ void GraphStore::abort_scope() {
   if (scope_marks_.empty()) {
     throw std::logic_error("GraphStore: abort_scope without an open scope");
   }
+  ADSYNTH_SPAN("graphdb.undo.replay");
   const std::size_t mark = scope_marks_.back();
+  std::uint64_t replayed = 0;
   while (undo_log_.size() > mark) {
     const UndoOp op = std::move(undo_log_.back());
     undo_log_.pop_back();
     undo(op);
+    ++replayed;
   }
   scope_marks_.pop_back();
+  ADSYNTH_METRIC_COUNT("graphdb.undo.ops_replayed", replayed);
 }
 
 void GraphStore::undo(const UndoOp& op) {
@@ -817,6 +826,8 @@ void GraphStore::maybe_compact() {
 }
 
 void GraphStore::compact_index(PropertyIndex& idx) {
+  ADSYNTH_SPAN("graphdb.index.compact");
+  ADSYNTH_METRIC_COUNT("graphdb.index.compactions", 1);
   std::size_t kept_total = 0;
   for (auto it = idx.buckets.begin(); it != idx.buckets.end();) {
     auto& ids = it->second;

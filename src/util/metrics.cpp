@@ -1,0 +1,88 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+
+namespace adsynth::util {
+
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += bucket_count(b);
+    if (cumulative >= rank) return bucket_upper(b) - 1;
+  }
+  return bucket_upper(kBuckets - 1) - 1;  // unreachable when counts match
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+JsonObject MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = static_cast<std::int64_t>(c->value());
+  }
+  JsonObject gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  JsonObject histograms;
+  for (const auto& [name, h] : histograms_) {
+    JsonObject record;
+    record["count"] = static_cast<std::int64_t>(h->count());
+    record["sum"] = static_cast<std::int64_t>(h->sum());
+    record["p50"] = static_cast<std::int64_t>(h->quantile(0.5));
+    record["p95"] = static_cast<std::int64_t>(h->quantile(0.95));
+    histograms[name] = std::move(record);
+  }
+  JsonObject out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace adsynth::util

@@ -1,0 +1,200 @@
+// Named counters, gauges and fixed-bucket latency histograms in a global
+// registry — the metrics half of the observability layer (DESIGN.md
+// §Observability; util/trace.hpp is the spans half).
+//
+// Design rules:
+//
+//  * Lock-free fast path.  Counter/Gauge are single relaxed atomics and a
+//    Histogram is a fixed array of relaxed atomic buckets; the registry
+//    mutex is taken once per *site* (the ADSYNTH_METRIC_* macros cache the
+//    returned reference in a function-local static), never per update.
+//  * Deterministic readout.  Buckets have value-derived edges (log2 with
+//    kSubBits fractional bits), registration is name-keyed in a std::map,
+//    and snapshot() renders names in sorted order — two runs that perform
+//    the same operations produce byte-identical snapshots.
+//  * Compile-out.  With -DADSYNTH_TRACE=OFF (which defines
+//    ADSYNTH_TRACE_DISABLED) every ADSYNTH_METRIC_* / ADSYNTH_SPAN site
+//    expands to ((void)0): no atomics, no statics, no registry lookup.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+#if !defined(ADSYNTH_TRACE_DISABLED)
+#define ADSYNTH_TRACE_ENABLED 1
+#else
+#define ADSYNTH_TRACE_ENABLED 0
+#endif
+
+namespace adsynth::util {
+
+/// Monotonically increasing event count (statements executed, undo ops
+/// replayed, index entries written, ...).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value (pool size, live node count, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram.  Values 0..2^(kSubBits+1)-1 get exact
+/// buckets; above that, each power-of-two octave splits into 2^kSubBits
+/// sub-buckets (~12.5% relative resolution at kSubBits = 3), so quantile
+/// readouts are stable enough for regression gating without per-sample
+/// storage.  record() is three relaxed fetch_adds — safe from any thread.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+  // Largest index produced by a 64-bit value, see bucket_index():
+  // exponent 63 → ((63 - kSubBits) << kSubBits) + sub + kSubBuckets.
+  static constexpr std::size_t kBuckets =
+      ((63 - kSubBits) << kSubBits) + (kSubBuckets - 1) + kSubBuckets + 1;
+
+  /// Bucket covering `v`: identity below 2^(kSubBits+1), log-linear above.
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < (kSubBuckets << 1)) return static_cast<std::size_t>(v);
+    const unsigned exponent = std::bit_width(v) - 1;  // >= kSubBits + 1
+    const std::uint64_t sub =
+        (v >> (exponent - kSubBits)) & (kSubBuckets - 1);
+    return ((exponent - kSubBits) << kSubBits) +
+           static_cast<std::size_t>(sub) + kSubBuckets;
+  }
+
+  /// Smallest value mapping to bucket `b` (buckets partition [0, 2^64)).
+  static std::uint64_t bucket_lower(std::size_t b) {
+    if (b < (kSubBuckets << 1)) return b;
+    const std::uint64_t t = b - kSubBuckets;
+    const unsigned shift = static_cast<unsigned>(t >> kSubBits);
+    const std::uint64_t sub = t & (kSubBuckets - 1);
+    return (kSubBuckets + sub) << shift;
+  }
+
+  /// One past the largest value mapping to bucket `b`.
+  static std::uint64_t bucket_upper(std::size_t b) {
+    return b + 1 < kBuckets ? bucket_lower(b + 1) : ~std::uint64_t{0};
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Folds another histogram in bucket-by-bucket (O(kBuckets), not
+  /// O(count)); the trace merge uses it to combine per-thread span stats.
+  void merge(const Histogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = other.bucket_count(b);
+      if (n > 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Upper-edge estimate of the q-quantile (q in [0, 1]): the largest value
+  /// of the first bucket whose cumulative count reaches ceil(q·count).
+  /// 0 when empty.  Deterministic for a given multiset of samples.
+  std::uint64_t quantile(double q) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide name → metric registry.  Lookup interns the metric under
+/// its name (mutex-guarded); the returned reference is stable for the
+/// process lifetime, so sites pay the lock once and update lock-free after.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All metrics as {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, p50, p95}}}, names sorted (std::map order).
+  JsonObject snapshot() const;
+
+  /// Zeroes every value but keeps registrations (references stay valid) —
+  /// test fixtures and bench captures call this between measurements.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace adsynth::util
+
+// Instrumentation macros.  `name` must be a string literal; the registry
+// reference is resolved once per site and the update itself is lock-free.
+#if ADSYNTH_TRACE_ENABLED
+#define ADSYNTH_METRIC_COUNT(name, delta)                              \
+  do {                                                                 \
+    static ::adsynth::util::Counter& adsynth_metric_site =             \
+        ::adsynth::util::MetricsRegistry::instance().counter(name);    \
+    adsynth_metric_site.add(delta);                                    \
+  } while (0)
+#define ADSYNTH_METRIC_GAUGE_SET(name, v)                              \
+  do {                                                                 \
+    static ::adsynth::util::Gauge& adsynth_metric_site =               \
+        ::adsynth::util::MetricsRegistry::instance().gauge(name);      \
+    adsynth_metric_site.set(v);                                        \
+  } while (0)
+#define ADSYNTH_METRIC_RECORD(name, v)                                 \
+  do {                                                                 \
+    static ::adsynth::util::Histogram& adsynth_metric_site =           \
+        ::adsynth::util::MetricsRegistry::instance().histogram(name);  \
+    adsynth_metric_site.record(v);                                     \
+  } while (0)
+#else
+#define ADSYNTH_METRIC_COUNT(name, delta) ((void)0)
+#define ADSYNTH_METRIC_GAUGE_SET(name, v) ((void)0)
+#define ADSYNTH_METRIC_RECORD(name, v) ((void)0)
+#endif

@@ -6,6 +6,13 @@
 
 namespace adsynth::util {
 
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 double RunStats::min() const {
   if (samples_.empty()) throw std::logic_error("RunStats::min: no samples");
   return *std::min_element(samples_.begin(), samples_.end());

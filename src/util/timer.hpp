@@ -7,10 +7,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace adsynth::util {
+
+/// Nanoseconds on the process-wide monotonic clock.  This is the single
+/// sanctioned clock read of the codebase: Stopwatch and the tracing spans
+/// (util/trace) are both built on it, and the determinism lint rejects
+/// direct steady_clock calls anywhere else.  The value is only meaningful
+/// as a difference between two reads — never persist it into an output.
+std::uint64_t monotonic_ns();
 
 /// Monotonic stopwatch.  Starts on construction; `seconds()` reads the
 /// elapsed time without stopping.

@@ -1,0 +1,264 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "util/timer.hpp"
+
+namespace adsynth::util {
+
+// util::monotonic_ns is the only clock trace ever reads; pin down that it
+// really is monotonic so span durations cannot go backwards.
+static_assert(std::chrono::steady_clock::is_steady,
+              "trace spans require a monotonic sanctioned clock");
+
+#if ADSYNTH_TRACE_ENABLED
+
+namespace {
+
+/// Per-span aggregate local to one thread buffer (merged at trace_end).
+struct LocalAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  Histogram hist;  // span durations in ns; relaxed atomics, single writer
+};
+
+/// One thread's capture state.  Owned by the registry (so merging outlives
+/// worker threads); written only by its owning thread while armed.
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  // Keyed by the literal pointer (fast); re-keyed by string at merge time
+  // so the report order never depends on pointer values.
+  std::map<const void*, LocalAgg> aggs;
+  std::uint64_t top_level_ns = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t epoch = 0;  // capture generation this state belongs to
+
+  void reset(std::uint64_t new_epoch) {
+    events.clear();
+    aggs.clear();
+    top_level_ns = 0;
+    dropped = 0;
+    depth = 0;
+    epoch = new_epoch;
+  }
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  // registration order
+  std::atomic<bool> armed{false};
+  std::atomic<std::uint64_t> epoch{0};
+  std::uint64_t start_ns = 0;          // capture start (coordinator only)
+  std::size_t max_events = 0;
+  ThreadBuffer* coordinator = nullptr;  // the thread that called trace_begin
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry();  // never destroyed: worker
+  return *r;  // threads may outlive static destructors in exotic teardowns
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer* this_thread_buffer() {
+  TraceRegistry& reg = registry();
+  if (tls_buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    tls_buffer = owned.get();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    tls_buffer->epoch = reg.epoch.load(std::memory_order_relaxed);
+    reg.buffers.push_back(std::move(owned));
+  }
+  // A buffer created before the current capture still holds the previous
+  // capture's events; lazily reset it on first use in the new epoch.
+  const std::uint64_t epoch = reg.epoch.load(std::memory_order_relaxed);
+  if (tls_buffer->epoch != epoch) tls_buffer->reset(epoch);
+  return tls_buffer;
+}
+
+}  // namespace
+
+void Span::begin(const char* name) {
+  if (!registry().armed.load(std::memory_order_relaxed)) return;
+  ThreadBuffer* buf = this_thread_buffer();
+  name_ = name;
+  depth_ = buf->depth++;
+  armed_ = true;
+  start_ns_ = monotonic_ns();  // last: exclude setup from the measurement
+}
+
+void Span::end() {
+  const std::uint64_t end_ns = monotonic_ns();
+  TraceRegistry& reg = registry();
+  ThreadBuffer* buf = tls_buffer;  // begin() guaranteed it exists
+  // A capture boundary crossed mid-span (contract violation or a span held
+  // across trace_end by the coordinator itself): drop the measurement
+  // rather than attribute it to the wrong capture.
+  if (buf == nullptr ||
+      buf->epoch != reg.epoch.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (buf->depth > 0) --buf->depth;
+  const std::uint64_t dur = end_ns - start_ns_;
+  if (buf->events.size() < reg.max_events) {
+    buf->events.push_back(TraceEvent{name_, 0, depth_, start_ns_, dur});
+  } else {
+    ++buf->dropped;
+  }
+  LocalAgg& agg = buf->aggs[static_cast<const void*>(name_)];
+  ++agg.count;
+  agg.total_ns += dur;
+  agg.hist.record(dur);
+  if (depth_ == 0) buf->top_level_ns += dur;
+}
+
+bool trace_active() {
+  return registry().armed.load(std::memory_order_relaxed);
+}
+
+void trace_begin(std::size_t max_events_per_thread) {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  // Register the calling thread inline (this_thread_buffer would re-take
+  // the mutex): its depth-0 spans define the capture's accounted wall time.
+  if (tls_buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    tls_buffer = owned.get();
+    reg.buffers.push_back(std::move(owned));
+  }
+  reg.coordinator = tls_buffer;
+  const std::uint64_t epoch =
+      reg.epoch.load(std::memory_order_relaxed) + 1;
+  for (auto& buf : reg.buffers) buf->reset(epoch);
+  reg.max_events = max_events_per_thread;
+  reg.epoch.store(epoch, std::memory_order_relaxed);
+  reg.start_ns = monotonic_ns();
+  reg.armed.store(true, std::memory_order_release);
+}
+
+TraceReport trace_end() {
+  TraceRegistry& reg = registry();
+  TraceReport report;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.armed.load(std::memory_order_relaxed)) return report;
+  reg.armed.store(false, std::memory_order_release);
+
+  const std::uint64_t epoch = reg.epoch.load(std::memory_order_relaxed);
+  // Deterministic merge: integer aggregates keyed by span *name* (string
+  // order), independent of thread registration order and event timing.
+  struct MergedAgg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    Histogram hist;
+  };
+  std::map<std::string, MergedAgg> merged;
+  std::uint32_t tid = 0;
+  for (auto& buf : reg.buffers) {
+    if (buf->epoch != epoch) continue;  // never touched this capture
+    for (TraceEvent event : buf->events) {
+      event.tid = tid;
+      event.start_ns -= std::min(event.start_ns, reg.start_ns);
+      report.events_.push_back(event);
+    }
+    report.dropped_events_ += buf->dropped;
+    // Only the coordinator's depth-0 spans count as accounted wall time:
+    // pool workers' outermost spans run concurrently with (and inside) a
+    // coordinator-side span, so summing them would double-count.
+    if (buf.get() == reg.coordinator) {
+      report.top_level_total_ns_ += buf->top_level_ns;
+    }
+    for (const auto& [name_ptr, agg] : buf->aggs) {
+      MergedAgg& m = merged[static_cast<const char*>(name_ptr)];
+      m.count += agg.count;
+      m.total_ns += agg.total_ns;
+      m.hist.merge(agg.hist);
+    }
+    ++tid;
+  }
+  std::sort(report.events_.begin(), report.events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.depth < b.depth;
+            });
+  report.spans_.reserve(merged.size());
+  for (const auto& [name, agg] : merged) {
+    SpanStats stats;
+    stats.name = name;
+    stats.count = agg.count;
+    stats.total_ns = agg.total_ns;
+    stats.p50_ns = agg.hist.quantile(0.5);
+    stats.p95_ns = agg.hist.quantile(0.95);
+    report.spans_.push_back(std::move(stats));
+  }
+  return report;
+}
+
+#else  // !ADSYNTH_TRACE_ENABLED — the layer compiles to nothing.
+
+void Span::begin(const char*) {}
+void Span::end() {}
+bool trace_active() { return false; }
+void trace_begin(std::size_t) {}
+TraceReport trace_end() { return TraceReport{}; }
+
+#endif
+
+void TraceReport::write_chrome_trace(std::ostream& out) const {
+  JsonWriter writer(out);
+  writer.begin_object();
+  writer.member("displayTimeUnit", "ms");
+  writer.key("traceEvents");
+  writer.begin_array();
+  for (const TraceEvent& event : events_) {
+    writer.begin_object();
+    writer.member("name", event.name);
+    writer.member("cat", "adsynth");
+    writer.member("ph", "X");
+    writer.member("pid", 0);
+    writer.member("tid", static_cast<std::int64_t>(event.tid));
+    writer.member("ts", static_cast<double>(event.start_ns) / 1e3);
+    writer.member("dur", static_cast<double>(event.dur_ns) / 1e3);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+}
+
+JsonValue TraceReport::phases_json() const {
+  JsonArray phases;
+  for (const SpanStats& span : spans_) {
+    JsonObject record;
+    record["name"] = span.name;
+    record["count"] = static_cast<std::int64_t>(span.count);
+    record["total_ms"] = static_cast<double>(span.total_ns) / 1e6;
+    record["p50_ns"] = static_cast<std::int64_t>(span.p50_ns);
+    record["p95_ns"] = static_cast<std::int64_t>(span.p95_ns);
+    phases.emplace_back(std::move(record));
+  }
+  return JsonValue(std::move(phases));
+}
+
+ScopedCapture::ScopedCapture(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) trace_begin();
+}
+
+ScopedCapture::~ScopedCapture() {
+  if (path_.empty()) return;
+  const TraceReport report = trace_end();
+  std::ofstream out(path_);
+  report.write_chrome_trace(out);
+  std::fprintf(stderr, "wrote Chrome trace to %s (%zu events, %zu spans)\n",
+               path_.c_str(), report.events().size(), report.spans().size());
+}
+
+}  // namespace adsynth::util

@@ -1,0 +1,165 @@
+// Hierarchical scoped tracing spans — the spans half of the observability
+// layer (DESIGN.md §Observability; util/metrics.hpp is the metrics half).
+//
+// A Span is an RAII scope timed on the sanctioned monotonic clock
+// (util::monotonic_ns — trace never reads std::chrono directly, so the
+// determinism lint stays clean).  Spans nest: each thread keeps a
+// thread-local buffer with a depth counter, so "gen.sessions" inside
+// "gen.generate_ad" records depth 1 under depth 0, and worker threads of
+// util::ThreadPool record into their own buffers with zero cross-thread
+// contention.
+//
+// Capture protocol (single coordinator thread, between parallel regions):
+//
+//   trace_begin();            // clears buffers, arms the spans
+//   ... instrumented work, any number of threads ...
+//   TraceReport r = trace_end();   // disarms, merges deterministically
+//
+// The merge is deterministic where it can be: per-span aggregates (count,
+// total, latency histogram) are integer sums keyed by span name and
+// reported in sorted-name order, so two captures of the same work produce
+// the same span table at any thread count.  Raw events keep their measured
+// timestamps (inherently run-dependent) and are only exported on request
+// as Chrome trace_event JSON for chrome://tracing / Perfetto.
+//
+// Cost model: an armed span is two monotonic_ns reads plus a bounded
+// buffer append (~100 ns); a disarmed span is one relaxed atomic load.
+// With -DADSYNTH_TRACE=OFF every ADSYNTH_SPAN site compiles to ((void)0)
+// and trace_begin/trace_end become no-ops returning an empty report.
+//
+// Event buffers are bounded (max_events_per_thread, default 1<<18): past
+// the cap, events are dropped (counted in dropped_events()) but the
+// per-span aggregates stay exact — phase breakdowns in BENCH_*.json are
+// never truncated, only the Chrome timeline is.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace adsynth::util {
+
+/// One completed span occurrence.  `start_ns` is relative to the capture
+/// start, so exported traces carry no absolute clock state.
+struct TraceEvent {
+  const char* name;       // string literal supplied to the Span
+  std::uint32_t tid;      // capture-local thread slot
+  std::uint32_t depth;    // nesting depth at entry (0 = top level)
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// Deterministic per-name aggregate over a capture.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t p50_ns = 0;  // from a Histogram over span durations
+  std::uint64_t p95_ns = 0;
+};
+
+/// Merged result of one capture.
+class TraceReport {
+ public:
+  /// Events across all threads, ordered by (start, tid); bounded per
+  /// thread by the capture's max_events_per_thread.
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Per-span aggregates in sorted-name order (the deterministic merge).
+  const std::vector<SpanStats>& spans() const { return spans_; }
+
+  /// Exact sum of the coordinator thread's depth-0 span durations (the
+  /// thread that called trace_begin) — the "accounted" wall time.  Worker
+  /// threads' outermost spans are excluded: they run concurrently inside a
+  /// coordinator-side span and would double-count.
+  std::uint64_t top_level_total_ns() const { return top_level_total_ns_; }
+
+  /// Events discarded because a thread buffer hit its cap.
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
+  /// Chrome trace_event JSON ("X" complete events, µs timestamps); load
+  /// the file in chrome://tracing or https://ui.perfetto.dev.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Span table as a JSON array for BENCH_*.json "phases" records:
+  /// [{"name", "count", "total_ms", "p50_ns", "p95_ns"}, ...].
+  JsonValue phases_json() const;
+
+ private:
+  friend TraceReport trace_end();
+  std::vector<TraceEvent> events_;
+  std::vector<SpanStats> spans_;
+  std::uint64_t top_level_total_ns_ = 0;
+  std::uint64_t dropped_events_ = 0;
+};
+
+/// True between trace_begin() and trace_end().
+bool trace_active();
+
+/// Arms span collection: clears every thread buffer and the capture clock.
+/// Call from one thread while no instrumented parallel region runs.
+void trace_begin(std::size_t max_events_per_thread = std::size_t{1} << 18);
+
+/// Disarms collection and merges all thread buffers.  Safe to call when no
+/// capture is active (returns an empty report).
+TraceReport trace_end();
+
+/// RAII span.  Construct with a string literal; the scope's duration is
+/// recorded into the current thread's buffer when a capture is active.
+class Span {
+ public:
+  explicit Span(const char* name) {
+#if ADSYNTH_TRACE_ENABLED
+    begin(name);
+#else
+    (void)name;
+#endif
+  }
+  ~Span() {
+#if ADSYNTH_TRACE_ENABLED
+    if (armed_) end();
+#endif
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+#if ADSYNTH_TRACE_ENABLED
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool armed_ = false;
+#endif
+};
+
+/// Convenience for examples: arms a capture when `path` is non-empty and
+/// writes the Chrome trace there on destruction.
+class ScopedCapture {
+ public:
+  explicit ScopedCapture(std::string path);
+  ~ScopedCapture();
+  ScopedCapture(const ScopedCapture&) = delete;
+  ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace adsynth::util
+
+// ADSYNTH_SPAN("subsystem.phase"); — names a scope in the span taxonomy
+// (DESIGN.md §Observability).  Compiles out entirely under
+// -DADSYNTH_TRACE=OFF.
+#if ADSYNTH_TRACE_ENABLED
+#define ADSYNTH_SPAN_CAT2(a, b) a##b
+#define ADSYNTH_SPAN_CAT(a, b) ADSYNTH_SPAN_CAT2(a, b)
+#define ADSYNTH_SPAN(name) \
+  ::adsynth::util::Span ADSYNTH_SPAN_CAT(adsynth_span_, __LINE__)(name)
+#else
+#define ADSYNTH_SPAN(name) ((void)0)
+#endif

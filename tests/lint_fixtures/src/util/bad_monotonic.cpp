@@ -1,0 +1,10 @@
+// Fixture: a direct monotonic-clock read outside util/timer and util/trace.
+// Must fire monotonic-clock (and wall-clock, whose broader token also
+// matches) — the sanctioned path is util::monotonic_ns().
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t bad_monotonic_read() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}

@@ -1,0 +1,142 @@
+// util/metrics: histogram bucket math, quantile readout, counter/gauge
+// semantics and registry reset behaviour.
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace adsynth::util {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  // The registry is process-global; start every test from zeroed values so
+  // ordering between tests never matters.
+  void SetUp() override { MetricsRegistry::instance().reset(); }
+  void TearDown() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST_F(MetricsTest, BucketIndexIsIdentityForSmallValues) {
+  // Values below 2^(kSubBits+1) = 16 get exact one-value buckets.
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets << 1; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(v), v + 1);
+  }
+}
+
+TEST_F(MetricsTest, BucketEdgesAtTheLogLinearBoundary) {
+  // 16 and 17 share the first two-wide bucket; 18 starts the next.
+  EXPECT_EQ(Histogram::bucket_index(16), 16u);
+  EXPECT_EQ(Histogram::bucket_index(17), 16u);
+  EXPECT_EQ(Histogram::bucket_index(18), 17u);
+  EXPECT_EQ(Histogram::bucket_lower(16), 16u);
+  EXPECT_EQ(Histogram::bucket_upper(16), 18u);
+  EXPECT_EQ(Histogram::bucket_lower(17), 18u);
+}
+
+TEST_F(MetricsTest, BucketsPartitionTheValueRange) {
+  // Every bucket's lower edge maps back to that bucket, and upper edges
+  // are the next bucket's lower edge — no gaps, no overlaps.
+  for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(b)), b);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(b)), b + 1);
+    EXPECT_EQ(Histogram::bucket_upper(b), Histogram::bucket_lower(b + 1));
+  }
+  // The top bucket absorbs the largest representable value.
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+}
+
+TEST_F(MetricsTest, QuantileOfUniformSamples) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  // The true median is 50, inside bucket [48, 52); the readout reports the
+  // bucket's inclusive upper edge.
+  const std::uint64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 48u);
+  EXPECT_LT(p50, 52u);
+  // p100 lands in the bucket holding 100 ([96, 104)).
+  const std::uint64_t p100 = h.quantile(1.0);
+  EXPECT_GE(p100, 96u);
+  EXPECT_LT(p100, 104u);
+  EXPECT_EQ(Histogram().quantile(0.5), 0u);  // empty histogram
+}
+
+TEST_F(MetricsTest, QuantileIsExactBelowTheLogLinearRange) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(3);
+  h.record(9);
+  EXPECT_EQ(h.quantile(0.5), 3u);   // small values have one-value buckets
+  EXPECT_EQ(h.quantile(1.0), 9u);
+}
+
+TEST_F(MetricsTest, HistogramMergeAddsBucketwise) {
+  Histogram a;
+  Histogram b;
+  a.record(5);
+  a.record(100);
+  b.record(5);
+  b.record(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 5u + 100u + 5u + 1'000'000u);
+  EXPECT_EQ(a.bucket_count(Histogram::bucket_index(5)), 2u);
+}
+
+TEST_F(MetricsTest, CounterAndGauge) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.set(-7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST_F(MetricsTest, RegistryInternsByNameAndResetKeepsReferences) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  Counter& c1 = reg.counter("test.counter");
+  Counter& c2 = reg.counter("test.counter");
+  EXPECT_EQ(&c1, &c2);  // same name → same metric
+  c1.add(5);
+  EXPECT_EQ(c2.value(), 5u);
+
+  Histogram& h = reg.histogram("test.hist");
+  h.record(12);
+  reg.reset();
+  // reset() zeroes values but keeps registrations: old references stay
+  // valid and still address the registered metric.
+  EXPECT_EQ(c1.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c1.add(1);
+  EXPECT_EQ(reg.counter("test.counter").value(), 1u);
+}
+
+TEST_F(MetricsTest, SnapshotRendersSortedSections) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.counter("test.b").add(2);
+  reg.counter("test.a").add(1);
+  reg.gauge("test.g").set(-4);
+  reg.histogram("test.h").record(50);
+
+  const JsonObject snap = reg.snapshot();
+  ASSERT_TRUE(snap.count("counters"));
+  ASSERT_TRUE(snap.count("gauges"));
+  ASSERT_TRUE(snap.count("histograms"));
+  const std::string text = JsonValue(snap).dump();
+  // std::map keying ⇒ "test.a" serializes before "test.b".
+  EXPECT_LT(text.find("test.a"), text.find("test.b"));
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p95\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adsynth::util

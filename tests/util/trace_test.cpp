@@ -1,0 +1,197 @@
+// util/trace: span nesting, deterministic thread merge, bounded event
+// buffers, disarmed no-op behaviour and the Chrome trace_event export.
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+namespace adsynth::util {
+namespace {
+
+const SpanStats* find_span(const TraceReport& report, const std::string& name) {
+  for (const SpanStats& s : report.spans()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  // With tracing compiled out, spans are no-ops by design — there is
+  // nothing to assert against, so the whole suite skips.
+  void SetUp() override {
+#if !ADSYNTH_TRACE_ENABLED
+    GTEST_SKIP() << "built with ADSYNTH_TRACE=OFF";
+#endif
+  }
+  // A capture left armed by a failing test would leak into the next one.
+  void TearDown() override { trace_end(); }
+};
+
+TEST_F(TraceTest, NestedSpansRecordDepths) {
+  trace_begin();
+  {
+    ADSYNTH_SPAN("test.outer");
+    {
+      ADSYNTH_SPAN("test.inner");
+      { ADSYNTH_SPAN("test.leaf"); }
+    }
+    { ADSYNTH_SPAN("test.inner"); }
+  }
+  const TraceReport report = trace_end();
+
+  ASSERT_EQ(report.events().size(), 4u);
+  // Events sort by start time: outer opens first but closes last; depths
+  // reflect the nesting at entry.
+  std::uint32_t max_depth = 0;
+  for (const TraceEvent& e : report.events()) max_depth = std::max(max_depth, e.depth);
+  EXPECT_EQ(max_depth, 2u);
+
+  const SpanStats* outer = find_span(report, "test.outer");
+  const SpanStats* inner = find_span(report, "test.inner");
+  const SpanStats* leaf = find_span(report, "test.leaf");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  EXPECT_EQ(leaf->count, 1u);
+  // The outer span contains both inner occurrences.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  // Only the coordinator's depth-0 time is "accounted".
+  EXPECT_EQ(report.top_level_total_ns(), outer->total_ns);
+  // Span table arrives in sorted-name order.
+  for (std::size_t i = 1; i < report.spans().size(); ++i) {
+    EXPECT_LT(report.spans()[i - 1].name, report.spans()[i].name);
+  }
+}
+
+TEST_F(TraceTest, SpansOutsideACaptureAreNoOps) {
+  ASSERT_FALSE(trace_active());
+  { ADSYNTH_SPAN("test.unarmed"); }
+  trace_begin();
+  EXPECT_TRUE(trace_active());
+  const TraceReport report = trace_end();
+  EXPECT_FALSE(trace_active());
+  EXPECT_TRUE(report.events().empty());
+  EXPECT_EQ(find_span(report, "test.unarmed"), nullptr);
+  // trace_end without an active capture returns an empty report.
+  const TraceReport idle = trace_end();
+  EXPECT_TRUE(idle.events().empty());
+  EXPECT_EQ(idle.top_level_total_ns(), 0u);
+}
+
+// Worker-thread spans merge into one deterministic table: the (name, count)
+// rows depend only on the chunk math, never on the thread count.  The name
+// keeps "Parallel" so the TSan lane (-R Parallel) covers the merge.
+TEST_F(TraceTest, ParallelMergeIsThreadCountInvariant) {
+  constexpr std::size_t kItems = 256;
+  constexpr std::size_t kGrain = 16;
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> tables;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    ThreadPool pool(threads);
+    trace_begin();
+    {
+      ADSYNTH_SPAN("test.parallel_region");
+      parallel_for(pool, 0, kItems, kGrain,
+                   [&](std::size_t lo, std::size_t hi, std::size_t) {
+                     ADSYNTH_SPAN("test.chunk");
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       ADSYNTH_SPAN("test.item");
+                     }
+                   });
+    }
+    const TraceReport report = trace_end();
+    std::vector<std::pair<std::string, std::uint64_t>> table;
+    for (const SpanStats& s : report.spans()) {
+      table.emplace_back(s.name, s.count);
+    }
+    tables.push_back(std::move(table));
+
+    const SpanStats* chunk = find_span(report, "test.chunk");
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(chunk->count, kItems / kGrain);
+    // Accounted time covers only the coordinator thread, so it can never
+    // exceed what concurrent worker spans would sum to.
+    const SpanStats* region = find_span(report, "test.parallel_region");
+    ASSERT_NE(region, nullptr);
+    EXPECT_EQ(report.top_level_total_ns(), region->total_ns);
+  }
+  EXPECT_EQ(tables[0], tables[1]);
+  EXPECT_EQ(tables[0], tables[2]);
+}
+
+TEST_F(TraceTest, EventCapDropsEventsButKeepsAggregatesExact) {
+  constexpr std::size_t kCap = 8;
+  constexpr std::size_t kSpans = 40;
+  trace_begin(kCap);
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    ADSYNTH_SPAN("test.capped");
+  }
+  const TraceReport report = trace_end();
+  EXPECT_EQ(report.events().size(), kCap);
+  EXPECT_EQ(report.dropped_events(), kSpans - kCap);
+  const SpanStats* capped = find_span(report, "test.capped");
+  ASSERT_NE(capped, nullptr);
+  EXPECT_EQ(capped->count, kSpans);  // aggregates never truncate
+}
+
+TEST_F(TraceTest, ChromeExportIsValidJson) {
+  trace_begin();
+  {
+    ADSYNTH_SPAN("test.export");
+    { ADSYNTH_SPAN("test.export.child"); }
+  }
+  const TraceReport report = trace_end();
+  std::ostringstream out;
+  report.write_chrome_trace(out);
+
+  const JsonValue doc = JsonValue::parse(out.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const JsonArray& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const JsonValue& e : events) {
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("cat").as_string(), "adsynth");
+    EXPECT_GE(e.at("ts").as_double(), 0.0);
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+  }
+  // Timestamps are capture-relative — the first event starts near zero,
+  // not at an absolute clock reading.
+  EXPECT_LT(events.front().at("ts").as_double(), 1e6);
+
+  const JsonValue phases = report.phases_json();
+  ASSERT_TRUE(phases.is_array());
+  ASSERT_EQ(phases.as_array().size(), 2u);
+  const JsonValue& first = phases.as_array().front();
+  EXPECT_EQ(first.at("name").as_string(), "test.export");
+  EXPECT_EQ(first.at("count").as_int(), 1);
+  EXPECT_TRUE(first.contains("p50_ns"));
+  EXPECT_TRUE(first.contains("p95_ns"));
+}
+
+TEST_F(TraceTest, BackToBackCapturesAreIsolated) {
+  trace_begin();
+  { ADSYNTH_SPAN("test.first_capture"); }
+  const TraceReport first = trace_end();
+  trace_begin();
+  { ADSYNTH_SPAN("test.second_capture"); }
+  const TraceReport second = trace_end();
+
+  EXPECT_NE(find_span(first, "test.first_capture"), nullptr);
+  EXPECT_EQ(find_span(first, "test.second_capture"), nullptr);
+  EXPECT_NE(find_span(second, "test.second_capture"), nullptr);
+  EXPECT_EQ(find_span(second, "test.first_capture"), nullptr);
+}
+
+}  // namespace
+}  // namespace adsynth::util

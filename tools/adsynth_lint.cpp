@@ -20,6 +20,11 @@
 //                            src/util/timer.* — deterministic outputs must
 //                            not embed wall-clock state; benches measure
 //                            through util::Stopwatch.
+//   monotonic-clock          direct steady_clock::now( calls outside
+//                            src/util/timer.* and src/util/trace.* — every
+//                            monotonic read flows through util::monotonic_ns
+//                            so Stopwatch and the tracing spans share one
+//                            clock and outputs never embed raw clock state.
 //   unordered-container      unordered_map/unordered_set in src/analytics/
 //                            or src/defense/: hot-path reductions there must
 //                            be iteration-order independent, so every use
@@ -108,6 +113,14 @@ constexpr TokenRule kWallClockTokens[] = {
     {"wall-clock", "strftime", "wall-clock state in outputs"},
 };
 
+// Narrower than wall-clock: catches the *call*, not just the type name, and
+// additionally exempts util/trace (whose static_assert on is_steady needs
+// the type name but never reads the clock directly).
+constexpr TokenRule kMonotonicTokens[] = {
+    {"monotonic-clock", "steady_clock::now(",
+     "read the monotonic clock through util::monotonic_ns()"},
+};
+
 constexpr TokenRule kUnorderedTokens[] = {
     {"unordered-container", "unordered_map",
      "iteration order is implementation-defined; hot-path reductions in "
@@ -184,6 +197,7 @@ void scan_file(const fs::path& path, const std::string& rel,
   const std::vector<std::string> lines = comment_stripped_lines(text);
   const bool rng_exempt = contains(rel, "util/rng");
   const bool timer_exempt = contains(rel, "util/timer");
+  const bool monotonic_exempt = timer_exempt || contains(rel, "util/trace");
   const bool ordered_zone =
       contains(rel, "analytics/") || contains(rel, "defense/");
 
@@ -201,6 +215,15 @@ void scan_file(const fs::path& path, const std::string& rel,
     }
     if (!timer_exempt) {
       for (const TokenRule& t : kWallClockTokens) {
+        if (contains(line, t.token)) {
+          findings.push_back({t.rule, rel, i + 1,
+                              std::string("banned token '") + t.token +
+                                  "' (" + t.why + ")"});
+        }
+      }
+    }
+    if (!monotonic_exempt) {
+      for (const TokenRule& t : kMonotonicTokens) {
         if (contains(line, t.token)) {
           findings.push_back({t.rule, rel, i + 1,
                               std::string("banned token '") + t.token +
@@ -354,8 +377,8 @@ int run_self_test(const fs::path& fixtures) {
   }
 
   const std::set<std::string> expected = {
-      "nondeterministic-random", "wall-clock", "unordered-container",
-      "include-hygiene"};
+      "nondeterministic-random", "wall-clock", "monotonic-clock",
+      "unordered-container", "include-hygiene"};
   std::map<std::string, std::size_t> fired;
   bool clean_dir_violated = false;
   for (const Finding& f : findings) {

@@ -226,12 +226,17 @@ BENCHMARK(BM_RpRate)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GenerateSecure(benchmark::State& state) {
+  util::set_global_threads(static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::generate_ad(core::GeneratorConfig::secure(
         static_cast<std::size_t>(state.range(0)), 1)));
   }
+  util::set_global_threads(kSerial);
 }
-BENCHMARK(BM_GenerateSecure)->Arg(1'000)->Arg(10'000)
+BENCHMARK(BM_GenerateSecure)
+    ->Args({1'000, 1})
+    ->Args({10'000, 1})
+    ->Args({10'000, 8})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

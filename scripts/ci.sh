@@ -103,6 +103,11 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
     ./bench_micro --benchmark_min_time=0.05 --trace trace_micro.json &&
     python3 '$root/scripts/bench_compare.py' \
         '$root/bench/baselines/BENCH_micro.json' BENCH_micro.json \
+        --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\" &&
+    ./bench_forest_scale --repeats 1 &&
+    python3 '$root/scripts/bench_compare.py' \
+        '$root/bench/baselines/BENCH_forest_scale.json' \
+        BENCH_forest_scale.json \
         --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\""
 else
   record test SKIP   # no build to test; the build FAIL already gates exit

@@ -1,5 +1,6 @@
 #include "adcore/attack_graph.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace adsynth::adcore {
@@ -27,6 +28,24 @@ void AttackGraph::add_edge(NodeIndex source, NodeIndex target, EdgeKind kind,
     throw std::out_of_range("AttackGraph::add_edge: invalid endpoint");
   }
   edges_.push_back(AttackEdge{source, target, kind, violation});
+}
+
+void AttackGraph::append_edges(const std::vector<AttackEdge>& edges,
+                               NodeIndex offset) {
+  NodeIndex max_endpoint = 0;
+  for (const AttackEdge& e : edges) {
+    max_endpoint = std::max({max_endpoint, e.source, e.target});
+  }
+  if (!edges.empty() &&
+      static_cast<std::size_t>(max_endpoint) + offset >= kinds_.size()) {
+    throw std::out_of_range("AttackGraph::append_edges: invalid endpoint");
+  }
+  edges_.reserve(edges_.size() + edges.size());
+  for (const AttackEdge& e : edges) {
+    edges_.push_back(AttackEdge{static_cast<NodeIndex>(e.source + offset),
+                                static_cast<NodeIndex>(e.target + offset),
+                                e.kind, e.violation});
+  }
 }
 
 const std::string& AttackGraph::name(NodeIndex n) const {

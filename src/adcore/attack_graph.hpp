@@ -59,6 +59,11 @@ class AttackGraph {
   void add_edge(NodeIndex source, NodeIndex target, EdgeKind kind,
                 bool violation = false);
 
+  /// Bulk append of another graph's edge list, endpoints shifted by
+  /// `offset` (the forest merge path).  One bounds validation for the
+  /// whole block instead of two range checks per edge.
+  void append_edges(const std::vector<AttackEdge>& edges, NodeIndex offset);
+
   std::size_t node_count() const { return kinds_.size(); }
   std::size_t edge_count() const { return edges_.size(); }
 

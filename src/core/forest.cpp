@@ -4,8 +4,10 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace adsynth::core {
 
@@ -47,8 +49,38 @@ GeneratedForest generate_forest(const ForestConfig& config) {
   std::vector<std::vector<NodeIndex>> machines;      // merged indices
   std::vector<NodeIndex> t0_groups_ous;              // merged indices
 
+  // Every domain is an independent generation problem: its config carries
+  // its own seed, so the per-domain graphs do not depend on generation
+  // order or thread count.  Generate them in parallel (nested parallel
+  // regions inside generate_ad run inline on the worker), then merge in
+  // ascending domain order — merged node indices are deterministic.
+  std::vector<GeneratedAd> ads(config.domains.size());
+  {
+    ADSYNTH_SPAN("forest.generate_domains");
+    util::parallel_for(util::global_pool(), 0, config.domains.size(), 1,
+                       [&](std::size_t lo, std::size_t hi, std::size_t) {
+                         for (std::size_t d = lo; d < hi; ++d) {
+                           ads[d] = generate_ad(config.domains[d]);
+                         }
+                       });
+  }
+
+  {
+    std::size_t total_nodes = 1;  // + Enterprise Admins
+    std::size_t total_edges =
+        1 + 3 * config.domains.size() +  // EA membership/control + trusts
+        static_cast<std::size_t>(config.cross_domain_leaks) *
+            (config.domains.size() - 1);
+    for (const GeneratedAd& ad : ads) {
+      total_nodes += ad.graph.node_count();
+      total_edges += ad.graph.edge_count();
+    }
+    forest.graph.reserve(total_nodes, total_edges);
+  }
+
+  ADSYNTH_SPAN("forest.merge");
   for (std::size_t d = 0; d < config.domains.size(); ++d) {
-    const GeneratedAd ad = generate_ad(config.domains[d]);
+    const GeneratedAd& ad = ads[d];
     const NodeIndex offset = forest.offsets.back();
     std::string suffix = "@";
     suffix += util::to_upper(config.domains[d].domain_fqdn);
@@ -63,10 +95,7 @@ GeneratedForest generate_forest(const ForestConfig& config) {
                                   qualify ? name + suffix : name,
                                   ad.graph.tier(i), ad.graph.flags(i));
     }
-    for (const adcore::AttackEdge& e : ad.graph.edges()) {
-      forest.graph.add_edge(offset + e.source, offset + e.target, e.kind,
-                            e.violation);
-    }
+    forest.graph.append_edges(ad.graph.edges(), offset);
 
     forest.domain_heads.push_back(offset + ad.graph.domain_node());
     forest.domain_admins.push_back(offset + ad.graph.domain_admins());
@@ -85,6 +114,7 @@ GeneratedForest generate_forest(const ForestConfig& config) {
 
     forest.offsets.push_back(
         static_cast<NodeIndex>(forest.graph.node_count()));
+    ads[d] = GeneratedAd{};  // release the domain copy as soon as it's merged
   }
 
   // The forest-takeover target: the root domain's DA.

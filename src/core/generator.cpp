@@ -6,6 +6,7 @@
 
 #include "adcore/naming.hpp"
 #include "core/structure.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
 
@@ -20,10 +21,50 @@ using metagraph::SetId;
 
 namespace {
 
+// --- sharded edge generation ------------------------------------------------
+//
+// The edge stages (Algorithm 1, Algorithm 2, Algorithms 3 & 4) are
+// embarrassingly parallel once the node population is fixed: every draw
+// depends only on the immutable tier pools.  Each stage is partitioned into
+// shards whose boundaries depend only on the config (tier × fixed-size user
+// or draw range — never on the thread count), every shard derives its own
+// RNG substream from (seed, stage tag, shard ordinal) via Rng::stream, and
+// the per-shard edge buffers are merged into the graph and metagraph in
+// ascending shard order.  Output is therefore bit-identical at any thread
+// count (see DESIGN.md §"Sharded generation & determinism contract").
+
+/// Users per session shard / draws per misconfiguration shard.  Fixed: the
+/// shard decomposition is part of the deterministic output contract.
+constexpr std::size_t kUsersPerShard = 2048;
+constexpr std::size_t kDrawsPerShard = 4096;
+
+/// Stage tags xor-folded into Rng::stream ids so no two stages ever share
+/// a substream even when their shard ordinals collide.
+constexpr std::uint64_t kStreamSessions = 0x5345'5353ULL << 32;     // "SESS"
+constexpr std::uint64_t kStreamControlAcl = 0x4143'4cULL << 32;     // "ACL"
+constexpr std::uint64_t kStreamControlNonAcl = 0x4e41'434cULL << 32;
+constexpr std::uint64_t kStreamMisconfigSess = 0x4d53'4553ULL << 32;
+constexpr std::uint64_t kStreamMisconfigPerm = 0x4d50'4552ULL << 32;
+
+/// One generated edge, staged in a per-shard buffer until the ordered
+/// merge.  kNoSet endpoints mean "the singleton set of that node's
+/// element" (sessions and misconfigurations); control edges carry their
+/// group/resource sets explicitly.
+struct ShardEdge {
+  NodeIndex src = adcore::kNoNodeIndex;
+  NodeIndex dst = adcore::kNoNodeIndex;
+  EdgeKind kind = EdgeKind::kContains;
+  bool violation = false;
+  SetId in_set = metagraph::kNoSet;
+  SetId out_set = metagraph::kNoSet;
+};
+using EdgeShard = std::vector<ShardEdge>;
+
 /// Working state threaded through the pipeline stages.
 struct Builder {
   const GeneratorConfig& cfg;
   util::Rng rng;
+  util::ThreadPool& pool;
   GeneratedAd out;
 
   /// Element id per graph node that is a leaf object; kNoElement otherwise.
@@ -33,8 +74,22 @@ struct Builder {
   /// Department of each regular user node (index into departments).
   std::vector<std::uint32_t> dept_of_node;
 
-  explicit Builder(const GeneratorConfig& config)
-      : cfg(config), rng(config.seed) {}
+  /// Staged metagraph edges of the current stage, flushed per stage as one
+  /// batched insertion (exact-capacity adjacency reservation).
+  std::vector<metagraph::MetaEdge> meta_batch;
+
+  /// Serial-stage sampling scratch (group membership draws).
+  util::SampleScratch sample_scratch;
+  std::vector<std::size_t> sample_out;
+
+  /// Computers of tiers 0..t are the first comp_prefix[t + 1] entries of
+  /// comp_flat — Algorithm 2's "allowed" pool C(t, k) as a view instead of
+  /// a per-tier rebuilt vector.
+  std::vector<NodeIndex> comp_flat;
+  std::vector<std::size_t> comp_prefix;
+
+  Builder(const GeneratorConfig& config, util::ThreadPool& p)
+      : cfg(config), rng(config.seed), pool(p) {}
 
   std::uint32_t tiers() const { return cfg.num_tiers; }
   std::int8_t regular_tier() const {
@@ -57,8 +112,7 @@ struct Builder {
       singleton_of_element.resize(e + 1, metagraph::kNoSet);
     }
     if (singleton_of_element[e] == metagraph::kNoSet) {
-      const SetId s = out.meta.add_set("{" + out.meta.element_name(e) + "}",
-                                       {e});
+      const SetId s = out.meta.add_singleton_set(e);
       singleton_of_element[e] = s;
       if (out.node_of_set.size() < out.meta.set_count()) {
         out.node_of_set.resize(out.meta.set_count(), adcore::kNoNodeIndex);
@@ -85,15 +139,58 @@ struct Builder {
     out.meta.add_to_set(out.org.groups[group].set, element_of_node[user]);
   }
 
+  // --- shard merge ---------------------------------------------------------
+  /// Appends a shard's edges to the graph and mirrors them into the
+  /// metagraph; `counter` is the stage's GenerationStats field.
+  ///
+  /// Two metagraph paths, picked per stage by `batch_meta`:
+  ///  * direct add_edge — session/misconfiguration stages, whose endpoints
+  ///    are almost all singleton sets: their adjacency lists hold one or
+  ///    two edges, so batching buys no reallocation savings and the
+  ///    88-byte MetaEdge staging copy is pure overhead (edges_ itself is
+  ///    pre-reserved by reserve_edge_capacity);
+  ///  * staged meta_batch + flush_meta_batch — control stages, whose edges
+  ///    fan out of a few dozen shared group/OU sets: Metagraph::add_edges
+  ///    reserves each touched adjacency list exactly once per stage.
+  void commit_shard(EdgeShard&& edges, std::size_t GenerationStats::*counter,
+                    bool batch_meta = false) {
+    for (const ShardEdge& e : edges) {
+      out.graph.add_edge(e.src, e.dst, e.kind, e.violation);
+      const SetId in = e.in_set != metagraph::kNoSet
+                           ? e.in_set
+                           : singleton(element_of_node[e.src]);
+      const SetId outv = e.out_set != metagraph::kNoSet
+                             ? e.out_set
+                             : singleton(element_of_node[e.dst]);
+      if (batch_meta) {
+        meta_batch.push_back(metagraph::MetaEdge{
+            in, outv, {std::string(adcore::edge_kind_name(e.kind)), {}}});
+      } else {
+        out.meta.add_edge(in, outv,
+                          {std::string(adcore::edge_kind_name(e.kind)), {}});
+      }
+    }
+    (out.stats.*counter) += edges.size();
+  }
+
+  /// One batched metagraph insertion per (control) stage.
+  void flush_meta_batch() {
+    out.meta.add_edges(std::move(meta_batch));
+    meta_batch = {};
+  }
+
   // --- stage (a) step 2: users and computers ------------------------------
   void create_objects();
   // --- stage (a) step 3: group membership ---------------------------------
   void assign_group_members();
+  // --- capacity reservation from the now-known node population ------------
+  void reserve_edge_capacity();
   // --- stage (b): deterministic tier delegation -----------------------------
   void generate_tier_delegation();
   // --- stage (b): Algorithm 1 ---------------------------------------------
   void generate_control(bool is_acl);
   // --- stage (b): Algorithm 2 ---------------------------------------------
+  void build_computer_prefix();
   void generate_sessions();
   // --- stage (c): Algorithms 3 & 4 ----------------------------------------
   void generate_misconfig_sessions();
@@ -111,8 +208,9 @@ struct Builder {
   void collect_resources();
   std::size_t count_at_or_below(const std::vector<Resource>& pool,
                                 std::int8_t tier) const;
-  const Resource& random_resource(const std::vector<Resource>& pool,
-                                  std::int8_t tier);
+  static const Resource& random_resource(util::Rng& rng,
+                                         const std::vector<Resource>& pool,
+                                         std::int8_t tier);
 };
 
 void Builder::create_objects() {
@@ -268,10 +366,9 @@ void Builder::assign_group_members() {
       const std::uint32_t want =
           cfg.min_groups_per_user +
           (span > 0 ? static_cast<std::uint32_t>(rng.uniform(0, span)) : 0);
-      for (const std::size_t gi :
-           rng.sample_indices(pool.size(), std::max<std::uint32_t>(want, 1))) {
-        join_group(user, pool[gi]);
-      }
+      rng.sample_indices(pool.size(), std::max<std::uint32_t>(want, 1),
+                         sample_scratch, sample_out);
+      for (const std::size_t gi : sample_out) join_group(user, pool[gi]);
     }
   }
   // Domain Admins: the primary operator and (when available) a deputy —
@@ -295,11 +392,72 @@ void Builder::assign_group_members() {
     const std::uint32_t want =
         cfg.min_groups_per_user +
         (span > 0 ? static_cast<std::uint32_t>(rng.uniform(0, span)) : 0);
-    for (const std::size_t gi :
-         rng.sample_indices(pool.size(), std::max<std::uint32_t>(want, 1))) {
-      join_group(user, pool[gi]);
+    rng.sample_indices(pool.size(), std::max<std::uint32_t>(want, 1),
+                       sample_scratch, sample_out);
+    for (const std::size_t gi : sample_out) join_group(user, pool[gi]);
+  }
+}
+
+void Builder::build_computer_prefix() {
+  comp_flat.clear();
+  comp_prefix.assign(1, 0);
+  for (const auto& tier_comps : out.computers_by_tier) {
+    comp_flat.insert(comp_flat.end(), tier_comps.begin(), tier_comps.end());
+    comp_prefix.push_back(comp_flat.size());
+  }
+}
+
+void Builder::reserve_edge_capacity() {
+  // Every node exists by now, so the edge stages' expected volumes are a
+  // pure function of the pools and the config — reserve the graph edge
+  // list and the metagraph columns once, instead of letting the per-shard
+  // merges grow them geometrically.
+  const std::uint32_t k = tiers();
+  double sessions_est = static_cast<double>(out.computers_by_tier[0].size());
+  for (std::uint32_t t = 0; t < k; ++t) {
+    const std::size_t allowed = comp_prefix[t + 1];
+    if (allowed == 0) continue;
+    const double cap = std::min<double>(
+        cfg.max_sessions_per_user,
+        std::floor(cfg.session_ratio * static_cast<double>(allowed)));
+    // Uniform draws average cap / 2; the long-tail model averages ≈ 1.6.
+    const double per_user =
+        cfg.session_model == SessionModel::kUniform ? cap / 2.0 + 1.0 : 2.0;
+    sessions_est +=
+        per_user * static_cast<double>(out.users_by_tier[t].size());
+  }
+  double control_est = 0;
+  for (const bool is_acl : {true, false}) {
+    const auto& pool = is_acl ? acl_resources : non_acl_resources;
+    for (std::uint32_t t = 0; t < k; ++t) {
+      const std::size_t total =
+          count_at_or_below(pool, static_cast<std::int8_t>(t));
+      if (total == 0) continue;
+      const double n_r = std::max(
+          1.0, std::floor(static_cast<double>(total) * cfg.resource_ratio));
+      control_est +=
+          n_r * static_cast<double>(out.org.admin_groups_by_tier[t].size());
     }
   }
+  std::size_t total_users = 0;
+  for (const auto& tier_users : out.users_by_tier) {
+    total_users += tier_users.size();
+  }
+  const double misconfig_est =
+      (cfg.perc_misconfig_sessions + cfg.perc_misconfig_permissions) *
+      static_cast<double>(total_users);
+  const auto extra = static_cast<std::size_t>(
+      std::llround(sessions_est + control_est + misconfig_est));
+
+  out.graph.reserve(out.graph.node_count(),
+                    out.graph.edge_count() + extra + 64);
+  // Worst case every leaf element gains a singleton set; metagraph edges
+  // mirror the generated graph edges one-to-one.
+  out.meta.reserve(out.meta.element_count(),
+                   out.meta.set_count() + out.meta.element_count(),
+                   out.meta.edge_count() + extra + 64);
+  out.node_of_set.reserve(out.meta.set_count() + out.meta.element_count());
+  singleton_of_element.reserve(out.meta.element_count());
 }
 
 void Builder::collect_resources() {
@@ -335,7 +493,7 @@ std::size_t Builder::count_at_or_below(const std::vector<Resource>& pool,
 }
 
 const Builder::Resource& Builder::random_resource(
-    const std::vector<Resource>& pool, std::int8_t tier) {
+    util::Rng& rng, const std::vector<Resource>& pool, std::int8_t tier) {
   // Rejection sampling: tier pools are small, and resources at or below a
   // tier always dominate the pool for low tiers.
   for (int attempts = 0; attempts < 1024; ++attempts) {
@@ -375,34 +533,57 @@ void Builder::generate_tier_delegation() {
 void Builder::generate_control(bool is_acl) {
   // Algorithm 1.  For every tier t and admin group g ∈ AG(t): cap the
   // number of grants at p_r × total_resources(t, k, is_acl) and sample
-  // targets from the group's tier and the tiers below it.
-  const auto& pool = is_acl ? acl_resources : non_acl_resources;
+  // targets from the group's tier and the tiers below it.  One shard per
+  // (tier, group): each group's grant set is an independent substream.
+  const auto& res_pool = is_acl ? acl_resources : non_acl_resources;
   const auto& permissions = is_acl ? adcore::acl_permission_pool()
                                    : adcore::non_acl_permission_pool();
+  const std::uint64_t stage =
+      is_acl ? kStreamControlAcl : kStreamControlNonAcl;
+
+  struct ControlShard {
+    GroupIndex group;
+    std::int8_t tier;
+    std::size_t n_r;
+  };
+  std::vector<ControlShard> plan;
   for (std::uint32_t t = 0; t < tiers(); ++t) {
     const auto tier = static_cast<std::int8_t>(t);
-    const std::size_t total = count_at_or_below(pool, tier);
+    const std::size_t total = count_at_or_below(res_pool, tier);
     if (total == 0) continue;
     const std::size_t n_r = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::floor(
                static_cast<double>(total) * cfg.resource_ratio)));
     for (const GroupIndex gi : out.org.admin_groups_by_tier[t]) {
-      const GroupRecord& g = out.org.groups[gi];
-      std::unordered_set<std::uint64_t> granted;  // dedupe (target, perm)
-      for (std::size_t it = 0; it < n_r; ++it) {
-        const Resource& target = random_resource(pool, tier);
-        const EdgeKind perm = permissions[rng.index(permissions.size())];
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(target.node) << 8) |
-            static_cast<std::uint64_t>(perm);
-        if (!granted.insert(key).second) continue;
-        out.graph.add_edge(g.graph_node, target.node, perm);
-        out.meta.add_edge(g.set, target.set,
-                          {std::string(adcore::edge_kind_name(perm)), {}});
-        ++out.stats.permission_edges;
-      }
+      plan.push_back({gi, tier, n_r});
     }
   }
+
+  util::parallel_scatter_merge<EdgeShard>(
+      pool, plan.size(),
+      [&](std::size_t s, EdgeShard& buf) {
+        ADSYNTH_SPAN("gen.control.shard");
+        const ControlShard& sh = plan[s];
+        const GroupRecord& g = out.org.groups[sh.group];
+        util::Rng srng = rng.stream(stage ^ s);
+        std::unordered_set<std::uint64_t> granted;  // dedupe (target, perm)
+        buf.reserve(sh.n_r);
+        for (std::size_t it = 0; it < sh.n_r; ++it) {
+          const Resource& target = random_resource(srng, res_pool, sh.tier);
+          const EdgeKind perm = permissions[srng.index(permissions.size())];
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(target.node) << 8) |
+              static_cast<std::uint64_t>(perm);
+          if (!granted.insert(key).second) continue;
+          buf.push_back(
+              {g.graph_node, target.node, perm, false, g.set, target.set});
+        }
+      },
+      [&](std::size_t, EdgeShard&& buf) {
+        commit_shard(std::move(buf), &GenerationStats::permission_edges,
+                     /*batch_meta=*/true);
+      });
+  flush_meta_batch();
 }
 
 void Builder::generate_sessions() {
@@ -418,12 +599,15 @@ void Builder::generate_sessions() {
   // maintenance (with probability 1 − bias a uniformly drawn admin logs on
   // instead).  Credentials stay at their own tier — these are legal
   // sessions.  Lower tiers rely on Algorithm 2's per-user draws alone, so
-  // their coverage is sparse, as in practice.
+  // their coverage is sparse, as in practice.  This block is serial (it is
+  // O(|tier-0 computers|), tiny by construction).
   {
     const auto& admins = out.admin_users_by_tier[0];
     if (!admins.empty()) {
       const NodeIndex primary = admins.front();
       std::size_t paw_ordinal = 0;
+      EdgeShard infra;
+      infra.reserve(out.computers_by_tier[0].size());
       for (const NodeIndex comp : out.computers_by_tier[0]) {
         NodeIndex admin;
         if (out.graph.has_flag(comp, adcore::node_flag::kPaw)) {
@@ -433,72 +617,96 @@ void Builder::generate_sessions() {
                       ? primary
                       : admins[rng.index(admins.size())];
         }
-        out.graph.add_edge(comp, admin, EdgeKind::kHasSession);
-        out.meta.add_edge(singleton(element_of_node[comp]),
-                          singleton(element_of_node[admin]),
-                          {"HasSession", {}});
-        ++out.stats.session_edges;
+        infra.push_back({comp, admin, EdgeKind::kHasSession, false,
+                         metagraph::kNoSet, metagraph::kNoSet});
       }
+      commit_shard(std::move(infra), &GenerationStats::session_edges);
     }
   }
-  std::vector<NodeIndex> allowed;
+
+  // Per-user draws, sharded by tier × fixed-size user range.
+  struct SessionShard {
+    std::uint32_t tier;
+    std::size_t user_lo, user_hi;
+    std::size_t allowed;  // |C(t, k)| — prefix length into comp_flat
+    std::size_t cap;
+  };
+  std::vector<SessionShard> plan;
   for (std::uint32_t t = 0; t < k; ++t) {
-    allowed.clear();
-    for (std::uint32_t ct = 0; ct <= t; ++ct) {
-      allowed.insert(allowed.end(), out.computers_by_tier[ct].begin(),
-                     out.computers_by_tier[ct].end());
-    }
-    if (allowed.empty()) continue;
+    const std::size_t allowed = comp_prefix[t + 1];
+    if (allowed == 0) continue;
     const double cap_by_ratio =
-        cfg.session_ratio * static_cast<double>(allowed.size());
+        cfg.session_ratio * static_cast<double>(allowed);
     const std::size_t cap = std::min<std::size_t>(
         cfg.max_sessions_per_user,
         static_cast<std::size_t>(std::floor(cap_by_ratio)));
-    for (const NodeIndex user : out.users_by_tier[t]) {
-      const bool is_admin = out.graph.has_flag(user, adcore::node_flag::kAdmin);
-      std::size_t num;
-      if (cfg.session_model == SessionModel::kLongTail) {
-        // Future-work model (§IV-B): most users on 1–2 machines, a 3–4
-        // machine staff profile, and a sparse geometric tail to the cap.
-        const double roll = rng.real();
-        if (roll < 0.15) {
-          num = 0;
-        } else if (roll < 0.60) {
-          num = 1;
-        } else if (roll < 0.82) {
-          num = 2;
-        } else if (roll < 0.92) {
-          num = 3;
-        } else if (roll < 0.999) {
-          num = 4;
-        } else {
-          num = 5;
-          while (num < cap && rng.chance(0.75)) ++num;
-        }
-        num = std::min<std::size_t>(num, cap);
-      } else {
-        num = cap > 0 ? static_cast<std::size_t>(rng.uniform(0, cap)) : 0;
-      }
-      // Administrators always hold at least one session on their tier's
-      // infrastructure (they administer from PAWs) so that control paths
-      // terminate in harvestable credentials, as in real estates.
-      if (is_admin && num == 0) num = 1;
-      if (num == 0) continue;
-      for (const std::size_t ci : rng.sample_indices(allowed.size(), num)) {
-        const NodeIndex comp = allowed[ci];
-        out.graph.add_edge(comp, user, EdgeKind::kHasSession);
-        out.meta.add_edge(singleton(element_of_node[comp]),
-                          singleton(element_of_node[user]),
-                          {"HasSession", {}});
-        ++out.stats.session_edges;
-      }
+    const auto& users = out.users_by_tier[t];
+    for (std::size_t lo = 0; lo < users.size(); lo += kUsersPerShard) {
+      plan.push_back({t, lo, std::min(users.size(), lo + kUsersPerShard),
+                      allowed, cap});
     }
   }
+
+  util::parallel_scatter_merge<EdgeShard>(
+      pool, plan.size(),
+      [&](std::size_t s, EdgeShard& buf) {
+        ADSYNTH_SPAN("gen.sessions.shard");
+        const SessionShard& sh = plan[s];
+        const auto& users = out.users_by_tier[sh.tier];
+        util::Rng srng = rng.stream(kStreamSessions ^ s);
+        util::SampleScratch scratch;
+        std::vector<std::size_t> picks;
+        buf.reserve((sh.user_hi - sh.user_lo) * (sh.cap / 2 + 1));
+        for (std::size_t i = sh.user_lo; i < sh.user_hi; ++i) {
+          const NodeIndex user = users[i];
+          const bool is_admin =
+              out.graph.has_flag(user, adcore::node_flag::kAdmin);
+          std::size_t num;
+          if (cfg.session_model == SessionModel::kLongTail) {
+            // Future-work model (§IV-B): most users on 1–2 machines, a 3–4
+            // machine staff profile, and a sparse geometric tail to the cap.
+            const double roll = srng.real();
+            if (roll < 0.15) {
+              num = 0;
+            } else if (roll < 0.60) {
+              num = 1;
+            } else if (roll < 0.82) {
+              num = 2;
+            } else if (roll < 0.92) {
+              num = 3;
+            } else if (roll < 0.999) {
+              num = 4;
+            } else {
+              num = 5;
+              while (num < sh.cap && srng.chance(0.75)) ++num;
+            }
+            num = std::min<std::size_t>(num, sh.cap);
+          } else {
+            num = sh.cap > 0
+                      ? static_cast<std::size_t>(srng.uniform(0, sh.cap))
+                      : 0;
+          }
+          // Administrators always hold at least one session on their tier's
+          // infrastructure (they administer from PAWs) so that control paths
+          // terminate in harvestable credentials, as in real estates.
+          if (is_admin && num == 0) num = 1;
+          if (num == 0) continue;
+          srng.sample_indices(sh.allowed, num, scratch, picks);
+          for (const std::size_t ci : picks) {
+            buf.push_back({comp_flat[ci], user, EdgeKind::kHasSession, false,
+                           metagraph::kNoSet, metagraph::kNoSet});
+          }
+        }
+      },
+      [&](std::size_t, EdgeShard&& buf) {
+        commit_shard(std::move(buf), &GenerationStats::session_edges);
+      });
 }
 
 void Builder::generate_misconfig_sessions() {
   // Algorithm 3: a privileged user's credentials leak onto a computer in a
-  // lower (numerically higher) tier.
+  // lower (numerically higher) tier.  Draws are independent, so the draw
+  // range is sharded directly.
   const std::uint32_t k = tiers();
   if (k < 2) return;  // no lower tier exists
   std::size_t total_users = 0;
@@ -507,37 +715,52 @@ void Builder::generate_misconfig_sessions() {
   }
   const auto num_misconfig = static_cast<std::size_t>(std::llround(
       cfg.perc_misconfig_sessions * static_cast<double>(total_users)));
-  for (std::size_t i = 0; i < num_misconfig; ++i) {
-    const bool is_admin = rng.chance(0.5);
-    const auto user_tier =
-        static_cast<std::uint32_t>(rng.uniform(0, k - 2));
-    // random_user(is_admin, user_tier): tiers below the last hold admin
-    // accounts only, so a regular draw falls back to an admin one.
-    const auto& admin_pool = out.admin_users_by_tier[user_tier];
-    const auto& regular_pool = out.regular_users_by_tier[user_tier];
-    const auto& pool =
-        (!is_admin && !regular_pool.empty()) ? regular_pool : admin_pool;
-    if (pool.empty()) continue;
-    // The most active account is the one whose credentials leak: tier-0
-    // violations predominantly involve the primary operator (whose logons
-    // already dominate tier-0 infrastructure, see generate_sessions).
-    const bool admin_draw = &pool == &admin_pool;
-    const NodeIndex user =
-        (admin_draw && user_tier == 0 && rng.chance(cfg.primary_operator_bias))
-            ? pool.front()
-            : pool[rng.index(pool.size())];
+  const std::size_t shards =
+      (num_misconfig + kDrawsPerShard - 1) / kDrawsPerShard;
 
-    const auto comp_tier =
-        static_cast<std::uint32_t>(rng.uniform(user_tier + 1, k - 1));
-    const auto& comps = out.computers_by_tier[comp_tier];
-    if (comps.empty()) continue;
-    const NodeIndex comp = comps[rng.index(comps.size())];
+  util::parallel_scatter_merge<EdgeShard>(
+      pool, shards,
+      [&](std::size_t s, EdgeShard& buf) {
+        ADSYNTH_SPAN("gen.misconfig.shard");
+        util::Rng srng = rng.stream(kStreamMisconfigSess ^ s);
+        const std::size_t lo = s * kDrawsPerShard;
+        const std::size_t hi = std::min(num_misconfig, lo + kDrawsPerShard);
+        buf.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const bool is_admin = srng.chance(0.5);
+          const auto user_tier =
+              static_cast<std::uint32_t>(srng.uniform(0, k - 2));
+          // random_user(is_admin, user_tier): tiers below the last hold
+          // admin accounts only, so a regular draw falls back to an admin
+          // one.
+          const auto& admin_pool = out.admin_users_by_tier[user_tier];
+          const auto& regular_pool = out.regular_users_by_tier[user_tier];
+          const auto& user_pool =
+              (!is_admin && !regular_pool.empty()) ? regular_pool : admin_pool;
+          if (user_pool.empty()) continue;
+          // The most active account is the one whose credentials leak:
+          // tier-0 violations predominantly involve the primary operator
+          // (whose logons already dominate tier-0 infrastructure, see
+          // generate_sessions).
+          const bool admin_draw = &user_pool == &admin_pool;
+          const NodeIndex user =
+              (admin_draw && user_tier == 0 &&
+               srng.chance(cfg.primary_operator_bias))
+                  ? user_pool.front()
+                  : user_pool[srng.index(user_pool.size())];
 
-    out.graph.add_edge(comp, user, EdgeKind::kHasSession, /*violation=*/true);
-    out.meta.add_edge(singleton(element_of_node[comp]),
-                      singleton(element_of_node[user]), {"HasSession", {}});
-    ++out.stats.violation_sessions;
-  }
+          const auto comp_tier =
+              static_cast<std::uint32_t>(srng.uniform(user_tier + 1, k - 1));
+          const auto& comps = out.computers_by_tier[comp_tier];
+          if (comps.empty()) continue;
+          const NodeIndex comp = comps[srng.index(comps.size())];
+          buf.push_back({comp, user, EdgeKind::kHasSession, true,
+                         metagraph::kNoSet, metagraph::kNoSet});
+        }
+      },
+      [&](std::size_t, EdgeShard&& buf) {
+        commit_shard(std::move(buf), &GenerationStats::violation_sessions);
+      });
 }
 
 void Builder::generate_misconfig_permissions() {
@@ -552,45 +775,60 @@ void Builder::generate_misconfig_permissions() {
   const auto num_misconfig = static_cast<std::size_t>(std::llround(
       cfg.perc_misconfig_permissions * static_cast<double>(total_users)));
   const auto& permissions = adcore::non_acl_permission_pool();
-  for (std::size_t i = 0; i < num_misconfig; ++i) {
-    auto user_tier = static_cast<std::uint32_t>(rng.uniform(1, k - 1));
-    // Prefer a genuine regular user at the drawn tier; tiers holding only
-    // admin accounts fall back to the support/helpdesk population of the
-    // regular tier, keeping the "regular user" semantics of Algorithm 4.
-    const std::vector<NodeIndex>* pool = &out.regular_users_by_tier[user_tier];
-    if (pool->empty()) {
-      pool = &out.regular_users_by_tier[k - 1];
-      if (pool->empty()) pool = &out.users_by_tier[user_tier];
-      else user_tier = k - 1;
-    }
-    if (pool->empty()) continue;
-    const NodeIndex user = (*pool)[rng.index(pool->size())];
+  const std::size_t shards =
+      (num_misconfig + kDrawsPerShard - 1) / kDrawsPerShard;
 
-    const auto comp_tier =
-        static_cast<std::uint32_t>(rng.uniform(0, user_tier - 1));
-    const auto& comps = out.computers_by_tier[comp_tier];
-    if (comps.empty()) continue;
-    // Misconfigured DCOM/PSRemote/SQL rights are service misconfigurations:
-    // with misconfig_server_bias they land on the tier's servers (DCs,
-    // jump hosts) rather than an arbitrary machine.
-    NodeIndex comp = comps[rng.index(comps.size())];
-    if (rng.chance(cfg.misconfig_server_bias)) {
-      for (int attempts = 0; attempts < 64; ++attempts) {
-        const NodeIndex candidate = comps[rng.index(comps.size())];
-        if (out.graph.has_flag(candidate, adcore::node_flag::kServer)) {
-          comp = candidate;
-          break;
+  util::parallel_scatter_merge<EdgeShard>(
+      pool, shards,
+      [&](std::size_t s, EdgeShard& buf) {
+        ADSYNTH_SPAN("gen.misconfig.shard");
+        util::Rng srng = rng.stream(kStreamMisconfigPerm ^ s);
+        const std::size_t lo = s * kDrawsPerShard;
+        const std::size_t hi = std::min(num_misconfig, lo + kDrawsPerShard);
+        buf.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto user_tier = static_cast<std::uint32_t>(srng.uniform(1, k - 1));
+          // Prefer a genuine regular user at the drawn tier; tiers holding
+          // only admin accounts fall back to the support/helpdesk
+          // population of the regular tier, keeping the "regular user"
+          // semantics of Algorithm 4.
+          const std::vector<NodeIndex>* user_pool =
+              &out.regular_users_by_tier[user_tier];
+          if (user_pool->empty()) {
+            user_pool = &out.regular_users_by_tier[k - 1];
+            if (user_pool->empty()) user_pool = &out.users_by_tier[user_tier];
+            else user_tier = k - 1;
+          }
+          if (user_pool->empty()) continue;
+          const NodeIndex user = (*user_pool)[srng.index(user_pool->size())];
+
+          const auto comp_tier =
+              static_cast<std::uint32_t>(srng.uniform(0, user_tier - 1));
+          const auto& comps = out.computers_by_tier[comp_tier];
+          if (comps.empty()) continue;
+          // Misconfigured DCOM/PSRemote/SQL rights are service
+          // misconfigurations: with misconfig_server_bias they land on the
+          // tier's servers (DCs, jump hosts) rather than an arbitrary
+          // machine.
+          NodeIndex comp = comps[srng.index(comps.size())];
+          if (srng.chance(cfg.misconfig_server_bias)) {
+            for (int attempts = 0; attempts < 64; ++attempts) {
+              const NodeIndex candidate = comps[srng.index(comps.size())];
+              if (out.graph.has_flag(candidate, adcore::node_flag::kServer)) {
+                comp = candidate;
+                break;
+              }
+            }
+          }
+
+          const EdgeKind perm = permissions[srng.index(permissions.size())];
+          buf.push_back({user, comp, perm, true, metagraph::kNoSet,
+                         metagraph::kNoSet});
         }
-      }
-    }
-
-    const EdgeKind perm = permissions[rng.index(permissions.size())];
-    out.graph.add_edge(user, comp, perm, /*violation=*/true);
-    out.meta.add_edge(singleton(element_of_node[user]),
-                      singleton(element_of_node[comp]),
-                      {std::string(adcore::edge_kind_name(perm)), {}});
-    ++out.stats.violation_permissions;
-  }
+      },
+      [&](std::size_t, EdgeShard&& buf) {
+        commit_shard(std::move(buf), &GenerationStats::violation_permissions);
+      });
 }
 
 }  // namespace
@@ -598,7 +836,7 @@ void Builder::generate_misconfig_permissions() {
 GeneratedAd generate_ad(const GeneratorConfig& config) {
   ADSYNTH_SPAN("gen.generate_ad");
   config.validate();
-  Builder b(config);
+  Builder b(config, util::global_pool());
 
   // Stage (a): nodes.
   {
@@ -614,10 +852,12 @@ GeneratedAd generate_ad(const GeneratorConfig& config) {
     b.assign_group_members();
   }
 
-  // Stage (b): edges.
+  // Stage (b): edges — sharded, merged in deterministic shard order.
   {
     ADSYNTH_SPAN("gen.delegation");
     b.collect_resources();
+    b.build_computer_prefix();
+    b.reserve_edge_capacity();
     b.generate_tier_delegation();
   }
   {

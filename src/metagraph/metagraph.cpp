@@ -31,6 +31,22 @@ SetId Metagraph::add_set(std::string name, std::vector<ElementId> members) {
   return id;
 }
 
+SetId Metagraph::add_singleton_set(ElementId member) {
+  check_element(member);
+  const auto id = static_cast<SetId>(sets_.size());
+  element_sets_[member].push_back(id);
+  ++membership_size_;
+  SetRecord rec;
+  const std::string& inner = element_names_[member];
+  rec.name.reserve(inner.size() + 2);
+  rec.name += '{';
+  rec.name += inner;
+  rec.name += '}';
+  rec.members.push_back(member);
+  sets_.push_back(std::move(rec));  // deliberately not in set_index_
+  return id;
+}
+
 void Metagraph::add_to_set(SetId set, ElementId element) {
   check_set(set);
   check_element(element);
@@ -51,6 +67,52 @@ EdgeId Metagraph::add_edge(SetId invertex, SetId outvertex,
   sets_[invertex].out_edges.push_back(id);
   sets_[outvertex].in_edges.push_back(id);
   return id;
+}
+
+EdgeId Metagraph::add_edges(std::vector<MetaEdge> batch) {
+  const auto first = static_cast<EdgeId>(edges_.size());
+  if (batch.empty()) return first;
+  for (const MetaEdge& e : batch) {
+    check_set(e.invertex);
+    check_set(e.outvertex);
+  }
+  // Count per-set degree deltas, then reserve each touched list exactly
+  // once — the per-edge push_backs below never reallocate.
+  std::vector<std::uint32_t> out_delta(sets_.size(), 0);
+  std::vector<std::uint32_t> in_delta(sets_.size(), 0);
+  for (const MetaEdge& e : batch) {
+    ++out_delta[e.invertex];
+    ++in_delta[e.outvertex];
+  }
+  for (const MetaEdge& e : batch) {
+    if (out_delta[e.invertex] > 0) {
+      auto& out = sets_[e.invertex].out_edges;
+      out.reserve(out.size() + out_delta[e.invertex]);
+      out_delta[e.invertex] = 0;
+    }
+    if (in_delta[e.outvertex] > 0) {
+      auto& in = sets_[e.outvertex].in_edges;
+      in.reserve(in.size() + in_delta[e.outvertex]);
+      in_delta[e.outvertex] = 0;
+    }
+  }
+  edges_.reserve(edges_.size() + batch.size());
+  EdgeId id = first;
+  for (MetaEdge& e : batch) {
+    sets_[e.invertex].out_edges.push_back(id);
+    sets_[e.outvertex].in_edges.push_back(id);
+    edges_.push_back(std::move(e));
+    ++id;
+  }
+  return first;
+}
+
+void Metagraph::reserve(std::size_t elements, std::size_t sets,
+                        std::size_t edges) {
+  element_names_.reserve(elements);
+  element_sets_.reserve(elements);
+  sets_.reserve(sets);
+  edges_.reserve(edges);
 }
 
 const std::string& Metagraph::element_name(ElementId id) const {

@@ -62,12 +62,28 @@ class Metagraph {
   /// Registers a vertex set with initial members (deduplicated, sorted).
   SetId add_set(std::string name, std::vector<ElementId> members);
 
+  /// Fast path for the generators' per-object singleton sets {x}: same
+  /// result as add_set("{" + element_name(member) + "}", {member}) except
+  /// that the set is NOT entered into the find_set() name index — at
+  /// million-object scale the singletons would dominate the index while
+  /// never being looked up by name (analytics address them by SetId).
+  SetId add_singleton_set(ElementId member);
+
   /// Inserts `element` into `set` (no-op when already present).
   /// Throws std::out_of_range on an invalid set or element id.
   void add_to_set(SetId set, ElementId element);
 
   /// Creates an edge <invertex, outvertex> with the given attributes.
   EdgeId add_edge(SetId invertex, SetId outvertex, EdgeAttributes attributes);
+
+  /// Bulk edge insertion: one validation sweep, exact-capacity reservation
+  /// of every touched set's in/out edge list, then appends — equivalent to
+  /// calling add_edge per entry in order, minus the growth reallocations.
+  /// Returns the id of the first inserted edge (ids are consecutive).
+  EdgeId add_edges(std::vector<MetaEdge> batch);
+
+  /// Pre-sizes the element/set/edge columns (generators know their scale).
+  void reserve(std::size_t elements, std::size_t sets, std::size_t edges);
 
   std::size_t element_count() const { return element_names_.size(); }
   std::size_t set_count() const { return sets_.size(); }

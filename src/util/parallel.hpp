@@ -120,6 +120,25 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   });
 }
 
+/// Deterministic scatter/merge: `gen(shard, buffer)` fills one Buffer per
+/// shard (shards claimed dynamically, one chunk each), then `merge(shard,
+/// buffer)` consumes every buffer serially in ascending shard order on the
+/// calling thread.  The merge order — and therefore anything built by
+/// appending in it — depends only on the shard decomposition, never on the
+/// thread count.  Buffer must be default-constructible; gen must not touch
+/// shared mutable state (it runs concurrently).
+template <typename Buffer, typename Gen, typename Merge>
+void parallel_scatter_merge(ThreadPool& pool, std::size_t shards, Gen&& gen,
+                            Merge&& merge) {
+  if (shards == 0) return;
+  std::vector<Buffer> buffers(shards);
+  parallel_for(pool, 0, shards, 1,
+               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                 for (std::size_t s = lo; s < hi; ++s) gen(s, buffers[s]);
+               });
+  for (std::size_t s = 0; s < shards; ++s) merge(s, std::move(buffers[s]));
+}
+
 /// Deterministic ordered reduction: map(lo, hi, worker) -> T per grain-sized
 /// slice, then reduce(acc, slice_result) folded in ascending slice order —
 /// the floating-point bracketing is fixed by the grain, not by which thread

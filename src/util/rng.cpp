@@ -1,7 +1,6 @@
 #include "util/rng.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace adsynth::util {
 
@@ -9,6 +8,13 @@ namespace {
 
 constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
+}
+
+/// Smallest power of two >= n (and >= 8, so tiny tables still probe well).
+std::size_t table_capacity(std::size_t n) noexcept {
+  std::size_t cap = 8;
+  while (cap < n) cap <<= 1;
+  return cap;
 }
 
 }  // namespace
@@ -25,7 +31,7 @@ std::uint64_t mix64(std::uint64_t value) noexcept {
   return splitmix64(state);
 }
 
-Rng::Rng(std::uint64_t seed) noexcept {
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);
 }
@@ -79,33 +85,84 @@ bool Rng::chance(double p) {
 
 Rng Rng::fork() { return Rng(mix64(next())); }
 
-std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+bool SampleScratch::insert(std::size_t key) noexcept {
+  std::size_t slot = static_cast<std::size_t>(
+                         mix64(static_cast<std::uint64_t>(key))) &
+                     mask_;
+  for (;;) {
+    if (stamps_[slot] != epoch_) {  // free (stale from an earlier epoch)
+      stamps_[slot] = epoch_;
+      slots_[slot] = key;
+      return true;
+    }
+    if (slots_[slot] == key) return false;
+    slot = (slot + 1) & mask_;  // linear probe; load factor <= 0.5
+  }
+}
+
+void SampleScratch::prepare_table(std::size_t k) {
+  const std::size_t cap = table_capacity(k * 2);
+  if (slots_.size() < cap) {
+    slots_.assign(cap, 0);
+    stamps_.assign(cap, 0);
+    epoch_ = 0;
+  }
+  mask_ = slots_.size() - 1;
+  if (++epoch_ == 0) {  // epoch wrapped: stale stamps could alias, reset
+    std::fill(stamps_.begin(), stamps_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+void SampleScratch::prepare_identity(std::size_t n) {
+  const std::size_t old = identity_.size();
+  if (old >= n) return;
+  identity_.resize(n);
+  for (std::size_t i = old; i < n; ++i) identity_[i] = i;
+}
+
+void Rng::sample_indices(std::size_t n, std::size_t k, SampleScratch& scratch,
+                         std::vector<std::size_t>& out) {
   if (k > n) k = n;
-  std::vector<std::size_t> out;
-  out.reserve(k);
-  if (k == 0) return out;
-  // Floyd's algorithm when the sample is sparse: expected O(k) with a set.
+  out.clear();
+  if (k == 0) return;
+  // Floyd's algorithm when the sample is sparse: exactly k draws, and the
+  // open-addressed scratch table makes membership O(1) without allocating.
   if (k < n / 16) {
-    std::unordered_set<std::size_t> chosen;
-    chosen.reserve(k * 2);
+    scratch.prepare_table(k);
+    out.reserve(k);
     for (std::size_t j = n - k; j < n; ++j) {
       const std::size_t t = index(j + 1);
-      if (chosen.insert(t).second) {
+      if (scratch.insert(t)) {
         out.push_back(t);
       } else {
-        chosen.insert(j);
+        scratch.insert(j);
         out.push_back(j);
       }
     }
-    return out;
+    return;
   }
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher-Yates over the persistent identity permutation; the swap
+  // trail is unwound afterwards so the permutation is identity again on
+  // return — initialisation is paid once per distinct n, not per call.
+  scratch.prepare_identity(n);
+  auto& idx = scratch.identity_;
+  auto& swaps = scratch.swaps_;
+  swaps.clear();
+  out.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + index(n - i);
     std::swap(idx[i], idx[j]);
+    swaps.push_back(j);
     out.push_back(idx[i]);
   }
+  for (std::size_t i = k; i-- > 0;) std::swap(idx[i], idx[swaps[i]]);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  SampleScratch scratch;
+  std::vector<std::size_t> out;
+  sample_indices(n, k, scratch, out);
   return out;
 }
 

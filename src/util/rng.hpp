@@ -23,6 +23,43 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 /// Handy for deriving independent stream seeds: `mix64(seed ^ stream_id)`.
 std::uint64_t mix64(std::uint64_t value) noexcept;
 
+/// Reusable working storage for Rng::sample_indices.  One instance per
+/// call site (or per worker thread) turns every sample into an
+/// allocation-free operation after warm-up:
+///
+///  * sparse path — an open-addressed table with epoch-stamped slots, so
+///    clearing between calls is a single counter bump, not a memset;
+///  * dense path — an identity permutation that partial Fisher-Yates
+///    swaps into and then *unwinds*, so the O(n) initialisation is paid
+///    once per distinct n, not once per call.
+class SampleScratch {
+ public:
+  SampleScratch() = default;
+
+ private:
+  friend class Rng;
+
+  /// True when `key` was absent and has been inserted.  The table must
+  /// have been sized by prepare_table().
+  bool insert(std::size_t key) noexcept;
+  /// Sizes the table for up to `k` insertions and starts a fresh epoch.
+  void prepare_table(std::size_t k);
+  /// Extends the identity permutation to cover [0, n).
+  void prepare_identity(std::size_t n);
+
+  // Open-addressed table (sparse path).  A slot holds a key iff its stamp
+  // equals the current epoch; stale slots are free without clearing.
+  std::vector<std::size_t> slots_;
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 0;
+  std::size_t mask_ = 0;
+
+  // Identity permutation (dense path) and the swap trail used to restore
+  // it after a partial Fisher-Yates pass.
+  std::vector<std::size_t> identity_;
+  std::vector<std::size_t> swaps_;
+};
+
 /// xoshiro256** engine.  Satisfies UniformRandomBitGenerator so it can be
 /// used with <random> distributions, but the helper members below are
 /// preferred: they are reproducible across standard-library implementations.
@@ -56,8 +93,23 @@ class Rng {
   bool chance(double p);
 
   /// Forks an independent generator: the child stream is decorrelated from
-  /// the parent by mixing a fresh draw through splitmix64.
+  /// the parent by mixing a fresh draw through splitmix64.  The child's
+  /// state depends on how many draws the parent has made — use stream()
+  /// when the derivation must not depend on call order.
   Rng fork();
+
+  /// Derives the `stream_id`-th substream of this generator's *seed*: a
+  /// pure function of (construction seed, stream_id), independent of any
+  /// draws made on this generator, so shards of a parallel computation can
+  /// derive their generators in any order (or concurrently) and still
+  /// produce identical output.  Substreams are decorrelated from each
+  /// other and from the parent sequence by double splitmix64 mixing.
+  Rng stream(std::uint64_t stream_id) const noexcept {
+    return Rng(mix64(seed_ ^ mix64(stream_id + 0x9e3779b97f4a7c15ULL)));
+  }
+
+  /// The seed this generator was constructed with (stream derivation key).
+  std::uint64_t seed() const noexcept { return seed_; }
 
   /// Fisher-Yates shuffle of a whole vector, reproducible across platforms.
   template <typename T>
@@ -100,8 +152,16 @@ class Rng {
   /// Fisher-Yates otherwise.  Result order is unspecified but deterministic.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// Allocation-free variant for hot loops: identical draws and output to
+  /// the allocating overload, but all working storage lives in `scratch`
+  /// and the sample is appended to `out` (cleared first).  Reusing one
+  /// scratch across calls amortizes every allocation away.
+  void sample_indices(std::size_t n, std::size_t k, SampleScratch& scratch,
+                      std::vector<std::size_t>& out);
+
  private:
   std::array<std::uint64_t, 4> state_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace adsynth::util

@@ -83,7 +83,10 @@ TEST(GoodHound, BatchValidation) {
 }
 
 TEST(GoodHound, SecureAdsynthNeedsFewRemovals) {
-  const auto ad = core::generate_ad(core::GeneratorConfig::secure(20000, 1));
+  // Needs a seed whose secure graph has a small-but-nonzero breach
+  // population at 20k (the ≈0.02% target leaves some seeds with zero
+  // breached users, where GoodHound rightly removes nothing).
+  const auto ad = core::generate_ad(core::GeneratorConfig::secure(20000, 3));
   const GoodHoundResult result = eliminate_attack_paths(ad.graph);
   EXPECT_FALSE(result.exhausted);
   EXPECT_GT(result.removals(), 0u);

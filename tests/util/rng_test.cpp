@@ -190,5 +190,97 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{1000, 500},
                       std::pair<std::size_t, std::size_t>{65536, 17}));
 
+TEST(RngStream, IndependentOfCallOrder) {
+  // The substream contract: stream(id) depends on (seed, id) only —
+  // unlike fork(), whose children depend on how far the parent advanced.
+  Rng a(42);
+  Rng b(42);
+  // Advance `b` arbitrarily; its streams must still match `a`'s.
+  for (int i = 0; i < 1000; ++i) b.next();
+  for (const std::uint64_t id : {0ULL, 1ULL, 7ULL, 1ULL << 40}) {
+    Rng sa = a.stream(id);
+    Rng sb = b.stream(id);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(sa.next(), sb.next()) << "stream " << id;
+    }
+  }
+}
+
+TEST(RngStream, DistinctIdsDecorrelate) {
+  Rng root(7);
+  Rng s0 = root.stream(0);
+  Rng s1 = root.stream(1);
+  std::size_t equal = 0;
+  for (int i = 0; i < 256; ++i) equal += s0.next() == s1.next() ? 1 : 0;
+  EXPECT_EQ(equal, 0u);
+  // Neighbouring ids (the sharded generator uses consecutive ordinals).
+  Rng a = root.stream(1000);
+  Rng b = root.stream(1001);
+  equal = 0;
+  for (int i = 0; i < 256; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_EQ(equal, 0u);
+}
+
+TEST(RngStream, DiffersFromRootAndAcrossSeeds) {
+  Rng root(9);
+  Rng stream = root.stream(3);
+  Rng fresh(9);
+  std::size_t equal = 0;
+  for (int i = 0; i < 256; ++i) equal += stream.next() == fresh.next() ? 1 : 0;
+  EXPECT_EQ(equal, 0u);
+  // Same stream id under different seeds must diverge too.
+  Rng other = Rng(10).stream(3);
+  Rng again = Rng(9).stream(3);
+  EXPECT_NE(other.next(), again.next());
+}
+
+TEST(SampleScratchSuite, MatchesLegacySampleIndices) {
+  // The scratch-based overload must replay the legacy allocation-heavy
+  // version draw for draw — same RNG consumption, same output order.
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {100, 3}, {100, 90}, {4096, 16}, {4096, 2000},
+           {100000, 12}}) {
+    Rng legacy(n * 31 + k);
+    Rng scratched(n * 31 + k);
+    const auto expected = legacy.sample_indices(n, k);
+    SampleScratch scratch;
+    std::vector<std::size_t> got;
+    scratched.sample_indices(n, k, scratch, got);
+    EXPECT_EQ(got, expected) << "n=" << n << " k=" << k;
+    // The generators consume afterwards; both must leave the engine in the
+    // same state.
+    EXPECT_EQ(legacy.next(), scratched.next());
+  }
+}
+
+TEST(SampleScratchSuite, ReuseAcrossMixedShapes) {
+  // One scratch object serves interleaved sparse and dense calls (the
+  // session hot loop reuses it for every user) without cross-talk.
+  SampleScratch scratch;
+  std::vector<std::size_t> out;
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 16 + static_cast<std::size_t>(rng.uniform(0, 4000));
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform(0, n - 1));
+    rng.sample_indices(n, k, scratch, out);
+    ASSERT_EQ(out.size(), k);
+    std::set<std::size_t> unique(out.begin(), out.end());
+    ASSERT_EQ(unique.size(), out.size()) << "round " << round;
+    for (const std::size_t i : out) ASSERT_LT(i, n);
+  }
+}
+
+TEST(SampleScratchSuite, KZeroAndKGreaterEqualN) {
+  SampleScratch scratch;
+  std::vector<std::size_t> out{1, 2, 3};
+  Rng rng(5);
+  rng.sample_indices(10, 0, scratch, out);
+  EXPECT_TRUE(out.empty());
+  rng.sample_indices(4, 9, scratch, out);
+  EXPECT_EQ(out.size(), 4u);
+  std::set<std::size_t> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
 }  // namespace
 }  // namespace adsynth::util

@@ -1,0 +1,141 @@
+// Query-frontend throughput: what the plan cache and prepared statements
+// buy on repeated parameterized traffic, and what variable-length BFS
+// expansion costs.  Four scenarios over a BloodHound-style store
+// (adcore::to_store of a generated estate, with a :User(name) index):
+//
+//   query.parse_per_call  — every call is a distinct statement text, so
+//                           every call pays lexer + parser + planner
+//   query.cached_run      — one statement shape, $param values vary; run()
+//                           serves parse+plan from the LRU plan cache
+//   query.prepared        — CypherSession::prepare() once, execute() per
+//                           call: no cache probe, no normalization
+//   query.var_length      — prepared `-[:MemberOf*1..3]->` count, the BFS
+//                           expansion path
+//
+// The acceptance gate of the frontend PR: cached/prepared execution must
+// beat parse-per-call on the same executed work (all three run the same
+// index miss per call).  Writes BENCH_query.json, gated by
+// scripts/bench_compare.py against bench/baselines/BENCH_query.json.
+#include "common.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "adcore/convert.hpp"
+#include "graphdb/cypher.hpp"
+
+using namespace adsynth;
+using namespace adsynth::bench;
+
+namespace {
+
+/// Median-of-runs nanoseconds per operation.
+double bench_ns_per_op(std::size_t repeats, std::size_t iters,
+                       const std::function<void(std::size_t)>& op) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    util::Stopwatch timer;
+    for (std::size_t i = 0; i < iters; ++i) op(i);
+    times.push_back(timer.seconds() * 1e9 / static_cast<double>(iters));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args;
+  args.add_flag("full", "paper-scale store (100k nodes)");
+  args.add_option("iters", "statements per timed run", "2000");
+  args.add_option("repeats", "timed runs per scenario (median reported)",
+                  "3");
+  add_threads_option(args);
+  add_trace_option(args);
+  if (!args.parse(argc, argv)) return 1;
+  const std::size_t threads = apply_threads_option(args);
+  const auto iters =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.integer("iters")));
+  const auto repeats = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.integer("repeats")));
+
+  print_header("query frontend: plan cache and prepared statements",
+               "repeated parameterized statements skip parse+plan; "
+               "variable-length patterns ride the shared BFS kernel");
+
+  const std::size_t scale = args.flag("full") ? 100'000 : 20'000;
+  graphdb::GraphStore store =
+      adcore::to_store(make_adsynth("vulnerable", scale, 11));
+  graphdb::CypherSession session(store);
+  session.run("CREATE INDEX ON :User(name)");
+
+  // One real user name for the traversal scenario, shown with its plan.
+  const graphdb::QueryResult probe =
+      session.run("MATCH (u:User) RETURN u.name LIMIT 1");
+  const std::string user_name = probe.rows.at(0).at(0).as_string();
+  std::printf("store: %zu nodes, %zu rels; traversal source '%s'\n",
+              store.node_count(), store.rel_count(), user_name.c_str());
+  std::printf("%s\n\n",
+              session
+                  .run("EXPLAIN MATCH (u:User {name: $who}) "
+                       "RETURN count(u)")
+                  .plan.c_str());
+
+  TraceCapture capture(args);
+  util::TextTable table({"scenario", "ns_per_op", "cache_hits",
+                         "cache_misses"});
+  util::JsonArray records;
+  const auto record = [&](const char* name, double ns) {
+    table.add_row({name, util::fixed(ns, 0),
+                   std::to_string(session.plan_cache_hits()),
+                   std::to_string(session.plan_cache_misses())});
+    util::JsonObject rec;
+    rec["name"] = std::string("query.") + name;
+    rec["ns_per_op"] = ns;
+    rec["threads"] = static_cast<std::int64_t>(threads);
+    rec["graph_size"] = static_cast<std::int64_t>(store.node_count());
+    records.emplace_back(std::move(rec));
+  };
+
+  // All three point scenarios execute the same work per call — an index
+  // seek that finds nothing — so the deltas isolate frontend overhead.
+  const auto miss_name = [](std::size_t i) {
+    return "missing-" + std::to_string(i);
+  };
+
+  record("parse_per_call",
+         bench_ns_per_op(repeats, iters, [&](std::size_t i) {
+           session.run("MATCH (u:User {name: '" + miss_name(i) +
+                       "'}) RETURN count(u)");
+         }));
+
+  record("cached_run", bench_ns_per_op(repeats, iters, [&](std::size_t i) {
+           session.run("MATCH (u:User {name: $who}) RETURN count(u)",
+                       {{"who", graphdb::PropertyValue(miss_name(i))}});
+         }));
+
+  const graphdb::PreparedStatement stmt =
+      session.prepare("MATCH (u:User {name: $who}) RETURN count(u)");
+  record("prepared", bench_ns_per_op(repeats, iters, [&](std::size_t i) {
+           session.execute(
+               stmt, {{"who", graphdb::PropertyValue(miss_name(i))}});
+         }));
+
+  const graphdb::PreparedStatement hops = session.prepare(
+      "MATCH (u:User {name: $who})-[r:MemberOf*1..3]->(g:Group) "
+      "RETURN count(g)");
+  const std::size_t hop_iters = std::max<std::size_t>(1, iters / 100);
+  record("var_length",
+         bench_ns_per_op(repeats, hop_iters, [&](std::size_t) {
+           session.execute(hops,
+                           {{"who", graphdb::PropertyValue(user_name)}});
+         }));
+
+  std::fputs(table.render().c_str(), stdout);
+
+  util::JsonObject extra;
+  extra["records"] = util::JsonValue(std::move(records));
+  capture.finish("query", std::move(extra));
+  return 0;
+}

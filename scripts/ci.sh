@@ -108,6 +108,10 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
     python3 '$root/scripts/bench_compare.py' \
         '$root/bench/baselines/BENCH_forest_scale.json' \
         BENCH_forest_scale.json \
+        --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\" &&
+    ./bench_query --repeats 3 &&
+    python3 '$root/scripts/bench_compare.py' \
+        '$root/bench/baselines/BENCH_query.json' BENCH_query.json \
         --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\""
 else
   record test SKIP   # no build to test; the build FAIL already gates exit

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "adcore/attack_graph.hpp"
+#include "util/csr.hpp"
 
 namespace adsynth::analytics {
 
@@ -18,19 +19,12 @@ using adcore::NodeIndex;
 using EdgeIndex = std::uint32_t;
 inline constexpr EdgeIndex kNoEdgeIndex = 0xffffffffu;
 
-/// CSR adjacency: for node v, neighbours are targets[offsets[v]..offsets[v+1]).
-/// edge_ids keeps the position of each adjacency entry in the original edge
-/// list, so masks and cut-sets can be reported in graph terms.
-struct Csr {
-  std::vector<std::uint32_t> offsets;  // size n+1
-  std::vector<NodeIndex> targets;
-  std::vector<EdgeIndex> edge_ids;
-
-  std::size_t node_count() const {
-    return offsets.empty() ? 0 : offsets.size() - 1;
-  }
-  std::size_t arc_count() const { return targets.size(); }
-};
+/// CSR adjacency over an AttackGraph.  The struct itself is the generic
+/// util::Csr (offsets/targets/edge_ids — see util/csr.hpp, which also holds
+/// the BFS kernels shared with the graphdb query executor); here targets are
+/// NodeIndex values and edge_ids positions into AttackGraph::edges(), so
+/// masks and cut-sets can be reported in graph terms.
+using Csr = util::Csr;
 
 /// Which graph edges a view includes.
 struct ViewOptions {

@@ -1,104 +1,13 @@
 #include "analytics/reachability.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <deque>
 #include <stdexcept>
 
-#include "util/parallel.hpp"
+#include "util/csr.hpp"
 #include "util/trace.hpp"
 
 namespace adsynth::analytics {
-
-namespace {
-
-/// Below this node count a multi-source BFS runs serially: the frontier
-/// bookkeeping of the level-synchronous expansion costs more than it saves
-/// on small graphs.
-constexpr std::size_t kParallelBfsNodes = 4'096;
-
-/// Level-synchronous parallel expansion.  Each level splits the frontier
-/// into chunks; workers claim newly reached nodes by CAS-ing their distance
-/// from kUnreachable to the level, so every node joins exactly one chunk's
-/// local next-frontier.  Which chunk wins a contended node is racy, but the
-/// distance it receives is not (all writers offer the same level) — the
-/// returned distances are deterministic at every thread count.
-std::vector<std::int32_t> bfs_distances_parallel(
-    const Csr& csr, std::vector<std::int32_t> dist,
-    std::vector<NodeIndex> frontier, util::ThreadPool& pool) {
-  std::int32_t level = 0;
-  while (!frontier.empty()) {
-    const std::int32_t next_level = level + 1;
-    const std::size_t grain = std::max<std::size_t>(
-        128, frontier.size() / (pool.size() * 4));
-    frontier = util::parallel_map_reduce(
-        pool, 0, frontier.size(), grain, std::vector<NodeIndex>{},
-        [&](std::size_t lo, std::size_t hi, std::size_t) {
-          ADSYNTH_SPAN("analytics.bfs.chunk");
-          std::vector<NodeIndex> next;
-          for (std::size_t f = lo; f < hi; ++f) {
-            const NodeIndex v = frontier[f];
-            for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1];
-                 ++i) {
-              const NodeIndex w = csr.targets[i];
-              std::atomic_ref<std::int32_t> slot(dist[w]);
-              if (slot.load(std::memory_order_relaxed) != kUnreachable) {
-                continue;
-              }
-              std::int32_t expected = kUnreachable;
-              if (slot.compare_exchange_strong(expected, next_level,
-                                               std::memory_order_relaxed)) {
-                next.push_back(w);
-              }
-            }
-          }
-          return next;
-        },
-        [](std::vector<NodeIndex>& acc, std::vector<NodeIndex>&& part) {
-          acc.insert(acc.end(), part.begin(), part.end());
-        });
-    level = next_level;
-  }
-  return dist;
-}
-
-}  // namespace
-
-std::vector<std::int32_t> bfs_distances(
-    const Csr& csr, const std::vector<NodeIndex>& sources) {
-  ADSYNTH_SPAN("analytics.bfs");
-  ADSYNTH_METRIC_COUNT("analytics.bfs.runs", 1);
-  std::vector<std::int32_t> dist(csr.node_count(), kUnreachable);
-  std::deque<NodeIndex> frontier;
-  for (const NodeIndex s : sources) {
-    if (s >= csr.node_count()) {
-      throw std::out_of_range("bfs_distances: source out of range");
-    }
-    if (dist[s] == kUnreachable) {
-      dist[s] = 0;
-      frontier.push_back(s);
-    }
-  }
-  util::ThreadPool& pool = util::global_pool();
-  if (pool.size() > 1 && csr.node_count() >= kParallelBfsNodes) {
-    return bfs_distances_parallel(
-        csr, std::move(dist),
-        std::vector<NodeIndex>(frontier.begin(), frontier.end()), pool);
-  }
-  while (!frontier.empty()) {
-    const NodeIndex v = frontier.front();
-    frontier.pop_front();
-    const std::int32_t dv = dist[v];
-    for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
-      const NodeIndex w = csr.targets[i];
-      if (dist[w] == kUnreachable) {
-        dist[w] = dv + 1;
-        frontier.push_back(w);
-      }
-    }
-  }
-  return dist;
-}
 
 std::optional<std::vector<NodeIndex>> shortest_path(const Csr& forward,
                                                     NodeIndex source,
@@ -156,7 +65,8 @@ DaReachability users_reaching_da(const AttackGraph& graph,
   ViewOptions options;
   options.blocked = blocked;
   const Csr reverse = build_reverse(graph, options);
-  const std::vector<std::int32_t> dist_to_da = bfs_distances(reverse, {da});
+  const std::vector<std::int32_t> dist_to_da =
+      analytics::bfs_distances(reverse, {da});
 
   DaReachability result;
   const std::vector<NodeIndex> users = regular_users(graph);

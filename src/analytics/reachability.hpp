@@ -7,17 +7,21 @@
 #include <vector>
 
 #include "analytics/graph_view.hpp"
+#include "util/csr.hpp"
 
 namespace adsynth::analytics {
 
-inline constexpr std::int32_t kUnreachable = -1;
+inline constexpr std::int32_t kUnreachable = util::kBfsUnreachable;
 
 /// Multi-source BFS over a CSR view; returns hop distances (kUnreachable
 /// where no path exists).  Large graphs expand the frontier level-
 /// synchronously across util::global_pool(); distances are deterministic
 /// at every thread count (all claimants of a node offer the same level).
-std::vector<std::int32_t> bfs_distances(const Csr& csr,
-                                        const std::vector<NodeIndex>& sources);
+/// The kernel lives in util/csr.cpp so the graphdb query executor can run
+/// the same machinery (variable-length patterns stay bit-identical to this
+/// oracle); the using-declaration makes the analytics name and the
+/// ADL-visible util name one entity, keeping unqualified calls unambiguous.
+using util::bfs_distances;
 
 /// One shortest path (as a node sequence source..target) or nullopt.
 std::optional<std::vector<NodeIndex>> shortest_path(const Csr& forward,

@@ -1,8 +1,14 @@
 #include "graphdb/csv_io.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <fstream>
+#include <istream>
 #include <ostream>
+#include <unordered_map>
 #include <vector>
+
+#include "util/json.hpp"
 
 namespace adsynth::graphdb {
 
@@ -22,6 +28,92 @@ std::string csv_escape(const std::string& field) {
 }
 
 namespace {
+
+/// Could this raw string be read back as JSON?  Cheap prefilter so the
+/// common case (AD names, SIDs, FQDNs — all starting with a letter) skips
+/// the parse attempt on export.
+bool maybe_json(const std::string& s) {
+  const char c = s.front();
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '"' || c == '[' || c == '{' || c == ' ' || c == '\t' ||
+         c == '\n' || c == '\r' || s == "true" || s == "false" ||
+         s == "null";
+}
+
+bool parses_as_json(const std::string& s) {
+  try {
+    (void)util::JsonValue::parse(s);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Reads one CSV record; quoted fields may contain commas, doubled quotes
+/// and newlines.  Returns false on clean end-of-stream.
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
+  fields.clear();
+  int c = in.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  std::string field;
+  bool in_quotes = false;
+  while (true) {
+    if (c == std::istream::traits_type::eof()) {
+      fields.push_back(std::move(field));
+      return true;
+    }
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else if (ch != '\r') {  // line-ending CR; quoted CRs stay above
+      field.push_back(ch);
+    }
+    c = in.get();
+  }
+}
+
+std::uint64_t parse_id(const std::string& cell, const char* what) {
+  std::uint64_t id = 0;
+  const auto [p, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), id);
+  if (ec != std::errc{} || p != cell.data() + cell.size()) {
+    throw std::runtime_error(std::string("CSV import: bad ") + what +
+                             " id '" + cell + "'");
+  }
+  return id;
+}
+
+std::vector<std::string> split_labels(const std::string& cell) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : cell) {
+    if (c == ';') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
 
 /// Property keys actually used by at least one record of the given kind.
 std::vector<PropertyKeyId> used_keys(const GraphStore& store, bool nodes) {
@@ -55,12 +147,29 @@ void write_property_cells(const PropertyList& props,
   for (const PropertyKeyId key : keys) {
     out << ',';
     if (const PropertyValue* v = get_property(props, key)) {
-      out << csv_escape(v->index_key());
+      out << csv_escape(encode_property_cell(*v));
     }
   }
 }
 
 }  // namespace
+
+std::string encode_property_cell(const PropertyValue& value) {
+  if (value.is_string()) {
+    const std::string& s = value.as_string();
+    // Raw only when unambiguous: non-empty and not readable as JSON.
+    if (!s.empty() && (!maybe_json(s) || !parses_as_json(s))) return s;
+  }
+  return value.to_json().dump();
+}
+
+PropertyValue decode_property_cell(const std::string& cell) {
+  try {
+    return PropertyValue::from_json(util::JsonValue::parse(cell));
+  } catch (const std::exception&) {
+    return PropertyValue(cell);
+  }
+}
 
 void export_nodes_csv(const GraphStore& store, std::ostream& out) {
   const auto keys = used_keys(store, /*nodes=*/true);
@@ -122,6 +231,77 @@ void export_csv_files(const GraphStore& store, const std::string& prefix) {
     if (!edges) throw std::runtime_error("write failed: " + prefix +
                                          "_edges.csv");
   }
+}
+
+CsvImportStats import_csv(GraphStore& store, std::istream& nodes_in,
+                          std::istream& edges_in) {
+  CsvImportStats stats;
+  std::vector<std::string> row;
+
+  if (!read_csv_record(nodes_in, row) || row.size() < 2 || row[0] != "id" ||
+      row[1] != "labels") {
+    throw std::runtime_error("CSV import: bad nodes header");
+  }
+  const std::vector<std::string> node_keys(row.begin() + 2, row.end());
+  std::unordered_map<std::uint64_t, NodeId> id_map;
+  while (read_csv_record(nodes_in, row)) {
+    if (row.size() != node_keys.size() + 2) {
+      throw std::runtime_error("CSV import: ragged nodes row");
+    }
+    const std::uint64_t old_id = parse_id(row[0], "node");
+    PropertyList props;
+    for (std::size_t i = 0; i < node_keys.size(); ++i) {
+      if (row[2 + i].empty()) continue;  // absent property
+      put_property(props, store.intern_key(node_keys[i]),
+                   decode_property_cell(row[2 + i]));
+    }
+    const NodeId n = store.create_node(split_labels(row[1]), std::move(props));
+    if (!id_map.emplace(old_id, n).second) {
+      throw std::runtime_error("CSV import: duplicate node id " + row[0]);
+    }
+    ++stats.nodes;
+  }
+
+  if (!read_csv_record(edges_in, row) || row.size() < 3 ||
+      row[0] != "source" || row[1] != "target" || row[2] != "type") {
+    throw std::runtime_error("CSV import: bad edges header");
+  }
+  const std::vector<std::string> edge_keys(row.begin() + 3, row.end());
+  while (read_csv_record(edges_in, row)) {
+    if (row.size() != edge_keys.size() + 3) {
+      throw std::runtime_error("CSV import: ragged edges row");
+    }
+    const auto source = id_map.find(parse_id(row[0], "edge source"));
+    const auto target = id_map.find(parse_id(row[1], "edge target"));
+    if (source == id_map.end() || target == id_map.end()) {
+      throw std::runtime_error("CSV import: edge references unknown node (" +
+                               row[0] + " -> " + row[1] + ")");
+    }
+    PropertyList props;
+    for (std::size_t i = 0; i < edge_keys.size(); ++i) {
+      if (row[3 + i].empty()) continue;
+      put_property(props, store.intern_key(edge_keys[i]),
+                   decode_property_cell(row[3 + i]));
+    }
+    store.create_relationship(source->second, target->second, row[2],
+                              std::move(props));
+    ++stats.rels;
+  }
+  return stats;
+}
+
+CsvImportStats import_csv_files(GraphStore& store, const std::string& prefix) {
+  std::ifstream nodes(prefix + "_nodes.csv", std::ios::binary);
+  if (!nodes) {
+    throw std::runtime_error("cannot open for read: " + prefix +
+                             "_nodes.csv");
+  }
+  std::ifstream edges(prefix + "_edges.csv", std::ios::binary);
+  if (!edges) {
+    throw std::runtime_error("cannot open for read: " + prefix +
+                             "_edges.csv");
+  }
+  return import_csv(store, nodes, edges);
 }
 
 }  // namespace adsynth::graphdb

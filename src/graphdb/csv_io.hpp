@@ -1,8 +1,17 @@
-// CSV export of a graph store: `nodes.csv` (id, labels, one column per
-// property key) and `edges.csv` (source, target, type, properties).  The
-// tabular form feeds spreadsheet/pandas-style analysis of generated AD
+// CSV export/import of a graph store: `nodes.csv` (id, labels, one column
+// per property key) and `edges.csv` (source, target, type, properties).
+// The tabular form feeds spreadsheet/pandas-style analysis of generated AD
 // estates; the authoritative interchange format remains APOC JSON
 // (neo4j_io.hpp).
+//
+// Property cells are typed: a plain string exports raw when it cannot be
+// mistaken for anything else, every other value (and any ambiguous string,
+// e.g. "true" or "42") exports as its JSON rendering.  Import reverses the
+// rule — a cell that parses as JSON is the corresponding typed value, an
+// unparseable cell is a raw string, an empty cell is an absent property —
+// so export -> import round-trips property values bit-identically (the
+// earlier index_key() cells erased types: exported booleans, numbers and
+// lists all came back as strings).
 #pragma once
 
 #include <iosfwd>
@@ -16,6 +25,13 @@ namespace adsynth::graphdb {
 /// newlines are wrapped in double quotes with inner quotes doubled.
 std::string csv_escape(const std::string& field);
 
+/// Typed property-cell rendering (before csv_escape); see the codec note
+/// in the header comment.
+std::string encode_property_cell(const PropertyValue& value);
+
+/// Inverse of encode_property_cell for a non-empty cell.
+PropertyValue decode_property_cell(const std::string& cell);
+
 /// Writes one row per live node: `id,labels,<key1>,<key2>,...` where labels
 /// are ';'-joined and the property columns are the union of all node
 /// property keys in deterministic (key-id) order.
@@ -27,5 +43,21 @@ void export_edges_csv(const GraphStore& store, std::ostream& out);
 /// Convenience: writes `<prefix>_nodes.csv` and `<prefix>_edges.csv`.
 /// Throws std::runtime_error on I/O failure.
 void export_csv_files(const GraphStore& store, const std::string& prefix);
+
+struct CsvImportStats {
+  std::size_t nodes = 0;
+  std::size_t rels = 0;
+};
+
+/// Rebuilds a store from the two CSV streams produced by the exporters.
+/// Node ids in the files are remapped onto freshly created nodes (the
+/// export skips tombstones, so ids need not be dense).  Throws
+/// std::runtime_error on malformed input (bad header, ragged row, unknown
+/// endpoint id).
+CsvImportStats import_csv(GraphStore& store, std::istream& nodes_in,
+                          std::istream& edges_in);
+
+/// Convenience: reads `<prefix>_nodes.csv` and `<prefix>_edges.csv`.
+CsvImportStats import_csv_files(GraphStore& store, const std::string& prefix);
 
 }  // namespace adsynth::graphdb

@@ -1,707 +1,137 @@
 #include "graphdb/cypher.hpp"
 
 #include <cctype>
-#include <charconv>
-#include <optional>
+#include <utility>
 
-#include "util/strings.hpp"
+#include "graphdb/cypher_parser.hpp"
 #include "util/trace.hpp"
 
 namespace adsynth::graphdb {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind : std::uint8_t {
-  kIdent,    // bare word (keywords, variable names, labels, keys)
-  kString,   // quoted string literal (unescaped)
-  kNumber,   // numeric literal text
-  kPunct,    // single punctuation char
-  kArrow,    // ->
-  kEnd,
-};
-
-struct Token {
-  TokKind kind = TokKind::kEnd;
-  std::string text;
-  char punct = 0;
-};
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view text) : text_(text) { advance(); }
-
-  const Token& peek() const { return current_; }
-
-  Token take() {
-    Token t = std::move(current_);
-    advance();
-    return t;
-  }
-
-  [[noreturn]] void fail(const std::string& why) const {
-    throw CypherError("Cypher parse error near byte " + std::to_string(pos_) +
-                      ": " + why + " in statement: " + std::string(text_));
-  }
-
- private:
-  void advance() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    current_ = Token{};
-    if (pos_ >= text_.size()) {
-      current_.kind = TokKind::kEnd;
-      return;
-    }
-    const char c = text_[pos_];
-    if (c == '\'' || c == '"') {
-      const char quote = c;
-      ++pos_;
-      std::string out;
-      while (pos_ < text_.size() && text_[pos_] != quote) {
-        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
-          ++pos_;
-          switch (text_[pos_]) {
-            case 'n': out.push_back('\n'); break;
-            case 't': out.push_back('\t'); break;
-            default: out.push_back(text_[pos_]);
-          }
-        } else {
-          out.push_back(text_[pos_]);
-        }
-        ++pos_;
+/// Plan-cache key: statement text with whitespace runs collapsed to one
+/// space and the trailing semicolon stripped, so trivially reformatted
+/// statements share a plan.  Quote-aware — whitespace inside string
+/// literals is significant (collapsing it would alias distinct statements
+/// onto one cache entry).
+std::string normalize_statement(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  char quote = 0;
+  bool pending_space = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quote != 0) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < text.size()) {
+        out.push_back(text[++i]);
+        continue;
       }
-      if (pos_ >= text_.size()) fail("unterminated string literal");
-      ++pos_;  // closing quote
-      current_.kind = TokKind::kString;
-      current_.text = std::move(out);
-      return;
+      if (c == quote) quote = 0;
+      continue;
     }
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::size_t start = pos_;
-      while (pos_ < text_.size() &&
-             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '_')) {
-        ++pos_;
-      }
-      current_.kind = TokKind::kIdent;
-      current_.text = std::string(text_.substr(start, pos_ - start));
-      return;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
     }
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '-' && pos_ + 1 < text_.size() &&
-         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
-      std::size_t start = pos_;
-      if (c == '-') ++pos_;
-      while (pos_ < text_.size() &&
-             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-              text_[pos_] == '+' ||
-              (text_[pos_] == '-' &&
-               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
-        ++pos_;
-      }
-      current_.kind = TokKind::kNumber;
-      current_.text = std::string(text_.substr(start, pos_ - start));
-      return;
-    }
-    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
-      pos_ += 2;
-      current_.kind = TokKind::kArrow;
-      current_.text = "->";
-      return;
-    }
-    current_.kind = TokKind::kPunct;
-    current_.punct = c;
-    current_.text = std::string(1, c);
-    ++pos_;
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    if (c == '\'' || c == '"') quote = c;
+    out.push_back(c);
   }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  Token current_;
-};
-
-// ---------------------------------------------------------------------------
-// AST
-// ---------------------------------------------------------------------------
-
-struct NodePattern {
-  std::string variable;
-  std::vector<std::string> labels;
-  std::vector<std::pair<std::string, PropertyValue>> properties;
-};
-
-struct RelPattern {
-  std::string variable;  // bound name in traversal patterns ("r")
-  std::string from_var;
-  std::string to_var;
-  std::string type;
-  std::vector<std::pair<std::string, PropertyValue>> properties;
-};
-
-struct SetClause {
-  std::string variable;
-  std::string key;
-  PropertyValue value;
-};
-
-enum class Verb : std::uint8_t {
-  kCreateNode,
-  kMergeNode,
-  kMatchCreateRel,
-  kMatchMergeRel,
-  kMatchReturnNodes,
-  kMatchReturnCount,
-  kMatchSet,
-  kMatchDeleteNode,          // MATCH (n:L {..}) [DETACH] DELETE n
-  kMatchPatternReturnCount,  // MATCH (a)-[r:T]->(b) RETURN count(r)
-  kMatchPatternDelete,       // MATCH (a)-[r:T]->(b) DELETE r
-  kCreateIndex,
-};
-
-struct Statement {
-  Verb verb = Verb::kCreateNode;
-  std::vector<NodePattern> patterns;  // CREATE targets or MATCH patterns
-  std::optional<RelPattern> rel;
-  std::optional<SetClause> set_clause;
-  std::string delete_var;  // kMatchDeleteNode: the bound node variable
-  bool detach = false;     // kMatchDeleteNode: DETACH DELETE
-  std::string index_label;
-  std::string index_key;
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : lex_(text) {}
-
-  Statement parse() {
-    Statement stmt;
-    const Token head = expect_ident();
-    if (util::iequals(head.text, "CREATE")) {
-      if (lex_.peek().kind == TokKind::kIdent &&
-          util::iequals(lex_.peek().text, "INDEX")) {
-        lex_.take();
-        parse_create_index(stmt);
-        return stmt;
-      }
-      stmt.verb = Verb::kCreateNode;
-      stmt.patterns.push_back(parse_node_pattern());
-      while (is_punct(',')) {
-        lex_.take();
-        stmt.patterns.push_back(parse_node_pattern());
-      }
-      expect_end();
-      return stmt;
-    }
-    if (util::iequals(head.text, "MERGE")) {
-      stmt.verb = Verb::kMergeNode;
-      stmt.patterns.push_back(parse_node_pattern());
-      expect_end();
-      return stmt;
-    }
-    if (util::iequals(head.text, "MATCH")) {
-      stmt.patterns.push_back(parse_node_pattern());
-      if (is_punct('-')) {
-        // Traversal pattern: (a)-[r:T {..}]->(b) followed by RETURN/DELETE.
-        lex_.take();
-        expect_punct('[');
-        RelPattern rel;
-        if (lex_.peek().kind == TokKind::kIdent) {
-          rel.variable = lex_.take().text;
-        }
-        expect_punct(':');
-        rel.type = expect_ident().text;
-        if (is_punct('{')) rel.properties = parse_property_map();
-        expect_punct(']');
-        const Token arrow = lex_.take();
-        if (arrow.kind != TokKind::kArrow) lex_.fail("expected ->");
-        stmt.patterns.push_back(parse_node_pattern());
-        rel.from_var = stmt.patterns[0].variable;
-        rel.to_var = stmt.patterns[1].variable;
-        stmt.rel = std::move(rel);
-        const Token verb = expect_ident();
-        if (util::iequals(verb.text, "RETURN")) {
-          const Token what = lex_.take();
-          if (what.kind != TokKind::kIdent ||
-              !util::iequals(what.text, "count")) {
-            lex_.fail("traversal MATCH supports RETURN count(...) only");
-          }
-          expect_punct('(');
-          expect_ident();
-          expect_punct(')');
-          stmt.verb = Verb::kMatchPatternReturnCount;
-        } else if (util::iequals(verb.text, "DELETE")) {
-          const Token what = expect_ident();
-          if (stmt.rel->variable.empty() || what.text != stmt.rel->variable) {
-            lex_.fail("DELETE expects the bound relationship variable");
-          }
-          stmt.verb = Verb::kMatchPatternDelete;
-        } else {
-          lex_.fail("expected RETURN or DELETE after traversal MATCH");
-        }
-        expect_end();
-        return stmt;
-      }
-      while (is_punct(',')) {
-        lex_.take();
-        stmt.patterns.push_back(parse_node_pattern());
-      }
-      const Token verb = expect_ident();
-      if (util::iequals(verb.text, "CREATE") ||
-          util::iequals(verb.text, "MERGE")) {
-        stmt.verb = util::iequals(verb.text, "CREATE") ? Verb::kMatchCreateRel
-                                                       : Verb::kMatchMergeRel;
-        stmt.rel = parse_rel_pattern();
-        expect_end();
-        return stmt;
-      }
-      if (util::iequals(verb.text, "RETURN")) {
-        const Token what = lex_.take();
-        if (what.kind == TokKind::kIdent &&
-            util::iequals(what.text, "count")) {
-          expect_punct('(');
-          expect_ident();  // variable
-          expect_punct(')');
-          stmt.verb = Verb::kMatchReturnCount;
-        } else if (what.kind == TokKind::kIdent) {
-          stmt.verb = Verb::kMatchReturnNodes;
-        } else {
-          lex_.fail("expected variable or count(...) after RETURN");
-        }
-        expect_end();
-        return stmt;
-      }
-      if (util::iequals(verb.text, "SET")) {
-        SetClause set;
-        set.variable = expect_ident().text;
-        expect_punct('.');
-        set.key = expect_ident().text;
-        expect_punct('=');
-        set.value = parse_value();
-        stmt.set_clause = std::move(set);
-        stmt.verb = Verb::kMatchSet;
-        expect_end();
-        return stmt;
-      }
-      if (util::iequals(verb.text, "DETACH") ||
-          util::iequals(verb.text, "DELETE")) {
-        stmt.detach = util::iequals(verb.text, "DETACH");
-        if (stmt.detach) {
-          const Token del = expect_ident();
-          if (!util::iequals(del.text, "DELETE")) {
-            lex_.fail("expected DELETE after DETACH");
-          }
-        }
-        stmt.delete_var = expect_ident().text;
-        bool bound = false;
-        for (const NodePattern& p : stmt.patterns) {
-          bound = bound || p.variable == stmt.delete_var;
-        }
-        if (!bound) lex_.fail("DELETE expects a bound node variable");
-        stmt.verb = Verb::kMatchDeleteNode;
-        expect_end();
-        return stmt;
-      }
-      lex_.fail("expected CREATE, MERGE, RETURN, SET or DELETE after MATCH");
-    }
-    lex_.fail("expected CREATE, MERGE or MATCH");
-  }
-
- private:
-  bool is_punct(char c) const {
-    return lex_.peek().kind == TokKind::kPunct && lex_.peek().punct == c;
-  }
-
-  Token expect_ident() {
-    Token t = lex_.take();
-    if (t.kind != TokKind::kIdent) lex_.fail("expected identifier");
-    return t;
-  }
-
-  void expect_punct(char c) {
-    Token t = lex_.take();
-    if (t.kind != TokKind::kPunct || t.punct != c) {
-      lex_.fail(std::string("expected '") + c + "'");
-    }
-  }
-
-  void expect_end() {
-    // Allow a trailing semicolon.
-    if (is_punct(';')) lex_.take();
-    if (lex_.peek().kind != TokKind::kEnd) lex_.fail("trailing tokens");
-  }
-
-  void parse_create_index(Statement& stmt) {
-    // CREATE INDEX ON :Label(key)
-    const Token on = expect_ident();
-    if (!util::iequals(on.text, "ON")) lex_.fail("expected ON");
-    expect_punct(':');
-    stmt.index_label = expect_ident().text;
-    expect_punct('(');
-    stmt.index_key = expect_ident().text;
-    expect_punct(')');
-    stmt.verb = Verb::kCreateIndex;
-    expect_end();
-  }
-
-  NodePattern parse_node_pattern() {
-    NodePattern node;
-    expect_punct('(');
-    if (lex_.peek().kind == TokKind::kIdent) {
-      node.variable = lex_.take().text;
-    }
-    while (is_punct(':')) {
-      lex_.take();
-      node.labels.push_back(expect_ident().text);
-    }
-    if (is_punct('{')) node.properties = parse_property_map();
-    expect_punct(')');
-    return node;
-  }
-
-  RelPattern parse_rel_pattern() {
-    // (a)-[:TYPE {props}]->(b)
-    RelPattern rel;
-    expect_punct('(');
-    rel.from_var = expect_ident().text;
-    expect_punct(')');
-    expect_punct('-');
-    expect_punct('[');
-    if (lex_.peek().kind == TokKind::kIdent) lex_.take();  // rel variable
-    expect_punct(':');
-    rel.type = expect_ident().text;
-    if (is_punct('{')) rel.properties = parse_property_map();
-    expect_punct(']');
-    const Token arrow = lex_.take();
-    if (arrow.kind != TokKind::kArrow) lex_.fail("expected ->");
-    expect_punct('(');
-    rel.to_var = expect_ident().text;
-    expect_punct(')');
-    return rel;
-  }
-
-  std::vector<std::pair<std::string, PropertyValue>> parse_property_map() {
-    std::vector<std::pair<std::string, PropertyValue>> props;
-    expect_punct('{');
-    if (is_punct('}')) {
-      lex_.take();
-      return props;
-    }
-    while (true) {
-      Token key = lex_.take();
-      if (key.kind != TokKind::kIdent && key.kind != TokKind::kString) {
-        lex_.fail("expected property key");
-      }
-      expect_punct(':');
-      props.emplace_back(key.text, parse_value());
-      const Token sep = lex_.take();
-      if (sep.kind == TokKind::kPunct && sep.punct == '}') break;
-      if (sep.kind != TokKind::kPunct || sep.punct != ',') {
-        lex_.fail("expected ',' or '}' in property map");
-      }
-    }
-    return props;
-  }
-
-  PropertyValue parse_value() {
-    const Token t = lex_.take();
-    switch (t.kind) {
-      case TokKind::kString: return PropertyValue(t.text);
-      case TokKind::kNumber: {
-        if (t.text.find_first_of(".eE") == std::string::npos) {
-          std::int64_t i = 0;
-          auto [p, ec] =
-              std::from_chars(t.text.data(), t.text.data() + t.text.size(), i);
-          if (ec == std::errc{} && p == t.text.data() + t.text.size()) {
-            return PropertyValue(i);
-          }
-        }
-        double d = 0.0;
-        auto [p, ec] =
-            std::from_chars(t.text.data(), t.text.data() + t.text.size(), d);
-        if (ec != std::errc{} || p != t.text.data() + t.text.size()) {
-          lex_.fail("bad numeric literal '" + t.text + "'");
-        }
-        return PropertyValue(d);
-      }
-      case TokKind::kIdent:
-        if (util::iequals(t.text, "true")) return PropertyValue(true);
-        if (util::iequals(t.text, "false")) return PropertyValue(false);
-        if (util::iequals(t.text, "null")) return PropertyValue(nullptr);
-        lex_.fail("unexpected identifier '" + t.text + "' as value");
-      case TokKind::kPunct:
-        if (t.punct == '[') {
-          std::vector<std::string> list;
-          if (is_punct(']')) {
-            lex_.take();
-            return PropertyValue(std::move(list));
-          }
-          while (true) {
-            const Token item = lex_.take();
-            if (item.kind != TokKind::kString) {
-              lex_.fail("lists may only contain strings");
-            }
-            list.push_back(item.text);
-            const Token sep = lex_.take();
-            if (sep.kind == TokKind::kPunct && sep.punct == ']') break;
-            if (sep.kind != TokKind::kPunct || sep.punct != ',') {
-              lex_.fail("expected ',' or ']' in list");
-            }
-          }
-          return PropertyValue(std::move(list));
-        }
-        [[fallthrough]];
-      default: lex_.fail("expected a value");
-    }
-  }
-
-  Lexer lex_;
-};
-
-// ---------------------------------------------------------------------------
-// Execution
-// ---------------------------------------------------------------------------
-
-PropertyList to_property_list(
-    GraphStore& store,
-    const std::vector<std::pair<std::string, PropertyValue>>& props) {
-  PropertyList list;
-  list.reserve(props.size());
-  for (const auto& [key, value] : props) {
-    put_property(list, store.intern_key(key), value);
-  }
-  return list;
-}
-
-std::vector<NodeId> match_pattern(GraphStore& store,
-                                  const NodePattern& pattern) {
-  if (pattern.labels.empty()) {
-    throw CypherError("Cypher-lite requires a label on MATCH patterns");
-  }
-  // Anchor on the first (label, property) pair; refine with the rest.
-  std::vector<NodeId> candidates;
-  if (!pattern.properties.empty()) {
-    candidates = store.find_nodes(pattern.labels[0],
-                                  pattern.properties[0].first,
-                                  pattern.properties[0].second);
-  } else {
-    candidates = store.nodes_with_label(pattern.labels[0]);
-  }
-  std::vector<NodeId> out;
-  for (const NodeId n : candidates) {
-    bool ok = !store.node(n).deleted;
-    for (std::size_t li = 1; ok && li < pattern.labels.size(); ++li) {
-      const auto label = store.find_label(pattern.labels[li]);
-      ok = label.has_value() && store.node_has_label(n, *label);
-    }
-    for (std::size_t pi = ok && !pattern.properties.empty() ? 1 : 0;
-         ok && pi < pattern.properties.size(); ++pi) {
-      const PropertyValue* v =
-          store.node_property(n, pattern.properties[pi].first);
-      ok = v != nullptr && *v == pattern.properties[pi].second;
-    }
-    if (ok) out.push_back(n);
+  // Trailing ';' (and the space a `... ;` spelling leaves before it) is
+  // not part of the statement identity.
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
   }
   return out;
-}
-
-/// Enumerates relationships matching a traversal pattern
-/// (left)-[:type {props}]->(right); calls fn(RelId) per hit.
-template <typename Fn>
-std::size_t for_each_pattern_match(GraphStore& store, const Statement& stmt,
-                                   Fn&& fn) {
-  const NodePattern& left = stmt.patterns[0];
-  const NodePattern& right = stmt.patterns[1];
-  const auto type = store.find_rel_type(stmt.rel->type);
-  if (!type) return 0;
-
-  auto right_matches = [&](NodeId n) {
-    if (store.node(n).deleted) return false;
-    for (const auto& lbl : right.labels) {
-      const auto l = store.find_label(lbl);
-      if (!l || !store.node_has_label(n, *l)) return false;
-    }
-    for (const auto& [key, value] : right.properties) {
-      const PropertyValue* pv = store.node_property(n, key);
-      if (pv == nullptr || !(*pv == value)) return false;
-    }
-    return true;
-  };
-
-  std::size_t hits = 0;
-  for (const NodeId a : match_pattern(store, left)) {
-    for (const RelId r : store.node(a).out_rels) {
-      const RelRecord& rec = store.rel(r);
-      if (rec.deleted || rec.type != *type) continue;
-      bool rel_ok = true;
-      for (const auto& [key, value] : stmt.rel->properties) {
-        const auto key_id = store.find_key(key);
-        const PropertyValue* pv =
-            key_id ? get_property(rec.properties, *key_id) : nullptr;
-        if (pv == nullptr || !(*pv == value)) {
-          rel_ok = false;
-          break;
-        }
-      }
-      if (!rel_ok || !right_matches(rec.target)) continue;
-      ++hits;
-      fn(r);
-    }
-  }
-  return hits;
-}
-
-NodeId match_single(GraphStore& store, const NodePattern& pattern) {
-  const std::vector<NodeId> matches = match_pattern(store, pattern);
-  if (matches.empty()) {
-    throw CypherError("MATCH found no node for pattern (" + pattern.variable +
-                      ":" + (pattern.labels.empty() ? "" : pattern.labels[0]) +
-                      " ...)");
-  }
-  return matches.front();
-}
-
-/// Executes a parsed statement against the store.  Pure execution: commit
-/// bookkeeping and savepoint handling live in CypherSession::run.
-QueryResult execute(GraphStore& store, const Statement& stmt) {
-  QueryResult result;
-
-  switch (stmt.verb) {
-    case Verb::kCreateNode: {
-      for (const NodePattern& p : stmt.patterns) {
-        const NodeId n =
-            store.create_node(p.labels, to_property_list(store, p.properties));
-        result.nodes.push_back(n);
-        ++result.nodes_created;
-        result.properties_set += p.properties.size();
-      }
-      break;
-    }
-    case Verb::kMergeNode: {
-      const NodePattern& p = stmt.patterns.front();
-      std::vector<NodeId> existing = match_pattern(store, p);
-      if (!existing.empty()) {
-        result.nodes.push_back(existing.front());
-      } else {
-        const NodeId n =
-            store.create_node(p.labels, to_property_list(store, p.properties));
-        result.nodes.push_back(n);
-        ++result.nodes_created;
-        result.properties_set += p.properties.size();
-      }
-      break;
-    }
-    case Verb::kMatchCreateRel:
-    case Verb::kMatchMergeRel: {
-      NodeId from = kNoNode;
-      NodeId to = kNoNode;
-      for (const NodePattern& p : stmt.patterns) {
-        const NodeId n = match_single(store, p);
-        if (p.variable == stmt.rel->from_var) from = n;
-        if (p.variable == stmt.rel->to_var) to = n;
-      }
-      if (from == kNoNode || to == kNoNode) {
-        throw CypherError("relationship endpoints not bound by MATCH");
-      }
-      if (stmt.verb == Verb::kMatchMergeRel) {
-        const auto type = store.find_rel_type(stmt.rel->type);
-        if (type) {
-          for (const RelId r : store.node(from).out_rels) {
-            const RelRecord& rec = store.rel(r);
-            if (!rec.deleted && rec.target == to && rec.type == *type) {
-              result.rels.push_back(r);
-              return result;
-            }
-          }
-        }
-      }
-      const RelId r = store.create_relationship(
-          from, to, stmt.rel->type, to_property_list(store, stmt.rel->properties));
-      result.rels.push_back(r);
-      ++result.rels_created;
-      break;
-    }
-    case Verb::kMatchReturnNodes: {
-      result.nodes = match_pattern(store, stmt.patterns.front());
-      result.count = static_cast<std::int64_t>(result.nodes.size());
-      break;
-    }
-    case Verb::kMatchReturnCount: {
-      result.count = static_cast<std::int64_t>(
-          match_pattern(store, stmt.patterns.front()).size());
-      break;
-    }
-    case Verb::kMatchSet: {
-      const std::vector<NodeId> matches =
-          match_pattern(store, stmt.patterns.front());
-      for (const NodeId n : matches) {
-        store.set_node_property(n, stmt.set_clause->key,
-                                 stmt.set_clause->value);
-        ++result.properties_set;
-      }
-      result.nodes = matches;
-      break;
-    }
-    case Verb::kMatchPatternReturnCount: {
-      result.count = static_cast<std::int64_t>(
-          for_each_pattern_match(store, stmt, [](RelId) {}));
-      break;
-    }
-    case Verb::kMatchDeleteNode: {
-      const NodePattern* target = nullptr;
-      for (const NodePattern& p : stmt.patterns) {
-        if (p.variable == stmt.delete_var) target = &p;
-      }
-      if (target == nullptr) {
-        throw CypherError("DELETE variable not bound by MATCH");
-      }
-      const std::vector<NodeId> doomed = match_pattern(store, *target);
-      for (const NodeId n : doomed) {
-        try {
-          store.delete_node(n, stmt.detach);
-        } catch (const std::logic_error& e) {
-          // Mid-statement failure: the session's savepoint rolls back any
-          // nodes already deleted by this statement.
-          throw CypherError(std::string("cannot DELETE node with live "
-                                        "relationships (use DETACH DELETE): ") +
-                            e.what());
-        }
-        ++result.nodes_deleted;
-      }
-      break;
-    }
-    case Verb::kMatchPatternDelete: {
-      std::vector<RelId> doomed;
-      for_each_pattern_match(store, stmt,
-                             [&](RelId r) { doomed.push_back(r); });
-      for (const RelId r : doomed) store.delete_relationship(r);
-      result.rels_deleted = doomed.size();
-      break;
-    }
-    case Verb::kCreateIndex: {
-      store.create_index(stmt.index_label, stmt.index_key);
-      break;
-    }
-  }
-  return result;
 }
 
 }  // namespace
 
 QueryResult CypherSession::run(std::string_view statement) {
+  return run(statement, Params{});
+}
+
+QueryResult CypherSession::run(std::string_view statement,
+                               const Params& params) {
   ADSYNTH_SPAN("graphdb.statement");
   ADSYNTH_METRIC_COUNT("graphdb.statements", 1);
-  // Parse the statement text from scratch (per-statement, like a driver
-  // sending Cypher to the server).  Parse errors touch nothing.
-  Statement stmt = Parser(statement).parse();
+  const PreparedStatement prepared = prepare_cached(statement);
+  return run_prepared(*prepared, params);
+}
 
-  if (stmt.verb == Verb::kCreateIndex) {
+PreparedStatement CypherSession::prepare(std::string_view statement) {
+  return prepare_cached(statement);
+}
+
+QueryResult CypherSession::execute(const PreparedStatement& statement,
+                                   const Params& params) {
+  if (!statement) {
+    throw CypherError("execute() called with a null PreparedStatement");
+  }
+  ADSYNTH_SPAN("graphdb.statement");
+  ADSYNTH_METRIC_COUNT("graphdb.statements", 1);
+  if (statement->plan.schema_version == store_.schema_version()) {
+    return run_prepared(*statement, params);
+  }
+  // An index was created since this statement was planned; re-plan from
+  // the AST (and refresh the cache's copy, if the key is still resident).
+  PreparedQuery fresh;
+  fresh.normalized = statement->normalized;
+  fresh.plan = cypher::plan(statement->plan.ast, store_);
+  const auto shared = std::make_shared<const PreparedQuery>(std::move(fresh));
+  const auto it = plan_cache_.find(std::string_view(shared->normalized));
+  if (it != plan_cache_.end()) it->second->stmt = shared;
+  return run_prepared(*shared, params);
+}
+
+PreparedStatement CypherSession::prepare_cached(std::string_view statement) {
+  std::string key = normalize_statement(statement);
+  const auto it = plan_cache_.find(std::string_view(key));
+  if (it != plan_cache_.end()) {
+    ++plan_cache_hits_;
+    ADSYNTH_METRIC_COUNT("graphdb.plan_cache.hits", 1);
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    PreparedStatement stmt = it->second->stmt;
+    if (stmt->plan.schema_version != store_.schema_version()) {
+      PreparedQuery fresh;
+      fresh.normalized = stmt->normalized;
+      fresh.plan = cypher::plan(stmt->plan.ast, store_);
+      stmt = std::make_shared<const PreparedQuery>(std::move(fresh));
+      it->second->stmt = stmt;
+    }
+    return stmt;
+  }
+
+  ++plan_cache_misses_;
+  ADSYNTH_METRIC_COUNT("graphdb.plan_cache.misses", 1);
+  // Parse the ORIGINAL text: error byte offsets must refer to what the
+  // caller wrote, not the normalized form.  Parse/plan failures propagate
+  // before anything is cached.
+  PreparedQuery fresh;
+  {
+    ADSYNTH_SPAN("graphdb.query.plan");
+    cypher::Query ast = cypher::parse(statement);
+    fresh.plan = cypher::plan(std::move(ast), store_);
+  }
+  fresh.normalized = std::move(key);
+  const auto shared = std::make_shared<const PreparedQuery>(std::move(fresh));
+  plan_lru_.push_front(CacheEntry{shared->normalized, shared});
+  plan_cache_.emplace(std::string_view(plan_lru_.front().key),
+                      plan_lru_.begin());
+  if (plan_lru_.size() > kPlanCacheCapacity) {
+    plan_cache_.erase(std::string_view(plan_lru_.back().key));
+    plan_lru_.pop_back();
+  }
+  return shared;
+}
+
+QueryResult CypherSession::run_prepared(const PreparedQuery& prepared,
+                                        const Params& params) {
+  const cypher::Query& ast = prepared.plan.ast;
+  if (!ast.explain && ast.verb == cypher::Verb::kCreateIndex) {
     // Schema statement: like Neo4j, it cannot share a transaction with
     // data statements, and it runs outside the undo machinery (an index,
     // like an interned token, survives rollbacks).
@@ -709,7 +139,7 @@ QueryResult CypherSession::run(std::string_view statement) {
       throw CypherError(
           "CREATE INDEX cannot run inside an explicit transaction");
     }
-    QueryResult result = execute(store_, stmt);
+    QueryResult result = cypher::execute_query(store_, prepared.plan, params);
     ++statements_;
     commit_record(result, 1);
     return result;
@@ -722,7 +152,7 @@ QueryResult CypherSession::run(std::string_view statement) {
   store_.begin_undo_scope();
   QueryResult result;
   try {
-    result = execute(store_, stmt);
+    result = cypher::execute_query(store_, prepared.plan, params);
   } catch (...) {
     store_.abort_scope();
     ++statement_rollbacks_;

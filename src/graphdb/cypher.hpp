@@ -1,57 +1,81 @@
-// Cypher-lite: a statement executor over GraphStore covering the query
-// shapes the DBCreator / ADSimulator generation scripts issue against Neo4j.
+// Cypher: a layered query frontend over GraphStore — recursive-descent
+// parser (cypher_parser.hpp) -> typed AST (cypher_ast.hpp) -> cost-based
+// planner (cypher_planner.hpp) -> executor (cypher_exec.hpp) — covering the
+// query shapes the DBCreator / ADSimulator generation scripts issue against
+// Neo4j, plus multi-hop traversals, variable-length paths, WHERE filters,
+// RETURN projections and prepared statements.
 //
 // Supported grammar (case-insensitive keywords):
 //
-//   CREATE (var:Label[:Label2] {key: value, ...})
+//   [EXPLAIN] statement [';']
+//
+//   CREATE (var:Label[:Label2] {key: value, ...})[, (...)]
 //   MERGE  (var:Label {key: value, ...})
 //   MATCH (a:Label {k: v})[, (b:Label {k: v})] CREATE (a)-[:TYPE {..}]->(b)
 //   MATCH (a:Label {k: v})[, (b:Label {k: v})] MERGE  (a)-[:TYPE {..}]->(b)
-//   MATCH (n:Label [{k: v}]) RETURN n | RETURN count(n)
+//   MATCH path [WHERE pred [AND pred]...] RETURN items [LIMIT n]
 //   MATCH (n:Label {k: v}) SET n.key = value
 //   MATCH (n:Label [{k: v}]) [DETACH] DELETE n
-//   MATCH (a:L [{..}])-[r:TYPE]->(b:M [{..}]) RETURN count(r)
-//   MATCH (a:L [{..}])-[r:TYPE]->(b:M [{..}]) DELETE r
+//   MATCH (a:L)-[r:TYPE]->(b:M) DELETE r
 //   CREATE INDEX ON :Label(key)
 //
-// Values: 'string', "string", integers, floats, true/false/null, and
-// [ 'a', 'b' ] string lists.
+//   path  := (n:Label [{..}]) [ -[r:TYPE[*min..max] {..}]-> (m:Label) ]...
+//   pred  := var.key (= | <> | < | <= | > | >=) value
+//   items := count(x) | var | var.key  [, ...]
+//   value := 'string' | "string" | 42 | 1.5 | true | false | null
+//            | ['a', 'b'] | $param
+//
+// Variable-length patterns `-[:TYPE*min..max]->` (also `*`, `*n`, `*..max`,
+// `*min..`) have shortest-distance semantics: (a, b) matches when the BFS
+// hop distance from a to b over TYPE edges lies in [min, max] — each node
+// pair appears once, exactly what `analytics::bfs_distances` computes.
+//
+// EXPLAIN returns the chosen plan in QueryResult::plan without executing:
+//
+//   EXPLAIN MATCH (n:User {name: $name})-[:MemberOf*1..3]->(g:Group)
+//   RETURN count(g)
+//     -> IndexSeek :User(name = $name) ~rows=1
+//        ExpandVarLength -[:MemberOf*1..3]-> (BFS, ...)
+//        Project count(g)
+//
+// $param placeholders bind at execution time, so one parsed+planned
+// statement is reusable:
+//
+//   auto stmt = session.prepare(
+//       "MATCH (n:User {name: $name}) RETURN count(n)");
+//   session.execute(stmt, {{"name", PropertyValue("ALICE")}});
+//
+// run() consults an LRU plan cache keyed on normalized statement text, so
+// hot statement shapes skip the parser; the cache re-plans when
+// GraphStore::schema_version() moves (a new index can change the plan).
 //
 // Transaction semantics follow the Neo4j drivers the original Python tools
 // use.  Every `run()` call outside an explicit transaction is an
-// auto-commit transaction: the statement is parsed from scratch, executed
-// atomically (a mid-statement failure rolls the store back to the
-// statement boundary), and one commit record is appended to the journal.
-// That per-statement cost is deliberate — it reproduces the transaction
-// overhead the paper identifies as the baselines' bottleneck (Table I) —
-// and is ablated in bench_ablation_txn.  Inside begin_transaction() /
-// commit(), each statement runs under a savepoint: a failed statement
-// rolls back to the statement boundary and the transaction stays open,
-// and rollback() undoes the whole batch.  The journal is a bounded ring
-// of structured commit records: memory stays flat across million-statement
-// imports.
+// auto-commit transaction: the statement is executed atomically (a
+// mid-statement failure rolls the store back to the statement boundary)
+// and one commit record is appended to the journal.  That per-statement
+// cost is deliberate — it reproduces the transaction overhead the paper
+// identifies as the baselines' bottleneck (Table I) — and is ablated in
+// bench_ablation_txn.  Inside begin_transaction() / commit(), each
+// statement runs under a savepoint: a failed statement rolls back to the
+// statement boundary and the transaction stays open, and rollback() undoes
+// the whole batch.  The journal is a bounded ring of structured commit
+// records: memory stays flat across million-statement imports.
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "graphdb/cypher_ast.hpp"
+#include "graphdb/cypher_exec.hpp"
 #include "graphdb/store.hpp"
 
 namespace adsynth::graphdb {
-
-/// Outcome of one statement.
-struct QueryResult {
-  std::vector<NodeId> nodes;  // matched/created nodes (RETURN n, CREATE ...)
-  std::vector<RelId> rels;    // created relationships
-  std::int64_t count = 0;     // RETURN count(n)
-  std::size_t nodes_created = 0;
-  std::size_t rels_created = 0;
-  std::size_t nodes_deleted = 0;
-  std::size_t rels_deleted = 0;
-  std::size_t properties_set = 0;
-};
 
 /// One committed transaction, WAL-record style.  The journal keeps the most
 /// recent kJournalCapacity of these; lifetime totals live in the session
@@ -66,16 +90,24 @@ struct CommitRecord {
   std::uint32_t properties_set = 0;
 };
 
-/// Thrown on grammar or execution errors, with the offending statement.
-class CypherError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
+/// A parsed + planned statement, ready to execute with any $param binding.
+/// Immutable once built; shared between the session's plan cache and any
+/// handles prepare() returned, so cache eviction never invalidates a
+/// handle.
+struct PreparedQuery {
+  std::string normalized;  // cache key: whitespace-collapsed statement text
+  cypher::PlannedQuery plan;
 };
+
+using PreparedStatement = std::shared_ptr<const PreparedQuery>;
 
 class CypherSession {
  public:
   /// Most recent commit records retained by journal().
   static constexpr std::size_t kJournalCapacity = 1024;
+
+  /// Plan-cache capacity (distinct normalized statement texts).
+  static constexpr std::size_t kPlanCacheCapacity = 256;
 
   explicit CypherSession(GraphStore& store) : store_(store) {
     ring_.reserve(kJournalCapacity);
@@ -84,8 +116,22 @@ class CypherSession {
   /// Executes a single statement as an auto-commit transaction (or, inside
   /// an explicit transaction, as one savepointed statement of that
   /// transaction).  A statement that throws leaves the store exactly as it
-  /// was at the statement boundary.
+  /// was at the statement boundary.  Plans are cached: re-running the same
+  /// statement text skips the parser and planner.
   QueryResult run(std::string_view statement);
+
+  /// run() with $param bindings.
+  QueryResult run(std::string_view statement, const Params& params);
+
+  /// Parses and plans a statement without executing it.  The returned
+  /// handle stays valid for the life of the session and executes with
+  /// execute(); it is also inserted into the plan cache.
+  PreparedStatement prepare(std::string_view statement);
+
+  /// Executes a prepared statement (same transaction semantics as run()).
+  /// Re-plans transparently when an index was created since preparation.
+  QueryResult execute(const PreparedStatement& statement,
+                      const Params& params = {});
 
   /// Begins an explicit transaction: subsequent run() calls batch under a
   /// single commit record (the `session.begin_transaction()` pattern of the
@@ -108,8 +154,7 @@ class CypherSession {
   /// Number of transactions committed so far.
   std::size_t transactions() const { return transactions_; }
 
-  /// Statements executed successfully so far (each parsed individually
-  /// regardless of transaction batching).
+  /// Statements executed successfully so far.
   std::size_t statements() const { return statements_; }
 
   /// Explicit-transaction rollbacks performed via rollback().
@@ -117,6 +162,11 @@ class CypherSession {
 
   /// Statements undone at their savepoint because execution threw.
   std::size_t statement_rollbacks() const { return statement_rollbacks_; }
+
+  /// Plan-cache accounting: run() calls served from / missing the cache.
+  std::size_t plan_cache_hits() const { return plan_cache_hits_; }
+  std::size_t plan_cache_misses() const { return plan_cache_misses_; }
+  std::size_t plan_cache_size() const { return plan_cache_.size(); }
 
   /// The retained commit records, oldest first (at most kJournalCapacity).
   /// Exists so the transaction cost is real work, not an artificial sleep;
@@ -134,6 +184,14 @@ class CypherSession {
   }
 
  private:
+  /// Cache lookup + parse/plan on miss.  Throws CypherError on bad
+  /// statements (parse failures are not cached).
+  PreparedStatement prepare_cached(std::string_view statement);
+
+  /// Transaction/savepoint wrapper shared by every execution entry point.
+  QueryResult run_prepared(const PreparedQuery& prepared,
+                           const Params& params);
+
   void commit_record(const QueryResult& result, std::size_t statement_count);
   void push_record(CommitRecord record);
 
@@ -146,6 +204,19 @@ class CypherSession {
   CommitRecord pending_{};  // accumulates the open transaction's totals
   std::vector<CommitRecord> ring_;  // bounded commit journal
   std::size_t ring_head_ = 0;       // insertion point once the ring is full
+
+  // LRU plan cache: list front = most recently used; map points into the
+  // list.  Entries are shared_ptrs, so eviction cannot invalidate a
+  // PreparedStatement a caller still holds.
+  struct CacheEntry {
+    std::string key;
+    PreparedStatement stmt;
+  };
+  std::list<CacheEntry> plan_lru_;
+  std::unordered_map<std::string_view, std::list<CacheEntry>::iterator>
+      plan_cache_;
+  std::size_t plan_cache_hits_ = 0;
+  std::size_t plan_cache_misses_ = 0;
 };
 
 }  // namespace adsynth::graphdb

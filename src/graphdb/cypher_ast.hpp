@@ -1,0 +1,153 @@
+// Typed AST for the openCypher subset (see cypher.hpp for the statement
+// grammar and cypher_parser.hpp for the parser that produces these).  The
+// AST is value-semantic and store-independent: a parsed Query can be
+// planned against any GraphStore, cached, and executed repeatedly with
+// different $param bindings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graphdb/property.hpp"
+
+namespace adsynth::graphdb {
+
+/// Thrown on grammar, planning or execution errors, with the offending
+/// statement (parse errors name the offending byte offset).
+class CypherError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// $param bindings for one execution of a prepared/parameterized statement.
+/// std::map keeps error messages and iteration deterministic.
+using Params = std::map<std::string, PropertyValue, std::less<>>;
+
+namespace cypher {
+
+/// A value position in a statement: either a literal or a $param
+/// placeholder resolved at execution time.
+struct ValueExpr {
+  PropertyValue literal;
+  std::string param;  // non-empty => placeholder
+
+  ValueExpr() = default;
+  explicit ValueExpr(PropertyValue v) : literal(std::move(v)) {}
+
+  bool is_param() const { return !param.empty(); }
+
+  /// The literal, or the bound value of the placeholder.  Throws
+  /// CypherError when the binding is missing.
+  const PropertyValue& resolve(const Params& params) const {
+    if (!is_param()) return literal;
+    const auto it = params.find(param);
+    if (it == params.end()) {
+      throw CypherError("missing parameter $" + param);
+    }
+    return it->second;
+  }
+};
+
+using PropExprList = std::vector<std::pair<std::string, ValueExpr>>;
+
+struct NodePat {
+  std::string var;
+  std::vector<std::string> labels;
+  PropExprList props;
+};
+
+struct RelPat {
+  /// Open upper bound of a variable-length pattern (`*2..`, bare `*`).
+  static constexpr std::uint32_t kUnboundedHops = 0xffffffffu;
+
+  std::string var;  // bound name ("r"); empty when anonymous
+  std::string type;
+  PropExprList props;
+  bool var_length = false;  // `-[:T*min..max]->`
+  std::uint32_t min_hops = 1;
+  std::uint32_t max_hops = 1;
+};
+
+/// One linear path pattern: nodes.size() == rels.size() + 1.  A single
+/// node pattern is a path with no rels.
+struct PathPattern {
+  std::vector<NodePat> nodes;
+  std::vector<RelPat> rels;
+};
+
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One WHERE conjunct: `var.key <op> value`.
+struct Predicate {
+  std::string var;
+  std::string key;
+  CmpOp op = CmpOp::kEq;
+  ValueExpr value;
+};
+
+/// One RETURN projection.
+struct ReturnItem {
+  enum class Kind : std::uint8_t {
+    kVar,       // RETURN n        (a bound node variable)
+    kProperty,  // RETURN n.key
+    kCount,     // RETURN count(x)
+  };
+  Kind kind = Kind::kVar;
+  std::string var;
+  std::string key;  // kProperty only
+
+  std::string display() const {
+    switch (kind) {
+      case Kind::kVar: return var;
+      case Kind::kProperty: return var + "." + key;
+      case Kind::kCount: return "count(" + var + ")";
+    }
+    return var;
+  }
+};
+
+struct SetItem {
+  std::string var;
+  std::string key;
+  ValueExpr value;
+};
+
+enum class Verb : std::uint8_t {
+  kCreateNodes,     // CREATE (n:L {..})[, ...]
+  kMergeNode,       // MERGE (n:L {..})
+  kMatchCreateRel,  // MATCH ... CREATE (a)-[:T {..}]->(b)
+  kMatchMergeRel,   // MATCH ... MERGE  (a)-[:T {..}]->(b)
+  kMatchRead,       // MATCH path [WHERE ...] RETURN items [LIMIT n]
+  kMatchSet,        // MATCH (n:L {..}) SET n.key = value
+  kMatchDeleteNodes,  // MATCH ... [DETACH] DELETE n   (node variable)
+  kMatchDeleteRels,   // MATCH (a)-[r:T]->(b) DELETE r (rel variable)
+  kCreateIndex,       // CREATE INDEX ON :Label(key)
+};
+
+/// A parsed statement.
+struct Query {
+  bool explain = false;  // EXPLAIN prefix: plan, don't execute
+  Verb verb = Verb::kCreateNodes;
+
+  std::vector<PathPattern> paths;      // MATCH patterns (comma-separated)
+  std::vector<NodePat> create_nodes;   // kCreateNodes / kMergeNode targets
+  std::optional<RelPat> create_rel;    // kMatchCreateRel / kMatchMergeRel
+  std::string rel_from;                // endpoints of create_rel
+  std::string rel_to;
+  std::vector<Predicate> where;
+  std::vector<ReturnItem> returns;
+  std::optional<ValueExpr> limit;
+  std::optional<SetItem> set_item;
+  std::string delete_var;
+  bool detach = false;
+  std::string index_label;
+  std::string index_key;
+};
+
+}  // namespace cypher
+}  // namespace adsynth::graphdb

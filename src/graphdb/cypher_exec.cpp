@@ -1,0 +1,586 @@
+#include "graphdb/cypher_exec.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "util/csr.hpp"
+
+namespace adsynth::graphdb::cypher {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value helpers
+// ---------------------------------------------------------------------------
+
+PropertyList to_property_list(GraphStore& store, const PropExprList& props,
+                              const Params& params) {
+  PropertyList list;
+  list.reserve(props.size());
+  for (const auto& [key, value] : props) {
+    put_property(list, store.intern_key(key), value.resolve(params));
+  }
+  return list;
+}
+
+bool is_numeric(const PropertyValue& v) { return v.is_int() || v.is_double(); }
+
+double as_number(const PropertyValue& v) {
+  return v.is_int() ? static_cast<double>(v.as_int()) : v.as_double();
+}
+
+/// Three-way ordering for WHERE range comparisons; std::nullopt for
+/// incomparable types (the predicate is then false, never an error —
+/// matching Cypher's null-ish comparison semantics).
+std::optional<int> order(const PropertyValue& a, const PropertyValue& b) {
+  if (a.is_int() && b.is_int()) {
+    const std::int64_t x = a.as_int();
+    const std::int64_t y = b.as_int();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (is_numeric(a) && is_numeric(b)) {
+    const double x = as_number(a);
+    const double y = as_number(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.is_string() && b.is_string()) {
+    const int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+  }
+  return std::nullopt;
+}
+
+/// Evaluates `lhs <op> rhs`; a missing property (nullptr) never matches.
+/// Equality is exact variant equality (same semantics as inline `{k: v}`
+/// pattern properties); range operators compare numerics cross-type.
+bool eval_cmp(const PropertyValue* lhs, CmpOp op, const PropertyValue& rhs) {
+  if (lhs == nullptr) return false;
+  switch (op) {
+    case CmpOp::kEq: return *lhs == rhs;
+    case CmpOp::kNe: return !(*lhs == rhs);
+    default: break;
+  }
+  const std::optional<int> o = order(*lhs, rhs);
+  if (!o) return false;
+  switch (op) {
+    case CmpOp::kLt: return *o < 0;
+    case CmpOp::kLe: return *o <= 0;
+    case CmpOp::kGt: return *o > 0;
+    case CmpOp::kGe: return *o >= 0;
+    default: return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node-pattern matching (single comma patterns; same anchoring as the
+// original executor: find_nodes on the first property, else a label scan)
+// ---------------------------------------------------------------------------
+
+bool node_matches(const GraphStore& store, NodeId n, const NodePat& pat,
+                  const Params& params) {
+  if (store.node(n).deleted) return false;
+  for (const std::string& label : pat.labels) {
+    const auto l = store.find_label(label);
+    if (!l || !store.node_has_label(n, *l)) return false;
+  }
+  for (const auto& [key, value] : pat.props) {
+    const PropertyValue* pv = store.node_property(n, key);
+    if (pv == nullptr || !(*pv == value.resolve(params))) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> match_node_pattern(const GraphStore& store,
+                                       const NodePat& pat,
+                                       const Params& params) {
+  if (pat.labels.empty()) {
+    throw CypherError("Cypher-lite requires a label on MATCH patterns");
+  }
+  std::vector<NodeId> candidates;
+  if (!pat.props.empty()) {
+    candidates = store.find_nodes(pat.labels[0], pat.props[0].first,
+                                  pat.props[0].second.resolve(params));
+  } else {
+    candidates = store.nodes_with_label(pat.labels[0]);
+  }
+  std::vector<NodeId> out;
+  for (const NodeId n : candidates) {
+    if (node_matches(store, n, pat, params)) out.push_back(n);
+  }
+  return out;
+}
+
+NodeId match_single(const GraphStore& store, const NodePat& pat,
+                    const Params& params) {
+  const std::vector<NodeId> matches = match_node_pattern(store, pat, params);
+  if (matches.empty()) {
+    throw CypherError("MATCH found no node for pattern (" + pat.var + ":" +
+                      (pat.labels.empty() ? "" : pat.labels[0]) + " ...)");
+  }
+  return matches.front();
+}
+
+// ---------------------------------------------------------------------------
+// Path expansion (kMatchRead / kMatchDeleteRels)
+// ---------------------------------------------------------------------------
+
+/// One partial/complete pattern match: NodeId per path node, RelId per hop
+/// (kNoRel for variable-length hops, which bind no single relationship).
+struct Row {
+  std::vector<NodeId> nodes;
+  std::vector<RelId> rels;
+};
+
+/// WHERE conjuncts routed to the pattern position that binds their
+/// variable, so filters apply the moment a variable binds.
+struct PredIndex {
+  std::vector<std::vector<const Predicate*>> node_preds;  // per node slot
+  std::vector<std::vector<const Predicate*>> rel_preds;   // per rel slot
+};
+
+PredIndex index_predicates(const Query& q) {
+  const PathPattern& path = q.paths.front();
+  PredIndex idx;
+  idx.node_preds.resize(path.nodes.size());
+  idx.rel_preds.resize(path.rels.size());
+  for (const Predicate& pred : q.where) {
+    for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+      if (!path.nodes[i].var.empty() && path.nodes[i].var == pred.var) {
+        idx.node_preds[i].push_back(&pred);
+      }
+    }
+    for (std::size_t i = 0; i < path.rels.size(); ++i) {
+      if (!path.rels[i].var.empty() && path.rels[i].var == pred.var) {
+        idx.rel_preds[i].push_back(&pred);
+      }
+    }
+  }
+  return idx;
+}
+
+bool node_slot_ok(const GraphStore& store, NodeId n, const NodePat& pat,
+                  const std::vector<const Predicate*>& preds,
+                  const Params& params) {
+  if (!node_matches(store, n, pat, params)) return false;
+  for (const Predicate* pred : preds) {
+    if (!eval_cmp(store.node_property(n, pred->key), pred->op,
+                  pred->value.resolve(params))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool rel_slot_ok(const GraphStore& store, const RelRecord& rec,
+                 const RelPat& pat,
+                 const std::vector<const Predicate*>& preds,
+                 const Params& params) {
+  for (const auto& [key, value] : pat.props) {
+    const auto key_id = store.find_key(key);
+    const PropertyValue* pv =
+        key_id ? get_property(rec.properties, *key_id) : nullptr;
+    if (pv == nullptr || !(*pv == value.resolve(params))) return false;
+  }
+  for (const Predicate* pred : preds) {
+    const auto key_id = store.find_key(pred->key);
+    const PropertyValue* pv =
+        key_id ? get_property(rec.properties, *key_id) : nullptr;
+    if (!eval_cmp(pv, pred->op, pred->value.resolve(params))) return false;
+  }
+  return true;
+}
+
+/// CSR snapshot of the live relationships of one type (and optional rel
+/// properties), oriented along the expansion direction.  Built once per
+/// variable-length hop, then every row's BFS runs on it — this is exactly
+/// the adjacency analytics/reachability builds, so distances agree.
+util::Csr build_hop_csr(const GraphStore& store, const RelPat& pat,
+                        bool forward, const Params& params) {
+  util::Csr csr;
+  const std::size_t n = store.node_capacity();
+  csr.offsets.assign(n + 1, 0);
+  const auto type = store.find_rel_type(pat.type);
+  if (!type) return csr;
+
+  static const std::vector<const Predicate*> kNoPreds;
+  const auto arc_ok = [&](const RelRecord& rec) {
+    return !rec.deleted && rec.type == *type &&
+           !store.node(rec.source).deleted &&
+           !store.node(rec.target).deleted &&
+           rel_slot_ok(store, rec, pat, kNoPreds, params);
+  };
+
+  const std::size_t rel_cap = store.rel_capacity();
+  for (RelId r = 0; r < rel_cap; ++r) {
+    const RelRecord& rec = store.rel(r);
+    if (!arc_ok(rec)) continue;
+    ++csr.offsets[(forward ? rec.source : rec.target) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) csr.offsets[v + 1] += csr.offsets[v];
+  csr.targets.resize(csr.offsets[n]);
+  csr.edge_ids.resize(csr.offsets[n]);
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (RelId r = 0; r < rel_cap; ++r) {
+    const RelRecord& rec = store.rel(r);
+    if (!arc_ok(rec)) continue;
+    const std::uint32_t from = forward ? rec.source : rec.target;
+    const std::uint32_t to = forward ? rec.target : rec.source;
+    csr.targets[cursor[from]] = to;
+    csr.edge_ids[cursor[from]] = r;
+    ++cursor[from];
+  }
+  return csr;
+}
+
+/// Expands all rows across hop `hop` of the path.  `forward` is the
+/// planner's expansion direction: forward rows extend nodes[hop] ->
+/// nodes[hop+1] over out_rels; backward rows extend nodes[hop+1] ->
+/// nodes[hop] over in_rels.
+std::vector<Row> expand_hop(const GraphStore& store, const Query& q,
+                            const PredIndex& preds, std::vector<Row> rows,
+                            std::size_t hop, bool forward,
+                            const Params& params) {
+  const PathPattern& path = q.paths.front();
+  const RelPat& rel_pat = path.rels[hop];
+  const std::size_t src_slot = forward ? hop : hop + 1;
+  const std::size_t dst_slot = forward ? hop + 1 : hop;
+  const NodePat& dst_pat = path.nodes[dst_slot];
+
+  std::vector<Row> out;
+  if (!rel_pat.var_length) {
+    const auto type = store.find_rel_type(rel_pat.type);
+    if (!type) return out;
+    for (const Row& row : rows) {
+      const NodeId src = row.nodes[src_slot];
+      const auto& adjacency =
+          forward ? store.node(src).out_rels : store.node(src).in_rels;
+      for (const RelId r : adjacency) {
+        const RelRecord& rec = store.rel(r);
+        if (rec.deleted || rec.type != *type) continue;
+        if (!rel_slot_ok(store, rec, rel_pat, preds.rel_preds[hop], params)) {
+          continue;
+        }
+        const NodeId dst = forward ? rec.target : rec.source;
+        if (!node_slot_ok(store, dst, dst_pat, preds.node_preds[dst_slot],
+                          params)) {
+          continue;
+        }
+        Row next = row;
+        next.rels[hop] = r;
+        next.nodes[dst_slot] = dst;
+        out.push_back(std::move(next));
+      }
+    }
+    return out;
+  }
+
+  // Variable-length hop: bounded BFS on a CSR snapshot.  Semantics are
+  // shortest-distance: a target matches when its BFS hop distance from the
+  // source lies in [min_hops, max_hops] (see DESIGN.md §query frontend).
+  const util::Csr csr = build_hop_csr(store, rel_pat, forward, params);
+  const std::int32_t max_depth =
+      rel_pat.max_hops == RelPat::kUnboundedHops
+          ? std::numeric_limits<std::int32_t>::max()
+          : static_cast<std::int32_t>(rel_pat.max_hops);
+  std::vector<std::int32_t> scratch;
+  std::vector<std::uint32_t> reached;
+  for (const Row& row : rows) {
+    const NodeId src = row.nodes[src_slot];
+    util::bfs_distances_bounded(csr, src, max_depth, scratch, reached);
+    for (const std::uint32_t v : reached) {
+      const std::int32_t d = scratch[v];
+      if (d < static_cast<std::int32_t>(rel_pat.min_hops)) continue;
+      if (!node_slot_ok(store, v, dst_pat, preds.node_preds[dst_slot],
+                        params)) {
+        continue;
+      }
+      Row next = row;
+      next.rels[hop] = kNoRel;
+      next.nodes[dst_slot] = v;
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+std::vector<Row> expand_path(const GraphStore& store,
+                             const PlannedQuery& plan, const Params& params) {
+  const Query& q = plan.ast;
+  const PathPattern& path = q.paths.front();
+  const PredIndex preds = index_predicates(q);
+  const std::size_t anchor_slot = plan.anchor_right ? path.nodes.size() - 1 : 0;
+
+  std::vector<NodeId> anchors;
+  if (plan.scan.kind == ScanKind::kIndexSeek) {
+    anchors = store.find_nodes(plan.scan.label, plan.scan.key,
+                               plan.scan.value.resolve(params));
+  } else {
+    anchors = store.nodes_with_label(plan.scan.label);
+  }
+
+  std::vector<Row> rows;
+  for (const NodeId n : anchors) {
+    if (!node_slot_ok(store, n, path.nodes[anchor_slot],
+                      preds.node_preds[anchor_slot], params)) {
+      continue;
+    }
+    Row row;
+    row.nodes.assign(path.nodes.size(), kNoNode);
+    row.rels.assign(path.rels.size(), kNoRel);
+    row.nodes[anchor_slot] = n;
+    rows.push_back(std::move(row));
+  }
+
+  if (plan.anchor_right) {
+    for (std::size_t i = path.rels.size(); i-- > 0;) {
+      rows = expand_hop(store, q, preds, std::move(rows), i,
+                        /*forward=*/false, params);
+    }
+  } else {
+    for (std::size_t i = 0; i < path.rels.size(); ++i) {
+      rows = expand_hop(store, q, preds, std::move(rows), i,
+                        /*forward=*/true, params);
+    }
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// RETURN projection
+// ---------------------------------------------------------------------------
+
+/// Where a RETURN/DELETE variable lives in the path.
+struct Slot {
+  bool is_rel = false;
+  std::size_t pos = 0;
+};
+
+std::optional<Slot> find_slot(const PathPattern& path, std::string_view var) {
+  for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+    if (!path.nodes[i].var.empty() && path.nodes[i].var == var) {
+      return Slot{false, i};
+    }
+  }
+  for (std::size_t i = 0; i < path.rels.size(); ++i) {
+    if (!path.rels[i].var.empty() && path.rels[i].var == var) {
+      return Slot{true, i};
+    }
+  }
+  return std::nullopt;
+}
+
+QueryResult run_read(GraphStore& store, const PlannedQuery& plan,
+                     const Params& params) {
+  QueryResult result;
+  const Query& q = plan.ast;
+  std::vector<Row> rows = expand_path(store, plan, params);
+
+  for (const ReturnItem& item : q.returns) {
+    result.columns.push_back(item.display());
+  }
+
+  // count(...) aggregates over all matches; LIMIT is a no-op
+  // post-aggregation (it would bound one output row).
+  if (q.returns.front().kind == ReturnItem::Kind::kCount) {
+    result.count = static_cast<std::int64_t>(rows.size());
+    result.rows.push_back(std::vector<PropertyValue>(
+        q.returns.size(), PropertyValue(result.count)));
+    return result;
+  }
+
+  if (q.limit) {
+    const PropertyValue& bound = q.limit->resolve(params);
+    if (!bound.is_int() || bound.as_int() < 0) {
+      throw CypherError("LIMIT expects a non-negative integer");
+    }
+    const auto limit = static_cast<std::size_t>(bound.as_int());
+    if (rows.size() > limit) rows.resize(limit);
+  }
+
+  const PathPattern& path = q.paths.front();
+  std::vector<Slot> slots;
+  slots.reserve(q.returns.size());
+  for (const ReturnItem& item : q.returns) {
+    slots.push_back(*find_slot(path, item.var));  // planner validated
+  }
+
+  result.rows.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<PropertyValue> record;
+    record.reserve(q.returns.size());
+    for (std::size_t i = 0; i < q.returns.size(); ++i) {
+      const ReturnItem& item = q.returns[i];
+      const Slot slot = slots[i];
+      if (item.kind == ReturnItem::Kind::kVar) {
+        record.emplace_back(static_cast<std::int64_t>(row.nodes[slot.pos]));
+      } else if (slot.is_rel) {
+        const auto key_id = store.find_key(item.key);
+        const PropertyValue* pv =
+            key_id ? get_property(store.rel(row.rels[slot.pos]).properties,
+                                  *key_id)
+                   : nullptr;
+        record.emplace_back(pv ? *pv : PropertyValue(nullptr));
+      } else {
+        const PropertyValue* pv =
+            store.node_property(row.nodes[slot.pos], item.key);
+        record.emplace_back(pv ? *pv : PropertyValue(nullptr));
+      }
+    }
+    result.rows.push_back(std::move(record));
+  }
+  result.count = static_cast<std::int64_t>(result.rows.size());
+
+  // Back-compat: RETURN of a single node variable also fills `nodes`.
+  if (q.returns.size() == 1 && q.returns[0].kind == ReturnItem::Kind::kVar) {
+    result.nodes.reserve(rows.size());
+    for (const Row& row : rows) result.nodes.push_back(row.nodes[slots[0].pos]);
+  }
+  return result;
+}
+
+QueryResult run_delete_rels(GraphStore& store, const PlannedQuery& plan,
+                            const Params& params) {
+  QueryResult result;
+  const Query& q = plan.ast;
+  const std::vector<Row> rows = expand_path(store, plan, params);
+  const Slot slot = *find_slot(q.paths.front(), q.delete_var);
+  std::vector<RelId> doomed;
+  doomed.reserve(rows.size());
+  for (const Row& row : rows) doomed.push_back(row.rels[slot.pos]);
+  std::sort(doomed.begin(), doomed.end());
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+  for (const RelId r : doomed) store.delete_relationship(r);
+  result.rels_deleted = doomed.size();
+  return result;
+}
+
+}  // namespace
+
+QueryResult execute_query(GraphStore& store, const PlannedQuery& plan,
+                          const Params& params) {
+  const Query& q = plan.ast;
+  QueryResult result;
+  if (q.explain) {
+    result.plan = plan.explain_text;
+    return result;
+  }
+
+  switch (q.verb) {
+    case Verb::kCreateNodes: {
+      for (const NodePat& p : q.create_nodes) {
+        const NodeId n =
+            store.create_node(p.labels, to_property_list(store, p.props, params));
+        result.nodes.push_back(n);
+        ++result.nodes_created;
+        result.properties_set += p.props.size();
+      }
+      break;
+    }
+    case Verb::kMergeNode: {
+      const NodePat& p = q.create_nodes.front();
+      const std::vector<NodeId> existing =
+          match_node_pattern(store, p, params);
+      if (!existing.empty()) {
+        result.nodes.push_back(existing.front());
+      } else {
+        const NodeId n =
+            store.create_node(p.labels, to_property_list(store, p.props, params));
+        result.nodes.push_back(n);
+        ++result.nodes_created;
+        result.properties_set += p.props.size();
+      }
+      break;
+    }
+    case Verb::kMatchCreateRel:
+    case Verb::kMatchMergeRel: {
+      NodeId from = kNoNode;
+      NodeId to = kNoNode;
+      for (const PathPattern& path : q.paths) {
+        const NodePat& p = path.nodes.front();
+        const NodeId n = match_single(store, p, params);
+        if (p.var == q.rel_from) from = n;
+        if (p.var == q.rel_to) to = n;
+      }
+      if (from == kNoNode || to == kNoNode) {
+        throw CypherError("relationship endpoints not bound by MATCH");
+      }
+      if (q.verb == Verb::kMatchMergeRel) {
+        const auto type = store.find_rel_type(q.create_rel->type);
+        if (type) {
+          for (const RelId r : store.node(from).out_rels) {
+            const RelRecord& rec = store.rel(r);
+            if (!rec.deleted && rec.target == to && rec.type == *type) {
+              result.rels.push_back(r);
+              return result;
+            }
+          }
+        }
+      }
+      const RelId r = store.create_relationship(
+          from, to, q.create_rel->type,
+          to_property_list(store, q.create_rel->props, params));
+      result.rels.push_back(r);
+      ++result.rels_created;
+      break;
+    }
+    case Verb::kMatchRead: {
+      result = run_read(store, plan, params);
+      break;
+    }
+    case Verb::kMatchSet: {
+      const std::vector<NodeId> matches =
+          match_node_pattern(store, q.paths.front().nodes.front(), params);
+      for (const NodeId n : matches) {
+        store.set_node_property(n, q.set_item->key,
+                                q.set_item->value.resolve(params));
+        ++result.properties_set;
+      }
+      result.nodes = matches;
+      break;
+    }
+    case Verb::kMatchDeleteNodes: {
+      const NodePat* target = nullptr;
+      for (const PathPattern& path : q.paths) {
+        if (path.nodes.front().var == q.delete_var) {
+          target = &path.nodes.front();
+        }
+      }
+      if (target == nullptr) {
+        throw CypherError("DELETE variable not bound by MATCH");
+      }
+      const std::vector<NodeId> doomed =
+          match_node_pattern(store, *target, params);
+      for (const NodeId n : doomed) {
+        try {
+          store.delete_node(n, q.detach);
+        } catch (const std::logic_error& e) {
+          // Mid-statement failure: the session's savepoint rolls back any
+          // nodes already deleted by this statement.
+          throw CypherError(std::string("cannot DELETE node with live "
+                                        "relationships (use DETACH DELETE): ") +
+                            e.what());
+        }
+        ++result.nodes_deleted;
+      }
+      break;
+    }
+    case Verb::kMatchDeleteRels: {
+      result = run_delete_rels(store, plan, params);
+      break;
+    }
+    case Verb::kCreateIndex: {
+      store.create_index(q.index_label, q.index_key);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace adsynth::graphdb::cypher

@@ -1,0 +1,46 @@
+// Executor for planned openCypher statements.  Compiles pattern matching
+// onto GraphStore primitives: anchor scans use the property indexes /
+// label buckets the planner chose, single hops expand over adjacency
+// lists, and variable-length hops `-[:T*min..max]->` run a bounded BFS
+// over a per-statement CSR snapshot (util/csr.hpp — the same kernel the
+// analytics layer uses, so var-length results are bit-identical to the
+// reachability oracle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphdb/cypher_planner.hpp"
+#include "graphdb/store.hpp"
+
+namespace adsynth::graphdb {
+
+/// Outcome of one statement.
+struct QueryResult {
+  std::vector<NodeId> nodes;  // matched/created nodes (RETURN n, CREATE ...)
+  std::vector<RelId> rels;    // created relationships
+  std::int64_t count = 0;     // RETURN count(x)
+  std::size_t nodes_created = 0;
+  std::size_t rels_created = 0;
+  std::size_t nodes_deleted = 0;
+  std::size_t rels_deleted = 0;
+  std::size_t properties_set = 0;
+  /// RETURN projections: one column per RETURN item (display names) and
+  /// one row per pattern match.  Node variables render as their NodeId.
+  std::vector<std::string> columns;
+  std::vector<std::vector<PropertyValue>> rows;
+  /// EXPLAIN statements: the rendered plan; execution is skipped.
+  std::string plan;
+};
+
+namespace cypher {
+
+/// Executes a planned statement.  $params are resolved here (a missing
+/// binding throws CypherError).  Mutating verbs rely on the caller
+/// (CypherSession) for savepoint/commit bookkeeping.
+QueryResult execute_query(GraphStore& store, const PlannedQuery& plan,
+                          const Params& params);
+
+}  // namespace cypher
+}  // namespace adsynth::graphdb

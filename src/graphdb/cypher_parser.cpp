@@ -1,0 +1,666 @@
+#include "graphdb/cypher_parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace adsynth::graphdb::cypher {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t {
+  kIdent,   // bare word (keywords, variable names, labels, keys)
+  kString,  // quoted string literal (escapes decoded)
+  kNumber,  // numeric literal text: int [frac] [exp]
+  kParam,   // $name placeholder (text = name without '$')
+  kPunct,   // single punctuation char
+  kOp,      // comparison operator: = <> < <= > >=
+  kArrow,   // ->
+  kRange,   // ..
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  char punct = 0;
+  std::size_t pos = 0;  // byte offset of the token's first character
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = std::move(current_);
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail_at(std::size_t byte, const std::string& why) const {
+    throw CypherError("Cypher parse error near byte " + std::to_string(byte) +
+                      ": " + why + " in statement: " + std::string(text_));
+  }
+
+  /// Error at the current token (its first byte).
+  [[noreturn]] void fail(const std::string& why) const {
+    fail_at(current_.kind == TokKind::kEnd ? text_.size() : current_.pos, why);
+  }
+
+ private:
+  bool is_digit(std::size_t i) const {
+    return i < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i]));
+  }
+
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= text_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    if (c == '\'' || c == '"') {
+      lex_string(c);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kIdent;
+      current_.text = std::string(text_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && is_digit(pos_ + 1))) {
+      lex_number();
+      return;
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      current_.kind = TokKind::kArrow;
+      current_.text = "->";
+      return;
+    }
+    if (c == '.' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '.') {
+      pos_ += 2;
+      current_.kind = TokKind::kRange;
+      current_.text = "..";
+      return;
+    }
+    if (c == '$') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          (!std::isalpha(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '_')) {
+        fail_at(pos_, "expected parameter name after '$'");
+      }
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kParam;
+      current_.text = std::string(text_.substr(start, pos_ - start));
+      return;
+    }
+    if (c == '<' || c == '>' || c == '=') {
+      current_.kind = TokKind::kOp;
+      current_.text.push_back(c);
+      ++pos_;
+      if (pos_ < text_.size()) {
+        const char n = text_[pos_];
+        if ((c == '<' && (n == '=' || n == '>')) || (c == '>' && n == '=')) {
+          current_.text.push_back(n);
+          ++pos_;
+        }
+      }
+      return;
+    }
+    current_.kind = TokKind::kPunct;
+    current_.punct = c;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  void lex_string(char quote) {
+    const std::size_t open = pos_;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        switch (text_[pos_]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: out.push_back(text_[pos_]);
+        }
+      } else {
+        out.push_back(text_[pos_]);
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      fail_at(open, "unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    current_.kind = TokKind::kString;
+    current_.text = std::move(out);
+  }
+
+  /// Strict numeric literal: int [ '.' digits ] [ (e|E) [+|-] digits ].
+  /// Anything the grammar would silently misparse — "1.2.3", "1e", "5e+",
+  /// "12abc" — fails here, at the offending byte.  "1..2" is NOT a number:
+  /// the '.' is only consumed when a digit follows it, so the range
+  /// operator of variable-length patterns survives.
+  void lex_number() {
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (is_digit(pos_)) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.' && is_digit(pos_ + 1)) {
+      ++pos_;  // '.'
+      while (is_digit(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;  // exponent marker
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!is_digit(pos_)) {
+        fail_at(pos_, "malformed numeric literal: exponent needs digits");
+      }
+      while (is_digit(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size()) {
+      const char n = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(n)) || n == '_' ||
+          (n == '.' && is_digit(pos_ + 1))) {
+        fail_at(pos_, "malformed numeric literal");
+      }
+    }
+    current_.kind = TokKind::kNumber;
+    current_.text = std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  Query parse() {
+    Query q;
+    if (peek_keyword("EXPLAIN")) {
+      lex_.take();
+      q.explain = true;
+    }
+    const Token head = expect_ident();
+    if (util::iequals(head.text, "CREATE")) {
+      if (peek_keyword("INDEX")) {
+        lex_.take();
+        parse_create_index(q);
+        return q;
+      }
+      q.verb = Verb::kCreateNodes;
+      q.create_nodes.push_back(parse_node_pattern());
+      while (is_punct(',')) {
+        lex_.take();
+        q.create_nodes.push_back(parse_node_pattern());
+      }
+      expect_end();
+      return q;
+    }
+    if (util::iequals(head.text, "MERGE")) {
+      q.verb = Verb::kMergeNode;
+      q.create_nodes.push_back(parse_node_pattern());
+      expect_end();
+      return q;
+    }
+    if (util::iequals(head.text, "MATCH")) {
+      parse_match(q);
+      return q;
+    }
+    lex_.fail("expected CREATE, MERGE or MATCH");
+  }
+
+ private:
+  bool is_punct(char c) const {
+    return lex_.peek().kind == TokKind::kPunct && lex_.peek().punct == c;
+  }
+
+  bool peek_keyword(const char* kw) const {
+    return lex_.peek().kind == TokKind::kIdent &&
+           util::iequals(lex_.peek().text, kw);
+  }
+
+  Token expect_ident() {
+    if (lex_.peek().kind != TokKind::kIdent) lex_.fail("expected identifier");
+    return lex_.take();
+  }
+
+  void expect_punct(char c) {
+    if (lex_.peek().kind != TokKind::kPunct || lex_.peek().punct != c) {
+      lex_.fail(std::string("expected '") + c + "'");
+    }
+    lex_.take();
+  }
+
+  void expect_arrow() {
+    if (lex_.peek().kind != TokKind::kArrow) lex_.fail("expected ->");
+    lex_.take();
+  }
+
+  void expect_end() {
+    // Allow a trailing semicolon.
+    if (is_punct(';')) lex_.take();
+    if (lex_.peek().kind != TokKind::kEnd) lex_.fail("trailing tokens");
+  }
+
+  void parse_create_index(Query& q) {
+    // CREATE INDEX ON :Label(key)
+    if (!peek_keyword("ON")) lex_.fail("expected ON");
+    lex_.take();
+    expect_punct(':');
+    q.index_label = expect_ident().text;
+    expect_punct('(');
+    q.index_key = expect_ident().text;
+    expect_punct(')');
+    q.verb = Verb::kCreateIndex;
+    expect_end();
+  }
+
+  void parse_match(Query& q) {
+    q.paths.push_back(parse_path());
+    while (is_punct(',')) {
+      lex_.take();
+      q.paths.push_back(parse_path());
+    }
+    if (peek_keyword("WHERE")) {
+      lex_.take();
+      parse_where(q);
+    }
+    const Token verb = expect_ident();
+    if (util::iequals(verb.text, "RETURN")) {
+      parse_return(q);
+      return;
+    }
+    if (util::iequals(verb.text, "CREATE") ||
+        util::iequals(verb.text, "MERGE")) {
+      q.verb = util::iequals(verb.text, "CREATE") ? Verb::kMatchCreateRel
+                                                  : Verb::kMatchMergeRel;
+      parse_create_rel(q, verb.pos);
+      expect_end();
+      return;
+    }
+    if (util::iequals(verb.text, "SET")) {
+      SetItem set;
+      set.var = expect_ident().text;
+      expect_punct('.');
+      set.key = expect_ident().text;
+      if (lex_.peek().kind != TokKind::kOp || lex_.peek().text != "=") {
+        lex_.fail("expected '='");
+      }
+      lex_.take();
+      set.value = parse_value();
+      q.set_item = std::move(set);
+      q.verb = Verb::kMatchSet;
+      validate_set(q);
+      expect_end();
+      return;
+    }
+    if (util::iequals(verb.text, "DETACH") ||
+        util::iequals(verb.text, "DELETE")) {
+      q.detach = util::iequals(verb.text, "DETACH");
+      if (q.detach) {
+        if (!peek_keyword("DELETE")) lex_.fail("expected DELETE after DETACH");
+        lex_.take();
+      }
+      const Token var = expect_ident();
+      q.delete_var = var.text;
+      resolve_delete_target(q, var.pos);
+      expect_end();
+      return;
+    }
+    lex_.fail("expected CREATE, MERGE, RETURN, SET or DELETE after MATCH");
+  }
+
+  PathPattern parse_path() {
+    PathPattern path;
+    path.nodes.push_back(parse_node_pattern());
+    while (is_punct('-')) {
+      lex_.take();
+      path.rels.push_back(parse_rel_segment());
+      path.nodes.push_back(parse_node_pattern());
+    }
+    return path;
+  }
+
+  /// `[var][:TYPE][*min..max][{props}] ]->`, the '-' already consumed.
+  RelPat parse_rel_segment() {
+    expect_punct('[');
+    RelPat rel;
+    if (lex_.peek().kind == TokKind::kIdent) {
+      rel.var = lex_.take().text;
+    }
+    expect_punct(':');
+    rel.type = expect_ident().text;
+    if (is_punct('*')) {
+      lex_.take();
+      parse_hop_bounds(rel);
+    }
+    if (is_punct('{')) rel.props = parse_property_map();
+    expect_punct(']');
+    expect_arrow();
+    return rel;
+  }
+
+  /// `*`, `*n`, `*min..`, `*..max`, `*min..max` (the '*' already consumed).
+  void parse_hop_bounds(RelPat& rel) {
+    rel.var_length = true;
+    rel.min_hops = 1;
+    rel.max_hops = RelPat::kUnboundedHops;
+    if (lex_.peek().kind == TokKind::kNumber) {
+      const Token lo = lex_.take();
+      rel.min_hops = parse_hop_count(lo);
+      if (lex_.peek().kind == TokKind::kRange) {
+        lex_.take();
+        if (lex_.peek().kind == TokKind::kNumber) {
+          rel.max_hops = parse_hop_count(lex_.take());
+        }
+      } else {
+        rel.max_hops = rel.min_hops;  // exact-length `*n`
+      }
+    } else if (lex_.peek().kind == TokKind::kRange) {
+      lex_.take();
+      if (lex_.peek().kind == TokKind::kNumber) {
+        rel.max_hops = parse_hop_count(lex_.take());
+      }
+    }
+    if (rel.max_hops != RelPat::kUnboundedHops &&
+        rel.min_hops > rel.max_hops) {
+      lex_.fail("variable-length bounds are inverted (min > max)");
+    }
+  }
+
+  std::uint32_t parse_hop_count(const Token& tok) {
+    std::uint32_t n = 0;
+    const auto [p, ec] =
+        std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), n);
+    if (ec != std::errc{} || p != tok.text.data() + tok.text.size()) {
+      lex_.fail_at(tok.pos,
+                   "variable-length bounds must be non-negative integers");
+    }
+    return n;
+  }
+
+  NodePat parse_node_pattern() {
+    NodePat node;
+    expect_punct('(');
+    if (lex_.peek().kind == TokKind::kIdent) {
+      node.var = lex_.take().text;
+    }
+    while (is_punct(':')) {
+      lex_.take();
+      node.labels.push_back(expect_ident().text);
+    }
+    if (is_punct('{')) node.props = parse_property_map();
+    expect_punct(')');
+    return node;
+  }
+
+  PropExprList parse_property_map() {
+    PropExprList props;
+    expect_punct('{');
+    if (is_punct('}')) {
+      lex_.take();
+      return props;
+    }
+    while (true) {
+      Token key = lex_.take();
+      if (key.kind != TokKind::kIdent && key.kind != TokKind::kString) {
+        lex_.fail_at(key.pos, "expected property key");
+      }
+      expect_punct(':');
+      props.emplace_back(key.text, parse_value());
+      const Token sep = lex_.take();
+      if (sep.kind == TokKind::kPunct && sep.punct == '}') break;
+      if (sep.kind != TokKind::kPunct || sep.punct != ',') {
+        lex_.fail_at(sep.pos, "expected ',' or '}' in property map");
+      }
+    }
+    return props;
+  }
+
+  ValueExpr parse_value() {
+    if (lex_.peek().kind == TokKind::kParam) {
+      ValueExpr v;
+      v.param = lex_.take().text;
+      return v;
+    }
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case TokKind::kString: return ValueExpr(PropertyValue(t.text));
+      case TokKind::kNumber: return ValueExpr(number_value(t));
+      case TokKind::kIdent:
+        if (util::iequals(t.text, "true")) return ValueExpr(PropertyValue(true));
+        if (util::iequals(t.text, "false")) {
+          return ValueExpr(PropertyValue(false));
+        }
+        if (util::iequals(t.text, "null")) {
+          return ValueExpr(PropertyValue(nullptr));
+        }
+        lex_.fail_at(t.pos, "unexpected identifier '" + t.text + "' as value");
+      case TokKind::kPunct:
+        if (t.punct == '[') return parse_string_list();
+        [[fallthrough]];
+      default: lex_.fail_at(t.pos, "expected a value");
+    }
+  }
+
+  ValueExpr parse_string_list() {
+    std::vector<std::string> list;
+    if (is_punct(']')) {
+      lex_.take();
+      return ValueExpr(PropertyValue(std::move(list)));
+    }
+    while (true) {
+      const Token item = lex_.take();
+      if (item.kind != TokKind::kString) {
+        lex_.fail_at(item.pos, "lists may only contain strings");
+      }
+      list.push_back(item.text);
+      const Token sep = lex_.take();
+      if (sep.kind == TokKind::kPunct && sep.punct == ']') break;
+      if (sep.kind != TokKind::kPunct || sep.punct != ',') {
+        lex_.fail_at(sep.pos, "expected ',' or ']' in list");
+      }
+    }
+    return ValueExpr(PropertyValue(std::move(list)));
+  }
+
+  PropertyValue number_value(const Token& t) {
+    if (t.text.find_first_of(".eE") == std::string::npos) {
+      std::int64_t i = 0;
+      const auto [p, ec] =
+          std::from_chars(t.text.data(), t.text.data() + t.text.size(), i);
+      if (ec == std::errc{} && p == t.text.data() + t.text.size()) {
+        return PropertyValue(i);
+      }
+    }
+    double d = 0.0;
+    const auto [p, ec] =
+        std::from_chars(t.text.data(), t.text.data() + t.text.size(), d);
+    if (ec != std::errc{} || p != t.text.data() + t.text.size()) {
+      lex_.fail_at(t.pos, "bad numeric literal '" + t.text + "'");
+    }
+    return PropertyValue(d);
+  }
+
+  void parse_where(Query& q) {
+    while (true) {
+      Predicate pred;
+      const Token var = expect_ident();
+      pred.var = var.text;
+      expect_punct('.');
+      pred.key = expect_ident().text;
+      const Token op = lex_.take();
+      if (op.kind != TokKind::kOp) {
+        lex_.fail_at(op.pos, "expected a comparison operator in WHERE");
+      }
+      if (op.text == "=") pred.op = CmpOp::kEq;
+      else if (op.text == "<>") pred.op = CmpOp::kNe;
+      else if (op.text == "<") pred.op = CmpOp::kLt;
+      else if (op.text == "<=") pred.op = CmpOp::kLe;
+      else if (op.text == ">") pred.op = CmpOp::kGt;
+      else if (op.text == ">=") pred.op = CmpOp::kGe;
+      else lex_.fail_at(op.pos, "unknown comparison operator " + op.text);
+      pred.value = parse_value();
+      q.where.push_back(std::move(pred));
+      if (!peek_keyword("AND")) break;
+      lex_.take();
+    }
+  }
+
+  void parse_return(Query& q) {
+    q.verb = Verb::kMatchRead;
+    while (true) {
+      ReturnItem item;
+      const Token head = expect_ident();
+      if (util::iequals(head.text, "count") && is_punct('(')) {
+        lex_.take();
+        item.kind = ReturnItem::Kind::kCount;
+        item.var = expect_ident().text;
+        expect_punct(')');
+      } else {
+        item.var = head.text;
+        if (is_punct('.')) {
+          lex_.take();
+          item.kind = ReturnItem::Kind::kProperty;
+          item.key = expect_ident().text;
+        } else {
+          item.kind = ReturnItem::Kind::kVar;
+        }
+      }
+      q.returns.push_back(std::move(item));
+      if (!is_punct(',')) break;
+      lex_.take();
+    }
+    if (peek_keyword("LIMIT")) {
+      lex_.take();
+      const Token bound = lex_.peek();
+      q.limit = parse_value();
+      if (!q.limit->is_param()) {
+        const PropertyValue& v = q.limit->literal;
+        if (!v.is_int() || v.as_int() < 0) {
+          lex_.fail_at(bound.pos, "LIMIT expects a non-negative integer");
+        }
+      }
+    }
+    expect_end();
+  }
+
+  /// `(a)-[:TYPE {props}]->(b)` after MATCH ... CREATE/MERGE.  Parsed as a
+  /// path so the surface stays uniform, then constrained to the shape the
+  /// executor supports: one hop, endpoints are bare variables bound by the
+  /// MATCH patterns.
+  void parse_create_rel(Query& q, std::size_t verb_pos) {
+    const PathPattern path = parse_path();
+    if (path.rels.size() != 1) {
+      lex_.fail_at(verb_pos, "CREATE/MERGE after MATCH expects exactly one "
+                             "(a)-[:TYPE]->(b) relationship pattern");
+    }
+    if (path.rels[0].var_length) {
+      lex_.fail_at(verb_pos, "cannot CREATE a variable-length relationship");
+    }
+    for (const NodePat& n : path.nodes) {
+      if (n.var.empty() || !n.labels.empty() || !n.props.empty()) {
+        lex_.fail_at(verb_pos, "CREATE/MERGE endpoints must be bare "
+                               "variables bound by MATCH");
+      }
+    }
+    q.create_rel = path.rels[0];
+    q.rel_from = path.nodes[0].var;
+    q.rel_to = path.nodes[1].var;
+  }
+
+  /// Classifies DELETE var as node vs relationship deletion by where the
+  /// variable is bound, preserving the statement shapes of the old
+  /// executor (node DELETE across comma patterns, rel DELETE on a
+  /// single-hop traversal).
+  void resolve_delete_target(Query& q, std::size_t var_pos) {
+    for (const PathPattern& path : q.paths) {
+      for (const RelPat& rel : path.rels) {
+        if (!rel.var.empty() && rel.var == q.delete_var) {
+          if (rel.var_length) {
+            lex_.fail_at(var_pos,
+                         "cannot DELETE a variable-length relationship "
+                         "binding");
+          }
+          q.verb = Verb::kMatchDeleteRels;
+          return;
+        }
+      }
+    }
+    for (const PathPattern& path : q.paths) {
+      for (const NodePat& node : path.nodes) {
+        if (!node.var.empty() && node.var == q.delete_var) {
+          q.verb = Verb::kMatchDeleteNodes;
+          return;
+        }
+      }
+    }
+    // Keep the two historical error texts: traversal statements complain
+    // about the relationship variable, plain MATCH about the node variable.
+    const bool has_rels = !q.paths.empty() && !q.paths[0].rels.empty();
+    lex_.fail_at(var_pos, has_rels
+                              ? "DELETE expects the bound relationship "
+                                "variable"
+                              : "DELETE expects a bound node variable");
+  }
+
+  /// SET keeps its historical single-node shape: one comma-free MATCH
+  /// pattern with no relationships.
+  void validate_set(Query& q) {
+    if (q.paths.size() != 1 || !q.paths[0].rels.empty()) {
+      lex_.fail("SET supports a single node pattern MATCH only");
+    }
+    const NodePat& node = q.paths[0].nodes[0];
+    if (node.var.empty() || node.var != q.set_item->var) {
+      lex_.fail("SET expects the bound node variable");
+    }
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Query parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace adsynth::graphdb::cypher

@@ -1,0 +1,19 @@
+// Hand-written recursive-descent parser for the openCypher subset (no
+// parser-generator dependency).  Produces the typed AST of cypher_ast.hpp;
+// every error is a CypherError naming the offending byte offset.  Parsing
+// is pure — it never touches a GraphStore — so a failed parse provably
+// cannot mutate anything (asserted by tests/graphdb/cypher_parser_test.cpp).
+#pragma once
+
+#include <string_view>
+
+#include "graphdb/cypher_ast.hpp"
+
+namespace adsynth::graphdb::cypher {
+
+/// Parses one statement.  Throws CypherError on malformed input, with the
+/// message "Cypher parse error near byte N: ..." pointing at the offending
+/// byte of `text`.
+Query parse(std::string_view text);
+
+}  // namespace adsynth::graphdb::cypher

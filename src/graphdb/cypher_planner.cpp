@@ -1,0 +1,374 @@
+#include "graphdb/cypher_planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace adsynth::graphdb::cypher {
+
+namespace {
+
+struct Binding {
+  bool is_rel = false;
+  bool var_length = false;
+};
+
+using BindingMap = std::map<std::string, Binding, std::less<>>;
+
+BindingMap collect_bindings(const Query& q) {
+  BindingMap out;
+  for (const PathPattern& path : q.paths) {
+    for (const NodePat& node : path.nodes) {
+      if (!node.var.empty()) out[node.var] = Binding{false, false};
+    }
+    for (const RelPat& rel : path.rels) {
+      if (!rel.var.empty()) out[rel.var] = Binding{true, rel.var_length};
+    }
+  }
+  return out;
+}
+
+/// Anchor patterns must carry a label (that is what the scan enumerates);
+/// non-anchor endpoints of a traversal may be bare filters, as before.
+void require_anchor_label(const NodePat& node) {
+  if (node.labels.empty()) {
+    throw CypherError("Cypher-lite requires a label on MATCH patterns");
+  }
+}
+
+/// Every single-node comma pattern is its own anchor.
+void require_labels(const Query& q) {
+  for (const PathPattern& path : q.paths) {
+    for (const NodePat& node : path.nodes) require_anchor_label(node);
+  }
+}
+
+void require_simple_paths(const Query& q, const char* what) {
+  for (const PathPattern& path : q.paths) {
+    if (!path.rels.empty()) {
+      throw CypherError(std::string(what) +
+                        " supports simple node patterns only");
+    }
+  }
+}
+
+const Binding* find_binding(const BindingMap& bindings, std::string_view var) {
+  const auto it = bindings.find(var);
+  return it == bindings.end() ? nullptr : &it->second;
+}
+
+void validate_where(const Query& q, const BindingMap& bindings) {
+  for (const Predicate& pred : q.where) {
+    const Binding* b = find_binding(bindings, pred.var);
+    if (b == nullptr) {
+      throw CypherError("WHERE references unbound variable " + pred.var);
+    }
+    if (b->is_rel && b->var_length) {
+      throw CypherError(
+          "cannot filter properties of a variable-length relationship " +
+          pred.var);
+    }
+  }
+}
+
+void validate_returns(const Query& q, const BindingMap& bindings) {
+  bool any_count = false;
+  bool any_plain = false;
+  for (const ReturnItem& item : q.returns) {
+    const Binding* b = find_binding(bindings, item.var);
+    if (b == nullptr) {
+      throw CypherError("RETURN references unbound variable " + item.var);
+    }
+    switch (item.kind) {
+      case ReturnItem::Kind::kCount:
+        any_count = true;
+        break;
+      case ReturnItem::Kind::kVar:
+        any_plain = true;
+        if (b->is_rel) {
+          throw CypherError("RETURN of relationship variables is not "
+                            "supported; project " +
+                            item.var + ".<key> or count(" + item.var + ")");
+        }
+        break;
+      case ReturnItem::Kind::kProperty:
+        any_plain = true;
+        if (b->is_rel && b->var_length) {
+          throw CypherError("cannot project a property of a variable-length "
+                            "relationship " +
+                            item.var);
+        }
+        break;
+    }
+  }
+  if (any_count && any_plain) {
+    throw CypherError("cannot mix count(...) with non-aggregated RETURN "
+                      "items");
+  }
+}
+
+/// Equality constraints usable as index-seek keys for one node pattern:
+/// inline `{key: value}` properties plus `WHERE var.key = value` conjuncts.
+std::vector<std::pair<std::string, ValueExpr>> eq_constraints(
+    const NodePat& node, const Query& q) {
+  std::vector<std::pair<std::string, ValueExpr>> out = node.props;
+  for (const Predicate& pred : q.where) {
+    if (pred.op == CmpOp::kEq && !node.var.empty() && pred.var == node.var) {
+      out.emplace_back(pred.key, pred.value);
+    }
+  }
+  return out;
+}
+
+/// Chooses the cheapest access path for `node`.  Index seeks are costed at
+/// entries / distinct-values (average bucket size); label scans at the
+/// bucket size of the node's smallest label.
+ScanChoice best_scan(const NodePat& node, const Query& q,
+                     const GraphStore& store) {
+  ScanChoice scan;
+  scan.label = node.labels.front();
+  scan.est_rows =
+      static_cast<double>(store.label_cardinality(node.labels.front()));
+  for (const std::string& label : node.labels) {
+    const double card = static_cast<double>(store.label_cardinality(label));
+    if (card < scan.est_rows) {
+      scan.est_rows = card;
+      scan.label = label;
+    }
+  }
+  for (const std::string& label : node.labels) {
+    for (const auto& [key, value] : eq_constraints(node, q)) {
+      const auto stats = store.index_stats(label, key);
+      if (!stats) continue;
+      const double est =
+          stats->buckets == 0
+              ? 0.0
+              : static_cast<double>(stats->entries) /
+                    static_cast<double>(stats->buckets);
+      // Prefer the seek on a cost tie: it filters while it scans.
+      if (scan.kind == ScanKind::kLabelScan ? est <= scan.est_rows
+                                            : est < scan.est_rows) {
+        scan.kind = ScanKind::kIndexSeek;
+        scan.label = label;
+        scan.key = key;
+        scan.value = value;
+        scan.est_rows = est;
+      }
+    }
+  }
+  return scan;
+}
+
+std::string render_value(const ValueExpr& v) {
+  if (v.is_param()) return "$" + v.param;
+  if (v.literal.is_string()) return "'" + v.literal.as_string() + "'";
+  return v.literal.index_key();
+}
+
+std::string render_rows(double est) {
+  return std::to_string(static_cast<long long>(est + 0.5));
+}
+
+std::string render_scan(const ScanChoice& scan) {
+  if (scan.kind == ScanKind::kIndexSeek) {
+    return "IndexSeek :" + scan.label + "(" + scan.key + " = " +
+           render_value(scan.value) + ") ~rows=" + render_rows(scan.est_rows);
+  }
+  return "LabelScan :" + scan.label + " ~rows=" + render_rows(scan.est_rows);
+}
+
+std::string render_rel(const RelPat& rel) {
+  std::string out = "-[";
+  if (!rel.var.empty()) out += rel.var;
+  out += ":" + rel.type;
+  if (rel.var_length) {
+    out += "*" + std::to_string(rel.min_hops) + "..";
+    if (rel.max_hops != RelPat::kUnboundedHops) {
+      out += std::to_string(rel.max_hops);
+    }
+  }
+  out += "]->";
+  return out;
+}
+
+const char* cmp_text(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+/// Renders the plan, one operator per line, anchor first.
+std::string render_plan(const PlannedQuery& plan) {
+  const Query& q = plan.ast;
+  std::string out;
+  const auto line = [&out](const std::string& s) { out += s + "\n"; };
+  switch (q.verb) {
+    case Verb::kCreateNodes:
+      line("CreateNodes x" + std::to_string(q.create_nodes.size()));
+      break;
+    case Verb::kMergeNode:
+      line(render_scan(plan.scan));
+      line("MergeNode :" + q.create_nodes.front().labels.front());
+      break;
+    case Verb::kCreateIndex:
+      line("CreateIndex :" + q.index_label + "(" + q.index_key + ")");
+      break;
+    case Verb::kMatchCreateRel:
+    case Verb::kMatchMergeRel:
+      line(render_scan(plan.scan));
+      line((q.verb == Verb::kMatchCreateRel ? "CreateRel " : "MergeRel ") +
+           render_rel(*q.create_rel));
+      break;
+    case Verb::kMatchSet:
+      line(render_scan(plan.scan));
+      line("SetProperty " + q.set_item->var + "." + q.set_item->key);
+      break;
+    case Verb::kMatchDeleteNodes:
+      line(render_scan(plan.scan));
+      line(std::string(q.detach ? "DetachDeleteNodes " : "DeleteNodes ") +
+           q.delete_var);
+      break;
+    case Verb::kMatchRead:
+    case Verb::kMatchDeleteRels: {
+      const PathPattern& path = q.paths.front();
+      line(render_scan(plan.scan) +
+           (plan.anchor_right && !path.rels.empty()
+                ? " (anchor=rightmost, expand backwards)"
+                : ""));
+      for (std::size_t i = 0; i < path.rels.size(); ++i) {
+        // Render hops in execution order.
+        const std::size_t hop =
+            plan.anchor_right ? path.rels.size() - 1 - i : i;
+        const RelPat& rel = path.rels[hop];
+        if (rel.var_length) {
+          line("ExpandVarLength " + render_rel(rel) +
+               " (BFS, shortest-distance semantics)");
+        } else {
+          line("Expand " + render_rel(rel));
+        }
+      }
+      for (const Predicate& pred : q.where) {
+        line("Filter " + pred.var + "." + pred.key + " " +
+             cmp_text(pred.op) + " " + render_value(pred.value));
+      }
+      if (q.verb == Verb::kMatchDeleteRels) {
+        line("DeleteRels " + q.delete_var);
+      } else {
+        std::string proj = "Project ";
+        for (std::size_t i = 0; i < q.returns.size(); ++i) {
+          if (i != 0) proj += ", ";
+          proj += q.returns[i].display();
+        }
+        line(proj);
+        if (q.limit) line("Limit " + render_value(*q.limit));
+      }
+      break;
+    }
+  }
+  out += "[schema v" + std::to_string(plan.schema_version) + "]";
+  return out;
+}
+
+}  // namespace
+
+PlannedQuery plan(Query ast, const GraphStore& store) {
+  PlannedQuery plan;
+  plan.schema_version = store.schema_version();
+
+  const BindingMap bindings = collect_bindings(ast);
+  switch (ast.verb) {
+    case Verb::kCreateNodes:
+    case Verb::kCreateIndex:
+      break;
+    case Verb::kMergeNode:
+      if (ast.create_nodes.front().labels.empty()) {
+        throw CypherError("Cypher-lite requires a label on MATCH patterns");
+      }
+      plan.scan = best_scan(ast.create_nodes.front(), ast, store);
+      break;
+    case Verb::kMatchCreateRel:
+    case Verb::kMatchMergeRel: {
+      require_labels(ast);
+      require_simple_paths(ast, "MATCH ... CREATE/MERGE");
+      if (!ast.where.empty()) {
+        throw CypherError("WHERE is not supported with CREATE/MERGE");
+      }
+      if (find_binding(bindings, ast.rel_from) == nullptr ||
+          find_binding(bindings, ast.rel_to) == nullptr) {
+        throw CypherError("relationship endpoints not bound by MATCH");
+      }
+      plan.scan = best_scan(ast.paths.front().nodes.front(), ast, store);
+      break;
+    }
+    case Verb::kMatchSet:
+      require_labels(ast);
+      if (!ast.where.empty()) {
+        throw CypherError("WHERE is not supported with SET");
+      }
+      plan.scan = best_scan(ast.paths.front().nodes.front(), ast, store);
+      break;
+    case Verb::kMatchDeleteNodes:
+      require_labels(ast);
+      require_simple_paths(ast, "DELETE of a node variable");
+      if (!ast.where.empty()) {
+        throw CypherError("WHERE is not supported with DELETE of a node "
+                          "variable");
+      }
+      plan.scan = best_scan(ast.paths.front().nodes.front(), ast, store);
+      break;
+    case Verb::kMatchRead:
+    case Verb::kMatchDeleteRels: {
+      require_anchor_label(ast.paths.front().nodes.front());
+      if (ast.paths.size() != 1) {
+        throw CypherError("cartesian-product MATCH (multiple comma patterns) "
+                          "is not supported with RETURN or DELETE of a "
+                          "relationship");
+      }
+      // Repeated variables would imply join semantics the row expander
+      // does not implement.
+      std::map<std::string, int, std::less<>> seen;
+      for (const NodePat& node : ast.paths.front().nodes) {
+        if (!node.var.empty() && ++seen[node.var] > 1) {
+          throw CypherError("duplicate variable " + node.var +
+                            " in MATCH pattern");
+        }
+      }
+      for (const RelPat& rel : ast.paths.front().rels) {
+        if (!rel.var.empty() && ++seen[rel.var] > 1) {
+          throw CypherError("duplicate variable " + rel.var +
+                            " in MATCH pattern");
+        }
+      }
+      validate_where(ast, bindings);
+      if (ast.verb == Verb::kMatchRead) {
+        validate_returns(ast, bindings);
+      }
+      // Anchor on whichever end of the path is cheaper to enumerate.
+      const PathPattern& path = ast.paths.front();
+      const ScanChoice left = best_scan(path.nodes.front(), ast, store);
+      if (!path.rels.empty() && !path.nodes.back().labels.empty()) {
+        const ScanChoice right = best_scan(path.nodes.back(), ast, store);
+        if (right.est_rows < left.est_rows) {
+          plan.anchor_right = true;
+          plan.scan = right;
+          break;
+        }
+      }
+      plan.scan = left;
+      break;
+    }
+  }
+
+  plan.ast = std::move(ast);
+  plan.explain_text = render_plan(plan);
+  return plan;
+}
+
+}  // namespace adsynth::graphdb::cypher

@@ -1,0 +1,53 @@
+// Cost-based planner for the openCypher subset.  Planning validates
+// variable bindings, chooses the anchor access path (index seek vs. label
+// scan) and pattern-expansion direction from GraphStore statistics, and
+// renders the EXPLAIN text.  A plan is parameter-independent: the same
+// PlannedQuery executes repeatedly with different $param bindings, which is
+// what makes the session's prepared-statement cache sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graphdb/cypher_ast.hpp"
+#include "graphdb/store.hpp"
+
+namespace adsynth::graphdb::cypher {
+
+/// How the anchor node pattern of a MATCH is enumerated.
+enum class ScanKind : std::uint8_t {
+  kLabelScan,  // walk the label bucket
+  kIndexSeek,  // probe a property index with an equality constraint
+};
+
+/// The chosen access path for one anchor node pattern.
+struct ScanChoice {
+  ScanKind kind = ScanKind::kLabelScan;
+  std::string label;  // bucket (kLabelScan) or indexed label (kIndexSeek)
+  std::string key;    // indexed property key (kIndexSeek only)
+  ValueExpr value;    // seek value, possibly a $param (kIndexSeek only)
+  double est_rows = 0.0;
+};
+
+/// A validated, costed statement ready for execution (and for caching).
+struct PlannedQuery {
+  Query ast;
+  ScanChoice scan;  // anchor access path of paths[0] (pattern verbs only)
+  /// True when the rightmost node of paths[0] is the cheaper anchor: the
+  /// executor starts there and expands backwards over in_rels.
+  bool anchor_right = false;
+  /// GraphStore::schema_version() this plan was costed against.  The
+  /// session re-plans when the store's version moves (a new index can flip
+  /// a label scan into an index seek); data growth alone never invalidates
+  /// a plan — only which access paths exist, not their relative volume,
+  /// is treated as load-bearing.
+  std::uint64_t schema_version = 0;
+  std::string explain_text;  // one operator per line, EXPLAIN rendering
+};
+
+/// Validates and costs a parsed statement against `store`.  Throws
+/// CypherError on semantic errors (unbound variables, unlabeled MATCH
+/// patterns, unsupported shapes).  Read-only on the store.
+PlannedQuery plan(Query ast, const GraphStore& store);
+
+}  // namespace adsynth::graphdb::cypher

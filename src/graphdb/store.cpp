@@ -309,6 +309,13 @@ void GraphStore::create_index(std::string_view label, std::string_view key) {
     }
   }
   indexes_.push_back(std::move(idx));
+  ++schema_version_;
+}
+
+std::size_t GraphStore::label_cardinality(std::string_view label) const {
+  const auto id = labels_.find(label);
+  if (!id) return 0;
+  return label_buckets_[*id].size();
 }
 
 std::vector<NodeId> GraphStore::find_nodes(std::string_view label,
@@ -350,7 +357,7 @@ std::optional<GraphStore::IndexStats> GraphStore::index_stats(
   if (!l || !k) return std::nullopt;
   for (const auto& idx : indexes_) {
     if (idx.label == *l && idx.key == *k) {
-      return IndexStats{idx.entries, idx.stale};
+      return IndexStats{idx.entries, idx.stale, idx.buckets.size()};
     }
   }
   return std::nullopt;

@@ -178,13 +178,25 @@ class GraphStore {
 
   /// Entry/stale accounting of the property index on (label, key);
   /// std::nullopt when no such index exists.  Exposed for the compaction
-  /// tests and operational monitoring.
+  /// tests, operational monitoring, and the query planner's cost model
+  /// (entries / buckets estimates the rows an index seek returns).
   struct IndexStats {
     std::size_t entries = 0;
     std::size_t stale = 0;
+    std::size_t buckets = 0;  // distinct indexed values
   };
   std::optional<IndexStats> index_stats(std::string_view label,
                                         std::string_view key) const;
+
+  /// Size of the label bucket (live nodes plus not-yet-compacted
+  /// tombstones) — the query planner's label-scan cost estimate.  0 when
+  /// the label is unknown.
+  std::size_t label_cardinality(std::string_view label) const;
+
+  /// Monotone counter bumped whenever an index is created.  Cached query
+  /// plans record the version they were costed against and re-plan when it
+  /// moves (a new index can flip a label-scan plan to an index seek).
+  std::uint64_t schema_version() const { return schema_version_; }
 
   /// Approximate resident bytes (used by the storage-efficiency tests).
   std::size_t approximate_bytes() const;
@@ -295,6 +307,7 @@ class GraphStore {
   std::vector<PropertyIndex> indexes_;
   std::size_t deleted_nodes_ = 0;
   std::size_t deleted_rels_ = 0;
+  std::uint64_t schema_version_ = 0;
   std::vector<NodeId> empty_bucket_;
   std::vector<UndoOp> undo_log_;
   std::vector<std::size_t> scope_marks_;

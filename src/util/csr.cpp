@@ -1,0 +1,135 @@
+#include "util/csr.hpp"
+
+#include <atomic>
+#include <deque>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/trace.hpp"
+
+namespace adsynth::util {
+
+namespace {
+
+/// Below this node count a multi-source BFS runs serially: the frontier
+/// bookkeeping of the level-synchronous expansion costs more than it saves
+/// on small graphs.
+constexpr std::size_t kParallelBfsNodes = 4'096;
+
+/// Level-synchronous parallel expansion.  Each level splits the frontier
+/// into chunks; workers claim newly reached nodes by CAS-ing their distance
+/// from kBfsUnreachable to the level, so every node joins exactly one
+/// chunk's local next-frontier.  Which chunk wins a contended node is racy,
+/// but the distance it receives is not (all writers offer the same level) —
+/// the returned distances are deterministic at every thread count.
+std::vector<std::int32_t> bfs_distances_parallel(
+    const Csr& csr, std::vector<std::int32_t> dist,
+    std::vector<std::uint32_t> frontier, ThreadPool& pool) {
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    const std::int32_t next_level = level + 1;
+    const std::size_t grain = std::max<std::size_t>(
+        128, frontier.size() / (pool.size() * 4));
+    frontier = parallel_map_reduce(
+        pool, 0, frontier.size(), grain, std::vector<std::uint32_t>{},
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          ADSYNTH_SPAN("util.bfs.chunk");
+          std::vector<std::uint32_t> next;
+          for (std::size_t f = lo; f < hi; ++f) {
+            const std::uint32_t v = frontier[f];
+            for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1];
+                 ++i) {
+              const std::uint32_t w = csr.targets[i];
+              std::atomic_ref<std::int32_t> slot(dist[w]);
+              if (slot.load(std::memory_order_relaxed) != kBfsUnreachable) {
+                continue;
+              }
+              std::int32_t expected = kBfsUnreachable;
+              if (slot.compare_exchange_strong(expected, next_level,
+                                               std::memory_order_relaxed)) {
+                next.push_back(w);
+              }
+            }
+          }
+          return next;
+        },
+        [](std::vector<std::uint32_t>& acc, std::vector<std::uint32_t>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        });
+    level = next_level;
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> bfs_distances(
+    const Csr& csr, const std::vector<std::uint32_t>& sources) {
+  ADSYNTH_SPAN("util.bfs");
+  ADSYNTH_METRIC_COUNT("util.bfs.runs", 1);
+  std::vector<std::int32_t> dist(csr.node_count(), kBfsUnreachable);
+  std::deque<std::uint32_t> frontier;
+  for (const std::uint32_t s : sources) {
+    if (s >= csr.node_count()) {
+      throw std::out_of_range("bfs_distances: source out of range");
+    }
+    if (dist[s] == kBfsUnreachable) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  ThreadPool& pool = global_pool();
+  if (pool.size() > 1 && csr.node_count() >= kParallelBfsNodes) {
+    return bfs_distances_parallel(
+        csr, std::move(dist),
+        std::vector<std::uint32_t>(frontier.begin(), frontier.end()), pool);
+  }
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop_front();
+    const std::int32_t dv = dist[v];
+    for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
+      const std::uint32_t w = csr.targets[i];
+      if (dist[w] == kBfsUnreachable) {
+        dist[w] = dv + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+void bfs_distances_bounded(const Csr& csr, std::uint32_t source,
+                           std::int32_t max_depth,
+                           std::vector<std::int32_t>& scratch,
+                           std::vector<std::uint32_t>& reached) {
+  if (source >= csr.node_count()) {
+    throw std::out_of_range("bfs_distances_bounded: source out of range");
+  }
+  if (scratch.size() != csr.node_count()) {
+    scratch.assign(csr.node_count(), kBfsUnreachable);
+  } else {
+    // Undo only the entries the previous call touched: expanding S sources
+    // costs O(sum of reached sets), not O(S * nodes).
+    for (const std::uint32_t v : reached) scratch[v] = kBfsUnreachable;
+  }
+  reached.clear();
+  scratch[source] = 0;
+  reached.push_back(source);
+  // `reached` doubles as the BFS queue: nodes are appended in discovery
+  // order, which is exactly level order.
+  for (std::size_t head = 0; head < reached.size(); ++head) {
+    const std::uint32_t v = reached[head];
+    const std::int32_t dv = scratch[v];
+    if (dv >= max_depth) break;  // level order: everything after is deeper
+    for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
+      const std::uint32_t w = csr.targets[i];
+      if (scratch[w] == kBfsUnreachable) {
+        scratch[w] = dv + 1;
+        reached.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace adsynth::util

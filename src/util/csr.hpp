@@ -1,0 +1,50 @@
+// Generic compressed-sparse-row adjacency plus the BFS kernels that run on
+// it.  This is the layer shared by the analytics/defense algorithms (which
+// view an AttackGraph through it, see analytics/graph_view.hpp) and the
+// graphdb query executor (which compiles variable-length relationship
+// patterns onto it); keeping the kernel in util breaks the dependency
+// cycle graphdb -> analytics -> adcore -> graphdb that placing it in either
+// consumer would create.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adsynth::util {
+
+inline constexpr std::int32_t kBfsUnreachable = -1;
+
+/// CSR adjacency: for node v, neighbours are targets[offsets[v]..offsets[v+1]).
+/// edge_ids keeps the position of each adjacency entry in the producer's
+/// edge list, so masks and cut-sets can be reported in the producer's terms.
+struct Csr {
+  std::vector<std::uint32_t> offsets;  // size n+1
+  std::vector<std::uint32_t> targets;
+  std::vector<std::uint32_t> edge_ids;
+
+  std::size_t node_count() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t arc_count() const { return targets.size(); }
+};
+
+/// Multi-source BFS; returns hop distances (kBfsUnreachable where no path
+/// exists).  Large graphs expand the frontier level-synchronously across
+/// global_pool(); distances are deterministic at every thread count (all
+/// claimants of a node offer the same level).  Throws std::out_of_range on
+/// a source outside the CSR.
+std::vector<std::int32_t> bfs_distances(
+    const Csr& csr, const std::vector<std::uint32_t>& sources);
+
+/// Depth-bounded single-source BFS, the expansion kernel behind
+/// variable-length relationship patterns (`-[:T*min..max]->`): stops once
+/// the frontier passes `max_depth` hops.  Serial — callers fan sources out
+/// across the pool themselves when they hold many.  `scratch` is reused
+/// across calls (resized/reset internally) so a caller expanding thousands
+/// of sources does not reallocate the distance array per source.
+void bfs_distances_bounded(const Csr& csr, std::uint32_t source,
+                           std::int32_t max_depth,
+                           std::vector<std::int32_t>& scratch,
+                           std::vector<std::uint32_t>& reached);
+
+}  // namespace adsynth::util

@@ -14,6 +14,18 @@ namespace {
   throw std::runtime_error(std::string("JsonValue: not a ") + want);
 }
 
+/// Renders a finite double so it round-trips as a double: %.17g alone
+/// prints 2.0 as "2", which the parser reads back as an int (a silent type
+/// change across export -> import).  Append ".0" when the rendering lacks
+/// any of '.', 'e', 'E'.
+void append_double(double d, std::string& out) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  std::string_view text(buf);
+  out += text;
+  if (text.find_first_of(".eE") == std::string_view::npos) out += ".0";
+}
+
 }  // namespace
 
 bool JsonValue::as_bool() const {
@@ -103,9 +115,7 @@ void JsonValue::dump_to(std::string& out) const {
         out += "null";  // JSON has no Inf/NaN; match common serializers
         return;
       }
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.17g", d);
-      out += buf;
+      append_double(d, out);
     }
     void operator()(const std::string& s) const { json_escape(s, out); }
     void operator()(const JsonArray& a) const {
@@ -457,8 +467,8 @@ void JsonWriter::value(double d) {
   if (!std::isfinite(d)) {
     out_ << "null";
   } else {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", d);
+    std::string buf;
+    append_double(d, buf);
     out_ << buf;
   }
   need_comma_ = true;

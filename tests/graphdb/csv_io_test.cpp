@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace adsynth::graphdb {
 namespace {
@@ -86,6 +88,167 @@ TEST(CsvExport, EmptyStore) {
   std::ostringstream edges;
   export_edges_csv(store, edges);
   EXPECT_EQ(edges.str(), "source,target,type\n");
+}
+
+TEST(CsvCodec, UnambiguousStringsExportRaw) {
+  EXPECT_EQ(encode_property_cell(PropertyValue("ALICE")), "ALICE");
+  EXPECT_EQ(encode_property_cell(PropertyValue("S-1-5-21-3")), "S-1-5-21-3");
+  EXPECT_EQ(decode_property_cell("ALICE"), PropertyValue("ALICE"));
+}
+
+TEST(CsvCodec, AmbiguousStringsExportQuoted) {
+  // Strings that would read back as another type export as JSON strings.
+  EXPECT_EQ(encode_property_cell(PropertyValue("true")), "\"true\"");
+  EXPECT_EQ(encode_property_cell(PropertyValue("42")), "\"42\"");
+  EXPECT_EQ(encode_property_cell(PropertyValue("-1.5")), "\"-1.5\"");
+  EXPECT_EQ(encode_property_cell(PropertyValue("null")), "\"null\"");
+  EXPECT_EQ(encode_property_cell(PropertyValue("")), "\"\"");
+  EXPECT_EQ(decode_property_cell("\"true\""), PropertyValue("true"));
+  EXPECT_EQ(decode_property_cell("\"42\""), PropertyValue("42"));
+}
+
+TEST(CsvCodec, TypedValuesRoundTrip) {
+  const PropertyValue samples[] = {
+      PropertyValue(true),
+      PropertyValue(false),
+      PropertyValue(std::int64_t{42}),
+      PropertyValue(std::int64_t{-7}),
+      PropertyValue(2.0),  // whole-valued double must stay a double
+      PropertyValue(3.5),
+      PropertyValue(std::vector<std::string>{"a", "b,c", "say \"hi\""}),
+      PropertyValue("plain name"),
+      PropertyValue("line\nbreak"),
+  };
+  for (const PropertyValue& v : samples) {
+    const std::string cell = encode_property_cell(v);
+    EXPECT_EQ(decode_property_cell(cell), v) << "cell: " << cell;
+  }
+}
+
+TEST(CsvCodec, WholeDoubleKeepsTypeThroughCell) {
+  const std::string cell = encode_property_cell(PropertyValue(2.0));
+  EXPECT_EQ(cell, "2.0");
+  const PropertyValue back = decode_property_cell(cell);
+  ASSERT_TRUE(back.is_double());
+  EXPECT_DOUBLE_EQ(back.as_double(), 2.0);
+}
+
+GraphStore typed_store() {
+  GraphStore store;
+  const NodeId u = store.create_node({"Base", "User"});
+  store.set_node_property(u, "name", PropertyValue("A,LICE"));
+  store.set_node_property(u, "enabled", PropertyValue(true));
+  store.set_node_property(u, "logons", PropertyValue(std::int64_t{42}));
+  store.set_node_property(u, "weight", PropertyValue(2.0));
+  store.set_node_property(u, "title", PropertyValue("true"));  // ambiguous
+  store.set_node_property(
+      u, "spns", PropertyValue(std::vector<std::string>{"ldap/dc", "cifs"}));
+  const NodeId g = store.create_node({"Group"});
+  store.set_node_property(g, "name", PropertyValue("say \"hi\"\nline2"));
+  PropertyList props;
+  put_property(props, store.intern_key("violation"), PropertyValue(true));
+  put_property(props, store.intern_key("cost"), PropertyValue(3.5));
+  store.create_relationship(u, g, "MemberOf", std::move(props));
+  return store;
+}
+
+TEST(CsvRoundTrip, ExportImportExportIsByteIdentical) {
+  const GraphStore original = typed_store();
+  std::ostringstream nodes1, edges1;
+  export_nodes_csv(original, nodes1);
+  export_edges_csv(original, edges1);
+
+  GraphStore rebuilt;
+  std::istringstream nodes_in(nodes1.str());
+  std::istringstream edges_in(edges1.str());
+  const CsvImportStats stats = import_csv(rebuilt, nodes_in, edges_in);
+  EXPECT_EQ(stats.nodes, 2u);
+  EXPECT_EQ(stats.rels, 1u);
+
+  std::ostringstream nodes2, edges2;
+  export_nodes_csv(rebuilt, nodes2);
+  export_edges_csv(rebuilt, edges2);
+  EXPECT_EQ(nodes2.str(), nodes1.str());
+  EXPECT_EQ(edges2.str(), edges1.str());
+}
+
+TEST(CsvRoundTrip, PropertiesBitIdenticalAfterImport) {
+  const GraphStore original = typed_store();
+  std::ostringstream nodes_out, edges_out;
+  export_nodes_csv(original, nodes_out);
+  export_edges_csv(original, edges_out);
+  GraphStore rebuilt;
+  std::istringstream nodes_in(nodes_out.str());
+  std::istringstream edges_in(edges_out.str());
+  import_csv(rebuilt, nodes_in, edges_in);
+
+  for (const char* key :
+       {"name", "enabled", "logons", "weight", "title", "spns"}) {
+    const PropertyValue* a = original.node_property(0, key);
+    const PropertyValue* b = rebuilt.node_property(0, key);
+    ASSERT_NE(a, nullptr) << key;
+    ASSERT_NE(b, nullptr) << key;
+    EXPECT_EQ(*a, *b) << key;
+    EXPECT_EQ(a->index_key(), b->index_key()) << key;  // same variant alt
+  }
+  EXPECT_EQ(rebuilt.rel_type_name(rebuilt.rel(0).type), "MemberOf");
+  const PropertyValue* cost =
+      get_property(rebuilt.rel(0).properties, rebuilt.intern_key("cost"));
+  ASSERT_NE(cost, nullptr);
+  ASSERT_TRUE(cost->is_double());
+  EXPECT_DOUBLE_EQ(cost->as_double(), 3.5);
+}
+
+TEST(CsvImport, FileRoundTripAndErrors) {
+  const GraphStore original = typed_store();
+  const std::string prefix = ::testing::TempDir() + "/adsynth_csv_rt";
+  export_csv_files(original, prefix);
+  GraphStore rebuilt;
+  const CsvImportStats stats = import_csv_files(rebuilt, prefix);
+  EXPECT_EQ(stats.nodes, 2u);
+  EXPECT_EQ(stats.rels, 1u);
+  EXPECT_THROW(import_csv_files(rebuilt, "/nonexistent/dir/x"),
+               std::runtime_error);
+}
+
+TEST(CsvImport, MalformedInputThrows) {
+  GraphStore store;
+  {  // bad nodes header
+    std::istringstream nodes("oops,labels\n"), edges("source,target,type\n");
+    EXPECT_THROW(import_csv(store, nodes, edges), std::runtime_error);
+  }
+  {  // ragged nodes row
+    std::istringstream nodes("id,labels,name\n0,User\n");
+    std::istringstream edges("source,target,type\n");
+    EXPECT_THROW(import_csv(store, nodes, edges), std::runtime_error);
+  }
+  {  // edge referencing an unknown node id
+    std::istringstream nodes("id,labels\n0,User\n");
+    std::istringstream edges("source,target,type\n0,9,MemberOf\n");
+    EXPECT_THROW(import_csv(store, nodes, edges), std::runtime_error);
+  }
+  {  // non-numeric node id
+    std::istringstream nodes("id,labels\nx,User\n");
+    std::istringstream edges("source,target,type\n");
+    EXPECT_THROW(import_csv(store, nodes, edges), std::runtime_error);
+  }
+}
+
+TEST(CsvImport, TombstonedIdsNeedNotBeDense) {
+  GraphStore original = sample_store();
+  const NodeId extra = original.create_node({"Computer"});
+  original.create_relationship(extra, 0, "AdminTo");
+  original.delete_relationship(1);
+  original.delete_node(extra);  // export ids 0,1 stay; id 2 vanishes
+  std::ostringstream nodes_out, edges_out;
+  export_nodes_csv(original, nodes_out);
+  export_edges_csv(original, edges_out);
+  GraphStore rebuilt;
+  std::istringstream nodes_in(nodes_out.str());
+  std::istringstream edges_in(edges_out.str());
+  const CsvImportStats stats = import_csv(rebuilt, nodes_in, edges_in);
+  EXPECT_EQ(stats.nodes, 2u);
+  EXPECT_EQ(stats.rels, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+// Table-driven negative suite for the Cypher frontend: every rejected
+// statement must throw CypherError whose message carries the byte offset of
+// the offending token, and a failed parse must never mutate the store
+// (checked by running each bad statement through a live session and
+// auditing invariants afterwards).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graphdb/cypher.hpp"
+#include "graphdb/cypher_parser.hpp"
+#include "support/checked_store.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+struct BadStatement {
+  const char* name;
+  const char* text;
+  /// Substring the error message must contain (diagnostic quality pin).
+  const char* expect_substr;
+  /// Byte offset the message must report, or -1 to skip the offset check.
+  int expect_offset;
+};
+
+const BadStatement kBadStatements[] = {
+    // --- lexer: strict number literals (1.2.3 / 1e / 5e+ / 12abc) ---
+    {"DottedVersionNumber", "CREATE (n:User {v: 1.2.3})",
+     "malformed numeric literal", 22},
+    {"ExponentWithoutDigits", "CREATE (n:User {v: 1e})",
+     "exponent needs digits", 21},
+    {"SignedExponentWithoutDigits", "CREATE (n:User {v: 5e+})",
+     "exponent needs digits", 22},
+    {"NumberGluedToIdent", "CREATE (n:User {v: 12abc})",
+     "malformed numeric literal", 21},
+    // '1.' lexes as the int 1 (the '.' only joins a number when a digit
+    // follows), so the stray '.' is a property-map separator error.
+    {"LoneDecimalPoint", "CREATE (n:User {v: 1.})",
+     "expected ',' or '}' in property map", 20},
+    {"UnterminatedString", "CREATE (n:User {name: 'oops})",
+     "unterminated string literal", 22},
+    // --- parser: structure ---
+    {"EmptyStatement", "", "expected identifier", 0},
+    {"UnknownVerb", "FROBNICATE (n)", "expected CREATE, MERGE or MATCH", 11},
+    {"MissingPattern", "MATCH RETURN n", "expected '('", 6},
+    {"UnclosedNodePattern", "MATCH (n:User RETURN n", "expected ')'", 14},
+    {"MissingReturnItem", "MATCH (n:User) RETURN", "expected identifier", 21},
+    {"TrailingGarbage", "MATCH (n:User) RETURN n garbage", "trailing tokens",
+     24},
+    {"StrayCaret", "MATCH (n:User) RETURN n ^", "trailing tokens", 24},
+    {"BareExplain", "EXPLAIN", "expected identifier", 7},
+    // --- var-length bounds ---
+    {"InvertedHopBounds", "MATCH (a:User)-[r:MemberOf*3..1]->(b:Group) "
+                          "RETURN count(b)",
+     "variable-length bounds are inverted", -1},
+    {"HopsOnCreate", "MATCH (a:User), (b:Group) CREATE (a)-[r:MemberOf*1..2]"
+                     "->(b)",
+     "cannot CREATE a variable-length relationship", 26},
+    // --- WHERE / RETURN validation (planner; no byte offsets) ---
+    {"WhereUnboundVariable",
+     "MATCH (n:User) WHERE m.name = 'x' RETURN count(n)",
+     "unbound variable m", -1},
+    {"ReturnRelVariable",
+     "MATCH (a:User)-[r:MemberOf]->(b:Group) RETURN r",
+     "relationship variable", -1},
+    {"MixedCountAndColumn",
+     "MATCH (n:User) RETURN count(n), n.name", "cannot mix count", -1},
+    {"VarLengthRelPropertyProjection",
+     "MATCH (a:User)-[r:MemberOf*1..3]->(b:Group) RETURN r.weight",
+     "variable-length", -1},
+    {"VarLengthRelPropertyFilter",
+     "MATCH (a:User)-[r:MemberOf*1..3]->(b:Group) WHERE r.weight = 1 "
+     "RETURN count(b)",
+     "variable-length", -1},
+    {"LimitWithoutNumber", "MATCH (n:User) RETURN n LIMIT x",
+     "unexpected identifier 'x'", 30},
+    // --- anchors / paths ---
+    {"UnlabeledAnchor", "MATCH (n) RETURN count(n)",
+     "Cypher-lite requires a label", -1},
+    {"CartesianReadProduct",
+     "MATCH (a:User), (b:Group) RETURN count(a)", "cartesian", -1},
+    {"DuplicatePathVariable",
+     "MATCH (a:User)-[r:MemberOf]->(a:Group) RETURN count(a)",
+     "duplicate variable", -1},
+    // --- DELETE / SET shape (historical diagnostics preserved) ---
+    {"DeleteUnboundVariable", "MATCH (n:User) DELETE x",
+     "DELETE expects a bound node variable", -1},
+    {"SetUnboundVariable", "MATCH (n:User) SET m.name = 'x'",
+     "SET expects the bound node variable", -1},
+    // --- params ---
+    {"ParamMissingName", "MATCH (n:User {name: $}) RETURN count(n)",
+     "expected parameter name after '$'", -1},
+};
+
+using CypherParserNegative = ::testing::TestWithParam<BadStatement>;
+
+TEST_P(CypherParserNegative, ThrowsCypherErrorAtOffset) {
+  const BadStatement& bad = GetParam();
+  GraphStore store;
+  // Seed a store so statements fail in the frontend, not on empty data.
+  const NodeId u = store.create_node({"User"});
+  const NodeId g = store.create_node({"Group"});
+  store.create_relationship(u, g, "MemberOf");
+  CypherSession session(store);
+  try {
+    session.run(bad.text);
+    FAIL() << "statement accepted: " << bad.text;
+  } catch (const CypherError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(bad.expect_substr), std::string::npos)
+        << "message: " << msg;
+    if (bad.expect_offset >= 0) {
+      const std::string marker =
+          "near byte " + std::to_string(bad.expect_offset) + ":";
+      EXPECT_NE(msg.find(marker), std::string::npos) << "message: " << msg;
+    }
+  }
+  // A rejected statement must leave the store untouched and consistent.
+  EXPECT_EQ(store.node_count(), 2u);
+  EXPECT_EQ(store.rel_count(), 1u);
+  test_support::expect_store_invariants(store);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBadStatements, CypherParserNegative,
+    ::testing::ValuesIn(kBadStatements),
+    [](const ::testing::TestParamInfo<BadStatement>& info) {
+      return info.param.name;
+    });
+
+TEST(CypherParser, StrictNumbersThatMustLex) {
+  // Positive side of the strict-number rule: these must all parse.
+  GraphStore store;
+  CypherSession session(store);
+  session.run("CREATE (n:T {a: 1, b: -2, c: 3.5, d: 1e3, e: 2.5e-2, "
+              "f: -0.5})");
+  const auto result = session.run("MATCH (n:T) RETURN count(n)");
+  EXPECT_EQ(result.count, 1u);
+  const PropertyValue* d = store.node_property(0, "d");
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->is_double());
+  EXPECT_DOUBLE_EQ(d->as_double(), 1000.0);
+}
+
+TEST(CypherParser, RangeTokenDoesNotEatNumbers) {
+  // '1..2' must lex as NUMBER RANGE NUMBER (hop bounds), never as the
+  // malformed float '1.' followed by '.2'.
+  GraphStore store;
+  const NodeId a = store.create_node({"User"});
+  const NodeId b = store.create_node({"Group"});
+  store.create_relationship(a, b, "MemberOf");
+  CypherSession session(store);
+  const auto result = session.run(
+      "MATCH (a:User)-[r:MemberOf*1..2]->(b:Group) RETURN count(b)");
+  EXPECT_EQ(result.count, 1u);
+}
+
+TEST(CypherParser, ParseIsPureNoStoreNeeded) {
+  // parse() is a pure function of the text: AST shape checks, no store.
+  const cypher::Query q = cypher::parse(
+      "EXPLAIN MATCH (a:User {name: $who})-[r:MemberOf*2..4]->(b:Group) "
+      "WHERE b.highvalue = true RETURN count(b) LIMIT 5;");
+  EXPECT_TRUE(q.explain);
+  EXPECT_EQ(q.verb, cypher::Verb::kMatchRead);
+  ASSERT_EQ(q.paths.size(), 1u);
+  ASSERT_EQ(q.paths[0].rels.size(), 1u);
+  const cypher::RelPat& rel = q.paths[0].rels[0];
+  EXPECT_TRUE(rel.var_length);
+  EXPECT_EQ(rel.min_hops, 2u);
+  EXPECT_EQ(rel.max_hops, 4u);
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].var, "b");
+  EXPECT_EQ(q.where[0].key, "highvalue");
+  ASSERT_EQ(q.returns.size(), 1u);
+  EXPECT_EQ(q.returns[0].kind, cypher::ReturnItem::Kind::kCount);
+  ASSERT_TRUE(q.limit.has_value());
+  EXPECT_EQ(q.limit->literal.as_int(), 5);
+  ASSERT_EQ(q.paths[0].nodes[0].props.size(), 1u);
+  EXPECT_TRUE(q.paths[0].nodes[0].props[0].second.is_param());
+}
+
+TEST(CypherParser, HopBoundVariants) {
+  using cypher::RelPat;
+  auto rel_of = [](const char* text) {
+    return cypher::parse(text).paths[0].rels[0];
+  };
+  {
+    const RelPat r =
+        rel_of("MATCH (a:U)-[x:T*]->(b:G) RETURN count(b)");
+    EXPECT_TRUE(r.var_length);
+    EXPECT_EQ(r.min_hops, 1u);
+    EXPECT_EQ(r.max_hops, RelPat::kUnboundedHops);
+  }
+  {
+    const RelPat r =
+        rel_of("MATCH (a:U)-[x:T*3]->(b:G) RETURN count(b)");
+    EXPECT_EQ(r.min_hops, 3u);
+    EXPECT_EQ(r.max_hops, 3u);
+  }
+  {
+    const RelPat r =
+        rel_of("MATCH (a:U)-[x:T*..4]->(b:G) RETURN count(b)");
+    EXPECT_EQ(r.min_hops, 1u);
+    EXPECT_EQ(r.max_hops, 4u);
+  }
+  {
+    const RelPat r =
+        rel_of("MATCH (a:U)-[x:T*2..]->(b:G) RETURN count(b)");
+    EXPECT_EQ(r.min_hops, 2u);
+    EXPECT_EQ(r.max_hops, RelPat::kUnboundedHops);
+  }
+  {
+    const RelPat r =
+        rel_of("MATCH (a:U)-[x:T]->(b:G) RETURN count(b)");
+    EXPECT_FALSE(r.var_length);
+  }
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

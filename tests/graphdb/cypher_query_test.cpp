@@ -1,0 +1,409 @@
+// Feature tests for the query frontend: variable-length patterns checked
+// bit-identically against the util::bfs_distances oracle, EXPLAIN plan
+// selection (index-seek vs label-scan), $param binding, WHERE/LIMIT/
+// projections, and the prepared-statement plan cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphdb/cypher.hpp"
+#include "support/checked_store.hpp"
+#include "util/csr.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+using test_support::tag;
+
+/// Deterministic sparse digraph: kNodes nodes labelled :N with a unique
+/// int property k, and E edges per node chosen by a fixed affine map.
+constexpr std::size_t kNodes = 30;
+
+GraphStore oracle_store() {
+  GraphStore store;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    PropertyList props;
+    put_property(props, store.intern_key("k"),
+                 PropertyValue(static_cast<std::int64_t>(i)));
+    put_property(props, store.intern_key("name"), PropertyValue(tag("n", i)));
+    store.create_node({"N"}, std::move(props));
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    for (const std::size_t j : {(i * 7 + 3) % kNodes, (i * 13 + 5) % kNodes}) {
+      if (j != i) store.create_relationship(i, j, "E");
+    }
+  }
+  return store;
+}
+
+/// Forward CSR over the store's E edges, node ids == CSR indices.
+util::Csr oracle_csr(const GraphStore& store) {
+  util::Csr csr;
+  csr.offsets.assign(store.node_capacity() + 1, 0);
+  for (RelId r = 0; r < store.rel_capacity(); ++r) {
+    if (!store.rel(r).deleted) ++csr.offsets[store.rel(r).source + 1];
+  }
+  for (std::size_t v = 0; v < store.node_capacity(); ++v) {
+    csr.offsets[v + 1] += csr.offsets[v];
+  }
+  csr.targets.resize(csr.offsets.back());
+  csr.edge_ids.resize(csr.offsets.back());
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (RelId r = 0; r < store.rel_capacity(); ++r) {
+    if (store.rel(r).deleted) continue;
+    const std::uint32_t slot = cursor[store.rel(r).source]++;
+    csr.targets[slot] = static_cast<std::uint32_t>(store.rel(r).target);
+    csr.edge_ids[slot] = static_cast<std::uint32_t>(r);
+  }
+  return csr;
+}
+
+/// Node ids whose BFS hop distance from `source` lies in [min, max].
+std::vector<std::int64_t> oracle_targets(const util::Csr& csr,
+                                         std::uint32_t source,
+                                         std::int32_t min_hops,
+                                         std::int32_t max_hops) {
+  const std::vector<std::int32_t> dist =
+      util::bfs_distances(csr, {source});
+  std::vector<std::int64_t> out;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] != util::kBfsUnreachable && dist[v] >= min_hops &&
+        dist[v] <= max_hops) {
+      out.push_back(static_cast<std::int64_t>(v));
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> query_targets(CypherSession& session,
+                                        std::size_t source,
+                                        const char* hops) {
+  const QueryResult result = session.run(
+      "MATCH (a:N {k: " + std::to_string(source) + "})-[r:E" + hops +
+      "]->(b:N) RETURN b");
+  std::vector<std::int64_t> out;
+  for (const auto& row : result.rows) out.push_back(row.at(0).as_int());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(CypherVarLength, MatchesBfsOracleBitIdentically) {
+  GraphStore store = oracle_store();
+  const util::Csr csr = oracle_csr(store);
+  CypherSession session(store);
+  struct Bounds {
+    const char* pattern;
+    std::int32_t min, max;
+  };
+  const Bounds kBounds[] = {
+      {"*1..2", 1, 2},  {"*..3", 1, 3},   {"*2..4", 2, 4},
+      {"*3", 3, 3},     {"*0..1", 0, 1},  {"*", 1, INT32_MAX},
+      {"*2..", 2, INT32_MAX},
+  };
+  for (const Bounds& b : kBounds) {
+    for (std::uint32_t source = 0; source < kNodes; ++source) {
+      EXPECT_EQ(query_targets(session, source, b.pattern),
+                oracle_targets(csr, source, b.min, b.max))
+          << "pattern " << b.pattern << " source " << source;
+    }
+  }
+}
+
+TEST(CypherVarLength, SingleHopAgreesWithVarLengthOne) {
+  // -[:E]-> enumerates edges; -[:E*1..1]-> enumerates distance-1 pairs.
+  // On a simple-digraph store the target sets coincide.
+  GraphStore store = oracle_store();
+  CypherSession session(store);
+  for (std::uint32_t source = 0; source < kNodes; ++source) {
+    std::vector<std::int64_t> single =
+        query_targets(session, source, "");
+    std::sort(single.begin(), single.end());
+    single.erase(std::unique(single.begin(), single.end()), single.end());
+    EXPECT_EQ(single, query_targets(session, source, "*1..1"))
+        << "source " << source;
+  }
+}
+
+TEST(CypherVarLength, CountAggregatesPairs) {
+  GraphStore store = oracle_store();
+  const util::Csr csr = oracle_csr(store);
+  CypherSession session(store);
+  const QueryResult result = session.run(
+      "MATCH (a:N {k: 0})-[r:E*1..4]->(b:N) RETURN count(b)");
+  EXPECT_EQ(result.count,
+            static_cast<std::int64_t>(oracle_targets(csr, 0, 1, 4).size()));
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN and plan selection
+// ---------------------------------------------------------------------------
+
+GraphStore people_store() {
+  GraphStore store;
+  for (int i = 0; i < 8; ++i) {
+    PropertyList props;
+    put_property(props, store.intern_key("name"), PropertyValue(tag("u", i)));
+    put_property(props, store.intern_key("age"),
+                 PropertyValue(std::int64_t{20 + i}));
+    store.create_node({"User"}, std::move(props));
+  }
+  for (int i = 0; i < 3; ++i) {
+    PropertyList props;
+    put_property(props, store.intern_key("name"), PropertyValue(tag("g", i)));
+    store.create_node({"Group"}, std::move(props));
+  }
+  for (int i = 0; i < 8; ++i) {
+    store.create_relationship(i, 8 + (i % 3), "MemberOf");
+  }
+  return store;
+}
+
+TEST(CypherExplain, IndexSeekChosenWheneverIndexExists) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const char* query =
+      "EXPLAIN MATCH (n:User {name: 'u3'}) RETURN count(n)";
+  const QueryResult before = session.run(query);
+  EXPECT_NE(before.plan.find("LabelScan :User"), std::string::npos)
+      << before.plan;
+  EXPECT_EQ(before.plan.find("IndexSeek"), std::string::npos);
+
+  session.run("CREATE INDEX ON :User(name)");
+  const QueryResult after = session.run(query);
+  EXPECT_NE(after.plan.find("IndexSeek :User(name"), std::string::npos)
+      << after.plan;
+}
+
+TEST(CypherExplain, WhereEqualityUsesIndexToo) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  session.run("CREATE INDEX ON :User(age)");
+  const QueryResult result = session.run(
+      "EXPLAIN MATCH (n:User) WHERE n.age = 25 RETURN count(n)");
+  EXPECT_NE(result.plan.find("IndexSeek :User(age"), std::string::npos)
+      << result.plan;
+}
+
+TEST(CypherExplain, DoesNotExecute) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const QueryResult result =
+      session.run("EXPLAIN CREATE (n:User {name: 'ghost'})");
+  EXPECT_FALSE(result.plan.empty());
+  EXPECT_EQ(result.nodes_created, 0u);
+  EXPECT_EQ(store.node_count(), 11u);  // nothing materialized
+  EXPECT_EQ(session.run("MATCH (n:User {name: 'ghost'}) RETURN count(n)")
+                .count,
+            0);
+}
+
+TEST(CypherExplain, VarLengthRendersBfsOperator) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const QueryResult result = session.run(
+      "EXPLAIN MATCH (u:User {name: 'u0'})-[r:MemberOf*1..3]->(g:Group) "
+      "RETURN count(g)");
+  EXPECT_NE(result.plan.find("ExpandVarLength"), std::string::npos)
+      << result.plan;
+}
+
+// ---------------------------------------------------------------------------
+// Parameters and prepared statements
+// ---------------------------------------------------------------------------
+
+TEST(CypherParams, BindAtExecutionTime) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const PreparedStatement stmt = session.prepare(
+      "MATCH (n:User {name: $who}) RETURN count(n)");
+  EXPECT_EQ(session.execute(stmt, {{"who", PropertyValue("u3")}}).count, 1);
+  EXPECT_EQ(session.execute(stmt, {{"who", PropertyValue("nobody")}}).count,
+            0);
+}
+
+TEST(CypherParams, MissingBindingThrows) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const PreparedStatement stmt = session.prepare(
+      "MATCH (n:User {name: $who}) RETURN count(n)");
+  try {
+    session.execute(stmt);
+    FAIL() << "missing binding accepted";
+  } catch (const CypherError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing parameter $who"),
+              std::string::npos);
+  }
+}
+
+TEST(CypherParams, WhereAndLimitTakeParams) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const QueryResult result = session.run(
+      "MATCH (n:User) WHERE n.age >= $min RETURN n.name LIMIT $cap",
+      {{"min", PropertyValue(std::int64_t{24})},
+       {"cap", PropertyValue(std::int64_t{2})}});
+  EXPECT_EQ(result.rows.size(), 2u);
+}
+
+TEST(CypherParams, WriteVerbsTakeParams) {
+  GraphStore store;
+  test_support::expect_store_invariants(store);
+  CypherSession session(store);
+  session.run("CREATE (n:User {name: $who, age: $age})",
+              {{"who", PropertyValue("ALICE")},
+               {"age", PropertyValue(std::int64_t{30})}});
+  EXPECT_EQ(session.run("MATCH (n:User {name: 'ALICE'}) RETURN count(n)")
+                .count,
+            1);
+  session.run("MATCH (n:User {name: $who}) SET n.age = $age",
+              {{"who", PropertyValue("ALICE")},
+               {"age", PropertyValue(std::int64_t{31})}});
+  const PropertyValue* age = store.node_property(0, "age");
+  ASSERT_NE(age, nullptr);
+  EXPECT_EQ(age->as_int(), 31);
+  test_support::expect_store_invariants(store);
+}
+
+TEST(CypherPrepared, SurvivesCacheEviction) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const PreparedStatement stmt = session.prepare(
+      "MATCH (n:User {name: $who}) RETURN count(n)");
+  // Flood the cache far past capacity with distinct statement shapes.
+  for (std::size_t i = 0; i < CypherSession::kPlanCacheCapacity + 16; ++i) {
+    session.run("MATCH (n:User) WHERE n.age >= " + std::to_string(i) +
+                " RETURN count(n)");
+  }
+  EXPECT_LE(session.plan_cache_size(), CypherSession::kPlanCacheCapacity);
+  EXPECT_EQ(session.execute(stmt, {{"who", PropertyValue("u1")}}).count, 1);
+}
+
+TEST(CypherPrepared, ReplansAfterIndexCreation) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const PreparedStatement stmt = session.prepare(
+      "MATCH (n:User {name: $who}) RETURN count(n)");
+  session.run("CREATE INDEX ON :User(name)");
+  // The handle's plan predates the index; execute() must still be correct.
+  EXPECT_EQ(session.execute(stmt, {{"who", PropertyValue("u5")}}).count, 1);
+  // And a fresh EXPLAIN of the same text now shows the seek.
+  const QueryResult plan = session.run(
+      "EXPLAIN MATCH (n:User {name: $who}) RETURN count(n)");
+  EXPECT_NE(plan.plan.find("IndexSeek"), std::string::npos) << plan.plan;
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache accounting
+// ---------------------------------------------------------------------------
+
+TEST(CypherPlanCache, HitsOnRepeatAndOnWhitespaceVariants) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  session.run("MATCH (n:User) RETURN count(n)");
+  EXPECT_EQ(session.plan_cache_misses(), 1u);
+  EXPECT_EQ(session.plan_cache_hits(), 0u);
+  session.run("MATCH (n:User) RETURN count(n)");
+  EXPECT_EQ(session.plan_cache_hits(), 1u);
+  // Whitespace and a trailing semicolon normalize onto the same entry.
+  session.run("MATCH  (n:User)\n  RETURN   count(n) ;");
+  EXPECT_EQ(session.plan_cache_hits(), 2u);
+  EXPECT_EQ(session.plan_cache_misses(), 1u);
+  EXPECT_EQ(session.plan_cache_size(), 1u);
+}
+
+TEST(CypherPlanCache, StringLiteralsKeepTheirSpaces) {
+  GraphStore store;
+  CypherSession session(store);
+  session.run("CREATE (n:T {name: 'a b'})");
+  session.run("CREATE (n:T {name: 'a  b'})");  // distinct literal
+  EXPECT_EQ(session.plan_cache_misses(), 2u);
+  EXPECT_EQ(session.plan_cache_hits(), 0u);
+  EXPECT_EQ(session.run("MATCH (n:T {name: 'a  b'}) RETURN count(n)").count,
+            1);
+}
+
+TEST(CypherPlanCache, ParseFailuresAreNotCached) {
+  GraphStore store;
+  CypherSession session(store);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(session.run("MATCH (n:User) RETURN"), CypherError);
+  }
+  EXPECT_EQ(session.plan_cache_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WHERE / projections / LIMIT
+// ---------------------------------------------------------------------------
+
+TEST(CypherRead, ProjectionsFillColumnsAndRows) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  const QueryResult result = session.run(
+      "MATCH (n:User) WHERE n.age >= 24 AND n.age < 26 "
+      "RETURN n.name, n.age");
+  ASSERT_EQ(result.columns.size(), 2u);
+  EXPECT_EQ(result.columns[0], "n.name");
+  EXPECT_EQ(result.columns[1], "n.age");
+  ASSERT_EQ(result.rows.size(), 2u);  // ages 24, 25
+  for (const auto& row : result.rows) {
+    EXPECT_TRUE(row[0].is_string());
+    EXPECT_TRUE(row[1].is_int());
+  }
+}
+
+TEST(CypherRead, MissingPropertyProjectsNull) {
+  GraphStore store;
+  store.create_node({"T"});
+  CypherSession session(store);
+  const QueryResult result = session.run("MATCH (n:T) RETURN n.ghost");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0][0].is_null());
+}
+
+TEST(CypherRead, ComparisonOperators) {
+  GraphStore store = people_store();  // ages 20..27
+  CypherSession session(store);
+  auto count = [&](const char* where) {
+    return session
+        .run(std::string("MATCH (n:User) WHERE ") + where +
+             " RETURN count(n)")
+        .count;
+  };
+  EXPECT_EQ(count("n.age = 20"), 1);
+  EXPECT_EQ(count("n.age <> 20"), 7);
+  EXPECT_EQ(count("n.age < 22"), 2);
+  EXPECT_EQ(count("n.age <= 22"), 3);
+  EXPECT_EQ(count("n.age > 25"), 2);
+  EXPECT_EQ(count("n.age >= 25"), 3);
+  EXPECT_EQ(count("n.name >= 'u6'"), 2);  // lexicographic strings
+  EXPECT_EQ(count("n.age = 'u6'"), 0);    // cross-type eq never matches
+}
+
+TEST(CypherRead, LimitTruncatesRows) {
+  GraphStore store = people_store();
+  CypherSession session(store);
+  EXPECT_EQ(session.run("MATCH (n:User) RETURN n LIMIT 3").rows.size(), 3u);
+  EXPECT_EQ(session.run("MATCH (n:User) RETURN n LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(session.run("MATCH (n:User) RETURN n LIMIT 99").rows.size(), 8u);
+}
+
+TEST(CypherRead, TwoHopFixedPattern) {
+  GraphStore store;
+  const NodeId u = store.create_node({"User"});
+  const NodeId g1 = store.create_node({"Group"});
+  const NodeId g2 = store.create_node({"Group"});
+  store.create_relationship(u, g1, "MemberOf");
+  store.create_relationship(g1, g2, "MemberOf");
+  CypherSession session(store);
+  const QueryResult result = session.run(
+      "MATCH (u:User)-[a:MemberOf]->(g:Group)-[b:MemberOf]->(h:Group) "
+      "RETURN count(h)");
+  EXPECT_EQ(result.count, 1);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "util/json.hpp"
@@ -49,6 +50,27 @@ TEST(ApocJson, ExportEmitsOneRowPerRecord) {
   }
   EXPECT_EQ(nodes, 3u);
   EXPECT_EQ(rels, 2u);
+}
+
+TEST(ApocJson, RoundTripPreservesPropertyTypes) {
+  GraphStore store;
+  const NodeId n = store.create_node({"User"});
+  store.set_node_property(n, "weight", PropertyValue(2.0));  // whole double
+  store.set_node_property(n, "logons", PropertyValue(std::int64_t{42}));
+  store.set_node_property(n, "title", PropertyValue("42"));  // numeric string
+  std::stringstream buffer;
+  export_apoc_json(store, buffer);
+  const GraphStore imported = import_apoc_json(buffer);
+  const PropertyValue* weight = imported.node_property(0, "weight");
+  ASSERT_NE(weight, nullptr);
+  ASSERT_TRUE(weight->is_double());
+  EXPECT_DOUBLE_EQ(weight->as_double(), 2.0);
+  const PropertyValue* logons = imported.node_property(0, "logons");
+  ASSERT_NE(logons, nullptr);
+  EXPECT_TRUE(logons->is_int());
+  const PropertyValue* title = imported.node_property(0, "title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_TRUE(title->is_string());
 }
 
 TEST(ApocJson, RoundTripPreservesGraph) {

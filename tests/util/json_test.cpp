@@ -81,6 +81,17 @@ TEST(JsonValue, ObjectKeysSortedInDump) {
   EXPECT_EQ(JsonValue(std::move(o)).dump(), R"({"a":2,"b":1})");
 }
 
+TEST(JsonValue, WholeValuedDoublesKeepTypeThroughDump) {
+  // A double that happens to hold an integral value must not collapse to
+  // an int on re-parse: dump() forces a '.0' marker when %.17g emits none.
+  EXPECT_EQ(JsonValue(2.0).dump(), "2.0");
+  EXPECT_EQ(JsonValue(-3.0).dump(), "-3.0");
+  EXPECT_TRUE(JsonValue::parse(JsonValue(2.0).dump()).is_double());
+  EXPECT_TRUE(JsonValue::parse(JsonValue(1e6).dump()).is_double());
+  EXPECT_TRUE(JsonValue::parse(JsonValue(1e21).dump()).is_double());  // 1e+21
+  EXPECT_EQ(JsonValue(3.5).dump(), "3.5");  // fractional path unchanged
+}
+
 TEST(JsonValue, NonFiniteDoublesSerializeAsNull) {
   EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
   EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
@@ -111,6 +122,15 @@ TEST(JsonWriter, StreamsNestedDocument) {
   EXPECT_EQ(parsed.at("labels").as_array().size(), 2u);
   EXPECT_TRUE(parsed.at("props").at("enabled").as_bool());
   EXPECT_TRUE(parsed.at("props").at("none").is_null());
+}
+
+TEST(JsonWriter, WholeValuedDoublesKeepTypeThroughStream) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("weight", 2.0);
+  w.end_object();
+  EXPECT_TRUE(JsonValue::parse(out.str()).at("weight").is_double());
 }
 
 TEST(JsonWriter, RejectsMisuse) {

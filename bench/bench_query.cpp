@@ -84,12 +84,13 @@ int main(int argc, char** argv) {
 
   TraceCapture capture(args);
   util::TextTable table({"scenario", "ns_per_op", "cache_hits",
-                         "cache_misses"});
+                         "cache_misses", "cache_evictions"});
   util::JsonArray records;
   const auto record = [&](const char* name, double ns) {
     table.add_row({name, util::fixed(ns, 0),
                    std::to_string(session.plan_cache_hits()),
-                   std::to_string(session.plan_cache_misses())});
+                   std::to_string(session.plan_cache_misses()),
+                   std::to_string(session.plan_cache_evictions())});
     util::JsonObject rec;
     rec["name"] = std::string("query.") + name;
     rec["ns_per_op"] = ns;

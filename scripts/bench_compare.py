@@ -19,7 +19,14 @@ because baselines are recorded on whatever machine ran the seed PR.
 Improvements are reported but never fail the gate; refresh the baseline
 (cp build-ci/bench/BENCH_micro.json bench/baselines/) to ratchet it.
 
-Exit codes: 0 ok, 1 regression(s), 2 usage/format error.
+A fresh record with no baseline counterpart is a MISSING_BASELINE: a new
+benchmark landed without committing its baseline, so the gate has nothing
+to hold it to.  That fails with exit 2 (taking precedence over ordinary
+regressions) instead of silently passing as "new" — commit the refreshed
+baseline alongside the benchmark to clear it.
+
+Exit codes: 0 ok, 1 regression(s), 2 usage/format error or fresh
+record(s) missing from the baseline.
 """
 
 import argparse
@@ -75,6 +82,7 @@ def main():
     fresh = load(args.fresh)
 
     regressions = []
+    missing_baseline = []
     rows = []
 
     base_records = {record_key(r): r for r in base["records"]}
@@ -98,8 +106,12 @@ def main():
             verdict = "improved"
         rows.append((fmt_key(key), b_ns, f_ns, ratio, verdict))
     for key in sorted(set(fresh_records) - set(base_records)):
+        missing_baseline.append(
+            f"record {fmt_key(key)}: measured but absent from the baseline "
+            "(commit the refreshed baseline alongside the new benchmark)")
         rows.append((fmt_key(key), None,
-                     fresh_records[key]["ns_per_op"], None, "new"))
+                     fresh_records[key]["ns_per_op"], None,
+                     "MISSING_BASELINE"))
 
     base_phases = {p["name"]: p for p in base.get("phases", [])}
     fresh_phases = {p["name"]: p for p in fresh.get("phases", [])}
@@ -134,6 +146,20 @@ def main():
         r_s = f"{ratio:.2f}" if ratio is not None else "-"
         print(f"{name:<{name_w}}  {b_s:>12}  {f_s:>12}  {r_s:>6}  {verdict}")
 
+    if missing_baseline:
+        # Takes precedence over regressions: an ungated record means the
+        # comparison itself is incomplete, not merely failing.
+        print(f"\nbench_compare: {len(missing_baseline)} fresh record(s) "
+              "with no baseline (MISSING_BASELINE):", file=sys.stderr)
+        for m in missing_baseline:
+            print(f"  {m}", file=sys.stderr)
+        if regressions:
+            print(f"\nbench_compare: additionally {len(regressions)} "
+                  f"regression(s) beyond tolerance {args.tolerance:.2f}:",
+                  file=sys.stderr)
+            for r in regressions:
+                print(f"  {r}", file=sys.stderr)
+        return 2
     if regressions:
         print(f"\nbench_compare: {len(regressions)} regression(s) beyond "
               f"tolerance {args.tolerance:.2f}:", file=sys.stderr)

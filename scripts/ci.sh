@@ -20,6 +20,9 @@
 #   tidy       — clang-tidy profile (SKIP without clang-tidy)
 #   asan/tsan/ubsan — sanitizer lanes (SKIP when the compiler lacks the
 #                runtime; scripts/sanitize_lanes.sh probes before building)
+#   tsan.concurrency — the snapshot writer-vs-readers stress suites rerun
+#                under TSan with ADSYNTH_TEST_THREADS=8, as their own named
+#                stage (reuses the tsan lane's build tree)
 #
 # Usage: scripts/ci.sh [jobs]
 set -u
@@ -112,6 +115,11 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
     ./bench_query --repeats 3 &&
     python3 '$root/scripts/bench_compare.py' \
         '$root/bench/baselines/BENCH_query.json' BENCH_query.json \
+        --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\" &&
+    ./bench_concurrency --threads 8 &&
+    python3 '$root/scripts/bench_compare.py' \
+        '$root/bench/baselines/BENCH_concurrency.json' \
+        BENCH_concurrency.json \
         --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\""
 else
   record test SKIP   # no build to test; the build FAIL already gates exit
@@ -153,6 +161,21 @@ for lane in address thread undefined; do
     record "$name" SKIP
   fi
 done
+
+# --- concurrency stress under TSan -----------------------------------------
+# The snapshot writer-vs-readers suites get their own named stage with a
+# pinned reader width, so a data race in the MVCC path shows up in the table
+# as tsan.concurrency instead of hiding inside the general tsan lane.  It
+# reuses the build-tsan tree the lane above configured, so the extra cost is
+# one filtered ctest run.
+if sanitizer_supported thread; then
+  run_stage tsan.concurrency tsan_concurrency.log sh -c "
+    ADSYNTH_TEST_THREADS=8 '$root/scripts/sanitize_lanes.sh' '$jobs' thread \
+        '--filter=Snapshot|Concurrent'"
+else
+  echo "== ci stage: tsan.concurrency — SKIP (compiler lacks -fsanitize=thread)"
+  record tsan.concurrency SKIP
+fi
 
 # --- summary ---------------------------------------------------------------
 print_summary

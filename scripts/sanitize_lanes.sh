@@ -6,8 +6,9 @@
 #               transaction machinery: the rollback suite
 #               (tests/graphdb/rollback_test.cpp) replays undo logs over raw
 #               vector tails, exactly the code ASan is good at checking.
-#   thread    — parallel-determinism suite under TSan.  Gates
-#               src/util/parallel.* and the parallelized kernels.
+#   thread    — parallel-determinism and snapshot-concurrency suites under
+#               TSan.  Gates src/util/parallel.*, the parallelized kernels,
+#               and the MVCC writer-vs-readers stress tests.
 #   undefined — full test suite under UBSan with -fno-sanitize-recover=all:
 #               signed overflow, invalid shifts, misaligned loads and friends
 #               abort the run instead of printing and continuing.
@@ -16,17 +17,25 @@
 # -fsanitize= runtime, the script fails fast with a clear message instead of
 # surfacing a cryptic configure error halfway through.
 #
-# Usage: scripts/sanitize_lanes.sh [jobs] [lane...]
+# Usage: scripts/sanitize_lanes.sh [jobs] [lane...] [--filter=REGEX]
 #   scripts/sanitize_lanes.sh            # all three lanes, auto jobs
 #   scripts/sanitize_lanes.sh 8 thread   # just the TSan lane with 8 jobs
+#   scripts/sanitize_lanes.sh thread '--filter=Snapshot|Concurrent'
+#                                        # TSan over the MVCC stress suites
+#
+# --filter overrides the lane's default ctest -R selection (the thread
+# lane defaults to 'Parallel|Snapshot|Concurrent': the deterministic-
+# parallelism suites plus the snapshot writer-vs-readers stress tests).
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
 jobs=""
 lanes=""
+filter=""
 for arg in "$@"; do
   case "$arg" in
+    --filter=*) filter="${arg#--filter=}" ;;
     address|thread|undefined) lanes="$lanes $arg" ;;
     *[!0-9]*) echo "sanitize_lanes: unknown argument '$arg'" >&2; exit 2 ;;
     *) jobs="$arg" ;;
@@ -84,9 +93,9 @@ done
 
 for lane in $lanes; do
   case "$lane" in
-    address)   run_lane address asan "" ;;
-    thread)    run_lane thread tsan Parallel ;;
-    undefined) run_lane undefined ubsan "" ;;
+    address)   run_lane address asan "${filter:-}" ;;
+    thread)    run_lane thread tsan "${filter:-Parallel|Snapshot|Concurrent}" ;;
+    undefined) run_lane undefined ubsan "${filter:-}" ;;
   esac
 done
 

@@ -95,8 +95,12 @@ GraphStore to_store(const AttackGraph& graph, const std::string& domain_fqdn,
   return store;
 }
 
-AttackGraph from_store(const GraphStore& store) {
-  ADSYNTH_SPAN("adcore.from_store");
+namespace {
+
+/// Shared reader body of from_store / from_snapshot: StoreT is GraphStore
+/// or graphdb::SnapshotView, whose read APIs agree by construction.
+template <typename StoreT>
+AttackGraph attack_graph_from(const StoreT& store) {
   AttackGraph graph;
   graph.reserve(store.node_count(), store.rel_count());
 
@@ -161,6 +165,18 @@ AttackGraph from_store(const GraphStore& store) {
     graph.add_edge(remap[rec.source], remap[rec.target], *kind, violation);
   }
   return graph;
+}
+
+}  // namespace
+
+AttackGraph from_store(const GraphStore& store) {
+  ADSYNTH_SPAN("adcore.from_store");
+  return attack_graph_from(store);
+}
+
+AttackGraph from_snapshot(const graphdb::SnapshotView& view) {
+  ADSYNTH_SPAN("adcore.from_snapshot");
+  return attack_graph_from(view);
 }
 
 }  // namespace adsynth::adcore

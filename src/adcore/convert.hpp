@@ -3,6 +3,7 @@
 #pragma once
 
 #include "adcore/attack_graph.hpp"
+#include "graphdb/snapshot.hpp"
 #include "graphdb/store.hpp"
 
 namespace adsynth::adcore {
@@ -24,5 +25,12 @@ graphdb::GraphStore to_store(const AttackGraph& graph,
 /// AttackGraph.  Unknown labels/relationship types throw std::runtime_error;
 /// tier/flags are restored from properties when present.
 AttackGraph from_store(const graphdb::GraphStore& store);
+
+/// from_store asked of an immutable snapshot — the same reader body
+/// compiled against SnapshotView, so analytics can rebuild an AttackGraph
+/// from a committed epoch while the writer keeps mutating the store.
+/// Produces the identical AttackGraph from_store would for the state the
+/// snapshot captured.
+AttackGraph from_snapshot(const graphdb::SnapshotView& view);
 
 }  // namespace adsynth::adcore

@@ -317,4 +317,43 @@ LiveEdgeBlockResult block_edges_live(graphdb::GraphStore& store,
   return result;
 }
 
+LiveEdgeBlockResult block_edges_snapshot(graphdb::GraphStore& store,
+                                         std::size_t budget) {
+  ADSYNTH_SPAN("defense.edge_block_snapshot");
+  const graphdb::Snapshot snap = store.snapshot();
+  const SnapshotWhatIf whatif(snap);
+  LiveEdgeBlockResult result;
+  result.entry_users = whatif.entry_users().size();
+
+  // The accumulated cut set; candidate branches fork from it, winners fold
+  // back into it.  The store itself is untouched throughout.
+  WhatIfOverlay cut;
+  result.entry_users_connected = whatif.survivors(cut);
+
+  for (std::size_t round = 0; round < budget; ++round) {
+    const std::vector<graphdb::RelId> path = whatif.shortest_attack_path(cut);
+    if (path.empty()) break;  // every entry user is already cut off
+    const std::vector<std::size_t> alive =
+        parallel_edge_survivors(whatif, cut, path);
+    graphdb::RelId best = graphdb::kNoRel;
+    std::size_t best_survivors = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (alive[i] < best_survivors) {
+        best_survivors = alive[i];
+        best = path[i];
+      }
+    }
+    cut.block_edge(best);  // adopt the round's winner
+    result.blocked_rels.push_back(best);
+  }
+  const std::size_t alive = whatif.survivors(cut);
+
+  result.attacker_success =
+      result.entry_users == 0
+          ? 0.0
+          : static_cast<double>(alive) /
+                static_cast<double>(result.entry_users);
+  return result;
+}
+
 }  // namespace adsynth::defense

@@ -103,4 +103,15 @@ struct LiveEdgeBlockResult {
 LiveEdgeBlockResult block_edges_live(graphdb::GraphStore& store,
                                      std::size_t budget);
 
+/// The same greedy interdiction played against one immutable
+/// GraphStore::snapshot(): every edge of the round's shortest path is
+/// probed as a forked WhatIfOverlay branch evaluated concurrently on the
+/// work-stealing pool, so a path of k edges costs one parallel region
+/// instead of k serial speculate/rollback sweeps.  The round winner is the
+/// strict-< first-index argmin — identical tie-breaking to the serial probe
+/// loop — so the result is bit-identical to block_edges_live for equal
+/// committed state, at any thread count.  The store is never mutated.
+LiveEdgeBlockResult block_edges_snapshot(graphdb::GraphStore& store,
+                                         std::size_t budget);
+
 }  // namespace adsynth::defense

@@ -215,4 +215,51 @@ LiveHoneypotResult place_honeypots_live(graphdb::GraphStore& store,
   return result;
 }
 
+LiveHoneypotResult place_honeypots_snapshot(graphdb::GraphStore& store,
+                                            std::size_t count) {
+  const graphdb::Snapshot snap = store.snapshot();
+  const SnapshotWhatIf whatif(snap);
+  LiveHoneypotResult result;
+  WhatIfOverlay placed;  // accumulated placements; branches fork from it
+  result.entry_users_connected = whatif.survivors(placed);
+  if (result.entry_users_connected == 0) return result;
+  const double baseline =
+      static_cast<double>(result.entry_users_connected);
+  const auto& entries = whatif.entry_users();
+
+  for (std::size_t round = 0; round < count; ++round) {
+    const std::vector<graphdb::RelId> path =
+        whatif.shortest_attack_path(placed);
+    if (path.empty()) break;  // every entry user already stranded
+    // Candidate hosts in the serial loop's hop order: the targets of every
+    // hop but the last (Domain Admins itself), minus entry users.
+    std::vector<graphdb::NodeId> candidates;
+    candidates.reserve(path.size());
+    for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+      const graphdb::NodeId candidate = whatif.view().rel(path[hop]).target;
+      if (std::find(entries.begin(), entries.end(), candidate) !=
+          entries.end()) {
+        continue;  // planting on an attacker account detects nothing
+      }
+      candidates.push_back(candidate);
+    }
+    const std::vector<std::size_t> alive =
+        parallel_node_survivors(whatif, placed, candidates);
+    graphdb::NodeId best = graphdb::kNoNode;
+    std::size_t best_survivors = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (alive[i] < best_survivors) {
+        best_survivors = alive[i];
+        best = candidates[i];
+      }
+    }
+    if (best == graphdb::kNoNode) break;  // path is entry→target direct
+    placed.block_node(best);
+    result.placements.push_back(best);
+    result.coverage_after.push_back(
+        1.0 - static_cast<double>(whatif.survivors(placed)) / baseline);
+  }
+  return result;
+}
+
 }  // namespace adsynth::defense

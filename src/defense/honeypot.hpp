@@ -72,4 +72,13 @@ struct LiveHoneypotResult {
 LiveHoneypotResult place_honeypots_live(graphdb::GraphStore& store,
                                         std::size_t count);
 
+/// The same greedy placement against one immutable GraphStore::snapshot():
+/// the round's candidate hosts are probed as forked WhatIfOverlay branches
+/// evaluated concurrently on the work-stealing pool, with the serial loop's
+/// strict-< first-candidate tie-breaking — bit-identical placements to
+/// place_honeypots_live for equal committed state, at any thread count.
+/// The store is never mutated.
+LiveHoneypotResult place_honeypots_snapshot(graphdb::GraphStore& store,
+                                            std::size_t count);
+
 }  // namespace adsynth::defense

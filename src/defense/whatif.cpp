@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <stdexcept>
+#include <utility>
 
 #include "adcore/schema.hpp"
+#include "util/parallel.hpp"
 
 namespace adsynth::defense {
 
@@ -118,6 +120,178 @@ std::vector<RelId> WhatIf::shortest_attack_path() const {
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+void WhatIfOverlay::block_edge(RelId rel) {
+  const auto it =
+      std::lower_bound(blocked_rels.begin(), blocked_rels.end(), rel);
+  if (it == blocked_rels.end() || *it != rel) blocked_rels.insert(it, rel);
+}
+
+void WhatIfOverlay::block_node(NodeId node) {
+  const auto it =
+      std::lower_bound(blocked_nodes.begin(), blocked_nodes.end(), node);
+  if (it == blocked_nodes.end() || *it != node) blocked_nodes.insert(it, node);
+}
+
+bool WhatIfOverlay::edge_blocked(RelId rel) const {
+  return std::binary_search(blocked_rels.begin(), blocked_rels.end(), rel);
+}
+
+bool WhatIfOverlay::node_blocked(NodeId node) const {
+  return std::binary_search(blocked_nodes.begin(), blocked_nodes.end(), node);
+}
+
+SnapshotWhatIf::SnapshotWhatIf(graphdb::Snapshot snapshot)
+    : snapshot_(std::move(snapshot)) {
+  if (!snapshot_) {
+    throw std::logic_error("SnapshotWhatIf: null snapshot");
+  }
+  const graphdb::SnapshotView& view = *snapshot_;
+  // Same resolution rules as WhatIf's constructor, asked of the view: the
+  // two must agree on target/entries/types for equal committed state.
+  const auto da =
+      view.find_nodes("Group", "name", PropertyValue("DOMAIN ADMINS"));
+  if (da.empty()) {
+    throw std::logic_error("SnapshotWhatIf: store has no DOMAIN ADMINS group");
+  }
+  target_ = da.front();
+
+  const auto key_enabled = view.find_key("enabled");
+  const auto key_admin = view.find_key("admin");
+  for (const NodeId u : view.nodes_with_label("User")) {
+    const PropertyValue* enabled =
+        key_enabled ? view.node_property(u, *key_enabled) : nullptr;
+    if (enabled == nullptr || !enabled->is_bool() || !enabled->as_bool()) {
+      continue;
+    }
+    const PropertyValue* admin =
+        key_admin ? view.node_property(u, *key_admin) : nullptr;
+    if (admin != nullptr && admin->is_bool() && admin->as_bool()) continue;
+    entry_users_.push_back(u);
+  }
+
+  const std::size_t type_count = view.rel_type_count();
+  type_traversable_.resize(type_count, false);
+  for (std::size_t t = 0; t < type_count; ++t) {
+    const auto kind = adcore::parse_edge_kind(
+        view.rel_type_name(static_cast<graphdb::RelTypeId>(t)));
+    type_traversable_[t] = kind.has_value() && adcore::is_traversable(*kind);
+  }
+}
+
+bool SnapshotWhatIf::traversable(RelId rel,
+                                 const WhatIfOverlay& overlay) const {
+  const auto& rec = snapshot_->rel(rel);
+  return !rec.deleted && !overlay.edge_blocked(rel) &&
+         rec.type < type_traversable_.size() && type_traversable_[rec.type];
+}
+
+std::size_t SnapshotWhatIf::survivors(const WhatIfOverlay& overlay) const {
+  const graphdb::SnapshotView& view = *snapshot_;
+  if (view.node(target_).deleted || overlay.node_blocked(target_)) return 0;
+  // Identical reverse BFS to WhatIf::survivors; a blocked node counts as
+  // deleted everywhere a deleted node is skipped (its incident rels are
+  // then unreachable through it — DETACH semantics).
+  std::vector<char> reaches(view.node_capacity(), 0);
+  reaches[target_] = 1;
+  std::deque<NodeId> frontier{target_};
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const RelId r : view.node(v).in_rels) {
+      if (!traversable(r, overlay)) continue;
+      const NodeId u = view.rel(r).source;
+      if (reaches[u] || view.node(u).deleted || overlay.node_blocked(u)) {
+        continue;
+      }
+      reaches[u] = 1;
+      frontier.push_back(u);
+    }
+  }
+  std::size_t alive = 0;
+  for (const NodeId u : entry_users_) {
+    if (!view.node(u).deleted && !overlay.node_blocked(u) && reaches[u]) {
+      ++alive;
+    }
+  }
+  return alive;
+}
+
+std::vector<RelId> SnapshotWhatIf::shortest_attack_path(
+    const WhatIfOverlay& overlay) const {
+  const graphdb::SnapshotView& view = *snapshot_;
+  if (view.node(target_).deleted || overlay.node_blocked(target_)) return {};
+  std::vector<char> visited(view.node_capacity(), 0);
+  std::vector<RelId> parent_rel(view.node_capacity(), kNoRel);
+  std::vector<NodeId> parent_node(view.node_capacity(), kNoNode);
+  std::deque<NodeId> frontier;
+  for (const NodeId u : entry_users_) {
+    if (view.node(u).deleted || overlay.node_blocked(u) || visited[u]) {
+      continue;
+    }
+    visited[u] = 1;
+    frontier.push_back(u);
+  }
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const RelId r : view.node(v).out_rels) {
+      if (!traversable(r, overlay)) continue;
+      const NodeId w = view.rel(r).target;
+      if (visited[w] || view.node(w).deleted || overlay.node_blocked(w)) {
+        continue;
+      }
+      visited[w] = 1;
+      parent_rel[w] = r;
+      parent_node[w] = v;
+      if (w == target_) {
+        found = true;
+        break;
+      }
+      frontier.push_back(w);
+    }
+  }
+  if (!found) return {};
+  std::vector<RelId> path;
+  for (NodeId v = target_; parent_node[v] != kNoNode; v = parent_node[v]) {
+    path.push_back(parent_rel[v]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::size_t> parallel_edge_survivors(
+    const SnapshotWhatIf& whatif, const WhatIfOverlay& base,
+    const std::vector<RelId>& candidates) {
+  std::vector<std::size_t> alive(candidates.size(), 0);
+  util::parallel_for(
+      util::global_pool(), 0, candidates.size(), 1,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          WhatIfOverlay branch = base;  // fork the branch under test
+          branch.block_edge(candidates[i]);
+          alive[i] = whatif.survivors(branch);
+        }
+      });
+  return alive;
+}
+
+std::vector<std::size_t> parallel_node_survivors(
+    const SnapshotWhatIf& whatif, const WhatIfOverlay& base,
+    const std::vector<NodeId>& candidates) {
+  std::vector<std::size_t> alive(candidates.size(), 0);
+  util::parallel_for(
+      util::global_pool(), 0, candidates.size(), 1,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          WhatIfOverlay branch = base;
+          branch.block_node(candidates[i]);
+          alive[i] = whatif.survivors(branch);
+        }
+      });
+  return alive;
 }
 
 }  // namespace adsynth::defense

@@ -10,11 +10,23 @@
 // speculative mutation + rollback instead of copying graph views, which is
 // what lets the defender loops (edge blocking, double oracle, honeypots)
 // scale to dynamic stores that are mutated between evaluations.
+//
+// WhatIf is inherently serial: every probe mutates the one store, so probes
+// must run one at a time.  SnapshotWhatIf lifts the same questions onto an
+// immutable GraphStore::snapshot(): each speculative branch is a cheap
+// copy-on-write WhatIfOverlay (a sorted set of blocked rel/node ids layered
+// over the shared view), so any number of branches evaluate concurrently on
+// the work-stealing pool — see parallel_edge_survivors().  The two lenses
+// are exchange-equivalent: blocking an edge in an overlay answers exactly
+// like delete_relationship + rollback, and blocking a node answers exactly
+// like DETACH delete_node + rollback, so the `_snapshot` defender loops in
+// edge_block/honeypot produce bit-identical picks to their `_live` twins.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "graphdb/snapshot.hpp"
 #include "graphdb/store.hpp"
 
 namespace adsynth::defense {
@@ -69,5 +81,72 @@ class WhatIf {
   std::vector<graphdb::NodeId> entry_users_;
   std::vector<bool> type_traversable_;  // indexed by RelTypeId
 };
+
+/// A speculative branch over a snapshot: the set of blocked relationships
+/// and nodes, kept as sorted id vectors (membership is a binary search).
+/// Copying an overlay forks the branch — the copy-on-write unit of the
+/// parallel what-if fan-out.  Blocking a node has DETACH semantics for
+/// reachability: its incident relationships are skipped via the endpoint
+/// check, exactly as delete_node(detach=true) tombstones them.
+struct WhatIfOverlay {
+  std::vector<graphdb::RelId> blocked_rels;
+  std::vector<graphdb::NodeId> blocked_nodes;
+
+  void block_edge(graphdb::RelId rel);
+  void block_node(graphdb::NodeId node);
+  bool edge_blocked(graphdb::RelId rel) const;
+  bool node_blocked(graphdb::NodeId node) const;
+};
+
+/// WhatIf's questions asked of an immutable snapshot instead of the live
+/// store.  Construction resolves the same target / entry population /
+/// traversable types (throwing std::logic_error without a DOMAIN ADMINS
+/// group); evaluation takes a WhatIfOverlay describing the branch under
+/// test.  The object is immutable after construction and every method is
+/// const, so one SnapshotWhatIf is safely shared by all pool workers — the
+/// per-branch state lives entirely in the overlay each caller passes.
+class SnapshotWhatIf {
+ public:
+  explicit SnapshotWhatIf(graphdb::Snapshot snapshot);
+
+  const graphdb::SnapshotView& view() const { return *snapshot_; }
+  graphdb::NodeId target() const { return target_; }
+  const std::vector<graphdb::NodeId>& entry_users() const {
+    return entry_users_;
+  }
+
+  /// True when the relationship is live in the snapshot, not blocked by the
+  /// overlay, and attacker-traversable.
+  bool traversable(graphdb::RelId rel, const WhatIfOverlay& overlay) const;
+
+  /// Entry users that still reach the target under the overlay's blocks
+  /// (same reverse BFS as WhatIf::survivors, same visit order).
+  std::size_t survivors(const WhatIfOverlay& overlay) const;
+
+  /// One shortest surviving entry→target path under the overlay (same
+  /// deterministic multi-source BFS as WhatIf::shortest_attack_path).
+  std::vector<graphdb::RelId> shortest_attack_path(
+      const WhatIfOverlay& overlay) const;
+
+ private:
+  graphdb::Snapshot snapshot_;
+  graphdb::NodeId target_ = graphdb::kNoNode;
+  std::vector<graphdb::NodeId> entry_users_;
+  std::vector<bool> type_traversable_;  // indexed by RelTypeId
+};
+
+/// Probes every candidate edge concurrently: slot i receives the survivor
+/// count of `base` + block_edge(candidates[i]).  Branches are forked
+/// overlays evaluated on the global work-stealing pool, one candidate per
+/// grain — results land in candidate order, so any reduction over them is
+/// deterministic at every thread count.
+std::vector<std::size_t> parallel_edge_survivors(
+    const SnapshotWhatIf& whatif, const WhatIfOverlay& base,
+    const std::vector<graphdb::RelId>& candidates);
+
+/// Node-blocking twin of parallel_edge_survivors (honeypot placement).
+std::vector<std::size_t> parallel_node_survivors(
+    const SnapshotWhatIf& whatif, const WhatIfOverlay& base,
+    const std::vector<graphdb::NodeId>& candidates);
 
 }  // namespace adsynth::defense

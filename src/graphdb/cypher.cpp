@@ -124,8 +124,30 @@ PreparedStatement CypherSession::prepare_cached(std::string_view statement) {
   if (plan_lru_.size() > kPlanCacheCapacity) {
     plan_cache_.erase(std::string_view(plan_lru_.back().key));
     plan_lru_.pop_back();
+    ++plan_cache_evictions_;
+    ADSYNTH_METRIC_COUNT("graphdb.plan_cache.evictions", 1);
   }
   return shared;
+}
+
+QueryResult CypherSession::execute_read(const SnapshotView& view,
+                                        const PreparedStatement& statement,
+                                        const Params& params) {
+  if (!statement) {
+    throw CypherError("execute_read() called with a null PreparedStatement");
+  }
+  // Deliberately unspanned: this is the per-call hot path of the reader
+  // fan-out, and benches measure it in the tens-of-ns regime.
+  return cypher::execute_read_query(view, statement->plan, params);
+}
+
+QueryResult CypherSession::execute_read(const Snapshot& snapshot,
+                                        const PreparedStatement& statement,
+                                        const Params& params) {
+  if (!snapshot) {
+    throw CypherError("execute_read() called with a null Snapshot");
+  }
+  return execute_read(*snapshot, statement, params);
 }
 
 QueryResult CypherSession::run_prepared(const PreparedQuery& prepared,

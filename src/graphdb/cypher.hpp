@@ -133,6 +133,25 @@ class CypherSession {
   QueryResult execute(const PreparedStatement& statement,
                       const Params& params = {});
 
+  /// Executes a prepared read statement against an immutable snapshot —
+  /// the concurrent-serving path: any number of reader threads call this
+  /// with views of the store one writer session keeps committing to.
+  /// Static on purpose: it touches no session state (no journal, no undo
+  /// scope, no plan-cache traffic), so it is safe to call from any thread
+  /// while the owning session executes writes.  Reuses the prepared plan
+  /// as-is; a snapshot whose root predates an index simply serves the seek
+  /// through its label scan (same rows).  Mutating statements throw
+  /// CypherError.
+  static QueryResult execute_read(const SnapshotView& view,
+                                  const PreparedStatement& statement,
+                                  const Params& params = {});
+
+  /// Convenience overload taking the shared handle GraphStore::snapshot()
+  /// returns.
+  static QueryResult execute_read(const Snapshot& snapshot,
+                                  const PreparedStatement& statement,
+                                  const Params& params = {});
+
   /// Begins an explicit transaction: subsequent run() calls batch under a
   /// single commit record (the `session.begin_transaction()` pattern of the
   /// Neo4j drivers — what the baseline tools *could* have used to amortize
@@ -163,9 +182,12 @@ class CypherSession {
   /// Statements undone at their savepoint because execution threw.
   std::size_t statement_rollbacks() const { return statement_rollbacks_; }
 
-  /// Plan-cache accounting: run() calls served from / missing the cache.
+  /// Plan-cache accounting: run() calls served from / missing the cache,
+  /// and entries evicted by the LRU capacity bound.  Mirrored into the
+  /// metrics registry as graphdb.plan_cache.{hits,misses,evictions}.
   std::size_t plan_cache_hits() const { return plan_cache_hits_; }
   std::size_t plan_cache_misses() const { return plan_cache_misses_; }
+  std::size_t plan_cache_evictions() const { return plan_cache_evictions_; }
   std::size_t plan_cache_size() const { return plan_cache_.size(); }
 
   /// The retained commit records, oldest first (at most kJournalCapacity).
@@ -217,6 +239,7 @@ class CypherSession {
       plan_cache_;
   std::size_t plan_cache_hits_ = 0;
   std::size_t plan_cache_misses_ = 0;
+  std::size_t plan_cache_evictions_ = 0;
 };
 
 }  // namespace adsynth::graphdb

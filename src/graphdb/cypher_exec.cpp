@@ -80,9 +80,16 @@ bool eval_cmp(const PropertyValue* lhs, CmpOp op, const PropertyValue& rhs) {
 // ---------------------------------------------------------------------------
 // Node-pattern matching (single comma patterns; same anchoring as the
 // original executor: find_nodes on the first property, else a label scan)
+//
+// The whole read pipeline from here down to run_read is templated over the
+// store type: StoreT is either GraphStore (live execution inside a
+// session) or SnapshotView (lock-free execution against a committed
+// epoch).  Both expose the same read API with the same result ordering, so
+// instantiations agree row-for-row on equal committed state.
 // ---------------------------------------------------------------------------
 
-bool node_matches(const GraphStore& store, NodeId n, const NodePat& pat,
+template <typename StoreT>
+bool node_matches(const StoreT& store, NodeId n, const NodePat& pat,
                   const Params& params) {
   if (store.node(n).deleted) return false;
   for (const std::string& label : pat.labels) {
@@ -96,7 +103,8 @@ bool node_matches(const GraphStore& store, NodeId n, const NodePat& pat,
   return true;
 }
 
-std::vector<NodeId> match_node_pattern(const GraphStore& store,
+template <typename StoreT>
+std::vector<NodeId> match_node_pattern(const StoreT& store,
                                        const NodePat& pat,
                                        const Params& params) {
   if (pat.labels.empty()) {
@@ -164,7 +172,8 @@ PredIndex index_predicates(const Query& q) {
   return idx;
 }
 
-bool node_slot_ok(const GraphStore& store, NodeId n, const NodePat& pat,
+template <typename StoreT>
+bool node_slot_ok(const StoreT& store, NodeId n, const NodePat& pat,
                   const std::vector<const Predicate*>& preds,
                   const Params& params) {
   if (!node_matches(store, n, pat, params)) return false;
@@ -177,7 +186,8 @@ bool node_slot_ok(const GraphStore& store, NodeId n, const NodePat& pat,
   return true;
 }
 
-bool rel_slot_ok(const GraphStore& store, const RelRecord& rec,
+template <typename StoreT>
+bool rel_slot_ok(const StoreT& store, const RelRecord& rec,
                  const RelPat& pat,
                  const std::vector<const Predicate*>& preds,
                  const Params& params) {
@@ -200,7 +210,8 @@ bool rel_slot_ok(const GraphStore& store, const RelRecord& rec,
 /// properties), oriented along the expansion direction.  Built once per
 /// variable-length hop, then every row's BFS runs on it — this is exactly
 /// the adjacency analytics/reachability builds, so distances agree.
-util::Csr build_hop_csr(const GraphStore& store, const RelPat& pat,
+template <typename StoreT>
+util::Csr build_hop_csr(const StoreT& store, const RelPat& pat,
                         bool forward, const Params& params) {
   util::Csr csr;
   const std::size_t n = store.node_capacity();
@@ -243,7 +254,8 @@ util::Csr build_hop_csr(const GraphStore& store, const RelPat& pat,
 /// planner's expansion direction: forward rows extend nodes[hop] ->
 /// nodes[hop+1] over out_rels; backward rows extend nodes[hop+1] ->
 /// nodes[hop] over in_rels.
-std::vector<Row> expand_hop(const GraphStore& store, const Query& q,
+template <typename StoreT>
+std::vector<Row> expand_hop(const StoreT& store, const Query& q,
                             const PredIndex& preds, std::vector<Row> rows,
                             std::size_t hop, bool forward,
                             const Params& params) {
@@ -310,7 +322,8 @@ std::vector<Row> expand_hop(const GraphStore& store, const Query& q,
   return out;
 }
 
-std::vector<Row> expand_path(const GraphStore& store,
+template <typename StoreT>
+std::vector<Row> expand_path(const StoreT& store,
                              const PlannedQuery& plan, const Params& params) {
   const Query& q = plan.ast;
   const PathPattern& path = q.paths.front();
@@ -376,7 +389,8 @@ std::optional<Slot> find_slot(const PathPattern& path, std::string_view var) {
   return std::nullopt;
 }
 
-QueryResult run_read(GraphStore& store, const PlannedQuery& plan,
+template <typename StoreT>
+QueryResult run_read(const StoreT& store, const PlannedQuery& plan,
                      const Params& params) {
   QueryResult result;
   const Query& q = plan.ast;
@@ -581,6 +595,23 @@ QueryResult execute_query(GraphStore& store, const PlannedQuery& plan,
     }
   }
   return result;
+}
+
+QueryResult execute_read_query(const SnapshotView& view,
+                               const PlannedQuery& plan,
+                               const Params& params) {
+  const Query& q = plan.ast;
+  if (q.explain) {
+    QueryResult result;
+    result.plan = plan.explain_text;
+    return result;
+  }
+  if (q.verb != Verb::kMatchRead) {
+    throw CypherError(
+        "snapshot execution is read-only: only MATCH ... RETURN (or "
+        "EXPLAIN) can run against a SnapshotView");
+  }
+  return run_read(view, plan, params);
 }
 
 }  // namespace adsynth::graphdb::cypher

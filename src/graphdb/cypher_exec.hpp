@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graphdb/cypher_planner.hpp"
+#include "graphdb/snapshot.hpp"
 #include "graphdb/store.hpp"
 
 namespace adsynth::graphdb {
@@ -41,6 +42,15 @@ namespace cypher {
 /// (CypherSession) for savepoint/commit bookkeeping.
 QueryResult execute_query(GraphStore& store, const PlannedQuery& plan,
                           const Params& params);
+
+/// Executes a planned read statement (MATCH ... RETURN, or EXPLAIN of any
+/// verb) against an immutable snapshot — the lock-free path concurrent
+/// read sessions take while a writer commits.  The read pipeline is the
+/// same code execute_query compiles against GraphStore, so for equal
+/// committed state the results are identical.  Mutating verbs throw
+/// CypherError: a snapshot cannot accept writes.
+QueryResult execute_read_query(const SnapshotView& view,
+                               const PlannedQuery& plan, const Params& params);
 
 }  // namespace cypher
 }  // namespace adsynth::graphdb

@@ -1,0 +1,603 @@
+// MVCC snapshot publication, reads, reclamation accounting, and the
+// version-chain section of GraphStore::check_invariants().  See
+// snapshot.hpp for the representation and the threading contract.
+#include "graphdb/snapshot.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+
+#include "util/trace.hpp"
+
+namespace adsynth::graphdb {
+
+namespace {
+
+/// Overlay + batch delta beyond max(this, root/4) triggers a re-root.
+/// Small enough that tests can provoke compaction on toy stores, large
+/// enough that a steady trickle of commits amortizes to O(delta) publishes.
+constexpr std::size_t kSnapshotReRootMin = 64;
+
+// NodeRecord/RelRecord carry no operator== (nothing else needs one);
+// member-wise comparison keeps the audit honest about every field a reader
+// can observe, including the version stamp itself.
+bool same_record(const NodeRecord& a, const NodeRecord& b) {
+  return a.deleted == b.deleted && a.mutated_epoch == b.mutated_epoch &&
+         a.labels == b.labels && a.out_rels == b.out_rels &&
+         a.in_rels == b.in_rels && a.properties == b.properties;
+}
+
+bool same_record(const RelRecord& a, const RelRecord& b) {
+  return a.deleted == b.deleted && a.mutated_epoch == b.mutated_epoch &&
+         a.source == b.source && a.target == b.target && a.type == b.type &&
+         a.properties == b.properties;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// SnapshotView reads
+// --------------------------------------------------------------------------
+
+SnapshotView::~SnapshotView() {
+  if (!control_) return;
+  util::MutexLock lock(control_->mutex);
+  ++control_->reclaimed_views;
+  const auto it = control_->live.find(epoch_);
+  if (it != control_->live.end() && --(it->second) == 0) {
+    control_->live.erase(it);  // last reader of this epoch drained
+  }
+}
+
+std::optional<LabelId> SnapshotView::find_label(std::string_view name) const {
+  const auto it = label_index_.find(std::string(name));
+  if (it == label_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RelTypeId> SnapshotView::find_rel_type(
+    std::string_view name) const {
+  const auto it = rel_type_index_.find(std::string(name));
+  if (it == rel_type_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PropertyKeyId> SnapshotView::find_key(
+    std::string_view name) const {
+  const auto it = key_index_.find(std::string(name));
+  if (it == key_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& SnapshotView::label_name(LabelId id) const {
+  if (id >= label_names_.size()) {
+    throw std::out_of_range("SnapshotView: invalid label id");
+  }
+  return label_names_[id];
+}
+
+const std::string& SnapshotView::rel_type_name(RelTypeId id) const {
+  if (id >= rel_type_names_.size()) {
+    throw std::out_of_range("SnapshotView: invalid relationship type id");
+  }
+  return rel_type_names_[id];
+}
+
+const std::string& SnapshotView::key_name(PropertyKeyId id) const {
+  if (id >= key_names_.size()) {
+    throw std::out_of_range("SnapshotView: invalid property key id");
+  }
+  return key_names_[id];
+}
+
+const NodeRecord& SnapshotView::node(NodeId id) const {
+  if (id >= node_limit_) {
+    throw std::out_of_range("SnapshotView: invalid node id " +
+                            std::to_string(id));
+  }
+  const auto it = node_overlay_.find(id);
+  if (it != node_overlay_.end()) return it->second;
+  // Not in the overlay ⇒ untouched since the root epoch ⇒ id < root size
+  // (every node created after the root is in the overlay by construction).
+  return root_->nodes[id];
+}
+
+const RelRecord& SnapshotView::rel(RelId id) const {
+  if (id >= rel_limit_) {
+    throw std::out_of_range("SnapshotView: invalid relationship id " +
+                            std::to_string(id));
+  }
+  const auto it = rel_overlay_.find(id);
+  if (it != rel_overlay_.end()) return it->second;
+  return root_->rels[id];
+}
+
+bool SnapshotView::node_has_label(NodeId id, LabelId label) const {
+  const auto& labels = node(id).labels;
+  return std::binary_search(labels.begin(), labels.end(), label);
+}
+
+const PropertyValue* SnapshotView::node_property(NodeId id,
+                                                PropertyKeyId key) const {
+  return get_property(node(id).properties, key);
+}
+
+const PropertyValue* SnapshotView::node_property(NodeId id,
+                                                 std::string_view key) const {
+  const auto key_id = find_key(key);
+  if (!key_id) return nullptr;
+  return node_property(id, *key_id);
+}
+
+std::vector<NodeId> SnapshotView::nodes_with_label(
+    std::string_view label) const {
+  const auto id = find_label(label);
+  if (!id) return {};
+  // Root bucket (creation order, ids < root size) then appends (creation
+  // order, ids >= root size): the concatenation is exactly the store's
+  // bucket order for this committed state — node ids are monotone and
+  // label sets are immutable after creation.
+  const std::vector<NodeId>* base = *id < root_->label_buckets.size()
+                                        ? &root_->label_buckets[*id]
+                                        : nullptr;
+  const std::vector<NodeId>* grown =
+      *id < bucket_appends_.size() ? &bucket_appends_[*id] : nullptr;
+  std::vector<NodeId> out;
+  out.reserve((base != nullptr ? base->size() : 0) +
+              (grown != nullptr ? grown->size() : 0));
+  if (base != nullptr) {
+    for (const NodeId n : *base) {
+      if (!node(n).deleted) out.push_back(n);
+    }
+  }
+  if (grown != nullptr) {
+    for (const NodeId n : *grown) {
+      if (!node(n).deleted) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> SnapshotView::find_nodes(std::string_view label,
+                                             std::string_view key,
+                                             const PropertyValue& value) const {
+  const auto l = find_label(label);
+  const auto k = find_key(key);
+  if (!l || !k) return {};
+  for (const auto& idx : root_->indexes) {
+    if (idx.label != *l || idx.key != *k) continue;
+    std::vector<NodeId> out;
+    // Root pass: index candidates whose records are untouched since the
+    // root epoch; anything overlaid is deferred to the overlay pass, which
+    // sees its committed state (the index bucket may be stale for it).
+    const auto it = idx.buckets.find(value.index_key());
+    if (it != idx.buckets.end()) {
+      for (const NodeId n : it->second) {
+        if (node_overlay_.find(n) != node_overlay_.end()) continue;
+        const NodeRecord& rec = root_->nodes[n];
+        if (rec.deleted) continue;
+        const PropertyValue* v = get_property(rec.properties, *k);
+        if (v != nullptr && *v == value) out.push_back(n);
+      }
+    }
+    for (const NodeId n : touched_nodes_) {
+      const NodeRecord& rec = node_overlay_.find(n)->second;
+      if (rec.deleted) continue;
+      if (!std::binary_search(rec.labels.begin(), rec.labels.end(), *l)) {
+        continue;
+      }
+      const PropertyValue* v = get_property(rec.properties, *k);
+      if (v != nullptr && *v == value) out.push_back(n);
+    }
+    // The store's indexed path returns sorted/deduped ids; match it (the
+    // root pass can duplicate re-indexed values, and the two passes
+    // interleave id ranges).
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  // No index at the root epoch: label scan, same as the store's fallback
+  // (bucket order == ascending ids == sorted, so results still line up
+  // with an indexed store's output for the same committed state).
+  std::vector<NodeId> out;
+  for (const NodeId n : nodes_with_label(label)) {
+    const PropertyValue* v = node_property(n, *k);
+    if (v != nullptr && *v == value) out.push_back(n);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// GraphStore: publication and reclamation
+// --------------------------------------------------------------------------
+
+Snapshot GraphStore::snapshot() {
+  if (snapshot_control_) {
+    util::MutexLock lock(snapshot_control_->mutex);
+    if (snapshot_control_->published != nullptr) {
+      return snapshot_control_->published;
+    }
+  }
+  return materialize_root();
+}
+
+Snapshot GraphStore::materialize_root() {
+  if (recording()) {
+    throw std::logic_error(
+        "GraphStore: snapshot() has nothing published and cannot copy the "
+        "store while an undo scope is open (uncommitted state must not leak "
+        "into a snapshot); commit or abort first");
+  }
+  ADSYNTH_SPAN("graphdb.snapshot.materialize");
+  ADSYNTH_METRIC_COUNT("graphdb.snapshot.roots", 1);
+  if (!snapshot_control_) {
+    snapshot_control_ = std::make_shared<detail::SnapshotControl>();
+  }
+  const std::uint64_t epoch = ++epoch_;
+
+  auto root = std::make_shared<SnapshotView::Root>();
+  root->epoch = epoch;
+  root->nodes = nodes_;
+  root->rels = rels_;
+  root->label_buckets = label_buckets_;
+  root->indexes.reserve(indexes_.size());
+  for (const auto& idx : indexes_) {
+    SnapshotView::Root::Index copy;
+    copy.label = idx.label;
+    copy.key = idx.key;
+    copy.buckets = idx.buckets;
+    root->indexes.push_back(std::move(copy));
+  }
+
+  std::shared_ptr<SnapshotView> view(new SnapshotView());
+  view->root_ = std::move(root);
+  view->control_ = snapshot_control_;
+  view->epoch_ = epoch;
+  view->node_limit_ = static_cast<NodeId>(nodes_.size());
+  view->rel_limit_ = static_cast<RelId>(rels_.size());
+  view->live_nodes_ = node_count();
+  view->live_rels_ = rel_count();
+  view->label_names_ = labels_.names;
+  view->label_index_ = labels_.index;
+  view->rel_type_names_ = rel_types_.names;
+  view->rel_type_index_ = rel_types_.index;
+  view->key_names_ = keys_.names;
+  view->key_index_ = keys_.index;
+  view->bucket_appends_.resize(labels_.names.size());
+
+  Snapshot published = std::move(view);
+  Snapshot replaced;
+  {
+    util::MutexLock lock(snapshot_control_->mutex);
+    replaced = std::move(snapshot_control_->published);
+    snapshot_control_->published = published;
+    ++snapshot_control_->published_views;
+    ++snapshot_control_->live[epoch];
+  }
+  published_tail_ = published;
+  // `replaced` (normally null here — materialize follows invalidation)
+  // dies after the lock: a view destructor re-locks the control mutex.
+  return published;
+}
+
+void GraphStore::publish_delta() {
+  ADSYNTH_SPAN("graphdb.snapshot.publish");
+  const Snapshot prev = published_tail_;
+
+  // The undo log of the just-committed batch names exactly the records the
+  // batch touched — the inverse records double as the version chain.
+  std::vector<NodeId> touched_nodes;
+  std::vector<RelId> touched_rels;
+  for (const UndoOp& op : undo_log_) {
+    switch (op.kind) {
+      case UndoOp::Kind::kUncreateNode:
+        touched_nodes.push_back(op.id);
+        break;
+      case UndoOp::Kind::kUncreateRel:
+        // A new relationship re-versions its endpoints (adjacency growth).
+        touched_rels.push_back(op.id);
+        touched_nodes.push_back(rels_[op.id].source);
+        touched_nodes.push_back(rels_[op.id].target);
+        break;
+      case UndoOp::Kind::kRestoreProperty:
+      case UndoOp::Kind::kUndeleteNode:
+        touched_nodes.push_back(op.id);
+        break;
+      case UndoOp::Kind::kUndeleteRel:
+        touched_rels.push_back(op.id);
+        break;
+    }
+  }
+  std::sort(touched_nodes.begin(), touched_nodes.end());
+  touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
+                      touched_nodes.end());
+  std::sort(touched_rels.begin(), touched_rels.end());
+  touched_rels.erase(std::unique(touched_rels.begin(), touched_rels.end()),
+                     touched_rels.end());
+
+  // Re-root once the accumulated overlay stops being a "delta": lookups
+  // stay two-probe O(1) and the O(V+E) copy is amortized over the >=
+  // root/4 mutations that forced it.
+  const std::size_t root_size =
+      prev->root_->nodes.size() + prev->root_->rels.size();
+  const std::size_t projected =
+      prev->overlay_entries() + touched_nodes.size() + touched_rels.size();
+  if (projected > std::max(kSnapshotReRootMin, root_size / 4)) {
+    ADSYNTH_METRIC_COUNT("graphdb.snapshot.reroots", 1);
+    invalidate_published();
+    materialize_root();
+    return;
+  }
+
+  std::shared_ptr<SnapshotView> view(new SnapshotView());
+  view->root_ = prev->root_;
+  view->control_ = snapshot_control_;
+  view->epoch_ = ++epoch_;
+  view->node_limit_ = static_cast<NodeId>(nodes_.size());
+  view->rel_limit_ = static_cast<RelId>(rels_.size());
+  view->live_nodes_ = node_count();
+  view->live_rels_ = rel_count();
+  view->label_names_ = labels_.names;
+  view->label_index_ = labels_.index;
+  view->rel_type_names_ = rel_types_.names;
+  view->rel_type_index_ = rel_types_.index;
+  view->key_names_ = keys_.names;
+  view->key_index_ = keys_.index;
+
+  // Copied-overlay scheme: predecessor overlay + this batch's delta, so a
+  // reader never walks a chain of views.
+  view->node_overlay_ = prev->node_overlay_;
+  view->rel_overlay_ = prev->rel_overlay_;
+  view->bucket_appends_ = prev->bucket_appends_;
+  view->bucket_appends_.resize(labels_.names.size());
+  for (const NodeId n : touched_nodes) {
+    view->node_overlay_[n] = nodes_[n];
+    if (n >= prev->node_limit_) {
+      // Created this batch: extend the label buckets.  touched_nodes is
+      // ascending and later batches only add larger ids, so the appends
+      // stay in creation order.
+      for (const LabelId l : nodes_[n].labels) {
+        view->bucket_appends_[l].push_back(n);
+      }
+    }
+  }
+  for (const RelId r : touched_rels) view->rel_overlay_[r] = rels_[r];
+  view->touched_nodes_.reserve(prev->touched_nodes_.size() +
+                               touched_nodes.size());
+  std::set_union(prev->touched_nodes_.begin(), prev->touched_nodes_.end(),
+                 touched_nodes.begin(), touched_nodes.end(),
+                 std::back_inserter(view->touched_nodes_));
+
+  ADSYNTH_METRIC_COUNT("graphdb.snapshot.publishes", 1);
+  Snapshot published = std::move(view);
+  Snapshot replaced;
+  {
+    util::MutexLock lock(snapshot_control_->mutex);
+    replaced = std::move(snapshot_control_->published);
+    snapshot_control_->published = published;
+    ++snapshot_control_->published_views;
+    ++snapshot_control_->live[published->epoch()];
+  }
+  published_tail_ = std::move(published);
+  // `replaced` and `prev` release after the lock; if no reader holds the
+  // predecessor its destructor re-locks the mutex to deregister.
+}
+
+void GraphStore::invalidate_published() {
+  ADSYNTH_METRIC_COUNT("graphdb.snapshot.invalidations", 1);
+  Snapshot dropped;
+  {
+    util::MutexLock lock(snapshot_control_->mutex);
+    dropped = std::move(snapshot_control_->published);
+  }
+  published_tail_.reset();
+  // `dropped` releases outside the lock (destructor re-locks).
+}
+
+SnapshotStats GraphStore::snapshot_stats() const {
+  SnapshotStats stats;
+  stats.current_epoch = epoch_;
+  if (!snapshot_control_) return stats;
+  util::MutexLock lock(snapshot_control_->mutex);
+  stats.published_views = snapshot_control_->published_views;
+  stats.reclaimed_views = snapshot_control_->reclaimed_views;
+  for (const auto& [epoch, count] : snapshot_control_->live) {
+    (void)epoch;
+    stats.live_views += count;
+  }
+  if (!snapshot_control_->live.empty()) {
+    stats.oldest_live_epoch = snapshot_control_->live.begin()->first;
+  }
+  return stats;
+}
+
+// --------------------------------------------------------------------------
+// Version-chain invariants (the snapshot section of check_invariants())
+// --------------------------------------------------------------------------
+
+void GraphStore::audit_snapshots(InvariantReport& report, bool require_at_rest,
+                                 std::size_t max_violations) const {
+  const auto add = [&](std::string msg) {
+    if (report.violations.size() < max_violations) {
+      report.violations.push_back(std::move(msg));
+    }
+  };
+
+  // Stamps never run ahead of the in-flight batch, snapshots or not.
+  const std::uint64_t pending = pending_epoch();
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].mutated_epoch > pending) {
+      add("node " + std::to_string(n) + ": version stamp " +
+          std::to_string(nodes_[n].mutated_epoch) + " beyond pending epoch " +
+          std::to_string(pending));
+    }
+  }
+  for (RelId r = 0; r < rels_.size(); ++r) {
+    if (rels_[r].mutated_epoch > pending) {
+      add("rel " + std::to_string(r) + ": version stamp " +
+          std::to_string(rels_[r].mutated_epoch) + " beyond pending epoch " +
+          std::to_string(pending));
+    }
+  }
+
+  if (!snapshot_control_) return;
+
+  Snapshot published;
+  std::uint64_t published_views = 0;
+  std::uint64_t reclaimed_views = 0;
+  std::map<std::uint64_t, std::size_t> live;
+  {
+    util::MutexLock lock(snapshot_control_->mutex);
+    published = snapshot_control_->published;
+    published_views = snapshot_control_->published_views;
+    reclaimed_views = snapshot_control_->reclaimed_views;
+    live = snapshot_control_->live;
+  }
+
+  // Registry accounting: every published view is either reclaimed or still
+  // registered under its epoch; drained epochs leave no residue (that is
+  // the "retired versions unreachable after reclamation" guarantee).
+  std::size_t live_total = 0;
+  for (const auto& [epoch, count] : live) {
+    live_total += count;
+    if (count == 0) {
+      add("snapshot registry: epoch " + std::to_string(epoch) +
+          " retained with zero live views (not reclaimed)");
+    }
+    if (epoch > epoch_) {
+      add("snapshot registry: live epoch " + std::to_string(epoch) +
+          " beyond current epoch " + std::to_string(epoch_));
+    }
+  }
+  if (published_views < reclaimed_views ||
+      published_views - reclaimed_views != live_total) {
+    add("snapshot registry: published " + std::to_string(published_views) +
+        " - reclaimed " + std::to_string(reclaimed_views) + " != " +
+        std::to_string(live_total) + " live registrations");
+  }
+  if (published != published_tail_) {
+    add("snapshot registry: control-block published view diverges from the "
+        "writer tail");
+  }
+  if (published == nullptr) return;
+
+  const SnapshotView& view = *published;
+  if (view.epoch_ != epoch_) {
+    add("published view: epoch " + std::to_string(view.epoch_) +
+        " is not the store's current epoch " + std::to_string(epoch_));
+  }
+
+  // The deep store-vs-view comparison only holds at rest: mid-batch the
+  // live records legitimately run ahead of the published epoch.
+  if (!require_at_rest || !scope_marks_.empty() || !undo_log_.empty()) return;
+
+  if (view.node_limit_ != nodes_.size() || view.rel_limit_ != rels_.size()) {
+    add("published view: limits (" + std::to_string(view.node_limit_) + ", " +
+        std::to_string(view.rel_limit_) + ") do not match store sizes (" +
+        std::to_string(nodes_.size()) + ", " + std::to_string(rels_.size()) +
+        ")");
+  }
+  if (view.live_nodes_ != node_count() || view.live_rels_ != rel_count()) {
+    add("published view: live counts (" + std::to_string(view.live_nodes_) +
+        ", " + std::to_string(view.live_rels_) +
+        ") do not match store counts (" + std::to_string(node_count()) + ", " +
+        std::to_string(rel_count()) + ")");
+  }
+  const std::uint64_t root_epoch = view.root_->epoch;
+
+  // Chain completeness: every record mutated after the root epoch must be
+  // overlaid (a missing entry is a dangling stamp — readers would see the
+  // root-era record for a mutated id), and the overlay copy must equal the
+  // committed record.
+  const std::size_t node_bound =
+      std::min<std::size_t>(nodes_.size(), view.node_limit_);
+  for (NodeId n = 0; n < node_bound; ++n) {
+    const auto it = view.node_overlay_.find(n);
+    if (nodes_[n].mutated_epoch > root_epoch &&
+        it == view.node_overlay_.end()) {
+      add("published view: node " + std::to_string(n) + " stamped " +
+          std::to_string(nodes_[n].mutated_epoch) + " > root epoch " +
+          std::to_string(root_epoch) + " but missing from the overlay");
+    }
+    if (it != view.node_overlay_.end() && !same_record(it->second, nodes_[n])) {
+      add("published view: overlay for node " + std::to_string(n) +
+          " diverges from the committed record");
+    }
+  }
+  const std::size_t rel_bound =
+      std::min<std::size_t>(rels_.size(), view.rel_limit_);
+  for (RelId r = 0; r < rel_bound; ++r) {
+    const auto it = view.rel_overlay_.find(r);
+    if (rels_[r].mutated_epoch > root_epoch && it == view.rel_overlay_.end()) {
+      add("published view: rel " + std::to_string(r) + " stamped " +
+          std::to_string(rels_[r].mutated_epoch) + " > root epoch " +
+          std::to_string(root_epoch) + " but missing from the overlay");
+    }
+    if (it != view.rel_overlay_.end() && !same_record(it->second, rels_[r])) {
+      add("published view: overlay for rel " + std::to_string(r) +
+          " diverges from the committed record");
+    }
+  }
+  for (const auto& [n, rec] : view.node_overlay_) {
+    (void)rec;
+    if (n >= view.node_limit_) {
+      add("published view: overlay node " + std::to_string(n) +
+          " beyond the view's node limit " + std::to_string(view.node_limit_));
+    }
+  }
+  for (const auto& [r, rec] : view.rel_overlay_) {
+    (void)rec;
+    if (r >= view.rel_limit_) {
+      add("published view: overlay rel " + std::to_string(r) +
+          " beyond the view's rel limit " + std::to_string(view.rel_limit_));
+    }
+  }
+
+  // Bucket appends: creation-ordered ids of post-root nodes carrying the
+  // label (the root bucket covers everything older).
+  const std::size_t root_nodes = view.root_->nodes.size();
+  for (LabelId l = 0; l < view.bucket_appends_.size(); ++l) {
+    const auto& grown = view.bucket_appends_[l];
+    for (std::size_t i = 0; i < grown.size(); ++i) {
+      const NodeId n = grown[i];
+      if (n < root_nodes || n >= view.node_limit_) {
+        add("published view: bucket append for label " + std::to_string(l) +
+            " holds id " + std::to_string(n) + " outside the delta range [" +
+            std::to_string(root_nodes) + ", " +
+            std::to_string(view.node_limit_) + ")");
+        continue;
+      }
+      if (i > 0 && grown[i - 1] >= n) {
+        add("published view: bucket append for label " + std::to_string(l) +
+            " not in creation order at entry " + std::to_string(i));
+      }
+      if (n < nodes_.size() &&
+          !std::binary_search(nodes_[n].labels.begin(), nodes_[n].labels.end(),
+                              l)) {
+        add("published view: bucket append for label " + std::to_string(l) +
+            " holds node " + std::to_string(n) +
+            " which does not carry the label");
+      }
+    }
+  }
+
+  // touched_nodes_ must be exactly the sorted overlay key set (find_nodes'
+  // overlay pass iterates it and dereferences the overlay unconditionally).
+  if (view.touched_nodes_.size() != view.node_overlay_.size()) {
+    add("published view: touched-node list has " +
+        std::to_string(view.touched_nodes_.size()) + " entries for " +
+        std::to_string(view.node_overlay_.size()) + " overlaid nodes");
+  } else {
+    for (std::size_t i = 0; i < view.touched_nodes_.size(); ++i) {
+      const NodeId n = view.touched_nodes_[i];
+      if ((i > 0 && view.touched_nodes_[i - 1] >= n) ||
+          view.node_overlay_.find(n) == view.node_overlay_.end()) {
+        add("published view: touched-node list corrupt at entry " +
+            std::to_string(i));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace adsynth::graphdb

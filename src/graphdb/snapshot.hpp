@@ -1,0 +1,195 @@
+// Epoch-based MVCC snapshots over GraphStore (ROADMAP item 3).
+//
+// The store stays a single-writer structure; what this layer adds is
+// lock-free *readers*.  Every mutation stamps the touched records with the
+// pending epoch, and committing the outermost undo scope re-reads the undo
+// log — the inverse records double as the version chain — to publish an
+// immutable `SnapshotView` of the new epoch.  Analytics (graph_view /
+// BFS / RP-rate / CSR builds via adcore::from_snapshot), the Cypher read
+// executor (cypher::execute_read_query) and the defense what-if fan-out
+// (defense::SnapshotWhatIf) all read through a view without ever taking a
+// store lock: the only synchronized operation is the shared_ptr copy that
+// hands a reader the current view.
+//
+// Representation.  A view is a shared immutable *root* (flat copies of the
+// record vectors, label buckets and index buckets, materialized O(V+E)
+// once) plus a committed *overlay* (copies of every record mutated since
+// the root epoch, label-bucket appends for nodes created since).  Each
+// commit publishes a new view whose overlay is the predecessor's overlay
+// plus the batch delta, so lookups never walk a version chain: overlay
+// first, else root, two probes worst case.  Once the overlay grows past a
+// quarter of the root the publisher re-materializes a fresh root
+// (compaction), bounding both lookup constants and per-commit copy cost.
+//
+// Epoch reclamation.  Views are handed out as shared_ptr<const
+// SnapshotView>; each live view registers its epoch in the store's
+// SnapshotControl block.  When the last reader of a retired epoch drains,
+// the view's destructor deregisters it and the overlay (and, once no view
+// references it, the root) is freed — no grace periods, no epochs pinned
+// by the store itself beyond the currently published view.
+// GraphStore::snapshot_stats() exposes the accounting;
+// check_invariants() audits the version chain (see store.hpp).
+//
+// Threading contract (DESIGN.md §"Snapshot isolation & epoch
+// reclamation"): one writer thread mutates the store; any number of
+// threads may call GraphStore::snapshot() and read through the views they
+// hold.  The *first* snapshot() call (and any call after an unscoped
+// mutation invalidated the published view) materializes from live store
+// state and must therefore run on the writer thread with no concurrent
+// mutation — in steady-state serving, where every write runs inside an
+// undo scope (a CypherSession transaction), snapshot() is a mutex-guarded
+// pointer copy and never touches live store internals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graphdb/store.hpp"
+#include "util/annotations.hpp"
+
+namespace adsynth::graphdb {
+
+namespace detail {
+
+/// State shared between a GraphStore and every SnapshotView it published.
+/// Heap-allocated behind a shared_ptr: GraphStore stays movable (a mutex
+/// member would delete its move operations) and views stay valid — able to
+/// deregister safely — even after the store itself is destroyed.
+struct SnapshotControl {
+  util::Mutex mutex;
+  /// The current view, nullptr when none is published (never published
+  /// yet, or an unscoped mutation invalidated it).
+  std::shared_ptr<const SnapshotView> published ADSYNTH_GUARDED_BY(mutex);
+  /// Lifetime accounting: views ever published / destroyed, and the live
+  /// count per epoch (a view deregisters in its destructor — that is the
+  /// "last reader drains" event reclaiming a retired version).
+  std::uint64_t published_views ADSYNTH_GUARDED_BY(mutex) = 0;
+  std::uint64_t reclaimed_views ADSYNTH_GUARDED_BY(mutex) = 0;
+  std::map<std::uint64_t, std::size_t> live ADSYNTH_GUARDED_BY(mutex);
+};
+
+}  // namespace detail
+
+/// Reclamation/versioning accounting from GraphStore::snapshot_stats().
+struct SnapshotStats {
+  std::uint64_t current_epoch = 0;    // last published epoch (0 = none)
+  std::uint64_t published_views = 0;  // views ever published
+  std::uint64_t reclaimed_views = 0;  // views whose last reader drained
+  std::size_t live_views = 0;         // views currently alive
+  std::uint64_t oldest_live_epoch = 0;  // 0 when no view is alive
+};
+
+/// One immutable committed epoch of a GraphStore.  The read API mirrors the
+/// store's (same names, same semantics, same result ordering), so the
+/// Cypher read executor and adcore::from_store compile against either.
+/// All methods are const and safe to call from any number of threads.
+class SnapshotView {
+ public:
+  ~SnapshotView();
+  SnapshotView(const SnapshotView&) = delete;
+  SnapshotView& operator=(const SnapshotView&) = delete;
+
+  /// The committed epoch this view freezes.
+  std::uint64_t epoch() const { return epoch_; }
+
+  // --- counts / bounds (mirror GraphStore) -------------------------------
+  std::size_t node_count() const { return live_nodes_; }
+  std::size_t rel_count() const { return live_rels_; }
+  std::size_t node_capacity() const { return node_limit_; }
+  std::size_t rel_capacity() const { return rel_limit_; }
+
+  // --- token tables ------------------------------------------------------
+  std::optional<LabelId> find_label(std::string_view name) const;
+  std::optional<RelTypeId> find_rel_type(std::string_view name) const;
+  std::optional<PropertyKeyId> find_key(std::string_view name) const;
+  const std::string& label_name(LabelId id) const;
+  const std::string& rel_type_name(RelTypeId id) const;
+  const std::string& key_name(PropertyKeyId id) const;
+  std::size_t rel_type_count() const { return rel_type_names_.size(); }
+
+  // --- record reads ------------------------------------------------------
+  /// Overlay-first record lookup: a record mutated since the root epoch is
+  /// served from the overlay copy, anything else straight from the root.
+  const NodeRecord& node(NodeId id) const;
+  const RelRecord& rel(RelId id) const;
+
+  bool node_has_label(NodeId id, LabelId label) const;
+  const PropertyValue* node_property(NodeId id, PropertyKeyId key) const;
+  const PropertyValue* node_property(NodeId id, std::string_view key) const;
+
+  /// Live node ids carrying `label`, in creation order — identical to what
+  /// GraphStore::nodes_with_label returns for the same committed state.
+  std::vector<NodeId> nodes_with_label(std::string_view label) const;
+
+  /// Index-accelerated (root index buckets, re-validated through the
+  /// overlay) lookup with the same results as GraphStore::find_nodes on
+  /// the committed state; falls back to a label scan when the root has no
+  /// such index.
+  std::vector<NodeId> find_nodes(std::string_view label, std::string_view key,
+                                 const PropertyValue& value) const;
+
+  /// Overlay entries carried by this view (0 right after a root
+  /// materialization) — re-root/compaction observability for tests and
+  /// bench_concurrency.
+  std::size_t overlay_entries() const {
+    return node_overlay_.size() + rel_overlay_.size();
+  }
+
+ private:
+  friend class GraphStore;
+  friend struct StoreTestAccess;  // corruption injection (invariants tests)
+
+  SnapshotView() = default;
+
+  /// The shared immutable base: flat copies of the store at the root
+  /// epoch.  Delta views share it by pointer; re-rooting replaces it.
+  struct Root {
+    std::uint64_t epoch = 0;
+    std::vector<NodeRecord> nodes;
+    std::vector<RelRecord> rels;
+    std::vector<std::vector<NodeId>> label_buckets;
+    struct Index {
+      LabelId label = 0;
+      PropertyKeyId key = 0;
+      std::unordered_map<std::string, std::vector<NodeId>> buckets;
+    };
+    std::vector<Index> indexes;
+  };
+
+  std::shared_ptr<const Root> root_;
+  std::shared_ptr<detail::SnapshotControl> control_;
+  std::uint64_t epoch_ = 0;
+  NodeId node_limit_ = 0;  // record-vector sizes at this epoch
+  RelId rel_limit_ = 0;
+  std::size_t live_nodes_ = 0;
+  std::size_t live_rels_ = 0;
+
+  // Token tables frozen at publish (append-only in the store, so small and
+  // cheap to copy per view; a view must not see names interned later).
+  std::vector<std::string> label_names_;
+  std::vector<std::string> rel_type_names_;
+  std::vector<std::string> key_names_;
+  std::unordered_map<std::string, std::uint32_t> label_index_;
+  std::unordered_map<std::string, std::uint32_t> rel_type_index_;
+  std::unordered_map<std::string, std::uint32_t> key_index_;
+
+  // Committed overlay: record copies for everything mutated after the root
+  // epoch (each published view copies its predecessor's overlay and adds
+  // the batch delta — no chain walks at read time).
+  std::unordered_map<NodeId, NodeRecord> node_overlay_;
+  std::unordered_map<RelId, RelRecord> rel_overlay_;
+  /// Per-label node ids created after the root epoch, ascending; appended
+  /// to the root bucket on label scans.
+  std::vector<std::vector<NodeId>> bucket_appends_;
+  /// Sorted keys of node_overlay_ — the deterministic iteration order for
+  /// the overlay pass of find_nodes.
+  std::vector<NodeId> touched_nodes_;
+};
+
+}  // namespace adsynth::graphdb

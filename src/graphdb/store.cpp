@@ -110,11 +110,13 @@ NodeId GraphStore::create_node_interned(std::vector<LabelId> labels,
       throw std::out_of_range("GraphStore: label id not interned");
     }
   }
+  note_unscoped_mutation();
   const auto id = static_cast<NodeId>(nodes_.size());
   for (const LabelId l : labels) label_buckets_[l].push_back(id);
   NodeRecord rec;
   rec.labels = std::move(labels);
   rec.properties = std::move(properties);
+  rec.mutated_epoch = pending_epoch();
   nodes_.push_back(std::move(rec));
   index_node(id);
   if (recording()) {
@@ -141,16 +143,23 @@ RelId GraphStore::create_relationship_interned(NodeId source, NodeId target,
   if (type >= rel_types_.names.size()) {
     throw std::out_of_range("GraphStore: relationship type not interned");
   }
+  note_unscoped_mutation();
   const auto id = static_cast<RelId>(rels_.size());
-  rels_.push_back(RelRecord{source, target, type, std::move(properties), false});
-  nodes_[source].out_rels.push_back(id);
-  nodes_[target].in_rels.push_back(id);
+  rels_.push_back(RelRecord{source, target, type, std::move(properties), false,
+                            pending_epoch()});
   if (recording()) {
     UndoOp op;
     op.kind = UndoOp::Kind::kUncreateRel;
     op.id = id;
+    // Adjacency growth re-versions both endpoints; replay restores them.
+    op.old_epoch = nodes_[source].mutated_epoch;
+    op.old_epoch2 = nodes_[target].mutated_epoch;
     undo_log_.push_back(std::move(op));
   }
+  nodes_[source].out_rels.push_back(id);
+  nodes_[source].mutated_epoch = pending_epoch();
+  nodes_[target].in_rels.push_back(id);
+  nodes_[target].mutated_epoch = pending_epoch();
   return id;
 }
 
@@ -161,6 +170,7 @@ void GraphStore::set_node_property(NodeId node, std::string_view key,
   const PropertyValue* old = get_property(nodes_[node].properties, key_id);
   if (old != nullptr && *old == v) return;  // no-op write
 
+  note_unscoped_mutation();
   if (recording()) {
     UndoOp op;
     op.kind = UndoOp::Kind::kRestoreProperty;
@@ -168,8 +178,10 @@ void GraphStore::set_node_property(NodeId node, std::string_view key,
     op.key = key_id;
     op.had_value = old != nullptr;
     if (old != nullptr) op.old_value = *old;
+    op.old_epoch = nodes_[node].mutated_epoch;
     undo_log_.push_back(std::move(op));
   }
+  nodes_[node].mutated_epoch = pending_epoch();
   // A changed value is re-indexed under the new bucket only (not the whole
   // node); the entry left behind in the old value's bucket is stale and
   // filtered at read time (find_nodes re-checks the property).  Stale
@@ -191,14 +203,17 @@ void GraphStore::set_node_property(NodeId node, std::string_view key,
 void GraphStore::delete_relationship(RelId rel) {
   check_rel(rel);
   if (!rels_[rel].deleted) {
-    rels_[rel].deleted = true;
-    ++deleted_rels_;
+    note_unscoped_mutation();
     if (recording()) {
       UndoOp op;
       op.kind = UndoOp::Kind::kUndeleteRel;
       op.id = rel;
+      op.old_epoch = rels_[rel].mutated_epoch;
       undo_log_.push_back(std::move(op));
     }
+    rels_[rel].deleted = true;
+    rels_[rel].mutated_epoch = pending_epoch();
+    ++deleted_rels_;
   }
 }
 
@@ -215,12 +230,15 @@ void GraphStore::delete_node(NodeId node, bool detach) {
         std::to_string(live_rels) +
         " live relationship(s); use detach (DETACH DELETE)");
   }
+  note_unscoped_mutation();
   // Detach first (each tombstone records its own inverse), then tombstone
   // the node itself.  Self-loops appear in both adjacency lists; the
   // idempotence of delete_relationship keeps them single-counted.
   for (const RelId r : rec.out_rels) delete_relationship(r);
   for (const RelId r : rec.in_rels) delete_relationship(r);
+  const std::uint64_t pre_delete_epoch = rec.mutated_epoch;
   rec.deleted = true;
+  rec.mutated_epoch = pending_epoch();
   ++deleted_nodes_;
   // Index entries of a tombstoned node turn stale in place.
   for (auto& idx : indexes_) {
@@ -233,6 +251,7 @@ void GraphStore::delete_node(NodeId node, bool detach) {
     UndoOp op;
     op.kind = UndoOp::Kind::kUndeleteNode;
     op.id = node;
+    op.old_epoch = pre_delete_epoch;
     undo_log_.push_back(std::move(op));
   }
   maybe_compact();
@@ -293,6 +312,10 @@ void GraphStore::create_index(std::string_view label, std::string_view key) {
         "open undo scope / transaction");
   }
   ADSYNTH_SPAN("graphdb.index.build");
+  // A new index changes find_nodes plans; published views keep serving the
+  // old (still-correct) label-scan path, but the chain re-roots so the next
+  // epoch picks the index up.
+  note_unscoped_mutation();
   const LabelId l = intern_label(label);
   const PropertyKeyId k = keys_.intern(key);
   for (const auto& idx : indexes_) {
@@ -473,9 +496,15 @@ void GraphStore::commit_scope() {
     throw std::logic_error("GraphStore: commit_scope without an open scope");
   }
   scope_marks_.pop_back();
-  // Outermost commit: the batch is final, discard the inverses (the vector
-  // keeps its capacity, bounded by the largest committed batch).
-  if (scope_marks_.empty()) undo_log_.clear();
+  // Outermost commit: the batch is final.  With a published snapshot the
+  // undo log doubles as the version chain — publish_delta() derives the
+  // committed epoch's overlay from it — then the inverses are discarded
+  // (the vector keeps its capacity, bounded by the largest committed
+  // batch).  An empty log publishes nothing: no mutations, no new epoch.
+  if (scope_marks_.empty()) {
+    if (published_tail_ != nullptr && !undo_log_.empty()) publish_delta();
+    undo_log_.clear();
+  }
 }
 
 void GraphStore::abort_scope() {
@@ -519,6 +548,10 @@ void GraphStore::undo(const UndoOp& op) {
       if (!out.empty() && out.back() == op.id) out.pop_back();
       auto& in = nodes_[rec.target].in_rels;
       if (!in.empty() && in.back() == op.id) in.pop_back();
+      // Restore the endpoint stamps the adjacency growth advanced (for a
+      // self-loop both saves hold the same pre-mutation value).
+      nodes_[rec.source].mutated_epoch = op.old_epoch;
+      nodes_[rec.target].mutated_epoch = op.old_epoch2;
       rels_.pop_back();
       break;
     }
@@ -527,6 +560,7 @@ void GraphStore::undo(const UndoOp& op) {
       // restore the old value (whose bucket entry, if any, turns valid
       // again — reverse the stale bookkeeping of set_node_property).
       unindex_node_key(op.id, op.key);
+      nodes_[op.id].mutated_epoch = op.old_epoch;
       auto& props = nodes_[op.id].properties;
       if (op.had_value) {
         put_property(props, op.key, op.old_value);
@@ -549,12 +583,14 @@ void GraphStore::undo(const UndoOp& op) {
     }
     case UndoOp::Kind::kUndeleteRel: {
       rels_[op.id].deleted = false;
+      rels_[op.id].mutated_epoch = op.old_epoch;
       --deleted_rels_;
       break;
     }
     case UndoOp::Kind::kUndeleteNode: {
       NodeRecord& rec = nodes_[op.id];
       rec.deleted = false;
+      rec.mutated_epoch = op.old_epoch;
       --deleted_nodes_;
       for (auto& idx : indexes_) {
         if (!std::binary_search(rec.labels.begin(), rec.labels.end(),
@@ -815,6 +851,9 @@ GraphStore::InvariantReport GraphStore::check_invariants(
           " record(s)");
     }
   }
+
+  // --- version chains / snapshots (body in snapshot.cpp) ------------------
+  audit_snapshots(report, require_at_rest, kMaxViolations);
 
   return report;
 }

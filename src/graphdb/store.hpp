@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -34,6 +35,17 @@ using RelId = std::uint32_t;
 using LabelId = std::uint32_t;
 using RelTypeId = std::uint32_t;
 
+class SnapshotView;
+struct SnapshotStats;
+namespace detail {
+struct SnapshotControl;
+}
+
+/// A reader's handle on one committed epoch (see graphdb/snapshot.hpp).
+/// Plain shared ownership: copy it across threads freely; the epoch is
+/// reclaimed when the last handle drops.
+using Snapshot = std::shared_ptr<const SnapshotView>;
+
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 inline constexpr RelId kNoRel = std::numeric_limits<RelId>::max();
 
@@ -45,6 +57,11 @@ struct NodeRecord {
   std::vector<RelId> out_rels;
   std::vector<RelId> in_rels;
   bool deleted = false;
+  /// MVCC version stamp: the epoch whose batch last mutated this record
+  /// (creation, property write, adjacency growth, tombstone).  0 = never
+  /// mutated since store creation.  A published SnapshotView with root
+  /// epoch E serves any record stamped > E from its overlay.
+  std::uint64_t mutated_epoch = 0;
 };
 
 /// A stored relationship.
@@ -54,6 +71,7 @@ struct RelRecord {
   RelTypeId type = 0;
   PropertyList properties;
   bool deleted = false;
+  std::uint64_t mutated_epoch = 0;  // see NodeRecord::mutated_epoch
 };
 
 class GraphStore {
@@ -201,6 +219,23 @@ class GraphStore {
   /// Approximate resident bytes (used by the storage-efficiency tests).
   std::size_t approximate_bytes() const;
 
+  // --- MVCC snapshots (graphdb/snapshot.hpp) ------------------------------
+  /// Returns an immutable view of the last committed epoch.  Steady state
+  /// (a view is published): a mutex-guarded shared_ptr copy, safe to call
+  /// from any thread while the writer commits.  Cold path (first call, or
+  /// after an unscoped mutation invalidated the published view): the store
+  /// is copied into a fresh snapshot root — writer-thread only, and throws
+  /// std::logic_error if an undo scope is open (uncommitted state must not
+  /// leak into a snapshot).  Subsequent outermost commit_scope() calls
+  /// publish a new epoch derived from the undo log, so once serving has
+  /// started snapshot() never re-copies the store until an unscoped
+  /// mutation breaks the chain.
+  Snapshot snapshot();
+
+  /// Epoch/reclamation accounting (0-initialized before the first
+  /// snapshot() call).  Thread-safe.
+  SnapshotStats snapshot_stats() const;
+
   // --- invariants ---------------------------------------------------------
   /// Result of check_invariants(); empty `violations` means consistent.
   struct InvariantReport {
@@ -226,7 +261,13 @@ class GraphStore {
   ///  * tombstone accounting: deleted_nodes_/deleted_rels_ equal the
   ///    actual tombstone counts;
   ///  * at rest (`require_at_rest`): no open undo scope and an empty undo
-  ///    log; scope marks must be monotone and within the log regardless.
+  ///    log; scope marks must be monotone and within the log regardless;
+  ///  * version chains (once snapshot() has been used): no record stamped
+  ///    beyond the pending epoch, every record mutated after the published
+  ///    root epoch present in — and byte-equal to — the published overlay,
+  ///    no dangling epoch stamps, and view-lifetime accounting consistent
+  ///    (published − reclaimed == live registrations, retired epochs
+  ///    absent from the registry once their last reader drained).
   /// O(nodes + rels + index entries).  Compiled in every build; asserted
   /// automatically at test-fixture teardown (tests/support/checked_store.hpp)
   /// and cheap enough to call at batch boundaries in debug/analyze builds.
@@ -278,6 +319,13 @@ class GraphStore {
     std::uint32_t id = 0;    // node or relationship id
     PropertyKeyId key = 0;   // kRestoreProperty
     PropertyValue old_value; // kRestoreProperty
+    /// Pre-mutation version stamps, restored on replay so an aborted batch
+    /// leaves every mutated_epoch exactly as it was.  old_epoch is the
+    /// mutated record's own stamp (kUncreateRel: the source endpoint's,
+    /// whose adjacency grew); old_epoch2 is the target endpoint's stamp
+    /// for kUncreateRel.
+    std::uint64_t old_epoch = 0;
+    std::uint64_t old_epoch2 = 0;
   };
 
   void check_node(NodeId id) const;
@@ -292,6 +340,30 @@ class GraphStore {
   void unindex_node_key(NodeId id, PropertyKeyId key);
   bool recording() const { return !scope_marks_.empty(); }
   void undo(const UndoOp& op);
+
+  // --- snapshot plumbing (bodies in snapshot.cpp) -------------------------
+  /// Version stamp for mutations of the in-flight batch: the epoch the next
+  /// publish will carry.
+  std::uint64_t pending_epoch() const { return epoch_ + 1; }
+  /// Mutation outside any undo scope: the published view (if any) can no
+  /// longer be extended incrementally — there is no undo log to derive the
+  /// delta from — so it is dropped and the next snapshot() re-roots.
+  /// Inlined because it guards every mutation on the generator fast path.
+  void note_unscoped_mutation() {
+    if (published_tail_ != nullptr && !recording()) invalidate_published();
+  }
+  void invalidate_published();
+  /// Copies the live store into a fresh snapshot root and publishes it.
+  /// Caller guarantees at-rest (no open scope) on the writer thread.
+  Snapshot materialize_root();
+  /// Outermost-commit hook: derives the batch's touched-record sets from
+  /// the undo log and publishes a delta view (or re-roots when the
+  /// accumulated overlay crosses the compaction threshold).
+  void publish_delta();
+  /// check_invariants() section auditing the version chain; appends to
+  /// `report` through the same capped path as the other sections.
+  void audit_snapshots(InvariantReport& report, bool require_at_rest,
+                       std::size_t max_violations) const;
   /// Rebuilds indexes whose stale fraction crossed the threshold.  Deferred
   /// while an undo scope is open (compaction moves the entries that undo
   /// replay expects at bucket tails).
@@ -311,6 +383,19 @@ class GraphStore {
   std::vector<NodeId> empty_bucket_;
   std::vector<UndoOp> undo_log_;
   std::vector<std::size_t> scope_marks_;
+
+  // --- snapshot state -----------------------------------------------------
+  /// Last published epoch; in-flight batch stamps are epoch_ + 1.  Only
+  /// publishes (commit/materialize) advance it, so aborted batches reuse
+  /// their stamp value — harmless, the stamps they wrote are restored.
+  std::uint64_t epoch_ = 0;
+  /// Heap block shared with every view (keeps GraphStore movable and lets
+  /// views outlive the store); allocated lazily on first snapshot().
+  std::shared_ptr<detail::SnapshotControl> snapshot_control_;
+  /// Writer-side strong reference to the currently published view — the
+  /// base the next publish_delta() extends.  Mirrors
+  /// snapshot_control_->published (which readers copy under the mutex).
+  Snapshot published_tail_;
 };
 
 /// Inserts or replaces `value` under `key` in a sorted PropertyList.

@@ -168,6 +168,108 @@ TEST(HoneypotLive, PlacesOnTheFunnelAndRestoresStore) {
   EXPECT_EQ(liveness_fingerprint(f.store), before);
 }
 
+TEST(SnapshotWhatIf, AgreesWithLiveWhatIf) {
+  Fixture f;
+  WhatIf live(f.store);
+  const SnapshotWhatIf snap(f.store.snapshot());
+  EXPECT_EQ(snap.target(), live.target());
+  EXPECT_EQ(snap.entry_users(), live.entry_users());
+
+  const WhatIfOverlay empty;
+  EXPECT_EQ(snap.survivors(empty), live.survivors());
+  EXPECT_EQ(snap.shortest_attack_path(empty), live.shortest_attack_path());
+
+  // Edge block ≡ delete_relationship + rollback.
+  WhatIfOverlay cut;
+  cut.block_edge(f.a1_to_da);
+  live.speculate();
+  live.block_edge(f.a1_to_da);
+  EXPECT_EQ(snap.survivors(cut), live.survivors());
+  EXPECT_EQ(snap.shortest_attack_path(cut), live.shortest_attack_path());
+  live.rollback();
+
+  // Node block ≡ DETACH delete_node + rollback.
+  WhatIfOverlay pot;
+  pot.block_node(f.c1);
+  live.speculate();
+  live.block_node(f.c1);
+  EXPECT_EQ(snap.survivors(pot), live.survivors());
+  EXPECT_EQ(snap.shortest_attack_path(pot), live.shortest_attack_path());
+  live.rollback();
+}
+
+TEST(SnapshotWhatIf, IsolatedFromLaterCommits) {
+  Fixture f;
+  const SnapshotWhatIf snap(f.store.snapshot());
+  const WhatIfOverlay empty;
+  ASSERT_EQ(snap.survivors(empty), 3u);
+
+  // Sever the funnel for real: the committed store answers 0, the snapshot
+  // keeps answering from its epoch.
+  f.store.delete_relationship(f.a1_to_da);
+  WhatIf live(f.store);
+  EXPECT_EQ(live.survivors(), 0u);
+  EXPECT_EQ(snap.survivors(empty), 3u);
+  EXPECT_EQ(snap.shortest_attack_path(empty).size(), 3u);
+}
+
+TEST(SnapshotWhatIf, ParallelFanOutMatchesSerialProbes) {
+  Fixture f;
+  WhatIf live(f.store);
+  const SnapshotWhatIf snap(f.store.snapshot());
+  const std::vector<RelId> path = live.shortest_attack_path();
+  ASSERT_FALSE(path.empty());
+
+  const WhatIfOverlay base;
+  const std::vector<std::size_t> parallel =
+      parallel_edge_survivors(snap, base, path);
+  ASSERT_EQ(parallel.size(), path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    live.speculate();
+    live.block_edge(path[i]);
+    EXPECT_EQ(parallel[i], live.survivors()) << "candidate " << i;
+    live.rollback();
+  }
+}
+
+TEST(SnapshotWhatIf, NullSnapshotThrows) {
+  EXPECT_THROW(SnapshotWhatIf w(graphdb::Snapshot{}), std::logic_error);
+}
+
+TEST(EdgeBlockSnapshot, BitIdenticalToLiveAndStoreUntouched) {
+  Fixture f;
+  const std::string before = liveness_fingerprint(f.store);
+  const LiveEdgeBlockResult live = block_edges_live(f.store, /*budget=*/2);
+  const LiveEdgeBlockResult snap = block_edges_snapshot(f.store, /*budget=*/2);
+  EXPECT_EQ(snap.blocked_rels, live.blocked_rels);
+  EXPECT_DOUBLE_EQ(snap.attacker_success, live.attacker_success);
+  EXPECT_EQ(snap.entry_users, live.entry_users);
+  EXPECT_EQ(snap.entry_users_connected, live.entry_users_connected);
+  EXPECT_EQ(liveness_fingerprint(f.store), before);
+}
+
+TEST(HoneypotSnapshot, BitIdenticalToLiveAndStoreUntouched) {
+  Fixture f;
+  const std::string before = liveness_fingerprint(f.store);
+  const LiveHoneypotResult live = place_honeypots_live(f.store, /*count=*/2);
+  const LiveHoneypotResult snap = place_honeypots_snapshot(f.store, 2);
+  EXPECT_EQ(snap.placements, live.placements);
+  EXPECT_EQ(snap.coverage_after, live.coverage_after);
+  EXPECT_EQ(snap.entry_users_connected, live.entry_users_connected);
+  EXPECT_EQ(liveness_fingerprint(f.store), before);
+}
+
+TEST(HoneypotSnapshot, EmptyStoreThrowsAndDisconnectedIsNoop) {
+  GraphStore store;
+  EXPECT_THROW(place_honeypots_snapshot(store, 1), std::logic_error);
+
+  const NodeId da = store.create_node({"Group"});
+  store.set_node_property(da, "name", PropertyValue("DOMAIN ADMINS"));
+  const LiveHoneypotResult r = place_honeypots_snapshot(store, 3);
+  EXPECT_EQ(r.entry_users_connected, 0u);
+  EXPECT_TRUE(r.placements.empty());
+}
+
 TEST(HoneypotLive, EmptyStoreThrowsAndDisconnectedIsNoop) {
   GraphStore store;
   EXPECT_THROW(place_honeypots_live(store, 1), std::logic_error);

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graphdb/snapshot.hpp"
 #include "graphdb/store.hpp"
 #include "support/checked_store.hpp"
 
@@ -44,6 +45,19 @@ struct StoreTestAccess {
   static void corrupt_deleted_rel_count(GraphStore& s, std::size_t count) {
     s.deleted_rels_ = count;
   }
+
+  // --- version-chain / snapshot-registry corruption ----------------------
+  static void stamp_node_version(GraphStore& s, NodeId n, std::uint64_t e) {
+    s.nodes_[n].mutated_epoch = e;
+  }
+  static std::uint64_t pending_epoch(const GraphStore& s) {
+    return s.pending_epoch();
+  }
+  static void plant_zombie_registry_epoch(GraphStore& s, std::uint64_t e) {
+    util::MutexLock lock(s.snapshot_control_->mutex);
+    s.snapshot_control_->live[e];  // registered epoch with zero live views
+  }
+  static void drop_writer_tail(GraphStore& s) { s.published_tail_.reset(); }
 };
 
 namespace {
@@ -149,6 +163,83 @@ TEST_F(InvariantInjectionTest, AuditGreenAfterRollbackAndDetachDelete) {
   expect_store_invariants(store);
 
   store.delete_node(user, /*detach=*/true);
+  expect_store_invariants(store);
+}
+
+TEST_F(InvariantInjectionTest, FutureVersionStampDetected) {
+  // No snapshot machinery needed: stamps beyond the pending epoch are
+  // corrupt even before anything is published.
+  StoreTestAccess::stamp_node_version(
+      store, user, StoreTestAccess::pending_epoch(store) + 5);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("beyond pending epoch"));
+}
+
+TEST_F(InvariantInjectionTest, DanglingEpochStampDetected) {
+  // A record stamped after the root epoch with no overlay entry: readers
+  // of the published view would serve the root-era record for a mutated
+  // id.  The pending epoch is the highest legal stamp, so use it.
+  const Snapshot snap = store.snapshot();
+  StoreTestAccess::stamp_node_version(store, user,
+                                      StoreTestAccess::pending_epoch(store));
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("missing from the overlay"));
+}
+
+TEST_F(InvariantInjectionTest, OverlayDivergenceDetected) {
+  // Publish a delta so `user` has an overlay copy, then rewrite the
+  // committed record's stamp underneath it.
+  store.snapshot();
+  store.begin_undo_scope();
+  store.set_node_property(user, "name", PropertyValue("dave"));
+  store.commit_scope();
+  ASSERT_TRUE(store.check_invariants().ok());
+  StoreTestAccess::stamp_node_version(store, user, 0);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("diverges from the committed record"));
+}
+
+TEST_F(InvariantInjectionTest, ZombieRegistryEpochDetected) {
+  const Snapshot snap = store.snapshot();
+  // A registry entry whose reader count hit zero without being erased is a
+  // leaked (unreclaimed) retired version.  Epoch 0 predates every real
+  // publish, so the planted entry collides with nothing.
+  StoreTestAccess::plant_zombie_registry_epoch(store, 0);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("retained with zero live views"));
+}
+
+TEST_F(InvariantInjectionTest, PublishedTailDivergenceDetected) {
+  const Snapshot snap = store.snapshot();
+  StoreTestAccess::drop_writer_tail(store);
+  EXPECT_FALSE(store.check_invariants().ok());
+  EXPECT_TRUE(violation_mentions("diverges from the writer tail"));
+}
+
+TEST_F(InvariantInjectionTest, AuditGreenAcrossSnapshotLifecycle) {
+  Snapshot s1 = store.snapshot();
+  store.begin_undo_scope();
+  store.set_node_property(user, "name", PropertyValue("erin"));
+  store.commit_scope();
+  Snapshot s2 = store.snapshot();
+  expect_store_invariants(store);
+
+  // Mid-batch the live records legitimately run ahead of the published
+  // view; only the at-rest audit must be strict about it.
+  store.begin_undo_scope();
+  store.set_node_property(user, "name", PropertyValue("frank"));
+  EXPECT_TRUE(store.check_invariants(/*require_at_rest=*/false).ok());
+  store.abort_scope();
+  expect_store_invariants(store);
+
+  // Reclamation leaves no residue: dropping every handle (the published
+  // tail keeps the newest epoch alive) and invalidating the tail both
+  // audit green.
+  s1.reset();
+  s2.reset();
+  expect_store_invariants(store);
+  store.set_node_property(user, "name", PropertyValue("grace"));  // unscoped
+  EXPECT_EQ(store.snapshot_stats().live_views, 0u);
   expect_store_invariants(store);
 }
 

@@ -1,0 +1,306 @@
+// Concurrent-serving stress: one writer commits/aborts in a loop while
+// reader threads run prepared Cypher and what-if BFS against snapshots.
+//
+// Every committed epoch registers its expected fingerprint (user count,
+// marker version, what-if survivor count) BEFORE the commit publishes, so
+// whatever view a reader grabs, the fingerprint it computes must match its
+// epoch exactly — a reader observing a half-applied batch, a stale index
+// bucket or a torn overlay fails the consistency assert, and TSan (this
+// suite runs in the thread lane, scripts/ci.sh `tsan.concurrency`) fails
+// on any racing access underneath.  Readers also assert epoch monotonicity
+// (snapshots never travel back in time) and the teardown asserts that
+// reclamation drained every retired epoch.
+//
+// Pacing: the writer yields until the reader pool makes progress between
+// commits (atomic iteration counter) — no sleeps, per the determinism
+// lint.  Reader count comes from ADSYNTH_TEST_THREADS (default 8, the CI
+// lane's value).
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "defense/edge_block.hpp"
+#include "defense/whatif.hpp"
+#include "graphdb/cypher.hpp"
+#include "graphdb/snapshot.hpp"
+#include "graphdb/store.hpp"
+#include "support/checked_store.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+using test_support::expect_store_invariants;
+
+std::size_t reader_thread_count() {
+  if (const char* env = std::getenv("ADSYNTH_TEST_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 8;
+}
+
+/// Expected committed state of one epoch.
+struct Fingerprint {
+  std::int64_t users_total = 0;   // MATCH (n:User) RETURN count(n)
+  std::int64_t version = 0;       // marker property on the DA group
+  std::size_t survivors = 0;      // defense::SnapshotWhatIf entry survivors
+};
+
+TEST(ConcurrentServing, ReadersObserveOnlyCommittedEpochFingerprints) {
+  // The whatif funnel fixture: three entry users reach DOMAIN ADMINS
+  // through admin a1; every probe user the writer adds joins g1 and
+  // becomes one more survivor.
+  GraphStore store;
+  const auto user = [&](const char* name, bool enabled, bool admin) {
+    const NodeId n = store.create_node({"User"});
+    store.set_node_property(n, "name", PropertyValue(name));
+    store.set_node_property(n, "enabled", PropertyValue(enabled));
+    if (admin) store.set_node_property(n, "admin", PropertyValue(true));
+    return n;
+  };
+  const NodeId da = store.create_node({"Group"});
+  store.set_node_property(da, "name", PropertyValue("DOMAIN ADMINS"));
+  store.set_node_property(da, "version", PropertyValue(std::int64_t{0}));
+  const NodeId u1 = user("U1", true, false);
+  const NodeId u2 = user("U2", true, false);
+  const NodeId u3 = user("U3", true, false);
+  user("U4", false, false);
+  const NodeId a1 = user("A1", true, true);
+  const NodeId g1 = store.create_node({"Group"});
+  store.set_node_property(g1, "name", PropertyValue("HELPDESK"));
+  const NodeId c1 = store.create_node({"Computer"});
+  store.create_relationship(u1, g1, "MemberOf");
+  store.create_relationship(g1, c1, "AdminTo");
+  store.create_relationship(u2, c1, "AdminTo");
+  store.create_relationship(u3, c1, "AdminTo");
+  store.create_relationship(c1, a1, "HasSession");
+  store.create_relationship(a1, da, "MemberOf");
+  store.create_index("Group", "name");
+
+  CypherSession session(store);
+  const PreparedStatement count_users =
+      session.prepare("MATCH (n:User) RETURN count(n)");
+  const PreparedStatement da_version = session.prepare(
+      "MATCH (g:Group {name: 'DOMAIN ADMINS'}) RETURN g.version");
+
+  // Epoch -> expected fingerprint, registered before the epoch publishes.
+  std::mutex expected_mutex;
+  std::map<std::uint64_t, Fingerprint> expected;
+
+  // First materialization runs on the writer thread, at rest, before any
+  // reader starts — the documented contract.
+  Snapshot initial = store.snapshot();
+  expected[initial->epoch()] = Fingerprint{5, 0, 3};
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reader_iterations{0};
+  std::atomic<std::size_t> failed_readers{0};
+  const std::size_t reader_count = reader_thread_count();
+  std::vector<std::string> failures(reader_count);
+  std::vector<std::thread> readers;
+  readers.reserve(reader_count);
+  for (std::size_t slot = 0; slot < reader_count; ++slot) {
+    readers.emplace_back([&, slot] {
+      // failures[slot] is this thread's private slot until join();
+      // failed_readers is the cross-thread signal.
+      auto fail = [&](const std::string& msg) {
+        if (failures[slot].empty()) {
+          failures[slot] = msg;
+          failed_readers.fetch_add(1, std::memory_order_release);
+        }
+      };
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const Snapshot snap = store.snapshot();
+        const std::uint64_t epoch = snap->epoch();
+        if (epoch < last_epoch) {
+          fail("epoch moved backwards: " + std::to_string(epoch) + " after " +
+               std::to_string(last_epoch));
+          break;
+        }
+        last_epoch = epoch;
+        Fingerprint want;
+        {
+          std::lock_guard<std::mutex> lock(expected_mutex);
+          const auto it = expected.find(epoch);
+          if (it == expected.end()) {
+            fail("epoch " + std::to_string(epoch) +
+                 " published without a registered fingerprint");
+            break;
+          }
+          want = it->second;
+        }
+        const std::int64_t users =
+            CypherSession::execute_read(snap, count_users).count;
+        const QueryResult version_rows =
+            CypherSession::execute_read(snap, da_version);
+        const std::int64_t version =
+            version_rows.rows.empty() ? -1
+                                      : version_rows.rows[0][0].as_int();
+        const defense::SnapshotWhatIf whatif(snap);
+        const std::size_t survivors = whatif.survivors(defense::WhatIfOverlay{});
+        if (users != want.users_total || version != want.version ||
+            survivors != want.survivors) {
+          fail("epoch " + std::to_string(epoch) + ": observed (" +
+               std::to_string(users) + ", " + std::to_string(version) + ", " +
+               std::to_string(survivors) + "), expected (" +
+               std::to_string(want.users_total) + ", " +
+               std::to_string(want.version) + ", " +
+               std::to_string(want.survivors) + ")");
+          break;
+        }
+        reader_iterations.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
+  // Writer loop: alternate committed batches (one probe user wired into
+  // the funnel + a version bump) with aborted ones (which must publish
+  // nothing).  Every write runs inside an undo scope, so snapshot() stays
+  // on the lock-free fast path for the readers throughout.
+  constexpr int kRounds = 48;
+  std::int64_t users_total = 5;
+  std::int64_t version = 0;
+  std::size_t survivors = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    const bool abort = (round % 3) == 2;
+    if (abort) {
+      store.begin_undo_scope();
+      const NodeId ghost = store.create_node({"User"});
+      store.set_node_property(ghost, "enabled", PropertyValue(true));
+      store.create_relationship(ghost, g1, "MemberOf");
+      store.set_node_property(da, "version",
+                              PropertyValue(std::int64_t{-999}));
+      store.abort_scope();
+    } else {
+      ++users_total;
+      ++version;
+      ++survivors;
+      {
+        // Register the fingerprint under the epoch this commit will
+        // publish, BEFORE it becomes visible.
+        std::lock_guard<std::mutex> lock(expected_mutex);
+        expected[store.snapshot_stats().current_epoch + 1] =
+            Fingerprint{users_total, version, survivors};
+      }
+      store.begin_undo_scope();
+      const NodeId probe = store.create_node({"User"});
+      store.set_node_property(probe, "enabled", PropertyValue(true));
+      store.create_relationship(probe, g1, "MemberOf");
+      store.set_node_property(da, "version",
+                              PropertyValue(std::int64_t{version}));
+      store.commit_scope();
+    }
+    // Pace: let the reader pool observe this state before moving on.
+    const std::uint64_t seen = reader_iterations.load(std::memory_order_acquire);
+    while (reader_iterations.load(std::memory_order_acquire) < seen + 2 &&
+           !done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+      // A reader that failed stops iterating; don't deadlock on it.
+      if (failed_readers.load(std::memory_order_acquire) != 0) {
+        done.store(true, std::memory_order_release);
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  for (std::size_t slot = 0; slot < reader_count; ++slot) {
+    EXPECT_EQ(failures[slot], "") << "reader " << slot;
+  }
+
+  // Committed state is exactly the writer's bookkeeping...
+  EXPECT_EQ(session.execute(count_users).count, users_total);
+  const Snapshot final_snap = store.snapshot();
+  EXPECT_EQ(CypherSession::execute_read(final_snap, da_version)
+                .rows[0][0]
+                .as_int(),
+            version);
+
+  // ...and reclamation drained every retired epoch: once the pinned first
+  // view drops, only the final view (held here + the published tail) is
+  // live, and the version-chain audit is green at teardown.
+  initial.reset();
+  const SnapshotStats stats = store.snapshot_stats();
+  EXPECT_EQ(stats.live_views, 1u);
+  EXPECT_EQ(stats.oldest_live_epoch, final_snap->epoch());
+  EXPECT_EQ(stats.published_views - stats.reclaimed_views, 1u);
+  expect_store_invariants(store);
+}
+
+TEST(ConcurrentServing, ParallelWhatIfAgainstSnapshotWhileWriterCommits) {
+  // defense::block_edges_snapshot forks overlay branches on the pool; the
+  // writer keeps committing underneath.  The probe result must equal the
+  // serial result for the state the snapshot froze, whatever the writer
+  // does afterwards.
+  GraphStore store;
+  const NodeId da = store.create_node({"Group"});
+  store.set_node_property(da, "name", PropertyValue("DOMAIN ADMINS"));
+  const NodeId a1 = store.create_node({"User"});
+  store.set_node_property(a1, "name", PropertyValue("A1"));
+  store.set_node_property(a1, "enabled", PropertyValue(true));
+  store.set_node_property(a1, "admin", PropertyValue(true));
+  const NodeId c1 = store.create_node({"Computer"});
+  const NodeId g1 = store.create_node({"Group"});
+  store.set_node_property(g1, "name", PropertyValue("HELPDESK"));
+  for (int i = 0; i < 6; ++i) {
+    const NodeId u = store.create_node({"User"});
+    store.set_node_property(u, "name",
+                            PropertyValue("U" + std::to_string(i)));
+    store.set_node_property(u, "enabled", PropertyValue(true));
+    store.create_relationship(u, g1, "MemberOf");
+  }
+  const RelId g1_to_c1 = store.create_relationship(g1, c1, "AdminTo");
+  store.create_relationship(c1, a1, "HasSession");
+  store.create_relationship(a1, da, "MemberOf");
+
+  const defense::LiveEdgeBlockResult serial =
+      defense::block_edges_live(store, /*budget=*/2);
+
+  const Snapshot snap = store.snapshot();
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      store.begin_undo_scope();
+      const NodeId extra = store.create_node({"User"});
+      store.set_node_property(extra, "enabled", PropertyValue(true));
+      store.create_relationship(extra, g1, "MemberOf");
+      if (++i % 2 == 0) {
+        store.commit_scope();
+      } else {
+        store.abort_scope();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  const defense::SnapshotWhatIf whatif(snap);
+  const defense::WhatIfOverlay base;
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    const std::vector<RelId> path = whatif.shortest_attack_path(base);
+    ASSERT_EQ(path.size(), 4u);  // u -> g1 -> c1 -> a1 -> DA
+    const std::vector<std::size_t> alive =
+        defense::parallel_edge_survivors(whatif, base, path);
+    // Only the first hop is private to one user; every later hop is the
+    // funnel all six share.
+    EXPECT_EQ(alive[0], 5u);
+    EXPECT_EQ(alive[1], 0u);
+    EXPECT_EQ(alive[2], 0u);
+    EXPECT_EQ(alive[3], 0u);
+  }
+  done.store(true, std::memory_order_release);
+  writer.join();
+
+  // The serial greedy picked the first full cut on the path: g1 -> c1.
+  EXPECT_EQ(serial.blocked_rels, std::vector<RelId>{g1_to_c1});
+  expect_store_invariants(store);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

@@ -1,0 +1,332 @@
+// Epoch-based MVCC snapshots: isolation, publish/abort semantics, the
+// delta-chain + re-root lifecycle, read-path equality with the live store,
+// and epoch reclamation accounting.
+//
+// The concurrency half (many readers vs one committing writer, TSan lane)
+// lives in snapshot_concurrency_test.cpp; this file proves the semantics
+// single-threaded so those failures stay easy to bisect.
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adcore/convert.hpp"
+#include "graphdb/cypher.hpp"
+#include "graphdb/snapshot.hpp"
+#include "graphdb/store.hpp"
+#include "support/checked_store.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+using test_support::expect_store_invariants;
+
+/// A store with an indexed User population and one Group.
+struct Fixture {
+  GraphStore store;
+  NodeId alice = kNoNode;
+  NodeId bob = kNoNode;
+  NodeId admins = kNoNode;
+
+  Fixture() {
+    store.create_index("User", "name");
+    alice = store.create_node(
+        {"User"}, {{store.intern_key("name"), PropertyValue("alice")}});
+    bob = store.create_node(
+        {"User"}, {{store.intern_key("name"), PropertyValue("bob")}});
+    admins = store.create_node(
+        {"Group"}, {{store.intern_key("name"), PropertyValue("admins")}});
+    store.create_relationship(alice, admins, "MemberOf");
+  }
+};
+
+TEST(Snapshot, FreezesCommittedStateAcrossScopedCommits) {
+  Fixture f;
+  const Snapshot before = f.store.snapshot();
+  EXPECT_EQ(before->node_count(), 3u);
+  EXPECT_EQ(before->rel_count(), 1u);
+
+  f.store.begin_undo_scope();
+  const NodeId carol = f.store.create_node(
+      {"User"}, {{f.store.intern_key("name"), PropertyValue("carol")}});
+  f.store.set_node_property(f.alice, "name", PropertyValue("ALICE"));
+  f.store.commit_scope();
+
+  // The old view answers from its epoch; a fresh one sees the commit.
+  EXPECT_EQ(before->node_count(), 3u);
+  ASSERT_NE(before->node_property(f.alice, "name"), nullptr);
+  EXPECT_EQ(before->node_property(f.alice, "name")->as_string(), "alice");
+  EXPECT_EQ(before->find_nodes("User", "name", PropertyValue("carol")),
+            std::vector<NodeId>{});
+
+  const Snapshot after = f.store.snapshot();
+  EXPECT_GT(after->epoch(), before->epoch());
+  EXPECT_EQ(after->node_count(), 4u);
+  EXPECT_EQ(after->node_property(f.alice, "name")->as_string(), "ALICE");
+  EXPECT_EQ(after->find_nodes("User", "name", PropertyValue("carol")),
+            std::vector<NodeId>{carol});
+  expect_store_invariants(f.store);
+}
+
+TEST(Snapshot, AbortedScopePublishesNothing) {
+  Fixture f;
+  const Snapshot before = f.store.snapshot();
+  const SnapshotStats stats_before = f.store.snapshot_stats();
+
+  f.store.begin_undo_scope();
+  f.store.create_node({"User"});
+  f.store.set_node_property(f.bob, "name", PropertyValue("BOB"));
+  f.store.abort_scope();
+
+  // Same view, same epoch: an abort is not a commit, and the restored
+  // stamps keep the version-chain audit green.
+  const Snapshot again = f.store.snapshot();
+  EXPECT_EQ(again.get(), before.get());
+  EXPECT_EQ(f.store.snapshot_stats().current_epoch,
+            stats_before.current_epoch);
+  expect_store_invariants(f.store);
+}
+
+TEST(Snapshot, EmptyCommitPublishesNothing) {
+  Fixture f;
+  const Snapshot before = f.store.snapshot();
+  f.store.begin_undo_scope();
+  f.store.commit_scope();
+  EXPECT_EQ(f.store.snapshot().get(), before.get());
+}
+
+TEST(Snapshot, UnscopedMutationInvalidatesAndReRoots) {
+  Fixture f;
+  const Snapshot before = f.store.snapshot();
+  const std::uint64_t epoch_before = before->epoch();
+
+  // Unscoped writes have no undo log to derive a delta from: the published
+  // view is dropped and the next snapshot() re-materializes a fresh root.
+  const NodeId dave = f.store.create_node(
+      {"User"}, {{f.store.intern_key("name"), PropertyValue("dave")}});
+
+  const Snapshot after = f.store.snapshot();
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_GT(after->epoch(), epoch_before);
+  EXPECT_EQ(after->overlay_entries(), 0u);  // fresh root, no overlay
+  EXPECT_EQ(after->find_nodes("User", "name", PropertyValue("dave")),
+            std::vector<NodeId>{dave});
+  EXPECT_EQ(before->node_count(), 3u);  // the old view stays coherent
+  expect_store_invariants(f.store);
+}
+
+TEST(Snapshot, DeltaChainAccumulatesThenReRoots) {
+  Fixture f;
+  const Snapshot root = f.store.snapshot();
+  EXPECT_EQ(root->overlay_entries(), 0u);
+
+  // Small commits ride the delta chain: each publish copies the overlay
+  // forward instead of re-materializing O(V+E) state.
+  f.store.begin_undo_scope();
+  f.store.create_node({"User"});
+  f.store.commit_scope();
+  f.store.begin_undo_scope();
+  f.store.set_node_property(f.bob, "name", PropertyValue("robert"));
+  f.store.commit_scope();
+  const Snapshot delta = f.store.snapshot();
+  EXPECT_EQ(delta->overlay_entries(), 2u);  // one created + one mutated node
+  EXPECT_EQ(delta->node_property(f.bob, "name")->as_string(), "robert");
+
+  // A batch pushing the overlay past the re-root threshold compacts back
+  // to a fresh root.
+  f.store.begin_undo_scope();
+  for (int i = 0; i < 100; ++i) f.store.create_node({"User"});
+  f.store.commit_scope();
+  const Snapshot rerooted = f.store.snapshot();
+  EXPECT_EQ(rerooted->overlay_entries(), 0u);
+  EXPECT_EQ(rerooted->node_count(), f.store.node_count());
+  EXPECT_EQ(delta->overlay_entries(), 2u);  // the old delta view is frozen
+  expect_store_invariants(f.store);
+}
+
+TEST(Snapshot, MirrorsStoreReadApi) {
+  Fixture f;
+  // Mutate through a few committed batches so the view under test is a
+  // delta view (the interesting path), then compare every mirrored read.
+  f.store.snapshot();
+  f.store.begin_undo_scope();
+  const NodeId carol = f.store.create_node(
+      {"User"}, {{f.store.intern_key("name"), PropertyValue("bob")}});
+  f.store.create_relationship(carol, f.admins, "MemberOf");
+  f.store.delete_relationship(0);
+  f.store.commit_scope();
+
+  const GraphStore& s = f.store;
+  const Snapshot snap = f.store.snapshot();
+  const SnapshotView& v = *snap;
+  EXPECT_EQ(v.node_count(), s.node_count());
+  EXPECT_EQ(v.rel_count(), s.rel_count());
+  EXPECT_EQ(v.node_capacity(), s.node_capacity());
+  EXPECT_EQ(v.rel_capacity(), s.rel_capacity());
+  EXPECT_EQ(v.find_label("User"), s.find_label("User"));
+  EXPECT_EQ(v.find_rel_type("MemberOf"), s.find_rel_type("MemberOf"));
+  EXPECT_EQ(v.find_key("name"), s.find_key("name"));
+  EXPECT_EQ(v.rel_type_count(), s.rel_type_count());
+  EXPECT_EQ(v.label_name(*v.find_label("Group")), "Group");
+  EXPECT_EQ(v.nodes_with_label("User"), s.nodes_with_label("User"));
+  EXPECT_EQ(v.nodes_with_label("Group"), s.nodes_with_label("Group"));
+  // Indexed lookup with a duplicated value (bob and carol share the name)
+  // plus the unindexed label-scan fallback.
+  EXPECT_EQ(v.find_nodes("User", "name", PropertyValue("bob")),
+            s.find_nodes("User", "name", PropertyValue("bob")));
+  EXPECT_EQ(v.find_nodes("Group", "name", PropertyValue("admins")),
+            s.find_nodes("Group", "name", PropertyValue("admins")));
+  for (NodeId n = 0; n < s.node_capacity(); ++n) {
+    EXPECT_EQ(v.node(n).deleted, s.node(n).deleted);
+    EXPECT_EQ(v.node(n).out_rels, s.node(n).out_rels);
+    EXPECT_EQ(v.node(n).in_rels, s.node(n).in_rels);
+  }
+  for (RelId r = 0; r < s.rel_capacity(); ++r) {
+    EXPECT_EQ(v.rel(r).deleted, s.rel(r).deleted);
+    EXPECT_EQ(v.rel(r).source, s.rel(r).source);
+    EXPECT_EQ(v.rel(r).target, s.rel(r).target);
+  }
+}
+
+TEST(Snapshot, ReadQueriesMatchLiveSession) {
+  Fixture f;
+  CypherSession session(f.store);
+  const PreparedStatement count_users =
+      session.prepare("MATCH (n:User) RETURN count(n)");
+  const PreparedStatement by_name =
+      session.prepare("MATCH (n:User {name: $name}) RETURN n");
+
+  const Snapshot snap = f.store.snapshot();
+  const Params params{{"name", PropertyValue("alice")}};
+  EXPECT_EQ(CypherSession::execute_read(snap, count_users).count,
+            session.execute(count_users).count);
+  EXPECT_EQ(CypherSession::execute_read(snap, by_name, params).nodes,
+            session.execute(by_name, params).nodes);
+
+  // The writer moves on; the snapshot keeps answering from its epoch.
+  session.run("CREATE (n:User {name: 'eve'})");
+  EXPECT_EQ(CypherSession::execute_read(snap, count_users).count, 2);
+  EXPECT_EQ(session.execute(count_users).count, 3);
+}
+
+TEST(Snapshot, ReadPathIsReadOnly) {
+  Fixture f;
+  CypherSession session(f.store);
+  const Snapshot snap = f.store.snapshot();
+  const PreparedStatement create =
+      session.prepare("CREATE (n:User {name: 'mallory'})");
+  EXPECT_THROW(CypherSession::execute_read(snap, create), CypherError);
+  EXPECT_THROW(CypherSession::execute_read(snap, nullptr), CypherError);
+  EXPECT_THROW(CypherSession::execute_read(Snapshot{}, create), CypherError);
+
+  // EXPLAIN of any verb is fine — it renders the plan without executing.
+  const PreparedStatement explain =
+      session.prepare("EXPLAIN CREATE (n:User {name: 'mallory'})");
+  EXPECT_FALSE(CypherSession::execute_read(snap, explain).plan.empty());
+  EXPECT_EQ(f.store.node_count(), 3u);
+}
+
+TEST(Snapshot, MidScopeMaterializationThrowsButFastPathServes) {
+  Fixture f;
+  // No published view yet: snapshot() inside a scope would materialize
+  // uncommitted state, so it must refuse.
+  f.store.begin_undo_scope();
+  EXPECT_THROW(f.store.snapshot(), std::logic_error);
+  f.store.abort_scope();
+
+  // With a published view, mid-scope snapshot() is the lock-free fast path
+  // and serves the last committed epoch.
+  const Snapshot published = f.store.snapshot();
+  f.store.begin_undo_scope();
+  f.store.create_node({"User"});
+  EXPECT_EQ(f.store.snapshot().get(), published.get());
+  f.store.abort_scope();
+}
+
+TEST(Snapshot, ReclamationAccounting) {
+  Fixture f;
+  SnapshotStats stats = f.store.snapshot_stats();
+  EXPECT_EQ(stats.published_views, 0u);
+  EXPECT_EQ(stats.live_views, 0u);
+
+  {
+    const Snapshot s1 = f.store.snapshot();
+    f.store.begin_undo_scope();
+    f.store.create_node({"User"});
+    f.store.commit_scope();
+    const Snapshot s2 = f.store.snapshot();
+    stats = f.store.snapshot_stats();
+    EXPECT_EQ(stats.published_views, 2u);
+    EXPECT_EQ(stats.live_views, 2u);
+    EXPECT_EQ(stats.oldest_live_epoch, s1->epoch());
+    EXPECT_EQ(stats.current_epoch, s2->epoch());
+  }
+  // Handles dropped: the retired epoch drains (its view is reclaimed); the
+  // current epoch stays alive through the store's published tail.
+  stats = f.store.snapshot_stats();
+  EXPECT_EQ(stats.reclaimed_views, 1u);
+  EXPECT_EQ(stats.live_views, 1u);
+  EXPECT_EQ(stats.oldest_live_epoch, stats.current_epoch);
+
+  // Invalidation drops the tail too: nothing stays pinned.
+  f.store.create_node({"User"});  // unscoped
+  stats = f.store.snapshot_stats();
+  EXPECT_EQ(stats.reclaimed_views, 2u);
+  EXPECT_EQ(stats.live_views, 0u);
+  EXPECT_EQ(stats.oldest_live_epoch, 0u);
+  expect_store_invariants(f.store);
+}
+
+TEST(Snapshot, ViewsOutliveTheStore) {
+  Snapshot survivor;
+  {
+    Fixture f;
+    f.store.snapshot();
+    f.store.begin_undo_scope();
+    f.store.create_node({"User"});
+    f.store.commit_scope();
+    survivor = f.store.snapshot();
+  }
+  // The store is gone; the view still answers, and its destructor must
+  // deregister against the control block without touching the dead store.
+  EXPECT_EQ(survivor->node_count(), 4u);
+  EXPECT_EQ(survivor->nodes_with_label("User").size(), 3u);
+  survivor.reset();
+}
+
+TEST(Snapshot, FromSnapshotMatchesFromStore) {
+  // An AD-shaped store (recognized labels only), converted both ways.
+  GraphStore store;
+  const NodeId da = store.create_node(
+      {"Group"}, {{store.intern_key("name"), PropertyValue("DOMAIN ADMINS")}});
+  const NodeId u = store.create_node(
+      {"User"}, {{store.intern_key("name"), PropertyValue("U1")},
+                 {store.intern_key("enabled"), PropertyValue(true)},
+                 {store.intern_key("admin"), PropertyValue(false)}});
+  const NodeId c = store.create_node(
+      {"Computer"}, {{store.intern_key("name"), PropertyValue("C1")},
+                     {store.intern_key("tier"), PropertyValue(
+                                                    std::int64_t{2})}});
+  store.create_relationship(u, c, "AdminTo");
+  store.create_relationship(c, da, "MemberOf");
+
+  const Snapshot snap = store.snapshot();
+  store.delete_relationship(1);  // writer moves on past the snapshot
+
+  const adcore::AttackGraph from_live = adcore::from_store(store);
+  const adcore::AttackGraph from_view = adcore::from_snapshot(*snap);
+  EXPECT_EQ(from_view.node_count(), 3u);
+  EXPECT_EQ(from_view.edge_count(), 2u);  // snapshot predates the delete
+  EXPECT_EQ(from_live.edge_count(), 1u);
+  EXPECT_EQ(from_view.domain_admins(), 0u);
+  for (adcore::NodeIndex n = 0; n < from_view.node_count(); ++n) {
+    EXPECT_EQ(from_view.kind(n), from_live.kind(n));
+    EXPECT_EQ(from_view.name(n), from_live.name(n));
+    EXPECT_EQ(from_view.tier(n), from_live.tier(n));
+    EXPECT_EQ(from_view.flags(n), from_live.flags(n));
+  }
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

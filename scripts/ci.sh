@@ -9,9 +9,14 @@
 #   build      — configure + compile, warnings promoted (-DADSYNTH_WERROR=ON)
 #   test       — full ctest suite (includes lint.determinism/lint.selftest
 #                and the store invariant-injection tests)
-#   lint       — tools/adsynth_lint standalone over the repo + fixtures
+#   lint       — tools/adsynth_lint standalone over the repo (writing the
+#                machine-readable findings JSON into the log dir) + fixtures
 #                self-test (same binary the ctest entries run; kept as its
-#                own stage so a lint break is named in the table)
+#                own stage so a lint break is named in the table).  The
+#                summary echoes the binary's per-rule finding counts.
+#   lint.headers — per-header self-containment: builds the generated
+#                adsynth_header_check object library (every public .hpp as
+#                its own TU), same target the lint.headers ctest drives
 #   bench.regression — quick bench_micro run (with --trace) diffed against
 #                bench/baselines/BENCH_micro.json by scripts/bench_compare.py;
 #                tolerance via ADSYNTH_BENCH_TOLERANCE (default 1.0 = 2x,
@@ -34,6 +39,7 @@ mkdir -p "$log_dir"
 
 stages=""
 results=""
+lint_counts=""
 
 record() {
   stages="$stages $1"
@@ -51,6 +57,9 @@ print_summary() {
     i=$((i + 1))
   done
   echo "----------------------------"
+  if [ -n "$lint_counts" ]; then
+    echo "  lint rule counts: $lint_counts"
+  fi
 }
 
 # The exit code is derived from the recorded results, never from a flag a
@@ -99,8 +108,16 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
   run_stage test test.log \
     ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs"
   run_stage lint lint.log sh -c "
-    '$root/build-ci/tools/adsynth_lint' '$root' &&
+    '$root/build-ci/tools/adsynth_lint' '$root' \
+        --json '$log_dir/lint_findings.json' &&
     '$root/build-ci/tools/adsynth_lint' --self-test '$root/tests/lint_fixtures'"
+  # The binary prints one stable machine-parsable line per scan
+  # ("adsynth_lint: rule-counts files=N total=M rule=count ..."); lift it
+  # into the summary so a green run still shows what the lint looked at.
+  lint_counts="$(sed -n 's/^adsynth_lint: rule-counts //p' \
+                     "$log_dir/lint.log" | head -n 1)"
+  run_stage lint.headers lint_headers.log \
+    cmake --build "$root/build-ci" --target adsynth_header_check -j "$jobs"
   run_stage bench.regression bench_regression.log sh -c "
     cd '$root/build-ci/bench' &&
     ./bench_micro --benchmark_min_time=0.05 --trace trace_micro.json &&
@@ -124,6 +141,7 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
 else
   record test SKIP   # no build to test; the build FAIL already gates exit
   record lint SKIP
+  record lint.headers SKIP
   record bench.regression SKIP
 fi
 

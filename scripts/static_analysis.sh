@@ -2,9 +2,10 @@
 # clang-tidy gate over the library sources (.clang-tidy has the profile).
 #
 # Builds a compile_commands.json in build-tidy/ and runs clang-tidy over
-# every translation unit in src/ and tools/.  Tests are covered indirectly
-# through HeaderFilterRegex; benches and examples are thin mains and are
-# deliberately skipped to keep the lane fast.
+# every translation unit in src/, tools/, bench/ and examples/.  Tests are
+# covered indirectly through HeaderFilterRegex; bench/examples mains are
+# thin but they exercise public APIs no test does, so they stay in the
+# sweep.
 #
 # Requires clang-tidy.  Fails fast with an actionable message when the
 # host does not ship it — a skipped analysis must never look like a pass.
@@ -34,7 +35,8 @@ fi
 cmake -B "$root/build-tidy" -S "$root" \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 
-files="$(find "$root/src" "$root/tools" -name '*.cpp' | sort)"
+files="$(find "$root/src" "$root/tools" "$root/bench" "$root/examples" \
+              -name '*.cpp' | sort)"
 total="$(printf '%s\n' "$files" | wc -l | tr -d ' ')"
 echo "static_analysis: $tidy over $total translation units"
 

@@ -63,6 +63,7 @@ using EdgeShard = std::vector<ShardEdge>;
 /// Working state threaded through the pipeline stages.
 struct Builder {
   const GeneratorConfig& cfg;
+  // adsynth-lint: allow(rng-stream): seeded from config.seed in the ctor init list; stage substreams derive from it via rng.stream(tag ^ shard)
   util::Rng rng;
   util::ThreadPool& pool;
   GeneratedAd out;

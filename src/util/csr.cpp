@@ -41,10 +41,12 @@ std::vector<std::int32_t> bfs_distances_parallel(
                  ++i) {
               const std::uint32_t w = csr.targets[i];
               std::atomic_ref<std::int32_t> slot(dist[w]);
+              // adsynth-lint: allow(atomic-relaxed): racy pre-check — the CAS below is the authoritative claim; a stale read only costs a retry
               if (slot.load(std::memory_order_relaxed) != kBfsUnreachable) {
                 continue;
               }
               std::int32_t expected = kBfsUnreachable;
+              // adsynth-lint: allow(atomic-relaxed): frontier CAS writes one immutable level value per node; the ordered reduction's join publishes it
               if (slot.compare_exchange_strong(expected, next_level,
                                                std::memory_order_relaxed)) {
                 next.push_back(w);

@@ -23,10 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "util/annotations.hpp"
 #include "util/json.hpp"
 
 #if !defined(ADSYNTH_TRACE_DISABLED)
@@ -164,10 +164,18 @@ class MetricsRegistry {
 
  private:
   MetricsRegistry() = default;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Capability-annotated (util/annotations.hpp) so the ADSYNTH_ANALYZE
+  // lane sees the registry's lock discipline: the maps are only touched
+  // under mutex_; the metric objects they own are updated lock-free
+  // through the references lookup hands out (deliberately unannotated —
+  // their atomics are the synchronization).
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ADSYNTH_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ADSYNTH_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      ADSYNTH_GUARDED_BY(mutex_);
 };
 
 }  // namespace adsynth::util

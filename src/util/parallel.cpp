@@ -40,8 +40,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::drain(std::size_t slot, std::size_t chunks, const Job& fn) {
   tl_in_region = true;
   for (;;) {
-    const std::size_t chunk =
-        cursor_.fetch_add(1, std::memory_order_relaxed);
+    // adsynth-lint: allow(atomic-relaxed): chunk claiming only needs atomicity — each index is claimed once; the pool's mutex/cv handshake publishes the job and results
+    const std::size_t chunk = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= chunks) break;
     fn(chunk, slot);
   }
@@ -58,6 +58,7 @@ void ThreadPool::run(std::size_t chunks, const Job& fn) {
     MutexLock lock(mutex_);
     job_ = &fn;
     chunks_ = chunks;
+    // adsynth-lint: allow(atomic-relaxed): reset is published to workers by the mutex_/generation_ handshake below, not by this store
     cursor_.store(0, std::memory_order_relaxed);
     active_workers_ = workers_.size();
     ++generation_;

@@ -7,15 +7,16 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 
+#include "util/annotations.hpp"
 #include "util/timer.hpp"
 
 namespace adsynth::util {
 
 // util::monotonic_ns is the only clock trace ever reads; pin down that it
 // really is monotonic so span durations cannot go backwards.
+// adsynth-lint: allow(wall-clock): compile-time assert on the clock type only; the runtime read goes through util::monotonic_ns()
 static_assert(std::chrono::steady_clock::is_steady,
               "trace spans require a monotonic sanctioned clock");
 
@@ -53,13 +54,21 @@ struct ThreadBuffer {
 };
 
 struct TraceRegistry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  // registration order
+  // Capability-annotated (util/annotations.hpp) so the ADSYNTH_ANALYZE
+  // lane audits the registration/merge discipline.  armed/epoch are the
+  // deliberately lock-free members (the arm protocol), and max_events is
+  // written only inside trace_begin while disarmed, then read lock-free
+  // by Span::end — both stay unannotated per the repo convention that an
+  // annotation asserts "always under the lock".
+  Mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers  // registration order
+      ADSYNTH_GUARDED_BY(mutex);
   std::atomic<bool> armed{false};
   std::atomic<std::uint64_t> epoch{0};
-  std::uint64_t start_ns = 0;          // capture start (coordinator only)
+  std::uint64_t start_ns ADSYNTH_GUARDED_BY(mutex) = 0;  // capture start
   std::size_t max_events = 0;
-  ThreadBuffer* coordinator = nullptr;  // the thread that called trace_begin
+  ThreadBuffer* coordinator  // the thread that called trace_begin
+      ADSYNTH_GUARDED_BY(mutex) = nullptr;
 };
 
 TraceRegistry& registry() {
@@ -74,7 +83,7 @@ ThreadBuffer* this_thread_buffer() {
   if (tls_buffer == nullptr) {
     auto owned = std::make_unique<ThreadBuffer>();
     tls_buffer = owned.get();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     tls_buffer->epoch = reg.epoch.load(std::memory_order_relaxed);
     reg.buffers.push_back(std::move(owned));
   }
@@ -127,7 +136,7 @@ bool trace_active() {
 
 void trace_begin(std::size_t max_events_per_thread) {
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   // Register the calling thread inline (this_thread_buffer would re-take
   // the mutex): its depth-0 spans define the capture's accounted wall time.
   if (tls_buffer == nullptr) {
@@ -148,7 +157,7 @@ void trace_begin(std::size_t max_events_per_thread) {
 TraceReport trace_end() {
   TraceRegistry& reg = registry();
   TraceReport report;
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   if (!reg.armed.load(std::memory_order_relaxed)) return report;
   reg.armed.store(false, std::memory_order_release);
 

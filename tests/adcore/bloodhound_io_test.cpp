@@ -25,7 +25,10 @@ util::JsonValue load(const std::string& path) {
 class BloodhoundIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir = ::testing::TempDir() + "/bh_export";
+    // Per-case directory: ctest runs each case as its own process, so a
+    // shared path would let one case read files another is rewriting.
+    dir = ::testing::TempDir() + "/bh_export_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir);
     ad = core::generate_ad(core::GeneratorConfig::secure(1500, 13));
     export_bloodhound_collection(ad.graph, dir, "corp.local", 77);

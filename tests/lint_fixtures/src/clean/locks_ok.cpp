@@ -1,0 +1,27 @@
+// Fixture: the sanctioned concurrency vocabulary must not fire
+// lock-wrapper or atomic rules: util::Mutex/MutexLock are the annotated
+// wrappers, std::condition_variable_any is a distinct token from the
+// banned std::condition_variable, and explicitly-ordered atomics pass
+// the ordering audit.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+
+namespace util {
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex&);
+};
+}  // namespace util
+
+std::uint64_t fixture_locks_ok(util::Mutex& m) {
+  util::MutexLock lock(m);
+  std::condition_variable_any cv;
+  (void)cv;
+  std::atomic<std::uint64_t> seq{0};
+  seq.store(1, std::memory_order_release);
+  return seq.load(std::memory_order_acquire);
+}

@@ -1,0 +1,12 @@
+// Fixture: token-awareness.  Banned tokens inside string literals, raw
+// strings and near-miss identifiers must stay silent — v1's substring
+// matcher would have fired on every line below.
+#include <string>
+
+std::string fixture_strings_ok() {
+  const char* doc = "std::rand system_clock unordered_map std::mutex";
+  const char* raw = R"(steady_clock::now( mt19937 random_device)";
+  int steady_clockwork = 0;        // near-miss identifier, not steady_clock
+  int mutex_count = steady_clockwork + 1;  // near-miss for 'mutex'
+  return std::string(doc) + raw + std::to_string(mutex_count);
+}

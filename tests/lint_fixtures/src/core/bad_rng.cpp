@@ -1,0 +1,16 @@
+// Fixture: RNG-stream discipline in the sharded generator (src/core/).
+// Rng::fork() depends on the parent's draw count, and default-seeded Rng
+// construction silently ignores the config seed — both trip rng-stream.
+namespace util {
+struct Rng {
+  Rng stream(unsigned long long) const;
+  Rng fork();
+};
+}  // namespace util
+
+util::Rng fixture_bad_rng(util::Rng& parent) {
+  util::Rng implicit_seed;
+  auto child = parent.fork();
+  (void)implicit_seed;
+  return child;
+}

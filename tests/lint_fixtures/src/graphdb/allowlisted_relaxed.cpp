@@ -1,0 +1,11 @@
+// Fixture: an atomic-relaxed violation suppressed by the *allowlist*
+// (tests/lint_fixtures/lint_allowlist.txt), not an inline directive.
+// Proves path-level entries still work in v2 and are tracked as used.
+#include <atomic>
+#include <cstdint>
+
+std::uint64_t fixture_allowlisted_relaxed() {
+  std::atomic<std::uint64_t> hits{0};
+  hits.fetch_add(1, std::memory_order_relaxed);
+  return hits.load(std::memory_order_seq_cst);
+}

@@ -1,0 +1,17 @@
+// Fixture: atomic operations in src/graphdb/ must spell their
+// memory_order.  The implicit-seq_cst calls below trip atomic-ordering;
+// the relaxed op trips atomic-relaxed (this path is not allowlisted and
+// carries no inline suppression).
+#include <atomic>
+#include <cstdint>
+
+std::uint64_t fixture_bad_atomic() {
+  std::atomic<std::uint64_t> epoch{0};
+  epoch.store(1);
+  epoch.fetch_add(2);
+  std::uint64_t snapshot = epoch.load();
+  std::uint64_t racy = epoch.load(std::memory_order_relaxed);
+  std::uint64_t expected = 3;
+  epoch.compare_exchange_strong(expected, snapshot);
+  return snapshot + racy;
+}

@@ -1,0 +1,15 @@
+// Fixture: raw std locking primitives in src/ outside util/annotations.hpp
+// must trip lock-wrapper — the thread-safety analysis cannot see through
+// them.  Every std::-qualified use below fires.
+#include <condition_variable>
+#include <mutex>
+
+int fixture_bad_mutex() {
+  std::mutex m;
+  std::lock_guard<std::mutex> lock(m);
+  std::unique_lock<std::mutex> ul(m, std::defer_lock);
+  std::condition_variable cv;
+  (void)ul;
+  (void)cv;
+  return 1;
+}

@@ -1,0 +1,13 @@
+// Fixture: a real atomic-relaxed violation intercepted by an inline
+// suppression.  The self-test asserts this file reports *nothing* and
+// that the directive was consumed (recorded under "suppressed") — proof
+// allow() works and is tracked.
+#include <atomic>
+#include <cstdint>
+
+std::uint64_t fixture_suppressed_ok() {
+  std::atomic<std::uint64_t> counter{0};
+  // adsynth-lint: allow(atomic-relaxed): fixture invariant — monotonic counter, readers tolerate staleness
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return counter.load(std::memory_order_acquire);
+}

@@ -1,0 +1,6 @@
+// Fixture: an allow() directive with no matching finding on its line (or
+// the line after) is rot and must trip unused-suppression.
+// adsynth-lint: allow(wall-clock): stale on purpose — nothing below reads a clock
+int fixture_stale_suppress() {
+  return 42;
+}

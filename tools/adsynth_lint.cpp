@@ -1,49 +1,97 @@
-// adsynth_lint — repo-invariant / determinism lint for the ADSynth tree.
+// adsynth_lint v2 — token-aware concurrency-discipline & determinism lint
+// for the ADSynth tree.
 //
-// The reproduction's headline guarantees are *determinism* properties:
-// identical seeds produce identical graphs, parallel reductions are
-// bit-identical at any thread count, and rollback restores stores exactly.
-// Those guarantees die quietly when someone reaches for std::rand, seeds
-// from random_device, renders a wall-clock timestamp into an output file,
-// or folds a floating-point reduction over an unordered container whose
-// iteration order is implementation-defined.  This tool walks src/ and
-// bench/ and fails (as a tier-1 ctest) on exactly those patterns:
+// The reproduction's headline guarantees are *determinism* and *data-race
+// freedom*: identical seeds produce identical graphs, parallel reductions
+// are bit-identical at any thread count, rollback restores stores exactly,
+// and the MVCC snapshot layer serves lock-free readers against a single
+// writer.  Those guarantees die quietly when someone reaches for
+// std::rand, seeds from random_device, renders a wall-clock timestamp
+// into an output file, grabs a raw std::mutex the thread-safety analysis
+// cannot see through, or leaves an atomic operation's memory ordering to
+// the seq_cst default nobody audited.  This tool walks src/ and bench/
+// and fails (as a tier-1 ctest) on exactly those patterns.
 //
-//   nondeterministic-random  std::rand / srand / random_device / mt19937 /
-//                            <random> distributions / std::shuffle anywhere
-//                            outside src/util/rng.*.  util::Rng (xoshiro256**
-//                            + explicit seeds) is the only sanctioned source
-//                            of randomness; stdlib distributions are
-//                            implementation-defined across platforms.
-//   wall-clock               system_clock / steady_clock / ::time() /
-//                            gettimeofday / localtime / strftime outside
-//                            src/util/timer.* — deterministic outputs must
-//                            not embed wall-clock state; benches measure
-//                            through util::Stopwatch.
-//   monotonic-clock          direct steady_clock::now( calls outside
-//                            src/util/timer.* and src/util/trace.* — every
-//                            monotonic read flows through util::monotonic_ns
-//                            so Stopwatch and the tracing spans share one
-//                            clock and outputs never embed raw clock state.
-//   unordered-container      unordered_map/unordered_set in src/analytics/
-//                            or src/defense/: hot-path reductions there must
-//                            be iteration-order independent, so every use
-//                            needs an allowlist entry with a justification.
-//   include-hygiene          every src/ header carries #pragma once and no
-//                            header declares `using namespace`.
+// v2 architecture (DESIGN.md §3e):
 //
-// Matching runs on comment-stripped text, so prose mentioning a banned
-// token does not fire.  Findings are suppressed by
-// tools/lint_allowlist.txt entries of the form
-//     rule|path-substring|line-substring|reason
-// (all four fields required; the reason is mandatory documentation).
+//   pass 1  lex     — a real C++-aware lexer strips //, /*...*/ comments,
+//                     "..." strings, R"(...)"-style raw strings, char
+//                     literals and #include header-names into a token
+//                     stream, so prose and string payloads can never fire
+//                     a rule and identifiers match on exact token
+//                     boundaries (steady_clockwork is not steady_clock).
+//                     Comments are still *read*: they carry the inline
+//                     suppression directives.
+//   pass 2  rules   — pluggable rule families scan the token stream:
+//
+//     nondeterministic-random  std::rand / srand / random_device /
+//                              mt19937 / <random> distributions /
+//                              std::shuffle outside src/util/rng.*
+//     wall-clock               system_clock / steady_clock / time() /
+//                              gettimeofday / localtime / strftime
+//                              outside src/util/timer.*
+//     monotonic-clock          direct steady_clock::now() outside
+//                              src/util/timer.* — monotonic reads flow
+//                              through util::monotonic_ns()
+//     unordered-container      unordered_map/set in src/analytics/ or
+//                              src/defense/ (iteration order is
+//                              implementation-defined)
+//     include-hygiene          every header carries #pragma once; no
+//                              `using namespace` in headers
+//     atomic-ordering          every std::atomic load/store/RMW in
+//                              src/graphdb/ and src/util/ must spell an
+//                              explicit memory_order argument — the
+//                              seq_cst default is almost never the
+//                              audited intent
+//     atomic-relaxed           memory_order_relaxed is only legal on the
+//                              allowlisted counter fast paths
+//                              (util/metrics, util/trace — entries in
+//                              tools/lint_allowlist.txt) or under an
+//                              inline allow() stating the invariant
+//     lock-wrapper             raw std::mutex / lock_guard / unique_lock
+//                              / scoped_lock / condition_variable are
+//                              banned in src/ outside util/annotations.hpp
+//                              — locking goes through the capability-
+//                              annotated util::Mutex/MutexLock so
+//                              -Werror=thread-safety actually sees it
+//                              (std::condition_variable_any is a distinct
+//                              token and stays legal: it waits on the
+//                              annotated Mutex directly)
+//     rng-stream               in src/core/ (the sharded generator),
+//                              Rng::fork() and default-seeded Rng
+//                              construction are banned — shard generators
+//                              derive via the order-independent
+//                              Rng::stream(id) contract
+//
+//   pass 3  filter  — findings are checked against inline suppressions
+//                     and tools/lint_allowlist.txt; *stale* entries of
+//                     either kind become findings themselves
+//                     (unused-suppression / unused-allowlist), so an
+//                     exemption cannot outlive the code it excused.
+//
+// Inline suppression syntax (same line as the finding, or the line
+// directly above it):
+//
+//     // adsynth-lint: allow(rule-a, rule-b): reason stating the invariant
+//
+// The reason is mandatory — a suppression that does not say *why* the
+// pattern is safe is rejected (suppression-syntax), as is an unknown rule
+// name (typos must not silently disable checking).
+//
+// Machine-readable output: `--json <file>` writes every finding (reported
+// and suppressed, with the suppression reason) plus per-rule counts for
+// CI annotation; scripts/ci.sh surfaces the counts in its stage table and
+// .github/workflows/ci.yml uploads the JSON as an artifact.
 //
 // Usage:
-//   adsynth_lint <repo_root>              scan mode (the tier-1 ctest)
-//   adsynth_lint --self-test <fixtures>   verify every rule fires on the
-//                                         fixture tree and that clean/
-//                                         fixtures stay silent
+//   adsynth_lint <repo_root> [--json <file>]   scan mode (tier-1 ctest)
+//   adsynth_lint --self-test <fixtures_root>   every rule family must fire
+//                                              on the fixture tree, clean/
+//                                              and suppressed fixtures must
+//                                              stay silent, and a stale
+//                                              allowlist must fail
 #include <algorithm>
+#include <cctype>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
@@ -52,17 +100,34 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace {
 
 namespace fs = std::filesystem;
 
+// ---------------------------------------------------------------------------
+// Findings and suppressions
+// ---------------------------------------------------------------------------
+
 struct Finding {
   std::string rule;
-  std::string file;   // repo-relative, generic separators
+  std::string file;  // repo-relative, generic separators
   std::size_t line = 0;
   std::string message;
+  // Set on suppressed findings only: how ("inline" / "allowlist") and the
+  // documented reason.
+  std::string via;
+  std::string reason;
+};
+
+/// One parsed `// adsynth-lint: allow(...)` directive.
+struct Suppression {
+  std::set<std::string> rules;
+  std::string reason;
+  std::size_t line = 0;  // line the comment ends on
+  bool used = false;
 };
 
 struct AllowEntry {
@@ -70,109 +135,642 @@ struct AllowEntry {
   std::string path_substring;
   std::string line_substring;
   std::string reason;
+  std::size_t source_line = 0;
+  bool used = false;
 };
 
-struct TokenRule {
-  const char* rule;
-  const char* token;
-  const char* why;
-};
-
-// Tokens are matched as substrings of comment-stripped lines.  Keep them
-// specific enough that identifiers like `runtime(` cannot collide.
-constexpr TokenRule kRandomTokens[] = {
-    {"nondeterministic-random", "std::rand", "use util::Rng"},
-    {"nondeterministic-random", "srand(", "use util::Rng with an explicit seed"},
-    {"nondeterministic-random", "random_device",
-     "seeds must be explicit and reproducible"},
-    {"nondeterministic-random", "mt19937", "use util::Rng (xoshiro256**)"},
-    {"nondeterministic-random", "minstd_rand", "use util::Rng"},
-    {"nondeterministic-random", "uniform_int_distribution",
-     "stdlib distributions differ across implementations; use Rng::uniform"},
-    {"nondeterministic-random", "uniform_real_distribution",
-     "stdlib distributions differ across implementations; use Rng::real"},
-    {"nondeterministic-random", "normal_distribution",
-     "stdlib distributions differ across implementations"},
-    {"nondeterministic-random", "bernoulli_distribution",
-     "stdlib distributions differ across implementations; use Rng::chance"},
-    {"nondeterministic-random", "std::shuffle",
-     "std::shuffle's swap sequence is unspecified; use Rng::shuffle"},
-};
-
-constexpr TokenRule kWallClockTokens[] = {
-    {"wall-clock", "system_clock", "wall-clock state in outputs"},
-    {"wall-clock", "steady_clock", "time through util::Stopwatch"},
-    {"wall-clock", "high_resolution_clock", "time through util::Stopwatch"},
-    {"wall-clock", "std::time(", "wall-clock state in outputs"},
-    {"wall-clock", "time(nullptr)", "wall-clock state in outputs"},
-    {"wall-clock", "time(NULL)", "wall-clock state in outputs"},
-    {"wall-clock", "gettimeofday", "wall-clock state in outputs"},
-    {"wall-clock", "clock_gettime", "wall-clock state in outputs"},
-    {"wall-clock", "localtime", "wall-clock state in outputs"},
-    {"wall-clock", "gmtime(", "wall-clock state in outputs"},
-    {"wall-clock", "strftime", "wall-clock state in outputs"},
-};
-
-// Narrower than wall-clock: catches the *call*, not just the type name, and
-// additionally exempts util/trace (whose static_assert on is_steady needs
-// the type name but never reads the clock directly).
-constexpr TokenRule kMonotonicTokens[] = {
-    {"monotonic-clock", "steady_clock::now(",
-     "read the monotonic clock through util::monotonic_ns()"},
-};
-
-constexpr TokenRule kUnorderedTokens[] = {
-    {"unordered-container", "unordered_map",
-     "iteration order is implementation-defined; hot-path reductions in "
-     "analytics/defense must be order-independent (allowlist with reason if "
-     "deliberate)"},
-    {"unordered-container", "unordered_set",
-     "iteration order is implementation-defined; hot-path reductions in "
-     "analytics/defense must be order-independent (allowlist with reason if "
-     "deliberate)"},
-};
-
-bool contains(const std::string& haystack, const std::string& needle) {
-  return haystack.find(needle) != std::string::npos;
+/// Every rule id the tool can emit.  Directives naming anything else are
+/// rejected — a typo must not silently disable checking.
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {
+      "nondeterministic-random", "wall-clock",       "monotonic-clock",
+      "unordered-container",     "include-hygiene",  "atomic-ordering",
+      "atomic-relaxed",          "lock-wrapper",     "rng-stream",
+      "unused-suppression",      "unused-allowlist", "suppression-syntax",
+  };
+  return rules;
 }
 
-/// Strips // and /* */ comments, preserving line structure so findings
-/// keep their real line numbers.  String literals are kept verbatim —
-/// close enough for token matching, and a banned token smuggled into a
-/// string is worth a look anyway.
-std::vector<std::string> comment_stripped_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  bool in_block_comment = false;
-  for (std::size_t i = 0; i < text.size(); ++i) {
+/// Rules a scan reports on a healthy tree (all of the above minus the
+/// meta-rules that only fire on lint-config rot) — the JSON/ci.sh count
+/// table lists these in a stable order.
+const std::vector<std::string>& countable_rules() {
+  static const std::vector<std::string> rules = {
+      "nondeterministic-random", "wall-clock",       "monotonic-clock",
+      "unordered-container",     "include-hygiene",  "atomic-ordering",
+      "atomic-relaxed",          "lock-wrapper",     "rng-stream",
+      "unused-suppression",      "unused-allowlist", "suppression-syntax",
+  };
+  return rules;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { Ident, Punct, Number, StringLit, CharLit, HeaderName };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  std::size_t line;
+};
+
+/// One lexed translation unit: the token stream, the raw line text (for
+/// allowlist line-substring matching and reports), the suppression
+/// directives harvested from comments, and any findings the lexer itself
+/// produced (malformed directives).
+struct LexedFile {
+  std::string rel;
+  bool is_header = false;
+  std::vector<Tok> toks;
+  std::vector<std::string> raw_lines;
+  std::vector<Suppression> sups;
+  std::vector<Finding> lex_findings;
+};
+
+/// Parses `adsynth-lint: allow(rule[, rule]): reason` out of a comment's
+/// text.  Malformed directives become suppression-syntax findings — a
+/// directive the tool cannot parse must fail loudly, not no-op.
+void parse_directive(const std::string& comment, std::size_t end_line,
+                     LexedFile& out) {
+  const std::string_view marker = "adsynth-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  const std::string body = trim(comment.substr(at + marker.size()));
+  auto fail = [&](const std::string& why) {
+    out.lex_findings.push_back({"suppression-syntax", out.rel, end_line,
+                                "malformed adsynth-lint directive: " + why,
+                                "", ""});
+  };
+  if (body.rfind("allow(", 0) != 0) {
+    fail("expected 'allow(<rule>[, <rule>]): <reason>'");
+    return;
+  }
+  const std::size_t close = body.find(')');
+  if (close == std::string::npos) {
+    fail("missing ')' after allow(");
+    return;
+  }
+  Suppression sup;
+  sup.line = end_line;
+  std::istringstream rules(body.substr(6, close - 6));
+  std::string rule;
+  while (std::getline(rules, rule, ',')) {
+    rule = trim(rule);
+    if (rule.empty()) continue;
+    if (known_rules().count(rule) == 0) {
+      fail("unknown rule '" + rule + "'");
+      return;
+    }
+    sup.rules.insert(rule);
+  }
+  if (sup.rules.empty()) {
+    fail("allow() names no rules");
+    return;
+  }
+  std::string rest = trim(body.substr(close + 1));
+  if (rest.empty() || rest[0] != ':' || trim(rest.substr(1)).empty()) {
+    fail("missing reason — state the invariant after 'allow(...):'");
+    return;
+  }
+  sup.reason = trim(rest.substr(1));
+  out.sups.push_back(std::move(sup));
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when `prefix` + a quote begins a (possibly raw) string/char
+/// literal, e.g. R"(..)", u8"..", L'x'.
+bool literal_prefix(std::string_view prefix) {
+  static const std::set<std::string_view> prefixes = {
+      "R", "u8", "u", "U", "L", "u8R", "uR", "UR", "LR"};
+  return prefixes.count(prefix) != 0;
+}
+
+LexedFile lex_file(const std::string& text, const std::string& rel) {
+  LexedFile out;
+  out.rel = rel;
+  out.is_header = rel.ends_with(".hpp") || rel.ends_with(".h");
+
+  // Raw lines for reports / allowlist line-substring matching.
+  {
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        out.raw_lines.push_back(cur);
+        cur.clear();
+      } else if (c != '\r') {
+        cur.push_back(c);
+      }
+    }
+    out.raw_lines.push_back(cur);
+  }
+
+  std::size_t i = 0, line = 1;
+  const std::size_t n = text.size();
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+  auto bump = [&]() {  // consume one char, tracking the line counter
+    if (text[i] == '\n') ++line;
+    ++i;
+  };
+  auto emit = [&](TokKind kind, std::string t, std::size_t at_line) {
+    out.toks.push_back(Tok{kind, std::move(t), at_line});
+  };
+
+  // Consumes a normal (non-raw) quoted literal; `i` sits on the quote.
+  auto lex_quoted = [&](char quote) {
+    bump();  // opening quote
+    while (i < n) {
+      const char c = text[i];
+      if (c == '\\' && i + 1 < n) {
+        bump();
+        bump();
+        continue;
+      }
+      bump();
+      if (c == quote || c == '\n') break;  // unterminated: resync at EOL
+    }
+  };
+
+  // Consumes R"delim( ... )delim"; `i` sits on the opening quote.
+  auto lex_raw_string = [&]() {
+    bump();  // quote
+    std::string delim;
+    while (i < n && text[i] != '(' && text[i] != '\n' && delim.size() < 16) {
+      delim.push_back(text[i]);
+      bump();
+    }
+    if (i < n && text[i] == '(') bump();
+    const std::string closer = ")" + delim + "\"";
+    while (i < n) {
+      if (text.compare(i, closer.size(), closer) == 0) {
+        for (std::size_t k = 0; k < closer.size(); ++k) bump();
+        return;
+      }
+      bump();
+    }
+  };
+
+  while (i < n) {
     const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
+    // --- whitespace / line splices ------------------------------------
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      bump();
       continue;
     }
-    if (in_block_comment) {
-      if (c == '*' && next == '/') {
-        in_block_comment = false;
-        ++i;
+    if (c == '\\' && peek(1) == '\n') {
+      bump();
+      bump();
+      continue;
+    }
+    // --- comments (harvest directives, emit nothing) ------------------
+    if (c == '/' && peek(1) == '/') {
+      std::string body;
+      while (i < n && text[i] != '\n') {
+        body.push_back(text[i]);
+        bump();
+      }
+      parse_directive(body, line, out);
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      std::string body;
+      bump();
+      bump();
+      while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+        body.push_back(text[i]);
+        bump();
+      }
+      if (i < n) {
+        bump();
+        bump();
+      }
+      parse_directive(body, line, out);
+      continue;
+    }
+    // --- literals ------------------------------------------------------
+    if (c == '"') {
+      const std::size_t at = line;
+      lex_quoted('"');
+      emit(TokKind::StringLit, "\"\"", at);
+      continue;
+    }
+    if (c == '\'') {
+      const std::size_t at = line;
+      lex_quoted('\'');
+      emit(TokKind::CharLit, "''", at);
+      continue;
+    }
+    // --- identifiers (may be a literal prefix) -------------------------
+    if (ident_start(c)) {
+      const std::size_t at = line;
+      std::string id;
+      while (i < n && ident_char(text[i])) {
+        id.push_back(text[i]);
+        bump();
+      }
+      if (i < n && (text[i] == '"' || text[i] == '\'') &&
+          literal_prefix(id)) {
+        const char quote = text[i];
+        if (quote == '"' && id.back() == 'R') {
+          lex_raw_string();
+        } else {
+          lex_quoted(quote);
+        }
+        emit(quote == '\'' ? TokKind::CharLit : TokKind::StringLit, id, at);
+        continue;
+      }
+      emit(TokKind::Ident, std::move(id), at);
+      // #include <header-name>: consume the <...> as one token so the
+      // header path cannot fire identifier rules.
+      if (out.toks.size() >= 2 && out.toks.back().text == "include" &&
+          out.toks[out.toks.size() - 2].text == "#") {
+        std::size_t j = i;
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+        if (j < n && text[j] == '<') {
+          while (i < j) bump();
+          std::string name;
+          while (i < n && text[i] != '>' && text[i] != '\n') {
+            name.push_back(text[i]);
+            bump();
+          }
+          if (i < n && text[i] == '>') {
+            name.push_back('>');
+            bump();
+          }
+          emit(TokKind::HeaderName, std::move(name), line);
+        }
       }
       continue;
     }
-    if (c == '/' && next == '/') {
-      // Skip to end of line (the '\n' branch above still records it).
-      while (i + 1 < text.size() && text[i + 1] != '\n') ++i;
+    // --- numbers (incl. 0x..., digit separators, exponents) ------------
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const std::size_t at = line;
+      std::string num;
+      while (i < n) {
+        const char d = text[i];
+        if (ident_char(d) || d == '\'' || d == '.') {
+          num.push_back(d);
+          bump();
+          continue;
+        }
+        if ((d == '+' || d == '-') && !num.empty()) {
+          const char e = num.back();
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            num.push_back(d);
+            bump();
+            continue;
+          }
+        }
+        break;
+      }
+      emit(TokKind::Number, std::move(num), at);
       continue;
     }
-    if (c == '/' && next == '*') {
-      in_block_comment = true;
-      ++i;
-      continue;
+    // --- punctuation (:: and -> matter for the rules) -------------------
+    {
+      const std::size_t at = line;
+      if (c == ':' && peek(1) == ':') {
+        bump();
+        bump();
+        emit(TokKind::Punct, "::", at);
+      } else if (c == '-' && peek(1) == '>') {
+        bump();
+        bump();
+        emit(TokKind::Punct, "->", at);
+      } else {
+        bump();
+        emit(TokKind::Punct, std::string(1, c), at);
+      }
     }
-    current.push_back(c);
   }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: rule families
+// ---------------------------------------------------------------------------
+
+/// True when toks[i] is qualified as std::<tok> (possibly ::std::<tok>).
+bool std_qualified(const std::vector<Tok>& t, std::size_t i) {
+  return i >= 2 && t[i - 1].text == "::" && t[i - 2].kind == TokKind::Ident &&
+         t[i - 2].text == "std";
+}
+
+bool member_access(const std::vector<Tok>& t, std::size_t i) {
+  return i >= 1 && (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+bool call_follows(const std::vector<Tok>& t, std::size_t i) {
+  return i + 1 < t.size() && t[i + 1].text == "(";
+}
+
+void add(std::vector<Finding>& out, const char* rule, const LexedFile& f,
+         std::size_t line, std::string message) {
+  out.push_back({rule, f.rel, line, std::move(message), "", ""});
+}
+
+/// nondeterministic-random: the only sanctioned randomness is util::Rng
+/// (xoshiro256** + explicit seeds); stdlib engines/distributions are
+/// implementation-defined across platforms and random_device defeats
+/// seeded reproduction.
+void rule_random(const LexedFile& f, std::vector<Finding>& out) {
+  if (contains(f.rel, "util/rng")) return;
+  static const std::set<std::string_view> kBare = {
+      "random_device",          "mt19937",
+      "mt19937_64",             "minstd_rand",
+      "minstd_rand0",           "default_random_engine",
+      "uniform_int_distribution", "uniform_real_distribution",
+      "normal_distribution",    "bernoulli_distribution",
+      "discrete_distribution",  "poisson_distribution",
+      "geometric_distribution",
+  };
+  static const std::set<std::string_view> kStdOnly = {"rand", "srand",
+                                                      "shuffle"};
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    if (kBare.count(t[i].text)) {
+      add(out, "nondeterministic-random", f, t[i].line,
+          "'" + t[i].text + "' — use util::Rng with an explicit seed");
+    } else if (kStdOnly.count(t[i].text) && std_qualified(t, i)) {
+      add(out, "nondeterministic-random", f, t[i].line,
+          "'std::" + t[i].text + "' — use util::Rng (Rng::shuffle for "
+          "reproducible shuffles)");
+    }
+  }
+}
+
+/// wall-clock: deterministic outputs must not embed clock state; benches
+/// measure through util::Stopwatch (src/util/timer.*).
+void rule_wall_clock(const LexedFile& f, std::vector<Finding>& out) {
+  if (contains(f.rel, "util/timer")) return;
+  static const std::set<std::string_view> kBare = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "localtime", "localtime_r",
+      "gmtime",       "gmtime_r",      "strftime",  "timespec_get",
+  };
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    if (kBare.count(t[i].text)) {
+      add(out, "wall-clock", f, t[i].line,
+          "'" + t[i].text + "' — time through util::Stopwatch / "
+          "util::monotonic_ns()");
+    } else if (t[i].text == "time" && std_qualified(t, i) &&
+               call_follows(t, i)) {
+      add(out, "wall-clock", f, t[i].line,
+          "'std::time(' — wall-clock state in outputs");
+    }
+  }
+}
+
+/// monotonic-clock: narrower than wall-clock — the *call*.  Every
+/// monotonic read flows through util::monotonic_ns() so Stopwatch and the
+/// tracing spans share one clock.
+void rule_monotonic(const LexedFile& f, std::vector<Finding>& out) {
+  if (contains(f.rel, "util/timer")) return;
+  const auto& t = f.toks;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind == TokKind::Ident && t[i].text == "now" &&
+        t[i - 1].text == "::" && t[i - 2].text == "steady_clock" &&
+        call_follows(t, i)) {
+      add(out, "monotonic-clock", f, t[i].line,
+          "'steady_clock::now(' — read the monotonic clock through "
+          "util::monotonic_ns()");
+    }
+  }
+}
+
+/// unordered-container: hot-path reductions in analytics/defense must be
+/// iteration-order independent; every use needs a documented exemption.
+void rule_unordered(const LexedFile& f, std::vector<Finding>& out) {
+  if (!contains(f.rel, "analytics/") && !contains(f.rel, "defense/")) return;
+  static const std::set<std::string_view> kBanned = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const Tok& tok : f.toks) {
+    if (tok.kind == TokKind::Ident && kBanned.count(tok.text)) {
+      add(out, "unordered-container", f, tok.line,
+          "'" + tok.text + "' — iteration order is implementation-defined; "
+          "reductions here must be order-independent (allow with a reason "
+          "if deliberate)");
+    }
+  }
+}
+
+/// include-hygiene: every header carries #pragma once and never declares
+/// `using namespace` (it would leak into every includer).
+void rule_include_hygiene(const LexedFile& f, std::vector<Finding>& out) {
+  if (!f.is_header) return;
+  const auto& t = f.toks;
+  bool pragma_once = false;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "using" && t[i + 1].text == "namespace") {
+      add(out, "include-hygiene", f, t[i].line,
+          "'using namespace' in a header leaks into every includer");
+    }
+    if (i >= 1 && t[i - 1].text == "#" && t[i].text == "pragma" &&
+        t[i + 1].text == "once") {
+      pragma_once = true;
+    }
+  }
+  if (!pragma_once) {
+    add(out, "include-hygiene", f, 1, "header is missing '#pragma once'");
+  }
+}
+
+/// atomic-ordering / atomic-relaxed: every std::atomic operation in the
+/// concurrency substrate (src/graphdb/, src/util/) spells its
+/// memory_order, and memory_order_relaxed needs a stated invariant — the
+/// relaxed fast paths of util/metrics and util/trace are allowlisted in
+/// tools/lint_allowlist.txt, everything else suppresses inline.
+///
+/// Heuristic scope: member calls `x.load(...)` / `x->fetch_add(...)` on
+/// the std::atomic method names.  Operator forms (++ / -- / implicit
+/// conversion) are invisible to a token matcher; the repo convention is
+/// to never use them on atomics, and review enforces that half.
+void rule_atomic(const LexedFile& f, std::vector<Finding>& out) {
+  if (!contains(f.rel, "src/graphdb/") && !contains(f.rel, "src/util/"))
+    return;
+  static const std::set<std::string_view> kAtomicOps = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong",
+  };
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || !kAtomicOps.count(t[i].text)) continue;
+    if (!member_access(t, i) || !call_follows(t, i)) continue;
+    // Walk the balanced argument list looking for a memory_order token.
+    bool has_order = false;
+    bool relaxed = false;
+    std::size_t depth = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (t[j].text == "(") {
+        ++depth;
+      } else if (t[j].text == ")") {
+        if (--depth == 0) break;
+      } else if (t[j].kind == TokKind::Ident) {
+        if (t[j].text == "memory_order" ||
+            t[j].text.rfind("memory_order_", 0) == 0) {
+          has_order = true;
+        }
+        if (t[j].text == "memory_order_relaxed" ||
+            (t[j].text == "relaxed" && j >= 2 && t[j - 1].text == "::" &&
+             t[j - 2].text == "memory_order")) {
+          relaxed = true;
+        }
+      }
+    }
+    if (!has_order) {
+      add(out, "atomic-ordering", f, t[i].line,
+          "atomic '" + t[i].text + "' without an explicit memory_order — "
+          "spell the ordering (seq_cst included) so the audit can see the "
+          "intent");
+    } else if (relaxed) {
+      add(out, "atomic-relaxed", f, t[i].line,
+          "memory_order_relaxed on '" + t[i].text + "' outside an "
+          "allowlisted counter fast path — state the invariant via "
+          "allow(atomic-relaxed)");
+    }
+  }
+}
+
+/// lock-wrapper: raw std locking primitives are invisible to Clang's
+/// thread-safety analysis.  All locking in src/ goes through the
+/// capability-annotated util::Mutex / util::MutexLock
+/// (src/util/annotations.hpp, the one exempt file).
+/// std::condition_variable_any is a distinct identifier and stays legal —
+/// it waits on the annotated Mutex directly.
+void rule_lock_wrapper(const LexedFile& f, std::vector<Finding>& out) {
+  if (f.rel.rfind("src/", 0) != 0) return;
+  if (contains(f.rel, "util/annotations.hpp")) return;
+  static const std::set<std::string_view> kBanned = {
+      "mutex",         "timed_mutex",
+      "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex",  "shared_timed_mutex",
+      "lock_guard",    "unique_lock",
+      "scoped_lock",   "shared_lock",
+      "condition_variable",
+  };
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == TokKind::Ident && kBanned.count(t[i].text) &&
+        std_qualified(t, i)) {
+      add(out, "lock-wrapper", f, t[i].line,
+          "raw 'std::" + t[i].text + "' — lock through util::Mutex / "
+          "util::MutexLock (util/annotations.hpp) so -Werror=thread-safety "
+          "sees it");
+    }
+  }
+}
+
+/// rng-stream: sharded generator stages (src/core/) must derive their
+/// generators with Rng::stream(id) — a pure function of (seed, id) that
+/// is independent of draw order — never Rng::fork() (child state depends
+/// on the parent's draw count) or a default-seeded Rng.
+void rule_rng_stream(const LexedFile& f, std::vector<Finding>& out) {
+  if (!contains(f.rel, "src/core/")) return;
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    if (t[i].text == "fork" && member_access(t, i) && call_follows(t, i)) {
+      add(out, "rng-stream", f, t[i].line,
+          "Rng::fork() is draw-order dependent — derive shard generators "
+          "with Rng::stream(id)");
+    }
+    if (t[i].text == "Rng") {
+      // Rng() / Rng{}: explicit default construction.
+      if (i + 2 < t.size() &&
+          ((t[i + 1].text == "(" && t[i + 2].text == ")") ||
+           (t[i + 1].text == "{" && t[i + 2].text == "}"))) {
+        add(out, "rng-stream", f, t[i].line,
+            "default-seeded Rng — generator streams must derive from the "
+            "config seed (Rng::stream(id) or an explicit seed)");
+      }
+      // `Rng name;`: a declaration that silently takes the default seed.
+      if (i + 2 < t.size() && t[i + 1].kind == TokKind::Ident &&
+          t[i + 2].text == ";") {
+        add(out, "rng-stream", f, t[i].line,
+            "'Rng " + t[i + 1].text + ";' default-initializes the seed — "
+            "construct from the config seed or a stream(id) derivation");
+      }
+    }
+  }
+}
+
+void run_rules(const LexedFile& f, std::vector<Finding>& out) {
+  rule_random(f, out);
+  rule_wall_clock(f, out);
+  rule_monotonic(f, out);
+  rule_unordered(f, out);
+  rule_include_hygiene(f, out);
+  rule_atomic(f, out);
+  rule_lock_wrapper(f, out);
+  rule_rng_stream(f, out);
+  for (const Finding& lf : f.lex_findings) out.push_back(lf);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: suppression / allowlist filtering
+// ---------------------------------------------------------------------------
+
+std::vector<AllowEntry> load_allowlist(const fs::path& path,
+                                       std::vector<std::string>* errors) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    AllowEntry entry;
+    entry.source_line = lineno;
+    std::istringstream fields(line);
+    if (!std::getline(fields, entry.rule, '|') ||
+        !std::getline(fields, entry.path_substring, '|') ||
+        !std::getline(fields, entry.line_substring, '|') ||
+        !std::getline(fields, entry.reason)) {
+      errors->push_back("allowlist line " + std::to_string(lineno) +
+                        ": want 'rule|path|line-substring|reason'");
+      continue;
+    }
+    if (known_rules().count(entry.rule) == 0) {
+      errors->push_back("allowlist line " + std::to_string(lineno) +
+                        ": unknown rule '" + entry.rule + "'");
+      continue;
+    }
+    if (entry.reason.empty()) {
+      errors->push_back("allowlist line " + std::to_string(lineno) +
+                        ": empty reason — justify the exemption");
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 std::string read_file(const fs::path& path) {
@@ -187,85 +785,24 @@ bool is_source_file(const fs::path& path) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
-bool is_header(const std::string& rel) {
-  return rel.size() > 2 && (rel.ends_with(".hpp") || rel.ends_with(".h"));
-}
+struct PipelineResult {
+  std::size_t files_scanned = 0;
+  std::vector<Finding> reported;    // survived filtering — these fail the run
+  std::vector<Finding> suppressed;  // filtered, with via/reason recorded
+  std::vector<std::string> errors;  // allowlist parse errors
+  std::map<std::string, std::size_t> rule_counts;  // reported, by rule
+};
 
-void scan_file(const fs::path& path, const std::string& rel,
-               std::vector<Finding>& findings) {
-  const std::string text = read_file(path);
-  const std::vector<std::string> lines = comment_stripped_lines(text);
-  const bool rng_exempt = contains(rel, "util/rng");
-  const bool timer_exempt = contains(rel, "util/timer");
-  const bool monotonic_exempt = timer_exempt || contains(rel, "util/trace");
-  const bool ordered_zone =
-      contains(rel, "analytics/") || contains(rel, "defense/");
+/// The whole lint: lex every source file under root/{subdirs}, run the
+/// rule families, filter through inline suppressions + the allowlist,
+/// then flag stale entries of either kind as findings in their own right.
+PipelineResult run_pipeline(const fs::path& root,
+                            const std::vector<std::string>& subdirs,
+                            const fs::path& allowlist_path) {
+  PipelineResult result;
+  std::vector<AllowEntry> allow =
+      load_allowlist(allowlist_path, &result.errors);
 
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    if (line.empty()) continue;
-    if (!rng_exempt) {
-      for (const TokenRule& t : kRandomTokens) {
-        if (contains(line, t.token)) {
-          findings.push_back({t.rule, rel, i + 1,
-                              std::string("banned token '") + t.token +
-                                  "' (" + t.why + ")"});
-        }
-      }
-    }
-    if (!timer_exempt) {
-      for (const TokenRule& t : kWallClockTokens) {
-        if (contains(line, t.token)) {
-          findings.push_back({t.rule, rel, i + 1,
-                              std::string("banned token '") + t.token +
-                                  "' (" + t.why + ")"});
-        }
-      }
-    }
-    if (!monotonic_exempt) {
-      for (const TokenRule& t : kMonotonicTokens) {
-        if (contains(line, t.token)) {
-          findings.push_back({t.rule, rel, i + 1,
-                              std::string("banned token '") + t.token +
-                                  "' (" + t.why + ")"});
-        }
-      }
-    }
-    if (ordered_zone) {
-      for (const TokenRule& t : kUnorderedTokens) {
-        if (contains(line, t.token)) {
-          findings.push_back({t.rule, rel, i + 1,
-                              std::string("'") + t.token + "' (" + t.why +
-                                  ")"});
-        }
-      }
-    }
-    if (is_header(rel) && contains(line, "using namespace")) {
-      findings.push_back({"include-hygiene", rel, i + 1,
-                          "'using namespace' in a header leaks into every "
-                          "includer"});
-    }
-  }
-
-  if (is_header(rel)) {
-    bool has_pragma_once = false;
-    for (const std::string& line : lines) {
-      if (contains(line, "#pragma once")) {
-        has_pragma_once = true;
-        break;
-      }
-    }
-    if (!has_pragma_once) {
-      findings.push_back(
-          {"include-hygiene", rel, 1, "header is missing '#pragma once'"});
-    }
-  }
-}
-
-std::vector<Finding> scan_tree(const fs::path& root,
-                               const std::vector<std::string>& subdirs,
-                               std::size_t* files_scanned) {
-  std::vector<Finding> findings;
   std::vector<fs::path> files;
   for (const std::string& sub : subdirs) {
     const fs::path dir = root / sub;
@@ -276,133 +813,279 @@ std::vector<Finding> scan_tree(const fs::path& root,
       }
     }
   }
-  // Deterministic report order regardless of directory enumeration order.
-  std::sort(files.begin(), files.end());
+  std::sort(files.begin(), files.end());  // deterministic report order
+  result.files_scanned = files.size();
+
   for (const fs::path& file : files) {
-    const std::string rel =
-        fs::relative(file, root).generic_string();
-    scan_file(file, rel, findings);
-  }
-  if (files_scanned != nullptr) *files_scanned = files.size();
-  return findings;
-}
+    const std::string rel = fs::relative(file, root).generic_string();
+    LexedFile lexed = lex_file(read_file(file), rel);
+    std::vector<Finding> raw;
+    run_rules(lexed, raw);
 
-std::vector<AllowEntry> load_allowlist(const fs::path& path,
-                                       std::vector<std::string>* errors) {
-  std::vector<AllowEntry> entries;
-  std::ifstream in(path);
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    AllowEntry entry;
-    std::istringstream fields(line);
-    if (!std::getline(fields, entry.rule, '|') ||
-        !std::getline(fields, entry.path_substring, '|') ||
-        !std::getline(fields, entry.line_substring, '|') ||
-        !std::getline(fields, entry.reason)) {
-      errors->push_back("allowlist line " + std::to_string(lineno) +
-                        ": want 'rule|path|line-substring|reason'");
-      continue;
+    for (Finding& f : raw) {
+      // Inline suppression: same line as the finding or the line above.
+      bool done = false;
+      for (Suppression& sup : lexed.sups) {
+        if (sup.rules.count(f.rule) == 0) continue;
+        if (f.line != sup.line && f.line != sup.line + 1) continue;
+        sup.used = true;
+        f.via = "inline";
+        f.reason = sup.reason;
+        result.suppressed.push_back(std::move(f));
+        done = true;
+        break;
+      }
+      if (done) continue;
+      // Allowlist: rule + path substring + optional line substring.
+      const std::string& line_text =
+          f.line >= 1 && f.line <= lexed.raw_lines.size()
+              ? lexed.raw_lines[f.line - 1]
+              : lexed.raw_lines.empty() ? std::string() : lexed.raw_lines[0];
+      for (AllowEntry& entry : allow) {
+        if (entry.rule != f.rule) continue;
+        if (!contains(f.file, entry.path_substring)) continue;
+        if (!entry.line_substring.empty() &&
+            !contains(line_text, entry.line_substring)) {
+          continue;
+        }
+        entry.used = true;
+        f.via = "allowlist";
+        f.reason = entry.reason;
+        result.suppressed.push_back(std::move(f));
+        done = true;
+        break;
+      }
+      if (!done) result.reported.push_back(std::move(f));
     }
-    if (entry.reason.empty()) {
-      errors->push_back("allowlist line " + std::to_string(lineno) +
-                        ": empty reason — justify the exemption");
-      continue;
-    }
-    entries.push_back(std::move(entry));
-  }
-  return entries;
-}
 
-bool suppressed(const Finding& f, const std::string& line_text,
-                const std::vector<AllowEntry>& allow) {
+    // A suppression no finding consumed is rot: either the violation was
+    // fixed (delete the comment) or the comment is in the wrong place.
+    for (const Suppression& sup : lexed.sups) {
+      if (sup.used) continue;
+      std::string rules;
+      for (const std::string& r : sup.rules) {
+        if (!rules.empty()) rules += ", ";
+        rules += r;
+      }
+      result.reported.push_back(
+          {"unused-suppression", rel, sup.line,
+           "stale allow(" + rules + ") — no matching finding here; delete "
+           "the suppression or move it next to the violation",
+           "", ""});
+    }
+  }
+
+  // Same policy for the allowlist: stale entries fail the run.
+  const std::string allow_rel = allowlist_path.generic_string();
   for (const AllowEntry& entry : allow) {
-    if (entry.rule != f.rule) continue;
-    if (!contains(f.file, entry.path_substring)) continue;
-    if (!entry.line_substring.empty() &&
-        !contains(line_text, entry.line_substring)) {
-      continue;
-    }
-    return true;
+    if (entry.used) continue;
+    result.reported.push_back(
+        {"unused-allowlist", allow_rel, entry.source_line,
+         "stale allowlist entry '" + entry.rule + "|" + entry.path_substring +
+             "|" + entry.line_substring + "' matched no finding — delete it",
+         "", ""});
   }
-  return false;
+
+  auto order = [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  };
+  std::sort(result.reported.begin(), result.reported.end(), order);
+  std::sort(result.suppressed.begin(), result.suppressed.end(), order);
+  for (const std::string& rule : countable_rules()) result.rule_counts[rule];
+  for (const Finding& f : result.reported) ++result.rule_counts[f.rule];
+  return result;
 }
 
-int run_scan(const fs::path& root) {
-  std::vector<std::string> errors;
-  const std::vector<AllowEntry> allow =
-      load_allowlist(root / "tools" / "lint_allowlist.txt", &errors);
-  for (const std::string& e : errors) {
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Machine-readable findings for CI annotation ({"version": 2, ...}); the
+/// schema is documented in DESIGN.md §3e.
+void write_json(std::ostream& out, const PipelineResult& r) {
+  out << "{\n  \"version\": 2,\n  \"files_scanned\": " << r.files_scanned
+      << ",\n  \"rule_counts\": {";
+  bool first = true;
+  for (const auto& [rule, count] : r.rule_counts) {
+    out << (first ? "" : ", ") << "\"" << rule << "\": " << count;
+    first = false;
+  }
+  out << "},\n  \"findings\": [";
+  first = true;
+  for (const Finding& f : r.reported) {
+    out << (first ? "\n" : ",\n") << "    {\"rule\": \"" << f.rule
+        << "\", \"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"message\": \""
+        << json_escape(f.message) << "\"}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n  \"suppressed\": [";
+  first = true;
+  for (const Finding& f : r.suppressed) {
+    out << (first ? "\n" : ",\n") << "    {\"rule\": \"" << f.rule
+        << "\", \"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"via\": \"" << f.via
+        << "\", \"reason\": \"" << json_escape(f.reason) << "\"}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+/// One stable stdout line with per-rule counts — scripts/ci.sh lifts it
+/// into the PASS/FAIL stage table.
+void print_rule_counts(const PipelineResult& r) {
+  std::cout << "adsynth_lint: rule-counts files=" << r.files_scanned
+            << " total=" << r.reported.size();
+  for (const std::string& rule : countable_rules()) {
+    std::cout << " " << rule << "=" << r.rule_counts.at(rule);
+  }
+  std::cout << "\n";
+}
+
+int run_scan(const fs::path& root, const fs::path& json_path) {
+  const PipelineResult result = run_pipeline(
+      root, {"src", "bench"}, root / "tools" / "lint_allowlist.txt");
+  for (const std::string& e : result.errors) {
     std::cerr << "adsynth_lint: " << e << "\n";
   }
-
-  std::size_t files_scanned = 0;
-  std::vector<Finding> findings =
-      scan_tree(root, {"src", "bench"}, &files_scanned);
-
-  std::size_t reported = 0;
-  for (const Finding& f : findings) {
-    // Reload the offending line for allowlist line-substring matching and
-    // for the report; lint runs are rare enough that re-reading is fine.
-    std::string line_text;
-    {
-      std::ifstream in(root / f.file);
-      for (std::size_t i = 0; i < f.line && std::getline(in, line_text); ++i) {
-      }
-    }
-    if (suppressed(f, line_text, allow)) continue;
+  for (const Finding& f : result.reported) {
     std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
-    ++reported;
   }
-  if (reported > 0 || !errors.empty()) {
-    std::cerr << "adsynth_lint: " << reported << " violation(s) across "
-              << files_scanned << " file(s)\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    write_json(out, result);
+    if (!out) {
+      std::cerr << "adsynth_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+  }
+  print_rule_counts(result);
+  if (!result.reported.empty() || !result.errors.empty()) {
+    std::cerr << "adsynth_lint: " << result.reported.size()
+              << " violation(s) across " << result.files_scanned
+              << " file(s)\n";
     return 1;
   }
-  std::cout << "adsynth_lint: OK (" << files_scanned << " files clean)\n";
+  std::cout << "adsynth_lint: OK (" << result.files_scanned
+            << " files clean, " << result.suppressed.size()
+            << " documented suppression(s))\n";
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Self-test
+// ---------------------------------------------------------------------------
+
+/// Proves every rule family fires on the planted fixtures, clean/ and
+/// suppressed fixtures stay silent, the fixture allowlist entry is
+/// consumed, and a stale allowlist fails the run — the lint lints itself.
 int run_self_test(const fs::path& fixtures) {
-  std::size_t files_scanned = 0;
-  const std::vector<Finding> findings =
-      scan_tree(fixtures, {"src", "bench"}, &files_scanned);
-  if (files_scanned == 0) {
-    std::cerr << "adsynth_lint --self-test: no fixture files under "
-              << fixtures << "\n";
-    return 1;
+  bool ok = true;
+  auto check = [&](bool cond, const std::string& what) {
+    std::cout << "self-test: " << (cond ? "ok" : "FAIL") << " — " << what
+              << "\n";
+    if (!cond) ok = false;
+  };
+
+  const PipelineResult run = run_pipeline(
+      fixtures, {"src", "bench"}, fixtures / "lint_allowlist.txt");
+  check(run.files_scanned > 0, "fixture tree is non-empty");
+  for (const std::string& e : run.errors) {
+    std::cerr << "self-test: allowlist error: " << e << "\n";
+    ok = false;
   }
 
-  const std::set<std::string> expected = {
-      "nondeterministic-random", "wall-clock", "monotonic-clock",
-      "unordered-container", "include-hygiene"};
-  std::map<std::string, std::size_t> fired;
-  bool clean_dir_violated = false;
-  for (const Finding& f : findings) {
-    ++fired[f.rule];
-    // clean/ fixtures exist to prove comment-stripping and exemptions do
-    // not false-positive; any finding there is a lint bug.
-    if (contains(f.file, "clean/")) {
-      std::cerr << "self-test: unexpected finding in clean fixture "
-                << f.file << ":" << f.line << " [" << f.rule << "] "
-                << f.message << "\n";
-      clean_dir_violated = true;
-    }
-  }
-
-  bool ok = !clean_dir_violated;
+  // Every rule family must fire at least once on the planted fixtures.
+  const std::vector<std::string> expected = {
+      "nondeterministic-random", "wall-clock",      "monotonic-clock",
+      "unordered-container",     "include-hygiene", "atomic-ordering",
+      "atomic-relaxed",          "lock-wrapper",    "rng-stream",
+      "unused-suppression",
+  };
   for (const std::string& rule : expected) {
-    const std::size_t count = fired.count(rule) ? fired.at(rule) : 0;
-    std::cout << "self-test: rule " << rule << " fired " << count << "x\n";
-    if (count == 0) {
+    const std::size_t n = run.rule_counts.at(rule);
+    std::cout << "self-test: rule " << rule << " fired " << n << "x\n";
+    if (n == 0) {
       std::cerr << "self-test: rule " << rule
                 << " never fired on the fixtures\n";
       ok = false;
     }
   }
+
+  // clean/ fixtures plant banned tokens in comments, strings and near-miss
+  // identifiers; any finding there is a lexer/rule false positive.
+  for (const Finding& f : run.reported) {
+    if (contains(f.file, "clean/")) {
+      std::cerr << "self-test: unexpected finding in clean fixture "
+                << f.file << ":" << f.line << " [" << f.rule << "] "
+                << f.message << "\n";
+      ok = false;
+    }
+  }
+
+  // The suppressed_ok fixture carries a real violation under an inline
+  // allow(): it must produce zero reported findings AND a recorded
+  // suppression (proof the rule did fire and the directive intercepted it).
+  bool suppressed_fixture_hit = false;
+  for (const Finding& f : run.suppressed) {
+    if (contains(f.file, "suppressed_ok") && f.via == "inline") {
+      suppressed_fixture_hit = true;
+    }
+  }
+  for (const Finding& f : run.reported) {
+    if (contains(f.file, "suppressed_ok")) {
+      std::cerr << "self-test: suppression failed to intercept " << f.file
+                << ":" << f.line << " [" << f.rule << "]\n";
+      ok = false;
+    }
+  }
+  check(suppressed_fixture_hit,
+        "inline allow() intercepted the suppressed_ok violation");
+
+  // Same proof for the allowlist path.
+  bool allowlisted_hit = false;
+  for (const Finding& f : run.suppressed) {
+    if (contains(f.file, "allowlisted_relaxed") && f.via == "allowlist") {
+      allowlisted_hit = true;
+    }
+  }
+  check(allowlisted_hit,
+        "allowlist entry intercepted the allowlisted_relaxed violation");
+  check(run.rule_counts.at("unused-allowlist") == 0,
+        "fixture allowlist has no stale entries");
+
+  // Negative test: a stale allowlist entry must fail a run on its own.
+  const PipelineResult stale = run_pipeline(
+      fixtures, {"src", "bench"}, fixtures / "stale_allowlist.txt");
+  check(stale.rule_counts.at("unused-allowlist") > 0,
+        "stale allowlist entry is reported as unused-allowlist");
+
   std::cout << (ok ? "adsynth_lint self-test: OK\n"
                    : "adsynth_lint self-test: FAILED\n");
   return ok ? 0 : 1;
@@ -411,13 +1094,24 @@ int run_self_test(const fs::path& fixtures) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::string(argv[1]) == "--self-test") {
-    return run_self_test(fs::path(argv[2]));
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 2 && args[0] == "--self-test") {
+    return run_self_test(fs::path(args[1]));
   }
-  if (argc == 2) {
-    return run_scan(fs::path(argv[1]));
+  if (!args.empty() && args[0] != "--self-test") {
+    fs::path root = args[0];
+    fs::path json_path;
+    bool bad = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--json" && i + 1 < args.size()) {
+        json_path = args[++i];
+      } else {
+        bad = true;
+      }
+    }
+    if (!bad) return run_scan(root, json_path);
   }
-  std::cerr << "usage: adsynth_lint <repo_root>\n"
+  std::cerr << "usage: adsynth_lint <repo_root> [--json <file>]\n"
                "       adsynth_lint --self-test <fixtures_root>\n";
   return 2;
 }

@@ -1,0 +1,178 @@
+// Durable-storage throughput (ROADMAP item 4): what the binary snapshot
+// format and the write-ahead log cost at forest scale.
+//
+//   persistence.save       — snapshot serialization of the CI forest store
+//                            (2 domains × 20k nodes; --full: 2 × 500k)
+//   persistence.load       — snapshot deserialization + index rebuild +
+//                            invariant audit; the fingerprint is asserted
+//                            bit-identical to the saved store first
+//   persistence.wal_append — per-transaction cost of committing with the
+//                            WAL recorder armed (encode + fflush)
+//   persistence.recover    — full recovery: snapshot load + WAL replay of
+//                            the appended transactions
+//
+// Writes BENCH_persistence.json, gated by scripts/bench_compare.py against
+// bench/baselines/BENCH_persistence.json.
+#include "common.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "adcore/convert.hpp"
+#include "core/forest.hpp"
+#include "graphdb/persist.hpp"
+
+using namespace adsynth;
+using namespace adsynth::bench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+core::ForestConfig make_forest(std::size_t nodes_per_domain) {
+  core::ForestConfig cfg;
+  for (std::size_t d = 0; d < 2; ++d) {
+    core::GeneratorConfig domain =
+        d % 2 == 0 ? core::GeneratorConfig::secure(nodes_per_domain, 40 + d)
+                   : core::GeneratorConfig::vulnerable(nodes_per_domain,
+                                                       40 + d);
+    domain.domain_fqdn = "d" + std::to_string(d) + ".forest.local";
+    cfg.domains.push_back(std::move(domain));
+  }
+  cfg.topology = core::TrustTopology::kHubAndSpoke;
+  cfg.cross_domain_leaks = 10;
+  cfg.seed = 17;
+  return cfg;
+}
+
+/// One small committed transaction, shaped like a directory-sync delta.
+void append_txn(graphdb::GraphStore& store, std::size_t i) {
+  store.begin_undo_scope();
+  const graphdb::NodeId u = store.create_node({"User"});
+  store.set_node_property(
+      u, "name", graphdb::PropertyValue("delta-" + std::to_string(i)));
+  store.commit_scope();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args;
+  args.add_flag("full", "1M-node forest (several minutes)");
+  args.add_option("repeats", "timed runs per phase (median reported)", "3");
+  args.add_option("txns", "WAL transactions appended before recovery",
+                  "2000");
+  add_trace_option(args);
+  if (!args.parse(argc, argv)) return 1;
+  const auto repeats = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.integer("repeats")));
+  const auto txns = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.integer("txns")));
+
+  print_header("durable storage: snapshot + WAL throughput",
+               "a sectioned binary snapshot plus a CRC-guarded log make the "
+               "store restartable without replaying generation");
+  TraceCapture capture(args);
+
+  const std::size_t per_domain = args.flag("full") ? 500'000 : 20'000;
+  const core::GeneratedForest forest =
+      core::generate_forest(make_forest(per_domain));
+  graphdb::GraphStore store = adcore::to_store(forest.graph);
+  const std::uint64_t fp = graphdb::persist::fingerprint(store);
+
+  const std::string dir =
+      fs::temp_directory_path().string() + "/adsynth_bench_persist";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string snap = dir + "/snapshot.adsg";
+
+  util::TextTable table({"phase", "median_ms", "MB_per_s"});
+  util::JsonArray records;
+  const auto record = [&](const char* name, double seconds, double mbytes) {
+    table.add_row({name, util::fixed(seconds * 1e3, 1),
+                   mbytes > 0 ? util::fixed(mbytes / seconds, 0) : "-"});
+    util::JsonObject rec;
+    rec["name"] = std::string("persistence.") + name;
+    rec["ns_per_op"] = seconds * 1e9;
+    rec["threads"] = static_cast<std::int64_t>(1);
+    rec["graph_size"] = static_cast<std::int64_t>(store.node_count());
+    records.emplace_back(std::move(rec));
+  };
+  const auto median = [](std::vector<double>& times) {
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
+
+  // --- save ---------------------------------------------------------------
+  std::vector<double> times;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    util::Stopwatch timer;
+    graphdb::persist::save_snapshot(store, snap);
+    times.push_back(timer.seconds());
+  }
+  const double snap_mb =
+      static_cast<double>(fs::file_size(snap)) / 1e6;
+  record("save", median(times), snap_mb);
+
+  // --- load (fingerprint asserted before the number counts) --------------
+  {
+    const graphdb::GraphStore loaded = graphdb::persist::load_snapshot(snap);
+    if (graphdb::persist::fingerprint(loaded) != fp) {
+      std::fprintf(stderr,
+                   "FATAL: save -> load round trip changed the store "
+                   "fingerprint\n");
+      return 1;
+    }
+  }
+  times.clear();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    util::Stopwatch timer;
+    const graphdb::GraphStore loaded = graphdb::persist::load_snapshot(snap);
+    times.push_back(timer.seconds());
+  }
+  record("load", median(times), snap_mb);
+
+  // --- wal_append + recover ----------------------------------------------
+  fs::remove(snap);
+  graphdb::persist::Durability dur(dir);
+  dur.checkpoint(store);  // baseline snapshot the replayed WAL extends
+  {
+    graphdb::GraphStore serving = dur.recover();
+    dur.attach(serving);
+    util::Stopwatch timer;
+    for (std::size_t i = 0; i < txns; ++i) append_txn(serving, i);
+    const double per_txn = timer.seconds() / static_cast<double>(txns);
+    table.add_row({"wal_append(txn)", util::fixed(per_txn * 1e3, 4), "-"});
+    util::JsonObject rec;
+    rec["name"] = "persistence.wal_append";
+    rec["ns_per_op"] = per_txn * 1e9;
+    rec["threads"] = static_cast<std::int64_t>(1);
+    rec["graph_size"] = static_cast<std::int64_t>(serving.node_count());
+    records.emplace_back(std::move(rec));
+    dur.detach();
+  }
+  times.clear();
+  std::uint64_t replayed = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    graphdb::persist::RecoveryReport report;
+    util::Stopwatch timer;
+    const graphdb::GraphStore recovered = dur.recover(&report);
+    times.push_back(timer.seconds());
+    replayed = report.wal_records_replayed;
+  }
+  const double wal_mb =
+      static_cast<double>(fs::file_size(dur.wal_path())) / 1e6;
+  record("recover", median(times), snap_mb + wal_mb);
+
+  std::printf("store: %zu nodes, %zu rels; snapshot %.1f MB; WAL %zu txns "
+              "(%llu records, %.2f MB)\n\n",
+              store.node_count(), store.rel_count(), snap_mb, txns,
+              static_cast<unsigned long long>(replayed), wal_mb);
+  std::fputs(table.render().c_str(), stdout);
+
+  fs::remove_all(dir);
+  util::JsonObject extra;
+  extra["records"] = util::JsonValue(std::move(records));
+  capture.finish("persistence", std::move(extra));
+  return 0;
+}

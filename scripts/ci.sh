@@ -21,6 +21,10 @@
 #                bench/baselines/BENCH_micro.json by scripts/bench_compare.py;
 #                tolerance via ADSYNTH_BENCH_TOLERANCE (default 1.0 = 2x,
 #                an order-of-magnitude gate, not a 5% one)
+#   persistence.recovery — crash-recovery corruption matrix
+#                (tools/recovery_check.cpp): truncated snapshot, bit-flipped
+#                section, stale format version, torn WAL tail; recovery logs
+#                land in the log dir (CI uploads them as artifacts)
 #   analyze    — Clang -Werror=thread-safety lane (SKIP without clang++)
 #   tidy       — clang-tidy profile (SKIP without clang-tidy)
 #   asan/tsan/ubsan — sanitizer lanes (SKIP when the compiler lacks the
@@ -118,6 +122,9 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
                      "$log_dir/lint.log" | head -n 1)"
   run_stage lint.headers lint_headers.log \
     cmake --build "$root/build-ci" --target adsynth_header_check -j "$jobs"
+  run_stage persistence.recovery persistence_recovery.log \
+    "$root/build-ci/tools/adsynth_recovery_check" \
+    --dir "$log_dir/recovery_work"
   run_stage bench.regression bench_regression.log sh -c "
     cd '$root/build-ci/bench' &&
     ./bench_micro --benchmark_min_time=0.05 --trace trace_micro.json &&
@@ -137,11 +144,17 @@ if [ "$(echo $results | awk '{print $NF}')" = "PASS" ]; then
     python3 '$root/scripts/bench_compare.py' \
         '$root/bench/baselines/BENCH_concurrency.json' \
         BENCH_concurrency.json \
+        --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\" &&
+    ./bench_persistence --repeats 1 &&
+    python3 '$root/scripts/bench_compare.py' \
+        '$root/bench/baselines/BENCH_persistence.json' \
+        BENCH_persistence.json \
         --tolerance \"\${ADSYNTH_BENCH_TOLERANCE:-1.0}\""
 else
   record test SKIP   # no build to test; the build FAIL already gates exit
   record lint SKIP
   record lint.headers SKIP
+  record persistence.recovery SKIP
   record bench.regression SKIP
 fi
 

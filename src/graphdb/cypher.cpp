@@ -209,6 +209,7 @@ void CypherSession::commit_record(const QueryResult& result,
   record.rels_deleted = static_cast<std::uint32_t>(result.rels_deleted);
   record.properties_set = static_cast<std::uint32_t>(result.properties_set);
   push_record(record);
+  maybe_auto_checkpoint();
 }
 
 void CypherSession::push_record(CommitRecord record) {
@@ -249,6 +250,28 @@ void CypherSession::commit() {
   pending_.sequence = ++transactions_;
   push_record(pending_);
   pending_ = CommitRecord{};
+  maybe_auto_checkpoint();
+}
+
+void CypherSession::checkpoint() {
+  if (in_transaction_) {
+    throw std::logic_error(
+        "CypherSession: checkpoint inside an open transaction");
+  }
+  if (!checkpoint_handler_) {
+    throw std::logic_error("CypherSession: no checkpoint handler installed");
+  }
+  checkpoint_handler_();
+  ++checkpoints_;
+  ADSYNTH_METRIC_COUNT("graphdb.session.checkpoints", 1);
+}
+
+void CypherSession::maybe_auto_checkpoint() {
+  // Commit boundaries only — commit()/commit_record() run after the undo
+  // scope closed, so the handler sees a quiescent store.
+  if (auto_checkpoint_every_ == 0 || !checkpoint_handler_) return;
+  if (transactions_ % auto_checkpoint_every_ != 0) return;
+  checkpoint();
 }
 
 void CypherSession::rollback() {

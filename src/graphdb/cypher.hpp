@@ -64,6 +64,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
@@ -205,6 +206,29 @@ class CypherSession {
     return ring_.capacity() * sizeof(CommitRecord);
   }
 
+  /// Installs the durability hook: a callable that snapshots the store and
+  /// resets its WAL (typically `[&] { durability.checkpoint(store); }` —
+  /// see graphdb/persist.hpp).  The session never checkpoints mid-
+  /// transaction: the hook fires only at commit boundaries.
+  void set_checkpoint_handler(std::function<void()> handler) {
+    checkpoint_handler_ = std::move(handler);
+  }
+
+  /// Auto-checkpoint cadence: fire the handler after every N committed
+  /// transactions (0 disables, the default).  Counted against
+  /// transactions(), so explicit commits and auto-commit statements both
+  /// advance it.
+  void set_auto_checkpoint(std::size_t every_n_commits) {
+    auto_checkpoint_every_ = every_n_commits;
+  }
+
+  /// Invokes the checkpoint handler now.  Throws std::logic_error inside an
+  /// open transaction or when no handler is installed.
+  void checkpoint();
+
+  /// Checkpoints taken (manual + automatic).
+  std::size_t checkpoints() const { return checkpoints_; }
+
  private:
   /// Cache lookup + parse/plan on miss.  Throws CypherError on bad
   /// statements (parse failures are not cached).
@@ -216,6 +240,8 @@ class CypherSession {
 
   void commit_record(const QueryResult& result, std::size_t statement_count);
   void push_record(CommitRecord record);
+  /// Fires the checkpoint handler when the auto cadence says so.
+  void maybe_auto_checkpoint();
 
   GraphStore& store_;
   std::size_t transactions_ = 0;
@@ -223,6 +249,9 @@ class CypherSession {
   std::size_t rollbacks_ = 0;
   std::size_t statement_rollbacks_ = 0;
   bool in_transaction_ = false;
+  std::function<void()> checkpoint_handler_;
+  std::size_t auto_checkpoint_every_ = 0;
+  std::size_t checkpoints_ = 0;
   CommitRecord pending_{};  // accumulates the open transaction's totals
   std::vector<CommitRecord> ring_;  // bounded commit journal
   std::size_t ring_head_ = 0;       // insertion point once the ring is full

@@ -1,0 +1,852 @@
+#include "graphdb/persist.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "util/binio.hpp"
+#include "util/trace.hpp"
+
+namespace adsynth::graphdb {
+
+/// Persistence backdoor (friend of GraphStore): exposes the raw
+/// representation to the serializer below.  Deliberately the only place in
+/// library code with this access — everything else goes through the public
+/// API.
+struct PersistAccess {
+  static const GraphStore::Interner& labels(const GraphStore& s) {
+    return s.labels_;
+  }
+  static const GraphStore::Interner& rel_types(const GraphStore& s) {
+    return s.rel_types_;
+  }
+  static const GraphStore::Interner& keys(const GraphStore& s) {
+    return s.keys_;
+  }
+  static const std::vector<NodeRecord>& nodes(const GraphStore& s) {
+    return s.nodes_;
+  }
+  static const std::vector<RelRecord>& rels(const GraphStore& s) {
+    return s.rels_;
+  }
+  static const std::vector<std::vector<NodeId>>& label_buckets(
+      const GraphStore& s) {
+    return s.label_buckets_;
+  }
+  static const std::vector<GraphStore::PropertyIndex>& indexes(
+      const GraphStore& s) {
+    return s.indexes_;
+  }
+  static std::size_t deleted_nodes(const GraphStore& s) {
+    return s.deleted_nodes_;
+  }
+  static std::size_t deleted_rels(const GraphStore& s) {
+    return s.deleted_rels_;
+  }
+  static std::uint64_t epoch(const GraphStore& s) { return s.epoch_; }
+  static std::uint64_t schema_version(const GraphStore& s) {
+    return s.schema_version_;
+  }
+
+  // Mutable counterparts for reassembling a loaded store.
+  static GraphStore::Interner& labels(GraphStore& s) { return s.labels_; }
+  static GraphStore::Interner& rel_types(GraphStore& s) {
+    return s.rel_types_;
+  }
+  static GraphStore::Interner& keys(GraphStore& s) { return s.keys_; }
+  static std::vector<NodeRecord>& nodes(GraphStore& s) { return s.nodes_; }
+  static std::vector<RelRecord>& rels(GraphStore& s) { return s.rels_; }
+  static std::vector<std::vector<NodeId>>& label_buckets(GraphStore& s) {
+    return s.label_buckets_;
+  }
+  static std::vector<GraphStore::PropertyIndex>& indexes(GraphStore& s) {
+    return s.indexes_;
+  }
+  static void rebuild_interner_index(GraphStore::Interner& interner) {
+    interner.index.clear();
+    interner.index.reserve(interner.names.size());
+    for (std::uint32_t i = 0; i < interner.names.size(); ++i) {
+      interner.index.emplace(interner.names[i], i);
+    }
+  }
+  static void set_counters(GraphStore& s, std::size_t deleted_nodes,
+                           std::size_t deleted_rels,
+                           std::uint64_t schema_version, std::uint64_t epoch) {
+    s.deleted_nodes_ = deleted_nodes;
+    s.deleted_rels_ = deleted_rels;
+    s.schema_version_ = schema_version;
+    s.epoch_ = epoch;
+  }
+};
+
+namespace persist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Section ids (stable on disk; names for PersistError).
+constexpr std::uint32_t kSectionMeta = 1;
+constexpr std::uint32_t kSectionTokens = 2;
+constexpr std::uint32_t kSectionNodes = 3;
+constexpr std::uint32_t kSectionRels = 4;
+constexpr std::uint32_t kSectionAdjacency = 5;
+constexpr std::uint32_t kSectionLabelBuckets = 6;
+constexpr std::uint32_t kSectionIndexes = 7;
+constexpr std::uint32_t kSectionCount = 7;
+
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 4 + 4;
+constexpr std::uint64_t kTableEntryBytes = 4 + 8 + 8 + 4;
+
+std::string section_name(std::uint32_t id) {
+  switch (id) {
+    case kSectionMeta:
+      return "meta";
+    case kSectionTokens:
+      return "tokens";
+    case kSectionNodes:
+      return "nodes";
+    case kSectionRels:
+      return "rels";
+    case kSectionAdjacency:
+      return "adjacency";
+    case kSectionLabelBuckets:
+      return "label_buckets";
+    case kSectionIndexes:
+      return "indexes";
+    default:
+      return "section-" + std::to_string(id);
+  }
+}
+
+void encode_tokens(util::ByteWriter& out,
+                   const std::vector<std::string>& names) {
+  out.u32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& name : names) out.str(name);
+}
+
+std::vector<std::string> decode_tokens(util::ByteReader& in) {
+  const std::uint32_t count = in.u32();
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) names.push_back(in.str());
+  return names;
+}
+
+/// Decoded meta section, cross-checked against the other sections.
+struct Meta {
+  std::uint64_t epoch = 0;
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t schema_version = 0;
+  std::uint64_t node_records = 0;
+  std::uint64_t rel_records = 0;
+  std::uint64_t deleted_nodes = 0;
+  std::uint64_t deleted_rels = 0;
+  std::uint64_t label_count = 0;
+  std::uint64_t rel_type_count = 0;
+  std::uint64_t key_count = 0;
+  std::uint64_t index_count = 0;
+};
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// save_snapshot
+// --------------------------------------------------------------------------
+
+void save_snapshot(const GraphStore& store, const std::string& path,
+                   std::uint64_t checkpoint_id) {
+  if (store.undo_depth() != 0) {
+    throw std::logic_error(
+        "persist: save_snapshot inside an open undo scope would capture "
+        "uncommitted state; commit or abort first");
+  }
+  ADSYNTH_SPAN("graphdb.persist.save");
+
+  const auto& nodes = PersistAccess::nodes(store);
+  const auto& rels = PersistAccess::rels(store);
+
+  std::vector<std::pair<std::uint32_t, std::string>> sections;
+  sections.reserve(kSectionCount);
+
+  {
+    util::ByteWriter meta;
+    meta.u64(PersistAccess::epoch(store));
+    meta.u64(checkpoint_id);
+    meta.u64(PersistAccess::schema_version(store));
+    meta.u64(nodes.size());
+    meta.u64(rels.size());
+    meta.u64(PersistAccess::deleted_nodes(store));
+    meta.u64(PersistAccess::deleted_rels(store));
+    meta.u64(PersistAccess::labels(store).names.size());
+    meta.u64(PersistAccess::rel_types(store).names.size());
+    meta.u64(PersistAccess::keys(store).names.size());
+    meta.u64(PersistAccess::indexes(store).size());
+    sections.emplace_back(kSectionMeta, meta.take());
+  }
+  {
+    util::ByteWriter tokens;
+    encode_tokens(tokens, PersistAccess::labels(store).names);
+    encode_tokens(tokens, PersistAccess::rel_types(store).names);
+    encode_tokens(tokens, PersistAccess::keys(store).names);
+    sections.emplace_back(kSectionTokens, tokens.take());
+  }
+  {
+    // Property columns ride with their records; adjacency is the CSR
+    // section's job so node rows stay fixed-ish width.
+    util::ByteWriter out;
+    for (const NodeRecord& rec : nodes) {
+      out.u8(rec.deleted ? 1 : 0);
+      out.u64(rec.mutated_epoch);
+      out.u32(static_cast<std::uint32_t>(rec.labels.size()));
+      for (const LabelId l : rec.labels) out.u32(l);
+      wal::encode_properties(out, rec.properties);
+    }
+    sections.emplace_back(kSectionNodes, out.take());
+  }
+  {
+    util::ByteWriter out;
+    for (const RelRecord& rec : rels) {
+      out.u8(rec.deleted ? 1 : 0);
+      out.u64(rec.mutated_epoch);
+      out.u32(rec.source);
+      out.u32(rec.target);
+      out.u32(rec.type);
+      wal::encode_properties(out, rec.properties);
+    }
+    sections.emplace_back(kSectionRels, out.take());
+  }
+  {
+    // CSR adjacency: offset arrays (n+1 entries) + flat rel ids, out then
+    // in.  Order within each list is creation order and must survive the
+    // round trip (BFS/traversal determinism depends on it).
+    util::ByteWriter out;
+    for (const bool outgoing : {true, false}) {
+      std::uint64_t offset = 0;
+      out.u64(nodes.size() + 1);
+      out.u64(offset);
+      for (const NodeRecord& rec : nodes) {
+        offset += outgoing ? rec.out_rels.size() : rec.in_rels.size();
+        out.u64(offset);
+      }
+      for (const NodeRecord& rec : nodes) {
+        for (const RelId r : outgoing ? rec.out_rels : rec.in_rels) {
+          out.u32(r);
+        }
+      }
+    }
+    sections.emplace_back(kSectionAdjacency, out.take());
+  }
+  {
+    util::ByteWriter out;
+    const auto& buckets = PersistAccess::label_buckets(store);
+    out.u32(static_cast<std::uint32_t>(buckets.size()));
+    for (const auto& bucket : buckets) {
+      out.u64(bucket.size());
+      for (const NodeId n : bucket) out.u32(n);
+    }
+    sections.emplace_back(kSectionLabelBuckets, out.take());
+  }
+  {
+    util::ByteWriter out;
+    const auto& indexes = PersistAccess::indexes(store);
+    out.u32(static_cast<std::uint32_t>(indexes.size()));
+    for (const auto& idx : indexes) {
+      out.u32(idx.label);
+      out.u32(idx.key);
+      out.u64(idx.entries);
+      out.u64(idx.stale);
+      out.u64(idx.buckets.size());
+      // Hash order is not deterministic; sort by value key so identical
+      // stores serialize to identical bytes.
+      std::vector<const std::string*> keys;
+      keys.reserve(idx.buckets.size());
+      for (const auto& [value_key, ids] : idx.buckets) {
+        (void)ids;
+        keys.push_back(&value_key);
+      }
+      std::sort(keys.begin(), keys.end(),
+                [](const std::string* a, const std::string* b) {
+                  return *a < *b;
+                });
+      for (const std::string* value_key : keys) {
+        const auto& ids = idx.buckets.at(*value_key);
+        out.str(*value_key);
+        out.u64(ids.size());
+        for (const NodeId n : ids) out.u32(n);
+      }
+    }
+    sections.emplace_back(kSectionIndexes, out.take());
+  }
+
+  util::ByteWriter header;
+  header.u32(kSnapshotMagic);
+  header.u32(kSnapshotFormatVersion);
+  header.u32(kSectionCount);
+  header.u32(util::crc32(header.buffer()));
+
+  util::ByteWriter table;
+  std::uint64_t offset = kHeaderBytes + kSectionCount * kTableEntryBytes;
+  for (const auto& [id, payload] : sections) {
+    table.u32(id);
+    table.u64(offset);
+    table.u64(payload.size());
+    table.u32(util::crc32(payload));
+    offset += payload.size();
+  }
+
+  util::CheckedFile file = util::CheckedFile::open_write(path);
+  file.write(header.buffer());
+  file.write(table.buffer());
+  for (const auto& [id, payload] : sections) {
+    (void)id;
+    file.write(payload);
+  }
+  file.flush();
+  file.close();
+}
+
+// --------------------------------------------------------------------------
+// load_snapshot
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Wraps a section decode so codec underflows surface as PersistError with
+/// the section's name instead of a bare BinIoError.
+template <typename Fn>
+void decode_section(const std::string& name, Fn&& fn) {
+  try {
+    fn();
+  } catch (const util::BinIoError& err) {
+    throw PersistError(name, err.what());
+  }
+}
+
+}  // namespace
+
+GraphStore load_snapshot(const std::string& path, SnapshotInfo* info) {
+  ADSYNTH_SPAN("graphdb.persist.load");
+  std::string contents;
+  {
+    util::CheckedFile file = util::CheckedFile::open_read(path);
+    contents.resize(file.size());
+    file.read(contents.data(), contents.size());
+    file.close();
+  }
+  const std::string_view bytes(contents);
+
+  if (bytes.size() < kHeaderBytes) {
+    throw PersistError("header", "file holds " + std::to_string(bytes.size()) +
+                                     " bytes, header needs " +
+                                     std::to_string(kHeaderBytes));
+  }
+  util::ByteReader header(bytes.substr(0, kHeaderBytes));
+  const std::uint32_t magic = header.u32();
+  const std::uint32_t version = header.u32();
+  const std::uint32_t section_count = header.u32();
+  const std::uint32_t header_crc = header.u32();
+  if (magic != kSnapshotMagic) {
+    throw PersistError("header", "bad magic (not an ADSG snapshot)");
+  }
+  if (util::crc32(bytes.substr(0, kHeaderBytes - 4)) != header_crc) {
+    throw PersistError("header", "header CRC mismatch");
+  }
+  if (version != kSnapshotFormatVersion) {
+    throw PersistError("header",
+                       "unsupported format version " + std::to_string(version) +
+                           " (this build reads version " +
+                           std::to_string(kSnapshotFormatVersion) + ")");
+  }
+
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(section_count) * kTableEntryBytes;
+  if (bytes.size() - kHeaderBytes < table_bytes) {
+    throw PersistError("section-table", "truncated section table");
+  }
+  std::vector<SectionEntry> table(section_count);
+  {
+    util::ByteReader reader(bytes.substr(kHeaderBytes, table_bytes));
+    for (SectionEntry& entry : table) {
+      entry.id = reader.u32();
+      entry.offset = reader.u64();
+      entry.length = reader.u64();
+      entry.crc = reader.u32();
+      if (entry.offset > bytes.size() ||
+          bytes.size() - entry.offset < entry.length) {
+        throw PersistError("section-table",
+                           "section " + section_name(entry.id) +
+                               " extends past end of file (offset " +
+                               std::to_string(entry.offset) + ", length " +
+                               std::to_string(entry.length) + ", file " +
+                               std::to_string(bytes.size()) + ")");
+      }
+    }
+  }
+
+  // Returns the CRC-verified payload of a section; every section is
+  // independently guarded so a flipped bit names its victim.
+  const auto section = [&](std::uint32_t id) -> std::string_view {
+    for (const SectionEntry& entry : table) {
+      if (entry.id != id) continue;
+      const std::string_view payload =
+          bytes.substr(entry.offset, entry.length);
+      if (util::crc32(payload) != entry.crc) {
+        throw PersistError(section_name(id), "section CRC mismatch");
+      }
+      return payload;
+    }
+    throw PersistError("section-table",
+                       "missing section " + section_name(id));
+  };
+
+  Meta meta;
+  decode_section("meta", [&] {
+    util::ByteReader in(section(kSectionMeta));
+    meta.epoch = in.u64();
+    meta.checkpoint_id = in.u64();
+    meta.schema_version = in.u64();
+    meta.node_records = in.u64();
+    meta.rel_records = in.u64();
+    meta.deleted_nodes = in.u64();
+    meta.deleted_rels = in.u64();
+    meta.label_count = in.u64();
+    meta.rel_type_count = in.u64();
+    meta.key_count = in.u64();
+    meta.index_count = in.u64();
+  });
+
+  GraphStore store;
+
+  decode_section("tokens", [&] {
+    util::ByteReader in(section(kSectionTokens));
+    PersistAccess::labels(store).names = decode_tokens(in);
+    PersistAccess::rel_types(store).names = decode_tokens(in);
+    PersistAccess::keys(store).names = decode_tokens(in);
+    if (PersistAccess::labels(store).names.size() != meta.label_count ||
+        PersistAccess::rel_types(store).names.size() != meta.rel_type_count ||
+        PersistAccess::keys(store).names.size() != meta.key_count) {
+      throw util::BinIoError("token counts disagree with meta section");
+    }
+    PersistAccess::rebuild_interner_index(PersistAccess::labels(store));
+    PersistAccess::rebuild_interner_index(PersistAccess::rel_types(store));
+    PersistAccess::rebuild_interner_index(PersistAccess::keys(store));
+  });
+
+  auto& nodes = PersistAccess::nodes(store);
+  decode_section("nodes", [&] {
+    util::ByteReader in(section(kSectionNodes));
+    nodes.reserve(meta.node_records);
+    for (std::uint64_t i = 0; i < meta.node_records; ++i) {
+      NodeRecord rec;
+      rec.deleted = in.u8() != 0;
+      rec.mutated_epoch = in.u64();
+      const std::uint32_t label_count = in.u32();
+      rec.labels.reserve(label_count);
+      for (std::uint32_t l = 0; l < label_count; ++l) {
+        rec.labels.push_back(in.u32());
+      }
+      rec.properties = wal::decode_properties(in);
+      nodes.push_back(std::move(rec));
+    }
+    if (!in.at_end()) {
+      throw util::BinIoError("trailing bytes after last node record");
+    }
+  });
+
+  auto& rels = PersistAccess::rels(store);
+  decode_section("rels", [&] {
+    util::ByteReader in(section(kSectionRels));
+    rels.reserve(meta.rel_records);
+    for (std::uint64_t i = 0; i < meta.rel_records; ++i) {
+      RelRecord rec;
+      rec.deleted = in.u8() != 0;
+      rec.mutated_epoch = in.u64();
+      rec.source = in.u32();
+      rec.target = in.u32();
+      rec.type = in.u32();
+      rec.properties = wal::decode_properties(in);
+      rels.push_back(std::move(rec));
+    }
+    if (!in.at_end()) {
+      throw util::BinIoError("trailing bytes after last rel record");
+    }
+  });
+
+  decode_section("adjacency", [&] {
+    util::ByteReader in(section(kSectionAdjacency));
+    for (const bool outgoing : {true, false}) {
+      const std::uint64_t offset_count = in.u64();
+      if (offset_count != nodes.size() + 1) {
+        throw util::BinIoError("offset array sized " +
+                               std::to_string(offset_count) + " for " +
+                               std::to_string(nodes.size()) + " nodes");
+      }
+      std::vector<std::uint64_t> offsets;
+      offsets.reserve(offset_count);
+      for (std::uint64_t i = 0; i < offset_count; ++i) {
+        offsets.push_back(in.u64());
+        if (i > 0 && offsets[i] < offsets[i - 1]) {
+          throw util::BinIoError("offsets not monotone at node " +
+                                 std::to_string(i - 1));
+        }
+      }
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const std::uint64_t degree = offsets[n + 1] - offsets[n];
+        auto& list = outgoing ? nodes[n].out_rels : nodes[n].in_rels;
+        list.reserve(degree);
+        for (std::uint64_t i = 0; i < degree; ++i) list.push_back(in.u32());
+      }
+    }
+    if (!in.at_end()) {
+      throw util::BinIoError("trailing bytes after adjacency ids");
+    }
+  });
+
+  decode_section("label_buckets", [&] {
+    util::ByteReader in(section(kSectionLabelBuckets));
+    const std::uint32_t count = in.u32();
+    if (count != meta.label_count) {
+      throw util::BinIoError(std::to_string(count) + " buckets for " +
+                             std::to_string(meta.label_count) + " labels");
+    }
+    auto& buckets = PersistAccess::label_buckets(store);
+    buckets.resize(count);
+    for (std::uint32_t l = 0; l < count; ++l) {
+      const std::uint64_t size = in.u64();
+      buckets[l].reserve(size);
+      for (std::uint64_t i = 0; i < size; ++i) buckets[l].push_back(in.u32());
+    }
+    if (!in.at_end()) {
+      throw util::BinIoError("trailing bytes after last bucket");
+    }
+  });
+
+  decode_section("indexes", [&] {
+    util::ByteReader in(section(kSectionIndexes));
+    const std::uint32_t count = in.u32();
+    if (count != meta.index_count) {
+      throw util::BinIoError(std::to_string(count) + " indexes, meta says " +
+                             std::to_string(meta.index_count));
+    }
+    auto& indexes = PersistAccess::indexes(store);
+    indexes.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      auto& idx = indexes.emplace_back();
+      idx.label = in.u32();
+      idx.key = in.u32();
+      idx.entries = in.u64();
+      idx.stale = in.u64();
+      const std::uint64_t bucket_count = in.u64();
+      idx.buckets.reserve(bucket_count);
+      for (std::uint64_t b = 0; b < bucket_count; ++b) {
+        std::string value_key = in.str();
+        const std::uint64_t size = in.u64();
+        auto& ids = idx.buckets[std::move(value_key)];
+        ids.reserve(size);
+        for (std::uint64_t e = 0; e < size; ++e) ids.push_back(in.u32());
+      }
+    }
+    if (!in.at_end()) {
+      throw util::BinIoError("trailing bytes after last index");
+    }
+  });
+
+  PersistAccess::set_counters(store, meta.deleted_nodes, meta.deleted_rels,
+                              meta.schema_version, meta.epoch);
+
+  // The audit is the last line of defense: CRCs catch flipped bits, this
+  // catches semantic corruption a valid checksum can still carry.
+  const auto report = store.check_invariants();
+  if (!report.ok()) {
+    std::string what = std::to_string(report.violations.size()) +
+                       " invariant violation(s) after load; first: " +
+                       report.violations.front();
+    throw PersistError("invariants", what);
+  }
+
+  if (info != nullptr) {
+    info->format_version = version;
+    info->checkpoint_id = meta.checkpoint_id;
+    info->epoch = meta.epoch;
+    info->node_records = meta.node_records;
+    info->rel_records = meta.rel_records;
+  }
+  return store;
+}
+
+// --------------------------------------------------------------------------
+// fingerprint
+// --------------------------------------------------------------------------
+
+namespace {
+
+void hash_value(util::Fnv1a& hash, const PropertyValue& value) {
+  util::ByteWriter encoded;
+  wal::encode_value(encoded, value);
+  hash.update(encoded.buffer());
+}
+
+void hash_u32(util::Fnv1a& hash, std::uint32_t v) {
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+  hash.update(bytes, sizeof(bytes));
+}
+
+void hash_u64(util::Fnv1a& hash, std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+  hash.update(bytes, sizeof(bytes));
+}
+
+void hash_str(util::Fnv1a& hash, std::string_view s) {
+  hash_u64(hash, s.size());
+  hash.update(s);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const GraphStore& store) {
+  ADSYNTH_SPAN("graphdb.persist.fingerprint");
+  util::Fnv1a hash;
+
+  for (const auto* interner :
+       {&PersistAccess::labels(store), &PersistAccess::rel_types(store),
+        &PersistAccess::keys(store)}) {
+    hash_u64(hash, interner->names.size());
+    for (const auto& name : interner->names) hash_str(hash, name);
+  }
+
+  const auto& nodes = PersistAccess::nodes(store);
+  hash_u64(hash, nodes.size());
+  for (const NodeRecord& rec : nodes) {
+    // mutated_epoch deliberately excluded: WAL replay reproduces the data,
+    // not the publish history that stamped it.
+    hash_u32(hash, rec.deleted ? 1 : 0);
+    hash_u64(hash, rec.labels.size());
+    for (const LabelId l : rec.labels) hash_u32(hash, l);
+    hash_u64(hash, rec.properties.size());
+    for (const auto& [key, value] : rec.properties) {
+      hash_u32(hash, key);
+      hash_value(hash, value);
+    }
+    hash_u64(hash, rec.out_rels.size());
+    for (const RelId r : rec.out_rels) hash_u32(hash, r);
+    hash_u64(hash, rec.in_rels.size());
+    for (const RelId r : rec.in_rels) hash_u32(hash, r);
+  }
+
+  const auto& rels = PersistAccess::rels(store);
+  hash_u64(hash, rels.size());
+  for (const RelRecord& rec : rels) {
+    hash_u32(hash, rec.deleted ? 1 : 0);
+    hash_u32(hash, rec.source);
+    hash_u32(hash, rec.target);
+    hash_u32(hash, rec.type);
+    hash_u64(hash, rec.properties.size());
+    for (const auto& [key, value] : rec.properties) {
+      hash_u32(hash, key);
+      hash_value(hash, value);
+    }
+  }
+
+  const auto& buckets = PersistAccess::label_buckets(store);
+  hash_u64(hash, buckets.size());
+  for (const auto& bucket : buckets) {
+    hash_u64(hash, bucket.size());
+    for (const NodeId n : bucket) hash_u32(hash, n);
+  }
+
+  hash_u64(hash, PersistAccess::deleted_nodes(store));
+  hash_u64(hash, PersistAccess::deleted_rels(store));
+  hash_u64(hash, PersistAccess::schema_version(store));
+
+  // Index *schema* only: bucket layout and stale counters depend on when
+  // compaction happened to run, which WAL replay legitimately shifts.
+  std::vector<std::pair<LabelId, PropertyKeyId>> schema;
+  for (const auto& idx : PersistAccess::indexes(store)) {
+    schema.emplace_back(idx.label, idx.key);
+  }
+  std::sort(schema.begin(), schema.end());
+  hash_u64(hash, schema.size());
+  for (const auto& [label, key] : schema) {
+    hash_u32(hash, label);
+    hash_u32(hash, key);
+  }
+
+  return hash.digest();
+}
+
+// --------------------------------------------------------------------------
+// Durability
+// --------------------------------------------------------------------------
+
+Durability::Durability(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw util::BinIoError("persist: cannot create durability directory '" +
+                           dir_ + "': " + ec.message());
+  }
+}
+
+Durability::~Durability() { detach(); }
+
+std::string Durability::snapshot_path() const {
+  return dir_ + "/snapshot.adsg";
+}
+
+std::string Durability::wal_path() const { return dir_ + "/wal.adwl"; }
+
+GraphStore Durability::recover(RecoveryReport* report) {
+  ADSYNTH_SPAN("graphdb.persist.recover");
+  if (attached_ != nullptr) {
+    throw std::logic_error("persist: recover while a store is attached");
+  }
+  RecoveryReport local;
+  GraphStore store;
+  checkpoint_id_ = 0;
+  next_sequence_ = 1;
+  wal_ready_ = false;
+
+  std::error_code ec;
+  if (fs::exists(snapshot_path(), ec)) {
+    SnapshotInfo info;
+    store = load_snapshot(snapshot_path(), &info);  // PersistError on corrupt
+    checkpoint_id_ = info.checkpoint_id;
+    local.snapshot_loaded = true;
+    local.snapshot_epoch = info.epoch;
+    local.detail += "snapshot: loaded checkpoint " +
+                    std::to_string(info.checkpoint_id) + " (" +
+                    std::to_string(info.node_records) + " node records, " +
+                    std::to_string(info.rel_records) + " rel records)\n";
+  } else {
+    local.detail += "snapshot: none, starting from an empty store\n";
+  }
+  local.checkpoint_id = checkpoint_id_;
+
+  std::uint64_t wal_checkpoint = 0;
+  if (!fs::exists(wal_path(), ec)) {
+    local.detail += "wal: none\n";
+  } else if (!wal::read_wal_header(wal_path(), wal_checkpoint)) {
+    local.wal_present = true;
+    local.wal_tail_truncated = true;
+    local.detail += "wal: unreadable header, discarding the whole log\n";
+  } else if (wal_checkpoint != checkpoint_id_) {
+    // Predates the snapshot (crash between snapshot rename and WAL reset):
+    // everything in it is already inside the snapshot.  A *newer* id with
+    // an older snapshot cannot happen — the snapshot renames first.
+    local.wal_present = true;
+    local.wal_stale = true;
+    local.detail += "wal: stale (checkpoint " +
+                    std::to_string(wal_checkpoint) + " != snapshot " +
+                    std::to_string(checkpoint_id_) + "), ignored\n";
+  } else {
+    local.wal_present = true;
+    const wal::ReplayResult replay = wal::replay_wal(wal_path(), store);
+    local.wal_records_replayed = replay.records;
+    local.wal_ops_applied = replay.ops;
+    local.wal_tail_truncated = replay.truncated_tail;
+    local.wal_valid_bytes = replay.valid_bytes;
+    local.detail += "wal: replayed " + std::to_string(replay.records) +
+                    " record(s), " + std::to_string(replay.ops) + " op(s)\n";
+    if (replay.truncated_tail) {
+      fs::resize_file(wal_path(), replay.valid_bytes, ec);
+      if (ec) {
+        throw util::BinIoError("persist: cannot truncate torn WAL tail: " +
+                               ec.message());
+      }
+      local.detail += "wal: torn tail truncated to " +
+                      std::to_string(replay.valid_bytes) + " bytes (" +
+                      replay.tail_reason + ")\n";
+    }
+    next_sequence_ = replay.next_sequence;
+    wal_ready_ = true;
+  }
+
+  if (report != nullptr) *report = std::move(local);
+  return store;
+}
+
+void Durability::open_recorder(std::uint64_t next_sequence) {
+  recorder_ = std::make_unique<wal::WalRecorder>(
+      util::CheckedFile::open_append(wal_path()), next_sequence);
+}
+
+void Durability::attach(GraphStore& store) {
+  if (attached_ != nullptr) {
+    throw std::logic_error("persist: a store is already attached");
+  }
+  if (!wal_ready_) {
+    wal::reset_wal(wal_path(), checkpoint_id_);
+    next_sequence_ = 1;
+    wal_ready_ = true;
+  }
+  open_recorder(next_sequence_);
+  store.attach_wal(recorder_.get());
+  attached_ = &store;
+}
+
+void Durability::detach() {
+  if (attached_ == nullptr) return;
+  attached_->attach_wal(nullptr);
+  attached_ = nullptr;
+  next_sequence_ = recorder_->next_sequence();
+  recorder_.reset();
+}
+
+void Durability::checkpoint(GraphStore& store) {
+  if (store.undo_depth() != 0) {
+    throw std::logic_error(
+        "persist: checkpoint inside an open transaction; commit or roll "
+        "back first");
+  }
+  if (attached_ != nullptr && attached_ != &store) {
+    throw std::logic_error(
+        "persist: checkpoint of a store other than the attached one");
+  }
+  ADSYNTH_SPAN("graphdb.persist.checkpoint");
+  ADSYNTH_METRIC_COUNT("graphdb.persist.checkpoints", 1);
+
+  GraphStore* rearm = attached_;
+  detach();  // the recorder holds the WAL file open; release it first
+
+  // Temp write + rename keeps the old snapshot intact until the new one is
+  // complete; the WAL reset below happens *after* the rename, so a crash in
+  // between leaves new-snapshot + stale-WAL, which recover() ignores.
+  ++checkpoint_id_;
+  const std::string tmp = snapshot_path() + ".tmp";
+  save_snapshot(store, tmp, checkpoint_id_);
+  if (std::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    throw util::BinIoError("persist: cannot rename '" + tmp + "' into place");
+  }
+  wal::reset_wal(wal_path(), checkpoint_id_);
+  next_sequence_ = 1;
+  wal_ready_ = true;
+
+  if (rearm != nullptr) attach(*rearm);
+}
+
+std::uint64_t Durability::wal_records_appended() const {
+  return recorder_ != nullptr ? recorder_->records_appended() : 0;
+}
+
+void Durability::sync() {
+  if (recorder_ != nullptr) recorder_->sync();
+}
+
+}  // namespace persist
+}  // namespace adsynth::graphdb

@@ -1,0 +1,172 @@
+// Durable binary snapshots + recovery orchestration for GraphStore
+// (ROADMAP item 4; DESIGN.md §3i).
+//
+// Snapshot file layout ("ADSG" format, version 1):
+//
+//   header        := magic "ADSG" (u32 LE) | format version (u32)
+//                  | section count (u32)   | crc32 of the preceding 12 B (u32)
+//   section table := section count * { id (u32) | offset (u64)
+//                                    | length (u64) | crc32 (u32) }
+//   sections      := concatenated payloads, each crc-guarded independently
+//
+// Sections (ids stable across versions; unknown ids are a loud error):
+//   1 meta          epoch, checkpoint id, schema version, record/tombstone
+//                   counts, token/index counts — cross-checked on load
+//   2 tokens        label / relationship-type / property-key name tables
+//   3 nodes         per-record: tombstone flag, version stamp, label ids,
+//                   properties (property columns, tag-encoded)
+//   4 rels          per-record: tombstone flag, version stamp, endpoints,
+//                   type, properties
+//   5 adjacency     CSR: out/in offset arrays + flat relationship ids
+//   6 label_buckets creation-ordered node ids per label
+//   7 indexes       per property index: (label, key), entry/stale counters,
+//                   buckets sorted by value key (deterministic bytes)
+//
+// Save serializes the raw representation verbatim (version stamps included),
+// so save → load → fingerprint() is bit-identical; load rebuilds the interner
+// hash maps, verifies every section CRC and the meta cross-counts, and runs
+// check_invariants() before handing the store back.  Any mismatch throws
+// PersistError naming the offending section — corrupt snapshots fail loudly,
+// they never half-load (torn-tail tolerance is the WAL's job, not the
+// snapshot's).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "graphdb/store.hpp"
+#include "graphdb/wal.hpp"
+
+namespace adsynth::graphdb::persist {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x47534441U;  // "ADSG" LE
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Thrown on any snapshot-format violation; `section()` names the part of
+/// the file that failed ("header", "section-table", "meta", "tokens",
+/// "nodes", "rels", "adjacency", "label_buckets", "indexes", "invariants").
+class PersistError : public std::runtime_error {
+ public:
+  PersistError(std::string section, const std::string& what)
+      : std::runtime_error("persist [" + section + "]: " + what),
+        section_(std::move(section)) {}
+  const std::string& section() const { return section_; }
+
+ private:
+  std::string section_;
+};
+
+/// Header metadata surfaced by load_snapshot().
+struct SnapshotInfo {
+  std::uint32_t format_version = 0;
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t node_records = 0;  // including tombstones
+  std::uint64_t rel_records = 0;
+};
+
+/// Serializes `store` to `path` (atomically replace via a temp file is the
+/// caller's job; Durability::checkpoint does it).  Throws std::logic_error
+/// while an undo scope is open and util::BinIoError on file IO failure.
+void save_snapshot(const GraphStore& store, const std::string& path,
+                   std::uint64_t checkpoint_id = 0);
+
+/// Loads a snapshot into a fresh store: validates header, section table and
+/// every section CRC, rebuilds the interner/index lookup structures, and
+/// fails loudly (PersistError) if anything — including the final
+/// check_invariants() audit — does not hold.
+GraphStore load_snapshot(const std::string& path,
+                         SnapshotInfo* info = nullptr);
+
+/// Order-sensitive 64-bit digest (FNV-1a) of the store's logical content:
+/// token tables, every record's labels/properties/tombstone flag, adjacency
+/// order, label buckets, tombstone counters and the index *schema*.
+/// Deliberately excludes MVCC version stamps and index bucket/stale
+/// internals: a WAL-replayed store carries different epoch stamps and may
+/// compact at different points than the store that wrote the log, yet holds
+/// the same committed data — fingerprints of the two must agree.  A direct
+/// save → load round-trip is verbatim, so equality there is trivial.
+std::uint64_t fingerprint(const GraphStore& store);
+
+/// What recover() found and did.
+struct RecoveryReport {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_epoch = 0;
+  std::uint64_t checkpoint_id = 0;
+  bool wal_present = false;
+  /// WAL predates the snapshot (its checkpoint id is older): ignored.
+  bool wal_stale = false;
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t wal_ops_applied = 0;
+  bool wal_tail_truncated = false;
+  std::uint64_t wal_valid_bytes = 0;
+  /// Human-readable recovery narrative (one line per decision).
+  std::string detail;
+};
+
+/// Owns one durability directory (`snapshot.adsg` + `wal.adwl` inside it)
+/// and orchestrates the recover → attach → serve → checkpoint lifecycle:
+///
+///   persist::Durability dur(dir);
+///   GraphStore store = dur.recover();     // snapshot + valid WAL prefix
+///   dur.attach(store);                    // arm WAL logging
+///   ... mutate, serve ...
+///   dur.checkpoint(store);                // new snapshot, WAL reset
+///
+/// Single-writer like the store; not thread-safe.  Durability is
+/// flush-to-OS (fflush per committed transaction): a process crash loses at
+/// most the torn tail recovery truncates; media-level sync is out of scope.
+class Durability {
+ public:
+  explicit Durability(std::string dir);
+  ~Durability();
+  Durability(const Durability&) = delete;
+  Durability& operator=(const Durability&) = delete;
+
+  /// Rebuilds the last durable state: the snapshot (empty store when none
+  /// exists yet) plus every valid WAL record carrying the snapshot's
+  /// checkpoint id, truncating a torn tail in place.  Corrupt snapshots
+  /// propagate PersistError — restore from a backup or start fresh, but
+  /// never serve silently wrong data.
+  GraphStore recover(RecoveryReport* report = nullptr);
+
+  /// Arms WAL logging on `store` (which should be the store recover()
+  /// returned, or one checkpoint() is about to baseline).  The recorder
+  /// appends where recovery left off.
+  void attach(GraphStore& store);
+
+  /// Disarms logging; the WAL file keeps its contents.
+  void detach();
+
+  /// Writes a new snapshot (temp file + atomic rename), then resets the WAL
+  /// under a bumped checkpoint id.  A crash between the two leaves a
+  /// new snapshot plus an old-id WAL, which recover() ignores as stale —
+  /// never applied twice.  Throws std::logic_error inside a transaction.
+  void checkpoint(GraphStore& store);
+
+  std::string snapshot_path() const;
+  std::string wal_path() const;
+  std::uint64_t checkpoint_id() const { return checkpoint_id_; }
+  /// Records appended since attach (token internings count too).
+  std::uint64_t wal_records_appended() const;
+  /// Flushes the recorder's stdio buffer (a no-op when detached).
+  void sync();
+
+ private:
+  void open_recorder(std::uint64_t next_sequence);
+
+  std::string dir_;
+  std::uint64_t checkpoint_id_ = 0;
+  /// Sequence the next appended record must carry (1 after a reset,
+  /// replay's next_sequence after a recover).
+  std::uint64_t next_sequence_ = 1;
+  /// Whether the on-disk WAL is positioned/valid for appending (false until
+  /// recover() or checkpoint() establishes it).
+  bool wal_ready_ = false;
+  std::unique_ptr<wal::WalRecorder> recorder_;
+  GraphStore* attached_ = nullptr;
+};
+
+}  // namespace adsynth::graphdb::persist

@@ -211,11 +211,43 @@ std::vector<NodeId> SnapshotView::find_nodes(std::string_view label,
 // GraphStore: publication and reclamation
 // --------------------------------------------------------------------------
 
+// The control block and the published view own each other while serving (a
+// reader copying `published` must get a view that can still deregister).
+// The link's destructor is the designated cycle-breaker: clear `published`
+// under the mutex, release it outside, and from then on the views drain
+// normally — the last reader's destructor frees the retired root even
+// though the store is long gone (ROADMAP item 6's LeakSanitizer class).
+void GraphStore::SnapshotLink::release() noexcept {
+  if (control == nullptr) return;
+  Snapshot dropped;
+  {
+    util::MutexLock lock(control->mutex);
+    dropped = std::move(control->published);
+  }
+  tail.reset();
+  control.reset();
+  // `dropped` releases here, after the lock: if this was the last strong
+  // reference the view destructor re-locks the mutex through its own
+  // control_ reference to deregister its epoch.
+}
+
+GraphStore::SnapshotLink::~SnapshotLink() { release(); }
+
+GraphStore::SnapshotLink& GraphStore::SnapshotLink::operator=(
+    SnapshotLink&& other) noexcept {
+  if (this != &other) {
+    release();  // a move-assigned-over store must not leak its old chain
+    control = std::move(other.control);
+    tail = std::move(other.tail);
+  }
+  return *this;
+}
+
 Snapshot GraphStore::snapshot() {
-  if (snapshot_control_) {
-    util::MutexLock lock(snapshot_control_->mutex);
-    if (snapshot_control_->published != nullptr) {
-      return snapshot_control_->published;
+  if (snap_.control) {
+    util::MutexLock lock(snap_.control->mutex);
+    if (snap_.control->published != nullptr) {
+      return snap_.control->published;
     }
   }
   return materialize_root();
@@ -230,8 +262,8 @@ Snapshot GraphStore::materialize_root() {
   }
   ADSYNTH_SPAN("graphdb.snapshot.materialize");
   ADSYNTH_METRIC_COUNT("graphdb.snapshot.roots", 1);
-  if (!snapshot_control_) {
-    snapshot_control_ = std::make_shared<detail::SnapshotControl>();
+  if (!snap_.control) {
+    snap_.control = std::make_shared<detail::SnapshotControl>();
   }
   const std::uint64_t epoch = ++epoch_;
 
@@ -251,7 +283,7 @@ Snapshot GraphStore::materialize_root() {
 
   std::shared_ptr<SnapshotView> view(new SnapshotView());
   view->root_ = std::move(root);
-  view->control_ = snapshot_control_;
+  view->control_ = snap_.control;
   view->epoch_ = epoch;
   view->node_limit_ = static_cast<NodeId>(nodes_.size());
   view->rel_limit_ = static_cast<RelId>(rels_.size());
@@ -268,13 +300,13 @@ Snapshot GraphStore::materialize_root() {
   Snapshot published = std::move(view);
   Snapshot replaced;
   {
-    util::MutexLock lock(snapshot_control_->mutex);
-    replaced = std::move(snapshot_control_->published);
-    snapshot_control_->published = published;
-    ++snapshot_control_->published_views;
-    ++snapshot_control_->live[epoch];
+    util::MutexLock lock(snap_.control->mutex);
+    replaced = std::move(snap_.control->published);
+    snap_.control->published = published;
+    ++snap_.control->published_views;
+    ++snap_.control->live[epoch];
   }
-  published_tail_ = published;
+  snap_.tail = published;
   // `replaced` (normally null here — materialize follows invalidation)
   // dies after the lock: a view destructor re-locks the control mutex.
   return published;
@@ -282,7 +314,7 @@ Snapshot GraphStore::materialize_root() {
 
 void GraphStore::publish_delta() {
   ADSYNTH_SPAN("graphdb.snapshot.publish");
-  const Snapshot prev = published_tail_;
+  const Snapshot prev = snap_.tail;
 
   // The undo log of the just-committed batch names exactly the records the
   // batch touched — the inverse records double as the version chain.
@@ -331,7 +363,7 @@ void GraphStore::publish_delta() {
 
   std::shared_ptr<SnapshotView> view(new SnapshotView());
   view->root_ = prev->root_;
-  view->control_ = snapshot_control_;
+  view->control_ = snap_.control;
   view->epoch_ = ++epoch_;
   view->node_limit_ = static_cast<NodeId>(nodes_.size());
   view->rel_limit_ = static_cast<RelId>(rels_.size());
@@ -372,13 +404,13 @@ void GraphStore::publish_delta() {
   Snapshot published = std::move(view);
   Snapshot replaced;
   {
-    util::MutexLock lock(snapshot_control_->mutex);
-    replaced = std::move(snapshot_control_->published);
-    snapshot_control_->published = published;
-    ++snapshot_control_->published_views;
-    ++snapshot_control_->live[published->epoch()];
+    util::MutexLock lock(snap_.control->mutex);
+    replaced = std::move(snap_.control->published);
+    snap_.control->published = published;
+    ++snap_.control->published_views;
+    ++snap_.control->live[published->epoch()];
   }
-  published_tail_ = std::move(published);
+  snap_.tail = std::move(published);
   // `replaced` and `prev` release after the lock; if no reader holds the
   // predecessor its destructor re-locks the mutex to deregister.
 }
@@ -387,26 +419,26 @@ void GraphStore::invalidate_published() {
   ADSYNTH_METRIC_COUNT("graphdb.snapshot.invalidations", 1);
   Snapshot dropped;
   {
-    util::MutexLock lock(snapshot_control_->mutex);
-    dropped = std::move(snapshot_control_->published);
+    util::MutexLock lock(snap_.control->mutex);
+    dropped = std::move(snap_.control->published);
   }
-  published_tail_.reset();
+  snap_.tail.reset();
   // `dropped` releases outside the lock (destructor re-locks).
 }
 
 SnapshotStats GraphStore::snapshot_stats() const {
   SnapshotStats stats;
   stats.current_epoch = epoch_;
-  if (!snapshot_control_) return stats;
-  util::MutexLock lock(snapshot_control_->mutex);
-  stats.published_views = snapshot_control_->published_views;
-  stats.reclaimed_views = snapshot_control_->reclaimed_views;
-  for (const auto& [epoch, count] : snapshot_control_->live) {
+  if (!snap_.control) return stats;
+  util::MutexLock lock(snap_.control->mutex);
+  stats.published_views = snap_.control->published_views;
+  stats.reclaimed_views = snap_.control->reclaimed_views;
+  for (const auto& [epoch, count] : snap_.control->live) {
     (void)epoch;
     stats.live_views += count;
   }
-  if (!snapshot_control_->live.empty()) {
-    stats.oldest_live_epoch = snapshot_control_->live.begin()->first;
+  if (!snap_.control->live.empty()) {
+    stats.oldest_live_epoch = snap_.control->live.begin()->first;
   }
   return stats;
 }
@@ -440,18 +472,18 @@ void GraphStore::audit_snapshots(InvariantReport& report, bool require_at_rest,
     }
   }
 
-  if (!snapshot_control_) return;
+  if (!snap_.control) return;
 
   Snapshot published;
   std::uint64_t published_views = 0;
   std::uint64_t reclaimed_views = 0;
   std::map<std::uint64_t, std::size_t> live;
   {
-    util::MutexLock lock(snapshot_control_->mutex);
-    published = snapshot_control_->published;
-    published_views = snapshot_control_->published_views;
-    reclaimed_views = snapshot_control_->reclaimed_views;
-    live = snapshot_control_->live;
+    util::MutexLock lock(snap_.control->mutex);
+    published = snap_.control->published;
+    published_views = snap_.control->published_views;
+    reclaimed_views = snap_.control->reclaimed_views;
+    live = snap_.control->live;
   }
 
   // Registry accounting: every published view is either reclaimed or still
@@ -475,7 +507,7 @@ void GraphStore::audit_snapshots(InvariantReport& report, bool require_at_rest,
         " - reclaimed " + std::to_string(reclaimed_views) + " != " +
         std::to_string(live_total) + " live registrations");
   }
-  if (published != published_tail_) {
+  if (published != snap_.tail) {
     add("snapshot registry: control-block published view diverges from the "
         "writer tail");
   }

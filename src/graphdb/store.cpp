@@ -43,18 +43,35 @@ std::optional<std::uint32_t> GraphStore::Interner::find(
   return it->second;
 }
 
+// The intern hooks compare the table size around the intern so the WAL only
+// records genuinely fresh tokens (one extra size_t read, not a second hash
+// probe — intern_key sits on the set_node_property hot path).
 LabelId GraphStore::intern_label(std::string_view name) {
+  const std::size_t before = labels_.names.size();
   const LabelId id = labels_.intern(name);
   if (id >= label_buckets_.size()) label_buckets_.resize(id + 1);
+  if (wal_ != nullptr && labels_.names.size() != before) {
+    wal_->wal_intern_label(name);
+  }
   return id;
 }
 
 RelTypeId GraphStore::intern_rel_type(std::string_view name) {
-  return rel_types_.intern(name);
+  const std::size_t before = rel_types_.names.size();
+  const RelTypeId id = rel_types_.intern(name);
+  if (wal_ != nullptr && rel_types_.names.size() != before) {
+    wal_->wal_intern_rel_type(name);
+  }
+  return id;
 }
 
 PropertyKeyId GraphStore::intern_key(std::string_view name) {
-  return keys_.intern(name);
+  const std::size_t before = keys_.names.size();
+  const PropertyKeyId id = keys_.intern(name);
+  if (wal_ != nullptr && keys_.names.size() != before) {
+    wal_->wal_intern_key(name);
+  }
+  return id;
 }
 
 const std::string& GraphStore::label_name(LabelId id) const {
@@ -125,6 +142,9 @@ NodeId GraphStore::create_node_interned(std::vector<LabelId> labels,
     op.id = id;
     undo_log_.push_back(std::move(op));
   }
+  if (wal_ != nullptr) {
+    wal_->wal_create_node(nodes_.back().labels, nodes_.back().properties);
+  }
   return id;
 }
 
@@ -160,6 +180,9 @@ RelId GraphStore::create_relationship_interned(NodeId source, NodeId target,
   nodes_[source].mutated_epoch = pending_epoch();
   nodes_[target].in_rels.push_back(id);
   nodes_[target].mutated_epoch = pending_epoch();
+  if (wal_ != nullptr) {
+    wal_->wal_create_rel(source, target, type, rels_.back().properties);
+  }
   return id;
 }
 
@@ -197,6 +220,10 @@ void GraphStore::set_node_property(NodeId node, std::string_view key,
     if (had_old) ++idx.stale;
   }
   index_node_key(node, key_id);
+  if (wal_ != nullptr) {
+    wal_->wal_set_property(node, key_id,
+                           *get_property(nodes_[node].properties, key_id));
+  }
   maybe_compact();
 }
 
@@ -214,6 +241,7 @@ void GraphStore::delete_relationship(RelId rel) {
     rels_[rel].deleted = true;
     rels_[rel].mutated_epoch = pending_epoch();
     ++deleted_rels_;
+    if (wal_ != nullptr) wal_->wal_delete_rel(rel);
   }
 }
 
@@ -254,6 +282,10 @@ void GraphStore::delete_node(NodeId node, bool detach) {
     op.old_epoch = pre_delete_epoch;
     undo_log_.push_back(std::move(op));
   }
+  // The detach loop above already logged one wal_delete_rel per tombstoned
+  // incident relationship; replaying those before this op reproduces the
+  // exact detach order.
+  if (wal_ != nullptr) wal_->wal_delete_node(node);
   maybe_compact();
 }
 
@@ -317,7 +349,7 @@ void GraphStore::create_index(std::string_view label, std::string_view key) {
   // epoch picks the index up.
   note_unscoped_mutation();
   const LabelId l = intern_label(label);
-  const PropertyKeyId k = keys_.intern(key);
+  const PropertyKeyId k = intern_key(key);  // via the hook: WAL sees tokens
   for (const auto& idx : indexes_) {
     if (idx.label == l && idx.key == k) return;
   }
@@ -333,6 +365,7 @@ void GraphStore::create_index(std::string_view label, std::string_view key) {
   }
   indexes_.push_back(std::move(idx));
   ++schema_version_;
+  if (wal_ != nullptr) wal_->wal_create_index(l, k);
 }
 
 std::size_t GraphStore::label_cardinality(std::string_view label) const {
@@ -488,6 +521,7 @@ void GraphStore::unindex_node_key(NodeId id, PropertyKeyId key) {
 
 std::size_t GraphStore::begin_undo_scope() {
   scope_marks_.push_back(undo_log_.size());
+  if (wal_ != nullptr) wal_->wal_begin_scope();
   return scope_marks_.size();
 }
 
@@ -502,9 +536,13 @@ void GraphStore::commit_scope() {
   // (the vector keeps its capacity, bounded by the largest committed
   // batch).  An empty log publishes nothing: no mutations, no new epoch.
   if (scope_marks_.empty()) {
-    if (published_tail_ != nullptr && !undo_log_.empty()) publish_delta();
+    if (snap_.tail != nullptr && !undo_log_.empty()) publish_delta();
     undo_log_.clear();
   }
+  // After the store-side commit: the sink flushes the batch to disk when
+  // this pop reached depth 0 (a WAL-flush failure then surfaces after the
+  // in-memory commit, which the durability layer documents).
+  if (wal_ != nullptr) wal_->wal_commit_scope();
 }
 
 void GraphStore::abort_scope() {
@@ -522,6 +560,9 @@ void GraphStore::abort_scope() {
   }
   scope_marks_.pop_back();
   ADSYNTH_METRIC_COUNT("graphdb.undo.ops_replayed", replayed);
+  // undo() mutates internals directly, so the replay above recorded nothing;
+  // the sink just discards the ops buffered since the matching begin.
+  if (wal_ != nullptr) wal_->wal_abort_scope();
 }
 
 void GraphStore::undo(const UndoOp& op) {

@@ -49,6 +49,40 @@ using Snapshot = std::shared_ptr<const SnapshotView>;
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 inline constexpr RelId kNoRel = std::numeric_limits<RelId>::max();
 
+/// Write-ahead-log hook.  When a sink is attached (GraphStore::attach_wal)
+/// every successful mutation reports its *forward* logical operation here —
+/// the durable mirror of the undo log's inverse records.  Token interning is
+/// reported eagerly (like Neo4j token creation it survives a rollback, so
+/// the sink must flush it independently of the enclosing scope); data
+/// mutations are buffered by the sink and become durable when the outermost
+/// scope commits (wal_commit_scope at depth 0) or immediately when no scope
+/// is open.  graphdb/wal.hpp provides the file-backed implementation.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  // Token creation — called only when the name was actually fresh.
+  virtual void wal_intern_label(std::string_view name) = 0;
+  virtual void wal_intern_rel_type(std::string_view name) = 0;
+  virtual void wal_intern_key(std::string_view name) = 0;
+  // Data mutations — called after the store mutation fully succeeded, with
+  // the canonical post-mutation values (labels sorted/deduped, final
+  // property value after no-op elision).
+  virtual void wal_create_node(const std::vector<LabelId>& labels,
+                               const PropertyList& properties) = 0;
+  virtual void wal_create_rel(NodeId source, NodeId target, RelTypeId type,
+                              const PropertyList& properties) = 0;
+  virtual void wal_set_property(NodeId node, PropertyKeyId key,
+                                const PropertyValue& value) = 0;
+  virtual void wal_delete_rel(RelId rel) = 0;
+  virtual void wal_delete_node(NodeId node) = 0;
+  // Schema — always outside any scope (create_index rejects open scopes).
+  virtual void wal_create_index(LabelId label, PropertyKeyId key) = 0;
+  // Scope mirroring, matched 1:1 with the store's undo scopes.
+  virtual void wal_begin_scope() = 0;
+  virtual void wal_commit_scope() = 0;
+  virtual void wal_abort_scope() = 0;
+};
+
 /// A stored node: labels plus properties.  Nodes can carry multiple labels
 /// like Neo4j (BloodHound uses e.g. ["Base", "User"]).
 struct NodeRecord {
@@ -77,6 +111,9 @@ struct RelRecord {
 class GraphStore {
  public:
   GraphStore() = default;
+  /// Defaulted member-wise destruction; the snapshot link member breaks the
+  /// control-block ownership cycle on the way out (see SnapshotLink).
+  ~GraphStore() = default;
 
   // Not copyable (potentially gigabytes); movable.
   GraphStore(const GraphStore&) = delete;
@@ -236,6 +273,14 @@ class GraphStore {
   /// snapshot() call).  Thread-safe.
   SnapshotStats snapshot_stats() const;
 
+  // --- durability (graphdb/persist.hpp, graphdb/wal.hpp) ------------------
+  /// Attaches a write-ahead-log sink (nullptr detaches).  Mutations from
+  /// then on report their forward ops to the sink; see WalSink for the
+  /// flush contract.  The sink must outlive the attachment.  Writer-thread
+  /// only, like every mutation.
+  void attach_wal(WalSink* sink) { wal_ = sink; }
+  WalSink* wal_sink() const { return wal_; }
+
   // --- invariants ---------------------------------------------------------
   /// Result of check_invariants(); empty `violations` means consistent.
   struct InvariantReport {
@@ -280,6 +325,12 @@ class GraphStore {
   /// rows, dangling tombstone edges) and asserts check_invariants() names
   /// each one.  Never defined in library code.
   friend struct StoreTestAccess;
+
+  /// Persistence backdoor: src/graphdb/persist.cpp reaches through this
+  /// friend to serialize the raw representation (record vectors, buckets,
+  /// index tables, interners, epoch metadata) and to reassemble a loaded
+  /// store without replaying every mutation.  Defined only in persist.cpp.
+  friend struct PersistAccess;
 
   struct Interner {
     std::vector<std::string> names;
@@ -350,7 +401,7 @@ class GraphStore {
   /// delta from — so it is dropped and the next snapshot() re-roots.
   /// Inlined because it guards every mutation on the generator fast path.
   void note_unscoped_mutation() {
-    if (published_tail_ != nullptr && !recording()) invalidate_published();
+    if (snap_.tail != nullptr && !recording()) invalidate_published();
   }
   void invalidate_published();
   /// Copies the live store into a fresh snapshot root and publishes it.
@@ -389,13 +440,37 @@ class GraphStore {
   /// publishes (commit/materialize) advance it, so aborted batches reuse
   /// their stamp value — harmless, the stamps they wrote are restored.
   std::uint64_t epoch_ = 0;
-  /// Heap block shared with every view (keeps GraphStore movable and lets
-  /// views outlive the store); allocated lazily on first snapshot().
-  std::shared_ptr<detail::SnapshotControl> snapshot_control_;
-  /// Writer-side strong reference to the currently published view — the
-  /// base the next publish_delta() extends.  Mirrors
-  /// snapshot_control_->published (which readers copy under the mutex).
-  Snapshot published_tail_;
+  /// The store's link to its published snapshot chain.  `control` is the
+  /// heap block shared with every view (keeps GraphStore movable and lets
+  /// views outlive the store; allocated lazily on first snapshot());
+  /// `tail` is the writer-side strong reference to the currently published
+  /// view — the base the next publish_delta() extends, mirroring
+  /// control->published (which readers copy under the mutex).
+  ///
+  /// The published view strongly references the control block
+  /// (SnapshotView::control_, needed to deregister) and the control block
+  /// strongly references the published view — a deliberate shared_ptr
+  /// cycle while serving.  The store is the only party that can break it:
+  /// SnapshotLink's destructor and move-assignment clear control->published
+  /// so the last outstanding reader release actually frees retired roots
+  /// even when the store died first (the LeakSanitizer class of ROADMAP
+  /// item 6).  Bodies in snapshot.cpp.
+  struct SnapshotLink {
+    std::shared_ptr<detail::SnapshotControl> control;
+    Snapshot tail;
+    SnapshotLink() = default;
+    SnapshotLink(const SnapshotLink&) = delete;
+    SnapshotLink& operator=(const SnapshotLink&) = delete;
+    SnapshotLink(SnapshotLink&&) noexcept = default;
+    SnapshotLink& operator=(SnapshotLink&& other) noexcept;
+    ~SnapshotLink();
+    /// Drops the published view (under the control mutex, releasing it
+    /// outside) and the writer tail, severing the cycle.
+    void release() noexcept;
+  };
+  SnapshotLink snap_;
+  /// Attached write-ahead-log sink; nullptr when durability is off.
+  WalSink* wal_ = nullptr;
 };
 
 /// Inserts or replaces `value` under `key` in a sorted PropertyList.

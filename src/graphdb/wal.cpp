@@ -1,0 +1,481 @@
+#include "graphdb/wal.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/trace.hpp"
+
+namespace adsynth::graphdb::wal {
+
+namespace {
+
+/// PropertyValue tag bytes (shared with the snapshot format).
+enum class ValueTag : std::uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kStringList = 5,
+};
+
+std::string encode_header(std::uint64_t checkpoint_id) {
+  util::ByteWriter header;
+  header.u32(kWalMagic);
+  header.u32(kWalFormatVersion);
+  header.u64(checkpoint_id);
+  header.u32(util::crc32(header.buffer()));
+  return header.take();
+}
+
+/// Parses a header buffer; returns false on any mismatch.
+bool parse_header(std::string_view bytes, std::uint64_t& checkpoint_id) {
+  if (bytes.size() < kWalHeaderBytes) return false;
+  util::ByteReader reader(bytes.substr(0, kWalHeaderBytes));
+  const std::uint32_t magic = reader.u32();
+  const std::uint32_t version = reader.u32();
+  const std::uint64_t id = reader.u64();
+  const std::uint32_t crc = reader.u32();
+  if (magic != kWalMagic || version != kWalFormatVersion) return false;
+  if (crc != util::crc32(bytes.substr(0, kWalHeaderBytes - 4))) return false;
+  checkpoint_id = id;
+  return true;
+}
+
+}  // namespace
+
+void encode_value(util::ByteWriter& out, const PropertyValue& value) {
+  if (value.is_null()) {
+    out.u8(static_cast<std::uint8_t>(ValueTag::kNull));
+  } else if (value.is_bool()) {
+    out.u8(static_cast<std::uint8_t>(ValueTag::kBool));
+    out.u8(value.as_bool() ? 1 : 0);
+  } else if (value.is_int()) {
+    out.u8(static_cast<std::uint8_t>(ValueTag::kInt));
+    out.i64(value.as_int());
+  } else if (value.is_double()) {
+    out.u8(static_cast<std::uint8_t>(ValueTag::kDouble));
+    out.f64(value.as_double());
+  } else if (value.is_string()) {
+    out.u8(static_cast<std::uint8_t>(ValueTag::kString));
+    out.str(value.as_string());
+  } else {
+    out.u8(static_cast<std::uint8_t>(ValueTag::kStringList));
+    const auto& list = value.as_string_list();
+    out.u32(static_cast<std::uint32_t>(list.size()));
+    for (const auto& s : list) out.str(s);
+  }
+}
+
+PropertyValue decode_value(util::ByteReader& in) {
+  switch (static_cast<ValueTag>(in.u8())) {
+    case ValueTag::kNull:
+      return PropertyValue(nullptr);
+    case ValueTag::kBool:
+      return PropertyValue(in.u8() != 0);
+    case ValueTag::kInt:
+      return PropertyValue(in.i64());
+    case ValueTag::kDouble:
+      return PropertyValue(in.f64());
+    case ValueTag::kString:
+      return PropertyValue(in.str());
+    case ValueTag::kStringList: {
+      const std::uint32_t count = in.u32();
+      std::vector<std::string> list;
+      list.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) list.push_back(in.str());
+      return PropertyValue(std::move(list));
+    }
+  }
+  throw util::BinIoError("wal: unknown property-value tag");
+}
+
+void encode_properties(util::ByteWriter& out, const PropertyList& properties) {
+  out.u32(static_cast<std::uint32_t>(properties.size()));
+  for (const auto& [key, value] : properties) {
+    out.u32(key);
+    encode_value(out, value);
+  }
+}
+
+PropertyList decode_properties(util::ByteReader& in) {
+  const std::uint32_t count = in.u32();
+  PropertyList properties;
+  properties.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const PropertyKeyId key = in.u32();
+    properties.emplace_back(key, decode_value(in));
+  }
+  return properties;
+}
+
+// --------------------------------------------------------------------------
+// Header management
+// --------------------------------------------------------------------------
+
+void reset_wal(const std::string& path, std::uint64_t checkpoint_id) {
+  util::CheckedFile file = util::CheckedFile::open_write(path);
+  file.write(encode_header(checkpoint_id));
+  file.flush();
+  file.close();
+}
+
+bool read_wal_header(const std::string& path, std::uint64_t& checkpoint_id) {
+  util::CheckedFile file;
+  try {
+    file = util::CheckedFile::open_read(path);
+  } catch (const util::BinIoError&) {
+    return false;  // no file — no log
+  }
+  std::string header(kWalHeaderBytes, '\0');
+  if (file.read_up_to(header.data(), header.size()) != header.size()) {
+    return false;
+  }
+  return parse_header(header, checkpoint_id);
+}
+
+// --------------------------------------------------------------------------
+// WalRecorder
+// --------------------------------------------------------------------------
+
+WalRecorder::WalRecorder(util::CheckedFile file, std::uint64_t next_sequence)
+    : file_(std::move(file)), sequence_(next_sequence) {}
+
+void WalRecorder::append_record(std::string_view encoded,
+                                std::uint32_t op_count) {
+  ADSYNTH_METRIC_COUNT("graphdb.wal.records", 1);
+  util::ByteWriter payload;
+  payload.u64(sequence_);
+  payload.u32(op_count);
+  payload.bytes(encoded.data(), encoded.size());
+
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(util::crc32(payload.buffer()));
+  file_.write(frame.buffer());
+  file_.write(payload.buffer());
+  // One fflush per committed transaction: a crash loses only the suffix the
+  // OS had not persisted, which recovery truncates as a torn tail.
+  file_.flush();
+  ++sequence_;
+  ++appended_;
+}
+
+void WalRecorder::finish_op() {
+  ++buffered_ops_;
+  if (marks_.empty()) {
+    // No open scope: the mutation is already final in the store, so it is
+    // its own single-op transaction.
+    append_record(ops_.buffer(), buffered_ops_);
+    ops_.clear();
+    buffered_ops_ = 0;
+  }
+}
+
+void WalRecorder::wal_intern_label(std::string_view name) {
+  // Token creation survives rollback, so interning flushes its own record
+  // immediately instead of riding (and possibly dying with) the open scope.
+  util::ByteWriter op;
+  op.u8(static_cast<std::uint8_t>(OpKind::kInternLabel));
+  op.str(name);
+  append_record(op.buffer(), 1);
+}
+
+void WalRecorder::wal_intern_rel_type(std::string_view name) {
+  util::ByteWriter op;
+  op.u8(static_cast<std::uint8_t>(OpKind::kInternRelType));
+  op.str(name);
+  append_record(op.buffer(), 1);
+}
+
+void WalRecorder::wal_intern_key(std::string_view name) {
+  util::ByteWriter op;
+  op.u8(static_cast<std::uint8_t>(OpKind::kInternKey));
+  op.str(name);
+  append_record(op.buffer(), 1);
+}
+
+void WalRecorder::wal_create_node(const std::vector<LabelId>& labels,
+                                  const PropertyList& properties) {
+  ops_.u8(static_cast<std::uint8_t>(OpKind::kCreateNode));
+  ops_.u32(static_cast<std::uint32_t>(labels.size()));
+  for (const LabelId l : labels) ops_.u32(l);
+  encode_properties(ops_, properties);
+  finish_op();
+}
+
+void WalRecorder::wal_create_rel(NodeId source, NodeId target, RelTypeId type,
+                                 const PropertyList& properties) {
+  ops_.u8(static_cast<std::uint8_t>(OpKind::kCreateRel));
+  ops_.u32(source);
+  ops_.u32(target);
+  ops_.u32(type);
+  encode_properties(ops_, properties);
+  finish_op();
+}
+
+void WalRecorder::wal_set_property(NodeId node, PropertyKeyId key,
+                                   const PropertyValue& value) {
+  ops_.u8(static_cast<std::uint8_t>(OpKind::kSetProperty));
+  ops_.u32(node);
+  ops_.u32(key);
+  encode_value(ops_, value);
+  finish_op();
+}
+
+void WalRecorder::wal_delete_rel(RelId rel) {
+  ops_.u8(static_cast<std::uint8_t>(OpKind::kDeleteRel));
+  ops_.u32(rel);
+  finish_op();
+}
+
+void WalRecorder::wal_delete_node(NodeId node) {
+  ops_.u8(static_cast<std::uint8_t>(OpKind::kDeleteNode));
+  ops_.u32(node);
+  finish_op();
+}
+
+void WalRecorder::wal_create_index(LabelId label, PropertyKeyId key) {
+  // Schema ops are rejected inside scopes by the store, so this is always a
+  // single-op transaction of its own.
+  util::ByteWriter op;
+  op.u8(static_cast<std::uint8_t>(OpKind::kCreateIndex));
+  op.u32(label);
+  op.u32(key);
+  append_record(op.buffer(), 1);
+}
+
+void WalRecorder::wal_begin_scope() {
+  marks_.push_back(Mark{ops_.size(), buffered_ops_});
+}
+
+void WalRecorder::wal_commit_scope() {
+  if (marks_.empty()) {
+    throw std::logic_error("wal: commit without an open scope");
+  }
+  marks_.pop_back();
+  // Inner commits fold into the parent (the ops stay buffered); the
+  // outermost commit makes the whole batch durable as one record.
+  if (marks_.empty() && buffered_ops_ > 0) {
+    append_record(ops_.buffer(), buffered_ops_);
+    ops_.clear();
+    buffered_ops_ = 0;
+  }
+}
+
+void WalRecorder::wal_abort_scope() {
+  if (marks_.empty()) {
+    throw std::logic_error("wal: abort without an open scope");
+  }
+  const Mark mark = marks_.back();
+  marks_.pop_back();
+  ops_.truncate(mark.bytes);
+  buffered_ops_ = mark.ops;
+}
+
+// --------------------------------------------------------------------------
+// Replay
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// One decoded forward op, ready to apply.
+struct DecodedOp {
+  OpKind kind;
+  std::string name;             // intern ops
+  std::vector<LabelId> labels;  // create node
+  PropertyList properties;      // create node / create rel
+  std::uint32_t a = 0;          // node / rel / source id
+  std::uint32_t b = 0;          // target / key id
+  std::uint32_t c = 0;          // rel type id
+  PropertyValue value;          // set property
+};
+
+DecodedOp decode_op(util::ByteReader& in) {
+  DecodedOp op;
+  op.kind = static_cast<OpKind>(in.u8());
+  switch (op.kind) {
+    case OpKind::kInternLabel:
+    case OpKind::kInternRelType:
+    case OpKind::kInternKey:
+      op.name = in.str();
+      return op;
+    case OpKind::kCreateNode: {
+      const std::uint32_t count = in.u32();
+      op.labels.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) op.labels.push_back(in.u32());
+      op.properties = decode_properties(in);
+      return op;
+    }
+    case OpKind::kCreateRel:
+      op.a = in.u32();
+      op.b = in.u32();
+      op.c = in.u32();
+      op.properties = decode_properties(in);
+      return op;
+    case OpKind::kSetProperty:
+      op.a = in.u32();
+      op.b = in.u32();
+      op.value = decode_value(in);
+      return op;
+    case OpKind::kDeleteRel:
+    case OpKind::kDeleteNode:
+      op.a = in.u32();
+      return op;
+    case OpKind::kCreateIndex:
+      op.a = in.u32();
+      op.b = in.u32();
+      return op;
+  }
+  throw util::BinIoError("wal: unknown op kind " +
+                         std::to_string(static_cast<unsigned>(op.kind)));
+}
+
+void apply_op(GraphStore& store, const DecodedOp& op) {
+  switch (op.kind) {
+    case OpKind::kInternLabel:
+      store.intern_label(op.name);
+      return;
+    case OpKind::kInternRelType:
+      store.intern_rel_type(op.name);
+      return;
+    case OpKind::kInternKey:
+      store.intern_key(op.name);
+      return;
+    case OpKind::kCreateNode:
+      store.create_node_interned(op.labels, op.properties);
+      return;
+    case OpKind::kCreateRel:
+      store.create_relationship_interned(op.a, op.b, op.c, op.properties);
+      return;
+    case OpKind::kSetProperty:
+      store.set_node_property(op.a, store.key_name(op.b), op.value);
+      return;
+    case OpKind::kDeleteRel:
+      store.delete_relationship(op.a);
+      return;
+    case OpKind::kDeleteNode:
+      // Incident live relationships were tombstoned by the preceding
+      // kDeleteRel ops the original detach emitted, so a plain delete lands.
+      store.delete_node(op.a, /*detach=*/false);
+      return;
+    case OpKind::kCreateIndex:
+      store.create_index(store.label_name(op.a), store.key_name(op.b));
+      return;
+  }
+  throw util::BinIoError("wal: unknown op kind in apply");
+}
+
+}  // namespace
+
+ReplayResult replay_wal(const std::string& path, GraphStore& store) {
+  if (store.wal_sink() != nullptr) {
+    throw std::logic_error(
+        "wal: replay onto a store with an attached sink would re-log every "
+        "replayed op; detach first");
+  }
+  ADSYNTH_SPAN("graphdb.wal.replay");
+  ReplayResult result;
+
+  util::CheckedFile file = util::CheckedFile::open_read(path);
+  const std::uint64_t file_size = file.size();
+  std::string contents(file_size, '\0');
+  file.read(contents.data(), contents.size());
+  file.close();
+
+  std::uint64_t checkpoint_id = 0;
+  if (!parse_header(contents, checkpoint_id)) {
+    result.truncated_tail = true;
+    result.tail_reason = "invalid header";
+    result.valid_bytes = 0;
+    return result;
+  }
+
+  std::uint64_t boundary = kWalHeaderBytes;
+  std::uint64_t expected_sequence = 1;
+  const auto torn = [&](std::string reason) {
+    result.truncated_tail = true;
+    result.tail_reason = std::move(reason);
+    result.valid_bytes = boundary;
+    result.next_sequence = expected_sequence;
+    return result;
+  };
+
+  while (boundary < file_size) {
+    if (file_size - boundary < 8) {
+      return torn("truncated frame header at offset " +
+                  std::to_string(boundary));
+    }
+    util::ByteReader frame(
+        std::string_view(contents).substr(boundary, file_size - boundary));
+    const std::uint32_t length = frame.u32();
+    const std::uint32_t crc = frame.u32();
+    if (file_size - boundary - 8 < length) {
+      return torn("record length " + std::to_string(length) +
+                  " runs past file end at offset " + std::to_string(boundary));
+    }
+    const std::string_view payload =
+        std::string_view(contents).substr(boundary + 8, length);
+    if (util::crc32(payload) != crc) {
+      return torn("record CRC mismatch at offset " + std::to_string(boundary));
+    }
+
+    // Decode the whole record before touching the store, so bad bytes never
+    // leave a half-applied transaction behind.
+    std::vector<DecodedOp> ops;
+    try {
+      util::ByteReader body(payload);
+      const std::uint64_t sequence = body.u64();
+      if (sequence != expected_sequence) {
+        return torn("sequence break at offset " + std::to_string(boundary) +
+                    " (record " + std::to_string(sequence) + ", expected " +
+                    std::to_string(expected_sequence) + ")");
+      }
+      const std::uint32_t op_count = body.u32();
+      ops.reserve(op_count);
+      for (std::uint32_t i = 0; i < op_count; ++i) {
+        ops.push_back(decode_op(body));
+      }
+      if (!body.at_end()) {
+        return torn("trailing bytes inside record at offset " +
+                    std::to_string(boundary));
+      }
+    } catch (const util::BinIoError& err) {
+      return torn(std::string("undecodable record at offset ") +
+                  std::to_string(boundary) + ": " + err.what());
+    }
+
+    // Multi-op records were one committed transaction; replay them under an
+    // undo scope so a failing op rolls the whole record back.  Single-op
+    // records apply directly (store mutators validate before side effects,
+    // and schema ops reject scopes).
+    try {
+      if (ops.size() > 1) {
+        store.begin_undo_scope();
+        try {
+          for (const DecodedOp& op : ops) apply_op(store, op);
+        } catch (...) {
+          store.abort_scope();
+          throw;
+        }
+        store.commit_scope();
+      } else {
+        for (const DecodedOp& op : ops) apply_op(store, op);
+      }
+    } catch (const std::exception& err) {
+      return torn(std::string("record failed to apply at offset ") +
+                  std::to_string(boundary) + ": " + err.what());
+    }
+
+    ++result.records;
+    result.ops += ops.size();
+    ++expected_sequence;
+    boundary += 8 + length;
+  }
+
+  result.valid_bytes = boundary;
+  result.next_sequence = expected_sequence;
+  return result;
+}
+
+}  // namespace adsynth::graphdb::wal

@@ -1,0 +1,148 @@
+// Durable write-ahead log for GraphStore — the PR 2 in-memory CommitRecord
+// ring generalized to a file (ROADMAP item 4).
+//
+// File layout:
+//
+//   header   := magic "ADWL" (u32 LE) | format version (u32)
+//             | checkpoint id (u64)   | crc32 of the preceding 16 bytes (u32)
+//   record   := payload length (u32)  | crc32 of payload (u32) | payload
+//   payload  := sequence (u64) | op count (u32) | op*
+//   op       := kind (u8) | kind-specific fields (see OpKind)
+//
+// One record is one committed transaction (or one unscoped mutation, or one
+// eagerly-flushed token interning).  Records carry a dense sequence number
+// starting at 1 after every checkpoint; the header's checkpoint id ties the
+// log to the snapshot it extends — a WAL whose id differs from the loaded
+// snapshot's is stale (it predates the checkpoint that wrote the snapshot)
+// and is ignored wholesale on recovery.
+//
+// Torn-tail policy: replay stops at the first record whose length runs past
+// the file, whose CRC mismatches, or whose sequence breaks the dense chain,
+// and reports the byte offset of the last valid boundary; the recovery
+// driver truncates there and serving resumes.  Corruption *before* the tail
+// cannot be distinguished from a torn write by construction (each record is
+// independently guarded), so the same truncation applies — everything after
+// the first bad record is discarded.
+//
+// WalRecorder is the WalSink the store's mutation hooks feed (see
+// store.hpp): token interning flushes its own record immediately (interning
+// survives rollback), data ops buffer in memory and flush as one record at
+// the outermost commit, scope aborts truncate the buffer back to the
+// matching mark.  Single-writer, like the store itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphdb/store.hpp"
+#include "util/binio.hpp"
+
+namespace adsynth::graphdb::wal {
+
+inline constexpr std::uint32_t kWalMagic = 0x4C574441U;  // "ADWL" little-endian
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+/// magic + version + checkpoint id + header crc.
+inline constexpr std::uint64_t kWalHeaderBytes = 4 + 4 + 8 + 4;
+
+/// Forward logical operations, mirroring the WalSink hooks.
+enum class OpKind : std::uint8_t {
+  kInternLabel = 1,    // str name
+  kInternRelType = 2,  // str name
+  kInternKey = 3,      // str name
+  kCreateNode = 4,     // u32 label count, label ids, props
+  kCreateRel = 5,      // u32 source, u32 target, u32 type, props
+  kSetProperty = 6,    // u32 node, u32 key, value
+  kDeleteRel = 7,      // u32 rel
+  kDeleteNode = 8,     // u32 node
+  kCreateIndex = 9,    // u32 label, u32 key
+};
+
+/// Writes the 16-byte header of a fresh (empty) WAL for `checkpoint_id`,
+/// truncating whatever was there.
+void reset_wal(const std::string& path, std::uint64_t checkpoint_id);
+
+/// Reads and validates a WAL header.  Returns false (and leaves
+/// `checkpoint_id` untouched) when the file is missing, shorter than a
+/// header, or the magic/version/CRC do not check out — callers treat all of
+/// those as "no usable log".
+bool read_wal_header(const std::string& path, std::uint64_t& checkpoint_id);
+
+/// Outcome of replay_wal(): how much of the log applied and where the valid
+/// prefix ends.
+struct ReplayResult {
+  std::uint64_t records = 0;        // records applied
+  std::uint64_t ops = 0;            // ops applied across those records
+  std::uint64_t valid_bytes = 0;    // offset of the last valid boundary
+  std::uint64_t next_sequence = 1;  // sequence the next append must carry
+  bool truncated_tail = false;      // a torn/corrupt tail was dropped
+  std::string tail_reason;          // empty when the log was clean
+};
+
+/// Replays every valid record of `path` onto `store` (which must be in the
+/// state the log's checkpoint snapshot captured — the caller checks the
+/// checkpoint-id linkage via read_wal_header first).  Multi-op records apply
+/// atomically: a record that fails to decode or apply is rolled back and
+/// treated as the start of the torn tail.  Never throws on bad bytes; throws
+/// util::BinIoError only for real file-IO failures.
+ReplayResult replay_wal(const std::string& path, GraphStore& store);
+
+/// File-backed WalSink.  Construct over a file positioned at the append
+/// boundary (fresh from reset_wal, or an existing log after replay_wal +
+/// truncation) and attach to the store.  Each flushed record is fflush()ed
+/// so a process crash loses at most the OS-buffered suffix — which is
+/// exactly what the torn-tail policy recovers from.
+class WalRecorder final : public WalSink {
+ public:
+  WalRecorder(util::CheckedFile file, std::uint64_t next_sequence);
+
+  void wal_intern_label(std::string_view name) override;
+  void wal_intern_rel_type(std::string_view name) override;
+  void wal_intern_key(std::string_view name) override;
+  void wal_create_node(const std::vector<LabelId>& labels,
+                       const PropertyList& properties) override;
+  void wal_create_rel(NodeId source, NodeId target, RelTypeId type,
+                      const PropertyList& properties) override;
+  void wal_set_property(NodeId node, PropertyKeyId key,
+                        const PropertyValue& value) override;
+  void wal_delete_rel(RelId rel) override;
+  void wal_delete_node(NodeId node) override;
+  void wal_create_index(LabelId label, PropertyKeyId key) override;
+  void wal_begin_scope() override;
+  void wal_commit_scope() override;
+  void wal_abort_scope() override;
+
+  std::uint64_t records_appended() const { return appended_; }
+  std::uint64_t next_sequence() const { return sequence_; }
+  std::uint64_t buffered_ops() const { return buffered_ops_; }
+  /// Flushes the stdio buffer to the OS (record flushes already do this;
+  /// exposed for explicit sync points).
+  void sync() { file_.flush(); }
+
+ private:
+  /// Appends one framed record holding `payload_ops` encoded ops.
+  void append_record(std::string_view encoded, std::uint32_t op_count);
+  /// Routes one encoded op: flush immediately at depth 0, buffer otherwise.
+  void finish_op();
+
+  util::CheckedFile file_;
+  util::ByteWriter ops_;  // encoded ops of the open transaction
+  std::uint32_t buffered_ops_ = 0;
+  struct Mark {
+    std::size_t bytes;
+    std::uint32_t ops;
+  };
+  std::vector<Mark> marks_;  // one per open scope
+  std::uint64_t sequence_ = 1;
+  std::uint64_t appended_ = 0;
+  std::size_t op_start_ = 0;  // buffer offset where the in-flight op began
+};
+
+/// Encodes a PropertyValue / PropertyList with the WAL's tagged encoding
+/// (shared with the snapshot format in graphdb/persist.cpp).
+void encode_value(util::ByteWriter& out, const PropertyValue& value);
+PropertyValue decode_value(util::ByteReader& in);
+void encode_properties(util::ByteWriter& out, const PropertyList& properties);
+PropertyList decode_properties(util::ByteReader& in);
+
+}  // namespace adsynth::graphdb::wal

@@ -1,0 +1,240 @@
+#include "util/binio.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace adsynth::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+// --------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// --------------------------------------------------------------------------
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view s) {
+  if (s.size() > 0xFFFFFFFFULL) {
+    throw BinIoError("binio: string exceeds u32 length prefix");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::truncate(std::size_t size) {
+  if (size > buf_.size()) {
+    throw BinIoError("binio: truncate beyond buffer end");
+  }
+  buf_.resize(size);
+}
+
+void ByteReader::need(std::size_t count) const {
+  if (bytes_.size() - pos_ < count) {
+    throw BinIoError("binio: truncated input (need " + std::to_string(count) +
+                     " bytes at offset " + std::to_string(pos_) + " of " +
+                     std::to_string(bytes_.size()) + ")");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t size = u32();
+  need(size);
+  std::string out(bytes_.substr(pos_, size));
+  pos_ += size;
+  return out;
+}
+
+std::string_view ByteReader::view(std::size_t size) {
+  need(size);
+  const std::string_view out = bytes_.substr(pos_, size);
+  pos_ += size;
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// CheckedFile
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::FILE* open_or_throw(const std::string& path, const char* mode) {
+  std::FILE* file = std::fopen(path.c_str(), mode);
+  if (file == nullptr) {
+    throw BinIoError("binio: cannot open '" + path + "' (mode " + mode + ")");
+  }
+  return file;
+}
+
+}  // namespace
+
+CheckedFile CheckedFile::open_read(const std::string& path) {
+  return CheckedFile(open_or_throw(path, "rb"), path);
+}
+
+CheckedFile CheckedFile::open_write(const std::string& path) {
+  return CheckedFile(open_or_throw(path, "wb"), path);
+}
+
+CheckedFile CheckedFile::open_append(const std::string& path) {
+  // "r+b" + explicit seek instead of "ab": append mode pins every write to
+  // the end, but the WAL needs to position at the last *valid* record
+  // boundary (torn tails are overwritten, not appended after).
+  CheckedFile file(open_or_throw(path, "r+b"), path);
+  file.seek(file.size());
+  return file;
+}
+
+CheckedFile::CheckedFile(CheckedFile&& other) noexcept
+    : file_(other.file_), path_(std::move(other.path_)) {
+  other.file_ = nullptr;
+}
+
+CheckedFile& CheckedFile::operator=(CheckedFile&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      if (std::fclose(file_) != 0) {
+        // Destructor-adjacent path: nothing useful to do with the failure.
+      }
+    }
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+CheckedFile::~CheckedFile() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) {
+      // Swallowed: destructors must not throw.  Callers that care about
+      // close failures (the WAL flush path) call close() explicitly.
+    }
+  }
+}
+
+void CheckedFile::write(const void* data, std::size_t size) {
+  if (size == 0) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    throw BinIoError("binio: short write to '" + path_ + "'");
+  }
+}
+
+void CheckedFile::read(void* data, std::size_t size) {
+  if (size == 0) return;
+  if (std::fread(data, 1, size, file_) != size) {
+    throw BinIoError("binio: short read from '" + path_ + "'");
+  }
+}
+
+std::size_t CheckedFile::read_up_to(void* data, std::size_t size) {
+  if (size == 0) return 0;
+  const std::size_t got = std::fread(data, 1, size, file_);
+  if (got != size && std::ferror(file_) != 0) {
+    throw BinIoError("binio: read error on '" + path_ + "'");
+  }
+  return got;
+}
+
+void CheckedFile::seek(std::uint64_t offset) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw BinIoError("binio: seek failed on '" + path_ + "'");
+  }
+}
+
+std::uint64_t CheckedFile::tell() const {
+  const long pos = std::ftell(file_);
+  if (pos < 0) {
+    throw BinIoError("binio: tell failed on '" + path_ + "'");
+  }
+  return static_cast<std::uint64_t>(pos);
+}
+
+std::uint64_t CheckedFile::size() const {
+  const std::uint64_t here = tell();
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    throw BinIoError("binio: seek-to-end failed on '" + path_ + "'");
+  }
+  const std::uint64_t end = tell();
+  if (std::fseek(file_, static_cast<long>(here), SEEK_SET) != 0) {
+    throw BinIoError("binio: seek-restore failed on '" + path_ + "'");
+  }
+  return end;
+}
+
+void CheckedFile::flush() {
+  if (std::fflush(file_) != 0) {
+    throw BinIoError("binio: flush failed on '" + path_ + "'");
+  }
+}
+
+void CheckedFile::close() {
+  if (file_ == nullptr) return;
+  std::FILE* file = file_;
+  file_ = nullptr;
+  if (std::fclose(file) != 0) {
+    throw BinIoError("binio: close failed on '" + path_ + "'");
+  }
+}
+
+}  // namespace adsynth::util

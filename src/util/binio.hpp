@@ -1,0 +1,150 @@
+// Binary codec primitives for the durable-storage layer (graphdb/persist,
+// graphdb/wal): little-endian fixed-width encoders/decoders over an
+// in-memory buffer, a CRC32 (IEEE 802.3, reflected 0xEDB88320) checksum, an
+// FNV-1a streaming hasher, and a stdio wrapper whose every operation checks
+// the libc result and throws on failure (the io-error-checked lint rule
+// enforces the same discipline on any direct stdio use).
+//
+// Encoding is byte-shifted, not memcpy'd, so files written on any host read
+// back identically regardless of endianness; integers are fixed-width
+// (u8/u32/u64, two's-complement i64, IEEE-754 bit-pattern f64) and strings
+// are u32-length-prefixed raw bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace adsynth::util {
+
+/// Thrown by ByteReader on malformed/truncated input and by CheckedFile on
+/// any failing stdio call.  Catchable separately from logic errors so the
+/// recovery path can distinguish "bad bytes" from "bad code".
+class BinIoError : public std::runtime_error {
+ public:
+  explicit BinIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// CRC32 over a byte range (IEEE, init/final xor 0xFFFFFFFF).
+std::uint32_t crc32(const void* data, std::size_t size);
+inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+/// Streaming 64-bit FNV-1a — the fingerprint hash of graphdb/persist.
+/// Deterministic across platforms (byte-oriented, no seeding).
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= 0x100000001b3ULL;
+    }
+  }
+  void update(std::string_view bytes) { update(bytes.data(), bytes.size()); }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+/// Append-only little-endian encoder into an owned byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buf_.push_back(static_cast<char>((v >> shift) & 0xFF));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      buf_.push_back(static_cast<char>((v >> shift) & 0xFF));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);  // IEEE-754 bit pattern via memcpy
+  void str(std::string_view s);
+  void bytes(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+  /// Truncates back to `size` bytes (scope-abort support in the WAL).
+  void truncate(std::size_t size);
+  void clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a non-owned byte range; every
+/// underflow throws BinIoError instead of reading garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+  std::string_view view(std::size_t size);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t count) const;
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// RAII stdio file whose every operation checks the libc result and throws
+/// BinIoError on failure — short reads, short writes, failed seeks.  The
+/// durable-storage layer does all its file IO through this wrapper so no
+/// stream-op result is ever silently discarded.
+class CheckedFile {
+ public:
+  CheckedFile() = default;
+  static CheckedFile open_read(const std::string& path);    // "rb"
+  static CheckedFile open_write(const std::string& path);   // "wb" (truncate)
+  static CheckedFile open_append(const std::string& path);  // "r+b" at end
+
+  CheckedFile(const CheckedFile&) = delete;
+  CheckedFile& operator=(const CheckedFile&) = delete;
+  CheckedFile(CheckedFile&& other) noexcept;
+  CheckedFile& operator=(CheckedFile&& other) noexcept;
+  ~CheckedFile();
+
+  bool is_open() const { return file_ != nullptr; }
+  void write(const void* data, std::size_t size);
+  void write(std::string_view bytes) { write(bytes.data(), bytes.size()); }
+  /// Reads exactly `size` bytes; throws on a short read.
+  void read(void* data, std::size_t size);
+  /// Reads up to `size` bytes; returns the count (0 at EOF), throws only on
+  /// a stream error.
+  std::size_t read_up_to(void* data, std::size_t size);
+  void seek(std::uint64_t offset);
+  std::uint64_t tell() const;
+  std::uint64_t size() const;  // seek-to-end + restore
+  void flush();
+  /// Explicit close that surfaces the fclose result; the destructor closes
+  /// silently (it must not throw).
+  void close();
+
+ private:
+  explicit CheckedFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace adsynth::util

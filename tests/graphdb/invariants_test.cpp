@@ -54,10 +54,10 @@ struct StoreTestAccess {
     return s.pending_epoch();
   }
   static void plant_zombie_registry_epoch(GraphStore& s, std::uint64_t e) {
-    util::MutexLock lock(s.snapshot_control_->mutex);
-    s.snapshot_control_->live[e];  // registered epoch with zero live views
+    util::MutexLock lock(s.snap_.control->mutex);
+    s.snap_.control->live[e];  // registered epoch with zero live views
   }
-  static void drop_writer_tail(GraphStore& s) { s.published_tail_.reset(); }
+  static void drop_writer_tail(GraphStore& s) { s.snap_.tail.reset(); }
 };
 
 namespace {

@@ -1,0 +1,344 @@
+// Kill-point recovery tests: every scenario builds real files in a temp
+// directory, corrupts them the way a crash would, and asserts recovery
+// lands on the exact last-committed state (by fingerprint) with a store
+// that passes the invariant audit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graphdb/cypher.hpp"
+#include "graphdb/persist.hpp"
+#include "graphdb/wal.hpp"
+#include "support/checked_store.hpp"
+#include "util/binio.hpp"
+
+namespace adsynth::graphdb {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::expect_store_invariants;
+using test_support::tag;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir = ::testing::TempDir() + "/walrec_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+
+  /// One committed transaction touching every WAL op kind.
+  static void mutate_txn(GraphStore& store, int round) {
+    store.begin_undo_scope();
+    const NodeId a = store.create_node({"User"});
+    store.set_node_property(a, "name", PropertyValue(tag("user", round)));
+    const NodeId b = store.create_node({"Group"});
+    store.set_node_property(b, "name", PropertyValue(tag("group", round)));
+    const RelId r = store.create_relationship(a, b, "MemberOf", {});
+    store.set_node_property(a, "round",
+                            PropertyValue(static_cast<std::int64_t>(round)));
+    if (round % 2 == 0) {
+      store.delete_relationship(r);
+      store.delete_node(b);
+    }
+    store.commit_scope();
+  }
+
+  std::string dir;
+};
+
+TEST_F(WalRecoveryTest, EmptyDirectoryRecoversToEmptyStore) {
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore store = dur.recover(&report);
+  EXPECT_EQ(store.node_count(), 0u);
+  EXPECT_FALSE(report.snapshot_loaded);
+  EXPECT_FALSE(report.wal_present);
+  expect_store_invariants(store);
+}
+
+TEST_F(WalRecoveryTest, WalReplayReproducesFingerprint) {
+  std::uint64_t expected = 0;
+  {
+    persist::Durability dur(dir);
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    store.create_index("User", "name");
+    for (int i = 0; i < 8; ++i) mutate_txn(store, i);
+    store.create_node({"Orphan"}, {});  // unscoped mutation: its own record
+    expected = persist::fingerprint(store);
+    EXPECT_GT(dur.wal_records_appended(), 0u);
+  }
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.wal_present);
+  EXPECT_FALSE(report.wal_tail_truncated);
+  EXPECT_GT(report.wal_records_replayed, 0u);
+  EXPECT_EQ(persist::fingerprint(recovered), expected) << report.detail;
+  EXPECT_EQ(recovered.find_nodes("User", "name",
+                                 PropertyValue(tag("user", 3)))
+                .size(),
+            1u);
+  expect_store_invariants(recovered);
+}
+
+TEST_F(WalRecoveryTest, AbortedTransactionLeavesNoTrace) {
+  std::uint64_t expected = 0;
+  {
+    persist::Durability dur(dir);
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    mutate_txn(store, 1);
+    store.begin_undo_scope();
+    const NodeId ghost = store.create_node({"Ghost"});
+    store.set_node_property(ghost, "name", PropertyValue("g"));
+    store.create_node({"Ghost"}, {});
+    store.abort_scope();
+    mutate_txn(store, 3);
+    expected = persist::fingerprint(store);
+  }
+  persist::Durability dur(dir);
+  const GraphStore recovered = dur.recover();
+  EXPECT_EQ(persist::fingerprint(recovered), expected);
+  EXPECT_TRUE(
+      recovered.find_nodes("Ghost", "name", PropertyValue(std::string("g")))
+          .empty());
+  expect_store_invariants(recovered);
+}
+
+TEST_F(WalRecoveryTest, TornTailRecoversToPreviousCommit) {
+  std::uint64_t fp_after_txn1 = 0;
+  std::uintmax_t committed_bytes = 0;
+  std::string wal_path;
+  {
+    persist::Durability dur(dir);
+    wal_path = dur.wal_path();
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    mutate_txn(store, 1);
+    dur.sync();
+    fp_after_txn1 = persist::fingerprint(store);
+    committed_bytes = fs::file_size(wal_path);
+    mutate_txn(store, 3);  // the commit the "crash" tears
+    dur.sync();
+  }
+  // Flip a byte inside the second commit's record: a torn write mid-record.
+  std::string bytes = read_file(wal_path);
+  ASSERT_GT(bytes.size(), committed_bytes);
+  bytes[committed_bytes + 8] ^= 0x01;  // first payload byte (sequence)
+  write_file(wal_path, bytes);
+
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.wal_tail_truncated) << report.detail;
+  EXPECT_EQ(report.wal_valid_bytes, committed_bytes);
+  EXPECT_EQ(persist::fingerprint(recovered), fp_after_txn1) << report.detail;
+  EXPECT_EQ(fs::file_size(wal_path), committed_bytes);
+  expect_store_invariants(recovered);
+
+  // The truncated log keeps appending: attach, commit, recover again.
+  GraphStore store = dur.recover();
+  dur.attach(store);
+  mutate_txn(store, 5);
+  const std::uint64_t fp_resumed = persist::fingerprint(store);
+  dur.detach();
+  persist::Durability dur2(dir);
+  EXPECT_EQ(persist::fingerprint(dur2.recover()), fp_resumed);
+}
+
+TEST_F(WalRecoveryTest, GarbageAppendedToTailIsDropped) {
+  std::uint64_t expected = 0;
+  std::string wal_path;
+  {
+    persist::Durability dur(dir);
+    wal_path = dur.wal_path();
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    for (int i = 0; i < 4; ++i) mutate_txn(store, i);
+    expected = persist::fingerprint(store);
+  }
+  std::string bytes = read_file(wal_path);
+  const std::uintmax_t committed_bytes = bytes.size();
+  bytes += std::string("\x13\x37garbage-torn-write", 20);
+  write_file(wal_path, bytes);
+
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.wal_tail_truncated);
+  EXPECT_EQ(report.wal_valid_bytes, committed_bytes);
+  EXPECT_EQ(persist::fingerprint(recovered), expected);
+  expect_store_invariants(recovered);
+}
+
+TEST_F(WalRecoveryTest, SequenceGapTruncatesAtTheGap) {
+  std::uintmax_t size1 = 0;
+  std::uintmax_t size2 = 0;
+  std::uint64_t fp_after_txn1 = 0;
+  std::string wal_path;
+  {
+    persist::Durability dur(dir);
+    wal_path = dur.wal_path();
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    mutate_txn(store, 1);
+    dur.sync();
+    size1 = fs::file_size(wal_path);
+    fp_after_txn1 = persist::fingerprint(store);
+    mutate_txn(store, 3);
+    dur.sync();
+    size2 = fs::file_size(wal_path);
+    mutate_txn(store, 5);
+    dur.sync();
+  }
+  // Splice the middle record out: the tail record's sequence then skips a
+  // step, which replay must refuse to jump over.
+  const std::string bytes = read_file(wal_path);
+  write_file(wal_path, bytes.substr(0, size1) + bytes.substr(size2));
+
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.wal_tail_truncated);
+  EXPECT_EQ(report.wal_valid_bytes, size1);
+  EXPECT_EQ(persist::fingerprint(recovered), fp_after_txn1) << report.detail;
+  expect_store_invariants(recovered);
+}
+
+TEST_F(WalRecoveryTest, CheckpointResetsWalAndRecoverSkipsReplay) {
+  std::uint64_t expected = 0;
+  {
+    persist::Durability dur(dir);
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    for (int i = 0; i < 4; ++i) mutate_txn(store, i);
+    dur.checkpoint(store);
+    expected = persist::fingerprint(store);
+    EXPECT_EQ(dur.checkpoint_id(), 1u);
+  }
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  EXPECT_EQ(persist::fingerprint(recovered), expected);
+  expect_store_invariants(recovered);
+}
+
+TEST_F(WalRecoveryTest, CheckpointWhileAttachedKeepsLogging) {
+  std::uint64_t expected = 0;
+  {
+    persist::Durability dur(dir);
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    mutate_txn(store, 1);
+    dur.checkpoint(store);  // re-arms the recorder on the fresh WAL
+    mutate_txn(store, 3);
+    expected = persist::fingerprint(store);
+  }
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_GT(report.wal_records_replayed, 0u);
+  EXPECT_EQ(persist::fingerprint(recovered), expected) << report.detail;
+  expect_store_invariants(recovered);
+}
+
+TEST_F(WalRecoveryTest, StaleWalFromCheckpointCrashWindowIsIgnored) {
+  std::uint64_t expected = 0;
+  std::string stale_wal;
+  std::string wal_path;
+  {
+    persist::Durability dur(dir);
+    wal_path = dur.wal_path();
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    mutate_txn(store, 1);
+    dur.sync();
+    stale_wal = read_file(wal_path);  // carries checkpoint id 0 + txn1
+    dur.checkpoint(store);            // snapshot now holds txn1; WAL reset
+    expected = persist::fingerprint(store);
+  }
+  // Crash window: the snapshot renamed into place but the WAL reset never
+  // hit the disk — the old log (already folded into the snapshot) remains.
+  write_file(wal_path, stale_wal);
+
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.wal_stale) << report.detail;
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  // The stale log's transactions must not apply twice.
+  EXPECT_EQ(persist::fingerprint(recovered), expected) << report.detail;
+  expect_store_invariants(recovered);
+}
+
+TEST_F(WalRecoveryTest, SessionCheckpointHooks) {
+  std::uint64_t expected = 0;
+  {
+    persist::Durability dur(dir);
+    GraphStore store = dur.recover();
+    dur.attach(store);
+    CypherSession session(store);
+    session.set_checkpoint_handler([&] { dur.checkpoint(store); });
+    session.set_auto_checkpoint(2);
+
+    session.run("CREATE (n:User {name: 'A'})");
+    EXPECT_EQ(session.checkpoints(), 0u);
+    session.run("CREATE (n:User {name: 'B'})");
+    EXPECT_EQ(session.checkpoints(), 1u);  // fired at commit #2
+
+    session.begin_transaction();
+    session.run("CREATE (n:Group {name: 'G'})");
+    EXPECT_THROW(session.checkpoint(), std::logic_error);  // txn open
+    session.run("CREATE (n:Group {name: 'H'})");
+    session.commit();  // commit #3: cadence not due
+    EXPECT_EQ(session.checkpoints(), 1u);
+
+    session.checkpoint();  // manual
+    EXPECT_EQ(session.checkpoints(), 2u);
+    EXPECT_EQ(dur.checkpoint_id(), 2u);
+    expected = persist::fingerprint(store);
+  }
+  persist::Durability dur(dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(persist::fingerprint(recovered), expected) << report.detail;
+  expect_store_invariants(recovered);
+
+  CypherSession bare(const_cast<GraphStore&>(recovered));
+  EXPECT_THROW(bare.checkpoint(), std::logic_error);  // no handler installed
+}
+
+TEST_F(WalRecoveryTest, ReplayRefusesAStoreWithAnArmedSink) {
+  persist::Durability dur(dir);
+  GraphStore store = dur.recover();
+  dur.attach(store);
+  mutate_txn(store, 1);
+  EXPECT_THROW(wal::replay_wal(dur.wal_path(), store), std::logic_error);
+}
+
+}  // namespace
+}  // namespace adsynth::graphdb

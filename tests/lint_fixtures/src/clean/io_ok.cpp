@@ -1,0 +1,29 @@
+// Clean fixture for io-error-checked: every stdio result is consumed,
+// plus the near-misses the rule must not confuse with libc — member
+// .remove()/.rename(), other-namespace qualifiers, and the tokens inside
+// comments and string literals.  Any finding here is a false positive.
+#include <cstdio>
+#include <string>
+
+namespace detail {
+void remove(int);
+void rename(int, int);
+}  // namespace detail
+
+struct Registry {
+  void remove(int id);
+  void rename(int id, int next);
+};
+
+bool save(std::FILE* f, const char* buf, unsigned long n, Registry& r) {
+  if (std::fwrite(buf, 1, n, f) != n) return false;
+  const long at = std::ftell(f);
+  const int flushed = std::fflush(f);
+  r.remove(3);          // member access, not the libc remove
+  r.rename(1, 2);       // ditto
+  detail::remove(4);    // other-namespace qualifier, own error contract
+  detail::rename(5, 6);
+  const std::string note = "call fclose(file) and fflush(file) here";
+  // fwrite(buf, 1, n, f); — commented-out code must stay silent
+  return flushed == 0 && at >= 0 && std::fclose(f) == 0;
+}

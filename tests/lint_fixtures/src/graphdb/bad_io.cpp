@@ -1,0 +1,16 @@
+// Fixture: discarded stdio results.  Every call below drops an error
+// signal the durable-storage path depends on — io-error-checked must
+// flag each one.  The checked counterparts live in src/clean/io_ok.cpp.
+#include <cstdio>
+
+void flush_unchecked(std::FILE* f, const char* buf, unsigned long n) {
+  std::fwrite(buf, 1, n, f);  // short write lost in statement position
+  fflush(f);                  // bare libc call, result dropped
+  std::fseek(f, 0, SEEK_SET);
+  (void)std::fclose(f);  // explicit discard is still an unchecked close
+}
+
+void swap_files_unchecked(const char* from, const char* to) {
+  remove(to);
+  std::rename(from, to);  // the atomic-replace step of a checkpoint
+}

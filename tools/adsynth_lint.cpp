@@ -146,7 +146,8 @@ const std::set<std::string>& known_rules() {
       "nondeterministic-random", "wall-clock",       "monotonic-clock",
       "unordered-container",     "include-hygiene",  "atomic-ordering",
       "atomic-relaxed",          "lock-wrapper",     "rng-stream",
-      "unused-suppression",      "unused-allowlist", "suppression-syntax",
+      "io-error-checked",        "unused-suppression",
+      "unused-allowlist",        "suppression-syntax",
   };
   return rules;
 }
@@ -159,7 +160,8 @@ const std::vector<std::string>& countable_rules() {
       "nondeterministic-random", "wall-clock",       "monotonic-clock",
       "unordered-container",     "include-hygiene",  "atomic-ordering",
       "atomic-relaxed",          "lock-wrapper",     "rng-stream",
-      "unused-suppression",      "unused-allowlist", "suppression-syntax",
+      "io-error-checked",        "unused-suppression",
+      "unused-allowlist",        "suppression-syntax",
   };
   return rules;
 }
@@ -722,6 +724,50 @@ void rule_rng_stream(const LexedFile& f, std::vector<Finding>& out) {
   }
 }
 
+/// io-error-checked: raw C stdio / libc file calls must consume their
+/// results — a discarded fwrite/fflush/fclose turns a full disk into
+/// silent snapshot/WAL corruption.  The durable-storage path funnels
+/// through util::CheckedFile (src/util/binio.*), which branches on every
+/// call; code that reaches for stdio directly must do the same.  Scope:
+/// bare or std::-qualified calls whose result is dropped in statement
+/// position (or cast to void).  `fs::remove` / member `.remove()` are
+/// different APIs and stay legal.
+void rule_io_checked(const LexedFile& f, std::vector<Finding>& out) {
+  if (f.rel.rfind("src/", 0) != 0 && f.rel.rfind("bench/", 0) != 0) return;
+  static const std::set<std::string_view> kOps = {
+      "fopen",  "fread",  "fwrite", "fseek",  "ftell",
+      "fflush", "fclose", "fgets",  "remove", "rename",
+  };
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || kOps.count(t[i].text) == 0) continue;
+    if (!call_follows(t, i) || member_access(t, i)) continue;
+    const bool qualified = std_qualified(t, i);
+    // Any non-std qualifier (fs::remove, detail::rename, ...) is another
+    // API with its own error contract.
+    if (!qualified && i >= 1 && t[i - 1].text == "::") continue;
+    const std::size_t first = qualified ? i - 2 : i;  // `std` of std::op
+    // Discarded when the call opens a statement — or is cast to (void),
+    // which silences the compiler but not a torn write.
+    bool discarded = first == 0;
+    if (!discarded) {
+      const std::string& prev = t[first - 1].text;
+      discarded = prev == ";" || prev == "{" || prev == "}";
+      if (!discarded && prev == ")" && first >= 3 &&
+          t[first - 2].text == "void" && t[first - 3].text == "(") {
+        discarded = true;
+      }
+    }
+    if (discarded) {
+      add(out, "io-error-checked", f, t[i].line,
+          "'" + std::string(qualified ? "std::" : "") + t[i].text +
+              "' result discarded — branch on it (short write / failed "
+              "flush / failed close must not pass silently; see "
+              "util::CheckedFile)");
+    }
+  }
+}
+
 void run_rules(const LexedFile& f, std::vector<Finding>& out) {
   rule_random(f, out);
   rule_wall_clock(f, out);
@@ -731,6 +777,7 @@ void run_rules(const LexedFile& f, std::vector<Finding>& out) {
   rule_atomic(f, out);
   rule_lock_wrapper(f, out);
   rule_rng_stream(f, out);
+  rule_io_checked(f, out);
   for (const Finding& lf : f.lex_findings) out.push_back(lf);
 }
 
@@ -1026,7 +1073,7 @@ int run_self_test(const fs::path& fixtures) {
       "nondeterministic-random", "wall-clock",      "monotonic-clock",
       "unordered-container",     "include-hygiene", "atomic-ordering",
       "atomic-relaxed",          "lock-wrapper",    "rng-stream",
-      "unused-suppression",
+      "io-error-checked",        "unused-suppression",
   };
   for (const std::string& rule : expected) {
     const std::size_t n = run.rule_counts.at(rule);

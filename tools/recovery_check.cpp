@@ -1,0 +1,243 @@
+// Crash-recovery corruption matrix — the CI `persistence.recovery` stage.
+//
+// Builds a real durability directory (snapshot + WAL) from a generated AD
+// store, then damages it the way real crashes and bit rot do, one case per
+// run:
+//
+//   truncated-snapshot    snapshot cut mid-file           -> loud PersistError
+//   bitflip-section       one flipped byte in a section   -> error names it
+//   stale-format-version  header claims a future format   -> loud, mentions it
+//   torn-wal-tail         crash mid-commit-record         -> recover to the
+//                                                            previous commit
+//
+// The snapshot cases additionally verify that restoring the pristine bytes
+// recovers the exact pre-corruption fingerprint (corruption detection must
+// not depend on one-way state), and every recovered store has to pass
+// check_invariants().  Exit 0 iff all cases pass; one [PASS]/[FAIL] line
+// per case for the CI log.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adcore/convert.hpp"
+#include "core/generator.hpp"
+#include "graphdb/persist.hpp"
+#include "graphdb/store.hpp"
+#include "util/binio.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace adsynth;
+using graphdb::GraphStore;
+namespace persist = graphdb::persist;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw std::runtime_error("cannot read " + path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) throw std::runtime_error("cannot write " + path);
+}
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::runtime_error(what);
+}
+
+void require_invariants(const GraphStore& store) {
+  const auto report = store.check_invariants();
+  require(report.ok(), report.ok() ? ""
+                                   : "invariant violation after recovery: " +
+                                         report.violations.front());
+}
+
+/// Fresh durability dir under `root` holding a generated store (as the
+/// checkpoint snapshot) plus a few WAL transactions on top.  Returns the
+/// fingerprints the corruption cases assert against.
+struct Scenario {
+  std::string dir;
+  std::uint64_t fp_full = 0;       // snapshot + all WAL transactions
+  std::uint64_t fp_pre_tail = 0;   // everything except the last transaction
+  std::uintmax_t tail_offset = 0;  // WAL byte offset of the last record
+};
+
+Scenario build_scenario(const std::string& root, const char* name) {
+  Scenario sc;
+  sc.dir = root + "/" + name;
+  fs::remove_all(sc.dir);
+
+  persist::Durability dur(sc.dir);
+  GraphStore store = dur.recover();
+  {
+    const auto ad = core::generate_ad(core::GeneratorConfig::secure(3000, 41));
+    GraphStore generated = adcore::to_store(ad.graph);
+    dur.checkpoint(generated);  // baseline snapshot from the generated store
+    store = dur.recover();
+    dur.attach(store);
+  }
+  for (int round = 0; round < 6; ++round) {
+    store.begin_undo_scope();
+    const graphdb::NodeId u = store.create_node({"User"});
+    store.set_node_property(
+        u, "name",
+        graphdb::PropertyValue("recovery-user-" + std::to_string(round)));
+    const graphdb::NodeId g = store.create_node({"Group"});
+    store.create_relationship(u, g, "MemberOf", {});
+    store.commit_scope();
+    dur.sync();
+    if (round == 4) {
+      sc.fp_pre_tail = persist::fingerprint(store);
+      sc.tail_offset = fs::file_size(dur.wal_path());
+    }
+  }
+  sc.fp_full = persist::fingerprint(store);
+  return sc;
+}
+
+using Case = std::function<void(const std::string& root)>;
+
+void case_truncated_snapshot(const std::string& root) {
+  const Scenario sc = build_scenario(root, "truncated-snapshot");
+  const std::string snap = sc.dir + "/snapshot.adsg";
+  const std::string pristine = read_file(snap);
+  write_file(snap, pristine.substr(0, pristine.size() * 3 / 5));
+
+  persist::Durability dur(sc.dir);
+  try {
+    (void)dur.recover();
+    throw std::runtime_error("truncated snapshot recovered silently");
+  } catch (const persist::PersistError& err) {
+    std::printf("    rejected: %s\n", err.what());
+    require(!err.section().empty(), "PersistError carries no section name");
+  }
+  // Operator restores the snapshot from backup: recovery must then land on
+  // the full pre-crash state (snapshot + the untouched WAL).
+  write_file(snap, pristine);
+  const GraphStore recovered = dur.recover();
+  require(persist::fingerprint(recovered) == sc.fp_full,
+          "fingerprint diverged after restoring the pristine snapshot");
+  require_invariants(recovered);
+}
+
+void case_bitflip_section(const std::string& root) {
+  const Scenario sc = build_scenario(root, "bitflip-section");
+  const std::string snap = sc.dir + "/snapshot.adsg";
+  const std::string pristine = read_file(snap);
+  // Flip one bit somewhere in the middle of the file — far past the header,
+  // inside some section's payload; the per-section CRC must name it.
+  std::string bytes = pristine;
+  bytes[bytes.size() / 2] ^= 0x10;
+  write_file(snap, bytes);
+
+  persist::Durability dur(sc.dir);
+  try {
+    (void)dur.recover();
+    throw std::runtime_error("bit-flipped snapshot recovered silently");
+  } catch (const persist::PersistError& err) {
+    std::printf("    rejected: %s\n", err.what());
+    require(!err.section().empty() && err.section() != "header",
+            "flip inside a payload should name a section, got '" +
+                err.section() + "'");
+  }
+  write_file(snap, pristine);
+  const GraphStore recovered = dur.recover();
+  require(persist::fingerprint(recovered) == sc.fp_full,
+          "fingerprint diverged after restoring the pristine snapshot");
+  require_invariants(recovered);
+}
+
+void case_stale_format_version(const std::string& root) {
+  const Scenario sc = build_scenario(root, "stale-format-version");
+  const std::string snap = sc.dir + "/snapshot.adsg";
+  std::string bytes = read_file(snap);
+  // Claim a future format and re-seal the header CRC, so the version check
+  // itself (not the checksum) must reject the file.
+  bytes[4] = static_cast<char>(persist::kSnapshotFormatVersion + 9);
+  const std::uint32_t crc = util::crc32(bytes.data(), 12);
+  for (int i = 0; i < 4; ++i) {
+    bytes[12 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  write_file(snap, bytes);
+
+  persist::Durability dur(sc.dir);
+  try {
+    (void)dur.recover();
+    throw std::runtime_error("future-format snapshot recovered silently");
+  } catch (const persist::PersistError& err) {
+    std::printf("    rejected: %s\n", err.what());
+    require(err.section() == "header",
+            "version mismatch should fail in the header, got '" +
+                err.section() + "'");
+    require(std::string(err.what()).find("version") != std::string::npos,
+            "error does not mention the format version");
+  }
+}
+
+void case_torn_wal_tail(const std::string& root) {
+  const Scenario sc = build_scenario(root, "torn-wal-tail");
+  const std::string wal = sc.dir + "/wal.adwl";
+  std::string bytes = read_file(wal);
+  require(bytes.size() > sc.tail_offset, "scenario produced no tail record");
+  bytes[sc.tail_offset + 8] ^= 0x01;  // torn write inside the last commit
+  write_file(wal, bytes);
+
+  persist::Durability dur(sc.dir);
+  persist::RecoveryReport report;
+  const GraphStore recovered = dur.recover(&report);
+  std::printf("    %s", report.detail.c_str());
+  require(report.wal_tail_truncated, "torn tail was not detected");
+  require(report.wal_valid_bytes == sc.tail_offset,
+          "truncation boundary is not the last commit");
+  require(persist::fingerprint(recovered) == sc.fp_pre_tail,
+          "recovered state is not the pre-tail commit");
+  require(fs::file_size(wal) == sc.tail_offset,
+          "WAL file was not truncated in place");
+  require_invariants(recovered);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = fs::temp_directory_path().string() + "/adsynth_recovery";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      root = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--dir <workdir>]\n", argv[0]);
+      return 2;
+    }
+  }
+  fs::create_directories(root);
+
+  const std::vector<std::pair<const char*, Case>> cases = {
+      {"truncated-snapshot", case_truncated_snapshot},
+      {"bitflip-section", case_bitflip_section},
+      {"stale-format-version", case_stale_format_version},
+      {"torn-wal-tail", case_torn_wal_tail},
+  };
+
+  int failed = 0;
+  for (const auto& [name, fn] : cases) {
+    std::printf("==> %s\n", name);
+    try {
+      fn(root);
+      std::printf("[PASS] %s\n", name);
+    } catch (const std::exception& err) {
+      std::printf("[FAIL] %s: %s\n", name, err.what());
+      ++failed;
+    }
+  }
+  std::printf("recovery_check: %zu/%zu cases passed\n", cases.size() - failed,
+              cases.size());
+  return failed == 0 ? 0 : 1;
+}
